@@ -1,0 +1,115 @@
+//! Complementary CDFs (Fig. 2's y-axis).
+
+/// A CCDF over `u32` samples: P(X ≥ x).
+#[derive(Debug, Clone)]
+pub struct Ccdf {
+    sorted: Vec<u32>,
+}
+
+impl Ccdf {
+    /// Build from samples.
+    pub fn new(mut samples: Vec<u32>) -> Ccdf {
+        samples.sort_unstable();
+        Ccdf { sorted: samples }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether there are no samples.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// P(X ≥ x).
+    pub fn at(&self, x: u32) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let idx = self.sorted.partition_point(|v| *v < x);
+        (self.sorted.len() - idx) as f64 / self.sorted.len() as f64
+    }
+
+    /// Evaluate at several thresholds.
+    pub fn series(&self, xs: &[u32]) -> Vec<(u32, f64)> {
+        xs.iter().map(|x| (*x, self.at(*x))).collect()
+    }
+
+    /// Mean of the samples.
+    pub fn mean(&self) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        self.sorted.iter().map(|v| f64::from(*v)).sum::<f64>() / self.sorted.len() as f64
+    }
+
+    /// Minimum sample.
+    pub fn min(&self) -> u32 {
+        self.sorted.first().copied().unwrap_or(0)
+    }
+
+    /// Maximum sample.
+    pub fn max(&self) -> u32 {
+        self.sorted.last().copied().unwrap_or(0)
+    }
+
+    /// The q-quantile (0..=1) by nearest-rank.
+    pub fn quantile(&self, q: f64) -> u32 {
+        if self.sorted.is_empty() {
+            return 0;
+        }
+        let idx = ((q * self.sorted.len() as f64).ceil() as usize)
+            .clamp(1, self.sorted.len())
+            - 1;
+        self.sorted[idx]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_ccdf() {
+        let c = Ccdf::new(vec![1, 2, 3, 4, 5, 6, 7, 8, 9, 10]);
+        assert!((c.at(1) - 1.0).abs() < 1e-12, "everything >= min");
+        assert!((c.at(6) - 0.5).abs() < 1e-12);
+        assert!((c.at(11) - 0.0).abs() < 1e-12);
+        assert_eq!(c.len(), 10);
+    }
+
+    #[test]
+    fn ties_counted_correctly() {
+        let c = Ccdf::new(vec![5, 5, 5, 10]);
+        assert!((c.at(5) - 1.0).abs() < 1e-12);
+        assert!((c.at(6) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats() {
+        let c = Ccdf::new(vec![2, 4, 6, 8]);
+        assert!((c.mean() - 5.0).abs() < 1e-12);
+        assert_eq!(c.min(), 2);
+        assert_eq!(c.max(), 8);
+        assert_eq!(c.quantile(0.5), 4);
+        assert_eq!(c.quantile(1.0), 8);
+    }
+
+    #[test]
+    fn empty() {
+        let c = Ccdf::new(vec![]);
+        assert!(c.is_empty());
+        assert_eq!(c.at(0), 0.0);
+        assert_eq!(c.quantile(0.5), 0);
+    }
+
+    #[test]
+    fn series_matches_at() {
+        let c = Ccdf::new((0..100).collect());
+        for (x, p) in c.series(&[0, 50, 99, 100]) {
+            assert!((p - c.at(x)).abs() < 1e-12);
+        }
+    }
+}

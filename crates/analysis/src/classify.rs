@@ -1,0 +1,201 @@
+//! Service classification (§4.3 / Table 3).
+//!
+//! The paper classifies content networks "by service-provider IP ranges
+//! (e.g. ip-ranges.json) or the GHost HTTP server string in case of
+//! Akamai", and access networks from reverse DNS: hosts that encode
+//! their IP in the PTR record, minus server networks, filtered by an ISP
+//! domain list and a keyword list ("customer", "dialin", …).
+//!
+//! We use exactly those public signals. The provider "published ranges"
+//! are the exemplar AS blocks (the synthetic analogue of
+//! ip-ranges.json); ground-truth cohorts are never consulted.
+
+use iw_internet::population::Population;
+use iw_internet::registry::NetClass;
+
+/// Service categories of Table 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Service {
+    /// Akamai (GHost / published ranges).
+    Akamai,
+    /// Amazon EC2 (published ranges).
+    Ec2,
+    /// Cloudflare (published ranges).
+    Cloudflare,
+    /// Microsoft Azure (published ranges).
+    Azure,
+    /// Access networks (reverse-DNS heuristic).
+    AccessNetwork,
+    /// Everything else.
+    Other,
+}
+
+/// The keyword list for access classification (paper §4.3).
+pub const ACCESS_KEYWORDS: [&str; 5] = ["customer", "dialin", "dsl", "cable", "pool"];
+
+/// Published provider ranges: `(service, start, end_exclusive)`.
+#[derive(Debug, Clone)]
+pub struct ProviderRanges {
+    ranges: Vec<(Service, u32, u64)>,
+}
+
+impl ProviderRanges {
+    /// Extract the published ranges of the big providers from the
+    /// registry — the stand-in for ip-ranges.json and friends. Only the
+    /// *named* exemplar ASes publish ranges, like in reality.
+    pub fn from_population(population: &Population) -> ProviderRanges {
+        let mut ranges = Vec::new();
+        for a in population.registry().ases() {
+            let service = match (a.asn, a.class) {
+                (20940, _) => Service::Akamai,
+                (16509, _) => Service::Ec2,
+                (13335, _) => Service::Cloudflare,
+                (8075, _) => Service::Azure,
+                _ => continue,
+            };
+            ranges.push((service, a.start, u64::from(a.start) + u64::from(a.len)));
+        }
+        ProviderRanges { ranges }
+    }
+
+    /// Classify by published IP range.
+    pub fn lookup(&self, ip: u32) -> Option<Service> {
+        self.ranges
+            .iter()
+            .find(|(_, s, e)| u64::from(ip) >= u64::from(*s) && u64::from(ip) < *e)
+            .map(|(svc, _, _)| *svc)
+    }
+}
+
+/// Whether a PTR record encodes the host's IP (the paper's 38.6 % /
+/// 62.5 % statistic) — we look for all four octets in order.
+pub fn rdns_encodes_ip(rdns: &str, ip: u32) -> bool {
+    let o = ip.to_be_bytes();
+    let needle = format!("{}-{}-{}-{}", o[0], o[1], o[2], o[3]);
+    rdns.contains(&needle)
+}
+
+/// Whether a PTR record matches the access heuristic: IP-encoded AND an
+/// ISP keyword (server networks like EC2 also encode IPs; the keyword
+/// list separates them, as the paper's ISP-domain list does).
+pub fn rdns_is_access(rdns: &str, ip: u32) -> bool {
+    rdns_encodes_ip(rdns, ip) && ACCESS_KEYWORDS.iter().any(|k| rdns.contains(k))
+}
+
+/// Full classifier: ranges first, then reverse DNS.
+pub struct Classifier {
+    ranges: ProviderRanges,
+}
+
+impl Classifier {
+    /// Build from the population's public registry data.
+    pub fn new(population: &Population) -> Classifier {
+        Classifier {
+            ranges: ProviderRanges::from_population(population),
+        }
+    }
+
+    /// Classify one host given its address and (public) PTR record.
+    pub fn classify(&self, ip: u32, rdns: Option<&str>) -> Service {
+        if let Some(svc) = self.ranges.lookup(ip) {
+            return svc;
+        }
+        if let Some(name) = rdns {
+            if rdns_is_access(name, ip) {
+                return Service::AccessNetwork;
+            }
+        }
+        Service::Other
+    }
+}
+
+/// Ground-truth-free sanity: the classifier agrees with the population's
+/// class for exemplar networks (used by tests and EXPERIMENTS.md).
+pub fn classification_accuracy(population: &Population, sample: u32) -> f64 {
+    let classifier = Classifier::new(population);
+    let mut agree = 0u32;
+    let mut total = 0u32;
+    for ip in 0..population.space_size() {
+        let Some(meta) = population.meta(ip) else {
+            continue;
+        };
+        let predicted = classifier.classify(ip, meta.rdns.as_deref());
+        let actual = match (meta.asn, meta.class) {
+            (20940, _) => Service::Akamai,
+            (16509, _) => Service::Ec2,
+            (13335, _) => Service::Cloudflare,
+            (8075, _) => Service::Azure,
+            (_, NetClass::Access | NetClass::AccessModems) => Service::AccessNetwork,
+            _ => Service::Other,
+        };
+        if predicted == actual {
+            agree += 1;
+        }
+        total += 1;
+        if total >= sample {
+            break;
+        }
+    }
+    f64::from(agree) / f64::from(total.max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iw_internet::PopulationConfig;
+
+    fn pop() -> Population {
+        Population::new(PopulationConfig::tiny(5))
+    }
+
+    #[test]
+    fn provider_ranges_hit_exemplars() {
+        let p = pop();
+        let ranges = ProviderRanges::from_population(&p);
+        let akamai = p.registry().by_asn(20940).unwrap();
+        assert_eq!(ranges.lookup(akamai.start), Some(Service::Akamai));
+        let ec2 = p.registry().by_asn(16509).unwrap();
+        assert_eq!(ranges.lookup(ec2.start + 5), Some(Service::Ec2));
+        assert_eq!(ranges.lookup(0), None, "unrouted space is unclassified");
+    }
+
+    #[test]
+    fn rdns_ip_encoding() {
+        let ip = u32::from_be_bytes([81, 12, 3, 4]);
+        assert!(rdns_encodes_ip("customer-81-12-3-4.dsl.isp.example", ip));
+        assert!(!rdns_encodes_ip("host.static.example", ip));
+        assert!(rdns_is_access("customer-81-12-3-4.x.example", ip));
+        assert!(
+            !rdns_is_access("srv-81-12-3-4.ec2.example", ip),
+            "server networks encode IPs but lack ISP keywords"
+        );
+    }
+
+    #[test]
+    fn classifier_identifies_access_hosts() {
+        let p = pop();
+        let classifier = Classifier::new(&p);
+        let mut access_found = 0;
+        for ip in 0..p.space_size() {
+            if let Some(meta) = p.meta(ip) {
+                if matches!(
+                    meta.class,
+                    NetClass::Access | NetClass::AccessModems
+                ) && classifier.classify(ip, meta.rdns.as_deref()) == Service::AccessNetwork
+                {
+                    access_found += 1;
+                    if access_found > 20 {
+                        break;
+                    }
+                }
+            }
+        }
+        assert!(access_found > 20);
+    }
+
+    #[test]
+    fn overall_accuracy_high() {
+        let acc = classification_accuracy(&pop(), 2000);
+        assert!(acc > 0.9, "classification accuracy {acc}");
+    }
+}

@@ -1,0 +1,325 @@
+//! The paper's published numbers and shape checks.
+//!
+//! EXPERIMENTS.md reports "paper vs measured" for every artifact; the
+//! constants here are the paper side, and the `check_*` functions encode
+//! the *shape* properties that must hold for the reproduction to count
+//! (who wins, by roughly what factor, where crossovers fall) — absolute
+//! host counts are scaled and not compared.
+
+use crate::histogram::IwHistogram;
+use crate::tables::{Table1, Table2, Table3};
+use crate::classify::Service;
+
+/// Paper Table 1: (reachable millions, success %, few-data %, error %).
+pub const PAPER_TABLE1_HTTP: (f64, f64, f64, f64) = (48.3, 50.8, 47.6, 1.6);
+/// Paper Table 1, TLS row.
+pub const PAPER_TABLE1_TLS: (f64, f64, f64, f64) = (42.6, 85.6, 13.3, 1.1);
+
+/// Paper Table 2 rows: `[NoData, IW1..IW10]` in percent.
+pub const PAPER_TABLE2_HTTP: [f64; 11] =
+    [4.8, 16.5, 7.1, 7.2, 2.9, 3.6, 2.0, 45.0, 2.7, 1.1, 0.9];
+/// Paper Table 2, TLS row.
+pub const PAPER_TABLE2_TLS: [f64; 11] =
+    [17.8, 56.3, 5.6, 0.7, 1.9, 2.8, 2.4, 2.4, 3.4, 0.4, 0.8];
+
+/// Paper Table 3: per-service `[IW1, IW2, IW4, IW10]` percents.
+/// `None` = the paper prints "–" (Akamai HTTP).
+pub const PAPER_TABLE3_HTTP: [(Service, Option<[f64; 4]>); 5] = [
+    (Service::Akamai, None),
+    (Service::Ec2, Some([0.0, 1.8, 3.4, 94.7])),
+    (Service::Cloudflare, Some([0.0, 0.0, 0.0, 100.0])),
+    (Service::Azure, Some([0.0, 7.8, 54.9, 37.1])),
+    (Service::AccessNetwork, Some([3.5, 50.2, 20.8, 21.7])),
+];
+/// Paper Table 3, TLS half.
+pub const PAPER_TABLE3_TLS: [(Service, Option<[f64; 4]>); 5] = [
+    (Service::Akamai, Some([0.0, 0.0, 100.0, 0.0])),
+    (Service::Ec2, Some([0.2, 1.3, 2.6, 95.8])),
+    (Service::Cloudflare, Some([0.0, 0.0, 0.0, 100.0])),
+    (Service::Azure, Some([0.1, 4.1, 73.3, 21.9])),
+    (Service::AccessNetwork, Some([4.5, 17.6, 67.1, 10.4])),
+];
+
+/// Fig. 2 reference statistics: mean 2186 B, ≥640 B at 86 %, ≥2176 B at
+/// 50 % of 36.5 M hosts.
+pub const PAPER_FIG2: (f64, f64, f64) = (2186.0, 0.86, 0.50);
+
+/// A single shape-check outcome.
+#[derive(Debug, Clone)]
+pub struct Check {
+    /// What was checked.
+    pub name: String,
+    /// Whether the shape holds.
+    pub pass: bool,
+    /// Human-readable detail (paper vs measured).
+    pub detail: String,
+}
+
+impl Check {
+    fn new(name: &str, pass: bool, detail: String) -> Check {
+        Check {
+            name: name.to_string(),
+            pass,
+            detail,
+        }
+    }
+}
+
+/// Table 1 shape: TLS succeeds far more often than HTTP; HTTP's few-data
+/// share is near half; errors are marginal for both.
+pub fn check_table1(table: &Table1) -> Vec<Check> {
+    let mut out = Vec::new();
+    let http = &table.rows[0];
+    let tls = &table.rows[1];
+    out.push(Check::new(
+        "T1: TLS success > HTTP success by ≥20 points",
+        tls.2 - http.2 >= 20.0,
+        format!("paper 85.6 vs 50.8; measured {:.1} vs {:.1}", tls.2, http.2),
+    ));
+    out.push(Check::new(
+        "T1: HTTP few-data near half (30–60%)",
+        (30.0..=60.0).contains(&http.3),
+        format!("paper 47.6; measured {:.1}", http.3),
+    ));
+    out.push(Check::new(
+        "T1: TLS few-data well below HTTP's",
+        tls.3 < http.3 / 2.0,
+        format!("paper 13.3 vs 47.6; measured {:.1} vs {:.1}", tls.3, http.3),
+    ));
+    out.push(Check::new(
+        "T1: errors marginal (<5%) on both",
+        http.4 < 5.0 && tls.4 < 5.0,
+        format!("measured {:.1} / {:.1}", http.4, tls.4),
+    ));
+    out
+}
+
+/// Table 2 shape: HTTP peaks at IW7 (the default-error-page bucket); TLS
+/// is dominated by IW1 (alerts) with a large NoData share.
+pub fn check_table2(http: &Table2, tls: &Table2) -> Vec<Check> {
+    let http_peak = http
+        .iw
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+        .map(|(i, _)| i + 1)
+        .unwrap_or(0);
+    let tls_peak = tls
+        .iw
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+        .map(|(i, _)| i + 1)
+        .unwrap_or(0);
+    vec![
+        Check::new(
+            "T2: HTTP lower bounds peak at IW7",
+            http_peak == 7,
+            format!("paper peak IW7 (45.0%); measured peak IW{http_peak}"),
+        ),
+        Check::new(
+            "T2: HTTP IW7 share dominant (>25%)",
+            http.iw[6] > 25.0,
+            format!("paper 45.0; measured {:.1}", http.iw[6]),
+        ),
+        Check::new(
+            "T2: TLS lower bounds peak at IW1 (alert-sized answers)",
+            tls_peak == 1 && tls.iw[0] > 30.0,
+            format!("paper 56.3; measured {:.1} at peak IW{tls_peak}", tls.iw[0]),
+        ),
+        Check::new(
+            "T2: TLS NoData share ≫ HTTP NoData share",
+            tls.no_data > http.no_data * 2.0,
+            format!(
+                "paper 17.8 vs 4.8; measured {:.1} vs {:.1}",
+                tls.no_data, http.no_data
+            ),
+        ),
+    ]
+}
+
+/// Table 3 shape: the per-service signatures.
+pub fn check_table3(http: &Table3, tls: &Table3) -> Vec<Check> {
+    let get = |t: &Table3, svc: Service| t.row(svc).map(|(_, p, n)| (*p, *n));
+    let mut out = Vec::new();
+    if let Some((p, n)) = get(tls, Service::Akamai) {
+        out.push(Check::new(
+            "T3: Akamai TLS is ~pure IW4",
+            n > 0 && p[2] > 90.0,
+            format!("paper 100.0; measured {:.1} (n={n})", p[2]),
+        ));
+    }
+    for (label, table) in [("HTTP", http), ("TLS", tls)] {
+        if let Some((p, n)) = get(table, Service::Cloudflare) {
+            out.push(Check::new(
+                &format!("T3: Cloudflare {label} is ~pure IW10"),
+                n > 0 && p[3] > 95.0,
+                format!("paper 100.0; measured {:.1} (n={n})", p[3]),
+            ));
+        }
+        if let Some((p, n)) = get(table, Service::Ec2) {
+            out.push(Check::new(
+                &format!("T3: EC2 {label} dominated by IW10"),
+                n > 0 && p[3] > 80.0,
+                format!("paper ~95; measured {:.1} (n={n})", p[3]),
+            ));
+        }
+        if let Some((p, n)) = get(table, Service::Azure) {
+            out.push(Check::new(
+                &format!("T3: Azure {label} IW4 beats IW10"),
+                n > 0 && p[2] > p[3],
+                format!("paper 54.9/73.3 vs 37.1/21.9; measured {:.1} vs {:.1}", p[2], p[3]),
+            ));
+        }
+    }
+    if let Some((p, n)) = get(http, Service::AccessNetwork) {
+        out.push(Check::new(
+            "T3: Access HTTP dominated by IW2",
+            n > 0 && p[1] > p[0] && p[1] > p[2] && p[1] > p[3],
+            format!("paper 50.2; measured IW2={:.1} (n={n})", p[1]),
+        ));
+    }
+    if let Some((p, n)) = get(tls, Service::AccessNetwork) {
+        out.push(Check::new(
+            "T3: Access TLS dominated by IW4",
+            n > 0 && p[2] > p[1] && p[2] > p[3],
+            format!("paper 67.1; measured IW4={:.1} (n={n})", p[2]),
+        ));
+    }
+    out
+}
+
+/// Fig. 3 shape: IW {1,2,4,10} dominate both protocols (>90 % of
+/// successful hosts); TLS has relatively more IW4 than HTTP; IW10 is the
+/// single biggest bar on both.
+pub fn check_fig3(http: &IwHistogram, tls: &IwHistogram) -> Vec<Check> {
+    let dominated = |h: &IwHistogram| {
+        [1u32, 2, 4, 10]
+            .iter()
+            .map(|iw| h.fraction(*iw))
+            .sum::<f64>()
+    };
+    vec![
+        Check::new(
+            "F3: IW {1,2,4,10} cover >90% (HTTP)",
+            dominated(http) > 0.90,
+            format!("paper >97%; measured {:.1}%", dominated(http) * 100.0),
+        ),
+        Check::new(
+            "F3: IW {1,2,4,10} cover >90% (TLS)",
+            dominated(tls) > 0.90,
+            format!("paper >97%; measured {:.1}%", dominated(tls) * 100.0),
+        ),
+        Check::new(
+            "F3: TLS IW4 share exceeds HTTP IW4 share",
+            tls.fraction(4) > http.fraction(4),
+            format!(
+                "measured TLS {:.1}% vs HTTP {:.1}%",
+                tls.fraction(4) * 100.0,
+                http.fraction(4) * 100.0
+            ),
+        ),
+        Check::new(
+            "F3: IW10 is the modal IW on both",
+            [1u32, 2, 4]
+                .iter()
+                .all(|iw| http.fraction(10) > http.fraction(*iw))
+                && [1u32, 2, 4]
+                    .iter()
+                    .all(|iw| tls.fraction(10) > tls.fraction(*iw)),
+            format!(
+                "measured HTTP IW10 {:.1}%, TLS IW10 {:.1}%",
+                http.fraction(10) * 100.0,
+                tls.fraction(10) * 100.0
+            ),
+        ),
+    ]
+}
+
+/// Fig. 4 shape: the popular population is IW10-heavy (>70 % both
+/// protocols) — far above the full-space share.
+pub fn check_fig4(alexa_http: &IwHistogram, alexa_tls: &IwHistogram, full_http: &IwHistogram) -> Vec<Check> {
+    vec![
+        Check::new(
+            "F4: Alexa HTTP IW10 >70%",
+            alexa_http.fraction(10) > 0.70,
+            format!("paper ~85%; measured {:.1}%", alexa_http.fraction(10) * 100.0),
+        ),
+        Check::new(
+            "F4: Alexa TLS IW10 >70%",
+            alexa_tls.fraction(10) > 0.70,
+            format!("paper ~80%; measured {:.1}%", alexa_tls.fraction(10) * 100.0),
+        ),
+        Check::new(
+            "F4: popularity shifts IW10 up vs full space",
+            alexa_http.fraction(10) > full_http.fraction(10) + 0.15,
+            format!(
+                "measured Alexa {:.1}% vs full {:.1}%",
+                alexa_http.fraction(10) * 100.0,
+                full_http.fraction(10) * 100.0
+            ),
+        ),
+    ]
+}
+
+/// Render a check list as a pass/fail table.
+pub fn render_checks(checks: &[Check]) -> String {
+    let mut out = String::new();
+    for c in checks {
+        out.push_str(&format!(
+            "[{}] {} — {}\n",
+            if c.pass { "PASS" } else { "FAIL" },
+            c.name,
+            c.detail
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_constants_are_self_consistent() {
+        // Table 2 rows should sum close to 100 (tails omitted in paper).
+        let sum_http: f64 = PAPER_TABLE2_HTTP.iter().sum();
+        assert!((90.0..=101.0).contains(&sum_http), "{sum_http}");
+        let sum_tls: f64 = PAPER_TABLE2_TLS.iter().sum();
+        assert!((90.0..=101.0).contains(&sum_tls), "{sum_tls}");
+    }
+
+    #[test]
+    fn fig3_checks_on_synthetic_histograms() {
+        let mut http = IwHistogram::new();
+        let mut tls = IwHistogram::new();
+        for (iw, n_http, n_tls) in [(1u32, 12, 10), (2, 22, 15), (4, 12, 28), (10, 46, 40)] {
+            for _ in 0..n_http {
+                http.add(iw);
+            }
+            for _ in 0..n_tls {
+                tls.add(iw);
+            }
+        }
+        let checks = check_fig3(&http, &tls);
+        assert!(checks.iter().all(|c| c.pass), "{}", render_checks(&checks));
+    }
+
+    #[test]
+    fn fig3_checks_fail_on_flat_distribution() {
+        let flat = IwHistogram::from_estimates([1, 2, 4, 10, 20, 30, 40, 50]);
+        let checks = check_fig3(&flat, &flat);
+        assert!(checks.iter().any(|c| !c.pass));
+    }
+
+    #[test]
+    fn render_marks_pass_fail() {
+        let checks = vec![
+            Check::new("a", true, "x".into()),
+            Check::new("b", false, "y".into()),
+        ];
+        let r = render_checks(&checks);
+        assert!(r.contains("[PASS] a"));
+        assert!(r.contains("[FAIL] b"));
+    }
+}

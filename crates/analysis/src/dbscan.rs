@@ -1,0 +1,220 @@
+//! DBSCAN clustering of per-AS IW distributions (Fig. 5).
+//!
+//! The paper clusters ASes "with similar IW distributions using DBSCAN
+//! (wrt. IW 1, 2, 4, 10 and other)". Feature vectors are the five
+//! fractions; distance is Euclidean.
+
+/// A point with an attached payload (the AS number).
+#[derive(Debug, Clone)]
+pub struct AsPoint {
+    /// AS number.
+    pub asn: u32,
+    /// Number of measured hosts behind the feature vector (weights the
+    /// "clusters representing a fraction of all IPs" statistic).
+    pub hosts: u64,
+    /// Fractions of IW 1, 2, 4, 10, other — sums to 1 for non-empty ASes.
+    pub features: [f64; 5],
+}
+
+impl AsPoint {
+    /// Build a feature vector from per-AS IW counts.
+    pub fn from_counts(asn: u32, counts: &[(u32, u64)]) -> AsPoint {
+        let total: u64 = counts.iter().map(|(_, c)| c).sum();
+        let mut features = [0.0f64; 5];
+        for (iw, c) in counts {
+            let f = *c as f64 / total.max(1) as f64;
+            match iw {
+                1 => features[0] += f,
+                2 => features[1] += f,
+                4 => features[2] += f,
+                10 => features[3] += f,
+                _ => features[4] += f,
+            }
+        }
+        AsPoint {
+            asn,
+            hosts: total,
+            features,
+        }
+    }
+}
+
+fn dist(a: &[f64; 5], b: &[f64; 5]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// Cluster labels: `Some(id)` or `None` for noise.
+pub type Labels = Vec<Option<usize>>;
+
+/// Plain DBSCAN (no spatial index — AS counts are in the hundreds).
+pub fn dbscan(points: &[AsPoint], eps: f64, min_pts: usize) -> Labels {
+    let n = points.len();
+    let mut labels: Labels = vec![None; n];
+    let mut visited = vec![false; n];
+    let mut cluster = 0usize;
+
+    let neighbors = |i: usize| -> Vec<usize> {
+        (0..n)
+            .filter(|j| dist(&points[i].features, &points[*j].features) <= eps)
+            .collect()
+    };
+
+    for i in 0..n {
+        if visited[i] {
+            continue;
+        }
+        visited[i] = true;
+        let nbrs = neighbors(i);
+        if nbrs.len() < min_pts {
+            continue; // noise (may be claimed by a cluster later)
+        }
+        // Start a new cluster and expand.
+        let id = cluster;
+        cluster += 1;
+        labels[i] = Some(id);
+        let mut queue: Vec<usize> = nbrs;
+        while let Some(j) = queue.pop() {
+            if labels[j].is_none() {
+                labels[j] = Some(id);
+            }
+            if visited[j] {
+                continue;
+            }
+            visited[j] = true;
+            let jn = neighbors(j);
+            if jn.len() >= min_pts {
+                queue.extend(jn);
+            }
+        }
+    }
+    labels
+}
+
+/// Summary of one cluster.
+#[derive(Debug, Clone)]
+pub struct ClusterSummary {
+    /// Cluster id.
+    pub id: usize,
+    /// Member AS numbers.
+    pub members: Vec<u32>,
+    /// Total hosts across members.
+    pub hosts: u64,
+    /// Host-weighted mean feature vector.
+    pub centroid: [f64; 5],
+}
+
+/// Summarize DBSCAN output.
+pub fn summarize(points: &[AsPoint], labels: &Labels) -> Vec<ClusterSummary> {
+    let max_id = labels.iter().flatten().max().copied();
+    let Some(max_id) = max_id else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for id in 0..=max_id {
+        let member_idx: Vec<usize> = (0..points.len())
+            .filter(|i| labels[*i] == Some(id))
+            .collect();
+        let hosts: u64 = member_idx.iter().map(|i| points[*i].hosts).sum();
+        let mut centroid = [0.0f64; 5];
+        for i in &member_idx {
+            for (k, c) in centroid.iter_mut().enumerate() {
+                *c += points[*i].features[k] * points[*i].hosts as f64;
+            }
+        }
+        for c in centroid.iter_mut() {
+            *c /= hosts.max(1) as f64;
+        }
+        out.push(ClusterSummary {
+            id,
+            members: member_idx.iter().map(|i| points[*i].asn).collect(),
+            hosts,
+            centroid,
+        });
+    }
+    out.sort_by_key(|c| std::cmp::Reverse(c.hosts));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(asn: u32, f: [f64; 5]) -> AsPoint {
+        AsPoint {
+            asn,
+            hosts: 100,
+            features: f,
+        }
+    }
+
+    #[test]
+    fn two_well_separated_clusters() {
+        let mut points = Vec::new();
+        // IW10-dominant group.
+        for i in 0..10 {
+            points.push(pt(i, [0.0, 0.05, 0.0, 0.95, 0.0]));
+        }
+        // IW2-dominant group.
+        for i in 10..20 {
+            points.push(pt(i, [0.05, 0.9, 0.05, 0.0, 0.0]));
+        }
+        // A lone outlier.
+        points.push(pt(99, [0.0, 0.0, 0.0, 0.0, 1.0]));
+        let labels = dbscan(&points, 0.2, 4);
+        let summaries = summarize(&points, &labels);
+        assert_eq!(summaries.len(), 2);
+        assert!(labels[20].is_none(), "outlier is noise");
+        // Members of the same group share a label.
+        assert!(labels[..10].iter().all(|l| *l == labels[0]));
+        assert!(labels[10..20].iter().all(|l| *l == labels[10]));
+        assert_ne!(labels[0], labels[10]);
+    }
+
+    #[test]
+    fn feature_vector_construction() {
+        let p = AsPoint::from_counts(7, &[(1, 10), (2, 20), (4, 30), (10, 30), (48, 10)]);
+        assert_eq!(p.hosts, 100);
+        assert!((p.features[0] - 0.1).abs() < 1e-12);
+        assert!((p.features[1] - 0.2).abs() < 1e-12);
+        assert!((p.features[2] - 0.3).abs() < 1e-12);
+        assert!((p.features[3] - 0.3).abs() < 1e-12);
+        assert!((p.features[4] - 0.1).abs() < 1e-12, "48 counts as other");
+        assert!((p.features.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn min_pts_controls_noise() {
+        let points: Vec<AsPoint> = (0..3).map(|i| pt(i, [1.0, 0.0, 0.0, 0.0, 0.0])).collect();
+        let strict = dbscan(&points, 0.1, 5);
+        assert!(strict.iter().all(Option::is_none));
+        let lenient = dbscan(&points, 0.1, 2);
+        assert!(lenient.iter().all(Option::is_some));
+    }
+
+    #[test]
+    fn empty_input() {
+        let labels = dbscan(&[], 0.5, 3);
+        assert!(labels.is_empty());
+        assert!(summarize(&[], &labels).is_empty());
+    }
+
+    #[test]
+    fn centroid_weighted_by_hosts() {
+        let mut a = pt(1, [1.0, 0.0, 0.0, 0.0, 0.0]);
+        a.hosts = 300;
+        let mut b = pt(2, [0.0, 1.0, 0.0, 0.0, 0.0]);
+        b.hosts = 100;
+        let points = vec![a, b];
+        // Force one cluster with a huge eps.
+        let labels = dbscan(&points, 10.0, 1);
+        let s = summarize(&points, &labels);
+        assert_eq!(s.len(), 1);
+        assert!((s[0].centroid[0] - 0.75).abs() < 1e-12);
+        assert!((s[0].centroid[1] - 0.25).abs() < 1e-12);
+        assert_eq!(s[0].hosts, 400);
+    }
+}

@@ -1,0 +1,146 @@
+//! CSV export of figure data series — for regenerating the paper's
+//! plots with external tooling (gnuplot, matplotlib, pgfplots).
+//!
+//! Columns are stable and documented per function; all output is plain
+//! ASCII with a header row.
+
+use crate::ccdf::Ccdf;
+use crate::dbscan::ClusterSummary;
+use crate::histogram::IwHistogram;
+use crate::sampling::BarStats;
+use std::io::{self, Write};
+
+/// Fig. 2 series: `bytes,ccdf` at each distinct sample value (plus 0).
+pub fn ccdf_csv<W: Write>(ccdf: &Ccdf, points: &[u32], mut w: W) -> io::Result<()> {
+    writeln!(w, "bytes,ccdf")?;
+    for x in points {
+        writeln!(w, "{x},{:.6}", ccdf.at(*x))?;
+    }
+    Ok(())
+}
+
+/// Fig. 3/4 series: `iw,count,fraction`.
+pub fn histogram_csv<W: Write>(hist: &IwHistogram, mut w: W) -> io::Result<()> {
+    writeln!(w, "iw,count,fraction")?;
+    for (iw, count) in hist.entries() {
+        writeln!(w, "{iw},{count},{:.6}", hist.fraction(iw))?;
+    }
+    Ok(())
+}
+
+/// Fig. 3 sampling panel: `iw,mean,q99,min,max` per bar.
+pub fn sampling_csv<W: Write>(stats: &[BarStats], mut w: W) -> io::Result<()> {
+    writeln!(w, "iw,mean,q99,min,max")?;
+    for b in stats {
+        writeln!(
+            w,
+            "{},{:.6},{:.6},{:.6},{:.6}",
+            b.iw, b.mean, b.q99, b.min, b.max
+        )?;
+    }
+    Ok(())
+}
+
+/// Fig. 5 clusters: `cluster,ases,hosts,iw1,iw2,iw4,iw10,other`.
+pub fn clusters_csv<W: Write>(clusters: &[ClusterSummary], mut w: W) -> io::Result<()> {
+    writeln!(w, "cluster,ases,hosts,iw1,iw2,iw4,iw10,other")?;
+    for c in clusters {
+        writeln!(
+            w,
+            "{},{},{},{:.4},{:.4},{:.4},{:.4},{:.4}",
+            c.id,
+            c.members.len(),
+            c.hosts,
+            c.centroid[0],
+            c.centroid[1],
+            c.centroid[2],
+            c.centroid[3],
+            c.centroid[4]
+        )?;
+    }
+    Ok(())
+}
+
+/// Write any of the above into a file, creating parent directories.
+pub fn to_file(
+    path: &std::path::Path,
+    f: impl FnOnce(&mut Vec<u8>) -> io::Result<()>,
+) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let mut buf = Vec::new();
+    f(&mut buf)?;
+    std::fs::write(path, buf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ccdf_csv_shape() {
+        let ccdf = Ccdf::new(vec![10, 20, 30, 40]);
+        let mut out = Vec::new();
+        ccdf_csv(&ccdf, &[0, 25, 50], &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "bytes,ccdf");
+        assert_eq!(lines[1], "0,1.000000");
+        assert_eq!(lines[2], "25,0.500000");
+        assert_eq!(lines[3], "50,0.000000");
+    }
+
+    #[test]
+    fn histogram_csv_shape() {
+        let hist = IwHistogram::from_estimates([10, 10, 2, 4]);
+        let mut out = Vec::new();
+        histogram_csv(&hist, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("iw,count,fraction\n"));
+        assert!(text.contains("10,2,0.500000"));
+        assert!(text.contains("2,1,0.250000"));
+    }
+
+    #[test]
+    fn sampling_csv_shape() {
+        let stats = vec![BarStats {
+            iw: 10,
+            mean: 0.45,
+            q99: 0.5,
+            min: 0.4,
+            max: 0.5,
+        }];
+        let mut out = Vec::new();
+        sampling_csv(&stats, &mut out).unwrap();
+        assert!(String::from_utf8(out)
+            .unwrap()
+            .contains("10,0.450000,0.500000,0.400000,0.500000"));
+    }
+
+    #[test]
+    fn clusters_csv_shape() {
+        let clusters = vec![ClusterSummary {
+            id: 0,
+            members: vec![1, 2, 3],
+            hosts: 300,
+            centroid: [0.0, 0.1, 0.2, 0.7, 0.0],
+        }];
+        let mut out = Vec::new();
+        clusters_csv(&clusters, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("0,3,300,0.0000,0.1000,0.2000,0.7000,0.0000"));
+    }
+
+    #[test]
+    fn to_file_creates_dirs() {
+        let dir = std::env::temp_dir().join("iw-analysis-export-test/nested");
+        let path = dir.join("h.csv");
+        let hist = IwHistogram::from_estimates([1, 2]);
+        to_file(&path, |buf| histogram_csv(&hist, buf)).unwrap();
+        assert!(std::fs::read_to_string(&path)
+            .unwrap()
+            .starts_with("iw,count,fraction"));
+        let _ = std::fs::remove_dir_all(dir.parent().unwrap());
+    }
+}

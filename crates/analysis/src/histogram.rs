@@ -1,0 +1,141 @@
+//! IW distributions.
+
+use iw_core::HostResult;
+use std::collections::BTreeMap;
+
+/// A histogram of successful IW estimates.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct IwHistogram {
+    counts: BTreeMap<u32, u64>,
+    total: u64,
+}
+
+impl IwHistogram {
+    /// Empty histogram.
+    pub fn new() -> IwHistogram {
+        IwHistogram::default()
+    }
+
+    /// Build from scan results (successful MSS-64 estimates only, as the
+    /// paper reports).
+    pub fn from_results(results: &[HostResult]) -> IwHistogram {
+        let mut h = IwHistogram::new();
+        for r in results {
+            if let Some(iw) = r.iw_estimate() {
+                h.add(iw);
+            }
+        }
+        h
+    }
+
+    /// Build from an iterator of raw estimates.
+    pub fn from_estimates(estimates: impl IntoIterator<Item = u32>) -> IwHistogram {
+        let mut h = IwHistogram::new();
+        for e in estimates {
+            h.add(e);
+        }
+        h
+    }
+
+    /// Record one estimate.
+    pub fn add(&mut self, iw: u32) {
+        *self.counts.entry(iw).or_insert(0) += 1;
+        self.total += 1;
+    }
+
+    /// Number of estimates.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Count for one IW.
+    pub fn count(&self, iw: u32) -> u64 {
+        self.counts.get(&iw).copied().unwrap_or(0)
+    }
+
+    /// Fraction (0..1) for one IW.
+    pub fn fraction(&self, iw: u32) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.count(iw) as f64 / self.total as f64
+        }
+    }
+
+    /// All `(iw, count)` pairs, ascending by IW.
+    pub fn entries(&self) -> impl Iterator<Item = (u32, u64)> + '_ {
+        self.counts.iter().map(|(k, v)| (*k, *v))
+    }
+
+    /// IWs used by at least `threshold` (fraction) of hosts — the
+    /// paper's Fig. 3 uses 0.001 (0.1 %).
+    pub fn dominant(&self, threshold: f64) -> Vec<(u32, f64)> {
+        self.entries()
+            .filter_map(|(iw, c)| {
+                let f = c as f64 / self.total.max(1) as f64;
+                (f >= threshold).then_some((iw, f))
+            })
+            .collect()
+    }
+
+    /// L1 distance between two histograms' fraction vectors (over the
+    /// union of supports) — the sampling-stability metric.
+    pub fn l1_distance(&self, other: &IwHistogram) -> f64 {
+        let keys: std::collections::BTreeSet<u32> = self
+            .counts
+            .keys()
+            .chain(other.counts.keys())
+            .copied()
+            .collect();
+        keys.into_iter()
+            .map(|k| (self.fraction(k) - other.fraction(k)).abs())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counting_and_fractions() {
+        let h = IwHistogram::from_estimates([10, 10, 10, 2, 4]);
+        assert_eq!(h.total(), 5);
+        assert_eq!(h.count(10), 3);
+        assert!((h.fraction(10) - 0.6).abs() < 1e-12);
+        assert_eq!(h.count(7), 0);
+        assert_eq!(h.fraction(7), 0.0);
+    }
+
+    #[test]
+    fn dominant_filter() {
+        let mut h = IwHistogram::new();
+        for _ in 0..999 {
+            h.add(10);
+        }
+        h.add(48);
+        let dom = h.dominant(0.01);
+        assert_eq!(dom.len(), 1);
+        assert_eq!(dom[0].0, 10);
+        let all = h.dominant(0.0005);
+        assert_eq!(all.len(), 2);
+    }
+
+    #[test]
+    fn l1_distance_properties() {
+        let a = IwHistogram::from_estimates([1, 2, 10, 10]);
+        let b = IwHistogram::from_estimates([1, 2, 10, 10]);
+        assert!(a.l1_distance(&b) < 1e-12);
+        let c = IwHistogram::from_estimates([4, 4, 4, 4]);
+        assert!((a.l1_distance(&c) - 2.0).abs() < 1e-12, "disjoint = 2.0");
+        assert!((a.l1_distance(&c) - c.l1_distance(&a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_histogram() {
+        let h = IwHistogram::new();
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.fraction(10), 0.0);
+        assert!(h.dominant(0.001).is_empty());
+    }
+}

@@ -1,0 +1,33 @@
+//! # iw-analysis — from raw scan records to the paper's tables & figures
+//!
+//! Everything §4 does with the measurement data:
+//!
+//! * [`histogram`] — IW distributions (Fig. 3/4 series, dominant-IW
+//!   filtering at the paper's 0.1 % threshold);
+//! * [`tables`] — Table 1 (scan overview), Table 2 (lower bounds for
+//!   few-data hosts), Table 3 (per-service distributions);
+//! * [`classify`] — service classification from public signals only:
+//!   provider IP ranges (the ip-ranges.json analogue) and reverse-DNS
+//!   keyword/ISP-domain matching (the paper's access-network heuristic);
+//! * [`sampling`] — the "1 % is enough" subsampling study (Fig. 3);
+//! * [`dbscan`] — DBSCAN over per-AS IW feature vectors (Fig. 5);
+//! * [`ccdf`] — complementary CDFs (Fig. 2);
+//! * [`figures`] — plain-text renderings of every figure's data series;
+//! * [`export`] — CSV writers for external plotting tools;
+//! * [`compare`] — the paper's published numbers plus shape checks used
+//!   by EXPERIMENTS.md.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ccdf;
+pub mod classify;
+pub mod compare;
+pub mod dbscan;
+pub mod export;
+pub mod figures;
+pub mod histogram;
+pub mod sampling;
+pub mod tables;
+
+pub use histogram::IwHistogram;

@@ -1,0 +1,173 @@
+//! The "scanning 1 % is enough" study (§4.1, Fig. 3).
+//!
+//! Two flavours, as in the paper:
+//! * subsample the set of *successfully probed* hosts post-hoc at
+//!   50 / 30 / 10 / 1 % and compare IW distributions;
+//! * repeated independent 1 %-of-address-space samples (the paper takes
+//!   30) with the mean and 99 %-quantile per IW bar.
+
+use crate::histogram::IwHistogram;
+use iw_core::HostResult;
+use iw_internet::util::mix;
+
+/// Deterministically subsample results at `fraction` using `salt`.
+pub fn subsample(
+    results: &[HostResult],
+    fraction: f64,
+    salt: u64,
+) -> Vec<&HostResult> {
+    results
+        .iter()
+        .filter(|r| {
+            let h = mix(&[salt, u64::from(r.ip)]);
+            ((h >> 11) as f64 / (1u64 << 53) as f64) < fraction
+        })
+        .collect()
+}
+
+/// IW histogram of a subsample.
+pub fn subsample_histogram(results: &[HostResult], fraction: f64, salt: u64) -> IwHistogram {
+    IwHistogram::from_estimates(
+        subsample(results, fraction, salt)
+            .into_iter()
+            .filter_map(|r| r.iw_estimate()),
+    )
+}
+
+/// Per-IW statistics across repeated samples.
+#[derive(Debug, Clone)]
+pub struct BarStats {
+    /// The IW value.
+    pub iw: u32,
+    /// Mean fraction across samples.
+    pub mean: f64,
+    /// 99 %-quantile of the fraction across samples.
+    pub q99: f64,
+    /// Min/max fractions observed.
+    pub min: f64,
+    /// Max fraction observed.
+    pub max: f64,
+}
+
+/// Take `n` independent samples at `fraction` and compute per-IW bar
+/// statistics over the union of observed IWs (paper: 30 × 1 %).
+pub fn repeated_sample_stats(
+    results: &[HostResult],
+    fraction: f64,
+    n: u32,
+    base_salt: u64,
+) -> Vec<BarStats> {
+    let histograms: Vec<IwHistogram> = (0..n)
+        .map(|i| subsample_histogram(results, fraction, mix(&[base_salt, u64::from(i)])))
+        .collect();
+    let mut iws: Vec<u32> = histograms
+        .iter()
+        .flat_map(|h| h.entries().map(|(iw, _)| iw))
+        .collect();
+    iws.sort_unstable();
+    iws.dedup();
+    iws.into_iter()
+        .map(|iw| {
+            let mut fractions: Vec<f64> = histograms.iter().map(|h| h.fraction(iw)).collect();
+            fractions.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            let mean = fractions.iter().sum::<f64>() / fractions.len() as f64;
+            let q_idx = (((fractions.len() as f64) * 0.99).ceil() as usize)
+                .clamp(1, fractions.len())
+                - 1;
+            BarStats {
+                iw,
+                mean,
+                q99: fractions[q_idx],
+                min: fractions[0],
+                max: *fractions.last().expect("non-empty"),
+            }
+        })
+        .collect()
+}
+
+/// Maximum L1 distance between the full distribution and each of `n`
+/// subsamples — the headline stability number.
+pub fn stability(results: &[HostResult], fraction: f64, n: u32, base_salt: u64) -> f64 {
+    let full = IwHistogram::from_results(results);
+    (0..n)
+        .map(|i| {
+            let h = subsample_histogram(results, fraction, mix(&[base_salt, u64::from(i)]));
+            full.l1_distance(&h)
+        })
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iw_core::{HostVerdict, MssVerdict, Protocol};
+
+    fn result(ip: u32, iw: u32) -> HostResult {
+        HostResult {
+            ip,
+            protocol: Protocol::Http,
+            runs: vec![],
+            verdicts: vec![(64, MssVerdict::Success(iw))],
+            host_verdict: HostVerdict::SegmentBased(iw),
+        }
+    }
+
+    fn world(n: u32) -> Vec<HostResult> {
+        // 50% IW10, 25% IW2, 15% IW4, 10% IW1 — deterministic layout.
+        (0..n)
+            .map(|i| {
+                let iw = match i % 20 {
+                    0..=9 => 10,
+                    10..=14 => 2,
+                    15..=17 => 4,
+                    _ => 1,
+                };
+                result(i, iw)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn subsample_fraction_is_respected() {
+        let results = world(20_000);
+        let sub = subsample(&results, 0.1, 7);
+        let frac = sub.len() as f64 / results.len() as f64;
+        assert!((0.09..0.11).contains(&frac), "{frac}");
+    }
+
+    #[test]
+    fn subsample_deterministic_per_salt() {
+        let results = world(1000);
+        let a = subsample(&results, 0.5, 1).len();
+        let b = subsample(&results, 0.5, 1).len();
+        assert_eq!(a, b);
+        let ips_a: Vec<u32> = subsample(&results, 0.5, 1).iter().map(|r| r.ip).collect();
+        let ips_b: Vec<u32> = subsample(&results, 0.5, 2).iter().map(|r| r.ip).collect();
+        assert_ne!(ips_a, ips_b);
+    }
+
+    #[test]
+    fn small_samples_match_full_distribution() {
+        // 1% of 50k ≈ 500 hosts per sample: expected L1 noise across four
+        // bars is ~4·sqrt(p(1-p)/500) ≈ 0.07; allow 2× headroom. (The
+        // paper's 1% of 24M hosts is far tighter.)
+        let results = world(50_000);
+        let dist = stability(&results, 0.01, 10, 42);
+        assert!(dist < 0.14, "1% samples should be stable, L1 max {dist}");
+        // Larger samples must be tighter than small ones on average.
+        let dist30 = stability(&results, 0.3, 10, 42);
+        assert!(dist30 < dist, "30% ({dist30}) vs 1% ({dist})");
+    }
+
+    #[test]
+    fn bar_stats_bracket_truth() {
+        let results = world(50_000);
+        let stats = repeated_sample_stats(&results, 0.01, 30, 9);
+        let iw10 = stats.iter().find(|b| b.iw == 10).expect("IW10 bar");
+        assert!((iw10.mean - 0.5).abs() < 0.03, "mean {}", iw10.mean);
+        assert!(iw10.min <= iw10.mean && iw10.mean <= iw10.max);
+        assert!(iw10.q99 >= iw10.mean * 0.9);
+        let iw1 = stats.iter().find(|b| b.iw == 1).expect("IW1 bar");
+        assert!((iw1.mean - 0.1).abs() < 0.02, "mean {}", iw1.mean);
+    }
+}

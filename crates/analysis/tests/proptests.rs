@@ -1,0 +1,151 @@
+//! Property tests on the analysis layer: statistics stay consistent
+//! under permutation, merging and subsetting.
+
+use iw_analysis::ccdf::Ccdf;
+use iw_analysis::dbscan::{dbscan, summarize, AsPoint};
+use iw_analysis::histogram::IwHistogram;
+use iw_analysis::sampling::subsample;
+use iw_analysis::tables::Table2;
+use iw_core::{HostResult, HostVerdict, MssVerdict, Protocol};
+use proptest::prelude::*;
+
+fn result(ip: u32, verdict: MssVerdict) -> HostResult {
+    HostResult {
+        ip,
+        protocol: Protocol::Http,
+        runs: vec![],
+        verdicts: vec![(64, verdict)],
+        host_verdict: HostVerdict::Unclassified,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// CCDF is monotone non-increasing and bounded in [0, 1].
+    #[test]
+    fn ccdf_monotone(samples in proptest::collection::vec(0u32..100_000, 1..500)) {
+        let ccdf = Ccdf::new(samples);
+        let mut prev = 1.0f64;
+        for x in (0..100_000).step_by(997) {
+            let p = ccdf.at(x);
+            prop_assert!((0.0..=1.0).contains(&p));
+            prop_assert!(p <= prev + 1e-12, "CCDF increased at {x}");
+            prev = p;
+        }
+        prop_assert!((ccdf.at(0) - 1.0).abs() < 1e-12, "P(X >= 0) = 1");
+    }
+
+    /// Quantiles are ordered and bracket the extremes.
+    #[test]
+    fn ccdf_quantiles_ordered(samples in proptest::collection::vec(0u32..10_000, 1..300)) {
+        let ccdf = Ccdf::new(samples);
+        let q25 = ccdf.quantile(0.25);
+        let q50 = ccdf.quantile(0.5);
+        let q99 = ccdf.quantile(0.99);
+        prop_assert!(ccdf.min() <= q25 && q25 <= q50 && q50 <= q99 && q99 <= ccdf.max());
+    }
+
+    /// Histogram fractions sum to 1 and the L1 metric is a semimetric.
+    #[test]
+    fn histogram_l1_semimetric(
+        a in proptest::collection::vec(1u32..30, 1..200),
+        b in proptest::collection::vec(1u32..30, 1..200),
+        c in proptest::collection::vec(1u32..30, 1..200),
+    ) {
+        let ha = IwHistogram::from_estimates(a);
+        let hb = IwHistogram::from_estimates(b);
+        let hc = IwHistogram::from_estimates(c);
+        let total: f64 = ha.entries().map(|(iw, _)| ha.fraction(iw)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        prop_assert!(ha.l1_distance(&ha) < 1e-12);
+        prop_assert!((ha.l1_distance(&hb) - hb.l1_distance(&ha)).abs() < 1e-12);
+        prop_assert!(ha.l1_distance(&hb) <= 2.0 + 1e-12);
+        // Triangle inequality for the L1 distance on distributions.
+        prop_assert!(
+            ha.l1_distance(&hc) <= ha.l1_distance(&hb) + hb.l1_distance(&hc) + 1e-9
+        );
+    }
+
+    /// Table 2 percentages are non-negative and sum to ≤ 100 (+ NoData
+    /// + above-10 completes the partition).
+    #[test]
+    fn table2_partitions(bounds in proptest::collection::vec(0u32..40, 0..300)) {
+        let results: Vec<HostResult> = bounds
+            .iter()
+            .enumerate()
+            .map(|(i, lb)| result(i as u32, MssVerdict::FewData(*lb)))
+            .collect();
+        let t = Table2::new(&results);
+        let sum: f64 = t.no_data + t.iw.iter().sum::<f64>() + t.above_10;
+        if !bounds.is_empty() {
+            prop_assert!((sum - 100.0).abs() < 1e-6, "partition sums to {sum}");
+        }
+        prop_assert!(t.no_data >= 0.0 && t.above_10 >= 0.0);
+        prop_assert_eq!(t.total, bounds.len() as u64);
+    }
+
+    /// Subsampling is a strict subset and respects the fraction ±5σ.
+    #[test]
+    fn subsample_subset_and_fraction(
+        n in 100u32..3000,
+        fraction in 0.05f64..0.95,
+        salt in any::<u64>(),
+    ) {
+        let results: Vec<HostResult> = (0..n)
+            .map(|i| result(i, MssVerdict::Success(10)))
+            .collect();
+        let sub = subsample(&results, fraction, salt);
+        prop_assert!(sub.len() <= results.len());
+        let expected = f64::from(n) * fraction;
+        let sigma = (f64::from(n) * fraction * (1.0 - fraction)).sqrt();
+        prop_assert!(
+            (sub.len() as f64 - expected).abs() < 5.0 * sigma + 1.0,
+            "sample {} vs expected {expected}",
+            sub.len()
+        );
+        // Subset property: every sampled ip exists in the base.
+        for r in &sub {
+            prop_assert!(r.ip < n);
+        }
+    }
+
+    /// DBSCAN labels are within range and every cluster meets min_pts
+    /// when counted with its border points' cores; noise stays noise.
+    #[test]
+    fn dbscan_label_sanity(
+        features in proptest::collection::vec((0.0f64..1.0, 0.0f64..1.0), 5..60),
+        eps in 0.05f64..0.5,
+        min_pts in 2usize..6,
+    ) {
+        let points: Vec<AsPoint> = features
+            .iter()
+            .enumerate()
+            .map(|(i, (a, b))| {
+                let rest = (1.0 - a - b).max(0.0);
+                AsPoint {
+                    asn: i as u32,
+                    hosts: 10,
+                    features: [*a, *b, rest, 0.0, 0.0],
+                }
+            })
+            .collect();
+        let labels = dbscan(&points, eps, min_pts);
+        prop_assert_eq!(labels.len(), points.len());
+        let summaries = summarize(&points, &labels);
+        for s in &summaries {
+            prop_assert!(!s.members.is_empty());
+            // Host-weighted centroid fractions stay in [0, 1].
+            for c in s.centroid {
+                prop_assert!((0.0..=1.0 + 1e-9).contains(&c));
+            }
+        }
+        // Cluster ids are dense 0..k.
+        let max_label = labels.iter().flatten().max().copied();
+        if let Some(max) = max_label {
+            for id in 0..=max {
+                prop_assert!(labels.contains(&Some(id)), "gap at {id}");
+            }
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! Ablation benches for the design choices DESIGN.md stars:
+//! the tiny advertised MSS, the 3-probe vote, and the exhaustion
+//! verification. Criterion measures the runtime cost of each variant;
+//! the *quality* impact of the same variants is reported by
+//! `exp_ablations` (they share configurations).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use iw_core::{run_scan, Protocol, ScanConfig};
+use iw_internet::{Population, PopulationConfig};
+use std::sync::Arc;
+
+fn world(loss: f64) -> Arc<Population> {
+    Arc::new(Population::new(PopulationConfig {
+        seed: 55,
+        space_size: 1 << 14,
+        target_responsive: 350,
+        loss_scale: loss,
+    }))
+}
+
+fn bench_ablation_mss(c: &mut Criterion) {
+    let pop = world(0.0);
+    let mut group = c.benchmark_group("ablation_mss");
+    group.sample_size(10);
+    for mss in [64u16, 128, 256, 536, 1336] {
+        group.bench_with_input(BenchmarkId::from_parameter(mss), &mss, |b, mss| {
+            b.iter(|| {
+                let mut config = ScanConfig::study(Protocol::Http, pop.space_size(), 55);
+                config.mss_list = vec![*mss];
+                config.rate_pps = 4_000_000;
+                black_box(run_scan(&pop, config).summary)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_ablation_probes(c: &mut Criterion) {
+    let pop = world(1.0);
+    let mut group = c.benchmark_group("ablation_probes");
+    group.sample_size(10);
+    for probes in [1u32, 3, 5] {
+        group.bench_with_input(BenchmarkId::from_parameter(probes), &probes, |b, probes| {
+            b.iter(|| {
+                let mut config = ScanConfig::study(Protocol::Http, pop.space_size(), 55);
+                config.probes_per_mss = *probes;
+                config.mss_list = vec![64];
+                config.rate_pps = 4_000_000;
+                black_box(run_scan(&pop, config).summary)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_ablation_verify(c: &mut Criterion) {
+    let pop = world(0.0);
+    let mut group = c.benchmark_group("ablation_verify");
+    group.sample_size(10);
+    for verify in [true, false] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(verify),
+            &verify,
+            |b, verify| {
+                b.iter(|| {
+                    let mut config = ScanConfig::study(Protocol::Tls, pop.space_size(), 55);
+                    config.verify_exhaustion = *verify;
+                    config.rate_pps = 4_000_000;
+                    black_box(run_scan(&pop, config).summary)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_ablation_mss,
+    bench_ablation_probes,
+    bench_ablation_verify
+);
+criterion_main!(benches);

@@ -1,0 +1,157 @@
+//! Micro-benchmarks of the scanner's hot paths: address permutation,
+//! wire emit/parse, cookie validation and the inference state machine.
+//! These bound the real-world packet rate the ZMap module could sustain.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use iw_core::cookie::CookieKey;
+use iw_core::inference::{ConnConfig, InferenceConn};
+use iw_core::permutation::Permutation;
+use iw_netsim::Instant;
+use iw_wire::ipv4::Ipv4Addr;
+use iw_wire::tcp::{self, Flags, TcpOption};
+
+fn bench_permutation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("permutation");
+    group.throughput(Throughput::Elements(100_000));
+    group.bench_function("iterate_100k_targets", |b| {
+        let perm = Permutation::new(1 << 32, 7);
+        b.iter(|| {
+            let mut iter = perm.iter();
+            let mut acc = 0u64;
+            for _ in 0..100_000 {
+                acc ^= iter.next().unwrap();
+            }
+            black_box(acc)
+        });
+    });
+    group.bench_function("construct_full_ipv4", |b| {
+        b.iter(|| black_box(Permutation::new(1 << 32, black_box(9))));
+    });
+    group.finish();
+}
+
+fn bench_wire(c: &mut Criterion) {
+    let src = Ipv4Addr::new(198, 18, 0, 1);
+    let dst = Ipv4Addr::new(10, 1, 2, 3);
+    let syn = tcp::Repr {
+        src_port: 40000,
+        dst_port: 80,
+        seq: 12345,
+        ack: 0,
+        flags: Flags::SYN,
+        window: 65535,
+        options: vec![TcpOption::Mss(64)],
+        payload: Vec::new(),
+    };
+    let mut group = c.benchmark_group("wire");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("emit_syn_segment", |b| {
+        b.iter(|| black_box(syn.emit(src, dst)));
+    });
+    let data_seg = tcp::Repr {
+        flags: Flags::ACK | Flags::PSH,
+        payload: vec![0xaa; 64],
+        options: vec![],
+        ..syn.clone()
+    };
+    let bytes = data_seg.emit(src, dst);
+    group.bench_function("parse_data_segment", |b| {
+        b.iter(|| {
+            let packet = tcp::Packet::new_checked(&bytes[..]).unwrap();
+            black_box(tcp::Repr::parse(&packet, src, dst).unwrap())
+        });
+    });
+    group.finish();
+}
+
+fn bench_cookie(c: &mut Criterion) {
+    let key = CookieKey::new(42);
+    let mut group = c.benchmark_group("cookie");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("isn_derivation", |b| {
+        let mut ip = 0u32;
+        b.iter(|| {
+            ip = ip.wrapping_add(1);
+            black_box(key.isn(ip, 40000, 80))
+        });
+    });
+    group.finish();
+}
+
+fn bench_inference(c: &mut Criterion) {
+    let src = Ipv4Addr::new(198, 18, 0, 1);
+    let dst = Ipv4Addr::new(10, 1, 2, 3);
+    let mut group = c.benchmark_group("inference");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("full_iw10_connection", |b| {
+        b.iter(|| {
+            let cfg = ConnConfig::new(
+                dst,
+                src,
+                40000,
+                80,
+                64,
+                1000,
+                b"GET / HTTP/1.1\r\n\r\n".to_vec(),
+            );
+            let (mut conn, _) = InferenceConn::new(cfg, Instant::ZERO);
+            let synack = tcp::Repr {
+                src_port: 80,
+                dst_port: 40000,
+                seq: 5000,
+                ack: 1001,
+                flags: Flags::SYN | Flags::ACK,
+                window: 65535,
+                options: vec![TcpOption::Mss(64)],
+                payload: vec![],
+            };
+            conn.on_segment(&synack, Instant::ZERO);
+            for i in 0..10u32 {
+                let seg = tcp::Repr {
+                    src_port: 80,
+                    dst_port: 40000,
+                    seq: 5001 + i * 64,
+                    ack: 1019,
+                    flags: Flags::ACK,
+                    window: 65535,
+                    options: vec![],
+                    payload: vec![0xaa; 64],
+                };
+                conn.on_segment(&seg, Instant::ZERO);
+            }
+            // Retransmission + released data.
+            let rtx = tcp::Repr {
+                src_port: 80,
+                dst_port: 40000,
+                seq: 5001,
+                ack: 1019,
+                flags: Flags::ACK,
+                window: 65535,
+                options: vec![],
+                payload: vec![0xaa; 64],
+            };
+            conn.on_segment(&rtx, Instant::ZERO);
+            let new = tcp::Repr {
+                src_port: 80,
+                dst_port: 40000,
+                seq: 5001 + 640,
+                ack: 1019,
+                flags: Flags::ACK,
+                window: 65535,
+                options: vec![],
+                payload: vec![0xaa; 64],
+            };
+            black_box(conn.on_segment(&new, Instant::ZERO).result)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_permutation,
+    bench_wire,
+    bench_cookie,
+    bench_inference
+);
+criterion_main!(benches);

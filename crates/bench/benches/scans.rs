@@ -1,0 +1,112 @@
+//! One bench per table/figure regenerator: how long each experiment's
+//! pipeline takes end-to-end on a tiny world. These are the "can I
+//! iterate on this quickly" numbers for downstream users.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use iw_analysis::ccdf::Ccdf;
+use iw_analysis::dbscan::{dbscan, summarize, AsPoint};
+use iw_analysis::histogram::IwHistogram;
+use iw_analysis::sampling::repeated_sample_stats;
+use iw_analysis::tables::{Table1, Table2, Table3};
+use iw_core::{run_scan, Protocol, ScanConfig, ScanOutput, TargetSpec};
+use iw_internet::{alexa, certs, Population, PopulationConfig};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+fn bench_world() -> Arc<Population> {
+    Arc::new(Population::new(PopulationConfig {
+        seed: 99,
+        space_size: 1 << 14,
+        target_responsive: 350,
+        loss_scale: 0.0,
+    }))
+}
+
+fn scan(pop: &Arc<Population>, protocol: Protocol) -> ScanOutput {
+    let mut config = ScanConfig::study(protocol, pop.space_size(), 99);
+    config.rate_pps = 4_000_000;
+    run_scan(pop, config)
+}
+
+fn bench_scans(c: &mut Criterion) {
+    let pop = bench_world();
+    let mut group = c.benchmark_group("scan");
+    group.sample_size(10);
+    group.bench_function("table1_http_full_scan", |b| {
+        b.iter(|| black_box(scan(&pop, Protocol::Http).summary));
+    });
+    group.bench_function("table1_tls_full_scan", |b| {
+        b.iter(|| black_box(scan(&pop, Protocol::Tls).summary));
+    });
+    group.bench_function("s34_port_scan_baseline", |b| {
+        b.iter(|| black_box(scan(&pop, Protocol::PortScan).open_ports.len()));
+    });
+    group.bench_function("fn1_icmp_mtu_scan", |b| {
+        b.iter(|| black_box(scan(&pop, Protocol::IcmpMtu).mtu_results.len()));
+    });
+    group.bench_function("fig4_alexa_scan", |b| {
+        let list = alexa::build(&pop, 100, 1);
+        let targets: Vec<(u32, Option<String>)> =
+            list.into_iter().map(|e| (e.ip, Some(e.domain))).collect();
+        b.iter(|| {
+            let mut config = ScanConfig::study(Protocol::Http, pop.space_size(), 99);
+            config.targets = TargetSpec::List(targets.clone());
+            config.rate_pps = 4_000_000;
+            black_box(run_scan(&pop, config).summary)
+        });
+    });
+    group.finish();
+}
+
+fn bench_analysis(c: &mut Criterion) {
+    let pop = bench_world();
+    let http = scan(&pop, Protocol::Http);
+    let tls = scan(&pop, Protocol::Tls);
+    let mut group = c.benchmark_group("analysis");
+
+    group.bench_function("table1_build", |b| {
+        b.iter(|| black_box(Table1::new(&[("HTTP", &http.summary), ("TLS", &tls.summary)]).render()))
+    });
+    group.bench_function("table2_build", |b| {
+        b.iter(|| black_box(Table2::new(&http.results)));
+    });
+    group.bench_function("table3_classify_and_build", |b| {
+        b.iter(|| black_box(Table3::new(&http.results, &pop)));
+    });
+    group.bench_function("fig2_ccdf_100k_chains", |b| {
+        let samples = certs::censys_sample(1, 100_000);
+        b.iter(|| {
+            let ccdf = Ccdf::new(samples.clone());
+            black_box((ccdf.at(640), ccdf.at(2176), ccdf.mean()))
+        });
+    });
+    group.bench_function("fig3_histogram_and_sampling", |b| {
+        b.iter(|| {
+            let h = IwHistogram::from_results(&http.results);
+            let stats = repeated_sample_stats(&http.results, 0.2, 10, 3);
+            black_box((h.total(), stats.len()))
+        });
+    });
+    group.bench_function("fig5_dbscan", |b| {
+        let mut per_as: HashMap<u32, HashMap<u32, u64>> = HashMap::new();
+        for r in &http.results {
+            if let (Some(iw), Some(meta)) = (r.iw_estimate(), pop.meta(r.ip)) {
+                *per_as.entry(meta.asn).or_default().entry(iw).or_insert(0) += 1;
+            }
+        }
+        let points: Vec<AsPoint> = per_as
+            .iter()
+            .map(|(asn, c)| {
+                AsPoint::from_counts(*asn, &c.iter().map(|(k, v)| (*k, *v)).collect::<Vec<_>>())
+            })
+            .collect();
+        b.iter(|| {
+            let labels = dbscan(&points, 0.12, 5);
+            black_box(summarize(&points, &labels).len())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_scans, bench_analysis);
+criterion_main!(benches);

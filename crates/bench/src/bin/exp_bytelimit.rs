@@ -1,0 +1,89 @@
+//! Experiment S42 — §4.2: hosts whose IW is a byte limit, detected by
+//! the dual-MSS scan. Paper: ≈1 % of hosts adjust their IW to the MSS;
+//! ≈50 % of those are the 4 kB group (Technicolor modems at Telmex,
+//! power-supply monitors: 64 segments at MSS 64 → 32 at MSS 128); a
+//! subgroup fills 1536 B (24 → 12); GoDaddy's IW48 fleet is static
+//! (48 at both MSS values) — segment-configured despite its odd size.
+
+use iw_bench::{banner, compare_line, full_scan, standard_population, Scale};
+use iw_core::{HostVerdict, Protocol};
+use iw_internet::registry::NetClass;
+use std::collections::HashMap;
+
+fn main() {
+    let scale = Scale::from_env();
+    banner(&format!("§4.2: byte-limited initial windows ({scale:?} scale)"));
+    let population = standard_population(scale);
+    let out = full_scan(&population, Protocol::Http);
+
+    let mut byte_based: HashMap<u32, u64> = HashMap::new(); // bytes -> count
+    let mut seg_based = 0u64;
+    let mut classified = 0u64;
+    let mut iw48_static = 0u64;
+    let mut byte_class_count: HashMap<&'static str, u64> = HashMap::new();
+    for r in &out.results {
+        match r.host_verdict {
+            HostVerdict::ByteBased(bytes) => {
+                *byte_based.entry(bytes).or_insert(0) += 1;
+                classified += 1;
+                if let Some(meta) = population.meta(r.ip) {
+                    let label = match meta.class {
+                        NetClass::AccessModems => "modem fleet (Telmex-like)",
+                        _ => "other networks",
+                    };
+                    *byte_class_count.entry(label).or_insert(0) += 1;
+                }
+            }
+            HostVerdict::SegmentBased(iw) => {
+                seg_based += 1;
+                classified += 1;
+                if iw == 48 {
+                    iw48_static += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+
+    let byte_total: u64 = byte_based.values().sum();
+    println!("hosts with estimates at both MSS values: {classified}");
+    println!("segment-configured: {seg_based}");
+    println!("byte-configured:    {byte_total}");
+    for (bytes, count) in {
+        let mut v: Vec<_> = byte_based.iter().collect();
+        v.sort();
+        v
+    } {
+        println!("  {bytes} B budget: {count} hosts ({} segs @64 / {} @128)", bytes / 64, bytes / 128);
+    }
+    println!("byte-configured by network:");
+    for (label, count) in &byte_class_count {
+        println!("  {label}: {count}");
+    }
+    println!("static IW48 hosts (GoDaddy-style, MSS-independent): {iw48_static}");
+
+    println!("\npaper vs measured:");
+    let frac = byte_total as f64 / classified.max(1) as f64 * 100.0;
+    compare_line("byte-configured share of hosts", 1.0, frac, "%");
+    let four_k = *byte_based.get(&4096).unwrap_or(&0) as f64;
+    compare_line(
+        "4 kB share of byte-configured",
+        50.0,
+        four_k / byte_total.max(1) as f64 * 100.0,
+        "%",
+    );
+
+    let has_4k = byte_based.get(&4096).copied().unwrap_or(0) > 0;
+    let has_1536 = byte_based.get(&1536).copied().unwrap_or(0) > 0;
+    let sane_share = (0.2..=4.0).contains(&frac);
+    let ok = has_4k && has_1536 && sane_share && iw48_static > 0;
+    println!(
+        "\n[{}] S42: 4kB group {}, 1536B group {}, share {:.1}%, IW48 fleet {}",
+        if ok { "PASS" } else { "FAIL" },
+        has_4k,
+        has_1536,
+        frac,
+        iw48_static
+    );
+    std::process::exit(i32::from(!ok));
+}

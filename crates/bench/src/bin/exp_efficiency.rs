@@ -1,0 +1,84 @@
+//! Experiment S34 — §3.4 efficiency: the stateful IW scan versus the
+//! unmodified single-packet port scan at 150 k packets/s.
+//!
+//! Paper: the HTTP IW scan needs 7.5 h for the IPv4 space versus 6.8 h
+//! for a bare port scan (ratio 1.10). Both scans are *send-bound*: wall
+//! time ≈ total transmitted packets / rate. The extra cost of stateful
+//! probing is the per-responsive-host conversation (≈12–40 packets),
+//! diluted by the Internet's low responsiveness (~1.3 % of probed
+//! addresses). We measure packets per host on the scaled space and
+//! extrapolate the send-bound ratio to the paper's density — the tail of
+//! in-flight conversations after the last SYN is constant (~minutes) and
+//! vanishes at Internet scale, so it is reported separately.
+
+use iw_bench::{banner, compare_line, full_scan, standard_population, Scale};
+use iw_core::Protocol;
+
+fn main() {
+    let scale = Scale::from_env();
+    banner(&format!("§3.4 efficiency: IW scan vs port scan ({scale:?} scale)"));
+    let population = standard_population(scale);
+    let rate = 150_000f64;
+
+    let port = full_scan(&population, Protocol::PortScan);
+    let iw = full_scan(&population, Protocol::Http);
+
+    let targets = port.summary.targets as f64;
+    let port_tx = port.sim_stats.scanner_tx as f64;
+    let iw_tx = iw.sim_stats.scanner_tx as f64;
+    let responsive = iw.summary.reachable.max(1) as f64;
+
+    println!(
+        "port scan : {targets:>9.0} targets, {port_tx:>9.0} packets tx ({:.3}/target)",
+        port_tx / targets
+    );
+    println!(
+        "IW scan   : {targets:>9.0} targets, {iw_tx:>9.0} packets tx ({:.3}/target), {responsive:.0} responsive",
+        iw_tx / targets
+    );
+    let extra_per_host = (iw_tx - port_tx) / responsive;
+    println!("extra scanner packets per responsive host: {extra_per_host:.1}");
+
+    // Send-bound durations at our scale and density.
+    let port_secs = port_tx / rate;
+    let iw_secs = iw_tx / rate;
+    let measured_ratio = iw_secs / port_secs;
+    println!(
+        "\nsend-bound duration at 150 kpps: port {port_secs:.2}s, IW {iw_secs:.2}s \
+         (ratio {measured_ratio:.2} at our {:.1}% responsive density)",
+        responsive / targets * 100.0
+    );
+    println!(
+        "post-send drain tail (constant, vanishes at Internet scale): {}",
+        iw.duration
+    );
+
+    // Extrapolate to the paper's space and density: 3.7e9 probed
+    // addresses, 48.3 M responsive (1.31 %).
+    let paper_density = 48.3e6 / 3.7e9;
+    let full_ratio = 1.0 + paper_density * extra_per_host;
+    let paper_ratio = 7.5 / 6.8;
+    println!("\npaper vs measured:");
+    compare_line(
+        "IW/port duration ratio (at paper density)",
+        paper_ratio,
+        full_ratio,
+        "x",
+    );
+    let port_hours = 3.7e9 / rate / 3600.0;
+    compare_line("port scan duration, full IPv4", 6.8, port_hours, "h");
+    compare_line(
+        "IW scan duration, full IPv4",
+        7.5,
+        port_hours * full_ratio,
+        "h",
+    );
+
+    let ok = (1.02..=1.40).contains(&full_ratio);
+    println!(
+        "\n[{}] S34: full TCP conversations cost only a modest slowdown \
+         (extrapolated ratio {full_ratio:.2}, paper {paper_ratio:.2})",
+        if ok { "PASS" } else { "FAIL" }
+    );
+    std::process::exit(i32::from(!ok));
+}

@@ -1,0 +1,26 @@
+//! Experiment F1 — Figure 1: the scan procedure, as a live packet trace.
+//!
+//! Runs one probe against a testbed host with trace recording and prints
+//! the message sequence: SYN [MSS=64] → SYN-ACK → ACK+request → the IW
+//! flight → retransmission → verification ACK (win = 2·MSS) → released
+//! segments → RST.
+
+use iw_core::testbed::{probe_host, TestbedSpec};
+use iw_core::Protocol;
+use iw_hoststack::HostConfig;
+
+fn main() {
+    iw_bench::banner("Figure 1: scan procedure (annotated packet trace)");
+    let mut spec = TestbedSpec::new(HostConfig::simple_web(50_000), Protocol::Http);
+    spec.record_trace = true;
+    let (result, trace) = probe_host(&spec);
+
+    println!("{}", trace.render_tcp());
+    let result = result.expect("testbed host must answer");
+    println!("estimate per probe (3 × MSS 64, then 3 × MSS 128):");
+    for (mss, outcomes) in &result.runs {
+        println!("  MSS {mss}: {outcomes:?}");
+    }
+    println!("\nhost verdict: {:?}", result.host_verdict);
+    println!("(configured ground truth: IW 10 segments, Linux, 50 kB page)");
+}

@@ -1,0 +1,40 @@
+//! Experiment F2 — Figure 2: CCDF of certificate-chain lengths with the
+//! IW·MSS coverage thresholds, against the paper's censys statistics
+//! (mean 2186 B, min 36 B, max 65 kB; ≥640 B for >86 %, ≥2176 B for
+//! ≈50 %), plus the measured path-MTU support for the typical-MSS lines
+//! (footnote 1: 99 % support MSS 1336, 80 % support MSS 1436).
+
+use iw_analysis::figures::Fig2;
+use iw_bench::{banner, compare_line, Scale, SEED};
+use iw_internet::certs;
+
+fn main() {
+    let scale = Scale::from_env();
+    banner("Figure 2: certificate chain length CCDF");
+    let n = match scale {
+        Scale::Small => 100_000,
+        Scale::Medium => 500_000,
+        Scale::Large => 2_000_000,
+    };
+    let samples = certs::censys_sample(SEED, n);
+    let fig = Fig2::new(samples);
+    print!("{}", fig.render());
+
+    println!("\npaper vs measured:");
+    compare_line("mean chain length", 2186.0, fig.ccdf.mean(), "B");
+    compare_line("P(chain >= 640 B) [MSS 64, IW 10]", 86.0, fig.ccdf.at(640) * 100.0, "%");
+    compare_line(
+        "P(chain >= 2176 B) [MSS 64, IW 34]",
+        50.0,
+        fig.ccdf.at(2176) * 100.0,
+        "%",
+    );
+    compare_line("min chain", 36.0, f64::from(fig.ccdf.min()), "B");
+    compare_line("max chain (paper: 65 kB)", 65_000.0, f64::from(fig.ccdf.max()), "B");
+
+    let ok = (fig.ccdf.mean() - 2186.0).abs() < 250.0
+        && (fig.ccdf.at(640) - 0.86).abs() < 0.03
+        && (fig.ccdf.at(2176) - 0.50).abs() < 0.03;
+    println!("\n[{}] F2 statistics within calibration bands", if ok { "PASS" } else { "FAIL" });
+    std::process::exit(i32::from(!ok));
+}

@@ -1,0 +1,42 @@
+//! Experiment T2 — Table 2: lower-bound IWs of hosts that ran out of
+//! data, per protocol, against the paper's rows (HTTP peak: 45 % at
+//! IW7 — the default-error-page bucket; TLS peak: 56.3 % at IW1 —
+//! alert-sized answers; TLS NoData 17.8 %).
+
+use iw_analysis::compare::{
+    check_table2, render_checks, PAPER_TABLE2_HTTP, PAPER_TABLE2_TLS,
+};
+use iw_analysis::tables::Table2;
+use iw_bench::{banner, full_scan, standard_population, Scale};
+use iw_core::Protocol;
+
+fn main() {
+    let scale = Scale::from_env();
+    banner(&format!("Table 2: few-data lower bounds ({scale:?} scale)"));
+    let population = standard_population(scale);
+
+    let http = full_scan(&population, Protocol::Http);
+    let tls = full_scan(&population, Protocol::Tls);
+    let t_http = Table2::new(&http.results);
+    let t_tls = Table2::new(&tls.results);
+
+    println!("measured:");
+    print!("{}", t_http.render("HTTP"));
+    print!("{}", t_tls.render("TLS"));
+
+    println!("\npaper:");
+    let row = |label: &str, vals: &[f64; 11]| {
+        print!("{label:<5} {:>5.1}% ", vals[0]);
+        for v in &vals[1..] {
+            print!("{v:>4.1}% ");
+        }
+        println!();
+    };
+    row("HTTP", &PAPER_TABLE2_HTTP);
+    row("TLS", &PAPER_TABLE2_TLS);
+
+    println!("\nshape checks:");
+    let checks = check_table2(&t_http, &t_tls);
+    print!("{}", render_checks(&checks));
+    std::process::exit(i32::from(checks.iter().any(|c| !c.pass)));
+}

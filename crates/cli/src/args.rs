@@ -1,0 +1,386 @@
+//! Argument parsing (hand-rolled: the tool has four subcommands and a
+//! dozen flags — a parser generator would be the heaviest dependency in
+//! the workspace).
+
+use core::fmt;
+
+/// Usage text.
+pub const USAGE: &str = "\
+iwscan — TCP initial-window measurement (IMC'17 reproduction)
+
+USAGE:
+    iwscan <COMMAND> [FLAGS]
+
+COMMANDS:
+    scan        Scan a synthetic Internet (full space or a sample)
+    probe       Measure one testbed host with a known configuration
+    alexa       Scan the synthetic popularity list (known domains)
+    mtu         RFC 1191 ICMP path-MTU discovery scan
+    help        Show this message
+
+SCAN FLAGS:
+    --protocol <http|tls|portscan>   protocol module   [default: http]
+    --scale <small|medium|large>     world size        [default: small]
+    --seed <u64>                     scan + world seed [default: 319033367]
+    --sample <0.0..=1.0>             fraction of the space to probe [default: 1]
+    --threads <n>                    scan shards       [default: all cores]
+    --loss <factor>                  link-loss scale   [default: 0]
+    --json <path>                    write per-host results as JSON
+    --quiet                          suppress the histogram
+
+PROBE FLAGS:
+    --iw <n>                         segments          [default: 10]
+    --policy <segments|bytes|mtufill|rfc6928>          [default: segments]
+    --os <linux|windows|embedded|bsd>                  [default: linux]
+    --protocol <http|tls>                              [default: http]
+    --body <bytes>                   response size     [default: 50000]
+    --loss <0.0..1.0>                random loss       [default: 0]
+    --pcap <path>                    save the packet trace as pcap
+    --seed <u64>                                       [default: 7]
+
+ALEXA FLAGS:
+    --n <count>                      list length       [default: 400]
+    --protocol <http|tls>                              [default: http]
+    --scale, --seed                  as for scan
+";
+
+/// Parse failure.
+#[derive(Debug, PartialEq, Eq)]
+pub enum ParseError {
+    /// `help`/`--help` was requested (not an error).
+    HelpRequested,
+    /// Unknown subcommand.
+    UnknownCommand(String),
+    /// Unknown flag for the subcommand.
+    UnknownFlag(String),
+    /// A flag was given without its value.
+    MissingValue(String),
+    /// A value failed to parse.
+    BadValue(String, String),
+    /// No subcommand given.
+    NoCommand,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::HelpRequested => write!(f, "help requested"),
+            ParseError::UnknownCommand(c) => write!(f, "unknown command '{c}'"),
+            ParseError::UnknownFlag(flag) => write!(f, "unknown flag '{flag}'"),
+            ParseError::MissingValue(flag) => write!(f, "flag '{flag}' needs a value"),
+            ParseError::BadValue(flag, v) => write!(f, "bad value '{v}' for '{flag}'"),
+            ParseError::NoCommand => write!(f, "no command given"),
+        }
+    }
+}
+
+/// Scan-style options shared by `scan`, `alexa` and `mtu`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScanArgs {
+    /// Protocol name (validated by the command layer).
+    pub protocol: String,
+    /// World scale name.
+    pub scale: String,
+    /// Seed.
+    pub seed: u64,
+    /// Sampling fraction.
+    pub sample: f64,
+    /// Shard threads (0 = auto).
+    pub threads: u32,
+    /// Link-loss scale.
+    pub loss: f64,
+    /// Optional JSON output path.
+    pub json: Option<String>,
+    /// Suppress histogram output.
+    pub quiet: bool,
+    /// Alexa list length.
+    pub n: usize,
+}
+
+impl Default for ScanArgs {
+    fn default() -> Self {
+        ScanArgs {
+            protocol: "http".into(),
+            scale: "small".into(),
+            seed: 0x1307_2017,
+            sample: 1.0,
+            threads: 0,
+            loss: 0.0,
+            json: None,
+            quiet: false,
+            n: 400,
+        }
+    }
+}
+
+/// Probe-style options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProbeArgs {
+    /// IW magnitude (segments or bytes, per `policy`).
+    pub iw: u32,
+    /// Policy name.
+    pub policy: String,
+    /// OS personality name.
+    pub os: String,
+    /// Protocol name.
+    pub protocol: String,
+    /// Response body size.
+    pub body: u32,
+    /// Random loss probability.
+    pub loss: f64,
+    /// Optional pcap output path.
+    pub pcap: Option<String>,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for ProbeArgs {
+    fn default() -> Self {
+        ProbeArgs {
+            iw: 10,
+            policy: "segments".into(),
+            os: "linux".into(),
+            protocol: "http".into(),
+            body: 50_000,
+            loss: 0.0,
+            pcap: None,
+            seed: 7,
+        }
+    }
+}
+
+/// A parsed invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Full-space / sampled scan.
+    Scan(ScanArgs),
+    /// Single-host testbed probe.
+    Probe(ProbeArgs),
+    /// Alexa-list scan.
+    Alexa(ScanArgs),
+    /// ICMP path-MTU scan.
+    Mtu(ScanArgs),
+}
+
+/// Top-level parsed CLI.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cli {
+    /// The command to run.
+    pub command: Command,
+}
+
+fn parse_num<T: std::str::FromStr>(flag: &str, v: &str) -> Result<T, ParseError> {
+    v.parse()
+        .map_err(|_| ParseError::BadValue(flag.to_string(), v.to_string()))
+}
+
+impl Cli {
+    /// Parse an argv slice (without the program name).
+    pub fn parse(argv: &[String]) -> Result<Cli, ParseError> {
+        let mut iter = argv.iter();
+        let command = iter.next().ok_or(ParseError::NoCommand)?;
+        if command == "help" || command == "--help" || command == "-h" {
+            return Err(ParseError::HelpRequested);
+        }
+        let rest: Vec<&String> = iter.collect();
+        let mut flags = std::collections::HashMap::new();
+        let mut bare = std::collections::HashSet::new();
+        let mut i = 0;
+        while i < rest.len() {
+            let flag = rest[i].as_str();
+            if !flag.starts_with("--") {
+                return Err(ParseError::UnknownFlag(flag.to_string()));
+            }
+            if flag == "--quiet" {
+                bare.insert(flag.to_string());
+                i += 1;
+                continue;
+            }
+            let value = rest
+                .get(i + 1)
+                .ok_or_else(|| ParseError::MissingValue(flag.to_string()))?;
+            flags.insert(flag.to_string(), value.to_string());
+            i += 2;
+        }
+
+        let get = |name: &str| flags.get(name).cloned();
+        let command = match command.as_str() {
+            "scan" | "alexa" | "mtu" => {
+                let mut args = ScanArgs::default();
+                for key in flags.keys() {
+                    if ![
+                        "--protocol", "--scale", "--seed", "--sample", "--threads", "--loss",
+                        "--json", "--n",
+                    ]
+                    .contains(&key.as_str())
+                    {
+                        return Err(ParseError::UnknownFlag(key.clone()));
+                    }
+                }
+                if let Some(v) = get("--protocol") {
+                    args.protocol = v;
+                }
+                if let Some(v) = get("--scale") {
+                    args.scale = v;
+                }
+                if let Some(v) = get("--seed") {
+                    args.seed = parse_num("--seed", &v)?;
+                }
+                if let Some(v) = get("--sample") {
+                    args.sample = parse_num("--sample", &v)?;
+                }
+                if let Some(v) = get("--threads") {
+                    args.threads = parse_num("--threads", &v)?;
+                }
+                if let Some(v) = get("--loss") {
+                    args.loss = parse_num("--loss", &v)?;
+                }
+                if let Some(v) = get("--n") {
+                    args.n = parse_num("--n", &v)?;
+                }
+                args.json = get("--json");
+                args.quiet = bare.contains("--quiet");
+                match command.as_str() {
+                    "scan" => Command::Scan(args),
+                    "alexa" => Command::Alexa(args),
+                    _ => Command::Mtu(args),
+                }
+            }
+            "probe" => {
+                let mut args = ProbeArgs::default();
+                for key in flags.keys() {
+                    if ![
+                        "--iw", "--policy", "--os", "--protocol", "--body", "--loss", "--pcap",
+                        "--seed",
+                    ]
+                    .contains(&key.as_str())
+                    {
+                        return Err(ParseError::UnknownFlag(key.clone()));
+                    }
+                }
+                if let Some(v) = get("--iw") {
+                    args.iw = parse_num("--iw", &v)?;
+                }
+                if let Some(v) = get("--policy") {
+                    args.policy = v;
+                }
+                if let Some(v) = get("--os") {
+                    args.os = v;
+                }
+                if let Some(v) = get("--protocol") {
+                    args.protocol = v;
+                }
+                if let Some(v) = get("--body") {
+                    args.body = parse_num("--body", &v)?;
+                }
+                if let Some(v) = get("--loss") {
+                    args.loss = parse_num("--loss", &v)?;
+                }
+                if let Some(v) = get("--seed") {
+                    args.seed = parse_num("--seed", &v)?;
+                }
+                args.pcap = get("--pcap");
+                Command::Probe(args)
+            }
+            other => return Err(ParseError::UnknownCommand(other.to_string())),
+        };
+        Ok(Cli { command })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn scan_defaults() {
+        let cli = Cli::parse(&argv("scan")).unwrap();
+        match cli.command {
+            Command::Scan(a) => {
+                assert_eq!(a.protocol, "http");
+                assert_eq!(a.sample, 1.0);
+                assert!(!a.quiet);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn scan_flags() {
+        let cli = Cli::parse(&argv(
+            "scan --protocol tls --scale medium --sample 0.01 --seed 42 --json out.json --quiet",
+        ))
+        .unwrap();
+        match cli.command {
+            Command::Scan(a) => {
+                assert_eq!(a.protocol, "tls");
+                assert_eq!(a.scale, "medium");
+                assert_eq!(a.sample, 0.01);
+                assert_eq!(a.seed, 42);
+                assert_eq!(a.json.as_deref(), Some("out.json"));
+                assert!(a.quiet);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn probe_flags() {
+        let cli = Cli::parse(&argv(
+            "probe --iw 4096 --policy bytes --os windows --body 9000 --pcap t.pcap",
+        ))
+        .unwrap();
+        match cli.command {
+            Command::Probe(a) => {
+                assert_eq!(a.iw, 4096);
+                assert_eq!(a.policy, "bytes");
+                assert_eq!(a.os, "windows");
+                assert_eq!(a.body, 9000);
+                assert_eq!(a.pcap.as_deref(), Some("t.pcap"));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn errors() {
+        assert_eq!(Cli::parse(&[]).unwrap_err(), ParseError::NoCommand);
+        assert_eq!(
+            Cli::parse(&argv("frobnicate")).unwrap_err(),
+            ParseError::UnknownCommand("frobnicate".into())
+        );
+        assert_eq!(
+            Cli::parse(&argv("scan --bogus 1")).unwrap_err(),
+            ParseError::UnknownFlag("--bogus".into())
+        );
+        assert_eq!(
+            Cli::parse(&argv("scan --seed")).unwrap_err(),
+            ParseError::MissingValue("--seed".into())
+        );
+        assert_eq!(
+            Cli::parse(&argv("scan --seed abc")).unwrap_err(),
+            ParseError::BadValue("--seed".into(), "abc".into())
+        );
+        assert_eq!(
+            Cli::parse(&argv("probe --n 7")).unwrap_err(),
+            ParseError::UnknownFlag("--n".into())
+        );
+        assert_eq!(Cli::parse(&argv("help")).unwrap_err(), ParseError::HelpRequested);
+    }
+
+    #[test]
+    fn alexa_and_mtu() {
+        assert!(matches!(
+            Cli::parse(&argv("alexa --n 100")).unwrap().command,
+            Command::Alexa(a) if a.n == 100
+        ));
+        assert!(matches!(
+            Cli::parse(&argv("mtu --scale small")).unwrap().command,
+            Command::Mtu(_)
+        ));
+    }
+}

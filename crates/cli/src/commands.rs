@@ -1,0 +1,262 @@
+//! Command implementations: the thin glue from parsed args to the
+//! library crates.
+
+use crate::args::{Cli, Command, ProbeArgs, ScanArgs};
+use iw_analysis::figures::render_iw_bars;
+use iw_analysis::histogram::IwHistogram;
+use iw_analysis::tables::Table1;
+use iw_core::testbed::{probe_host, TestbedSpec};
+use iw_core::{run_scan_sharded, Protocol, ScanConfig, TargetSpec};
+use iw_hoststack::{HostConfig, HttpBehavior, HttpConfig, IwPolicy, OsProfile};
+use iw_internet::{alexa, Population, PopulationConfig};
+use iw_netsim::LinkConfig;
+use std::fmt;
+use std::sync::Arc;
+
+/// Command-layer failure.
+#[derive(Debug)]
+pub struct CmdError(String);
+
+impl fmt::Display for CmdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+impl std::error::Error for CmdError {}
+
+fn err(msg: impl Into<String>) -> CmdError {
+    CmdError(msg.into())
+}
+
+fn parse_protocol(name: &str) -> Result<Protocol, CmdError> {
+    match name {
+        "http" => Ok(Protocol::Http),
+        "tls" => Ok(Protocol::Tls),
+        "portscan" => Ok(Protocol::PortScan),
+        "icmp" => Ok(Protocol::IcmpMtu),
+        other => Err(err(format!("unknown protocol '{other}'"))),
+    }
+}
+
+fn world_dimensions(scale: &str) -> Result<(u32, u32), CmdError> {
+    match scale {
+        "small" => Ok((1 << 17, 2_500)),
+        "medium" => Ok((1 << 19, 12_000)),
+        "large" => Ok((1 << 22, 60_000)),
+        other => Err(err(format!("unknown scale '{other}'"))),
+    }
+}
+
+fn build_population(args: &ScanArgs) -> Result<Arc<Population>, CmdError> {
+    let (space_size, target_responsive) = world_dimensions(&args.scale)?;
+    Ok(Arc::new(Population::new(PopulationConfig {
+        seed: args.seed,
+        space_size,
+        target_responsive,
+        loss_scale: args.loss,
+    })))
+}
+
+fn threads(args: &ScanArgs) -> u32 {
+    if args.threads > 0 {
+        args.threads
+    } else {
+        std::thread::available_parallelism().map_or(4, |n| n.get() as u32)
+    }
+}
+
+fn report(out: &iw_core::ScanOutput, args: &ScanArgs, label: &str) -> Result<(), CmdError> {
+    println!(
+        "{}",
+        Table1::new(&[(label, &out.summary)]).render().trim_end()
+    );
+    if !args.quiet {
+        let hist = IwHistogram::from_results(&out.results);
+        println!();
+        print!("{}", render_iw_bars(label, &hist, 0.001, false));
+    }
+    if let Some(path) = &args.json {
+        let json = serde_json::to_string_pretty(&out.results)
+            .map_err(|e| err(format!("serialize: {e}")))?;
+        std::fs::write(path, json).map_err(|e| err(format!("write {path}: {e}")))?;
+        println!("\nper-host results written to {path}");
+    }
+    Ok(())
+}
+
+fn cmd_scan(args: &ScanArgs) -> Result<i32, CmdError> {
+    let protocol = parse_protocol(&args.protocol)?;
+    let population = build_population(args)?;
+    let mut config = ScanConfig::study(protocol, population.space_size(), args.seed);
+    config.sample_fraction = args.sample;
+    config.rate_pps = 4_000_000;
+    let out = run_scan_sharded(&population, config, threads(args));
+    report(&out, args, &args.protocol.to_uppercase())?;
+    Ok(0)
+}
+
+fn cmd_alexa(args: &ScanArgs) -> Result<i32, CmdError> {
+    let protocol = parse_protocol(&args.protocol)?;
+    let population = build_population(args)?;
+    let list = alexa::build(&population, args.n, 1);
+    let targets: Vec<(u32, Option<String>)> =
+        list.into_iter().map(|e| (e.ip, Some(e.domain))).collect();
+    let mut config = ScanConfig::study(protocol, population.space_size(), args.seed);
+    config.targets = TargetSpec::List(targets);
+    config.rate_pps = 4_000_000;
+    let out = run_scan_sharded(&population, config, 1);
+    report(&out, args, "ALEXA")?;
+    Ok(0)
+}
+
+fn cmd_mtu(args: &ScanArgs) -> Result<i32, CmdError> {
+    let population = build_population(args)?;
+    let mut config = ScanConfig::study(Protocol::IcmpMtu, population.space_size(), args.seed);
+    config.sample_fraction = args.sample;
+    config.rate_pps = 4_000_000;
+    let out = run_scan_sharded(&population, config, threads(args));
+    let n = out.mtu_results.len().max(1) as f64;
+    println!("hosts answering ICMP: {}", out.mtu_results.len());
+    for mss in [536u32, 1240, 1336, 1436, 1460] {
+        let share = out
+            .mtu_results
+            .iter()
+            .filter(|r| r.mtu >= mss + 40)
+            .count() as f64
+            / n
+            * 100.0;
+        println!("  MSS {mss:>5} supported by {share:>5.1}%");
+    }
+    Ok(0)
+}
+
+fn cmd_probe(args: &ProbeArgs) -> Result<i32, CmdError> {
+    let protocol = match args.protocol.as_str() {
+        "http" => Protocol::Http,
+        "tls" => Protocol::Tls,
+        other => return Err(err(format!("probe supports http|tls, not '{other}'"))),
+    };
+    let os = match args.os.as_str() {
+        "linux" => OsProfile::linux(),
+        "windows" => OsProfile::windows(),
+        "embedded" => OsProfile::embedded(),
+        "bsd" => OsProfile::bsd(),
+        other => return Err(err(format!("unknown os '{other}'"))),
+    };
+    let iw = match args.policy.as_str() {
+        "segments" => IwPolicy::Segments(args.iw),
+        "bytes" => IwPolicy::Bytes(args.iw),
+        "mtufill" => IwPolicy::MtuFill(args.iw),
+        "rfc6928" => IwPolicy::Rfc6928,
+        other => return Err(err(format!("unknown policy '{other}'"))),
+    };
+    let host = HostConfig {
+        os,
+        iw,
+        http: Some(HttpConfig {
+            behavior: HttpBehavior::Direct {
+                root_size: args.body,
+                echo_404: false,
+            },
+            server_header: "iwscan-testbed".into(),
+            vhost_iw: Vec::new(),
+        }),
+        tls: Some(iw_hoststack::TlsConfig {
+            behavior: iw_hoststack::TlsBehavior::Serve,
+            cipher: iw_wire::tls::CipherSuite::ECDHE_RSA_AES128_GCM,
+            cert_lens: vec![(args.body / 2).max(36), (args.body / 2).max(36)],
+            ocsp_len: Some(471),
+            sni_iw: Vec::new(),
+        }),
+        path_mtu: 1500,
+        icmp: true,
+    };
+    let mut spec = TestbedSpec::new(host, protocol);
+    spec.seed = args.seed;
+    spec.record_trace = args.pcap.is_some();
+    if args.loss > 0.0 {
+        spec.link = LinkConfig::testbed().with_loss(args.loss);
+    }
+    let (result, trace) = probe_host(&spec);
+    match result {
+        Some(result) => {
+            for (mss, outcomes) in &result.runs {
+                for (i, o) in outcomes.iter().enumerate() {
+                    println!("MSS {mss:>3} probe {}: {o:?}", i + 1);
+                }
+            }
+            println!("\nverdict: {:?}", result.host_verdict);
+        }
+        None => println!("host did not answer"),
+    }
+    if let Some(path) = &args.pcap {
+        iw_netsim::pcap::save_pcap(&trace, std::path::Path::new(path))
+            .map_err(|e| err(format!("write {path}: {e}")))?;
+        println!("packet trace saved to {path} ({} packets)", trace.len());
+    }
+    Ok(0)
+}
+
+/// Dispatch a parsed CLI to its implementation.
+pub fn dispatch(cli: &Cli) -> Result<i32, CmdError> {
+    match &cli.command {
+        Command::Scan(args) => cmd_scan(args),
+        Command::Alexa(args) => cmd_alexa(args),
+        Command::Mtu(args) => cmd_mtu(args),
+        Command::Probe(args) => cmd_probe(args),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn protocol_and_scale_parsing() {
+        assert_eq!(parse_protocol("http").unwrap(), Protocol::Http);
+        assert_eq!(parse_protocol("tls").unwrap(), Protocol::Tls);
+        assert!(parse_protocol("gopher").is_err());
+        assert!(world_dimensions("small").is_ok());
+        assert!(world_dimensions("galactic").is_err());
+    }
+
+    #[test]
+    fn probe_command_end_to_end() {
+        let args = ProbeArgs {
+            iw: 4,
+            ..ProbeArgs::default()
+        };
+        assert_eq!(cmd_probe(&args).unwrap(), 0);
+    }
+
+    #[test]
+    fn probe_rejects_bad_enum_values() {
+        let args = ProbeArgs {
+            os: "temple".into(),
+            ..ProbeArgs::default()
+        };
+        assert!(cmd_probe(&args).is_err());
+        let args = ProbeArgs {
+            policy: "vibes".into(),
+            ..ProbeArgs::default()
+        };
+        assert!(cmd_probe(&args).is_err());
+    }
+
+    #[test]
+    fn probe_writes_pcap() {
+        let dir = std::env::temp_dir().join("iwscan-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("probe.pcap");
+        let args = ProbeArgs {
+            pcap: Some(path.to_string_lossy().into_owned()),
+            ..ProbeArgs::default()
+        };
+        assert_eq!(cmd_probe(&args).unwrap(), 0);
+        let bytes = std::fs::read(&path).unwrap();
+        assert_eq!(&bytes[0..4], &0xa1b2_c3d4u32.to_le_bytes());
+        assert!(bytes.len() > 24, "records present");
+        let _ = std::fs::remove_file(&path);
+    }
+}

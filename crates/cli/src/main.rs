@@ -1,0 +1,12 @@
+//! `iwscan` binary: see `iwscan help`.
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match iw_cli::run(&argv) {
+        Ok(code) => std::process::exit(code),
+        Err(message) => {
+            eprintln!("error: {message}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! CIDR blacklists/whitelists.
+//!
+//! "Unroutable or blacklisted IPs were not scanned" (§4). ZMap keeps a
+//! radix-style structure; at our scale a sorted interval list with binary
+//! search is simpler and just as fast.
+
+use iw_wire::ipv4::Cidr;
+
+/// A set of address ranges with O(log n) membership tests.
+#[derive(Debug, Clone, Default)]
+pub struct CidrSet {
+    /// Disjoint, sorted, merged intervals [start, end] inclusive.
+    intervals: Vec<(u32, u32)>,
+}
+
+impl CidrSet {
+    /// Empty set.
+    pub fn new() -> CidrSet {
+        CidrSet::default()
+    }
+
+    /// Build from prefixes (overlaps are merged).
+    pub fn from_cidrs(cidrs: &[Cidr]) -> CidrSet {
+        let mut intervals: Vec<(u32, u32)> = cidrs
+            .iter()
+            .map(|c| (c.first(), c.last()))
+            .collect();
+        intervals.sort_unstable();
+        let mut merged: Vec<(u32, u32)> = Vec::with_capacity(intervals.len());
+        for (start, end) in intervals {
+            match merged.last_mut() {
+                Some((_, last_end)) if start <= last_end.saturating_add(1) => {
+                    *last_end = (*last_end).max(end);
+                }
+                _ => merged.push((start, end)),
+            }
+        }
+        CidrSet { intervals: merged }
+    }
+
+    /// Whether `ip` is in the set.
+    pub fn contains(&self, ip: u32) -> bool {
+        let idx = self.intervals.partition_point(|(s, _)| *s <= ip);
+        idx > 0 && self.intervals[idx - 1].1 >= ip
+    }
+
+    /// Number of addresses covered.
+    pub fn address_count(&self) -> u64 {
+        self.intervals
+            .iter()
+            .map(|(s, e)| u64::from(*e) - u64::from(*s) + 1)
+            .sum()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.intervals.is_empty()
+    }
+}
+
+/// Scan admission policy: optional whitelist, then blacklist.
+#[derive(Debug, Clone, Default)]
+pub struct ScanFilter {
+    /// When non-empty, only these ranges are scanned.
+    pub whitelist: CidrSet,
+    /// Never scanned (opt-outs, reserved space).
+    pub blacklist: CidrSet,
+}
+
+impl ScanFilter {
+    /// Whether a target passes the filter.
+    pub fn admits(&self, ip: u32) -> bool {
+        if !self.whitelist.is_empty() && !self.whitelist.contains(ip) {
+            return false;
+        }
+        !self.blacklist.contains(ip)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iw_wire::ipv4::Ipv4Addr;
+
+    fn cidr(a: u8, b: u8, c: u8, d: u8, len: u8) -> Cidr {
+        Cidr::new(Ipv4Addr::new(a, b, c, d), len)
+    }
+
+    #[test]
+    fn membership() {
+        let set = CidrSet::from_cidrs(&[cidr(10, 0, 0, 0, 8), cidr(192, 168, 0, 0, 16)]);
+        assert!(set.contains(Ipv4Addr::new(10, 1, 2, 3).to_u32()));
+        assert!(set.contains(Ipv4Addr::new(192, 168, 255, 255).to_u32()));
+        assert!(!set.contains(Ipv4Addr::new(11, 0, 0, 0).to_u32()));
+        assert!(!set.contains(Ipv4Addr::new(192, 169, 0, 0).to_u32()));
+    }
+
+    #[test]
+    fn merging_overlaps() {
+        let set = CidrSet::from_cidrs(&[
+            cidr(10, 0, 0, 0, 9),
+            cidr(10, 0, 0, 0, 8),
+            cidr(10, 128, 0, 0, 9), // adjacent
+        ]);
+        assert_eq!(set.intervals.len(), 1);
+        assert_eq!(set.address_count(), 1 << 24);
+    }
+
+    #[test]
+    fn empty_set_contains_nothing() {
+        let set = CidrSet::new();
+        assert!(!set.contains(0));
+        assert!(!set.contains(u32::MAX));
+        assert_eq!(set.address_count(), 0);
+    }
+
+    #[test]
+    fn filter_semantics() {
+        let mut filter = ScanFilter::default();
+        assert!(filter.admits(12345), "empty filter admits everything");
+        filter.blacklist = CidrSet::from_cidrs(&[cidr(10, 0, 0, 0, 8)]);
+        assert!(!filter.admits(Ipv4Addr::new(10, 0, 0, 1).to_u32()));
+        assert!(filter.admits(Ipv4Addr::new(11, 0, 0, 1).to_u32()));
+        filter.whitelist = CidrSet::from_cidrs(&[cidr(11, 0, 0, 0, 8)]);
+        assert!(filter.admits(Ipv4Addr::new(11, 5, 5, 5).to_u32()));
+        assert!(!filter.admits(Ipv4Addr::new(12, 0, 0, 1).to_u32()));
+        // Blacklist wins inside the whitelist.
+        filter.blacklist = CidrSet::from_cidrs(&[cidr(11, 5, 0, 0, 16)]);
+        assert!(!filter.admits(Ipv4Addr::new(11, 5, 0, 1).to_u32()));
+    }
+
+    #[test]
+    fn boundary_addresses() {
+        let set = CidrSet::from_cidrs(&[cidr(10, 0, 0, 0, 24)]);
+        assert!(set.contains(Ipv4Addr::new(10, 0, 0, 0).to_u32()));
+        assert!(set.contains(Ipv4Addr::new(10, 0, 0, 255).to_u32()));
+        assert!(!set.contains(Ipv4Addr::new(10, 0, 1, 0).to_u32()));
+        assert!(!set.contains(Ipv4Addr::new(9, 255, 255, 255).to_u32()));
+    }
+}

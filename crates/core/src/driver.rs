@@ -1,0 +1,185 @@
+//! Glue: run a scanner against a synthetic population, optionally
+//! sharded across OS threads (ZMap-style cycle-striding shards merged
+//! afterwards; results stay deterministic because every shard is an
+//! independent deterministic simulation).
+
+use crate::results::{HostResult, MssVerdict, MtuResult, ScanSummary};
+use crate::scanner::{ScanConfig, Scanner};
+use iw_internet::population::{Population, PopulationFactory};
+use iw_netsim::sim::SimStats;
+use iw_netsim::{Duration, Sim, SimConfig};
+use std::sync::Arc;
+
+/// Everything a scan produces.
+#[derive(Debug, Clone)]
+pub struct ScanOutput {
+    /// Per-host measurement records (sorted by address).
+    pub results: Vec<HostResult>,
+    /// Port-scan mode: open ports.
+    pub open_ports: Vec<u32>,
+    /// ICMP mode: discovered path MTUs.
+    pub mtu_results: Vec<MtuResult>,
+    /// Table 1 aggregates.
+    pub summary: ScanSummary,
+    /// Simulator packet/event counters.
+    pub sim_stats: SimStats,
+    /// Virtual time the scan took (§3.4's metric).
+    pub duration: Duration,
+}
+
+/// Run one scan to completion on the current thread.
+pub fn run_scan(population: &Arc<Population>, config: ScanConfig) -> ScanOutput {
+    let seed = config.seed;
+    let scanner = Scanner::new(config);
+    let factory = PopulationFactory::new(population.clone());
+    let mut sim = Sim::new(
+        scanner,
+        factory,
+        SimConfig {
+            seed,
+            record_trace: false,
+        },
+    );
+    sim.kick_scanner(|s, now, fx| s.start(now, fx));
+    sim.run_to_completion();
+    let duration = sim.now() - iw_netsim::Instant::ZERO;
+    let stats = sim.stats();
+    harvest(sim.scanner_mut(), stats, duration)
+}
+
+fn harvest(scanner: &mut Scanner, sim_stats: SimStats, duration: Duration) -> ScanOutput {
+    let mut results = scanner.results().to_vec();
+    results.sort_by_key(|r| r.ip);
+    let mut open_ports = scanner.open_ports().to_vec();
+    open_ports.sort_unstable();
+    let mut mtu_results = scanner.mtu_results().to_vec();
+    mtu_results.sort_by_key(|r| r.ip);
+    let summary = summarize(&results, scanner.targets_sent(), scanner.refused());
+    ScanOutput {
+        results,
+        open_ports,
+        mtu_results,
+        summary,
+        sim_stats,
+        duration,
+    }
+}
+
+/// Build Table 1 aggregates from per-host records.
+pub fn summarize(results: &[HostResult], targets: u64, refused: u64) -> ScanSummary {
+    let mut summary = ScanSummary {
+        targets,
+        refused,
+        reachable: results.len() as u64,
+        ..ScanSummary::default()
+    };
+    for r in results {
+        match r.primary_verdict() {
+            Some(MssVerdict::Success(_)) => summary.success += 1,
+            Some(MssVerdict::FewData(_)) => summary.few_data += 1,
+            _ => summary.error += 1,
+        }
+    }
+    summary
+}
+
+/// Run a scan split into `threads` ZMap shards on real threads and merge.
+pub fn run_scan_sharded(
+    population: &Arc<Population>,
+    config: ScanConfig,
+    threads: u32,
+) -> ScanOutput {
+    assert!(threads > 0);
+    if threads == 1 {
+        let mut config = config;
+        config.shard = (0, 1);
+        return run_scan(population, config);
+    }
+    let outputs: Vec<ScanOutput> = crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for i in 0..threads {
+            let mut shard_config = config.clone();
+            shard_config.shard = (i, threads);
+            let pop = population.clone();
+            handles.push(scope.spawn(move |_| run_scan(&pop, shard_config)));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("shard thread panicked"))
+            .collect()
+    })
+    .expect("crossbeam scope");
+
+    merge(outputs)
+}
+
+fn merge(outputs: Vec<ScanOutput>) -> ScanOutput {
+    let mut results = Vec::new();
+    let mut open_ports = Vec::new();
+    let mut mtu_results = Vec::new();
+    let mut summary = ScanSummary::default();
+    let mut sim_stats = SimStats::default();
+    let mut duration = Duration::ZERO;
+    for out in outputs {
+        results.extend(out.results);
+        open_ports.extend(out.open_ports);
+        mtu_results.extend(out.mtu_results);
+        summary.targets += out.summary.targets;
+        summary.reachable += out.summary.reachable;
+        summary.success += out.summary.success;
+        summary.few_data += out.summary.few_data;
+        summary.error += out.summary.error;
+        summary.refused += out.summary.refused;
+        sim_stats.scanner_tx += out.sim_stats.scanner_tx;
+        sim_stats.scanner_rx += out.sim_stats.scanner_rx;
+        sim_stats.host_tx += out.sim_stats.host_tx;
+        sim_stats.host_rx += out.sim_stats.host_rx;
+        sim_stats.lost += out.sim_stats.lost;
+        sim_stats.scanner_tx_bytes += out.sim_stats.scanner_tx_bytes;
+        sim_stats.scanner_rx_bytes += out.sim_stats.scanner_rx_bytes;
+        sim_stats.hosts_spawned += out.sim_stats.hosts_spawned;
+        sim_stats.events += out.sim_stats.events;
+        duration = duration.max(out.duration);
+    }
+    results.sort_by_key(|r| r.ip);
+    open_ports.sort_unstable();
+    mtu_results.sort_by_key(|r| r.ip);
+    ScanOutput {
+        results,
+        open_ports,
+        mtu_results,
+        summary,
+        sim_stats,
+        duration,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::results::{HostVerdict, Protocol};
+
+    #[test]
+    fn summarize_counts_categories() {
+        let mk = |v| HostResult {
+            ip: 0,
+            protocol: Protocol::Http,
+            runs: vec![],
+            verdicts: vec![(64, v)],
+            host_verdict: HostVerdict::Unclassified,
+        };
+        let results = vec![
+            mk(MssVerdict::Success(10)),
+            mk(MssVerdict::Success(2)),
+            mk(MssVerdict::FewData(7)),
+            mk(MssVerdict::Error),
+        ];
+        let s = summarize(&results, 100, 5);
+        assert_eq!(s.reachable, 4);
+        assert_eq!(s.success, 2);
+        assert_eq!(s.few_data, 1);
+        assert_eq!(s.error, 1);
+        assert_eq!(s.targets, 100);
+        assert_eq!(s.refused, 5);
+    }
+}

@@ -1,0 +1,852 @@
+//! The IW-inference connection state machine (§3.1, Figure 1).
+//!
+//! One instance drives one scanner-side TCP connection:
+//!
+//! 1. **SYN** with a tiny MSS (default 64 B) and a large window — the IW,
+//!    not flow control, must limit the first flight.
+//! 2. On SYN-ACK: **ACK + request** in one packet (the probe payload —
+//!    an HTTP GET or a TLS ClientHello).
+//! 3. **Never acknowledge data.** Track received sequence ranges; when a
+//!    segment arrives whose bytes were all seen before, the server's RTO
+//!    has fired and retransmitted its first unacknowledged segment: the
+//!    initial window is over. Estimate `IW = ⌊distinct bytes / max
+//!    observed segment⌋` (the observed maximum matters because stacks
+//!    like Windows clamp our 64 B up to 536 B, §3.1).
+//! 4. **Verify exhaustion**: acknowledge everything with a window of
+//!    2·MSS. A host that was IW-limited releases new segments; a host
+//!    that was out of data stays silent or FINs (§3.1/3.2).
+//!
+//! Sequence holes mark suspected loss; a FIN anywhere marks "out of
+//! data" (with `Connection: close`, §3.2's signal). SACK is deliberately
+//! never offered so server-side tail-loss probes stay disabled.
+
+use crate::results::ErrorKind;
+use iw_netsim::{Duration, Instant};
+use iw_wire::ipv4::Ipv4Addr;
+use iw_wire::tcp::{self, Flags, TcpOption};
+
+/// Static parameters of one inference connection.
+#[derive(Debug, Clone)]
+pub struct ConnConfig {
+    /// Target address.
+    pub target: Ipv4Addr,
+    /// Scanner source address.
+    pub source: Ipv4Addr,
+    /// Scanner source port.
+    pub src_port: u16,
+    /// Target port (80/443).
+    pub dst_port: u16,
+    /// MSS to advertise (64 or 128 in the study).
+    pub mss: u16,
+    /// Our ISN (the stateless validation cookie).
+    pub isn: u32,
+    /// Request payload to send once established. Empty = port-scan mode:
+    /// report `Open` on SYN-ACK and RST immediately.
+    pub request: Vec<u8>,
+    /// Give up on the SYN after this long.
+    pub syn_timeout: Duration,
+    /// Give up waiting for the retransmission signal after this long.
+    pub collect_timeout: Duration,
+    /// How long to wait for post-ACK data in the verification phase.
+    pub verify_timeout: Duration,
+    /// Whether to run the exhaustion check at all (ablation knob): when
+    /// off, any retransmission immediately becomes a "success" — which
+    /// silently misclassifies hosts that simply ran out of data.
+    pub verify_exhaustion: bool,
+}
+
+impl ConnConfig {
+    /// Study defaults (timeouts sized to cover one RTO backoff at the
+    /// slowest simulated stacks: 3 s initial RTO doubles once within 8s).
+    pub fn new(
+        target: Ipv4Addr,
+        source: Ipv4Addr,
+        src_port: u16,
+        dst_port: u16,
+        mss: u16,
+        isn: u32,
+        request: Vec<u8>,
+    ) -> ConnConfig {
+        ConnConfig {
+            target,
+            source,
+            src_port,
+            dst_port,
+            mss,
+            isn,
+            request,
+            syn_timeout: Duration::from_secs(4),
+            collect_timeout: Duration::from_secs(10),
+            verify_timeout: Duration::from_secs(3),
+            verify_exhaustion: true,
+        }
+    }
+}
+
+/// Raw result of one connection (before probe-level interpretation).
+#[derive(Debug, Clone, PartialEq)]
+pub enum RawOutcome {
+    /// IW filled and exhaustion verified.
+    Success {
+        /// ⌊bytes / max_seg⌋.
+        segments: u32,
+        /// Distinct payload bytes at retransmission time.
+        bytes: u32,
+        /// Largest observed segment.
+        max_seg: u32,
+        /// Unfilled sequence hole at decision time.
+        loss_suspected: bool,
+        /// Out-of-order arrivals seen.
+        reordered: bool,
+    },
+    /// Out of data before the IW (or unverifiable).
+    FewData {
+        /// max(1, ⌊bytes/max_seg⌋) when bytes > 0, else 0.
+        lower_bound: u32,
+        /// Distinct payload bytes.
+        bytes: u32,
+        /// Largest observed segment.
+        max_seg: u32,
+        /// FIN observed.
+        fin_seen: bool,
+    },
+    /// Port open (port-scan mode only).
+    Open,
+    /// Post-handshake failure.
+    Error(ErrorKind),
+    /// No handshake.
+    Unreachable,
+}
+
+/// A finished connection: outcome + the reassembled in-order response
+/// prefix (the probe layer parses HTTP heads / TLS alerts out of it).
+#[derive(Debug, Clone)]
+pub struct ConnResult {
+    /// The raw outcome.
+    pub outcome: RawOutcome,
+    /// In-order response bytes from offset 0 (bounded).
+    pub response: Vec<u8>,
+}
+
+/// Effects of feeding one event into the machine.
+#[derive(Debug, Default)]
+pub struct ConnOutput {
+    /// Segments to transmit.
+    pub tx: Vec<tcp::Repr>,
+    /// Absolute deadline to be woken at (stale wakes are no-ops).
+    pub deadline: Option<Instant>,
+    /// Present exactly once, when the connection concludes.
+    pub result: Option<ConnResult>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    SynSent,
+    Collecting,
+    Verifying,
+    Done,
+}
+
+/// Cap on buffered in-order response bytes (enough for any HTTP head or
+/// TLS alert we need to inspect).
+const RESPONSE_CAP: usize = 8192;
+
+/// The inference machine for one connection.
+#[derive(Debug)]
+pub struct InferenceConn {
+    cfg: ConnConfig,
+    phase: Phase,
+    /// Server's ISS (+1 = first payload byte), set on SYN-ACK.
+    data_base: u32,
+    /// Received payload ranges, as [start, end) offsets, sorted, merged.
+    ranges: Vec<(u32, u32)>,
+    /// Reassembled in-order prefix.
+    response: Vec<u8>,
+    /// Stashed out-of-order fragments (offset → bytes), bounded.
+    stash: Vec<(u32, Vec<u8>)>,
+    max_seg: u32,
+    fin_seen: bool,
+    reordered: bool,
+    /// Bytes/segments frozen at retransmission-detection time.
+    frozen_bytes: u32,
+    frozen_loss: bool,
+    deadline: Option<Instant>,
+}
+
+impl InferenceConn {
+    /// Create the machine and the SYN to transmit.
+    pub fn new(cfg: ConnConfig, now: Instant) -> (InferenceConn, ConnOutput) {
+        let syn = tcp::Repr {
+            src_port: cfg.src_port,
+            dst_port: cfg.dst_port,
+            seq: cfg.isn,
+            ack: 0,
+            flags: Flags::SYN,
+            window: 65535,
+            // A tiny MSS and *no* SACK-permitted (tail-loss probes off).
+            options: vec![TcpOption::Mss(cfg.mss)],
+            payload: Vec::new(),
+        };
+        let deadline = now + cfg.syn_timeout;
+        let conn = InferenceConn {
+            cfg,
+            phase: Phase::SynSent,
+            data_base: 0,
+            ranges: Vec::new(),
+            response: Vec::new(),
+            stash: Vec::new(),
+            max_seg: 0,
+            fin_seen: false,
+            reordered: false,
+            frozen_bytes: 0,
+            frozen_loss: false,
+            deadline: Some(deadline),
+        };
+        (
+            conn,
+            ConnOutput {
+                tx: vec![syn],
+                deadline: Some(deadline),
+                result: None,
+            },
+        )
+    }
+
+    /// Whether the connection has concluded.
+    pub fn is_done(&self) -> bool {
+        self.phase == Phase::Done
+    }
+
+    fn total_bytes(&self) -> u32 {
+        self.ranges.iter().map(|(s, e)| e - s).sum()
+    }
+
+    fn has_hole(&self) -> bool {
+        self.ranges.len() > 1 || self.ranges.first().is_some_and(|(s, _)| *s != 0)
+    }
+
+    fn highest_end(&self) -> u32 {
+        self.ranges.last().map_or(0, |(_, e)| *e)
+    }
+
+    /// Merge [start, end) into the range set; returns true if every byte
+    /// was already present (i.e. this segment is a retransmission).
+    fn merge_range(&mut self, start: u32, end: u32) -> bool {
+        debug_assert!(start < end);
+        if self
+            .ranges
+            .iter()
+            .any(|(s, e)| *s <= start && end <= *e)
+        {
+            return true;
+        }
+        // Out-of-order if it doesn't extend the current frontier.
+        if start > self.highest_end() {
+            // creates a hole
+        } else if start < self.highest_end() && end <= self.highest_end() {
+            // fills (part of) an earlier hole → reordering happened
+            self.reordered = true;
+        }
+        self.ranges.push((start, end));
+        self.ranges.sort_unstable();
+        let mut merged: Vec<(u32, u32)> = Vec::with_capacity(self.ranges.len());
+        for (s, e) in self.ranges.drain(..) {
+            match merged.last_mut() {
+                Some((_, le)) if s <= *le => *le = (*le).max(e),
+                _ => merged.push((s, e)),
+            }
+        }
+        self.ranges = merged;
+        false
+    }
+
+    fn buffer_payload(&mut self, offset: u32, data: &[u8]) {
+        let off = offset as usize;
+        if off == self.response.len() {
+            let room = RESPONSE_CAP.saturating_sub(self.response.len());
+            self.response.extend_from_slice(&data[..data.len().min(room)]);
+            // Drain any stashed fragments that now connect.
+            loop {
+                let next = self
+                    .stash
+                    .iter()
+                    .position(|(o, _)| *o as usize <= self.response.len());
+                let Some(idx) = next else { break };
+                let (o, frag) = self.stash.swap_remove(idx);
+                let skip = self.response.len() - o as usize;
+                if skip < frag.len() {
+                    let room = RESPONSE_CAP.saturating_sub(self.response.len());
+                    let slice = &frag[skip..];
+                    self.response.extend_from_slice(&slice[..slice.len().min(room)]);
+                }
+            }
+        } else if off > self.response.len() && off < RESPONSE_CAP && self.stash.len() < 64 {
+            self.stash.push((offset, data.to_vec()));
+        }
+    }
+
+    fn finish(&mut self, outcome: RawOutcome) -> ConnOutput {
+        self.phase = Phase::Done;
+        self.deadline = None;
+        let mut out = ConnOutput::default();
+        // End the exchange abortively, like the scanner does (Fig. 1).
+        if !matches!(outcome, RawOutcome::Unreachable) {
+            out.tx.push(tcp::Repr::bare(
+                self.cfg.src_port,
+                self.cfg.dst_port,
+                self.cfg.isn.wrapping_add(1 + self.cfg.request.len() as u32),
+                0,
+                Flags::RST,
+                0,
+            ));
+        }
+        out.result = Some(ConnResult {
+            outcome,
+            response: std::mem::take(&mut self.response),
+        });
+        out
+    }
+
+    fn few_data_outcome(&self) -> RawOutcome {
+        let bytes = self.total_bytes();
+        let lower_bound = if bytes == 0 || self.max_seg == 0 {
+            0
+        } else {
+            (bytes / self.max_seg).max(1)
+        };
+        RawOutcome::FewData {
+            lower_bound,
+            bytes,
+            max_seg: self.max_seg,
+            fin_seen: self.fin_seen,
+        }
+    }
+
+    /// Feed an inbound segment.
+    pub fn on_segment(&mut self, seg: &tcp::Repr, now: Instant) -> ConnOutput {
+        match self.phase {
+            Phase::Done => ConnOutput::default(),
+            Phase::SynSent => self.on_segment_synsent(seg, now),
+            Phase::Collecting => self.on_segment_collecting(seg, now),
+            Phase::Verifying => self.on_segment_verifying(seg),
+        }
+    }
+
+    fn on_segment_synsent(&mut self, seg: &tcp::Repr, now: Instant) -> ConnOutput {
+        if seg.flags.contains(Flags::RST) {
+            return self.finish(RawOutcome::Unreachable);
+        }
+        if !seg.flags.contains(Flags::SYN) || !seg.flags.contains(Flags::ACK) {
+            return ConnOutput::default();
+        }
+        if seg.ack != self.cfg.isn.wrapping_add(1) {
+            // Fails the stateless cookie check — not ours.
+            return ConnOutput::default();
+        }
+        self.data_base = seg.seq.wrapping_add(1);
+
+        if self.cfg.request.is_empty() {
+            // Port-scan mode: report and abort.
+            return self.finish(RawOutcome::Open);
+        }
+
+        self.phase = Phase::Collecting;
+        let deadline = now + self.cfg.collect_timeout;
+        self.deadline = Some(deadline);
+        let request = tcp::Repr {
+            src_port: self.cfg.src_port,
+            dst_port: self.cfg.dst_port,
+            seq: self.cfg.isn.wrapping_add(1),
+            ack: self.data_base,
+            flags: Flags::ACK | Flags::PSH,
+            window: 65535,
+            options: Vec::new(),
+            payload: self.cfg.request.clone(),
+        };
+        ConnOutput {
+            tx: vec![request],
+            deadline: Some(deadline),
+            result: None,
+        }
+    }
+
+    fn on_segment_collecting(&mut self, seg: &tcp::Repr, now: Instant) -> ConnOutput {
+        if seg.flags.contains(Flags::RST) {
+            return self.finish(RawOutcome::Error(ErrorKind::MidConnectionReset));
+        }
+        if seg.flags.contains(Flags::FIN) {
+            self.fin_seen = true;
+        }
+        if seg.payload.is_empty() {
+            // Pure ACK / bare FIN: no sequence accounting needed — but a
+            // bare FIN with everything received means the host is done.
+            return ConnOutput {
+                deadline: self.deadline,
+                ..ConnOutput::default()
+            };
+        }
+        let offset = seg.seq.wrapping_sub(self.data_base);
+        if offset > (1 << 24) {
+            // Absurd offset (pre-handshake seq or corruption): ignore.
+            return ConnOutput {
+                deadline: self.deadline,
+                ..ConnOutput::default()
+            };
+        }
+        let end = offset + seg.payload.len() as u32;
+        self.max_seg = self.max_seg.max(seg.payload.len() as u32);
+        let is_retransmission = self.merge_range(offset, end);
+        if !is_retransmission {
+            self.buffer_payload(offset, &seg.payload);
+        }
+
+        if !is_retransmission {
+            return ConnOutput {
+                deadline: self.deadline,
+                ..ConnOutput::default()
+            };
+        }
+
+        // Retransmission: the initial window is on the table.
+        if self.fin_seen {
+            // The host closed inside its initial flight: out of data.
+            return self.finish(self.few_data_outcome());
+        }
+        if !self.cfg.verify_exhaustion {
+            // Ablation mode: trust the count without the 2·MSS-window
+            // ACK check (this is what misclassifies out-of-data hosts).
+            let max_seg = self.max_seg.max(1);
+            let outcome = RawOutcome::Success {
+                segments: (self.total_bytes() / max_seg).max(1),
+                bytes: self.total_bytes(),
+                max_seg: self.max_seg,
+                loss_suspected: self.has_hole(),
+                reordered: self.reordered,
+            };
+            return self.finish(outcome);
+        }
+        // Freeze the estimate and verify exhaustion: ACK everything with
+        // a two-segment window (§3.1).
+        self.frozen_bytes = self.total_bytes();
+        self.frozen_loss = self.has_hole();
+        self.phase = Phase::Verifying;
+        let deadline = now + self.cfg.verify_timeout;
+        self.deadline = Some(deadline);
+        let ack = tcp::Repr::bare(
+            self.cfg.src_port,
+            self.cfg.dst_port,
+            self.cfg.isn.wrapping_add(1 + self.cfg.request.len() as u32),
+            self.data_base.wrapping_add(self.highest_end()),
+            Flags::ACK,
+            (2 * self.max_seg).min(65535) as u16,
+        );
+        ConnOutput {
+            tx: vec![ack],
+            deadline: Some(deadline),
+            result: None,
+        }
+    }
+
+    fn on_segment_verifying(&mut self, seg: &tcp::Repr) -> ConnOutput {
+        if seg.flags.contains(Flags::RST) {
+            // We already have the data; treat like silence.
+            return self.finish(self.few_data_outcome());
+        }
+        // Check for new data BEFORE interpreting a FIN: a host draining
+        // its last bytes FINs on the same segment, and new data proves
+        // the IW was genuinely filled.
+        if !seg.payload.is_empty() {
+            let offset = seg.seq.wrapping_sub(self.data_base);
+            let end = offset + seg.payload.len() as u32;
+            if end > self.highest_end() {
+                // New data released by our ACK: the IW was truly filled.
+                let max_seg = self.max_seg.max(1);
+                let outcome = RawOutcome::Success {
+                    segments: (self.frozen_bytes / max_seg).max(1),
+                    bytes: self.frozen_bytes,
+                    max_seg: self.max_seg,
+                    loss_suspected: self.frozen_loss,
+                    reordered: self.reordered,
+                };
+                return self.finish(outcome);
+            }
+        }
+        if seg.flags.contains(Flags::FIN) {
+            self.fin_seen = true;
+            return self.finish(self.few_data_outcome());
+        }
+        ConnOutput {
+            deadline: self.deadline,
+            ..ConnOutput::default()
+        }
+    }
+
+    /// Timer wake-up; stale wakes are ignored.
+    pub fn on_timer(&mut self, now: Instant) -> ConnOutput {
+        let Some(deadline) = self.deadline else {
+            return ConnOutput::default();
+        };
+        if now < deadline {
+            return ConnOutput {
+                deadline: Some(deadline),
+                ..ConnOutput::default()
+            };
+        }
+        match self.phase {
+            Phase::SynSent => self.finish(RawOutcome::Unreachable),
+            Phase::Collecting => {
+                // No retransmission signal within the window. Whatever we
+                // got is a lower bound (zero bytes = the NoData row).
+                self.finish(self.few_data_outcome())
+            }
+            Phase::Verifying => self.finish(self.few_data_outcome()),
+            Phase::Done => ConnOutput::default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: Ipv4Addr = Ipv4Addr::new(192, 0, 2, 1);
+    const DST: Ipv4Addr = Ipv4Addr::new(198, 51, 100, 7);
+
+    fn cfg() -> ConnConfig {
+        ConnConfig::new(DST, SRC, 40000, 80, 64, 7000, b"GET / HTTP/1.1\r\n\r\n".to_vec())
+    }
+
+    fn conn() -> (InferenceConn, ConnOutput) {
+        InferenceConn::new(cfg(), Instant::ZERO)
+    }
+
+    fn syn_ack() -> tcp::Repr {
+        tcp::Repr {
+            src_port: 80,
+            dst_port: 40000,
+            seq: 50_000,
+            ack: 7001,
+            flags: Flags::SYN | Flags::ACK,
+            window: 65535,
+            options: vec![TcpOption::Mss(64)],
+            payload: vec![],
+        }
+    }
+
+    fn data(offset: u32, len: usize, fin: bool) -> tcp::Repr {
+        let mut flags = Flags::ACK;
+        if fin {
+            flags |= Flags::FIN;
+        }
+        tcp::Repr {
+            src_port: 80,
+            dst_port: 40000,
+            seq: 50_001 + offset,
+            ack: 7001 + 18,
+            flags,
+            window: 65535,
+            options: vec![],
+            payload: vec![0xaa; len],
+        }
+    }
+
+    fn establish() -> (InferenceConn, Instant) {
+        let (mut c, out) = conn();
+        assert_eq!(out.tx.len(), 1);
+        assert!(out.tx[0].flags.contains(Flags::SYN));
+        assert_eq!(out.tx[0].mss(), Some(64));
+        assert!(!out.tx[0].sack_permitted(), "SACK must stay off");
+        let now = Instant::ZERO + Duration::from_millis(20);
+        let out = c.on_segment(&syn_ack(), now);
+        assert_eq!(out.tx.len(), 1, "ACK+request in one packet");
+        assert!(!out.tx[0].payload.is_empty());
+        assert_eq!(out.tx[0].ack, 50_001);
+        (c, now)
+    }
+
+    #[test]
+    fn clean_iw10_success() {
+        let (mut c, now) = establish();
+        // Ten in-order segments.
+        for i in 0..10u32 {
+            let out = c.on_segment(&data(i * 64, 64, false), now);
+            assert!(out.result.is_none());
+            assert!(out.tx.is_empty(), "never ACK during collection");
+        }
+        // Server RTO: first segment again.
+        let out = c.on_segment(&data(0, 64, false), now + Duration::from_secs(1));
+        assert!(out.result.is_none());
+        assert_eq!(out.tx.len(), 1, "verification ACK");
+        let ack = &out.tx[0];
+        assert_eq!(ack.ack, 50_001 + 640);
+        assert_eq!(ack.window, 128, "2×MSS window");
+        // New data released → success.
+        let out = c.on_segment(&data(640, 64, false), now + Duration::from_secs(1));
+        let result = out.result.expect("done");
+        match result.outcome {
+            RawOutcome::Success {
+                segments,
+                bytes,
+                max_seg,
+                loss_suspected,
+                reordered,
+            } => {
+                assert_eq!(segments, 10);
+                assert_eq!(bytes, 640);
+                assert_eq!(max_seg, 64);
+                assert!(!loss_suspected);
+                assert!(!reordered);
+            }
+            other => panic!("{other:?}"),
+        }
+        // Connection torn down with RST.
+        assert!(out.tx.iter().any(|s| s.flags.contains(Flags::RST)));
+    }
+
+    #[test]
+    fn few_data_with_fin_in_flight() {
+        let (mut c, now) = establish();
+        for i in 0..3u32 {
+            c.on_segment(&data(i * 64, 64, false), now);
+        }
+        c.on_segment(&data(192, 30, true), now); // 222 bytes total + FIN
+        let out = c.on_segment(&data(0, 64, false), now + Duration::from_secs(1));
+        match out.result.expect("done").outcome {
+            RawOutcome::FewData {
+                lower_bound,
+                bytes,
+                fin_seen,
+                ..
+            } => {
+                assert_eq!(bytes, 222);
+                assert_eq!(lower_bound, 3);
+                assert!(fin_seen);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn verification_silence_is_few_data() {
+        let (mut c, now) = establish();
+        for i in 0..5u32 {
+            c.on_segment(&data(i * 64, 64, false), now);
+        }
+        let out = c.on_segment(&data(0, 64, false), now + Duration::from_secs(1));
+        let deadline = out.deadline.unwrap();
+        let out = c.on_timer(deadline);
+        match out.result.expect("done").outcome {
+            RawOutcome::FewData {
+                lower_bound, bytes, ..
+            } => {
+                assert_eq!(bytes, 320);
+                assert_eq!(lower_bound, 5);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn mute_host_times_out_as_nodata() {
+        let (mut c, now) = establish();
+        let deadline = now + cfg().collect_timeout;
+        let out = c.on_timer(deadline);
+        match out.result.expect("done").outcome {
+            RawOutcome::FewData {
+                lower_bound,
+                bytes,
+                fin_seen,
+                ..
+            } => {
+                assert_eq!((lower_bound, bytes), (0, 0));
+                assert!(!fin_seen);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn windows_536_divisor() {
+        let (mut c, now) = establish();
+        // Server ignored our 64 and sends 536-byte segments (IW4).
+        for i in 0..4u32 {
+            c.on_segment(&data(i * 536, 536, false), now);
+        }
+        c.on_segment(&data(0, 536, false), now + Duration::from_secs(3));
+        let out = c.on_segment(
+            &data(4 * 536, 536, false),
+            now + Duration::from_secs(3),
+        );
+        match out.result.expect("done").outcome {
+            RawOutcome::Success {
+                segments, max_seg, ..
+            } => {
+                assert_eq!(max_seg, 536);
+                assert_eq!(segments, 4, "observed-MSS divisor (§3.1)");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn reordering_is_detected_and_tolerated() {
+        let (mut c, now) = establish();
+        // Segments 0,2,1,3 — reordered but complete.
+        for i in [0u32, 2, 1, 3] {
+            c.on_segment(&data(i * 64, 64, false), now);
+        }
+        c.on_segment(&data(0, 64, false), now + Duration::from_secs(1));
+        let out = c.on_segment(&data(256, 64, false), now + Duration::from_secs(1));
+        match out.result.expect("done").outcome {
+            RawOutcome::Success {
+                segments,
+                reordered,
+                loss_suspected,
+                ..
+            } => {
+                assert_eq!(segments, 4);
+                assert!(reordered);
+                assert!(!loss_suspected);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn mid_flight_loss_flagged() {
+        let (mut c, now) = establish();
+        // Segment 1 lost: 0,2,3 received.
+        for i in [0u32, 2, 3] {
+            c.on_segment(&data(i * 64, 64, false), now);
+        }
+        c.on_segment(&data(0, 64, false), now + Duration::from_secs(1));
+        let out = c.on_segment(&data(256, 64, false), now + Duration::from_secs(1));
+        match out.result.expect("done").outcome {
+            RawOutcome::Success {
+                segments,
+                bytes,
+                loss_suspected,
+                ..
+            } => {
+                assert_eq!(bytes, 192, "distinct bytes only");
+                assert_eq!(segments, 3, "underestimate, flagged");
+                assert!(loss_suspected);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn tail_loss_underestimates_silently() {
+        // The §3.5 phenomenon: the last segment of the flight is lost —
+        // nothing marks the estimate as wrong (multi-probe voting is the
+        // only defence).
+        let (mut c, now) = establish();
+        for i in 0..9u32 {
+            c.on_segment(&data(i * 64, 64, false), now);
+        }
+        // Segment 9 lost; retransmission of 0 arrives.
+        c.on_segment(&data(0, 64, false), now + Duration::from_secs(1));
+        let out = c.on_segment(&data(640, 64, false), now + Duration::from_secs(1));
+        match out.result.expect("done").outcome {
+            RawOutcome::Success {
+                segments,
+                loss_suspected,
+                ..
+            } => {
+                assert_eq!(segments, 9, "one too low");
+                assert!(!loss_suspected, "tail loss is undetectable");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn rst_to_syn_is_unreachable() {
+        let (mut c, _) = conn();
+        let rst = tcp::Repr::bare(80, 40000, 0, 7001, Flags::RST | Flags::ACK, 0);
+        let out = c.on_segment(&rst, Instant::ZERO + Duration::from_millis(5));
+        assert_eq!(out.result.unwrap().outcome, RawOutcome::Unreachable);
+        assert!(out.tx.is_empty(), "never answer a RST");
+    }
+
+    #[test]
+    fn syn_timeout_is_unreachable() {
+        let (mut c, out) = conn();
+        let out = c.on_timer(out.deadline.unwrap());
+        assert_eq!(out.result.unwrap().outcome, RawOutcome::Unreachable);
+    }
+
+    #[test]
+    fn mid_conn_rst_is_error() {
+        let (mut c, now) = establish();
+        c.on_segment(&data(0, 64, false), now);
+        let rst = tcp::Repr::bare(80, 40000, 50_066, 0, Flags::RST, 0);
+        let out = c.on_segment(&rst, now);
+        assert_eq!(
+            out.result.unwrap().outcome,
+            RawOutcome::Error(ErrorKind::MidConnectionReset)
+        );
+    }
+
+    #[test]
+    fn wrong_cookie_ignored() {
+        let (mut c, _) = conn();
+        let mut bad = syn_ack();
+        bad.ack = 9999;
+        let out = c.on_segment(&bad, Instant::ZERO);
+        assert!(out.result.is_none());
+        assert!(out.tx.is_empty());
+        assert!(!c.is_done());
+    }
+
+    #[test]
+    fn port_scan_mode() {
+        let mut c = cfg();
+        c.request.clear();
+        let (mut conn, _) = InferenceConn::new(c, Instant::ZERO);
+        let out = conn.on_segment(&syn_ack(), Instant::ZERO);
+        assert_eq!(out.result.unwrap().outcome, RawOutcome::Open);
+        assert!(out.tx.iter().any(|s| s.flags.contains(Flags::RST)));
+    }
+
+    #[test]
+    fn response_reassembly_handles_reordering() {
+        let (mut c, now) = establish();
+        let mk = |offset: u32, body: &[u8]| tcp::Repr {
+            src_port: 80,
+            dst_port: 40000,
+            seq: 50_001 + offset,
+            ack: 7019,
+            flags: Flags::ACK,
+            window: 65535,
+            options: vec![],
+            payload: body.to_vec(),
+        };
+        c.on_segment(&mk(5, b"WORLD"), now);
+        c.on_segment(&mk(0, b"HELLO"), now);
+        // Force conclusion via timeout.
+        let out = c.on_timer(now + cfg().collect_timeout);
+        let result = out.result.unwrap();
+        assert_eq!(result.response, b"HELLOWORLD");
+    }
+
+    #[test]
+    fn alert_sized_response_is_lower_bound_one() {
+        let (mut c, now) = establish();
+        c.on_segment(&data(0, 7, true), now); // 7-byte TLS alert + FIN
+        let out = c.on_segment(&data(0, 7, true), now + Duration::from_secs(1));
+        match out.result.expect("done").outcome {
+            RawOutcome::FewData {
+                lower_bound,
+                bytes,
+                fin_seen,
+                ..
+            } => {
+                assert_eq!((lower_bound, bytes), (1, 7));
+                assert!(fin_seen);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! # iw-core — the paper's contribution
+//!
+//! An Internet-scale scanner, modelled on ZMap, that infers TCP's initial
+//! congestion window (IW) from HTTP and TLS hosts *without prior
+//! knowledge* (Rüth, Bormann, Hohlfeld — IMC '17).
+//!
+//! The architecture keeps ZMap's two halves and adds the paper's third:
+//!
+//! 1. **Stateless target generation** — a multiplicative cyclic-group
+//!    permutation of the scan space ([`permutation`], primality and
+//!    primitive-root search in [`prime`]), CIDR blacklists
+//!    ([`blacklist`]), token-bucket pacing ([`rate`]) and SYN cookies for
+//!    stateless SYN-ACK validation ([`cookie`]).
+//! 2. **Stateful probe connections** — the lightweight per-connection
+//!    module the paper adds to ZMap: the IW-inference state machine
+//!    ([`inference`]) that advertises a tiny MSS, counts segments until
+//!    the first retransmission, and verifies exhaustion with a 2·MSS
+//!    window ACK (§3.1, Fig. 1).
+//! 3. **Probe drivers** ([`probe`]) — HTTP (§3.2: redirects, error-page
+//!    bloating, `Connection: close`), TLS (§3.3: 40-cipher hello, OCSP),
+//!    a single-packet port-scan baseline (§3.4) and the RFC 1191
+//!    ICMP path-MTU probe (footnote 1).
+//!
+//! [`session`] chains the six probes per host (3 × MSS 64 + 3 × MSS 128),
+//! applies the majority-of-maximum vote and the §4.2 byte-limit
+//! detection; [`scanner`] is the event-driven engine; [`driver`] wires it
+//! to `iw-netsim`/`iw-internet` and runs sharded scans on real threads.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod blacklist;
+pub mod cookie;
+pub mod driver;
+pub mod inference;
+pub mod permutation;
+pub mod prime;
+pub mod probe;
+pub mod rate;
+pub mod results;
+pub mod scanner;
+pub mod session;
+pub mod testbed;
+
+pub use driver::{run_scan, run_scan_sharded, ScanOutput};
+pub use results::{HostResult, HostVerdict, MssVerdict, ProbeOutcome, Protocol, ScanSummary};
+pub use scanner::{ScanConfig, Scanner, TargetSpec};

@@ -1,0 +1,276 @@
+//! Result types for probes, hosts and whole scans.
+
+use serde::{Deserialize, Serialize};
+
+/// What a scan probes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Protocol {
+    /// HTTP on 80/tcp (§3.2).
+    Http,
+    /// TLS on 443/tcp (§3.3).
+    Tls,
+    /// Single-packet SYN port scan — the unmodified-ZMap baseline (§3.4).
+    PortScan,
+    /// RFC 1191 ICMP path-MTU discovery (footnote 1).
+    IcmpMtu,
+}
+
+impl Protocol {
+    /// The destination port probed (0 for ICMP).
+    pub fn port(self) -> u16 {
+        match self {
+            Protocol::Http => 80,
+            Protocol::Tls => 443,
+            Protocol::PortScan => 80,
+            Protocol::IcmpMtu => 0,
+        }
+    }
+}
+
+/// Why a probe errored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ErrorKind {
+    /// RST after the handshake completed.
+    MidConnectionReset,
+    /// Response failed to parse at the wire level.
+    Malformed,
+    /// The three probes of an MSS run disagreed irreconcilably.
+    Inconsistent,
+}
+
+/// The outcome of one probe (one or two TCP connections).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ProbeOutcome {
+    /// The IW was filled and verified exhausted.
+    Success {
+        /// Estimated IW in segments: ⌊bytes / max_seg⌋.
+        segments: u32,
+        /// Distinct payload bytes received before the retransmission.
+        bytes: u32,
+        /// Largest segment observed (the effective MSS).
+        max_seg: u32,
+        /// A sequence hole was still open at decision time.
+        loss_suspected: bool,
+        /// Out-of-order arrival was observed.
+        reordered: bool,
+        /// The estimate came from a follow-up connection (redirect/bloat).
+        redirected: bool,
+    },
+    /// The host ran out of data before filling its IW.
+    FewData {
+        /// Lower bound on the IW in segments (max(1, ⌊bytes/max_seg⌋)
+        /// when any data arrived; 0 = the "NoData" row).
+        lower_bound: u32,
+        /// Distinct payload bytes received.
+        bytes: u32,
+        /// Largest segment observed (0 when no data).
+        max_seg: u32,
+        /// A FIN proved the host was out of data.
+        fin_seen: bool,
+        /// The outcome came from a follow-up connection.
+        redirected: bool,
+    },
+    /// Connection failed after establishment.
+    Error {
+        /// Failure class.
+        kind: ErrorKind,
+    },
+    /// No usable SYN-ACK (silent drop or RST-to-SYN).
+    Unreachable,
+}
+
+impl ProbeOutcome {
+    /// Rank for "keep the better of two connections" comparisons.
+    pub fn quality(&self) -> (u8, u32) {
+        match self {
+            ProbeOutcome::Success { segments, .. } => (3, *segments),
+            ProbeOutcome::FewData { lower_bound, .. } => (2, *lower_bound),
+            ProbeOutcome::Error { .. } => (1, 0),
+            ProbeOutcome::Unreachable => (0, 0),
+        }
+    }
+
+    /// Whether this is a success.
+    pub fn is_success(&self) -> bool {
+        matches!(self, ProbeOutcome::Success { .. })
+    }
+}
+
+/// The per-MSS verdict after the 2-of-3-maximum vote (§4 "Dataset").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MssVerdict {
+    /// IW estimated (segments).
+    Success(u32),
+    /// Only a lower bound (segments; 0 = no data).
+    FewData(u32),
+    /// Errors dominated or probes disagreed.
+    Error,
+    /// Host never completed a handshake.
+    Unreachable,
+}
+
+/// Cross-MSS interpretation of a host's IW configuration (§4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HostVerdict {
+    /// IW configured in segments: same count at both MSS values.
+    SegmentBased(u32),
+    /// IW configured in bytes: segment count halves when MSS doubles.
+    /// Value = estimated byte budget (segments₆₄ × 64).
+    ByteBased(u32),
+    /// Successful at both MSS values but fitting neither pattern.
+    OtherScaling {
+        /// Estimate at MSS 64.
+        at_64: u32,
+        /// Estimate at MSS 128.
+        at_128: u32,
+    },
+    /// Could not estimate at both MSS values.
+    Unclassified,
+}
+
+/// The complete record for one probed host.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HostResult {
+    /// Target address (scan-space coordinates).
+    pub ip: u32,
+    /// Protocol scanned.
+    pub protocol: Protocol,
+    /// Raw outcomes per MSS run: `(mss, one outcome per probe)`.
+    pub runs: Vec<(u16, Vec<ProbeOutcome>)>,
+    /// Voted verdict per MSS (parallel to `runs`).
+    pub verdicts: Vec<(u16, MssVerdict)>,
+    /// Cross-MSS classification.
+    pub host_verdict: HostVerdict,
+}
+
+impl HostResult {
+    /// The verdict of the (primary) MSS-64 run.
+    pub fn primary_verdict(&self) -> Option<MssVerdict> {
+        self.verdicts.first().map(|(_, v)| *v)
+    }
+
+    /// The successful IW estimate at MSS 64, if any.
+    pub fn iw_estimate(&self) -> Option<u32> {
+        match self.primary_verdict() {
+            Some(MssVerdict::Success(iw)) => Some(iw),
+            _ => None,
+        }
+    }
+}
+
+/// Result of an ICMP path-MTU probe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MtuResult {
+    /// Target address.
+    pub ip: u32,
+    /// Discovered path MTU (bytes).
+    pub mtu: u32,
+}
+
+/// Aggregate counts for one scan — the raw material of Table 1.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ScanSummary {
+    /// Targets probed (SYNs to distinct addresses).
+    pub targets: u64,
+    /// Hosts that completed a handshake and allowed data exchange.
+    pub reachable: u64,
+    /// Reachable hosts with a successful (voted) estimate at MSS 64.
+    pub success: u64,
+    /// Reachable hosts that ran out of data.
+    pub few_data: u64,
+    /// Reachable hosts with errors.
+    pub error: u64,
+    /// Hosts answering SYN with RST (counted as not reachable).
+    pub refused: u64,
+}
+
+impl ScanSummary {
+    /// Percentage helpers over the reachable denominator.
+    pub fn rates(&self) -> (f64, f64, f64) {
+        let d = self.reachable.max(1) as f64;
+        (
+            self.success as f64 / d * 100.0,
+            self.few_data as f64 / d * 100.0,
+            self.error as f64 / d * 100.0,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quality_ordering() {
+        let success = ProbeOutcome::Success {
+            segments: 10,
+            bytes: 640,
+            max_seg: 64,
+            loss_suspected: false,
+            reordered: false,
+            redirected: false,
+        };
+        let few = ProbeOutcome::FewData {
+            lower_bound: 7,
+            bytes: 450,
+            max_seg: 64,
+            fin_seen: true,
+            redirected: false,
+        };
+        let err = ProbeOutcome::Error {
+            kind: ErrorKind::MidConnectionReset,
+        };
+        assert!(success.quality() > few.quality());
+        assert!(few.quality() > err.quality());
+        assert!(err.quality() > ProbeOutcome::Unreachable.quality());
+        assert!(success.is_success());
+        assert!(!few.is_success());
+    }
+
+    #[test]
+    fn summary_rates() {
+        let s = ScanSummary {
+            targets: 1000,
+            reachable: 200,
+            success: 100,
+            few_data: 96,
+            error: 4,
+            refused: 10,
+        };
+        let (su, fd, er) = s.rates();
+        assert!((su - 50.0).abs() < 1e-9);
+        assert!((fd - 48.0).abs() < 1e-9);
+        assert!((er - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let r = HostResult {
+            ip: 42,
+            protocol: Protocol::Http,
+            runs: vec![(
+                64,
+                vec![ProbeOutcome::FewData {
+                    lower_bound: 7,
+                    bytes: 470,
+                    max_seg: 64,
+                    fin_seen: true,
+                    redirected: false,
+                }],
+            )],
+            verdicts: vec![(64, MssVerdict::FewData(7))],
+            host_verdict: HostVerdict::Unclassified,
+        };
+        let json = serde_json::to_string(&r).unwrap();
+        let back: HostResult = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.ip, 42);
+        assert_eq!(back.primary_verdict(), Some(MssVerdict::FewData(7)));
+        assert_eq!(back.iw_estimate(), None);
+    }
+
+    #[test]
+    fn protocol_ports() {
+        assert_eq!(Protocol::Http.port(), 80);
+        assert_eq!(Protocol::Tls.port(), 443);
+    }
+}

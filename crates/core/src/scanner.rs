@@ -1,0 +1,521 @@
+//! The scan engine: ZMap's send/receive architecture as one event-driven
+//! endpoint.
+//!
+//! The send side walks the cyclic-group permutation (or an explicit
+//! target list), applies the blacklist and the sampling filter, and
+//! paces stateless SYNs (or ICMP echos) with a token bucket. The receive
+//! side validates SYN-ACKs against the ISN cookie and only then
+//! allocates the stateful per-host probe session — the "lightweight
+//! fashion" extension the paper adds to ZMap (§3.4).
+
+use crate::blacklist::ScanFilter;
+use crate::cookie::CookieKey;
+use crate::permutation::{Permutation, ShardIter};
+use crate::rate::TokenBucket;
+use crate::results::{HostResult, MtuResult, Protocol};
+use crate::session::{HostSession, SessionParams, SessionOutput};
+use iw_internet::util::mix;
+use iw_netsim::{Duration, Effects, Endpoint, Instant, TimerToken};
+use iw_wire::ipv4::Ipv4Addr;
+use iw_wire::tcp::{self, Flags};
+use iw_wire::{icmp, ipv4, IpProtocol};
+use std::collections::HashMap;
+
+/// What to scan.
+#[derive(Debug, Clone)]
+pub enum TargetSpec {
+    /// The whole scaled address space (permutation order).
+    FullSpace {
+        /// Space size in addresses.
+        size: u32,
+    },
+    /// An explicit list (e.g. Alexa): `(ip, known domain)`.
+    List(Vec<(u32, Option<String>)>),
+}
+
+/// Scan configuration.
+#[derive(Debug, Clone)]
+pub struct ScanConfig {
+    /// Seed for permutation, cookies and probe randomness.
+    pub seed: u64,
+    /// Protocol module.
+    pub protocol: Protocol,
+    /// Target generation rate (packets/second, virtual time).
+    pub rate_pps: u64,
+    /// Targets.
+    pub targets: TargetSpec,
+    /// White/blacklists.
+    pub filter: ScanFilter,
+    /// Probe only this fraction of admitted targets (1.0 = all); the
+    /// "1 % is enough" experiments use 0.01.
+    pub sample_fraction: f64,
+    /// Salt distinguishing independent random samples.
+    pub sample_salt: u64,
+    /// `(index, count)` cycle-striding shard.
+    pub shard: (u32, u32),
+    /// Probes per MSS (3 in the study).
+    pub probes_per_mss: u32,
+    /// Announced MSS values in run order.
+    pub mss_list: Vec<u16>,
+    /// Scanner source address.
+    pub source: Ipv4Addr,
+    /// Exhaustion-verification knob (ablation; on in the study).
+    pub verify_exhaustion: bool,
+}
+
+impl ScanConfig {
+    /// Study defaults against a full space.
+    pub fn study(protocol: Protocol, space: u32, seed: u64) -> ScanConfig {
+        ScanConfig {
+            seed,
+            protocol,
+            rate_pps: 150_000,
+            targets: TargetSpec::FullSpace { size: space },
+            filter: ScanFilter::default(),
+            sample_fraction: 1.0,
+            sample_salt: 0,
+            shard: (0, 1),
+            probes_per_mss: 3,
+            mss_list: vec![64, 128],
+            source: Ipv4Addr::new(198, 18, 0, 1),
+            verify_exhaustion: true,
+        }
+    }
+}
+
+enum TargetIter {
+    Perm(ShardIter),
+    List(std::vec::IntoIter<(u32, Option<String>)>),
+}
+
+impl TargetIter {
+    fn next(&mut self) -> Option<(u32, Option<String>)> {
+        match self {
+            TargetIter::Perm(iter) => iter.next().map(|ip| (ip as u32, None)),
+            TargetIter::List(iter) => iter.next(),
+        }
+    }
+}
+
+/// Timer token for the pacing tick.
+const PACING_TOKEN: TimerToken = u64::MAX;
+/// Pacing tick length.
+const TICK: Duration = Duration::from_millis(5);
+
+#[derive(Debug, Clone, Copy)]
+struct MtuProbe {
+    current_total: u32,
+}
+
+/// The scanner endpoint.
+pub struct Scanner {
+    config: ScanConfig,
+    params: SessionParams,
+    cookie: CookieKey,
+    bucket: TokenBucket,
+    targets: TargetIter,
+    exhausted: bool,
+    sessions: HashMap<u32, HostSession>,
+    domains: HashMap<u32, String>,
+    results: Vec<HostResult>,
+    open_ports: Vec<u32>,
+    mtu_states: HashMap<u32, MtuProbe>,
+    mtu_results: Vec<MtuResult>,
+    targets_sent: u64,
+    refused: u64,
+    ident: u16,
+}
+
+impl Scanner {
+    /// Build a scanner from a config.
+    pub fn new(config: ScanConfig) -> Scanner {
+        let params = SessionParams {
+            protocol: config.protocol,
+            probes_per_mss: config.probes_per_mss,
+            mss_list: config.mss_list.clone(),
+            base_sport: 40000,
+            source: config.source,
+            seed: config.seed,
+            verify_exhaustion: config.verify_exhaustion,
+        };
+        let targets = match &config.targets {
+            TargetSpec::FullSpace { size } => {
+                let perm = Permutation::new(u64::from(*size), config.seed);
+                TargetIter::Perm(perm.shard(config.shard.0, config.shard.1))
+            }
+            TargetSpec::List(list) => TargetIter::List(list.clone().into_iter()),
+        };
+        let cookie = CookieKey::new(config.seed);
+        let bucket = TokenBucket::new(
+            config.rate_pps,
+            (config.rate_pps / 100).max(16),
+            Instant::ZERO,
+        );
+        Scanner {
+            config,
+            params,
+            cookie,
+            bucket,
+            targets,
+            exhausted: false,
+            sessions: HashMap::new(),
+            domains: HashMap::new(),
+            results: Vec::new(),
+            open_ports: Vec::new(),
+            mtu_states: HashMap::new(),
+            mtu_results: Vec::new(),
+            targets_sent: 0,
+            refused: 0,
+            ident: 1,
+        }
+    }
+
+    /// Begin scanning (call once via `Sim::kick_scanner`).
+    pub fn start(&mut self, now: Instant, fx: &mut Effects) {
+        self.pace(now, fx);
+    }
+
+    /// Finished host records (harvest after the run).
+    pub fn results(&self) -> &[HostResult] {
+        &self.results
+    }
+
+    /// Open ports found (port-scan mode).
+    pub fn open_ports(&self) -> &[u32] {
+        &self.open_ports
+    }
+
+    /// Path-MTU results (ICMP mode).
+    pub fn mtu_results(&self) -> &[MtuResult] {
+        &self.mtu_results
+    }
+
+    /// SYNs answered by RST (host up, port closed).
+    pub fn refused(&self) -> u64 {
+        self.refused
+    }
+
+    /// Distinct targets probed.
+    pub fn targets_sent(&self) -> u64 {
+        self.targets_sent
+    }
+
+    /// Sessions still in flight (diagnostics).
+    pub fn live_sessions(&self) -> usize {
+        self.sessions.len()
+    }
+
+    fn sample_admits(&self, ip: u32) -> bool {
+        if self.config.sample_fraction >= 1.0 {
+            return true;
+        }
+        let h = mix(&[self.config.seed, self.config.sample_salt, u64::from(ip)]);
+        ((h >> 11) as f64 / (1u64 << 53) as f64) < self.config.sample_fraction
+    }
+
+    fn pace(&mut self, now: Instant, fx: &mut Effects) {
+        if self.exhausted {
+            return;
+        }
+        let want = (self.config.rate_pps / 200).max(1);
+        let grant = self.bucket.take(now, want);
+        for _ in 0..grant {
+            loop {
+                let Some((ip, domain)) = self.targets.next() else {
+                    self.exhausted = true;
+                    return; // no re-arm: receive path finishes the scan
+                };
+                if !self.config.filter.admits(ip) || !self.sample_admits(ip) {
+                    continue;
+                }
+                self.targets_sent += 1;
+                if let Some(d) = domain {
+                    self.domains.insert(ip, d);
+                }
+                self.send_initial_probe(ip, fx);
+                break;
+            }
+        }
+        fx.arm(TICK, PACING_TOKEN);
+    }
+
+    fn send_initial_probe(&mut self, ip: u32, fx: &mut Effects) {
+        match self.config.protocol {
+            Protocol::IcmpMtu => {
+                let total = 1500u32;
+                self.mtu_states.insert(
+                    ip,
+                    MtuProbe {
+                        current_total: total,
+                    },
+                );
+                self.send_echo(ip, total, fx);
+            }
+            _ => {
+                let dport = self.config.protocol.port();
+                let sport = self.params.sport(0, 0);
+                let isn = self.cookie.isn(ip, sport, dport);
+                let syn = tcp::Repr {
+                    src_port: sport,
+                    dst_port: dport,
+                    seq: isn,
+                    ack: 0,
+                    flags: Flags::SYN,
+                    window: 65535,
+                    options: vec![tcp::TcpOption::Mss(self.params_mss0())],
+                    payload: Vec::new(),
+                };
+                self.emit_segment(Ipv4Addr::from_u32(ip), &syn, fx);
+            }
+        }
+    }
+
+    fn params_mss0(&self) -> u16 {
+        *self.config.mss_list.first().unwrap_or(&64)
+    }
+
+    fn emit_segment(&mut self, dst: Ipv4Addr, seg: &tcp::Repr, fx: &mut Effects) {
+        let l4 = seg.emit(self.config.source, dst);
+        let datagram = ipv4::build_datagram(
+            &ipv4::Repr {
+                src_addr: self.config.source,
+                dst_addr: dst,
+                protocol: IpProtocol::Tcp,
+                payload_len: l4.len(),
+                ttl: 64,
+            },
+            self.ident,
+            &l4,
+        );
+        self.ident = self.ident.wrapping_add(1);
+        fx.send(datagram);
+    }
+
+    fn send_echo(&mut self, ip: u32, total_len: u32, fx: &mut Effects) {
+        let payload_len =
+            total_len as usize - ipv4::HEADER_LEN - icmp::HEADER_LEN;
+        let msg = icmp::Message::EchoRequest {
+            ident: (self.cookie.isn(ip, 0, 0) & 0xffff) as u16,
+            seq: 1,
+            payload_len,
+        };
+        let l4 = msg.emit();
+        let datagram = ipv4::build_datagram(
+            &ipv4::Repr {
+                src_addr: self.config.source,
+                dst_addr: Ipv4Addr::from_u32(ip),
+                protocol: IpProtocol::Icmp,
+                payload_len: l4.len(),
+                ttl: 64,
+            },
+            self.ident,
+            &l4,
+        );
+        self.ident = self.ident.wrapping_add(1);
+        fx.send(datagram);
+    }
+
+    fn apply_session_output(&mut self, ip: u32, out: SessionOutput, now: Instant, fx: &mut Effects) {
+        let dst = Ipv4Addr::from_u32(ip);
+        for seg in &out.tx {
+            self.emit_segment(dst, seg, fx);
+        }
+        if let Some(deadline) = out.deadline {
+            if deadline > now {
+                fx.arm(deadline - now, u64::from(ip));
+            }
+        }
+        if let Some(result) = out.result {
+            self.results.push(result);
+            self.sessions.remove(&ip);
+        }
+    }
+
+    fn on_tcp(&mut self, src: Ipv4Addr, seg: &tcp::Repr, now: Instant, fx: &mut Effects) {
+        let ip = src.to_u32();
+
+        if self.config.protocol == Protocol::PortScan {
+            let sport = self.params.sport(0, 0);
+            if seg.dst_port != sport {
+                return;
+            }
+            if seg.flags.contains(Flags::SYN)
+                && seg.flags.contains(Flags::ACK)
+                && self.cookie.validate(ip, sport, seg.src_port, seg.ack)
+            {
+                self.open_ports.push(ip);
+                let rst = tcp::Repr::bare(sport, seg.src_port, seg.ack, 0, Flags::RST, 0);
+                self.emit_segment(src, &rst, fx);
+            } else if seg.flags.contains(Flags::RST) {
+                self.refused += 1;
+            }
+            return;
+        }
+
+        if let Some(session) = self.sessions.get_mut(&ip) {
+            let out = session.on_segment(seg, now);
+            self.apply_session_output(ip, out, now, fx);
+            return;
+        }
+        // No session: a valid SYN-ACK for (probe 0, conn 0) creates one.
+        let sport = self.params.sport(0, 0);
+        let dport = self.config.protocol.port();
+        if seg.dst_port == sport
+            && seg.src_port == dport
+            && seg.flags.contains(Flags::SYN)
+            && seg.flags.contains(Flags::ACK)
+            && self.cookie.validate(ip, sport, dport, seg.ack)
+        {
+            let domain = self.domains.get(&ip).cloned();
+            let mut session =
+                HostSession::new(src, self.params.clone(), self.cookie, domain, now);
+            let out = session.on_segment(seg, now);
+            self.sessions.insert(ip, session);
+            self.apply_session_output(ip, out, now, fx);
+        } else if seg.flags.contains(Flags::RST)
+            && seg.dst_port == sport
+            && self.cookie.validate(ip, sport, dport, seg.ack)
+        {
+            self.refused += 1;
+        }
+    }
+
+    fn on_icmp(&mut self, src: Ipv4Addr, msg: &icmp::Message, fx: &mut Effects) {
+        if self.config.protocol != Protocol::IcmpMtu {
+            return;
+        }
+        let ip = src.to_u32();
+        let Some(state) = self.mtu_states.get(&ip).copied() else {
+            return;
+        };
+        match msg {
+            icmp::Message::FragNeeded { mtu } => {
+                let mtu = u32::from(*mtu);
+                if mtu > 0 && mtu < state.current_total {
+                    self.mtu_states.insert(ip, MtuProbe { current_total: mtu });
+                    self.send_echo(ip, mtu, fx);
+                }
+            }
+            icmp::Message::EchoReply { .. } => {
+                self.mtu_results.push(MtuResult {
+                    ip,
+                    mtu: state.current_total,
+                });
+                self.mtu_states.remove(&ip);
+            }
+            _ => {}
+        }
+    }
+}
+
+impl Endpoint for Scanner {
+    fn on_packet(&mut self, pkt: &[u8], now: Instant, fx: &mut Effects) {
+        let Ok(packet) = ipv4::Packet::new_checked(pkt) else {
+            return;
+        };
+        let Ok(ip_repr) = ipv4::Repr::parse(&packet) else {
+            return;
+        };
+        if ip_repr.dst_addr != self.config.source {
+            return;
+        }
+        match ip_repr.protocol {
+            IpProtocol::Tcp => {
+                let payload = packet.payload();
+                let Ok(seg_packet) = tcp::Packet::new_checked(payload) else {
+                    return;
+                };
+                let Ok(seg) = tcp::Repr::parse(&seg_packet, ip_repr.src_addr, ip_repr.dst_addr)
+                else {
+                    return;
+                };
+                self.on_tcp(ip_repr.src_addr, &seg, now, fx);
+            }
+            IpProtocol::Icmp => {
+                if let Ok(msg) = icmp::Message::parse(packet.payload()) {
+                    self.on_icmp(ip_repr.src_addr, &msg, fx);
+                }
+            }
+            IpProtocol::Unknown(_) => {}
+        }
+    }
+
+    fn on_timer(&mut self, token: TimerToken, now: Instant, fx: &mut Effects) {
+        if token == PACING_TOKEN {
+            self.pace(now, fx);
+            return;
+        }
+        let ip = token as u32;
+        if let Some(session) = self.sessions.get_mut(&ip) {
+            let out = session.on_timer(now);
+            self.apply_session_output(ip, out, now, fx);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_study_defaults() {
+        let c = ScanConfig::study(Protocol::Http, 1 << 20, 7);
+        assert_eq!(c.rate_pps, 150_000);
+        assert_eq!(c.mss_list, vec![64, 128]);
+        assert_eq!(c.probes_per_mss, 3);
+        assert_eq!(c.shard, (0, 1));
+    }
+
+    #[test]
+    fn sampling_fraction_filters_deterministically() {
+        let mut config = ScanConfig::study(Protocol::Http, 1 << 16, 7);
+        config.sample_fraction = 0.25;
+        let s = Scanner::new(config);
+        let admitted = (0..40_000u32).filter(|ip| s.sample_admits(*ip)).count();
+        let frac = admitted as f64 / 40_000.0;
+        assert!((0.23..0.27).contains(&frac), "{frac}");
+        // Same seed/salt → same subset.
+        let s2 = Scanner::new(ScanConfig {
+            sample_fraction: 0.25,
+            ..ScanConfig::study(Protocol::Http, 1 << 16, 7)
+        });
+        for ip in 0..1000 {
+            assert_eq!(s.sample_admits(ip), s2.sample_admits(ip));
+        }
+    }
+
+    #[test]
+    fn different_salts_different_samples() {
+        let mk = |salt| {
+            let mut c = ScanConfig::study(Protocol::Http, 1 << 16, 7);
+            c.sample_fraction = 0.5;
+            c.sample_salt = salt;
+            Scanner::new(c)
+        };
+        let a = mk(1);
+        let b = mk(2);
+        let differing = (0..2000u32)
+            .filter(|ip| a.sample_admits(*ip) != b.sample_admits(*ip))
+            .count();
+        assert!(differing > 500, "{differing}");
+    }
+
+    #[test]
+    fn pacing_respects_rate() {
+        let mut config = ScanConfig::study(Protocol::Http, 1 << 20, 3);
+        config.rate_pps = 10_000;
+        let mut scanner = Scanner::new(config);
+        let mut fx = Effects::default();
+        let mut now = Instant::ZERO;
+        scanner.start(now, &mut fx);
+        let mut sent = fx.tx.len() as u64;
+        for _ in 0..200 {
+            now += TICK;
+            let mut fx = Effects::default();
+            scanner.pace(now, &mut fx);
+            sent += fx.tx.len() as u64;
+        }
+        // 200 ticks × 5 ms = 1 s → ≈ 10k SYNs.
+        assert!((9_000..=11_000).contains(&sent), "{sent}");
+    }
+}

@@ -1,0 +1,474 @@
+//! Per-host probe sessions: the §4 scan configuration.
+//!
+//! "We decided to probe each host three times to account for tail loss
+//! and count it successful if at least two out of three probes yield the
+//! same result and … we require them to be the maximum of all three
+//! probes. To further test if hosts adjust their IW based on the
+//! announced MSS … we scan with an MSS of 64 B and 128 B. To ensure no
+//! temporal changes at the host, all six probes (three for each MSS) are
+//! sent after each other."
+
+use crate::cookie::CookieKey;
+use crate::inference::{ConnConfig, ConnOutput, InferenceConn};
+use crate::probe::http::HttpProbe;
+use crate::probe::tls::TlsProbe;
+use crate::probe::{ProbeDriver, ProbeStep};
+use crate::results::{
+    HostResult, HostVerdict, MssVerdict, ProbeOutcome, Protocol,
+};
+use iw_internet::util::mix;
+use iw_netsim::Instant;
+use iw_wire::ipv4::Ipv4Addr;
+use iw_wire::tcp;
+
+/// Session-wide parameters shared by all hosts of a scan.
+#[derive(Debug, Clone)]
+pub struct SessionParams {
+    /// Protocol under measurement (HTTP or TLS).
+    pub protocol: Protocol,
+    /// Probes per MSS value (3 in the study).
+    pub probes_per_mss: u32,
+    /// MSS values, in probe order ([64, 128] in the study).
+    pub mss_list: Vec<u16>,
+    /// First source port; each connection takes one from here up.
+    pub base_sport: u16,
+    /// Scanner address.
+    pub source: Ipv4Addr,
+    /// Scan seed (drives the ClientHello randoms).
+    pub seed: u64,
+    /// Exhaustion-verification knob (see [`ConnConfig::verify_exhaustion`]).
+    pub verify_exhaustion: bool,
+}
+
+impl SessionParams {
+    /// The study configuration for a protocol.
+    pub fn study(protocol: Protocol, source: Ipv4Addr, seed: u64) -> SessionParams {
+        SessionParams {
+            protocol,
+            probes_per_mss: 3,
+            mss_list: vec![64, 128],
+            base_sport: 40000,
+            source,
+            seed,
+            verify_exhaustion: true,
+        }
+    }
+
+    /// Total probes per host.
+    pub fn total_probes(&self) -> u32 {
+        self.probes_per_mss * self.mss_list.len() as u32
+    }
+
+    /// The source port of (probe, conn) — 2 connections max per probe.
+    pub fn sport(&self, probe_idx: u32, conn_idx: u8) -> u16 {
+        self.base_sport + (probe_idx * 2) as u16 + u16::from(conn_idx)
+    }
+}
+
+/// Output of feeding an event to a session.
+#[derive(Debug, Default)]
+pub struct SessionOutput {
+    /// Segments to transmit to the session's host.
+    pub tx: Vec<tcp::Repr>,
+    /// Deadline to be woken at.
+    pub deadline: Option<Instant>,
+    /// Present once: the finished host record.
+    pub result: Option<HostResult>,
+}
+
+/// A live measurement session against one host.
+pub struct HostSession {
+    ip: Ipv4Addr,
+    params: SessionParams,
+    cookie: CookieKey,
+    /// Optional known domain (Alexa scans): Host header + SNI.
+    domain: Option<String>,
+    probe_idx: u32,
+    conn_idx: u8,
+    driver: Box<dyn ProbeDriver + Send>,
+    conn: InferenceConn,
+    /// Outcomes per MSS run.
+    runs: Vec<(u16, Vec<ProbeOutcome>)>,
+    done: bool,
+}
+
+impl HostSession {
+    /// Start a session. The initial SYN for (probe 0, conn 0) was already
+    /// sent statelessly by the scanner, so the returned output carries no
+    /// SYN — feed the SYN-ACK that created this session via
+    /// [`HostSession::on_segment`].
+    pub fn new(
+        ip: Ipv4Addr,
+        params: SessionParams,
+        cookie: CookieKey,
+        domain: Option<String>,
+        now: Instant,
+    ) -> HostSession {
+        let mut runs = Vec::with_capacity(params.mss_list.len());
+        for mss in &params.mss_list {
+            runs.push((*mss, Vec::new()));
+        }
+        let mut driver = make_driver(&params, ip, &domain, 0);
+        let request = driver.initial_request();
+        let cfg = conn_config(&params, &cookie, ip, 0, 0, request);
+        // Reconstruct the conn machine in SynSent; discard its duplicate
+        // SYN (already on the wire).
+        let (conn, _discard) = InferenceConn::new(cfg, now);
+        HostSession {
+            ip,
+            params,
+            cookie,
+            domain,
+            probe_idx: 0,
+            conn_idx: 0,
+            driver,
+            conn,
+            runs,
+            done: false,
+        }
+    }
+
+    /// The target address.
+    pub fn ip(&self) -> Ipv4Addr {
+        self.ip
+    }
+
+    /// Whether the session concluded.
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// Feed an inbound segment (already parsed; src is this host).
+    pub fn on_segment(&mut self, seg: &tcp::Repr, now: Instant) -> SessionOutput {
+        if self.done {
+            return SessionOutput::default();
+        }
+        // Only the current connection's port is live; late packets from
+        // completed connections are ignored (they were RST anyway).
+        if seg.dst_port != self.params.sport(self.probe_idx, self.conn_idx) {
+            return SessionOutput::default();
+        }
+        let out = self.conn.on_segment(seg, now);
+        self.absorb(out, now)
+    }
+
+    /// Timer wake-up.
+    pub fn on_timer(&mut self, now: Instant) -> SessionOutput {
+        if self.done {
+            return SessionOutput::default();
+        }
+        let out = self.conn.on_timer(now);
+        self.absorb(out, now)
+    }
+
+    fn absorb(&mut self, out: ConnOutput, now: Instant) -> SessionOutput {
+        let mut session_out = SessionOutput {
+            tx: out.tx,
+            deadline: out.deadline,
+            result: None,
+        };
+        let Some(result) = out.result else {
+            return session_out;
+        };
+        match self.driver.next_step(&result) {
+            ProbeStep::FollowUp(request) => {
+                self.conn_idx += 1;
+                let cfg = conn_config(
+                    &self.params,
+                    &self.cookie,
+                    self.ip,
+                    self.probe_idx,
+                    self.conn_idx,
+                    request,
+                );
+                let (conn, first) = InferenceConn::new(cfg, now);
+                self.conn = conn;
+                session_out.tx.extend(first.tx);
+                session_out.deadline = first.deadline;
+            }
+            ProbeStep::Conclude(outcome) => {
+                let mss_idx = (self.probe_idx / self.params.probes_per_mss) as usize;
+                self.runs[mss_idx].1.push(outcome);
+                self.probe_idx += 1;
+                // Even an Unreachable probe does not abort the session: a
+                // lost SYN under loss must not discard the host (the
+                // remaining probes still vote).
+                if self.probe_idx >= self.params.total_probes() {
+                    session_out.result = Some(self.finalize());
+                    session_out.deadline = None;
+                } else {
+                    // Launch the next probe immediately ("all six probes
+                    // are sent after each other").
+                    self.conn_idx = 0;
+                    self.driver =
+                        make_driver(&self.params, self.ip, &self.domain, self.probe_idx);
+                    let request = self.driver.initial_request();
+                    let cfg = conn_config(
+                        &self.params,
+                        &self.cookie,
+                        self.ip,
+                        self.probe_idx,
+                        self.conn_idx,
+                        request,
+                    );
+                    let (conn, first) = InferenceConn::new(cfg, now);
+                    self.conn = conn;
+                    session_out.tx.extend(first.tx);
+                    session_out.deadline = first.deadline;
+                }
+            }
+        }
+        session_out
+    }
+
+    fn finalize(&mut self) -> HostResult {
+        self.done = true;
+        let verdicts: Vec<(u16, MssVerdict)> = self
+            .runs
+            .iter()
+            .map(|(mss, outcomes)| (*mss, vote(outcomes)))
+            .collect();
+        let host_verdict = classify_host(&verdicts);
+        HostResult {
+            ip: self.ip.to_u32(),
+            protocol: self.params.protocol,
+            runs: std::mem::take(&mut self.runs),
+            verdicts,
+            host_verdict,
+        }
+    }
+}
+
+fn make_driver(
+    params: &SessionParams,
+    ip: Ipv4Addr,
+    domain: &Option<String>,
+    probe_idx: u32,
+) -> Box<dyn ProbeDriver + Send> {
+    match params.protocol {
+        Protocol::Http | Protocol::PortScan => {
+            let host = domain.clone().unwrap_or_else(|| ip.to_string());
+            Box::new(HttpProbe::new(host))
+        }
+        Protocol::Tls => {
+            let mut random = [0u8; 32];
+            let h = mix(&[params.seed, u64::from(ip.to_u32()), u64::from(probe_idx)]);
+            for (i, b) in random.iter_mut().enumerate() {
+                *b = (h >> (8 * (i % 8))) as u8 ^ i as u8;
+            }
+            Box::new(TlsProbe::new(domain.clone(), random))
+        }
+        Protocol::IcmpMtu => unreachable!("ICMP probes do not use TCP sessions"),
+    }
+}
+
+fn conn_config(
+    params: &SessionParams,
+    cookie: &CookieKey,
+    ip: Ipv4Addr,
+    probe_idx: u32,
+    conn_idx: u8,
+    request: Vec<u8>,
+) -> ConnConfig {
+    let sport = params.sport(probe_idx, conn_idx);
+    let dport = params.protocol.port();
+    let mss_idx = (probe_idx / params.probes_per_mss) as usize;
+    let mss = params.mss_list[mss_idx];
+    let isn = cookie.isn(ip.to_u32(), sport, dport);
+    let mut cfg = ConnConfig::new(ip, params.source, sport, dport, mss, isn, request);
+    cfg.verify_exhaustion = params.verify_exhaustion;
+    cfg
+}
+
+/// The 2-of-3-maximum vote over one MSS run's probe outcomes. With
+/// fewer than three probes (ablation configurations) a single success
+/// is accepted — there is nothing to vote with.
+pub fn vote(outcomes: &[ProbeOutcome]) -> MssVerdict {
+    let required = if outcomes.len() >= 3 { 2 } else { 1 };
+    let successes: Vec<u32> = outcomes
+        .iter()
+        .filter_map(|o| match o {
+            ProbeOutcome::Success { segments, .. } => Some(*segments),
+            _ => None,
+        })
+        .collect();
+    if !successes.is_empty() {
+        let max = *successes.iter().max().expect("non-empty");
+        if successes.iter().filter(|s| **s == max).count() >= required {
+            return MssVerdict::Success(max);
+        }
+        if successes.len() >= 2 {
+            // Two or more successes that cannot agree on the maximum:
+            // the paper's criterion rejects the host ("error marks all
+            // other cases").
+            return MssVerdict::Error;
+        }
+    }
+    // Lone success or no success: fall back to the strongest lower bound.
+    let mut lower: Option<u32> = None;
+    let mut any_few = false;
+    for o in outcomes {
+        match o {
+            ProbeOutcome::FewData { lower_bound, .. } => {
+                any_few = true;
+                lower = Some(lower.map_or(*lower_bound, |l| l.max(*lower_bound)));
+            }
+            ProbeOutcome::Success { segments, .. } => {
+                lower = Some(lower.map_or(*segments, |l| l.max(*segments)));
+            }
+            _ => {}
+        }
+    }
+    if any_few || successes.len() == 1 {
+        return MssVerdict::FewData(lower.unwrap_or(0));
+    }
+    if outcomes
+        .iter()
+        .all(|o| matches!(o, ProbeOutcome::Unreachable))
+    {
+        return MssVerdict::Unreachable;
+    }
+    MssVerdict::Error
+}
+
+/// Cross-MSS classification (§4.2).
+pub fn classify_host(verdicts: &[(u16, MssVerdict)]) -> HostVerdict {
+    if verdicts.len() < 2 {
+        return match verdicts.first() {
+            Some((_, MssVerdict::Success(s))) => HostVerdict::SegmentBased(*s),
+            _ => HostVerdict::Unclassified,
+        };
+    }
+    let (mss_a, va) = verdicts[0];
+    let (mss_b, vb) = verdicts[1];
+    match (va, vb) {
+        (MssVerdict::Success(a), MssVerdict::Success(b)) => {
+            if a == b {
+                HostVerdict::SegmentBased(a)
+            } else if a == 2 * b && mss_b == 2 * mss_a {
+                // Segment count halves as MSS doubles: a byte budget.
+                HostVerdict::ByteBased(a * u32::from(mss_a))
+            } else {
+                HostVerdict::OtherScaling { at_64: a, at_128: b }
+            }
+        }
+        _ => HostVerdict::Unclassified,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn success(segments: u32) -> ProbeOutcome {
+        ProbeOutcome::Success {
+            segments,
+            bytes: segments * 64,
+            max_seg: 64,
+            loss_suspected: false,
+            reordered: false,
+            redirected: false,
+        }
+    }
+
+    fn few(lower: u32) -> ProbeOutcome {
+        ProbeOutcome::FewData {
+            lower_bound: lower,
+            bytes: lower * 64,
+            max_seg: 64,
+            fin_seen: true,
+            redirected: false,
+        }
+    }
+
+    #[test]
+    fn vote_unanimous_success() {
+        assert_eq!(
+            vote(&[success(10), success(10), success(10)]),
+            MssVerdict::Success(10)
+        );
+    }
+
+    #[test]
+    fn vote_tail_loss_max_rule() {
+        // One probe underestimated (tail loss): two agree on the max.
+        assert_eq!(
+            vote(&[success(9), success(10), success(10)]),
+            MssVerdict::Success(10)
+        );
+        // Two probes agree on 9 but 10 is the max: NOT a success (the
+        // agreeing pair must BE the maximum).
+        assert_eq!(
+            vote(&[success(9), success(9), success(10)]),
+            MssVerdict::Error
+        );
+    }
+
+    #[test]
+    fn vote_all_disagree() {
+        assert_eq!(
+            vote(&[success(8), success(9), success(10)]),
+            MssVerdict::Error
+        );
+    }
+
+    #[test]
+    fn vote_few_data_takes_max_bound() {
+        assert_eq!(vote(&[few(7), few(7), few(3)]), MssVerdict::FewData(7));
+        assert_eq!(vote(&[few(0), few(0), few(0)]), MssVerdict::FewData(0));
+    }
+
+    #[test]
+    fn vote_lone_success_degrades_to_bound() {
+        assert_eq!(vote(&[success(10), few(7), few(7)]), MssVerdict::FewData(10));
+    }
+
+    #[test]
+    fn vote_unreachable() {
+        assert_eq!(
+            vote(&[ProbeOutcome::Unreachable, ProbeOutcome::Unreachable]),
+            MssVerdict::Unreachable
+        );
+    }
+
+    #[test]
+    fn classify_segment_based() {
+        let v = vec![(64, MssVerdict::Success(10)), (128, MssVerdict::Success(10))];
+        assert_eq!(classify_host(&v), HostVerdict::SegmentBased(10));
+    }
+
+    #[test]
+    fn classify_byte_based_4k() {
+        let v = vec![(64, MssVerdict::Success(64)), (128, MssVerdict::Success(32))];
+        assert_eq!(classify_host(&v), HostVerdict::ByteBased(4096));
+    }
+
+    #[test]
+    fn classify_mtu_fill() {
+        let v = vec![(64, MssVerdict::Success(24)), (128, MssVerdict::Success(12))];
+        assert_eq!(classify_host(&v), HostVerdict::ByteBased(1536));
+    }
+
+    #[test]
+    fn classify_other_and_unclassified() {
+        let v = vec![(64, MssVerdict::Success(10)), (128, MssVerdict::Success(7))];
+        assert_eq!(
+            classify_host(&v),
+            HostVerdict::OtherScaling { at_64: 10, at_128: 7 }
+        );
+        let v = vec![(64, MssVerdict::Success(10)), (128, MssVerdict::FewData(3))];
+        assert_eq!(classify_host(&v), HostVerdict::Unclassified);
+    }
+
+    #[test]
+    fn sport_allocation_unique() {
+        let p = SessionParams::study(Protocol::Http, Ipv4Addr::new(192, 0, 2, 1), 1);
+        let mut seen = std::collections::HashSet::new();
+        for probe in 0..p.total_probes() {
+            for conn in 0..2u8 {
+                assert!(seen.insert(p.sport(probe, conn)));
+            }
+        }
+        assert_eq!(p.total_probes(), 6);
+    }
+}

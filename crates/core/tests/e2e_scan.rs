@@ -1,0 +1,217 @@
+//! End-to-end scans of small synthetic populations: the scanner must
+//! recover configured initial windows through real packet exchanges.
+
+use iw_core::{run_scan, run_scan_sharded, HostVerdict, Protocol, ScanConfig};
+use iw_hoststack::IwPolicy;
+use iw_internet::{Population, PopulationConfig};
+use std::sync::Arc;
+
+fn tiny_population(seed: u64) -> Arc<Population> {
+    Arc::new(Population::new(PopulationConfig {
+        seed,
+        space_size: 1 << 15,
+        target_responsive: 600,
+        loss_scale: 0.0,
+    }))
+}
+
+fn scan(pop: &Arc<Population>, protocol: Protocol, seed: u64) -> iw_core::ScanOutput {
+    let mut config = ScanConfig::study(protocol, pop.space_size(), seed);
+    config.rate_pps = 2_000_000; // compress virtual time for tests
+    run_scan(pop, config)
+}
+
+#[test]
+fn http_scan_recovers_ground_truth_iws() {
+    let pop = tiny_population(0xabc);
+    let out = scan(&pop, Protocol::Http, 0xabc);
+    assert!(
+        out.summary.reachable > 100,
+        "reachable {}",
+        out.summary.reachable
+    );
+    let mut correct = 0u32;
+    let mut wrong = 0u32;
+    for r in &out.results {
+        let gt = pop.ground_truth(r.ip).expect("scanned host exists");
+        if let Some(est) = r.iw_estimate() {
+            let expected = gt.iw.initial_segments(effective_mss(&pop, r.ip, 64));
+            if est == expected {
+                correct += 1;
+            } else {
+                wrong += 1;
+                assert!(
+                    wrong < 5,
+                    "ip {} est {est} expected {expected} (policy {:?}, cohort {})",
+                    r.ip,
+                    gt.iw,
+                    gt.cohort
+                );
+            }
+        }
+    }
+    assert!(correct > 50, "expected many exact recoveries, got {correct}");
+    assert_eq!(wrong, 0, "lossless world must recover IWs exactly");
+}
+
+fn effective_mss(pop: &Arc<Population>, ip: u32, announced: u16) -> u32 {
+    pop.host_config(ip)
+        .expect("host exists")
+        .os
+        .effective_mss(Some(announced))
+}
+
+#[test]
+fn tls_scan_recovers_ground_truth_iws() {
+    let pop = tiny_population(0xdef);
+    let out = scan(&pop, Protocol::Tls, 0xdef);
+    assert!(out.summary.reachable > 50);
+    let (success, few, err) = out.summary.rates();
+    assert!(success > 50.0, "TLS success rate {success}");
+    assert!(few < 45.0, "TLS few-data rate {few}");
+    assert!(err < 20.0, "TLS error rate {err}");
+    for r in &out.results {
+        if let Some(est) = r.iw_estimate() {
+            let gt = pop.ground_truth(r.ip).unwrap();
+            let expected = gt.iw.initial_segments(effective_mss(&pop, r.ip, 64));
+            assert_eq!(est, expected, "ip {} cohort {}", r.ip, gt.cohort);
+        }
+    }
+}
+
+#[test]
+fn byte_based_hosts_are_detected() {
+    let pop = tiny_population(0x777);
+    let out = scan(&pop, Protocol::Http, 0x777);
+    let mut byte_based = Vec::new();
+    for r in &out.results {
+        if let HostVerdict::ByteBased(bytes) = r.host_verdict {
+            byte_based.push((r.ip, bytes));
+        }
+    }
+    // The modem fleet is 1.5% of hosts; some must show up and be 4096 or
+    // 1536 bytes exactly.
+    assert!(
+        !byte_based.is_empty(),
+        "no byte-limited hosts found among {} results",
+        out.results.len()
+    );
+    for (ip, bytes) in &byte_based {
+        let gt = pop.ground_truth(*ip).unwrap();
+        match gt.iw {
+            IwPolicy::Bytes(b) => assert_eq!(*bytes, b, "ip {ip}"),
+            IwPolicy::MtuFill(b) => assert_eq!(*bytes, b, "ip {ip}"),
+            other => panic!("segment-policy host {ip} misdetected as byte-based ({other:?})"),
+        }
+    }
+}
+
+#[test]
+fn segment_based_hosts_report_same_iw_at_both_mss() {
+    let pop = tiny_population(0x31415);
+    let out = scan(&pop, Protocol::Http, 0x31415);
+    let mut seg_checked = 0;
+    for r in &out.results {
+        if let HostVerdict::SegmentBased(iw) = r.host_verdict {
+            let gt = pop.ground_truth(r.ip).unwrap();
+            if let IwPolicy::Segments(n) = gt.iw {
+                assert_eq!(iw, n, "ip {}", r.ip);
+                seg_checked += 1;
+            }
+        }
+    }
+    assert!(seg_checked > 20, "checked only {seg_checked}");
+}
+
+#[test]
+fn sharded_scan_equals_single_thread() {
+    let pop = tiny_population(0x51);
+    let mut config = ScanConfig::study(Protocol::Http, pop.space_size(), 0x51);
+    config.rate_pps = 2_000_000;
+    let single = run_scan(&pop, config.clone());
+    let sharded = run_scan_sharded(&pop, config, 4);
+    assert_eq!(single.results.len(), sharded.results.len());
+    for (a, b) in single.results.iter().zip(&sharded.results) {
+        assert_eq!(a.ip, b.ip);
+        assert_eq!(a.verdicts, b.verdicts);
+        assert_eq!(a.host_verdict, b.host_verdict);
+    }
+    assert_eq!(single.summary.success, sharded.summary.success);
+}
+
+#[test]
+fn determinism_same_seed_same_results() {
+    let pop = tiny_population(0x99);
+    let a = scan(&pop, Protocol::Http, 0x99);
+    let b = scan(&pop, Protocol::Http, 0x99);
+    assert_eq!(a.results.len(), b.results.len());
+    for (x, y) in a.results.iter().zip(&b.results) {
+        assert_eq!(x.ip, y.ip);
+        assert_eq!(x.verdicts, y.verdicts);
+    }
+    assert_eq!(a.duration, b.duration);
+}
+
+#[test]
+fn port_scan_finds_open_ports() {
+    let pop = tiny_population(0x42);
+    let out = scan(&pop, Protocol::PortScan, 0x42);
+    assert!(!out.open_ports.is_empty());
+    for ip in &out.open_ports {
+        let gt = pop.ground_truth(*ip).expect("open port implies host");
+        assert!(gt.http, "port 80 open implies HTTP service, ip {ip}");
+    }
+    // Every HTTP host that exists must be found (lossless world).
+    let http_hosts = (0..pop.space_size())
+        .filter(|ip| pop.ground_truth(*ip).is_some_and(|g| g.http))
+        .count();
+    assert_eq!(out.open_ports.len(), http_hosts);
+}
+
+#[test]
+fn icmp_mtu_scan_matches_population_model() {
+    let pop = tiny_population(0x88);
+    let out = scan(&pop, Protocol::IcmpMtu, 0x88);
+    assert!(!out.mtu_results.is_empty());
+    for r in &out.mtu_results {
+        assert_eq!(r.mtu, pop.path_mtu(r.ip), "ip {}", r.ip);
+    }
+}
+
+#[test]
+fn sampling_one_percent_yields_similar_distribution() {
+    let pop = Arc::new(Population::new(PopulationConfig {
+        seed: 0x1234,
+        space_size: 1 << 18,
+        target_responsive: 6_000,
+        loss_scale: 0.0,
+    }));
+    let full = scan(&pop, Protocol::Http, 0x1234);
+    let mut sampled_cfg = ScanConfig::study(Protocol::Http, pop.space_size(), 0x1234);
+    sampled_cfg.rate_pps = 2_000_000;
+    sampled_cfg.sample_fraction = 0.25; // 25% of a small world ≈ paper's 1% of IPv4
+    let sampled = run_scan(&pop, sampled_cfg);
+
+    let dist = |out: &iw_core::ScanOutput| {
+        let mut hist = std::collections::HashMap::new();
+        let mut n = 0u64;
+        for r in &out.results {
+            if let Some(iw) = r.iw_estimate() {
+                *hist.entry(iw).or_insert(0u64) += 1;
+                n += 1;
+            }
+        }
+        (hist, n)
+    };
+    let (fh, fn_) = dist(&full);
+    let (sh, sn) = dist(&sampled);
+    assert!(sn > 200, "sample too small: {sn}");
+    for iw in [1u32, 2, 4, 10] {
+        let f = *fh.get(&iw).unwrap_or(&0) as f64 / fn_ as f64;
+        let s = *sh.get(&iw).unwrap_or(&0) as f64 / sn as f64;
+        assert!(
+            (f - s).abs() < 0.06,
+            "IW{iw}: full {f:.3} vs sample {s:.3}"
+        );
+    }
+}

@@ -1,0 +1,302 @@
+//! Focused tests of the scan engine's receive-path discipline: cookie
+//! gating, duplicate handling, late packets, list targets and filters —
+//! the details that keep an Internet-facing scanner from being confused
+//! by backscatter.
+
+use iw_core::blacklist::{CidrSet, ScanFilter};
+use iw_core::cookie::CookieKey;
+use iw_core::{Protocol, ScanConfig, Scanner, TargetSpec};
+use iw_netsim::{Effects, Endpoint, Instant};
+use iw_wire::ipv4::{Cidr, Ipv4Addr};
+use iw_wire::tcp::{self, Flags, TcpOption};
+use iw_wire::{ipv4, IpProtocol};
+
+const SCANNER_IP: Ipv4Addr = Ipv4Addr::new(198, 18, 0, 1);
+
+/// Drive the pacing timer until the scanner has emitted its SYNs (the
+/// token bucket starts empty at t=0, so the first tick sends nothing).
+fn kick_until_sent(scanner: &mut Scanner) -> Vec<Vec<u8>> {
+    let mut sent = Vec::new();
+    let mut now = Instant::ZERO;
+    let mut fx = Effects::default();
+    scanner.start(now, &mut fx);
+    sent.extend(fx.tx);
+    for _ in 0..20 {
+        now += iw_netsim::Duration::from_millis(5);
+        let mut fx = Effects::default();
+        scanner.on_timer(u64::MAX, now, &mut fx);
+        sent.extend(fx.tx);
+    }
+    sent
+}
+
+fn config(protocol: Protocol) -> ScanConfig {
+    let mut c = ScanConfig::study(protocol, 1 << 10, 99);
+    c.rate_pps = 1_000_000;
+    c
+}
+
+fn datagram_from(src: u32, seg: &tcp::Repr) -> Vec<u8> {
+    let src = Ipv4Addr::from_u32(src);
+    let l4 = seg.emit(src, SCANNER_IP);
+    ipv4::build_datagram(
+        &ipv4::Repr {
+            src_addr: src,
+            dst_addr: SCANNER_IP,
+            protocol: IpProtocol::Tcp,
+            payload_len: l4.len(),
+            ttl: 64,
+        },
+        1,
+        &l4,
+    )
+}
+
+fn syn_ack(src: u32, cookie: &CookieKey, sport: u16, dport: u16) -> tcp::Repr {
+    tcp::Repr {
+        src_port: dport,
+        dst_port: sport,
+        seq: 77_000,
+        ack: cookie.isn(src, sport, dport).wrapping_add(1),
+        flags: Flags::SYN | Flags::ACK,
+        window: 65535,
+        options: vec![TcpOption::Mss(64)],
+        payload: vec![],
+    }
+}
+
+#[test]
+fn syn_ack_with_bad_cookie_allocates_no_state() {
+    let mut scanner = Scanner::new(config(Protocol::Http));
+    let mut fx = Effects::default();
+    // Backscatter: a SYN-ACK whose ack fails the cookie check.
+    let bogus = tcp::Repr {
+        src_port: 80,
+        dst_port: 40000,
+        seq: 1,
+        ack: 0xdead_beef,
+        flags: Flags::SYN | Flags::ACK,
+        window: 65535,
+        options: vec![],
+        payload: vec![],
+    };
+    scanner.on_packet(&datagram_from(5, &bogus), Instant::ZERO, &mut fx);
+    assert_eq!(scanner.live_sessions(), 0, "no state for invalid cookies");
+    assert!(fx.tx.is_empty(), "and no reply");
+}
+
+#[test]
+fn valid_syn_ack_creates_session_and_sends_request() {
+    let cookie = CookieKey::new(99);
+    let mut scanner = Scanner::new(config(Protocol::Http));
+    let mut fx = Effects::default();
+    scanner.on_packet(
+        &datagram_from(5, &syn_ack(5, &cookie, 40000, 80)),
+        Instant::ZERO,
+        &mut fx,
+    );
+    assert_eq!(scanner.live_sessions(), 1);
+    assert_eq!(fx.tx.len(), 1, "ACK+request in one packet");
+    let ip = ipv4::Packet::new_checked(&fx.tx[0][..]).unwrap();
+    let seg = tcp::Packet::new_checked(ip.payload()).unwrap();
+    let repr = tcp::Repr::parse(&seg, ip.src_addr(), ip.dst_addr()).unwrap();
+    assert!(repr.flags.contains(Flags::ACK));
+    assert!(!repr.payload.is_empty(), "request payload present");
+    assert_eq!(repr.ack, 77_001);
+}
+
+#[test]
+fn duplicate_syn_ack_is_idempotent() {
+    let cookie = CookieKey::new(99);
+    let mut scanner = Scanner::new(config(Protocol::Http));
+    let pkt = datagram_from(5, &syn_ack(5, &cookie, 40000, 80));
+    let mut fx1 = Effects::default();
+    scanner.on_packet(&pkt, Instant::ZERO, &mut fx1);
+    let mut fx2 = Effects::default();
+    scanner.on_packet(&pkt, Instant::ZERO, &mut fx2);
+    assert_eq!(scanner.live_sessions(), 1, "one session per host");
+    assert!(
+        fx2.tx.is_empty(),
+        "a duplicate SYN-ACK must not replay the request"
+    );
+}
+
+#[test]
+fn corrupted_checksum_packets_are_dropped() {
+    let cookie = CookieKey::new(99);
+    let mut scanner = Scanner::new(config(Protocol::Http));
+    let mut pkt = datagram_from(5, &syn_ack(5, &cookie, 40000, 80));
+    let last = pkt.len() - 1;
+    pkt[last] ^= 0xff; // corrupt the TCP checksum
+    let mut fx = Effects::default();
+    scanner.on_packet(&pkt, Instant::ZERO, &mut fx);
+    assert_eq!(scanner.live_sessions(), 0);
+}
+
+#[test]
+fn packets_to_other_destinations_ignored() {
+    let cookie = CookieKey::new(99);
+    let mut scanner = Scanner::new(config(Protocol::Http));
+    // Right segment, wrong destination IP.
+    let src = Ipv4Addr::from_u32(5);
+    let seg = syn_ack(5, &cookie, 40000, 80);
+    let l4 = seg.emit(src, Ipv4Addr::new(203, 0, 113, 200));
+    let pkt = ipv4::build_datagram(
+        &ipv4::Repr {
+            src_addr: src,
+            dst_addr: Ipv4Addr::new(203, 0, 113, 200),
+            protocol: IpProtocol::Tcp,
+            payload_len: l4.len(),
+            ttl: 64,
+        },
+        1,
+        &l4,
+    );
+    let mut fx = Effects::default();
+    scanner.on_packet(&pkt, Instant::ZERO, &mut fx);
+    assert_eq!(scanner.live_sessions(), 0);
+}
+
+#[test]
+fn rst_to_syn_counts_refused() {
+    let cookie = CookieKey::new(99);
+    let mut scanner = Scanner::new(config(Protocol::Http));
+    let rst = tcp::Repr::bare(
+        80,
+        40000,
+        0,
+        cookie.isn(9, 40000, 80).wrapping_add(1),
+        Flags::RST | Flags::ACK,
+        0,
+    );
+    let mut fx = Effects::default();
+    scanner.on_packet(&datagram_from(9, &rst), Instant::ZERO, &mut fx);
+    assert_eq!(scanner.refused(), 1);
+    assert_eq!(scanner.live_sessions(), 0);
+}
+
+#[test]
+fn port_scan_mode_records_and_rsts() {
+    let cookie = CookieKey::new(99);
+    let mut scanner = Scanner::new(config(Protocol::PortScan));
+    let mut fx = Effects::default();
+    scanner.on_packet(
+        &datagram_from(12, &syn_ack(12, &cookie, 40000, 80)),
+        Instant::ZERO,
+        &mut fx,
+    );
+    assert_eq!(scanner.open_ports(), &[12]);
+    assert_eq!(scanner.live_sessions(), 0, "port scan keeps no sessions");
+    assert_eq!(fx.tx.len(), 1);
+    let ip = ipv4::Packet::new_checked(&fx.tx[0][..]).unwrap();
+    let seg = tcp::Packet::new_checked(ip.payload()).unwrap();
+    assert!(seg.flags().contains(Flags::RST));
+}
+
+#[test]
+fn pacing_respects_blacklist_and_whitelist() {
+    let mut cfg = config(Protocol::Http);
+    cfg.targets = TargetSpec::FullSpace { size: 1 << 10 };
+    cfg.filter = ScanFilter {
+        whitelist: CidrSet::from_cidrs(&[Cidr::new(Ipv4Addr::from_u32(0), 23)]), // 0..512
+        blacklist: CidrSet::from_cidrs(&[Cidr::new(Ipv4Addr::from_u32(0), 24)]), // 0..256
+    };
+    let mut scanner = Scanner::new(cfg);
+    let mut fx = Effects::default();
+    let mut now = Instant::ZERO;
+    scanner.start(now, &mut fx);
+    let mut sent: Vec<u32> = Vec::new();
+    let mut collect = |fx: &Effects| {
+        for pkt in &fx.tx {
+            let ip = ipv4::Packet::new_checked(&pkt[..]).unwrap();
+            sent.push(ip.dst_addr().to_u32());
+        }
+    };
+    collect(&fx);
+    for _ in 0..200 {
+        now += iw_netsim::Duration::from_millis(5);
+        let mut fx = Effects::default();
+        scanner.on_timer(u64::MAX, now, &mut fx);
+        collect(&fx);
+    }
+    assert_eq!(
+        sent.len(),
+        256,
+        "whitelist minus blacklist = addresses 256..512"
+    );
+    assert!(sent.iter().all(|ip| (256..512).contains(ip)));
+}
+
+#[test]
+fn list_targets_carry_domains_into_requests() {
+    let mut cfg = config(Protocol::Http);
+    cfg.targets = TargetSpec::List(vec![(42, Some("www.named-site.example".into()))]);
+    let mut scanner = Scanner::new(cfg);
+    let fx = kick_until_sent(&mut scanner);
+    assert_eq!(fx.len(), 1, "one SYN for the single target");
+
+    // Answer it and check the Host header of the request.
+    let cookie = CookieKey::new(99);
+    let mut fx2 = Effects::default();
+    scanner.on_packet(
+        &datagram_from(42, &syn_ack(42, &cookie, 40000, 80)),
+        Instant::ZERO,
+        &mut fx2,
+    );
+    let ip = ipv4::Packet::new_checked(&fx2.tx[0][..]).unwrap();
+    let seg = tcp::Packet::new_checked(ip.payload()).unwrap();
+    let request = String::from_utf8_lossy(seg.payload()).into_owned();
+    assert!(
+        request.contains("Host: www.named-site.example"),
+        "{request}"
+    );
+}
+
+#[test]
+fn tls_scan_sends_client_hello_with_sni_from_list() {
+    let mut cfg = config(Protocol::Tls);
+    cfg.targets = TargetSpec::List(vec![(42, Some("tls-site.example".into()))]);
+    let mut scanner = Scanner::new(cfg);
+    kick_until_sent(&mut scanner);
+    let cookie = CookieKey::new(99);
+    let mut fx2 = Effects::default();
+    scanner.on_packet(
+        &datagram_from(42, &syn_ack(42, &cookie, 40000, 443)),
+        Instant::ZERO,
+        &mut fx2,
+    );
+    let ip = ipv4::Packet::new_checked(&fx2.tx[0][..]).unwrap();
+    let seg = tcp::Packet::new_checked(ip.payload()).unwrap();
+    let (records, _) = iw_wire::tls::record::parse_stream(seg.payload()).unwrap();
+    let hello = iw_wire::tls::handshake::ClientHello::parse(records[0].payload).unwrap();
+    assert_eq!(hello.server_name(), Some("tls-site.example"));
+    assert_eq!(hello.cipher_suites.len(), 40);
+}
+
+#[test]
+fn non_tcp_garbage_never_panics_the_scanner() {
+    let mut scanner = Scanner::new(config(Protocol::Http));
+    let mut fx = Effects::default();
+    for junk in [
+        vec![],
+        vec![0u8; 3],
+        vec![0xff; 64],
+        {
+            // Valid IPv4, unknown protocol.
+            ipv4::build_datagram(
+                &ipv4::Repr {
+                    src_addr: Ipv4Addr::from_u32(1),
+                    dst_addr: SCANNER_IP,
+                    protocol: IpProtocol::Unknown(132),
+                    payload_len: 4,
+                    ttl: 64,
+                },
+                1,
+                &[1, 2, 3, 4],
+            )
+        },
+    ] {
+        scanner.on_packet(&junk, Instant::ZERO, &mut fx);
+    }
+    assert_eq!(scanner.live_sessions(), 0);
+}

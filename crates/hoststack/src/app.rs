@@ -1,0 +1,131 @@
+//! The application interface between a [`crate::tcb::Tcb`] and the
+//! protocol servers running on top of it.
+//!
+//! An application consumes the in-order receive stream and, when it has a
+//! complete request, hands the TCB a response plus a disposition: keep the
+//! connection, close it gracefully (FIN *after* the response drains — the
+//! ordering §3.2's exhaustion check exploits), or abort it (RST).
+//!
+//! Responses may also carry a **per-service IW override** — the paper's
+//! §4.3/§5 observation that Akamai configures initial windows per
+//! service and even per customer. The edge node picks the congestion
+//! configuration once it knows which property is being served (Host
+//! header / SNI), i.e. just before the first data flight.
+
+/// What the application wants done after producing (or not producing) a
+/// response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AppResponse {
+    /// Bytes to transmit. May be empty (e.g. a silent close).
+    pub data: Vec<u8>,
+    /// Graceful close: queue a FIN behind the data.
+    pub close: bool,
+    /// Abortive close: send a RST instead of anything else.
+    pub reset: bool,
+    /// Per-service initial-window override, applied before the first
+    /// data flight (Akamai-style per-customer configuration, §4.3).
+    pub iw_override: Option<crate::policy::IwPolicy>,
+}
+
+impl AppResponse {
+    /// Respond and keep the connection open.
+    pub fn send(data: Vec<u8>) -> AppResponse {
+        AppResponse {
+            data,
+            close: false,
+            reset: false,
+            iw_override: None,
+        }
+    }
+
+    /// Respond, then close gracefully once the data drained.
+    pub fn send_and_close(data: Vec<u8>) -> AppResponse {
+        AppResponse {
+            data,
+            close: true,
+            reset: false,
+            iw_override: None,
+        }
+    }
+
+    /// Close immediately without sending anything.
+    pub fn silent_close() -> AppResponse {
+        AppResponse {
+            data: Vec::new(),
+            close: true,
+            reset: false,
+            iw_override: None,
+        }
+    }
+
+    /// Abort the connection.
+    pub fn abort() -> AppResponse {
+        AppResponse {
+            data: Vec::new(),
+            close: false,
+            reset: true,
+            iw_override: None,
+        }
+    }
+}
+
+/// A connection-scoped application (one instance per TCP connection).
+pub trait App {
+    /// In-order stream bytes arrived. Return `Some` once a complete
+    /// request has been assembled; `None` keeps buffering.
+    fn on_data(&mut self, data: &[u8]) -> Option<AppResponse>;
+}
+
+/// An application that never answers — the "no data" hosts of Table 2.
+#[derive(Debug, Default)]
+pub struct SilentApp {
+    /// Whether to close (FIN) on first request instead of staying mute.
+    pub close_on_request: bool,
+}
+
+impl App for SilentApp {
+    fn on_data(&mut self, _data: &[u8]) -> Option<AppResponse> {
+        if self.close_on_request {
+            Some(AppResponse::silent_close())
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        assert_eq!(
+            AppResponse::send(vec![1]),
+            AppResponse {
+                data: vec![1],
+                close: false,
+                reset: false,
+                iw_override: None,
+            }
+        );
+        assert!(AppResponse::send_and_close(vec![]).close);
+        assert!(AppResponse::abort().reset);
+        let s = AppResponse::silent_close();
+        assert!(s.close && s.data.is_empty());
+    }
+
+    #[test]
+    fn silent_app_behaviour() {
+        let mut mute = SilentApp {
+            close_on_request: false,
+        };
+        assert_eq!(mute.on_data(b"GET / HTTP/1.1\r\n\r\n"), None);
+        let mut closer = SilentApp {
+            close_on_request: true,
+        };
+        assert_eq!(
+            closer.on_data(b"x"),
+            Some(AppResponse::silent_close())
+        );
+    }
+}

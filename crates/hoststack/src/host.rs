@@ -1,0 +1,467 @@
+//! A complete simulated host: per-port TCP listeners, connection
+//! demultiplexing, and the ICMP path-MTU responder — wired into
+//! `iw-netsim` as an [`Endpoint`].
+
+use crate::app::App;
+use crate::config::{ports, HostConfig};
+use crate::http_app::HttpApp;
+use crate::tcb::{Tcb, TcbOutput};
+use crate::tls_app::TlsApp;
+use iw_netsim::{Effects, Endpoint, Instant, TimerToken};
+use iw_wire::ipv4::Ipv4Addr;
+use iw_wire::tcp::{self, Flags};
+use iw_wire::{icmp, ipv4, IpProtocol};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// Connection key: (peer address, peer port, local port).
+type ConnKey = (u32, u16, u16);
+
+/// A simulated host at a fixed IPv4 address.
+pub struct Host {
+    ip: Ipv4Addr,
+    config: HostConfig,
+    conns: HashMap<ConnKey, Tcb>,
+    rng: SmallRng,
+    ip_ident: u16,
+}
+
+impl Host {
+    /// Create a host; `seed` feeds ISN generation deterministically.
+    pub fn new(ip: Ipv4Addr, config: HostConfig, seed: u64) -> Host {
+        Host {
+            ip,
+            config,
+            conns: HashMap::new(),
+            rng: SmallRng::seed_from_u64(seed ^ u64::from(ip.to_u32())),
+            ip_ident: 1,
+        }
+    }
+
+    /// The host's address.
+    pub fn ip(&self) -> Ipv4Addr {
+        self.ip
+    }
+
+    /// Live connection count (diagnostics).
+    pub fn conn_count(&self) -> usize {
+        self.conns.len()
+    }
+
+    fn app_for_port(&self, port: u16) -> Option<Box<dyn App>> {
+        match port {
+            ports::HTTP => self
+                .config
+                .http
+                .as_ref()
+                .map(|c| Box::new(HttpApp::new(c.clone())) as Box<dyn App>),
+            ports::TLS => self
+                .config
+                .tls
+                .as_ref()
+                .map(|c| Box::new(TlsApp::new(c.clone())) as Box<dyn App>),
+            _ => None,
+        }
+    }
+
+    fn emit_segment(&mut self, peer: Ipv4Addr, repr: &tcp::Repr, fx: &mut Effects) {
+        let l4 = repr.emit(self.ip, peer);
+        let datagram = ipv4::build_datagram(
+            &ipv4::Repr {
+                src_addr: self.ip,
+                dst_addr: peer,
+                protocol: IpProtocol::Tcp,
+                payload_len: l4.len(),
+                ttl: 64,
+            },
+            self.ip_ident,
+            &l4,
+        );
+        self.ip_ident = self.ip_ident.wrapping_add(1);
+        fx.send(datagram);
+    }
+
+    fn apply_tcb_output(
+        &mut self,
+        key: ConnKey,
+        peer: Ipv4Addr,
+        out: TcbOutput,
+        now: Instant,
+        fx: &mut Effects,
+    ) {
+        for repr in &out.tx {
+            self.emit_segment(peer, repr, fx);
+        }
+        if let Some(deadline) = out.deadline {
+            if deadline > now {
+                fx.arm(deadline - now, token_for(key));
+            }
+        }
+        if self.conns.get(&key).is_some_and(Tcb::is_closed) {
+            self.conns.remove(&key);
+        }
+        fx.finished = self.conns.is_empty();
+    }
+
+    fn handle_tcp(&mut self, ip_repr: &ipv4::Repr, payload: &[u8], now: Instant, fx: &mut Effects) {
+        let Ok(packet) = tcp::Packet::new_checked(payload) else {
+            return;
+        };
+        let Ok(seg) = tcp::Repr::parse(&packet, ip_repr.src_addr, ip_repr.dst_addr) else {
+            return;
+        };
+        let peer = ip_repr.src_addr;
+        let key: ConnKey = (peer.to_u32(), seg.src_port, seg.dst_port);
+
+        if let Some(tcb) = self.conns.get_mut(&key) {
+            let out = tcb.on_segment(&seg, now);
+            self.apply_tcb_output(key, peer, out, now, fx);
+            return;
+        }
+
+        // No connection: a SYN to an open port creates one.
+        if seg.flags.contains(Flags::SYN) && !seg.flags.contains(Flags::ACK) {
+            if let Some(app) = self.app_for_port(seg.dst_port) {
+                let isn: u32 = self.rng.gen();
+                let (tcb, out) = Tcb::accept(
+                    self.ip,
+                    peer,
+                    seg.dst_port,
+                    seg.src_port,
+                    self.config.os.clone(),
+                    self.config.iw,
+                    app,
+                    &seg,
+                    isn,
+                    now,
+                );
+                self.conns.insert(key, tcb);
+                self.apply_tcb_output(key, peer, out, now, fx);
+                return;
+            }
+        }
+
+        // Closed port or stray segment: RST (but never RST a RST).
+        if !seg.flags.contains(Flags::RST) {
+            let (rst_seq, rst_ack, rst_flags) = if seg.flags.contains(Flags::ACK) {
+                (seg.ack, 0, Flags::RST)
+            } else {
+                (0, seg.seq.wrapping_add(seg.seq_len()), Flags::RST | Flags::ACK)
+            };
+            let rst = tcp::Repr::bare(seg.dst_port, seg.src_port, rst_seq, rst_ack, rst_flags, 0);
+            self.emit_segment(peer, &rst, fx);
+        }
+        fx.finished = self.conns.is_empty();
+    }
+
+    fn handle_icmp(&mut self, ip_repr: &ipv4::Repr, payload: &[u8], fx: &mut Effects) {
+        if !self.config.icmp {
+            fx.finished = self.conns.is_empty();
+            return;
+        }
+        let Ok(msg) = icmp::Message::parse(payload) else {
+            return;
+        };
+        if let icmp::Message::EchoRequest {
+            ident,
+            seq,
+            payload_len,
+        } = msg
+        {
+            let total_len = (ipv4::HEADER_LEN + icmp::HEADER_LEN + payload_len) as u32;
+            let reply = if total_len > self.config.path_mtu {
+                // A constricting router on the path reports its MTU
+                // (RFC 1191); we stand in for it.
+                icmp::Message::FragNeeded {
+                    mtu: self.config.path_mtu as u16,
+                }
+            } else {
+                icmp::Message::EchoReply {
+                    ident,
+                    seq,
+                    payload_len,
+                }
+            };
+            let l4 = reply.emit();
+            let datagram = ipv4::build_datagram(
+                &ipv4::Repr {
+                    src_addr: self.ip,
+                    dst_addr: ip_repr.src_addr,
+                    protocol: IpProtocol::Icmp,
+                    payload_len: l4.len(),
+                    ttl: 64,
+                },
+                self.ip_ident,
+                &l4,
+            );
+            self.ip_ident = self.ip_ident.wrapping_add(1);
+            fx.send(datagram);
+        }
+        fx.finished = self.conns.is_empty();
+    }
+}
+
+/// Encode a connection key into a timer token (ip32 | sport16 | dport16).
+fn token_for(key: ConnKey) -> TimerToken {
+    (u64::from(key.0) << 32) | (u64::from(key.1) << 16) | u64::from(key.2)
+}
+
+fn key_for(token: TimerToken) -> ConnKey {
+    (
+        (token >> 32) as u32,
+        ((token >> 16) & 0xffff) as u16,
+        (token & 0xffff) as u16,
+    )
+}
+
+impl Endpoint for Host {
+    fn on_packet(&mut self, pkt: &[u8], now: Instant, fx: &mut Effects) {
+        let Ok(packet) = ipv4::Packet::new_checked(pkt) else {
+            return;
+        };
+        let Ok(ip_repr) = ipv4::Repr::parse(&packet) else {
+            return;
+        };
+        if ip_repr.dst_addr != self.ip {
+            return;
+        }
+        let payload = packet.payload().to_vec();
+        match ip_repr.protocol {
+            IpProtocol::Tcp => self.handle_tcp(&ip_repr, &payload, now, fx),
+            IpProtocol::Icmp => self.handle_icmp(&ip_repr, &payload, fx),
+            IpProtocol::Unknown(_) => {}
+        }
+    }
+
+    fn on_timer(&mut self, token: TimerToken, now: Instant, fx: &mut Effects) {
+        let key = key_for(token);
+        let peer = Ipv4Addr::from_u32(key.0);
+        if let Some(tcb) = self.conns.get_mut(&key) {
+            let out = tcb.on_timer(now);
+            self.apply_tcb_output(key, peer, out, now, fx);
+        } else {
+            fx.finished = self.conns.is_empty();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SCAN: Ipv4Addr = Ipv4Addr::new(192, 0, 2, 1);
+    const HOSTIP: Ipv4Addr = Ipv4Addr::new(198, 51, 100, 1);
+
+    fn datagram(seg: &tcp::Repr) -> Vec<u8> {
+        let l4 = seg.emit(SCAN, HOSTIP);
+        ipv4::build_datagram(
+            &ipv4::Repr {
+                src_addr: SCAN,
+                dst_addr: HOSTIP,
+                protocol: IpProtocol::Tcp,
+                payload_len: l4.len(),
+                ttl: 64,
+            },
+            7,
+            &l4,
+        )
+    }
+
+    fn parse_reply(pkt: &[u8]) -> tcp::Repr {
+        let ip = ipv4::Packet::new_checked(pkt).unwrap();
+        let seg = tcp::Packet::new_checked(ip.payload()).unwrap();
+        tcp::Repr::parse(&seg, ip.src_addr(), ip.dst_addr()).unwrap()
+    }
+
+    fn web_host() -> Host {
+        Host::new(HOSTIP, HostConfig::simple_web(50_000), 1)
+    }
+
+    fn syn(port: u16) -> tcp::Repr {
+        tcp::Repr {
+            src_port: 40000,
+            dst_port: port,
+            seq: 100,
+            ack: 0,
+            flags: Flags::SYN,
+            window: 65535,
+            options: vec![tcp::TcpOption::Mss(64)],
+            payload: vec![],
+        }
+    }
+
+    #[test]
+    fn syn_to_open_port_gets_syn_ack() {
+        let mut host = web_host();
+        let mut fx = Effects::default();
+        host.on_packet(&datagram(&syn(80)), Instant::ZERO, &mut fx);
+        assert_eq!(fx.tx.len(), 1);
+        let reply = parse_reply(&fx.tx[0]);
+        assert!(reply.flags.contains(Flags::SYN | Flags::ACK));
+        assert_eq!(reply.ack, 101);
+        assert_eq!(host.conn_count(), 1);
+        assert!(!fx.finished);
+        assert!(!fx.timers.is_empty(), "SYN-ACK retransmit timer armed");
+    }
+
+    #[test]
+    fn syn_to_closed_port_gets_rst() {
+        let mut host = web_host();
+        let mut fx = Effects::default();
+        host.on_packet(&datagram(&syn(443)), Instant::ZERO, &mut fx);
+        assert_eq!(fx.tx.len(), 1);
+        let reply = parse_reply(&fx.tx[0]);
+        assert!(reply.flags.contains(Flags::RST));
+        assert_eq!(host.conn_count(), 0);
+        assert!(fx.finished);
+    }
+
+    #[test]
+    fn full_probe_exchange_counts_iw() {
+        let mut host = web_host();
+        let mut fx = Effects::default();
+        host.on_packet(&datagram(&syn(80)), Instant::ZERO, &mut fx);
+        let synack = parse_reply(&fx.tx[0]);
+
+        let req = tcp::Repr {
+            src_port: 40000,
+            dst_port: 80,
+            seq: 101,
+            ack: synack.seq.wrapping_add(1),
+            flags: Flags::ACK | Flags::PSH,
+            window: 65535,
+            options: vec![],
+            payload: iw_wire::http::Request::probe_get("/", "198.51.100.1").to_bytes(),
+        };
+        let mut fx2 = Effects::default();
+        host.on_packet(&datagram(&req), Instant::ZERO, &mut fx2);
+        // IW 10 at MSS 64: ten 64-byte data segments.
+        assert_eq!(fx2.tx.len(), 10);
+        let segs: Vec<_> = fx2.tx.iter().map(|p| parse_reply(p)).collect();
+        assert!(segs.iter().all(|s| s.payload.len() == 64));
+    }
+
+    #[test]
+    fn timer_token_round_trip() {
+        let key = (0xc0a80001u32, 40000u16, 443u16);
+        assert_eq!(key_for(token_for(key)), key);
+    }
+
+    #[test]
+    fn icmp_echo_and_path_mtu() {
+        let mut host = web_host(); // path_mtu 1500
+        let small = icmp::Message::EchoRequest {
+            ident: 7,
+            seq: 1,
+            payload_len: 100,
+        };
+        let l4 = small.emit();
+        let dg = ipv4::build_datagram(
+            &ipv4::Repr {
+                src_addr: SCAN,
+                dst_addr: HOSTIP,
+                protocol: IpProtocol::Icmp,
+                payload_len: l4.len(),
+                ttl: 64,
+            },
+            1,
+            &l4,
+        );
+        let mut fx = Effects::default();
+        host.on_packet(&dg, Instant::ZERO, &mut fx);
+        let ip = ipv4::Packet::new_checked(&fx.tx[0][..]).unwrap();
+        let reply = icmp::Message::parse(ip.payload()).unwrap();
+        assert!(matches!(reply, icmp::Message::EchoReply { ident: 7, .. }));
+
+        // Oversized probe: FragNeeded with the path MTU.
+        let big = icmp::Message::EchoRequest {
+            ident: 7,
+            seq: 2,
+            payload_len: 1600,
+        };
+        let l4 = big.emit();
+        let dg = ipv4::build_datagram(
+            &ipv4::Repr {
+                src_addr: SCAN,
+                dst_addr: HOSTIP,
+                protocol: IpProtocol::Icmp,
+                payload_len: l4.len(),
+                ttl: 64,
+            },
+            2,
+            &l4,
+        );
+        let mut fx = Effects::default();
+        host.on_packet(&dg, Instant::ZERO, &mut fx);
+        let ip = ipv4::Packet::new_checked(&fx.tx[0][..]).unwrap();
+        let reply = icmp::Message::parse(ip.payload()).unwrap();
+        assert_eq!(reply, icmp::Message::FragNeeded { mtu: 1500 });
+    }
+
+    #[test]
+    fn packet_to_wrong_ip_is_ignored() {
+        let mut host = Host::new(Ipv4Addr::new(10, 0, 0, 1), HostConfig::simple_web(100), 1);
+        let mut fx = Effects::default();
+        host.on_packet(&datagram(&syn(80)), Instant::ZERO, &mut fx);
+        assert!(fx.tx.is_empty());
+    }
+
+    #[test]
+    fn rst_is_never_answered() {
+        let mut host = web_host();
+        let rst = tcp::Repr::bare(40000, 80, 5, 0, Flags::RST, 0);
+        let mut fx = Effects::default();
+        host.on_packet(&datagram(&rst), Instant::ZERO, &mut fx);
+        assert!(fx.tx.is_empty());
+    }
+
+    #[test]
+    fn stray_ack_gets_rst_with_its_ack_as_seq() {
+        let mut host = web_host();
+        let stray = tcp::Repr::bare(40000, 80, 55, 777, Flags::ACK, 100);
+        let mut fx = Effects::default();
+        host.on_packet(&datagram(&stray), Instant::ZERO, &mut fx);
+        let reply = parse_reply(&fx.tx[0]);
+        assert!(reply.flags.contains(Flags::RST));
+        assert_eq!(reply.seq, 777);
+    }
+
+    #[test]
+    fn retransmit_via_timer_pipeline() {
+        let mut host = web_host();
+        let mut fx = Effects::default();
+        host.on_packet(&datagram(&syn(80)), Instant::ZERO, &mut fx);
+        let synack = parse_reply(&fx.tx[0]);
+        let req = tcp::Repr {
+            src_port: 40000,
+            dst_port: 80,
+            seq: 101,
+            ack: synack.seq.wrapping_add(1),
+            flags: Flags::ACK | Flags::PSH,
+            window: 65535,
+            options: vec![],
+            payload: iw_wire::http::Request::probe_get("/", "h").to_bytes(),
+        };
+        let mut fx2 = Effects::default();
+        host.on_packet(&datagram(&req), Instant::ZERO, &mut fx2);
+        let first = parse_reply(&fx2.tx[0]);
+        let (delay, token) = fx2.timers.last().copied().unwrap();
+        // Fire the RTO.
+        let mut fx3 = Effects::default();
+        host.on_timer(token, Instant::ZERO + delay, &mut fx3);
+        assert_eq!(fx3.tx.len(), 1, "one retransmission");
+        let rtx = parse_reply(&fx3.tx[0]);
+        assert_eq!(rtx.seq, first.seq, "first segment retransmitted");
+        assert_eq!(rtx.payload, first.payload);
+    }
+
+    #[test]
+    fn timer_for_dead_conn_is_harmless() {
+        let mut host = web_host();
+        let mut fx = Effects::default();
+        host.on_timer(token_for((1, 2, 3)), Instant::ZERO, &mut fx);
+        assert!(fx.tx.is_empty());
+        assert!(fx.finished);
+    }
+}

@@ -1,0 +1,292 @@
+//! The simulated HTTP server application (§3.2's counterpart).
+//!
+//! Reproduces the response patterns the probe methodology is built
+//! around: direct pages, `301` virtual-host redirects with a `Location`
+//! worth following, URI-echoing `404` pages (the error-page-bloating
+//! target), mute hosts and resetters. `Connection: close` is honored by
+//! queueing a FIN behind the response — which is exactly the signal the
+//! scanner uses to detect an unexhausted IW.
+
+use crate::app::{App, AppResponse};
+use crate::config::{HttpBehavior, HttpConfig};
+use iw_wire::http::{Request, ResponseBuilder};
+use iw_wire::Error;
+
+/// One HTTP connection's application state.
+pub struct HttpApp {
+    config: HttpConfig,
+    buffer: Vec<u8>,
+}
+
+impl HttpApp {
+    /// New connection against this host config.
+    pub fn new(config: HttpConfig) -> HttpApp {
+        HttpApp {
+            config,
+            buffer: Vec::new(),
+        }
+    }
+
+    fn respond(&self, req: &Request) -> AppResponse {
+        let close = req
+            .headers
+            .iter()
+            .any(|(k, v)| k.eq_ignore_ascii_case("connection") && v.eq_ignore_ascii_case("close"));
+        // Configured properties (Akamai-style): a Host header naming a
+        // known service serves that service's real content with its own
+        // IW configuration — which is exactly why the paper's anonymous
+        // scan cannot see these without a curated URL list (§4.3/§5).
+        if let Some((_, policy)) = self
+            .config
+            .vhost_iw
+            .iter()
+            .find(|(host, _)| req.host.eq_ignore_ascii_case(host))
+        {
+            let mut response = if close {
+                AppResponse::send_and_close(self.ok_page(12_000))
+            } else {
+                AppResponse::send(self.ok_page(12_000))
+            };
+            response.iw_override = Some(*policy);
+            return response;
+        }
+        let resp = match &self.config.behavior {
+            HttpBehavior::Direct {
+                root_size,
+                echo_404,
+            } => {
+                if req.uri == "/" {
+                    self.ok_page(*root_size as usize)
+                } else {
+                    self.not_found_page(64, *echo_404, &req.uri)
+                }
+            }
+            HttpBehavior::Redirect {
+                host,
+                path,
+                target_size,
+            } => {
+                if req.uri == *path && (req.host == *host || req.host.is_empty()) {
+                    self.ok_page(*target_size as usize)
+                } else {
+                    ResponseBuilder::new(301, "Moved Permanently")
+                        .header("Server", &self.config.server_header)
+                        .header("Location", format!("http://{host}{path}"))
+                        .body(b"<html>Moved</html>".to_vec())
+                        .build()
+                }
+            }
+            HttpBehavior::NotFound {
+                base_size,
+                echo_uri,
+            } => self.not_found_page(*base_size as usize, *echo_uri, &req.uri),
+            // The remaining variants are handled in on_data before parsing.
+            HttpBehavior::Mute | HttpBehavior::SilentClose | HttpBehavior::Reset => {
+                unreachable!("terminal behaviours never build responses")
+            }
+        };
+        let mut response = if close {
+            AppResponse::send_and_close(resp)
+        } else {
+            AppResponse::send(resp)
+        };
+        // Per-service IW (Akamai-style): the property named by the Host
+        // header may carry its own initial-window configuration.
+        response.iw_override = self
+            .config
+            .vhost_iw
+            .iter()
+            .find(|(host, _)| req.host.eq_ignore_ascii_case(host))
+            .map(|(_, policy)| *policy);
+        response
+    }
+
+    fn ok_page(&self, size: usize) -> Vec<u8> {
+        ResponseBuilder::new(200, "OK")
+            .header("Server", &self.config.server_header)
+            .header("Content-Type", "text/html")
+            .body(filler(size))
+            .build()
+    }
+
+    /// A 404 whose body optionally embeds the request URI — longer URIs
+    /// beget longer error pages, the §3.2 bloating lever.
+    fn not_found_page(&self, base: usize, echo: bool, uri: &str) -> Vec<u8> {
+        let mut body = Vec::with_capacity(base + uri.len() + 32);
+        body.extend_from_slice(b"<html><body>404 Not Found");
+        if echo {
+            body.extend_from_slice(b": ");
+            body.extend_from_slice(uri.as_bytes());
+        }
+        body.extend_from_slice(&filler(base));
+        body.extend_from_slice(b"</body></html>");
+        ResponseBuilder::new(404, "Not Found")
+            .header("Server", &self.config.server_header)
+            .body(body)
+            .build()
+    }
+}
+
+/// Deterministic printable filler.
+fn filler(n: usize) -> Vec<u8> {
+    const PATTERN: &[u8] = b"The quick brown fox jumps over the lazy dog. ";
+    PATTERN.iter().copied().cycle().take(n).collect()
+}
+
+impl App for HttpApp {
+    fn on_data(&mut self, data: &[u8]) -> Option<AppResponse> {
+        match self.config.behavior {
+            HttpBehavior::Mute => return None,
+            HttpBehavior::SilentClose => return Some(AppResponse::silent_close()),
+            HttpBehavior::Reset => return Some(AppResponse::abort()),
+            _ => {}
+        }
+        self.buffer.extend_from_slice(data);
+        match Request::parse(&self.buffer) {
+            Ok(req) => Some(self.respond(&req)),
+            Err(Error::Truncated) => None,
+            // Unparseable request: behave like a grumpy server.
+            Err(_) => Some(AppResponse::abort()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iw_wire::http::ResponseHead;
+
+    fn cfg(behavior: HttpBehavior) -> HttpConfig {
+        HttpConfig {
+            behavior,
+            server_header: "sim/1.0".into(),
+            vhost_iw: Vec::new(),
+        }
+    }
+
+    fn get(uri: &str, host: &str) -> Vec<u8> {
+        Request::probe_get(uri, host).to_bytes()
+    }
+
+    #[test]
+    fn direct_serves_root() {
+        let mut app = HttpApp::new(cfg(HttpBehavior::Direct { root_size: 5000, echo_404: true }));
+        let resp = app.on_data(&get("/", "1.2.3.4")).unwrap();
+        assert!(resp.close, "Connection: close honored");
+        let head = ResponseHead::parse(&resp.data).unwrap();
+        assert_eq!(head.status, 200);
+        assert_eq!(resp.data.len() - head.body_offset, 5000);
+    }
+
+    #[test]
+    fn redirect_then_target() {
+        let behavior = HttpBehavior::Redirect {
+            host: "www.example.com".into(),
+            path: "/index.html".into(),
+            target_size: 9000,
+        };
+        let mut app = HttpApp::new(cfg(behavior.clone()));
+        let resp = app.on_data(&get("/", "1.2.3.4")).unwrap();
+        let head = ResponseHead::parse(&resp.data).unwrap();
+        assert_eq!(head.status, 301);
+        assert_eq!(
+            head.redirect_location(),
+            Some("http://www.example.com/index.html")
+        );
+        // Fresh connection, following the redirect with the right host.
+        let mut app2 = HttpApp::new(cfg(behavior));
+        let resp2 = app2
+            .on_data(&get("/index.html", "www.example.com"))
+            .unwrap();
+        let head2 = ResponseHead::parse(&resp2.data).unwrap();
+        assert_eq!(head2.status, 200);
+        assert_eq!(resp2.data.len() - head2.body_offset, 9000);
+    }
+
+    #[test]
+    fn not_found_echoes_uri_making_page_grow() {
+        let mut app = HttpApp::new(cfg(HttpBehavior::NotFound {
+            base_size: 100,
+            echo_uri: true,
+        }));
+        let short = app.on_data(&get("/x", "h")).unwrap().data.len();
+        let mut app = HttpApp::new(cfg(HttpBehavior::NotFound {
+            base_size: 100,
+            echo_uri: true,
+        }));
+        let long_uri = format!("/{}", "a".repeat(1400));
+        let long = app.on_data(&get(&long_uri, "h")).unwrap().data.len();
+        assert!(long >= short + 1399, "URI echo must grow the page");
+    }
+
+    #[test]
+    fn akamai_style_no_echo_keeps_page_small() {
+        let mut app = HttpApp::new(cfg(HttpBehavior::NotFound {
+            base_size: 100,
+            echo_uri: false,
+        }));
+        let long_uri = format!("/{}", "a".repeat(1400));
+        let resp = app.on_data(&get(&long_uri, "h")).unwrap();
+        assert!(resp.data.len() < 400, "no echo: page stays small");
+    }
+
+    #[test]
+    fn partial_request_buffers() {
+        let mut app = HttpApp::new(cfg(HttpBehavior::Direct { root_size: 10, echo_404: true }));
+        let req = get("/", "h");
+        let (a, b) = req.split_at(10);
+        assert!(app.on_data(a).is_none());
+        assert!(app.on_data(b).is_some());
+    }
+
+    #[test]
+    fn terminal_behaviours() {
+        let mut mute = HttpApp::new(cfg(HttpBehavior::Mute));
+        assert!(mute.on_data(&get("/", "h")).is_none());
+        let mut closer = HttpApp::new(cfg(HttpBehavior::SilentClose));
+        assert_eq!(closer.on_data(b"x"), Some(AppResponse::silent_close()));
+        let mut rster = HttpApp::new(cfg(HttpBehavior::Reset));
+        assert_eq!(rster.on_data(b"x"), Some(AppResponse::abort()));
+    }
+
+    #[test]
+    fn garbage_request_aborts() {
+        let mut app = HttpApp::new(cfg(HttpBehavior::Direct { root_size: 10, echo_404: true }));
+        let resp = app.on_data(b"\xff\xfe garbage \r\n\r\n").unwrap();
+        assert!(resp.reset);
+    }
+
+    #[test]
+    fn vhost_iw_override_attached_on_host_match() {
+        use iw_hoststack_policy_shim::IwPolicy;
+        mod iw_hoststack_policy_shim {
+            pub use crate::policy::IwPolicy;
+        }
+        let mut config = cfg(HttpBehavior::Direct {
+            root_size: 5000,
+            echo_404: true,
+        });
+        config.vhost_iw = vec![
+            ("www.customer-a.example".into(), IwPolicy::Segments(16)),
+            ("www.customer-b.example".into(), IwPolicy::Segments(32)),
+        ];
+        let mut app = HttpApp::new(config.clone());
+        let resp = app.on_data(&get("/", "www.customer-b.example")).unwrap();
+        assert_eq!(resp.iw_override, Some(IwPolicy::Segments(32)));
+        // Case-insensitive match, unknown host gets the default.
+        let mut app = HttpApp::new(config.clone());
+        let resp = app.on_data(&get("/", "WWW.CUSTOMER-A.EXAMPLE")).unwrap();
+        assert_eq!(resp.iw_override, Some(IwPolicy::Segments(16)));
+        let mut app = HttpApp::new(config);
+        let resp = app.on_data(&get("/", "1.2.3.4")).unwrap();
+        assert_eq!(resp.iw_override, None);
+    }
+
+    #[test]
+    fn keepalive_request_does_not_close() {
+        let mut app = HttpApp::new(cfg(HttpBehavior::Direct { root_size: 10, echo_404: true }));
+        let req = b"GET / HTTP/1.1\r\nHost: h\r\n\r\n";
+        let resp = app.on_data(req).unwrap();
+        assert!(!resp.close, "no Connection: close header");
+    }
+}

@@ -1,0 +1,41 @@
+//! # iw-hoststack — the probed side of the measurement
+//!
+//! A from-scratch, server-side TCP stack plus the HTTP and TLS server
+//! behaviours the Internet exposed to the paper's scanner. Everything the
+//! IW-inference methodology *feeds on* lives here:
+//!
+//! * [`policy::IwPolicy`] — how a host sizes its initial congestion
+//!   window: a segment count (RFC 2001/2414/3390/6928 style), a byte
+//!   budget (the 4 kB Technicolor modems of §4.2), an MTU-fill budget
+//!   (the 1536 B hosts), or the literal RFC 6928 byte formula;
+//! * [`os::OsProfile`] — MSS-negotiation quirks ("Linux will typically
+//!   reject an MSS below 64 B; all tested variants of Microsoft Windows
+//!   default to 536 B if the MSS falls below that value", §3.1);
+//! * [`tcb::Tcb`] — the connection state machine: handshake, slow start,
+//!   RTO retransmission (the retransmit of the first segment *is* the
+//!   measurement signal), flow control against the scanner's shrunken
+//!   window, FIN-behind-data semantics (§3.2's exhaustion signal);
+//! * [`http_app`] / [`tls_app`] — application behaviours: virtual-host
+//!   redirects, URI-echoing 404 pages, `Connection: close` handling,
+//!   certificate-chain flights, SNI-required closures, cipher mismatch
+//!   alerts, OCSP stapling;
+//! * [`host::Host`] — a complete simulated host wired into `iw-netsim`,
+//!   with per-port listeners and the ICMP path-MTU responder used by the
+//!   footnote-1 experiment.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod app;
+pub mod config;
+pub mod host;
+pub mod http_app;
+pub mod os;
+pub mod policy;
+pub mod tcb;
+pub mod tls_app;
+
+pub use config::{HostConfig, HttpBehavior, HttpConfig, TlsBehavior, TlsConfig};
+pub use host::Host;
+pub use os::OsProfile;
+pub use policy::IwPolicy;

@@ -1,0 +1,110 @@
+//! Initial congestion window policies.
+//!
+//! RFC 6928 defines the IW in *bytes* as a function of the MSS:
+//!
+//! ```text
+//! IW = min(10 · MSS, max(2 · MSS, 14600))
+//! ```
+//!
+//! but deployed stacks interpret "initial window" in several distinct
+//! ways, which the paper's dual-MSS scan (§4.2) is designed to tell
+//! apart. This module captures every configuration family the paper
+//! observed.
+
+/// How a host computes its initial congestion window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IwPolicy {
+    /// A fixed number of segments: cwnd = n · MSS. The dominant style
+    /// (IW 1, 2, 4, 10 from RFCs 2001/2414/3390/6928 — and the odd static
+    /// IW 48 of GoDaddy or IW 25/64 peaks in Fig. 3).
+    Segments(u32),
+    /// A fixed byte budget independent of MSS: cwnd = n bytes. §4.2's
+    /// 4 kB hosts (Technicolor modems at Telmex, power-supply monitors)
+    /// send 64 segments at MSS 64 and 32 at MSS 128.
+    Bytes(u32),
+    /// Fill one network MTU worth of bytes: the §4.2 subgroup summing to
+    /// 1536 B (24 segments at MSS 64, 12 at MSS 128).
+    MtuFill(u32),
+    /// The literal RFC 6928 formula, including the 14600 B cap that only
+    /// binds for large MSS values.
+    Rfc6928,
+}
+
+impl IwPolicy {
+    /// The initial congestion window in bytes for a negotiated MSS.
+    ///
+    /// Every policy grants at least one MSS so a host can always make
+    /// progress (a zero-byte cwnd would deadlock real stacks too).
+    pub fn initial_cwnd(self, mss: u32) -> u32 {
+        let bytes = match self {
+            IwPolicy::Segments(n) => n.saturating_mul(mss),
+            IwPolicy::Bytes(n) => n,
+            IwPolicy::MtuFill(total) => total,
+            IwPolicy::Rfc6928 => (10 * mss).min((2 * mss).max(14600)),
+        };
+        bytes.max(mss)
+    }
+
+    /// The number of full segments the initial window admits — what the
+    /// scanner ultimately reports (⌊cwnd / MSS⌋, min 1).
+    pub fn initial_segments(self, mss: u32) -> u32 {
+        (self.initial_cwnd(mss) / mss).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn segment_policies_scale_with_mss() {
+        assert_eq!(IwPolicy::Segments(10).initial_cwnd(64), 640);
+        assert_eq!(IwPolicy::Segments(10).initial_cwnd(128), 1280);
+        assert_eq!(IwPolicy::Segments(10).initial_segments(64), 10);
+        assert_eq!(IwPolicy::Segments(10).initial_segments(128), 10);
+    }
+
+    #[test]
+    fn byte_policies_halve_segments_when_mss_doubles() {
+        // The §4.2 fingerprint: 4 kB hosts.
+        let p = IwPolicy::Bytes(4096);
+        assert_eq!(p.initial_segments(64), 64);
+        assert_eq!(p.initial_segments(128), 32);
+    }
+
+    #[test]
+    fn mtu_fill_fingerprint() {
+        let p = IwPolicy::MtuFill(1536);
+        assert_eq!(p.initial_segments(64), 24);
+        assert_eq!(p.initial_segments(128), 12);
+    }
+
+    #[test]
+    fn rfc6928_formula() {
+        // At tiny MSS the 10·MSS term wins.
+        assert_eq!(IwPolicy::Rfc6928.initial_cwnd(64), 640);
+        assert_eq!(IwPolicy::Rfc6928.initial_segments(64), 10);
+        // At a typical MSS it still wins (14600 > 14360).
+        assert_eq!(IwPolicy::Rfc6928.initial_cwnd(1436), 14360);
+        // At jumbo MSS the byte cap binds: min(10·1940, max(2·1940, 14600)).
+        assert_eq!(IwPolicy::Rfc6928.initial_cwnd(1940), 14600);
+        // At huge MSS the 2·MSS floor wins.
+        assert_eq!(IwPolicy::Rfc6928.initial_cwnd(9000), 18000);
+    }
+
+    #[test]
+    fn never_below_one_mss() {
+        assert_eq!(IwPolicy::Bytes(10).initial_cwnd(536), 536);
+        assert_eq!(IwPolicy::Bytes(10).initial_segments(536), 1);
+        assert_eq!(IwPolicy::Segments(0).initial_cwnd(64), 64);
+    }
+
+    #[test]
+    fn windows_mss_floor_interaction() {
+        // A Windows host forced to 536 B segments with IW 4 sends
+        // 4 × 536 bytes; the scanner divides by the *observed* segment
+        // size and still reports 4.
+        let p = IwPolicy::Segments(4);
+        assert_eq!(p.initial_cwnd(536) / 536, 4);
+    }
+}

@@ -1,0 +1,860 @@
+//! The server-side TCP connection state machine.
+//!
+//! This is a deliberately faithful implementation of the behaviours the
+//! Padhye–Floyd-style inference depends on:
+//!
+//! * the initial flight is paced by `min(cwnd, peer window)` with
+//!   `cwnd = IW(policy, effective MSS)`;
+//! * an unacknowledged first segment is retransmitted after the RTO —
+//!   the scanner's "end of IW" signal;
+//! * a later cumulative ACK releases *new* data only if the application
+//!   supplied more than the IW — the scanner's exhaustion check;
+//! * a graceful close queues the FIN *behind* unsent data, so a FIN
+//!   observed inside the initial flight proves the host ran out of data
+//!   (§3.2's `Connection: close` trick);
+//! * slow start grows cwnd on new ACKs (appropriate byte counting).
+//!
+//! Out-of-order data from the peer is not reassembled (the scanner only
+//! ever sends tiny in-order requests); it is acknowledged at `rcv_nxt`
+//! like any mainstream stack would (duplicate ACK).
+
+use crate::app::{App, AppResponse};
+use crate::os::OsProfile;
+use crate::policy::IwPolicy;
+use iw_netsim::{Duration, Instant};
+use iw_wire::ipv4::Ipv4Addr;
+use iw_wire::tcp::{self, seq, Flags, TcpOption};
+use std::collections::VecDeque;
+
+/// Connection lifecycle states (server side only; no active open).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum State {
+    /// SYN received, SYN-ACK sent, waiting for the final ACK.
+    SynRcvd,
+    /// Handshake complete.
+    Established,
+    /// FIN sent (after data drained), waiting for it to be acknowledged.
+    FinWait,
+    /// Connection finished or aborted; the TCB can be discarded.
+    Closed,
+}
+
+/// Maximum RTO-backoff retransmissions before giving up.
+const MAX_RETRIES: u32 = 6;
+
+/// A segment in flight, kept for retransmission.
+#[derive(Debug, Clone)]
+struct InflightSeg {
+    seq: u32,
+    data: Vec<u8>,
+    fin: bool,
+}
+
+impl InflightSeg {
+    fn seq_len(&self) -> u32 {
+        self.data.len() as u32 + u32::from(self.fin)
+    }
+}
+
+/// Output of a TCB event: segments to emit and the next timer deadline.
+#[derive(Debug, Default)]
+pub struct TcbOutput {
+    /// Segments to transmit, in order.
+    pub tx: Vec<tcp::Repr>,
+    /// Absolute deadline at which `on_timer` should be invoked (the host
+    /// arms a simulator timer; stale timers are harmless).
+    pub deadline: Option<Instant>,
+}
+
+/// The server-side transmission control block.
+pub struct Tcb {
+    // Immutable connection identity.
+    local_addr: Ipv4Addr,
+    peer_addr: Ipv4Addr,
+    local_port: u16,
+    peer_port: u16,
+
+    os: OsProfile,
+    app: Box<dyn App>,
+
+    state: State,
+    /// Effective MSS after OS quirk rules.
+    mss: u32,
+    /// Initial congestion window in bytes (recorded for diagnostics).
+    iw_bytes: u32,
+
+    // Sequence variables (RFC 793 names).
+    iss: u32,
+    snd_una: u32,
+    snd_nxt: u32,
+    rcv_nxt: u32,
+    peer_wnd: u32,
+
+    // Congestion control.
+    cwnd: u32,
+    ssthresh: u32,
+
+    // Send machinery.
+    send_queue: VecDeque<u8>,
+    inflight: VecDeque<InflightSeg>,
+    close_pending: bool,
+    fin_sent: bool,
+
+    // Receive-side request assembly.
+    rx_stream: Vec<u8>,
+
+    // Retransmission state.
+    rto: Duration,
+    rto_deadline: Option<Instant>,
+    retries: u32,
+
+    // Diagnostics.
+    retransmit_count: u64,
+}
+
+impl Tcb {
+    /// Accept a SYN: build the TCB and the SYN-ACK to send.
+    ///
+    /// `syn` must have the SYN flag; `isn` is the server's initial
+    /// sequence number (chosen by the host's RNG).
+    #[allow(clippy::too_many_arguments)]
+    pub fn accept(
+        local_addr: Ipv4Addr,
+        peer_addr: Ipv4Addr,
+        local_port: u16,
+        peer_port: u16,
+        os: OsProfile,
+        iw: IwPolicy,
+        app: Box<dyn App>,
+        syn: &tcp::Repr,
+        isn: u32,
+        now: Instant,
+    ) -> (Tcb, TcbOutput) {
+        debug_assert!(syn.flags.contains(Flags::SYN));
+        let mss = os.effective_mss(syn.mss());
+        let iw_bytes = iw.initial_cwnd(mss);
+        let rto = os.initial_rto;
+        let mut tcb = Tcb {
+            local_addr,
+            peer_addr,
+            local_port,
+            peer_port,
+            os,
+            app,
+            state: State::SynRcvd,
+            mss,
+            iw_bytes,
+            iss: isn,
+            snd_una: isn,
+            snd_nxt: isn.wrapping_add(1),
+            rcv_nxt: syn.seq.wrapping_add(1),
+            peer_wnd: u32::from(syn.window),
+            cwnd: iw_bytes,
+            ssthresh: u32::MAX,
+            send_queue: VecDeque::new(),
+            inflight: VecDeque::new(),
+            close_pending: false,
+            fin_sent: false,
+            rx_stream: Vec::new(),
+            rto,
+            rto_deadline: None,
+            retries: 0,
+            retransmit_count: 0,
+        };
+        let mut out = TcbOutput::default();
+        out.tx.push(tcb.syn_ack());
+        tcb.arm_rto(now, &mut out);
+        (tcb, out)
+    }
+
+    fn syn_ack(&self) -> tcp::Repr {
+        tcp::Repr {
+            src_port: self.local_port,
+            dst_port: self.peer_port,
+            seq: self.iss,
+            ack: self.rcv_nxt,
+            flags: Flags::SYN | Flags::ACK,
+            window: 65535,
+            // The server advertises its own MSS; answering with the
+            // clamped value is what lets the scanner observe the real
+            // segment size early (it still verifies against data).
+            options: vec![TcpOption::Mss(self.mss.min(65535) as u16)],
+            payload: Vec::new(),
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> State {
+        self.state
+    }
+
+    /// Whether this TCB can be discarded.
+    pub fn is_closed(&self) -> bool {
+        self.state == State::Closed
+    }
+
+    /// The effective MSS in use.
+    pub fn effective_mss(&self) -> u32 {
+        self.mss
+    }
+
+    /// The initial window in bytes this connection started with.
+    pub fn iw_bytes(&self) -> u32 {
+        self.iw_bytes
+    }
+
+    /// Total retransmissions performed (diagnostics / tests).
+    pub fn retransmit_count(&self) -> u64 {
+        self.retransmit_count
+    }
+
+    /// Handle an inbound segment.
+    pub fn on_segment(&mut self, seg: &tcp::Repr, now: Instant) -> TcbOutput {
+        let mut out = TcbOutput::default();
+        if self.state == State::Closed {
+            return out;
+        }
+        if seg.flags.contains(Flags::RST) {
+            self.state = State::Closed;
+            return out;
+        }
+        // A retransmitted SYN in SynRcvd: re-send the SYN-ACK.
+        if seg.flags.contains(Flags::SYN) {
+            if self.state == State::SynRcvd {
+                out.tx.push(self.syn_ack());
+                self.arm_rto(now, &mut out);
+            }
+            return out;
+        }
+
+        // ACK processing.
+        if seg.flags.contains(Flags::ACK) {
+            self.process_ack(seg.ack, now);
+        }
+        self.peer_wnd = u32::from(seg.window);
+
+        if self.state == State::SynRcvd && seq::lt(self.iss, seg.ack) {
+            self.state = State::Established;
+        }
+
+        // Data processing (only in-order data is consumed).
+        let mut should_ack = false;
+        if !seg.payload.is_empty() {
+            if seg.seq == self.rcv_nxt {
+                self.rcv_nxt = self.rcv_nxt.wrapping_add(seg.payload.len() as u32);
+                self.rx_stream.extend_from_slice(&seg.payload);
+                let consumed = std::mem::take(&mut self.rx_stream);
+                if let Some(resp) = self.app.on_data(&consumed) {
+                    self.apply_app_response(resp, &mut out);
+                } else {
+                    self.rx_stream = consumed;
+                }
+            }
+            should_ack = true;
+        }
+        // Peer FIN.
+        if seg.flags.contains(Flags::FIN) && seg.seq.wrapping_add(seg.payload.len() as u32) == self.rcv_nxt
+        {
+            self.rcv_nxt = self.rcv_nxt.wrapping_add(1);
+            should_ack = true;
+            // Passive close: we FIN back once our data drains.
+            self.close_pending = true;
+        }
+
+        if self.state == State::Closed {
+            return out;
+        }
+
+        // Try to transmit whatever the window now admits.
+        let sent_any = self.pump_send(&mut out);
+
+        // Pure ACK if we consumed sequence space but sent no data.
+        if should_ack && !sent_any {
+            out.tx.push(self.bare_ack());
+        }
+
+        self.update_rto_timer(now, &mut out);
+        out
+    }
+
+    fn apply_app_response(&mut self, resp: AppResponse, out: &mut TcbOutput) {
+        if resp.reset {
+            out.tx.push(tcp::Repr::bare(
+                self.local_port,
+                self.peer_port,
+                self.snd_nxt,
+                self.rcv_nxt,
+                Flags::RST | Flags::ACK,
+                0,
+            ));
+            self.state = State::Closed;
+            return;
+        }
+        // Per-service IW (Akamai-style, §4.3): the edge applies the
+        // property's congestion configuration once it knows which
+        // service is requested — legal only before any data went out.
+        if let Some(policy) = resp.iw_override {
+            if self.inflight.is_empty() && self.send_queue.is_empty() {
+                self.cwnd = policy.initial_cwnd(self.mss);
+                self.iw_bytes = self.cwnd;
+            }
+        }
+        self.send_queue.extend(resp.data.iter());
+        if resp.close {
+            self.close_pending = true;
+        }
+    }
+
+    fn process_ack(&mut self, ack: u32, _now: Instant) {
+        if !seq::lt(self.snd_una, ack) || seq::lt(self.snd_nxt, ack) {
+            return; // duplicate or out-of-window ACK
+        }
+        let mut bytes_acked = seq::dist(self.snd_una, ack);
+        // The SYN occupies one sequence unit but is not data: the
+        // handshake ACK must not grow cwnd (it would add a runt segment
+        // to the initial flight and corrupt the IW under measurement).
+        if self.state == State::SynRcvd {
+            bytes_acked = bytes_acked.saturating_sub(1);
+        }
+        self.snd_una = ack;
+        // Drop fully acknowledged segments from the retransmit store.
+        while let Some(first) = self.inflight.front() {
+            let end = first.seq.wrapping_add(first.seq_len());
+            if seq::le(end, ack) {
+                self.inflight.pop_front();
+            } else {
+                break;
+            }
+        }
+        // Slow start with appropriate byte counting; this connection
+        // never reaches congestion avoidance in a probe exchange.
+        if self.cwnd < self.ssthresh {
+            self.cwnd = self.cwnd.saturating_add(bytes_acked);
+        }
+        // Fresh ACK: reset backoff.
+        self.retries = 0;
+        self.rto = self.os.initial_rto;
+        if self.inflight.is_empty() {
+            self.rto_deadline = None;
+            if self.state == State::FinWait && self.fin_sent {
+                self.state = State::Closed;
+            }
+        }
+    }
+
+    /// Transmit as much of the send queue as cwnd and the peer window
+    /// allow; attach the FIN to the segment that drains the queue.
+    /// Returns true if any segment (data or FIN) was emitted.
+    fn pump_send(&mut self, out: &mut TcbOutput) -> bool {
+        if self.state == State::SynRcvd {
+            return false; // wait for the handshake ACK
+        }
+        let mut sent_any = false;
+        loop {
+            let inflight_bytes = seq::dist(self.snd_una, self.snd_nxt);
+            let wnd = self.cwnd.min(self.peer_wnd);
+            let allowance = wnd.saturating_sub(inflight_bytes);
+            if self.send_queue.is_empty() || allowance == 0 {
+                break;
+            }
+            let take = (self.mss as usize)
+                .min(self.send_queue.len())
+                .min(allowance as usize);
+            let data: Vec<u8> = self.send_queue.drain(..take).collect();
+            let drained = self.send_queue.is_empty();
+            let fin = drained && self.close_pending && !self.fin_sent;
+            let mut flags = Flags::ACK;
+            if drained {
+                flags |= Flags::PSH;
+            }
+            if fin {
+                flags |= Flags::FIN;
+                self.fin_sent = true;
+                self.state = State::FinWait;
+            }
+            let repr = tcp::Repr {
+                src_port: self.local_port,
+                dst_port: self.peer_port,
+                seq: self.snd_nxt,
+                ack: self.rcv_nxt,
+                flags,
+                window: 65535,
+                options: Vec::new(),
+                payload: data.clone(),
+            };
+            self.inflight.push_back(InflightSeg {
+                seq: self.snd_nxt,
+                data,
+                fin,
+            });
+            self.snd_nxt = self.snd_nxt.wrapping_add(take as u32 + u32::from(fin));
+            out.tx.push(repr);
+            sent_any = true;
+        }
+        // A FIN with no data left to carry it: bare FIN segment.
+        if self.close_pending
+            && !self.fin_sent
+            && self.send_queue.is_empty()
+            && self.state == State::Established
+        {
+            let repr = tcp::Repr::bare(
+                self.local_port,
+                self.peer_port,
+                self.snd_nxt,
+                self.rcv_nxt,
+                Flags::FIN | Flags::ACK,
+                65535,
+            );
+            self.inflight.push_back(InflightSeg {
+                seq: self.snd_nxt,
+                data: Vec::new(),
+                fin: true,
+            });
+            self.snd_nxt = self.snd_nxt.wrapping_add(1);
+            self.fin_sent = true;
+            self.state = State::FinWait;
+            out.tx.push(repr);
+            sent_any = true;
+        }
+        sent_any
+    }
+
+    fn bare_ack(&self) -> tcp::Repr {
+        tcp::Repr::bare(
+            self.local_port,
+            self.peer_port,
+            self.snd_nxt,
+            self.rcv_nxt,
+            Flags::ACK,
+            65535,
+        )
+    }
+
+    fn arm_rto(&mut self, now: Instant, out: &mut TcbOutput) {
+        let deadline = now + self.rto;
+        self.rto_deadline = Some(deadline);
+        out.deadline = Some(deadline);
+    }
+
+    fn update_rto_timer(&mut self, now: Instant, out: &mut TcbOutput) {
+        if self.inflight.is_empty() && self.state != State::SynRcvd {
+            self.rto_deadline = None;
+        } else if self.rto_deadline.is_none() {
+            self.arm_rto(now, out);
+        } else {
+            out.deadline = self.rto_deadline;
+        }
+    }
+
+    /// Handle a timer event. Stale timers (deadline moved/cleared) no-op.
+    pub fn on_timer(&mut self, now: Instant) -> TcbOutput {
+        let mut out = TcbOutput::default();
+        let Some(deadline) = self.rto_deadline else {
+            return out;
+        };
+        if now < deadline || self.state == State::Closed {
+            out.deadline = self.rto_deadline.filter(|d| *d > now);
+            return out;
+        }
+        if self.retries >= MAX_RETRIES {
+            self.state = State::Closed;
+            return out;
+        }
+        self.retries += 1;
+        self.rto = self.rto.saturating_mul(2);
+        self.retransmit_count += 1;
+
+        match self.state {
+            State::SynRcvd => {
+                out.tx.push(self.syn_ack());
+            }
+            State::Established | State::FinWait => {
+                if let Some(first) = self.inflight.front() {
+                    // RFC 5681 on timeout: collapse to one segment and
+                    // re-send the *first* unacknowledged segment — the
+                    // retransmission the scanner is waiting for.
+                    let flight = seq::dist(self.snd_una, self.snd_nxt);
+                    self.ssthresh = (flight / 2).max(2 * self.mss);
+                    self.cwnd = self.mss;
+                    let mut flags = Flags::ACK;
+                    if first.fin {
+                        flags |= Flags::FIN;
+                    }
+                    if !first.data.is_empty() {
+                        flags |= Flags::PSH;
+                    }
+                    out.tx.push(tcp::Repr {
+                        src_port: self.local_port,
+                        dst_port: self.peer_port,
+                        seq: first.seq,
+                        ack: self.rcv_nxt,
+                        flags,
+                        window: 65535,
+                        options: Vec::new(),
+                        payload: first.data.clone(),
+                    });
+                }
+            }
+            State::Closed => {}
+        }
+        self.arm_rto(now, &mut out);
+        out
+    }
+
+    /// Connection identity accessors for the host layer.
+    pub fn peer(&self) -> (Ipv4Addr, u16) {
+        (self.peer_addr, self.peer_port)
+    }
+
+    /// Local (host) address and port.
+    pub fn local(&self) -> (Ipv4Addr, u16) {
+        (self.local_addr, self.local_port)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::SilentApp;
+
+    const HOST: Ipv4Addr = Ipv4Addr::new(198, 51, 100, 1);
+    const SCAN: Ipv4Addr = Ipv4Addr::new(192, 0, 2, 1);
+
+    /// App serving `n` bytes then closing (HTTP-like) on any request.
+    struct FixedApp {
+        n: usize,
+        close: bool,
+    }
+    impl App for FixedApp {
+        fn on_data(&mut self, _d: &[u8]) -> Option<AppResponse> {
+            let resp = vec![0x41; self.n];
+            Some(if self.close {
+                AppResponse::send_and_close(resp)
+            } else {
+                AppResponse::send(resp)
+            })
+        }
+    }
+
+    fn syn(mss: u16) -> tcp::Repr {
+        tcp::Repr {
+            src_port: 40000,
+            dst_port: 80,
+            seq: 1000,
+            ack: 0,
+            flags: Flags::SYN,
+            window: 65535,
+            options: vec![TcpOption::Mss(mss)],
+            payload: Vec::new(),
+        }
+    }
+
+    fn establish(n_bytes: usize, close: bool, iw: IwPolicy, mss: u16) -> (Tcb, TcbOutput) {
+        let (mut tcb, out) = Tcb::accept(
+            HOST,
+            SCAN,
+            80,
+            40000,
+            OsProfile::linux(),
+            iw,
+            Box::new(FixedApp { n: n_bytes, close }),
+            &syn(mss),
+            5000,
+            Instant::ZERO,
+        );
+        assert_eq!(out.tx.len(), 1);
+        assert!(out.tx[0].flags.contains(Flags::SYN | Flags::ACK));
+        // ACK + request in one packet, like the scanner sends.
+        let req = tcp::Repr {
+            src_port: 40000,
+            dst_port: 80,
+            seq: 1001,
+            ack: 5001,
+            flags: Flags::ACK | Flags::PSH,
+            window: 65535,
+            options: vec![],
+            payload: b"GET / HTTP/1.1\r\n\r\n".to_vec(),
+        };
+        let out = tcb.on_segment(&req, Instant::ZERO + Duration::from_millis(20));
+        (tcb, out)
+    }
+
+    #[test]
+    fn handshake_and_initial_flight_respects_iw10() {
+        let (tcb, out) = establish(10_000, true, IwPolicy::Segments(10), 64);
+        assert_eq!(tcb.state(), State::Established);
+        assert_eq!(tcb.effective_mss(), 64);
+        // Exactly 10 segments of 64 bytes, no FIN (data remains queued).
+        assert_eq!(out.tx.len(), 10);
+        assert!(out.tx.iter().all(|s| s.payload.len() == 64));
+        assert!(out.tx.iter().all(|s| !s.flags.contains(Flags::FIN)));
+    }
+
+    #[test]
+    fn windows_mss_floor_blows_up_segment_size() {
+        let (mut tcb, o) = Tcb::accept(
+            HOST,
+            SCAN,
+            80,
+            40000,
+            OsProfile::windows(),
+            IwPolicy::Segments(4),
+            Box::new(FixedApp { n: 50_000, close: true }),
+            &syn(64),
+            9,
+            Instant::ZERO,
+        );
+        assert_eq!(o.tx[0].mss(), Some(536));
+        let req = tcp::Repr {
+            src_port: 40000,
+            dst_port: 80,
+            seq: 1001,
+            ack: 10,
+            flags: Flags::ACK,
+            window: 65535,
+            options: vec![],
+            payload: b"x".to_vec(),
+        };
+        let out = tcb.on_segment(&req, Instant::ZERO);
+        assert_eq!(tcb.effective_mss(), 536);
+        assert_eq!(out.tx.len(), 4);
+        assert!(out.tx.iter().all(|s| s.payload.len() == 536));
+    }
+
+    #[test]
+    fn few_data_host_sends_fin_with_last_segment() {
+        // 200 bytes at MSS 64 = 3 full + 1 partial segment; FIN on last.
+        let (_tcb, out) = establish(200, true, IwPolicy::Segments(10), 64);
+        assert_eq!(out.tx.len(), 4);
+        assert_eq!(out.tx[3].payload.len(), 200 - 3 * 64);
+        assert!(out.tx[3].flags.contains(Flags::FIN));
+        assert!(out.tx[..3].iter().all(|s| !s.flags.contains(Flags::FIN)));
+    }
+
+    #[test]
+    fn exactly_iw_data_still_fins_inside_flight() {
+        let (_tcb, out) = establish(640, true, IwPolicy::Segments(10), 64);
+        assert_eq!(out.tx.len(), 10);
+        assert!(out.tx[9].flags.contains(Flags::FIN));
+    }
+
+    #[test]
+    fn rto_retransmits_first_segment_only() {
+        let (mut tcb, out) = establish(10_000, true, IwPolicy::Segments(10), 64);
+        let first_seq = out.tx[0].seq;
+        let deadline = out.deadline.expect("rto armed");
+        let out2 = tcb.on_timer(deadline);
+        assert_eq!(out2.tx.len(), 1, "exactly the first segment again");
+        assert_eq!(out2.tx[0].seq, first_seq);
+        assert_eq!(out2.tx[0].payload.len(), 64);
+        assert_eq!(tcb.retransmit_count(), 1);
+        // Backoff doubled.
+        assert!(out2.deadline.unwrap() > deadline + Duration::from_millis(1500));
+    }
+
+    #[test]
+    fn stale_timer_is_noop() {
+        let (mut tcb, out) = establish(10_000, true, IwPolicy::Segments(10), 64);
+        let deadline = out.deadline.unwrap();
+        let early = Instant::ZERO + Duration::from_millis(100);
+        assert!(early < deadline);
+        let out2 = tcb.on_timer(early);
+        assert!(out2.tx.is_empty());
+    }
+
+    #[test]
+    fn ack_after_retransmit_releases_limited_new_data() {
+        let (mut tcb, out) = establish(10_000, true, IwPolicy::Segments(10), 64);
+        let deadline = out.deadline.unwrap();
+        let _ = tcb.on_timer(deadline);
+        // The scanner now ACKs the whole flight with a 2-MSS window.
+        let last_seq = out.tx[9].seq.wrapping_add(64);
+        let ack = tcp::Repr::bare(40000, 80, 1019, last_seq, Flags::ACK, 128);
+        let out3 = tcb.on_segment(&ack, deadline + Duration::from_millis(20));
+        // The host had more data: new segments flow, capped by rwnd=128.
+        let new_bytes: usize = out3.tx.iter().map(|s| s.payload.len()).sum();
+        assert!(new_bytes > 0, "host was IW-limited; must release more");
+        assert!(new_bytes <= 128, "flow control enforced");
+    }
+
+    #[test]
+    fn ack_when_out_of_data_releases_nothing() {
+        let (mut tcb, out) = establish(200, true, IwPolicy::Segments(10), 64);
+        let last = &out.tx[3];
+        let end = last.seq.wrapping_add(last.seq_len());
+        let ack = tcp::Repr::bare(40000, 80, 1019, end, Flags::ACK, 128);
+        let out2 = tcb.on_segment(&ack, Instant::ZERO + Duration::from_millis(50));
+        assert!(out2.tx.iter().all(|s| s.payload.is_empty()));
+        assert!(tcb.is_closed(), "FIN acked, connection done");
+    }
+
+    #[test]
+    fn rst_kills_connection() {
+        let (mut tcb, _out) = establish(10_000, true, IwPolicy::Segments(10), 64);
+        let rst = tcp::Repr::bare(40000, 80, 1019, 0, Flags::RST, 0);
+        tcb.on_segment(&rst, Instant::ZERO + Duration::from_millis(30));
+        assert!(tcb.is_closed());
+    }
+
+    #[test]
+    fn byte_policy_counts() {
+        let (_tcb, out) = establish(10_000, true, IwPolicy::Bytes(4096), 64);
+        assert_eq!(out.tx.len(), 64, "4 kB at MSS 64 = 64 segments");
+        let (_tcb, out) = establish(10_000, true, IwPolicy::Bytes(4096), 128);
+        assert_eq!(out.tx.len(), 32, "4 kB at MSS 128 = 32 segments");
+    }
+
+    #[test]
+    fn mute_app_acks_but_sends_nothing() {
+        let (mut tcb, out) = Tcb::accept(
+            HOST,
+            SCAN,
+            80,
+            40000,
+            OsProfile::linux(),
+            IwPolicy::Segments(10),
+            Box::new(SilentApp::default()),
+            &syn(64),
+            77,
+            Instant::ZERO,
+        );
+        assert_eq!(out.tx.len(), 1);
+        let req = tcp::Repr {
+            src_port: 40000,
+            dst_port: 80,
+            seq: 1001,
+            ack: 78,
+            flags: Flags::ACK | Flags::PSH,
+            window: 65535,
+            options: vec![],
+            payload: b"hello?".to_vec(),
+        };
+        let out2 = tcb.on_segment(&req, Instant::ZERO);
+        assert_eq!(out2.tx.len(), 1);
+        assert!(out2.tx[0].payload.is_empty());
+        assert!(out2.tx[0].flags.contains(Flags::ACK));
+        assert!(!out2.tx[0].flags.contains(Flags::FIN));
+    }
+
+    #[test]
+    fn silent_close_sends_bare_fin() {
+        let (mut tcb, _) = Tcb::accept(
+            HOST,
+            SCAN,
+            443,
+            40000,
+            OsProfile::linux(),
+            IwPolicy::Segments(10),
+            Box::new(SilentApp {
+                close_on_request: true,
+            }),
+            &syn(64),
+            77,
+            Instant::ZERO,
+        );
+        let req = tcp::Repr {
+            src_port: 40000,
+            dst_port: 443,
+            seq: 1001,
+            ack: 78,
+            flags: Flags::ACK | Flags::PSH,
+            window: 65535,
+            options: vec![],
+            payload: b"\x16\x03\x01".to_vec(),
+        };
+        let out = tcb.on_segment(&req, Instant::ZERO);
+        assert!(out.tx.iter().any(|s| s.flags.contains(Flags::FIN)));
+        assert!(out.tx.iter().all(|s| s.payload.is_empty()));
+    }
+
+    #[test]
+    fn reset_app_sends_rst() {
+        struct RstApp;
+        impl App for RstApp {
+            fn on_data(&mut self, _d: &[u8]) -> Option<AppResponse> {
+                Some(AppResponse::abort())
+            }
+        }
+        let (mut tcb, _) = Tcb::accept(
+            HOST,
+            SCAN,
+            80,
+            40000,
+            OsProfile::linux(),
+            IwPolicy::Segments(10),
+            Box::new(RstApp),
+            &syn(64),
+            77,
+            Instant::ZERO,
+        );
+        let req = tcp::Repr {
+            src_port: 40000,
+            dst_port: 80,
+            seq: 1001,
+            ack: 78,
+            flags: Flags::ACK,
+            window: 65535,
+            options: vec![],
+            payload: b"x".to_vec(),
+        };
+        let out = tcb.on_segment(&req, Instant::ZERO);
+        assert!(out.tx.iter().any(|s| s.flags.contains(Flags::RST)));
+        assert!(tcb.is_closed());
+    }
+
+    #[test]
+    fn syn_retransmission_repeats_syn_ack() {
+        let (mut tcb, _) = Tcb::accept(
+            HOST,
+            SCAN,
+            80,
+            40000,
+            OsProfile::linux(),
+            IwPolicy::Segments(2),
+            Box::new(SilentApp::default()),
+            &syn(64),
+            77,
+            Instant::ZERO,
+        );
+        let out = tcb.on_segment(&syn(64), Instant::ZERO + Duration::from_millis(5));
+        assert_eq!(out.tx.len(), 1);
+        assert!(out.tx[0].flags.contains(Flags::SYN | Flags::ACK));
+    }
+
+    #[test]
+    fn gives_up_after_max_retries() {
+        let (mut tcb, out) = establish(10_000, true, IwPolicy::Segments(10), 64);
+        let mut deadline = out.deadline.unwrap();
+        for _ in 0..MAX_RETRIES {
+            let o = tcb.on_timer(deadline);
+            deadline = match o.deadline {
+                Some(d) => d,
+                None => break,
+            };
+        }
+        let final_out = tcb.on_timer(deadline);
+        assert!(final_out.tx.is_empty());
+        assert!(tcb.is_closed());
+    }
+
+    #[test]
+    fn out_of_order_data_triggers_dup_ack_not_consumption() {
+        let (mut tcb, _) = establish(10_000, true, IwPolicy::Segments(10), 64);
+        let ooo = tcp::Repr {
+            src_port: 40000,
+            dst_port: 80,
+            seq: 5000, // way ahead of rcv_nxt
+            ack: 5001,
+            flags: Flags::ACK,
+            window: 65535,
+            options: vec![],
+            payload: b"stray".to_vec(),
+        };
+        let out = tcb.on_segment(&ooo, Instant::ZERO + Duration::from_millis(40));
+        // Dup-ACK at the old rcv_nxt (or piggybacked equivalently).
+        assert!(out
+            .tx
+            .iter()
+            .any(|s| s.flags.contains(Flags::ACK)));
+    }
+}

@@ -1,0 +1,296 @@
+//! The simulated TLS server application (§3.3's counterpart).
+//!
+//! On a ClientHello the server either ships its first flight —
+//! ServerHello, Certificate (the calibrated chain), optional stapled
+//! CertificateStatus, optional ServerKeyExchange, ServerHelloDone — or
+//! fails in one of the ways the paper attributes the TLS "few data" and
+//! "no data" buckets to: missing SNI and cipher mismatch.
+
+use crate::app::{App, AppResponse};
+use crate::config::{TlsBehavior, TlsConfig};
+use iw_wire::tls::handshake::{ClientHello, ServerFlight};
+use iw_wire::tls::record::{self, ContentType, ProtocolVersion};
+use iw_wire::tls::Alert;
+use iw_wire::Error;
+
+/// One TLS connection's application state.
+pub struct TlsApp {
+    config: TlsConfig,
+    buffer: Vec<u8>,
+    answered: bool,
+}
+
+impl TlsApp {
+    /// New connection against this host config.
+    pub fn new(config: TlsConfig) -> TlsApp {
+        TlsApp {
+            config,
+            buffer: Vec::new(),
+            answered: false,
+        }
+    }
+
+    fn alert(&self, alert: Alert) -> AppResponse {
+        let rec = record::Record::emit(
+            ContentType::Alert,
+            ProtocolVersion::TLS12,
+            &alert.to_bytes(),
+        );
+        AppResponse::send_and_close(rec)
+    }
+
+    fn serve(&self, hello: &ClientHello) -> AppResponse {
+        // Choose our configured suite iff the client offered it.
+        if !hello.cipher_suites.contains(&self.config.cipher) {
+            return self.alert(Alert::HANDSHAKE_FAILURE);
+        }
+        let ske = if self.config.cipher.has_server_key_exchange() {
+            // ECDHE params + signature: a realistic ~333 bytes.
+            Some(vec![0x5a; 333])
+        } else {
+            None
+        };
+        let ocsp = match (hello.wants_ocsp(), self.config.ocsp_len) {
+            (true, Some(n)) => Some(vec![0x0c; n as usize]),
+            _ => None,
+        };
+        let flight = ServerFlight {
+            cipher: self.config.cipher,
+            random: [0x42; 32],
+            certificates: self
+                .config
+                .cert_lens
+                .iter()
+                .map(|n| cert_filler(*n as usize))
+                .collect(),
+            ocsp_response: ocsp,
+            key_exchange: ske,
+        };
+        // The flight is followed by silence: the server now waits for the
+        // client's key exchange, so the connection stays open (the
+        // scanner will RST it once the estimate is done).
+        let mut response = AppResponse::send(flight.to_record_bytes());
+        // Per-SNI IW override (Akamai-style per-service configuration).
+        if let Some(name) = hello.server_name() {
+            response.iw_override = self
+                .config
+                .sni_iw
+                .iter()
+                .find(|(sni, _)| name.eq_ignore_ascii_case(sni))
+                .map(|(_, policy)| *policy);
+        }
+        response
+    }
+}
+
+/// Deterministic DER-looking filler (0x30 SEQUENCE tag up front).
+fn cert_filler(n: usize) -> Vec<u8> {
+    let mut v = vec![0xd3; n];
+    if n > 0 {
+        v[0] = 0x30;
+    }
+    v
+}
+
+impl App for TlsApp {
+    fn on_data(&mut self, data: &[u8]) -> Option<AppResponse> {
+        match self.config.behavior {
+            TlsBehavior::Mute => return None,
+            TlsBehavior::Reset => return Some(AppResponse::abort()),
+            _ => {}
+        }
+        if self.answered {
+            // Anything after our flight (we do not implement the rest of
+            // the handshake — the probe never continues it).
+            return None;
+        }
+        self.buffer.extend_from_slice(data);
+        let (records, _used) = match record::parse_stream(&self.buffer) {
+            Ok(r) => r,
+            Err(_) => return Some(AppResponse::abort()),
+        };
+        let Some(handshake) = records
+            .iter()
+            .find(|r| r.content_type == ContentType::Handshake)
+        else {
+            return None; // keep buffering
+        };
+        let hello = match ClientHello::parse(handshake.payload) {
+            Ok(h) => h,
+            Err(Error::Truncated) => return None,
+            Err(_) => return Some(self.alert(Alert::HANDSHAKE_FAILURE)),
+        };
+        self.answered = true;
+        let resp = match self.config.behavior {
+            TlsBehavior::Serve => self.serve(&hello),
+            TlsBehavior::AlertWithoutSni => {
+                if hello.server_name().is_some() {
+                    self.serve(&hello)
+                } else {
+                    self.alert(Alert::UNRECOGNIZED_NAME)
+                }
+            }
+            TlsBehavior::CloseWithoutSni => {
+                if hello.server_name().is_some() {
+                    self.serve(&hello)
+                } else {
+                    AppResponse::silent_close()
+                }
+            }
+            TlsBehavior::CipherMismatch => self.alert(Alert::HANDSHAKE_FAILURE),
+            TlsBehavior::Mute | TlsBehavior::Reset => unreachable!("handled above"),
+        };
+        Some(resp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iw_wire::tls::record::parse_stream;
+    use iw_wire::tls::CipherSuite;
+
+    fn cfg(behavior: TlsBehavior) -> TlsConfig {
+        TlsConfig {
+            behavior,
+            cipher: CipherSuite::ECDHE_RSA_AES128_GCM,
+            cert_lens: vec![1200, 986],
+            ocsp_len: Some(471),
+            sni_iw: Vec::new(),
+        }
+    }
+
+    fn hello(sni: Option<&str>) -> Vec<u8> {
+        ClientHello::probe([1; 32], sni).to_record_bytes()
+    }
+
+    #[test]
+    fn serves_full_flight() {
+        let mut app = TlsApp::new(cfg(TlsBehavior::Serve));
+        let resp = app.on_data(&hello(None)).unwrap();
+        assert!(!resp.close, "server awaits client key exchange");
+        let (records, _) = parse_stream(&resp.data).unwrap();
+        assert!(!records.is_empty());
+        // Flight exceeds chain + OCSP + SKE.
+        assert!(resp.data.len() > 1200 + 986 + 471 + 333);
+    }
+
+    #[test]
+    fn static_rsa_has_no_ske_and_smaller_flight() {
+        let mut c = cfg(TlsBehavior::Serve);
+        c.cipher = CipherSuite::RSA_AES128_CBC;
+        c.ocsp_len = None;
+        let mut app = TlsApp::new(c);
+        let resp = app.on_data(&hello(None)).unwrap();
+        let mut c2 = cfg(TlsBehavior::Serve);
+        c2.ocsp_len = None;
+        let mut app2 = TlsApp::new(c2);
+        let resp2 = app2.on_data(&hello(None)).unwrap();
+        assert!(resp.data.len() + 300 <= resp2.data.len());
+    }
+
+    #[test]
+    fn sni_required_alerts_without_name() {
+        let mut app = TlsApp::new(cfg(TlsBehavior::AlertWithoutSni));
+        let resp = app.on_data(&hello(None)).unwrap();
+        assert!(resp.close);
+        let (records, _) = parse_stream(&resp.data).unwrap();
+        assert_eq!(records[0].content_type, ContentType::Alert);
+        assert_eq!(
+            Alert::parse(records[0].payload),
+            Some(Alert::UNRECOGNIZED_NAME)
+        );
+        // With SNI it serves.
+        let mut app = TlsApp::new(cfg(TlsBehavior::AlertWithoutSni));
+        let resp = app.on_data(&hello(Some("www.example.com"))).unwrap();
+        assert!(resp.data.len() > 2000);
+    }
+
+    #[test]
+    fn close_without_sni_sends_nothing() {
+        let mut app = TlsApp::new(cfg(TlsBehavior::CloseWithoutSni));
+        let resp = app.on_data(&hello(None)).unwrap();
+        assert!(resp.close && resp.data.is_empty());
+    }
+
+    #[test]
+    fn cipher_mismatch_alerts() {
+        let mut app = TlsApp::new(cfg(TlsBehavior::CipherMismatch));
+        let resp = app.on_data(&hello(Some("x"))).unwrap();
+        let (records, _) = parse_stream(&resp.data).unwrap();
+        assert_eq!(
+            Alert::parse(records[0].payload),
+            Some(Alert::HANDSHAKE_FAILURE)
+        );
+    }
+
+    #[test]
+    fn unoffered_cipher_alerts_even_when_serving() {
+        let mut c = cfg(TlsBehavior::Serve);
+        c.cipher = CipherSuite(0xfefe); // not in the probe's 40
+        let mut app = TlsApp::new(c);
+        let resp = app.on_data(&hello(None)).unwrap();
+        assert!(resp.close);
+        let (records, _) = parse_stream(&resp.data).unwrap();
+        assert_eq!(records[0].content_type, ContentType::Alert);
+    }
+
+    #[test]
+    fn partial_hello_buffers() {
+        let mut app = TlsApp::new(cfg(TlsBehavior::Serve));
+        let h = hello(None);
+        let (a, b) = h.split_at(20);
+        assert!(app.on_data(a).is_none());
+        assert!(app.on_data(b).is_some());
+    }
+
+    #[test]
+    fn ocsp_only_when_requested() {
+        // Our probe always requests stapling; a hand-built hello without
+        // the extension gets a smaller flight.
+        let mut with_ocsp = TlsApp::new(cfg(TlsBehavior::Serve));
+        let big = with_ocsp.on_data(&hello(None)).unwrap().data.len();
+        let bare = ClientHello {
+            random: [1; 32],
+            cipher_suites: iw_wire::tls::browser_union_ciphers(),
+            extensions: vec![],
+        };
+        let mut without = TlsApp::new(cfg(TlsBehavior::Serve));
+        let small = without.on_data(&bare.to_record_bytes()).unwrap().data.len();
+        assert!(big >= small + 471);
+    }
+
+    #[test]
+    fn garbage_aborts() {
+        let mut app = TlsApp::new(cfg(TlsBehavior::Serve));
+        // A syntactically valid record carrying a non-ClientHello body.
+        let rec = record::Record::emit(
+            ContentType::Handshake,
+            ProtocolVersion::TLS12,
+            &[9, 9, 9, 9],
+        );
+        let resp = app.on_data(&rec).unwrap();
+        assert!(resp.close || resp.reset);
+    }
+
+    #[test]
+    fn sni_iw_override() {
+        use crate::policy::IwPolicy;
+        let mut config = cfg(TlsBehavior::Serve);
+        config.sni_iw = vec![("media.customer.example".into(), IwPolicy::Segments(32))];
+        let mut app = TlsApp::new(config.clone());
+        let resp = app.on_data(&hello(Some("media.customer.example"))).unwrap();
+        assert_eq!(resp.iw_override, Some(IwPolicy::Segments(32)));
+        let mut app = TlsApp::new(config);
+        let resp = app.on_data(&hello(Some("other.example"))).unwrap();
+        assert_eq!(resp.iw_override, None);
+    }
+
+    #[test]
+    fn mute_and_reset() {
+        let mut mute = TlsApp::new(cfg(TlsBehavior::Mute));
+        assert!(mute.on_data(&hello(None)).is_none());
+        let mut rst = TlsApp::new(cfg(TlsBehavior::Reset));
+        assert_eq!(rst.on_data(b"x"), Some(AppResponse::abort()));
+    }
+}

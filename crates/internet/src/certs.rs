@@ -1,0 +1,122 @@
+//! Certificate-chain length model (the censys.io stand-in behind Fig. 2).
+//!
+//! Calibrated against the statistics the paper reports for 36.5 M hosts:
+//! mean 2186 B, minimum 36 B, maximum 65 kB, ≥640 B for >86 % of hosts,
+//! ≥2176 B (= 34 segments of 64 B) for ≈50 %. Our piecewise-uniform fit
+//! lands at mean ≈2213 B, P(<640) = 0.14, P(<2176) = 0.50.
+
+use crate::util::{bucket_sample, HashStream};
+
+/// The calibrated piecewise-uniform buckets `(lo, hi_exclusive, weight)`.
+pub const CHAIN_BUCKETS: [(u32, u32, f64); 10] = [
+    (36, 128, 0.040),
+    (128, 384, 0.050),
+    (384, 640, 0.050),
+    (640, 1280, 0.160),
+    (1280, 2176, 0.200),
+    (2176, 2700, 0.290),
+    (2700, 3300, 0.125),
+    (3300, 4800, 0.057),
+    (5600, 12000, 0.024),
+    (14000, 60000, 0.004),
+];
+
+/// Draw a total chain length for one host.
+pub fn chain_len(stream: &mut HashStream) -> u32 {
+    bucket_sample(stream, &CHAIN_BUCKETS)
+}
+
+/// Split a total chain length into individual certificate lengths
+/// (leaf + up to three intermediates), the way real chains decompose.
+/// The pieces sum exactly to `total`.
+pub fn split_chain(stream: &mut HashStream, total: u32) -> Vec<u32> {
+    if total < 600 {
+        return vec![total]; // bare self-signed leaf
+    }
+    let n = match total {
+        0..=1500 => 1 + (stream.next_u64() % 2) as u32,
+        1501..=3500 => 2 + (stream.next_u64() % 2) as u32,
+        _ => 3 + (stream.next_u64() % 2) as u32,
+    };
+    let mut remaining = total;
+    let mut parts = Vec::with_capacity(n as usize);
+    for i in 0..n {
+        let left = n - i;
+        if left == 1 {
+            parts.push(remaining);
+            break;
+        }
+        // Leaf certificates tend to be the largest; keep each piece at
+        // least 200 B and leave 200 B per remaining piece.
+        let max_here = remaining.saturating_sub(200 * (left - 1)).max(200);
+        let min_here = (remaining / (2 * left)).max(200).min(max_here);
+        let take = stream.next_range(u64::from(min_here), u64::from(max_here)) as u32;
+        parts.push(take);
+        remaining -= take;
+    }
+    parts
+}
+
+/// A censys-like dataset: `n` sampled chain lengths (for Fig. 2's CCDF).
+pub fn censys_sample(seed: u64, n: usize) -> Vec<u32> {
+    (0..n)
+        .map(|i| {
+            let mut s = HashStream::new(seed, i as u32, 0xce4515);
+            chain_len(&mut s)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn statistics_match_paper() {
+        let sample = censys_sample(42, 200_000);
+        let n = sample.len() as f64;
+        let mean = sample.iter().map(|v| f64::from(*v)).sum::<f64>() / n;
+        assert!(
+            (2000.0..2500.0).contains(&mean),
+            "mean {mean} should be near the paper's 2186"
+        );
+        let ge640 = sample.iter().filter(|v| **v >= 640).count() as f64 / n;
+        assert!(
+            (0.84..0.89).contains(&ge640),
+            "P(>=640) {ge640} vs paper's >86%"
+        );
+        let ge2176 = sample.iter().filter(|v| **v >= 2176).count() as f64 / n;
+        assert!(
+            (0.47..0.53).contains(&ge2176),
+            "P(>=2176) {ge2176} vs paper's ~50%"
+        );
+        let min = *sample.iter().min().unwrap();
+        let max = *sample.iter().max().unwrap();
+        assert!(min >= 36, "paper min 36, got {min}");
+        assert!(max < 65_536, "paper max 65k, got {max}");
+        assert!(max > 14_000, "tail must reach into the tens of kB");
+    }
+
+    #[test]
+    fn split_sums_to_total() {
+        let mut s = HashStream::new(7, 7, 7);
+        for total in [36u32, 600, 1200, 2186, 3500, 8000, 59_999] {
+            let parts = split_chain(&mut s, total);
+            assert_eq!(parts.iter().sum::<u32>(), total, "total {total}");
+            assert!(!parts.is_empty() && parts.len() <= 4);
+            assert!(parts.iter().all(|p| *p > 0));
+        }
+    }
+
+    #[test]
+    fn small_chain_single_cert() {
+        let mut s = HashStream::new(1, 1, 1);
+        assert_eq!(split_chain(&mut s, 36), vec![36]);
+    }
+
+    #[test]
+    fn deterministic_sampling() {
+        assert_eq!(censys_sample(5, 100), censys_sample(5, 100));
+        assert_ne!(censys_sample(5, 100), censys_sample(6, 100));
+    }
+}

@@ -1,0 +1,42 @@
+//! # iw-internet — a synthetic IPv4 Internet calibrated to IMC '17
+//!
+//! The paper scanned the real IPv4 space; this crate supplies its
+//! stand-in: a deterministic population of simulated hosts whose
+//! *configuration distributions* (initial windows, OS mix, service
+//! deployment, content sizes, certificate chains, failure modes) are
+//! calibrated to the numbers the paper published (Tables 1–3,
+//! Figures 2–5). The scanner measures this population through real
+//! packet exchanges — nothing here leaks ground truth to the scanner.
+//!
+//! Layout:
+//!
+//! * [`registry`] — a synthetic AS registry: network classes (cloud, CDN,
+//!   access ISP, …), named exemplar ASes (EC2, Cloudflare, Akamai, Azure,
+//!   GoDaddy, Comcast, Telmex, …) plus jittered filler ASes, each with an
+//!   address block carved out of the scaled scan space;
+//! * [`cohort`] — device cohorts inside each class (an IW policy + OS +
+//!   HTTP/TLS behaviour template) and their sampling;
+//! * [`certs`] — the censys-style certificate-chain length distribution
+//!   behind Fig. 2;
+//! * [`content`] — the small-page size distribution that produces
+//!   Table 2's lower-bound histogram;
+//! * [`population`] — the composed world: `ip → HostConfig` plus ground
+//!   truth and metadata (ASN, rDNS, class) for evaluation only;
+//! * [`alexa`] — the synthetic Alexa-style top list for Fig. 4.
+//!
+//! Everything is a pure function of `(seed, ip)` — hosts need no storage
+//! and the same seed reproduces the same Internet.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod alexa;
+pub mod certs;
+pub mod cohort;
+pub mod content;
+pub mod population;
+pub mod registry;
+pub mod util;
+
+pub use population::{GroundTruth, HostMeta, Population, PopulationConfig};
+pub use registry::{AsSpec, NetClass, Registry};

@@ -1,0 +1,34 @@
+//! # iw-netsim — deterministic virtual-time packet network
+//!
+//! The scanner in `iw-core` was designed to sit on a raw socket; in this
+//! reproduction it sits on this simulator instead. The simulator is a
+//! discrete-event kernel with:
+//!
+//! * a virtual clock ([`time::Instant`], [`time::Duration`]) — nanosecond
+//!   integer arithmetic, no wall clock anywhere;
+//! * an event queue ([`sim::Sim`]) delivering packets and timers in
+//!   deterministic order (ties broken by insertion sequence);
+//! * per-path link impairments ([`link::Link`]) — propagation delay,
+//!   jitter, Bernoulli loss, duplication, plus scripted drops for exact
+//!   tail-loss experiments (paper §3.5);
+//! * packet traces ([`trace::Trace`]) standing in for the tcpdump captures
+//!   the authors inspected manually — exportable as real pcap files
+//!   ([`pcap`]) for Wireshark.
+//!
+//! Determinism is a design requirement, not an accident: the same seed
+//! must reproduce byte-identical scan results so that the experiment
+//! harness can diff against recorded expectations.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod link;
+pub mod pcap;
+pub mod sim;
+pub mod time;
+pub mod trace;
+
+pub use link::{Link, LinkConfig};
+pub use sim::{Effects, Endpoint, HostFactory, Sim, SimConfig, TimerToken};
+pub use time::{Duration, Instant};
+pub use trace::{Dir, Trace, TraceEntry};

@@ -1,0 +1,240 @@
+//! Link impairment model.
+//!
+//! Every scanner↔host path gets its own [`Link`], seeded deterministically
+//! from the scan seed and the host address, so results do not depend on
+//! event interleaving across hosts. The model mirrors what the paper's
+//! validation uses NetEM for: delay, jitter, random loss — and adds
+//! scripted per-index drops so tests can hit *exact* packets (e.g. "drop
+//! the last data segment" = tail loss).
+
+use crate::time::Duration;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Static description of a path's behaviour.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkConfig {
+    /// One-way propagation delay.
+    pub latency: Duration,
+    /// Maximum additional random delay per packet (uniform in `[0, jitter]`).
+    /// Jitter larger than the inter-packet gap produces genuine reordering.
+    pub jitter: Duration,
+    /// Independent per-packet loss probability in `[0, 1]`.
+    pub loss: f64,
+    /// Independent per-packet duplication probability in `[0, 1]`.
+    pub dup: f64,
+    /// Scripted drops on the scanner→host direction: 0-based packet
+    /// indexes silently discarded regardless of `loss`.
+    pub drops_fwd: Vec<u64>,
+    /// Scripted drops on the host→scanner direction — this is how tests
+    /// inflict *exact* tail loss on the server's IW flight.
+    pub drops_rev: Vec<u64>,
+}
+
+impl Default for LinkConfig {
+    fn default() -> Self {
+        LinkConfig {
+            latency: Duration::from_millis(20),
+            jitter: Duration::ZERO,
+            loss: 0.0,
+            dup: 0.0,
+            drops_fwd: Vec::new(),
+            drops_rev: Vec::new(),
+        }
+    }
+}
+
+impl LinkConfig {
+    /// A clean low-latency testbed link (validation experiments, §3.5).
+    pub fn testbed() -> Self {
+        LinkConfig {
+            latency: Duration::from_millis(1),
+            ..LinkConfig::default()
+        }
+    }
+
+    /// A lossy link à la `netem loss <pct>%`.
+    pub fn with_loss(mut self, loss: f64) -> Self {
+        self.loss = loss;
+        self
+    }
+
+    /// Add jitter.
+    pub fn with_jitter(mut self, jitter: Duration) -> Self {
+        self.jitter = jitter;
+        self
+    }
+
+    /// Script an exact scanner→host packet drop (0-based index).
+    pub fn with_forward_drop(mut self, index: u64) -> Self {
+        self.drops_fwd.push(index);
+        self
+    }
+
+    /// Script an exact host→scanner packet drop (0-based index).
+    pub fn with_reverse_drop(mut self, index: u64) -> Self {
+        self.drops_rev.push(index);
+        self
+    }
+}
+
+/// Per-direction transit state.
+#[derive(Debug)]
+struct DirState {
+    sent: u64,
+    rng: SmallRng,
+}
+
+/// A live link between the scanner and one host.
+#[derive(Debug)]
+pub struct Link {
+    config: LinkConfig,
+    fwd: DirState,
+    rev: DirState,
+}
+
+/// The two directions across a link, from the scanner's point of view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Scanner → host.
+    Forward,
+    /// Host → scanner.
+    Reverse,
+}
+
+impl Link {
+    /// Instantiate a link with a deterministic per-path seed.
+    pub fn new(config: LinkConfig, seed: u64) -> Link {
+        Link {
+            config,
+            fwd: DirState {
+                sent: 0,
+                rng: SmallRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15),
+            },
+            rev: DirState {
+                sent: 0,
+                rng: SmallRng::seed_from_u64(seed ^ 0x2545_f491_4f6c_dd1d),
+            },
+        }
+    }
+
+    /// Pass one packet through the link.
+    ///
+    /// Returns the extra delays (relative to "now") at which copies arrive:
+    /// empty = lost, one entry = normal, two = duplicated.
+    pub fn transit(&mut self, dir: Direction) -> Vec<Duration> {
+        let config = &self.config;
+        let (st, drops) = match dir {
+            Direction::Forward => (&mut self.fwd, &config.drops_fwd),
+            Direction::Reverse => (&mut self.rev, &config.drops_rev),
+        };
+        let index = st.sent;
+        st.sent += 1;
+
+        if drops.contains(&index) {
+            return Vec::new();
+        }
+        if config.loss > 0.0 && st.rng.gen::<f64>() < config.loss {
+            return Vec::new();
+        }
+        let mut arrivals = Vec::with_capacity(1);
+        let jitter = if config.jitter > Duration::ZERO {
+            config.jitter.mul_f64(st.rng.gen::<f64>())
+        } else {
+            Duration::ZERO
+        };
+        arrivals.push(config.latency + jitter);
+        if config.dup > 0.0 && st.rng.gen::<f64>() < config.dup {
+            let jitter2 = config.jitter.mul_f64(st.rng.gen::<f64>());
+            arrivals.push(config.latency + jitter2 + Duration::from_micros(50));
+        }
+        arrivals
+    }
+
+    /// The static configuration.
+    pub fn config(&self) -> &LinkConfig {
+        &self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_link_delivers_everything_in_order() {
+        let mut link = Link::new(LinkConfig::testbed(), 1);
+        for _ in 0..100 {
+            let arr = link.transit(Direction::Forward);
+            assert_eq!(arr, vec![Duration::from_millis(1)]);
+        }
+    }
+
+    #[test]
+    fn full_loss_drops_everything() {
+        let mut link = Link::new(LinkConfig::default().with_loss(1.0), 2);
+        for _ in 0..50 {
+            assert!(link.transit(Direction::Reverse).is_empty());
+        }
+    }
+
+    #[test]
+    fn scripted_drop_hits_exact_index() {
+        let mut link = Link::new(LinkConfig::testbed().with_forward_drop(2), 3);
+        assert!(!link.transit(Direction::Forward).is_empty());
+        assert!(!link.transit(Direction::Forward).is_empty());
+        assert!(link.transit(Direction::Forward).is_empty(), "index 2 dropped");
+        assert!(!link.transit(Direction::Forward).is_empty());
+        // Directions are independent: a forward drop leaves reverse alone.
+        let mut link = Link::new(LinkConfig::testbed().with_forward_drop(0), 3);
+        assert!(link.transit(Direction::Forward).is_empty());
+        assert!(!link.transit(Direction::Reverse).is_empty());
+        let mut link = Link::new(LinkConfig::testbed().with_reverse_drop(0), 3);
+        assert!(!link.transit(Direction::Forward).is_empty());
+        assert!(link.transit(Direction::Reverse).is_empty());
+    }
+
+    #[test]
+    fn loss_rate_statistically_plausible() {
+        let mut link = Link::new(LinkConfig::default().with_loss(0.3), 42);
+        let delivered = (0..10_000)
+            .filter(|_| !link.transit(Direction::Forward).is_empty())
+            .count();
+        assert!((6500..7500).contains(&delivered), "got {delivered}");
+    }
+
+    #[test]
+    fn duplication_produces_two_arrivals() {
+        let mut cfg = LinkConfig::testbed();
+        cfg.dup = 1.0;
+        let mut link = Link::new(cfg, 7);
+        let arr = link.transit(Direction::Forward);
+        assert_eq!(arr.len(), 2);
+        assert!(arr[1] > arr[0]);
+    }
+
+    #[test]
+    fn jitter_varies_delay_within_bounds() {
+        let cfg = LinkConfig::default().with_jitter(Duration::from_millis(10));
+        let mut link = Link::new(cfg, 9);
+        let mut seen_distinct = std::collections::HashSet::new();
+        for _ in 0..100 {
+            let arr = link.transit(Direction::Forward);
+            let d = arr[0];
+            assert!(d >= Duration::from_millis(20));
+            assert!(d <= Duration::from_millis(30));
+            seen_distinct.insert(d.as_nanos());
+        }
+        assert!(seen_distinct.len() > 10, "jitter should vary");
+    }
+
+    #[test]
+    fn same_seed_same_behaviour() {
+        let cfg = LinkConfig::default().with_loss(0.5);
+        let mut a = Link::new(cfg.clone(), 1234);
+        let mut b = Link::new(cfg, 1234);
+        for _ in 0..200 {
+            assert_eq!(a.transit(Direction::Forward), b.transit(Direction::Forward));
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! Export recorded traces as pcap files (classic libpcap format,
+//! `LINKTYPE_RAW` — packets start at the IPv4 header), so simulated
+//! exchanges open directly in Wireshark/tcpdump next to captures of the
+//! real scanner.
+
+use crate::trace::Trace;
+use std::io::{self, Write};
+
+/// Classic pcap magic (microsecond timestamps, native endian).
+const PCAP_MAGIC: u32 = 0xa1b2_c3d4;
+/// LINKTYPE_RAW: packet data begins with the IPv4/IPv6 header.
+const LINKTYPE_RAW: u32 = 101;
+/// Snap length: we always store whole datagrams.
+const SNAPLEN: u32 = 65_535;
+
+/// Serialize a trace into pcap bytes.
+pub fn to_pcap_bytes(trace: &Trace) -> Vec<u8> {
+    let mut out = Vec::with_capacity(24 + trace.len() * 64);
+    // Global header.
+    out.extend_from_slice(&PCAP_MAGIC.to_le_bytes());
+    out.extend_from_slice(&2u16.to_le_bytes()); // version major
+    out.extend_from_slice(&4u16.to_le_bytes()); // version minor
+    out.extend_from_slice(&0i32.to_le_bytes()); // thiszone
+    out.extend_from_slice(&0u32.to_le_bytes()); // sigfigs
+    out.extend_from_slice(&SNAPLEN.to_le_bytes());
+    out.extend_from_slice(&LINKTYPE_RAW.to_le_bytes());
+    // Records.
+    for entry in trace.entries() {
+        let nanos = entry.at.as_nanos();
+        let secs = (nanos / 1_000_000_000) as u32;
+        let micros = ((nanos % 1_000_000_000) / 1_000) as u32;
+        let len = entry.bytes.len() as u32;
+        out.extend_from_slice(&secs.to_le_bytes());
+        out.extend_from_slice(&micros.to_le_bytes());
+        out.extend_from_slice(&len.to_le_bytes()); // captured
+        out.extend_from_slice(&len.to_le_bytes()); // original
+        out.extend_from_slice(&entry.bytes);
+    }
+    out
+}
+
+/// Write a trace to any writer in pcap format.
+pub fn write_pcap<W: Write>(trace: &Trace, mut writer: W) -> io::Result<()> {
+    writer.write_all(&to_pcap_bytes(trace))
+}
+
+/// Write a trace to a file path.
+pub fn save_pcap(trace: &Trace, path: &std::path::Path) -> io::Result<()> {
+    write_pcap(trace, std::fs::File::create(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::{Duration, Instant};
+    use crate::trace::Dir;
+
+    fn sample_trace() -> Trace {
+        let mut trace = Trace::new();
+        trace.record(Instant::ZERO, Dir::ScannerToHost, &[0x45, 0, 0, 20]);
+        trace.record(
+            Instant::ZERO + Duration::from_millis(1500),
+            Dir::HostToScanner,
+            &[0x45, 0, 0, 40, 9, 9],
+        );
+        trace
+    }
+
+    #[test]
+    fn global_header_is_valid() {
+        let bytes = to_pcap_bytes(&sample_trace());
+        assert_eq!(&bytes[0..4], &PCAP_MAGIC.to_le_bytes());
+        assert_eq!(u16::from_le_bytes([bytes[4], bytes[5]]), 2);
+        assert_eq!(u16::from_le_bytes([bytes[6], bytes[7]]), 4);
+        assert_eq!(
+            u32::from_le_bytes(bytes[20..24].try_into().unwrap()),
+            LINKTYPE_RAW
+        );
+    }
+
+    #[test]
+    fn records_carry_timestamps_and_lengths() {
+        let bytes = to_pcap_bytes(&sample_trace());
+        // First record header at offset 24.
+        let r1 = &bytes[24..40];
+        assert_eq!(u32::from_le_bytes(r1[0..4].try_into().unwrap()), 0);
+        assert_eq!(u32::from_le_bytes(r1[8..12].try_into().unwrap()), 4);
+        assert_eq!(u32::from_le_bytes(r1[12..16].try_into().unwrap()), 4);
+        assert_eq!(&bytes[40..44], &[0x45, 0, 0, 20]);
+        // Second record: 1.5 s → secs 1, micros 500000.
+        let r2 = &bytes[44..60];
+        assert_eq!(u32::from_le_bytes(r2[0..4].try_into().unwrap()), 1);
+        assert_eq!(u32::from_le_bytes(r2[4..8].try_into().unwrap()), 500_000);
+        assert_eq!(u32::from_le_bytes(r2[8..12].try_into().unwrap()), 6);
+    }
+
+    #[test]
+    fn empty_trace_is_header_only() {
+        let bytes = to_pcap_bytes(&Trace::new());
+        assert_eq!(bytes.len(), 24);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("iw-netsim-pcap-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.pcap");
+        save_pcap(&sample_trace(), &path).unwrap();
+        let read = std::fs::read(&path).unwrap();
+        assert_eq!(read, to_pcap_bytes(&sample_trace()));
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,589 @@
+//! The discrete-event simulation kernel.
+//!
+//! Topology is a star: one *scanner* endpoint in the middle, and one lazily
+//! instantiated *host* endpoint per probed IPv4 address, each behind its
+//! own impaired [`Link`]. That is exactly the world an Internet-wide
+//! scanner sees — it never observes host↔host traffic.
+//!
+//! Hosts are spawned by a [`HostFactory`] on the first packet addressed to
+//! them and torn down when they declare themselves finished, so a scan of
+//! millions of addresses only keeps live connections in memory.
+
+use crate::link::{Direction, Link, LinkConfig};
+use crate::time::{Duration, Instant};
+use crate::trace::{Dir, Trace};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// Opaque timer identifier, namespaced per endpoint; endpoints must treat
+/// stale timers (state moved on) as no-ops — there is no cancellation.
+pub type TimerToken = u64;
+
+/// What an endpoint wants done after handling an event.
+#[derive(Debug, Default)]
+pub struct Effects {
+    /// IPv4 datagrams to transmit (routed by destination address).
+    pub tx: Vec<Vec<u8>>,
+    /// Timers to arm, as (delay, token).
+    pub timers: Vec<(Duration, TimerToken)>,
+    /// The endpoint is done and may be deallocated (hosts only; the
+    /// scanner ignores this flag).
+    pub finished: bool,
+}
+
+impl Effects {
+    /// Queue a datagram for transmission.
+    pub fn send(&mut self, pkt: Vec<u8>) {
+        self.tx.push(pkt);
+    }
+
+    /// Arm a timer.
+    pub fn arm(&mut self, delay: Duration, token: TimerToken) {
+        self.timers.push((delay, token));
+    }
+}
+
+/// A packet-handling actor: the scanner, or one simulated host.
+pub trait Endpoint {
+    /// An IPv4 datagram addressed to this endpoint arrived.
+    fn on_packet(&mut self, pkt: &[u8], now: Instant, fx: &mut Effects);
+    /// A previously armed timer fired.
+    fn on_timer(&mut self, token: TimerToken, now: Instant, fx: &mut Effects);
+}
+
+/// Creates host endpoints on demand.
+pub trait HostFactory {
+    /// Instantiate the host behind `ip` (host-order address), or `None` if
+    /// the address is unrouted (the packet disappears, like on the real
+    /// Internet).
+    fn create(&mut self, ip: u32) -> Option<(Box<dyn Endpoint>, LinkConfig)>;
+}
+
+/// Blanket impl so closures can serve as factories in tests.
+impl<F> HostFactory for F
+where
+    F: FnMut(u32) -> Option<(Box<dyn Endpoint>, LinkConfig)>,
+{
+    fn create(&mut self, ip: u32) -> Option<(Box<dyn Endpoint>, LinkConfig)> {
+        self(ip)
+    }
+}
+
+/// Kernel tuning and accounting options.
+#[derive(Debug, Clone)]
+#[derive(Default)]
+pub struct SimConfig {
+    /// Seed mixed into every per-link RNG.
+    pub seed: u64,
+    /// Record a packet trace (validation runs only; costs memory).
+    pub record_trace: bool,
+}
+
+
+/// Aggregate statistics, the raw material of the §3.4 efficiency numbers.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimStats {
+    /// Datagrams the scanner transmitted.
+    pub scanner_tx: u64,
+    /// Datagrams delivered to the scanner.
+    pub scanner_rx: u64,
+    /// Datagrams hosts transmitted.
+    pub host_tx: u64,
+    /// Datagrams delivered to hosts.
+    pub host_rx: u64,
+    /// Datagrams lost on links (either direction).
+    pub lost: u64,
+    /// Bytes the scanner transmitted.
+    pub scanner_tx_bytes: u64,
+    /// Bytes delivered to the scanner.
+    pub scanner_rx_bytes: u64,
+    /// Host endpoints spawned.
+    pub hosts_spawned: u64,
+    /// Events processed.
+    pub events: u64,
+}
+
+#[derive(Debug)]
+enum EventKind {
+    ToHost { ip: u32, pkt: Vec<u8> },
+    ToScanner { pkt: Vec<u8> },
+    HostTimer { ip: u32, token: TimerToken },
+    ScannerTimer { token: TimerToken },
+}
+
+struct Event {
+    at: Instant,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+struct HostSlot {
+    endpoint: Box<dyn Endpoint>,
+}
+
+/// The simulation: one scanner endpoint `S`, hosts from factory `F`.
+pub struct Sim<S: Endpoint, F: HostFactory> {
+    scanner: S,
+    factory: F,
+    config: SimConfig,
+    now: Instant,
+    queue: BinaryHeap<Reverse<Event>>,
+    next_seq: u64,
+    hosts: HashMap<u32, HostSlot>,
+    /// Links persist across host despawn/respawn: the network path (and
+    /// its loss-process state, including scripted drop counters) exists
+    /// independently of whether the endpoint is in memory.
+    links: HashMap<u32, Link>,
+    stats: SimStats,
+    trace: Trace,
+}
+
+impl<S: Endpoint, F: HostFactory> Sim<S, F> {
+    /// Build a simulation around a scanner and a host factory.
+    pub fn new(scanner: S, factory: F, config: SimConfig) -> Self {
+        Sim {
+            scanner,
+            factory,
+            config,
+            now: Instant::ZERO,
+            queue: BinaryHeap::new(),
+            next_seq: 0,
+            hosts: HashMap::new(),
+            links: HashMap::new(),
+            stats: SimStats::default(),
+            trace: Trace::new(),
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Instant {
+        self.now
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> SimStats {
+        self.stats
+    }
+
+    /// The recorded trace (empty unless `record_trace` was set).
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Immutable access to the scanner endpoint (for result harvesting).
+    pub fn scanner(&self) -> &S {
+        &self.scanner
+    }
+
+    /// Mutable access to the scanner endpoint.
+    pub fn scanner_mut(&mut self) -> &mut S {
+        &mut self.scanner
+    }
+
+    /// Number of live host endpoints (diagnostic).
+    pub fn live_hosts(&self) -> usize {
+        self.hosts.len()
+    }
+
+    /// Invoke the scanner directly (e.g. to start the scan) and apply the
+    /// effects it produces.
+    pub fn kick_scanner(&mut self, f: impl FnOnce(&mut S, Instant, &mut Effects)) {
+        let mut fx = Effects::default();
+        f(&mut self.scanner, self.now, &mut fx);
+        self.apply_scanner_effects(fx);
+    }
+
+    fn schedule(&mut self, delay: Duration, kind: EventKind) {
+        let ev = Event {
+            at: self.now + delay,
+            seq: self.next_seq,
+            kind,
+        };
+        self.next_seq += 1;
+        self.queue.push(Reverse(ev));
+    }
+
+    fn apply_scanner_effects(&mut self, fx: Effects) {
+        for (delay, token) in fx.timers {
+            self.schedule(delay, EventKind::ScannerTimer { token });
+        }
+        for pkt in fx.tx {
+            self.route_from_scanner(pkt);
+        }
+    }
+
+    fn apply_host_effects(&mut self, ip: u32, fx: Effects) {
+        if fx.finished {
+            self.hosts.remove(&ip);
+        } else {
+            for (delay, token) in fx.timers {
+                self.schedule(delay, EventKind::HostTimer { ip, token });
+            }
+        }
+        for pkt in fx.tx {
+            self.route_from_host(ip, pkt);
+        }
+    }
+
+    fn route_from_scanner(&mut self, pkt: Vec<u8>) {
+        self.stats.scanner_tx += 1;
+        self.stats.scanner_tx_bytes += pkt.len() as u64;
+        // Destination address straight out of the IPv4 header; a full parse
+        // happens at the receiving endpoint.
+        let Some(dst) = dst_addr(&pkt) else {
+            self.stats.lost += 1;
+            return;
+        };
+        if self.config.record_trace {
+            self.trace.record(self.now, Dir::ScannerToHost, &pkt);
+        }
+        if !self.hosts.contains_key(&dst) && !self.spawn_host(dst) {
+            self.stats.lost += 1;
+            return;
+        }
+        let link = self.links.get_mut(&dst).expect("spawned host has a link");
+        let arrivals = link.transit(Direction::Forward);
+        if arrivals.is_empty() {
+            self.stats.lost += 1;
+        }
+        for delay in arrivals {
+            self.schedule(
+                delay,
+                EventKind::ToHost {
+                    ip: dst,
+                    pkt: pkt.clone(),
+                },
+            );
+        }
+    }
+
+    fn route_from_host(&mut self, ip: u32, pkt: Vec<u8>) {
+        self.stats.host_tx += 1;
+        if self.config.record_trace {
+            self.trace.record(self.now, Dir::HostToScanner, &pkt);
+        }
+        let Some(link) = self.links.get_mut(&ip) else {
+            // No link was ever built (shouldn't happen for a live host);
+            // deliver with a default delay rather than lose the packet.
+            self.schedule(LinkConfig::default().latency, EventKind::ToScanner { pkt });
+            return;
+        };
+        let arrivals = link.transit(Direction::Reverse);
+        if arrivals.is_empty() {
+            self.stats.lost += 1;
+        }
+        for delay in arrivals {
+            self.schedule(
+                delay,
+                EventKind::ToScanner {
+                    pkt: pkt.clone(),
+                },
+            );
+        }
+    }
+
+    /// Instantiate (or re-instantiate) the host at `ip`; the link is
+    /// created once and kept for the lifetime of the simulation.
+    fn spawn_host(&mut self, ip: u32) -> bool {
+        match self.factory.create(ip) {
+            Some((endpoint, link_config)) => {
+                self.links
+                    .entry(ip)
+                    .or_insert_with(|| Link::new(link_config, self.config.seed ^ u64::from(ip)));
+                self.hosts.insert(ip, HostSlot { endpoint });
+                self.stats.hosts_spawned += 1;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Process a single event. Returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        let Some(Reverse(ev)) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(ev.at >= self.now, "time must not run backwards");
+        self.now = ev.at;
+        self.stats.events += 1;
+        match ev.kind {
+            EventKind::ToScanner { pkt } => {
+                self.stats.scanner_rx += 1;
+                self.stats.scanner_rx_bytes += pkt.len() as u64;
+                let mut fx = Effects::default();
+                self.scanner.on_packet(&pkt, self.now, &mut fx);
+                self.apply_scanner_effects(fx);
+            }
+            EventKind::ScannerTimer { token } => {
+                let mut fx = Effects::default();
+                self.scanner.on_timer(token, self.now, &mut fx);
+                self.apply_scanner_effects(fx);
+            }
+            EventKind::ToHost { ip, pkt } => {
+                // A despawned host is a memory optimization, not a
+                // semantic statement: a packet already in flight when the
+                // host idled out must still find it, so respawn on demand
+                // (host state is a pure function of the address).
+                if !self.hosts.contains_key(&ip) {
+                    self.spawn_host(ip);
+                }
+                if let Some(slot) = self.hosts.get_mut(&ip) {
+                    self.stats.host_rx += 1;
+                    let mut fx = Effects::default();
+                    slot.endpoint.on_packet(&pkt, self.now, &mut fx);
+                    self.apply_host_effects(ip, fx);
+                }
+            }
+            EventKind::HostTimer { ip, token } => {
+                if let Some(slot) = self.hosts.get_mut(&ip) {
+                    let mut fx = Effects::default();
+                    slot.endpoint.on_timer(token, self.now, &mut fx);
+                    self.apply_host_effects(ip, fx);
+                }
+            }
+        }
+        true
+    }
+
+    /// Run until the event queue drains or `deadline` passes.
+    ///
+    /// Returns the number of events processed.
+    pub fn run_until(&mut self, deadline: Instant) -> u64 {
+        let mut n = 0;
+        while let Some(Reverse(ev)) = self.queue.peek() {
+            if ev.at > deadline {
+                break;
+            }
+            self.step();
+            n += 1;
+        }
+        n
+    }
+
+    /// Run until the queue is completely empty.
+    pub fn run_to_completion(&mut self) -> u64 {
+        let mut n = 0;
+        while self.step() {
+            n += 1;
+        }
+        n
+    }
+}
+
+fn dst_addr(pkt: &[u8]) -> Option<u32> {
+    pkt.get(16..20)
+        .map(|b| u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iw_wire_shim::*;
+
+    /// Minimal hand-rolled IPv4-ish datagrams for kernel tests: we only
+    /// need a valid destination-address field at bytes 16..20.
+    mod iw_wire_shim {
+        pub fn fake_pkt(dst: u32, tag: u8) -> Vec<u8> {
+            let mut pkt = vec![0u8; 21];
+            pkt[16..20].copy_from_slice(&dst.to_be_bytes());
+            pkt[20] = tag;
+            pkt
+        }
+    }
+
+    /// Host that echoes every packet back with the tag incremented.
+    struct Echo {
+        my_ip: u32,
+        seen: u32,
+    }
+
+    impl Endpoint for Echo {
+        fn on_packet(&mut self, pkt: &[u8], _now: Instant, fx: &mut Effects) {
+            self.seen += 1;
+            // Reply to the scanner: destination is "the scanner" which the
+            // kernel routes by construction; we keep our IP in the header
+            // so the test can identify the sender.
+            fx.send(fake_pkt(self.my_ip, pkt[20] + 1));
+        }
+        fn on_timer(&mut self, _token: TimerToken, _now: Instant, _fx: &mut Effects) {}
+    }
+
+    /// Scanner that sends one packet to each of `targets` when kicked and
+    /// records replies.
+    #[derive(Default)]
+    struct TestScanner {
+        replies: Vec<u8>,
+        timer_fired: Vec<TimerToken>,
+    }
+
+    impl Endpoint for TestScanner {
+        fn on_packet(&mut self, pkt: &[u8], _now: Instant, _fx: &mut Effects) {
+            self.replies.push(pkt[20]);
+        }
+        fn on_timer(&mut self, token: TimerToken, _now: Instant, fx: &mut Effects) {
+            self.timer_fired.push(token);
+            if token == 7 {
+                fx.arm(Duration::from_millis(1), 8);
+            }
+        }
+    }
+
+    fn echo_factory(ip: u32) -> Option<(Box<dyn Endpoint>, LinkConfig)> {
+        if ip == 0xdead {
+            None // unrouted
+        } else {
+            Some((
+                Box::new(Echo { my_ip: ip, seen: 0 }),
+                LinkConfig::testbed(),
+            ))
+        }
+    }
+
+    #[test]
+    fn packet_round_trip_and_lazy_spawn() {
+        let mut sim = Sim::new(TestScanner::default(), echo_factory, SimConfig::default());
+        sim.kick_scanner(|_, _, fx| {
+            fx.send(fake_pkt(1, 10));
+            fx.send(fake_pkt(2, 20));
+        });
+        assert_eq!(sim.live_hosts(), 2, "hosts spawn on first packet");
+        sim.run_to_completion();
+        let mut replies = sim.scanner().replies.clone();
+        replies.sort_unstable();
+        assert_eq!(replies, vec![11, 21]);
+        assert_eq!(sim.stats().hosts_spawned, 2);
+        assert_eq!(sim.stats().scanner_tx, 2);
+        assert_eq!(sim.stats().scanner_rx, 2);
+    }
+
+    #[test]
+    fn unrouted_address_is_silently_dropped() {
+        let mut sim = Sim::new(TestScanner::default(), echo_factory, SimConfig::default());
+        sim.kick_scanner(|_, _, fx| fx.send(fake_pkt(0xdead, 1)));
+        sim.run_to_completion();
+        assert!(sim.scanner().replies.is_empty());
+        assert_eq!(sim.stats().lost, 1);
+        assert_eq!(sim.live_hosts(), 0);
+    }
+
+    #[test]
+    fn timers_fire_in_order_and_can_rearm() {
+        let mut sim = Sim::new(TestScanner::default(), echo_factory, SimConfig::default());
+        sim.kick_scanner(|_, _, fx| {
+            fx.arm(Duration::from_millis(5), 7);
+            fx.arm(Duration::from_millis(1), 3);
+        });
+        sim.run_to_completion();
+        assert_eq!(sim.scanner().timer_fired, vec![3, 7, 8]);
+        assert_eq!(sim.now(), Instant::ZERO + Duration::from_millis(6));
+    }
+
+    #[test]
+    fn finished_host_is_deallocated() {
+        struct OneShot;
+        impl Endpoint for OneShot {
+            fn on_packet(&mut self, _pkt: &[u8], _now: Instant, fx: &mut Effects) {
+                fx.finished = true;
+            }
+            fn on_timer(&mut self, _t: TimerToken, _n: Instant, _fx: &mut Effects) {}
+        }
+        let factory = |_ip: u32| {
+            Some((
+                Box::new(OneShot) as Box<dyn Endpoint>,
+                LinkConfig::testbed(),
+            ))
+        };
+        let mut sim = Sim::new(TestScanner::default(), factory, SimConfig::default());
+        sim.kick_scanner(|_, _, fx| fx.send(fake_pkt(5, 0)));
+        sim.run_to_completion();
+        assert_eq!(sim.live_hosts(), 0);
+    }
+
+    #[test]
+    fn run_until_respects_deadline() {
+        let mut sim = Sim::new(TestScanner::default(), echo_factory, SimConfig::default());
+        sim.kick_scanner(|_, _, fx| {
+            fx.arm(Duration::from_millis(1), 1);
+            fx.arm(Duration::from_secs(10), 2);
+        });
+        sim.run_until(Instant::ZERO + Duration::from_secs(1));
+        assert_eq!(sim.scanner().timer_fired, vec![1]);
+        sim.run_to_completion();
+        assert_eq!(sim.scanner().timer_fired, vec![1, 2]);
+    }
+
+    #[test]
+    fn deterministic_event_ordering_at_equal_times() {
+        // Two packets to the same host with identical link delay must
+        // arrive in send order (seq tiebreaker).
+        struct Recorder {
+            tags: Vec<u8>,
+        }
+        impl Endpoint for Recorder {
+            fn on_packet(&mut self, pkt: &[u8], _n: Instant, _fx: &mut Effects) {
+                self.tags.push(pkt[20]);
+            }
+            fn on_timer(&mut self, _t: TimerToken, _n: Instant, _fx: &mut Effects) {}
+        }
+        // Recorder lives inside the sim; observe via host_rx order using a
+        // shared log.
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        let log = Rc::new(RefCell::new(Vec::new()));
+        struct SharedRecorder(Rc<RefCell<Vec<u8>>>);
+        impl Endpoint for SharedRecorder {
+            fn on_packet(&mut self, pkt: &[u8], _n: Instant, _fx: &mut Effects) {
+                self.0.borrow_mut().push(pkt[20]);
+            }
+            fn on_timer(&mut self, _t: TimerToken, _n: Instant, _fx: &mut Effects) {}
+        }
+        let log2 = log.clone();
+        let factory = move |_ip: u32| {
+            Some((
+                Box::new(SharedRecorder(log2.clone())) as Box<dyn Endpoint>,
+                LinkConfig::testbed(),
+            ))
+        };
+        let mut sim = Sim::new(TestScanner::default(), factory, SimConfig::default());
+        sim.kick_scanner(|_, _, fx| {
+            for tag in 0..10 {
+                fx.send(fake_pkt(1, tag));
+            }
+        });
+        sim.run_to_completion();
+        assert_eq!(*log.borrow(), (0..10).collect::<Vec<u8>>());
+        let _ = Recorder { tags: vec![] };
+    }
+
+    #[test]
+    fn trace_recording_captures_both_directions() {
+        let config = SimConfig {
+            record_trace: true,
+            ..SimConfig::default()
+        };
+        let mut sim = Sim::new(TestScanner::default(), echo_factory, config);
+        sim.kick_scanner(|_, _, fx| fx.send(fake_pkt(1, 0)));
+        sim.run_to_completion();
+        let trace = sim.trace();
+        assert_eq!(trace.len(), 2);
+        assert_eq!(trace.entries()[0].dir, Dir::ScannerToHost);
+        assert_eq!(trace.entries()[1].dir, Dir::HostToScanner);
+    }
+}

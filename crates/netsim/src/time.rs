@@ -1,0 +1,169 @@
+//! Virtual time: integer nanoseconds since simulation start.
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Sub};
+
+/// A point in virtual time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Instant(u64);
+
+/// A span of virtual time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Duration(u64);
+
+impl Instant {
+    /// The simulation epoch.
+    pub const ZERO: Instant = Instant(0);
+
+    /// Nanoseconds since the epoch.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Construct from nanoseconds.
+    pub const fn from_nanos(n: u64) -> Instant {
+        Instant(n)
+    }
+
+    /// Seconds since the epoch, as a float (for reporting only).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Time elapsed since `earlier`; saturates at zero.
+    pub fn duration_since(self, earlier: Instant) -> Duration {
+        Duration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl Duration {
+    /// Zero-length span.
+    pub const ZERO: Duration = Duration(0);
+
+    /// From nanoseconds.
+    pub const fn from_nanos(n: u64) -> Duration {
+        Duration(n)
+    }
+
+    /// From microseconds.
+    pub const fn from_micros(us: u64) -> Duration {
+        Duration(us * 1_000)
+    }
+
+    /// From milliseconds.
+    pub const fn from_millis(ms: u64) -> Duration {
+        Duration(ms * 1_000_000)
+    }
+
+    /// From seconds.
+    pub const fn from_secs(s: u64) -> Duration {
+        Duration(s * 1_000_000_000)
+    }
+
+    /// Nanoseconds in this span.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds, as a float (for reporting only).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Multiply by an integer factor, saturating.
+    pub fn saturating_mul(self, k: u64) -> Duration {
+        Duration(self.0.saturating_mul(k))
+    }
+
+    /// Scale by a float factor (used for jitter draws); negative clamps to 0.
+    pub fn mul_f64(self, k: f64) -> Duration {
+        if k <= 0.0 {
+            Duration::ZERO
+        } else {
+            Duration((self.0 as f64 * k) as u64)
+        }
+    }
+}
+
+impl Add<Duration> for Instant {
+    type Output = Instant;
+    fn add(self, rhs: Duration) -> Instant {
+        Instant(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<Duration> for Instant {
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Add for Duration {
+    type Output = Duration;
+    fn add(self, rhs: Duration) -> Duration {
+        Duration(self.0 + rhs.0)
+    }
+}
+
+impl Sub for Instant {
+    type Output = Duration;
+    fn sub(self, rhs: Instant) -> Duration {
+        Duration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl fmt::Display for Instant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if self.0 >= 1_000_000 {
+            write!(f, "{:.3}ms", self.0 as f64 / 1e6)
+        } else {
+            write!(f, "{}us", self.0 / 1000)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let t = Instant::ZERO + Duration::from_millis(5);
+        assert_eq!(t.as_nanos(), 5_000_000);
+        assert_eq!(t - Instant::ZERO, Duration::from_millis(5));
+        assert_eq!(Instant::ZERO - t, Duration::ZERO, "saturating");
+        assert_eq!(
+            Duration::from_secs(1) + Duration::from_micros(1),
+            Duration::from_nanos(1_000_001_000)
+        );
+    }
+
+    #[test]
+    fn scaling() {
+        assert_eq!(Duration::from_millis(10).saturating_mul(3), Duration::from_millis(30));
+        assert_eq!(Duration::from_millis(10).mul_f64(0.5), Duration::from_millis(5));
+        assert_eq!(Duration::from_millis(10).mul_f64(-1.0), Duration::ZERO);
+    }
+
+    #[test]
+    fn display_units() {
+        assert_eq!(Duration::from_secs(2).to_string(), "2.000s");
+        assert_eq!(Duration::from_millis(3).to_string(), "3.000ms");
+        assert_eq!(Duration::from_micros(7).to_string(), "7us");
+        assert_eq!(Instant::from_nanos(1_500_000_000).to_string(), "1.500000s");
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Instant::from_nanos(1) < Instant::from_nanos(2));
+        assert!(Duration::from_millis(1) < Duration::from_secs(1));
+    }
+}

@@ -1,0 +1,184 @@
+//! Property tests on the simulator: conservation, determinism and
+//! ordering invariants of the event kernel and link model.
+
+use iw_netsim::link::Direction;
+use iw_netsim::sim::SimConfig;
+use iw_netsim::{Duration, Effects, Endpoint, Instant, Link, LinkConfig, Sim, TimerToken};
+use proptest::prelude::*;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+fn packet_to(dst: u32, tag: u8) -> Vec<u8> {
+    let mut pkt = vec![0u8; 21];
+    pkt[16..20].copy_from_slice(&dst.to_be_bytes());
+    pkt[20] = tag;
+    pkt
+}
+
+/// Echoes every packet back once.
+struct Echo(u32);
+impl Endpoint for Echo {
+    fn on_packet(&mut self, pkt: &[u8], _now: Instant, fx: &mut Effects) {
+        fx.send(packet_to(self.0, pkt[20]));
+    }
+    fn on_timer(&mut self, _t: TimerToken, _n: Instant, _fx: &mut Effects) {}
+}
+
+#[derive(Default)]
+struct Collector {
+    tags: Vec<u8>,
+    times: Vec<Instant>,
+}
+impl Endpoint for Collector {
+    fn on_packet(&mut self, pkt: &[u8], now: Instant, _fx: &mut Effects) {
+        self.tags.push(pkt[20]);
+        self.times.push(now);
+    }
+    fn on_timer(&mut self, _t: TimerToken, _n: Instant, _fx: &mut Effects) {}
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// On lossless links, every packet sent comes back exactly once —
+    /// conservation through the kernel, whatever the topology size.
+    #[test]
+    fn lossless_echo_conserves_packets(
+        targets in proptest::collection::vec(1u32..500, 1..40),
+        latency_ms in 1u64..50,
+    ) {
+        let latency = Duration::from_millis(latency_ms);
+        let factory = move |ip: u32| {
+            Some((
+                Box::new(Echo(ip)) as Box<dyn Endpoint>,
+                LinkConfig { latency, ..LinkConfig::default() },
+            ))
+        };
+        let mut sim = Sim::new(Collector::default(), factory, SimConfig::default());
+        let expected: Vec<u8> = targets.iter().enumerate().map(|(i, _)| i as u8).collect();
+        sim.kick_scanner(|_, _, fx| {
+            for (i, t) in targets.iter().enumerate() {
+                fx.send(packet_to(*t, i as u8));
+            }
+        });
+        sim.run_to_completion();
+        let mut got = sim.scanner().tags.clone();
+        got.sort_unstable();
+        let mut want = expected;
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+        prop_assert_eq!(sim.stats().scanner_tx, targets.len() as u64);
+        prop_assert_eq!(sim.stats().scanner_rx, targets.len() as u64);
+    }
+
+    /// Virtual time never goes backwards and equals 2× the one-way
+    /// latency for an echo on a jitter-free link.
+    #[test]
+    fn time_is_monotone_and_latency_exact(latency_ms in 1u64..100) {
+        let latency = Duration::from_millis(latency_ms);
+        let factory = move |ip: u32| {
+            Some((
+                Box::new(Echo(ip)) as Box<dyn Endpoint>,
+                LinkConfig { latency, ..LinkConfig::default() },
+            ))
+        };
+        let mut sim = Sim::new(Collector::default(), factory, SimConfig::default());
+        sim.kick_scanner(|_, _, fx| fx.send(packet_to(7, 0)));
+        sim.run_to_completion();
+        prop_assert_eq!(sim.scanner().times.len(), 1);
+        prop_assert_eq!(
+            sim.scanner().times[0],
+            Instant::ZERO + Duration::from_millis(2 * latency_ms)
+        );
+    }
+
+    /// Identical seeds give identical delivery schedules even with loss
+    /// and jitter.
+    #[test]
+    fn deterministic_under_impairments(
+        seed in any::<u64>(),
+        loss in 0.0f64..0.5,
+        jitter_ms in 0u64..20,
+        n in 1usize..60,
+    ) {
+        let run = || {
+            let factory = move |ip: u32| {
+                Some((
+                    Box::new(Echo(ip)) as Box<dyn Endpoint>,
+                    LinkConfig {
+                        latency: Duration::from_millis(10),
+                        jitter: Duration::from_millis(jitter_ms),
+                        loss,
+                        ..LinkConfig::default()
+                    },
+                ))
+            };
+            let mut sim = Sim::new(
+                Collector::default(),
+                factory,
+                SimConfig { seed, record_trace: false },
+            );
+            sim.kick_scanner(|_, _, fx| {
+                for i in 0..n {
+                    fx.send(packet_to(1 + (i as u32 % 5), i as u8));
+                }
+            });
+            sim.run_to_completion();
+            (sim.scanner().tags.clone(), sim.scanner().times.clone(), sim.stats())
+        };
+        let a = run();
+        let b = run();
+        prop_assert_eq!(a.0, b.0);
+        prop_assert_eq!(a.1, b.1);
+        prop_assert_eq!(a.2, b.2);
+    }
+
+    /// Link loss statistics stay within a generous binomial envelope.
+    #[test]
+    fn link_loss_statistics(loss in 0.05f64..0.95, seed in any::<u64>()) {
+        let mut link = Link::new(LinkConfig::default().with_loss(loss), seed);
+        let n = 4000;
+        let delivered = (0..n)
+            .filter(|_| !link.transit(Direction::Forward).is_empty())
+            .count() as f64;
+        let expected = n as f64 * (1.0 - loss);
+        let sigma = (n as f64 * loss * (1.0 - loss)).sqrt();
+        prop_assert!(
+            (delivered - expected).abs() < 5.0 * sigma + 1.0,
+            "delivered {delivered}, expected {expected} ± {sigma}"
+        );
+    }
+
+    /// Timers fire in deadline order regardless of arming order.
+    #[test]
+    fn timers_fire_in_deadline_order(delays in proptest::collection::vec(1u64..1000, 1..30)) {
+        let fired = Rc::new(RefCell::new(Vec::<u64>::new()));
+        struct TimerLogger(Rc<RefCell<Vec<u64>>>);
+        impl Endpoint for TimerLogger {
+            fn on_packet(&mut self, _p: &[u8], _n: Instant, _fx: &mut Effects) {}
+            fn on_timer(&mut self, token: TimerToken, _n: Instant, _fx: &mut Effects) {
+                self.0.borrow_mut().push(token);
+            }
+        }
+        let factory = |_ip: u32| -> Option<(Box<dyn Endpoint>, LinkConfig)> { None };
+        let mut sim = Sim::new(TimerLogger(fired.clone()), factory, SimConfig::default());
+        let delays2 = delays.clone();
+        sim.kick_scanner(move |_, _, fx| {
+            for (i, d) in delays2.iter().enumerate() {
+                fx.arm(Duration::from_millis(*d), i as u64);
+            }
+        });
+        sim.run_to_completion();
+        let fired = fired.borrow();
+        prop_assert_eq!(fired.len(), delays.len());
+        // Sorted by deadline; ties by arming order (the seq tiebreaker).
+        let mut expected: Vec<(u64, u64)> = delays
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (*d, i as u64))
+            .collect();
+        expected.sort();
+        let expected_tokens: Vec<u64> = expected.into_iter().map(|(_, i)| i).collect();
+        prop_assert_eq!(fired.clone(), expected_tokens);
+    }
+}

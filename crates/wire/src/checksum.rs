@@ -1,0 +1,119 @@
+//! RFC 1071 Internet checksum, shared by IPv4, TCP and ICMP.
+
+use crate::ipv4::Ipv4Addr;
+
+/// Incremental ones-complement sum accumulator.
+///
+/// Fold order does not matter for the ones-complement sum, so we accumulate
+/// into a `u32` and defer carries; `finish` folds the carries and
+/// complements.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Checksum {
+    sum: u32,
+}
+
+impl Checksum {
+    /// Create an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a byte slice. Odd-length slices are padded with a zero byte as
+    /// RFC 1071 specifies.
+    pub fn add_bytes(&mut self, data: &[u8]) {
+        let mut chunks = data.chunks_exact(2);
+        for chunk in &mut chunks {
+            self.sum += u32::from(u16::from_be_bytes([chunk[0], chunk[1]]));
+        }
+        if let [last] = chunks.remainder() {
+            self.sum += u32::from(u16::from_be_bytes([*last, 0]));
+        }
+    }
+
+    /// Add a single big-endian 16-bit word.
+    pub fn add_u16(&mut self, word: u16) {
+        self.sum += u32::from(word);
+    }
+
+    /// Add the TCP/UDP pseudo-header for `proto` over IPv4.
+    pub fn add_pseudo_header(&mut self, src: Ipv4Addr, dst: Ipv4Addr, proto: u8, len: u16) {
+        self.add_bytes(&src.octets());
+        self.add_bytes(&dst.octets());
+        self.add_u16(u16::from(proto));
+        self.add_u16(len);
+    }
+
+    /// Fold carries and return the ones-complement checksum.
+    pub fn finish(self) -> u16 {
+        let mut sum = self.sum;
+        while sum > 0xffff {
+            sum = (sum & 0xffff) + (sum >> 16);
+        }
+        !(sum as u16)
+    }
+}
+
+/// One-shot checksum over a contiguous buffer.
+pub fn checksum(data: &[u8]) -> u16 {
+    let mut c = Checksum::new();
+    c.add_bytes(data);
+    c.finish()
+}
+
+/// Verify a buffer whose checksum field is already in place: the folded sum
+/// over the whole buffer must be zero (i.e. `finish()` returns 0xffff
+/// complemented to 0... we check the pre-complement form directly).
+pub fn verify(data: &[u8]) -> bool {
+    // When the checksum field is included, the ones-complement sum of the
+    // buffer is 0xffff, so `checksum` (which complements) returns 0.
+    checksum(data) == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc1071_example() {
+        // Example from RFC 1071 §3: {00 01 f2 03 f4 f5 f6 f7} -> sum 0xddf2,
+        // checksum = !0xddf2 = 0x220d.
+        let data = [0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7];
+        assert_eq!(checksum(&data), !0xddf2);
+    }
+
+    #[test]
+    fn odd_length_pads_with_zero() {
+        let even = [0xab, 0x00];
+        let odd = [0xab];
+        assert_eq!(checksum(&even), checksum(&odd));
+    }
+
+    #[test]
+    fn verify_round_trip() {
+        let mut data = vec![0x45, 0x00, 0x00, 0x14, 0x12, 0x34, 0x00, 0x00, 0x40, 0x06, 0, 0];
+        let c = checksum(&data);
+        data[10..12].copy_from_slice(&c.to_be_bytes());
+        assert!(verify(&data));
+        data[0] ^= 0x01;
+        assert!(!verify(&data));
+    }
+
+    #[test]
+    fn pseudo_header_matches_manual() {
+        let mut a = Checksum::new();
+        a.add_pseudo_header(
+            Ipv4Addr::new(192, 0, 2, 1),
+            Ipv4Addr::new(198, 51, 100, 2),
+            6,
+            20,
+        );
+        let mut b = Checksum::new();
+        b.add_bytes(&[192, 0, 2, 1, 198, 51, 100, 2, 0, 6, 0, 20]);
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn all_zero_is_ffff() {
+        assert_eq!(checksum(&[0u8; 8]), 0xffff);
+    }
+}

@@ -1,0 +1,47 @@
+//! Error type shared by all parsers in this crate.
+
+use core::fmt;
+
+/// Result alias for wire-format operations.
+pub type Result<T> = core::result::Result<T, Error>;
+
+/// A parsing or emission failure.
+///
+/// Parsers in this crate never panic on hostile input; every malformed
+/// datagram maps to one of these variants so the scanner can count it as a
+/// protocol `Error` outcome instead of crashing mid-scan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Error {
+    /// The buffer is shorter than the fixed header, or shorter than a
+    /// length field claims.
+    Truncated,
+    /// A field holds a value the protocol forbids (e.g. IPv4 IHL < 5,
+    /// TCP data offset < 5, TLS record length > 2^14 + 2048).
+    Malformed,
+    /// A checksum did not verify.
+    Checksum,
+    /// The version field is not the one this parser understands.
+    Version,
+    /// The provided buffer is too small to emit the representation into.
+    BufferTooSmall,
+    /// An HTTP message could not be parsed (bad status line, header syntax).
+    HttpSyntax,
+    /// A TLS record or handshake message is structurally invalid.
+    TlsSyntax,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Truncated => write!(f, "buffer truncated"),
+            Error::Malformed => write!(f, "malformed field"),
+            Error::Checksum => write!(f, "checksum mismatch"),
+            Error::Version => write!(f, "unsupported protocol version"),
+            Error::BufferTooSmall => write!(f, "emit buffer too small"),
+            Error::HttpSyntax => write!(f, "HTTP syntax error"),
+            Error::TlsSyntax => write!(f, "TLS syntax error"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}

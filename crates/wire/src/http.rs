@@ -1,0 +1,330 @@
+//! Minimal HTTP/1.x request/response handling for the HTTP probe module.
+//!
+//! The probe (paper §3.2) needs exactly this much HTTP:
+//!
+//! * build `GET` requests with a `Host` header (the bare IP when nothing
+//!   else is known), `Connection: close`, and an arbitrarily long URI (the
+//!   error-page bloating trick);
+//! * recognize a response status line;
+//! * extract the `Location` header from `3xx` responses to follow
+//!   redirects on a fresh connection.
+//!
+//! The parser is intentionally tolerant: scan targets speak wildly varying
+//! dialects and the prober only ever needs the status code and one header.
+
+use crate::{Error, Result};
+use std::collections::BTreeMap;
+
+/// An outgoing HTTP request (only what the prober emits).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Request method; the prober only uses `GET`.
+    pub method: String,
+    /// Request target (origin-form URI).
+    pub uri: String,
+    /// `Host` header value.
+    pub host: String,
+    /// Additional headers in order.
+    pub headers: Vec<(String, String)>,
+}
+
+impl Request {
+    /// A probe `GET` with `Connection: close` (so a FIN marks "out of
+    /// data", §3.2) and a `User-Agent` identifying the research scan.
+    pub fn probe_get(uri: &str, host: &str) -> Request {
+        Request {
+            method: "GET".into(),
+            uri: uri.into(),
+            host: host.into(),
+            headers: vec![
+                ("User-Agent".into(), "iw-scan/0.1 (research scan; see DESIGN.md)".into()),
+                ("Accept".into(), "*/*".into()),
+                ("Connection".into(), "close".into()),
+            ],
+        }
+    }
+
+    /// Serialize onto the wire.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = format!("{} {} HTTP/1.1\r\nHost: {}\r\n", self.method, self.uri, self.host);
+        for (k, v) in &self.headers {
+            out.push_str(k);
+            out.push_str(": ");
+            out.push_str(v);
+            out.push_str("\r\n");
+        }
+        out.push_str("\r\n");
+        out.into_bytes()
+    }
+
+    /// Parse a request head (used by the simulated HTTP servers).
+    ///
+    /// Expects the full head (terminated by an empty line) to be present;
+    /// returns `Error::Truncated` until it is, so servers can keep
+    /// buffering.
+    pub fn parse(data: &[u8]) -> Result<Request> {
+        let head_end = find_head_end(data).ok_or(Error::Truncated)?;
+        let head = std::str::from_utf8(&data[..head_end]).map_err(|_| Error::HttpSyntax)?;
+        let mut lines = head.split("\r\n");
+        let request_line = lines.next().ok_or(Error::HttpSyntax)?;
+        let mut parts = request_line.split(' ');
+        let method = parts.next().ok_or(Error::HttpSyntax)?.to_string();
+        let uri = parts.next().ok_or(Error::HttpSyntax)?.to_string();
+        let version = parts.next().ok_or(Error::HttpSyntax)?;
+        if !version.starts_with("HTTP/1.") {
+            return Err(Error::HttpSyntax);
+        }
+        let mut host = String::new();
+        let mut headers = Vec::new();
+        for line in lines {
+            if line.is_empty() {
+                continue;
+            }
+            let (k, v) = line.split_once(':').ok_or(Error::HttpSyntax)?;
+            let (k, v) = (k.trim(), v.trim());
+            if k.eq_ignore_ascii_case("host") {
+                host = v.to_string();
+            } else {
+                headers.push((k.to_string(), v.to_string()));
+            }
+        }
+        Ok(Request {
+            method,
+            uri,
+            host,
+            headers,
+        })
+    }
+}
+
+/// A parsed HTTP response head (what the prober inspects).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResponseHead {
+    /// Numeric status code.
+    pub status: u16,
+    /// Headers, lower-cased keys, in order of appearance.
+    pub headers: Vec<(String, String)>,
+    /// Offset of the body within the parsed buffer.
+    pub body_offset: usize,
+}
+
+impl ResponseHead {
+    /// Parse a response head out of (possibly partial) stream data.
+    ///
+    /// Returns `Error::Truncated` while the blank line has not arrived.
+    pub fn parse(data: &[u8]) -> Result<ResponseHead> {
+        let head_end = find_head_end(data).ok_or(Error::Truncated)?;
+        let head = std::str::from_utf8(&data[..head_end]).map_err(|_| Error::HttpSyntax)?;
+        let mut lines = head.split("\r\n");
+        let status_line = lines.next().ok_or(Error::HttpSyntax)?;
+        let mut parts = status_line.splitn(3, ' ');
+        let version = parts.next().ok_or(Error::HttpSyntax)?;
+        if !version.starts_with("HTTP/") {
+            return Err(Error::HttpSyntax);
+        }
+        let status: u16 = parts
+            .next()
+            .ok_or(Error::HttpSyntax)?
+            .parse()
+            .map_err(|_| Error::HttpSyntax)?;
+        let mut headers = Vec::new();
+        for line in lines {
+            if line.is_empty() {
+                continue;
+            }
+            let (k, v) = line.split_once(':').ok_or(Error::HttpSyntax)?;
+            headers.push((k.trim().to_ascii_lowercase(), v.trim().to_string()));
+        }
+        Ok(ResponseHead {
+            status,
+            headers,
+            body_offset: head_end + 4,
+        })
+    }
+
+    /// First value of a (case-insensitive) header.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether this is a redirect carrying a usable `Location`.
+    pub fn redirect_location(&self) -> Option<&str> {
+        if (300..400).contains(&self.status) {
+            self.header("location")
+        } else {
+            None
+        }
+    }
+}
+
+/// Split an absolute or origin-form URI into (host, path) as the prober
+/// needs when following a `Location` header (§3.2): `http://example.com/a`
+/// → `("example.com", "/a")`; `/a` → `("", "/a")`.
+pub fn split_location(location: &str) -> (String, String) {
+    for scheme in ["http://", "https://"] {
+        if let Some(rest) = location.strip_prefix(scheme) {
+            return match rest.find('/') {
+                Some(idx) => (rest[..idx].to_string(), rest[idx..].to_string()),
+                None => (rest.to_string(), "/".to_string()),
+            };
+        }
+    }
+    if location.starts_with('/') {
+        (String::new(), location.to_string())
+    } else {
+        // Opaque/relative junk: treat as a path from root.
+        (String::new(), format!("/{location}"))
+    }
+}
+
+/// Build a response head + body (used by the simulated servers).
+#[derive(Debug, Clone)]
+pub struct ResponseBuilder {
+    status: u16,
+    reason: &'static str,
+    headers: BTreeMap<String, String>,
+    body: Vec<u8>,
+}
+
+impl ResponseBuilder {
+    /// Start a response with a status code and reason phrase.
+    pub fn new(status: u16, reason: &'static str) -> Self {
+        ResponseBuilder {
+            status,
+            reason,
+            headers: BTreeMap::new(),
+            body: Vec::new(),
+        }
+    }
+
+    /// Add/overwrite a header.
+    pub fn header(mut self, k: &str, v: impl Into<String>) -> Self {
+        self.headers.insert(k.to_string(), v.into());
+        self
+    }
+
+    /// Set the body; `Content-Length` is filled automatically.
+    pub fn body(mut self, body: Vec<u8>) -> Self {
+        self.body = body;
+        self
+    }
+
+    /// Serialize the full response.
+    pub fn build(self) -> Vec<u8> {
+        let mut out = format!("HTTP/1.1 {} {}\r\n", self.status, self.reason);
+        for (k, v) in &self.headers {
+            out.push_str(&format!("{k}: {v}\r\n"));
+        }
+        out.push_str(&format!("Content-Length: {}\r\n\r\n", self.body.len()));
+        let mut bytes = out.into_bytes();
+        bytes.extend_from_slice(&self.body);
+        bytes
+    }
+}
+
+fn find_head_end(data: &[u8]) -> Option<usize> {
+    data.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probe_get_serializes() {
+        let req = Request::probe_get("/", "203.0.113.9");
+        let bytes = req.to_bytes();
+        let text = std::str::from_utf8(&bytes).unwrap();
+        assert!(text.starts_with("GET / HTTP/1.1\r\nHost: 203.0.113.9\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.ends_with("\r\n\r\n"));
+    }
+
+    #[test]
+    fn request_round_trip() {
+        let req = Request::probe_get("/probe", "example.com");
+        let parsed = Request::parse(&req.to_bytes()).unwrap();
+        assert_eq!(parsed.method, "GET");
+        assert_eq!(parsed.uri, "/probe");
+        assert_eq!(parsed.host, "example.com");
+        assert!(parsed
+            .headers
+            .iter()
+            .any(|(k, v)| k == "Connection" && v == "close"));
+    }
+
+    #[test]
+    fn partial_request_is_truncated() {
+        let req = Request::probe_get("/", "h").to_bytes();
+        assert_eq!(Request::parse(&req[..req.len() - 1]).unwrap_err(), Error::Truncated);
+    }
+
+    #[test]
+    fn response_parse_and_location() {
+        let raw = b"HTTP/1.1 301 Moved Permanently\r\nLocation: http://www.example.com/index.html\r\nServer: test\r\n\r\nbody";
+        let head = ResponseHead::parse(raw).unwrap();
+        assert_eq!(head.status, 301);
+        assert_eq!(
+            head.redirect_location(),
+            Some("http://www.example.com/index.html")
+        );
+        assert_eq!(&raw[head.body_offset..], b"body");
+    }
+
+    #[test]
+    fn non_redirect_has_no_location() {
+        let raw = b"HTTP/1.1 200 OK\r\nLocation: /x\r\n\r\n";
+        let head = ResponseHead::parse(raw).unwrap();
+        assert_eq!(head.redirect_location(), None);
+    }
+
+    #[test]
+    fn split_location_variants() {
+        assert_eq!(
+            split_location("http://www.foo.com/a/b"),
+            ("www.foo.com".into(), "/a/b".into())
+        );
+        assert_eq!(
+            split_location("https://foo.com"),
+            ("foo.com".into(), "/".into())
+        );
+        assert_eq!(split_location("/moved"), (String::new(), "/moved".into()));
+        assert_eq!(split_location("moved"), (String::new(), "/moved".into()));
+    }
+
+    #[test]
+    fn response_builder_sets_content_length() {
+        let resp = ResponseBuilder::new(404, "Not Found")
+            .header("Server", "sim")
+            .body(b"nope".to_vec())
+            .build();
+        let head = ResponseHead::parse(&resp).unwrap();
+        assert_eq!(head.status, 404);
+        assert_eq!(head.header("content-length"), Some("4"));
+        assert_eq!(&resp[head.body_offset..], b"nope");
+    }
+
+    #[test]
+    fn bad_status_line_is_syntax_error() {
+        assert_eq!(
+            ResponseHead::parse(b"garbage here\r\n\r\n").unwrap_err(),
+            Error::HttpSyntax
+        );
+        assert_eq!(
+            ResponseHead::parse(b"HTTP/1.1 abc OK\r\n\r\n").unwrap_err(),
+            Error::HttpSyntax
+        );
+    }
+
+    #[test]
+    fn header_lookup_is_case_insensitive() {
+        let raw = b"HTTP/1.1 200 OK\r\nX-Thing: 1\r\n\r\n";
+        let head = ResponseHead::parse(raw).unwrap();
+        assert_eq!(head.header("x-thing"), Some("1"));
+        assert_eq!(head.header("X-THING"), Some("1"));
+    }
+}

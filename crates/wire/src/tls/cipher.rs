@@ -1,0 +1,129 @@
+//! Cipher-suite registry.
+//!
+//! The paper compiles "a list of 40 TLS ciphers announced by Safari,
+//! Firefox, and Chrome, enriched with ciphers extracted from the censys.io
+//! data" (§3.3). We reproduce that union: modern AEAD suites the three
+//! browsers shared in 2017, the CBC suites they kept for compatibility,
+//! and the long legacy tail (RC4, 3DES, plain-RSA) that censys still saw.
+
+use core::fmt;
+
+/// A TLS cipher suite identified by its IANA 16-bit code point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CipherSuite(pub u16);
+
+impl CipherSuite {
+    /// TLS_ECDHE_RSA_WITH_AES_128_GCM_SHA256 — the workhorse of 2017.
+    pub const ECDHE_RSA_AES128_GCM: CipherSuite = CipherSuite(0xc02f);
+    /// TLS_RSA_WITH_AES_128_CBC_SHA — the universal legacy fallback.
+    pub const RSA_AES128_CBC: CipherSuite = CipherSuite(0x002f);
+    /// TLS_RSA_WITH_RC4_128_SHA — ancient, censys-only tier.
+    pub const RSA_RC4_SHA: CipherSuite = CipherSuite(0x0005);
+
+    /// Whether the suite's key exchange sends a ServerKeyExchange message
+    /// ((EC)DHE); static-RSA suites do not. This changes the byte count of
+    /// the server's first flight, which the IW estimate feeds on.
+    pub fn has_server_key_exchange(self) -> bool {
+        // ECDHE suites are 0xc0xx in this registry; DHE suites used here
+        // are 0x0033/0x0039/0x009e/0x009f/0x0016.
+        matches!(self.0, 0xc000..=0xc0ff | 0x0033 | 0x0039 | 0x009e | 0x009f | 0x0016)
+    }
+}
+
+impl fmt::Display for CipherSuite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{:04x}", self.0)
+    }
+}
+
+/// The 40-suite browser-union offer list (§3.3), in preference order.
+pub fn browser_union_ciphers() -> Vec<CipherSuite> {
+    const CODES: [u16; 40] = [
+        // Modern AEAD tier (Chrome/Firefox/Safari 2017 defaults).
+        0xc02c, // ECDHE-ECDSA-AES256-GCM-SHA384
+        0xc02b, // ECDHE-ECDSA-AES128-GCM-SHA256
+        0xc030, // ECDHE-RSA-AES256-GCM-SHA384
+        0xc02f, // ECDHE-RSA-AES128-GCM-SHA256
+        0xcca9, // ECDHE-ECDSA-CHACHA20-POLY1305
+        0xcca8, // ECDHE-RSA-CHACHA20-POLY1305
+        0x009f, // DHE-RSA-AES256-GCM-SHA384
+        0x009e, // DHE-RSA-AES128-GCM-SHA256
+        // CBC-with-ECDHE compatibility tier.
+        0xc024, // ECDHE-ECDSA-AES256-SHA384
+        0xc023, // ECDHE-ECDSA-AES128-SHA256
+        0xc028, // ECDHE-RSA-AES256-SHA384
+        0xc027, // ECDHE-RSA-AES128-SHA256
+        0xc00a, // ECDHE-ECDSA-AES256-SHA
+        0xc009, // ECDHE-ECDSA-AES128-SHA
+        0xc014, // ECDHE-RSA-AES256-SHA
+        0xc013, // ECDHE-RSA-AES128-SHA
+        // Static RSA tier (censys long tail).
+        0x009d, // RSA-AES256-GCM-SHA384
+        0x009c, // RSA-AES128-GCM-SHA256
+        0x003d, // RSA-AES256-SHA256
+        0x003c, // RSA-AES128-SHA256
+        0x0035, // RSA-AES256-SHA
+        0x002f, // RSA-AES128-SHA
+        // DHE CBC tier.
+        0x0039, // DHE-RSA-AES256-SHA
+        0x0033, // DHE-RSA-AES128-SHA
+        0x0067, // DHE-RSA-AES128-SHA256
+        0x006b, // DHE-RSA-AES256-SHA256
+        // Camellia (seen in censys, offered by Firefox long ago).
+        0x0041, // RSA-CAMELLIA128-SHA
+        0x0084, // RSA-CAMELLIA256-SHA
+        0x0045, // DHE-RSA-CAMELLIA128-SHA
+        0x0088, // DHE-RSA-CAMELLIA256-SHA
+        // SEED / legacy national suites from censys.
+        0x0096, // RSA-SEED-SHA
+        // 3DES compatibility.
+        0xc012, // ECDHE-RSA-3DES-EDE-CBC-SHA
+        0x0016, // DHE-RSA-3DES-EDE-CBC-SHA
+        0x000a, // RSA-3DES-EDE-CBC-SHA
+        // RC4 (censys tail; browsers had dropped it, servers had not).
+        0xc011, // ECDHE-RSA-RC4-SHA
+        0x0005, // RSA-RC4-SHA
+        0x0004, // RSA-RC4-MD5
+        // Export-grade / null-adjacent relics that still appear in scans.
+        0x0009, // RSA-DES-CBC-SHA
+        0x0015, // DHE-RSA-DES-CBC-SHA
+        0x0012, // DHE-DSS-DES-CBC-SHA
+    ];
+    CODES.into_iter().map(CipherSuite).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn exactly_forty_unique_suites() {
+        let list = browser_union_ciphers();
+        assert_eq!(list.len(), 40, "the paper compiles a 40-cipher list");
+        let set: HashSet<_> = list.iter().collect();
+        assert_eq!(set.len(), 40, "no duplicates");
+    }
+
+    #[test]
+    fn modern_aead_preferred() {
+        let list = browser_union_ciphers();
+        assert_eq!(list[0], CipherSuite(0xc02c));
+        assert!(list.contains(&CipherSuite::ECDHE_RSA_AES128_GCM));
+        assert!(list.contains(&CipherSuite::RSA_AES128_CBC));
+        assert!(list.contains(&CipherSuite::RSA_RC4_SHA));
+    }
+
+    #[test]
+    fn server_key_exchange_classification() {
+        assert!(CipherSuite::ECDHE_RSA_AES128_GCM.has_server_key_exchange());
+        assert!(CipherSuite(0x009e).has_server_key_exchange());
+        assert!(!CipherSuite::RSA_AES128_CBC.has_server_key_exchange());
+        assert!(!CipherSuite::RSA_RC4_SHA.has_server_key_exchange());
+    }
+
+    #[test]
+    fn display_is_hex() {
+        assert_eq!(CipherSuite(0xc02f).to_string(), "0xc02f");
+    }
+}

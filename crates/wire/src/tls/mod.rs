@@ -1,0 +1,95 @@
+//! TLS 1.2 framing for the TLS probe module (paper §3.3).
+//!
+//! The probe completes the TCP handshake, sends a single ClientHello and
+//! then just *counts bytes*: the server's flight (ServerHello +
+//! Certificate + `CertificateStatus` + ServerKeyExchange + ServerHelloDone)
+//! is what fills the initial window. The paper explicitly does **not**
+//! inspect TLS length fields to detect "more data" (§3.3, last paragraph) —
+//! it relies on the generic ACK-release check — so the client side here
+//! only needs to *build* a realistic ClientHello and *recognize* alerts.
+//! The server side (in `iw-hoststack`) needs to build the full flight.
+
+pub mod cipher;
+pub mod handshake;
+pub mod record;
+
+pub use cipher::{browser_union_ciphers, CipherSuite};
+pub use handshake::{ClientHello, Extension, HandshakeType, ServerFlight};
+pub use record::{ContentType, Record, ProtocolVersion};
+
+/// TLS alert levels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlertLevel {
+    /// Warning (1).
+    Warning,
+    /// Fatal (2).
+    Fatal,
+}
+
+/// A TLS alert (the "error message" small responses in Table 2's NoData/IW1
+/// rows come from these).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Alert {
+    /// Severity.
+    pub level: AlertLevel,
+    /// Description code (40 = handshake_failure, 112 = unrecognized_name…).
+    pub description: u8,
+}
+
+impl Alert {
+    /// `handshake_failure(40)` — no common cipher suite.
+    pub const HANDSHAKE_FAILURE: Alert = Alert {
+        level: AlertLevel::Fatal,
+        description: 40,
+    };
+
+    /// `unrecognized_name(112)` — server requires SNI it does not know.
+    pub const UNRECOGNIZED_NAME: Alert = Alert {
+        level: AlertLevel::Fatal,
+        description: 112,
+    };
+
+    /// Serialize as the 2-byte alert body.
+    pub fn to_bytes(self) -> [u8; 2] {
+        let level = match self.level {
+            AlertLevel::Warning => 1,
+            AlertLevel::Fatal => 2,
+        };
+        [level, self.description]
+    }
+
+    /// Parse from an alert record body.
+    pub fn parse(data: &[u8]) -> Option<Alert> {
+        if data.len() < 2 {
+            return None;
+        }
+        let level = match data[0] {
+            1 => AlertLevel::Warning,
+            2 => AlertLevel::Fatal,
+            _ => return None,
+        };
+        Some(Alert {
+            level,
+            description: data[1],
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alert_round_trip() {
+        let a = Alert::UNRECOGNIZED_NAME;
+        assert_eq!(Alert::parse(&a.to_bytes()), Some(a));
+        let b = Alert::HANDSHAKE_FAILURE;
+        assert_eq!(Alert::parse(&b.to_bytes()), Some(b));
+    }
+
+    #[test]
+    fn alert_rejects_garbage() {
+        assert_eq!(Alert::parse(&[9, 9]), None);
+        assert_eq!(Alert::parse(&[1]), None);
+    }
+}

@@ -1,0 +1,65 @@
+//! The tail-loss laboratory (§3.5): watch the one failure mode of the
+//! methodology happen, then watch the multi-probe vote fix it.
+//!
+//! ```sh
+//! cargo run --release -p iw-bench --example tail_loss_lab
+//! ```
+//!
+//! Tail loss — losing the *last* segment of the initial flight — is
+//! undetectable from sequence numbers: the flight just looks one segment
+//! shorter. The paper's defence is probing each host three times and
+//! requiring the agreeing majority to be the maximum.
+
+use iw_core::testbed::{probe_host, TestbedSpec};
+use iw_core::{MssVerdict, Protocol};
+use iw_hoststack::HostConfig;
+use iw_netsim::LinkConfig;
+
+fn main() {
+    println!("host ground truth: IW 10, 50 kB page\n");
+
+    // A clean link: every probe exact.
+    let clean = TestbedSpec::new(HostConfig::simple_web(50_000), Protocol::Http);
+    let (result, _) = probe_host(&clean);
+    println!(
+        "clean link:              verdict {:?}",
+        result.unwrap().primary_verdict().unwrap()
+    );
+
+    // Drop exactly the last segment of the first probe's flight
+    // (host-to-scanner packet #10; #0 is the SYN-ACK).
+    let mut tail = TestbedSpec::new(HostConfig::simple_web(50_000), Protocol::Http);
+    tail.link = LinkConfig::testbed().with_reverse_drop(10);
+    let (result, _) = probe_host(&tail);
+    let result = result.unwrap();
+    println!("\ntail loss on probe 1:");
+    for (mss, outcomes) in &result.runs {
+        for (i, o) in outcomes.iter().enumerate() {
+            if let iw_core::ProbeOutcome::Success { segments, .. } = o {
+                println!("  MSS {mss:>3} probe {}: IW {segments}", i + 1);
+            }
+        }
+    }
+    match result.primary_verdict().unwrap() {
+        MssVerdict::Success(iw) => println!("  vote: IW {iw}  (the two clean probes outvote the victim)"),
+        other => println!("  vote: {other:?}"),
+    }
+
+    // Now sabotage two of the three probes: the vote must NOT report a
+    // wrong value with confidence — the 2-of-3-maximum rule rejects it.
+    let mut double = TestbedSpec::new(HostConfig::simple_web(50_000), Protocol::Http);
+    double.link = LinkConfig::testbed()
+        .with_reverse_drop(10)   // probe 1: last segment of the flight
+        .with_reverse_drop(23);  // probe 2: last segment of its flight
+    let (result, _) = probe_host(&double);
+    let result = result.unwrap();
+    println!("\ntail loss on probes 1 and 2:");
+    for (mss, outcomes) in &result.runs {
+        println!("  MSS {mss:>3}: {outcomes:?}");
+    }
+    println!("  vote: {:?}", result.primary_verdict().unwrap());
+    println!(
+        "\ntwo agreeing underestimates never beat a single higher reading:\n\
+         the rule demands the agreeing pair BE the maximum (§4 'Dataset')."
+    );
+}

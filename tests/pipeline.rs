@@ -1,0 +1,206 @@
+//! The full measurement → analysis pipeline on a small world: every
+//! table and figure artifact must be constructible from a real scan and
+//! satisfy the paper's shape checks.
+
+use iw_analysis::classify::{Classifier, Service};
+use iw_analysis::compare;
+use iw_analysis::dbscan::{dbscan, summarize, AsPoint};
+use iw_analysis::histogram::IwHistogram;
+use iw_analysis::sampling;
+use iw_analysis::tables::{Table1, Table2, Table3};
+use iw_core::{run_scan_sharded, Protocol, ScanConfig, ScanOutput};
+use iw_internet::{Population, PopulationConfig};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+fn world() -> Arc<Population> {
+    Arc::new(Population::new(PopulationConfig {
+        seed: 0x13072017,
+        space_size: 1 << 17,
+        target_responsive: 2_500,
+        loss_scale: 0.0,
+    }))
+}
+
+fn scan(pop: &Arc<Population>, protocol: Protocol) -> ScanOutput {
+    let mut config = ScanConfig::study(protocol, pop.space_size(), 0x13072017);
+    config.rate_pps = 4_000_000;
+    run_scan_sharded(pop, config, 4)
+}
+
+#[test]
+fn tables_and_figures_pass_paper_shape_checks() {
+    let pop = world();
+    let http = scan(&pop, Protocol::Http);
+    let tls = scan(&pop, Protocol::Tls);
+
+    // Table 1.
+    let t1 = Table1::new(&[("HTTP", &http.summary), ("TLS", &tls.summary)]);
+    let c1 = compare::check_table1(&t1);
+    assert!(
+        c1.iter().all(|c| c.pass),
+        "{}",
+        compare::render_checks(&c1)
+    );
+
+    // Table 2.
+    let t2h = Table2::new(&http.results);
+    let t2t = Table2::new(&tls.results);
+    let c2 = compare::check_table2(&t2h, &t2t);
+    assert!(
+        c2.iter().all(|c| c.pass),
+        "{}",
+        compare::render_checks(&c2)
+    );
+
+    // Table 3.
+    let t3h = Table3::new(&http.results, &pop);
+    let t3t = Table3::new(&tls.results, &pop);
+    let c3 = compare::check_table3(&t3h, &t3t);
+    assert!(
+        c3.iter().all(|c| c.pass),
+        "{}",
+        compare::render_checks(&c3)
+    );
+
+    // Figure 3.
+    let h_http = IwHistogram::from_results(&http.results);
+    let h_tls = IwHistogram::from_results(&tls.results);
+    let c4 = compare::check_fig3(&h_http, &h_tls);
+    assert!(
+        c4.iter().all(|c| c.pass),
+        "{}",
+        compare::render_checks(&c4)
+    );
+}
+
+#[test]
+fn classifier_never_reads_ground_truth_yet_matches_it() {
+    let pop = world();
+    let classifier = Classifier::new(&pop);
+    let mut disagreements = 0u32;
+    let mut checked = 0u32;
+    for ip in 0..pop.space_size() {
+        let Some(meta) = pop.meta(ip) else { continue };
+        checked += 1;
+        let predicted = classifier.classify(ip, meta.rdns.as_deref());
+        // Spot-check the exemplars only (fillers legitimately map to Other).
+        let expected = match meta.asn {
+            20940 => Some(Service::Akamai),
+            16509 => Some(Service::Ec2),
+            13335 => Some(Service::Cloudflare),
+            8075 => Some(Service::Azure),
+            _ => None,
+        };
+        if let Some(expected) = expected {
+            if predicted != expected {
+                disagreements += 1;
+            }
+        }
+    }
+    assert!(checked > 1000);
+    assert_eq!(disagreements, 0, "published ranges must classify exactly");
+}
+
+#[test]
+fn dbscan_separates_network_families_on_scan_data() {
+    let pop = world();
+    let http = scan(&pop, Protocol::Http);
+    let mut per_as: HashMap<u32, HashMap<u32, u64>> = HashMap::new();
+    for r in &http.results {
+        if let (Some(iw), Some(meta)) = (r.iw_estimate(), pop.meta(r.ip)) {
+            *per_as.entry(meta.asn).or_default().entry(iw).or_insert(0) += 1;
+        }
+    }
+    let points: Vec<AsPoint> = per_as
+        .into_iter()
+        .filter(|(_, c)| c.values().sum::<u64>() >= 3)
+        .map(|(asn, c)| AsPoint::from_counts(asn, &c.into_iter().collect::<Vec<_>>()))
+        .collect();
+    assert!(points.len() > 40, "{} ASes with data", points.len());
+    let labels = dbscan(&points, 0.12, 5);
+    let clusters = summarize(&points, &labels);
+    assert!(clusters.len() >= 3, "{} clusters", clusters.len());
+    // The biggest cluster must be IW10-led (content infrastructure), and
+    // some cluster must be IW2-led (legacy/access).
+    let leads: Vec<usize> = clusters
+        .iter()
+        .map(|c| {
+            c.centroid
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+                .map(|(i, _)| i)
+                .expect("non-empty")
+        })
+        .collect();
+    assert_eq!(leads[0], 3, "largest cluster is IW10-led");
+    assert!(leads.contains(&1), "an IW2-led cluster exists");
+}
+
+#[test]
+fn subsampling_study_on_real_scan() {
+    let pop = world();
+    let http = scan(&pop, Protocol::Http);
+    let full = IwHistogram::from_results(&http.results);
+    // 30% subsamples track the full distribution tightly.
+    let h30 = sampling::subsample_histogram(&http.results, 0.3, 99);
+    assert!(full.l1_distance(&h30) < 0.12, "{}", full.l1_distance(&h30));
+    // Repeated small samples bracket every dominant bar.
+    let stats = sampling::repeated_sample_stats(&http.results, 0.2, 20, 7);
+    for (iw, frac) in full.dominant(0.05) {
+        let bar = stats
+            .iter()
+            .find(|b| b.iw == iw)
+            .unwrap_or_else(|| panic!("IW{iw} missing from samples"));
+        assert!(
+            bar.min <= frac && frac <= bar.max,
+            "IW{iw}: full {frac} outside sample range [{}, {}]",
+            bar.min,
+            bar.max
+        );
+    }
+}
+
+#[test]
+fn one_percent_of_space_scan_matches_full_distribution() {
+    // The actual §4.1 experiment: sample the address space (not the
+    // result set) and compare distributions.
+    let pop = world();
+    let full = scan(&pop, Protocol::Http);
+    let mut cfg = ScanConfig::study(Protocol::Http, pop.space_size(), 0x13072017);
+    cfg.rate_pps = 4_000_000;
+    cfg.sample_fraction = 0.2;
+    cfg.sample_salt = 5;
+    let sampled = run_scan_sharded(&pop, cfg, 4);
+
+    let fh = IwHistogram::from_results(&full.results);
+    let sh = IwHistogram::from_results(&sampled.results);
+    assert!(sh.total() > 150, "sample produced {}", sh.total());
+    for iw in [1u32, 2, 4, 10] {
+        assert!(
+            (fh.fraction(iw) - sh.fraction(iw)).abs() < 0.08,
+            "IW{iw}: {} vs {}",
+            fh.fraction(iw),
+            sh.fraction(iw)
+        );
+    }
+}
+
+#[test]
+fn table2_rows_reflect_configured_page_model() {
+    // The HTTP few-data histogram must inherit the content model's
+    // IW7 peak (paper: default error pages of 448–511 B).
+    let pop = world();
+    let http = scan(&pop, Protocol::Http);
+    let t2 = Table2::new(&http.results);
+    let peak = t2
+        .iw
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+        .map(|(i, _)| i + 1)
+        .expect("rows");
+    assert_eq!(peak, 7);
+    assert!(t2.total > 300, "few-data set size {}", t2.total);
+}
