@@ -178,10 +178,8 @@ mod tests {
         let mut access_found = 0;
         for ip in 0..p.space_size() {
             if let Some(meta) = p.meta(ip) {
-                if matches!(
-                    meta.class,
-                    NetClass::Access | NetClass::AccessModems
-                ) && classifier.classify(ip, meta.rdns.as_deref()) == Service::AccessNetwork
+                if matches!(meta.class, NetClass::Access | NetClass::AccessModems)
+                    && classifier.classify(ip, meta.rdns.as_deref()) == Service::AccessNetwork
                 {
                     access_found += 1;
                     if access_found > 20 {

@@ -6,9 +6,9 @@
 //! (who wins, by roughly what factor, where crossovers fall) — absolute
 //! host counts are scaled and not compared.
 
+use crate::classify::Service;
 use crate::histogram::IwHistogram;
 use crate::tables::{Table1, Table2, Table3};
-use crate::classify::Service;
 
 /// Paper Table 1: (reachable millions, success %, few-data %, error %).
 pub const PAPER_TABLE1_HTTP: (f64, f64, f64, f64) = (48.3, 50.8, 47.6, 1.6);
@@ -16,11 +16,9 @@ pub const PAPER_TABLE1_HTTP: (f64, f64, f64, f64) = (48.3, 50.8, 47.6, 1.6);
 pub const PAPER_TABLE1_TLS: (f64, f64, f64, f64) = (42.6, 85.6, 13.3, 1.1);
 
 /// Paper Table 2 rows: `[NoData, IW1..IW10]` in percent.
-pub const PAPER_TABLE2_HTTP: [f64; 11] =
-    [4.8, 16.5, 7.1, 7.2, 2.9, 3.6, 2.0, 45.0, 2.7, 1.1, 0.9];
+pub const PAPER_TABLE2_HTTP: [f64; 11] = [4.8, 16.5, 7.1, 7.2, 2.9, 3.6, 2.0, 45.0, 2.7, 1.1, 0.9];
 /// Paper Table 2, TLS row.
-pub const PAPER_TABLE2_TLS: [f64; 11] =
-    [17.8, 56.3, 5.6, 0.7, 1.9, 2.8, 2.4, 2.4, 3.4, 0.4, 0.8];
+pub const PAPER_TABLE2_TLS: [f64; 11] = [17.8, 56.3, 5.6, 0.7, 1.9, 2.8, 2.4, 2.4, 3.4, 0.4, 0.8];
 
 /// Paper Table 3: per-service `[IW1, IW2, IW4, IW10]` percents.
 /// `None` = the paper prints "–" (Akamai HTTP).
@@ -168,7 +166,10 @@ pub fn check_table3(http: &Table3, tls: &Table3) -> Vec<Check> {
             out.push(Check::new(
                 &format!("T3: Azure {label} IW4 beats IW10"),
                 n > 0 && p[2] > p[3],
-                format!("paper 54.9/73.3 vs 37.1/21.9; measured {:.1} vs {:.1}", p[2], p[3]),
+                format!(
+                    "paper 54.9/73.3 vs 37.1/21.9; measured {:.1} vs {:.1}",
+                    p[2], p[3]
+                ),
             ));
         }
     }
@@ -238,17 +239,27 @@ pub fn check_fig3(http: &IwHistogram, tls: &IwHistogram) -> Vec<Check> {
 
 /// Fig. 4 shape: the popular population is IW10-heavy (>70 % both
 /// protocols) — far above the full-space share.
-pub fn check_fig4(alexa_http: &IwHistogram, alexa_tls: &IwHistogram, full_http: &IwHistogram) -> Vec<Check> {
+pub fn check_fig4(
+    alexa_http: &IwHistogram,
+    alexa_tls: &IwHistogram,
+    full_http: &IwHistogram,
+) -> Vec<Check> {
     vec![
         Check::new(
             "F4: Alexa HTTP IW10 >70%",
             alexa_http.fraction(10) > 0.70,
-            format!("paper ~85%; measured {:.1}%", alexa_http.fraction(10) * 100.0),
+            format!(
+                "paper ~85%; measured {:.1}%",
+                alexa_http.fraction(10) * 100.0
+            ),
         ),
         Check::new(
             "F4: Alexa TLS IW10 >70%",
             alexa_tls.fraction(10) > 0.70,
-            format!("paper ~80%; measured {:.1}%", alexa_tls.fraction(10) * 100.0),
+            format!(
+                "paper ~80%; measured {:.1}%",
+                alexa_tls.fraction(10) * 100.0
+            ),
         ),
         Check::new(
             "F4: popularity shifts IW10 up vs full space",

@@ -93,7 +93,11 @@ pub fn render_sampling_panel(
         }
         let stats = one_percent_stats.iter().find(|b| b.iw == iw);
         match stats {
-            Some(b) => out.push_str(&format!("   {:>6.2} {:>6.2}\n", b.mean * 100.0, b.q99 * 100.0)),
+            Some(b) => out.push_str(&format!(
+                "   {:>6.2} {:>6.2}\n",
+                b.mean * 100.0,
+                b.q99 * 100.0
+            )),
             None => out.push_str("        -      -\n"),
         }
     }

@@ -11,11 +11,7 @@ use iw_core::HostResult;
 use iw_internet::util::mix;
 
 /// Deterministically subsample results at `fraction` using `salt`.
-pub fn subsample(
-    results: &[HostResult],
-    fraction: f64,
-    salt: u64,
-) -> Vec<&HostResult> {
+pub fn subsample(results: &[HostResult], fraction: f64, salt: u64) -> Vec<&HostResult> {
     results
         .iter()
         .filter(|r| {
@@ -71,9 +67,8 @@ pub fn repeated_sample_stats(
             let mut fractions: Vec<f64> = histograms.iter().map(|h| h.fraction(iw)).collect();
             fractions.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
             let mean = fractions.iter().sum::<f64>() / fractions.len() as f64;
-            let q_idx = (((fractions.len() as f64) * 0.99).ceil() as usize)
-                .clamp(1, fractions.len())
-                - 1;
+            let q_idx =
+                (((fractions.len() as f64) * 0.99).ceil() as usize).clamp(1, fractions.len()) - 1;
             BarStats {
                 iw,
                 mean,

@@ -149,7 +149,9 @@ impl Table3 {
                 Service::Other => "Other",
             };
             if *hosts == 0 {
-                out.push_str(&format!("{name:<12}     –       –       –       –      (0)\n"));
+                out.push_str(&format!(
+                    "{name:<12}     –       –       –       –      (0)\n"
+                ));
             } else {
                 out.push_str(&format!(
                     "{name:<12} {:>6.1}  {:>6.1}  {:>6.1}  {:>6.1}   ({hosts})\n",

@@ -58,18 +58,14 @@ fn bench_ablation_verify(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_verify");
     group.sample_size(10);
     for verify in [true, false] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(verify),
-            &verify,
-            |b, verify| {
-                b.iter(|| {
-                    let mut config = ScanConfig::study(Protocol::Tls, pop.space_size(), 55);
-                    config.verify_exhaustion = *verify;
-                    config.rate_pps = 4_000_000;
-                    black_box(run_scan(&pop, config).summary)
-                });
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(verify), &verify, |b, verify| {
+            b.iter(|| {
+                let mut config = ScanConfig::study(Protocol::Tls, pop.space_size(), 55);
+                config.verify_exhaustion = *verify;
+                config.rate_pps = 4_000_000;
+                black_box(run_scan(&pop, config).summary)
+            });
+        });
     }
     group.finish();
 }

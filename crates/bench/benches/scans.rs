@@ -65,7 +65,9 @@ fn bench_analysis(c: &mut Criterion) {
     let mut group = c.benchmark_group("analysis");
 
     group.bench_function("table1_build", |b| {
-        b.iter(|| black_box(Table1::new(&[("HTTP", &http.summary), ("TLS", &tls.summary)]).render()))
+        b.iter(|| {
+            black_box(Table1::new(&[("HTTP", &http.summary), ("TLS", &tls.summary)]).render())
+        })
     });
     group.bench_function("table2_build", |b| {
         b.iter(|| black_box(Table2::new(&http.results)));

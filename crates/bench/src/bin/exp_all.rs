@@ -56,8 +56,7 @@ fn main() {
     print!("{}", fig2.render());
     all_checks.push(Check {
         name: "F2: censys statistics calibrated".into(),
-        pass: (fig2.ccdf.mean() - 2186.0).abs() < 250.0
-            && (fig2.ccdf.at(640) - 0.86).abs() < 0.03,
+        pass: (fig2.ccdf.mean() - 2186.0).abs() < 250.0 && (fig2.ccdf.at(640) - 0.86).abs() < 0.03,
         detail: format!(
             "mean {:.0} (paper 2186), P(>=640) {:.2} (paper 0.86)",
             fig2.ccdf.mean(),
@@ -100,7 +99,11 @@ fn main() {
             .collect();
         let labels = dbscan(&points, 0.12, 5);
         let clusters = summarize(&points, &labels);
-        println!("{label}: {} clusters over {} ASes", clusters.len(), points.len());
+        println!(
+            "{label}: {} clusters over {} ASes",
+            clusters.len(),
+            points.len()
+        );
         all_checks.push(Check {
             name: format!("F5: {label} forms ≥3 AS clusters"),
             pass: clusters.len() >= 3,
@@ -146,12 +149,18 @@ fn main() {
         export::ccdf_csv(&fig2.ccdf, &thresholds, b)
     })
     .expect("fig2 csv");
-    export::to_file(&dir.join("fig3_http.csv"), |b| export::histogram_csv(&h_http, b))
-        .expect("fig3 http csv");
-    export::to_file(&dir.join("fig3_tls.csv"), |b| export::histogram_csv(&h_tls, b))
-        .expect("fig3 tls csv");
-    export::to_file(&dir.join("fig4_alexa_http.csv"), |b| export::histogram_csv(&ah, b))
-        .expect("fig4 csv");
+    export::to_file(&dir.join("fig3_http.csv"), |b| {
+        export::histogram_csv(&h_http, b)
+    })
+    .expect("fig3 http csv");
+    export::to_file(&dir.join("fig3_tls.csv"), |b| {
+        export::histogram_csv(&h_tls, b)
+    })
+    .expect("fig3 tls csv");
+    export::to_file(&dir.join("fig4_alexa_http.csv"), |b| {
+        export::histogram_csv(&ah, b)
+    })
+    .expect("fig4 csv");
     let json = serde_json::json!({
         "scale": format!("{scale:?}"),
         "http_summary": http.summary,

@@ -12,7 +12,9 @@ use std::collections::HashMap;
 
 fn main() {
     let scale = Scale::from_env();
-    banner(&format!("§4.2: byte-limited initial windows ({scale:?} scale)"));
+    banner(&format!(
+        "§4.2: byte-limited initial windows ({scale:?} scale)"
+    ));
     let population = standard_population(scale);
     let out = full_scan(&population, Protocol::Http);
 
@@ -54,7 +56,11 @@ fn main() {
         v.sort();
         v
     } {
-        println!("  {bytes} B budget: {count} hosts ({} segs @64 / {} @128)", bytes / 64, bytes / 128);
+        println!(
+            "  {bytes} B budget: {count} hosts ({} segs @64 / {} @128)",
+            bytes / 64,
+            bytes / 128
+        );
     }
     println!("byte-configured by network:");
     for (label, count) in &byte_class_count {

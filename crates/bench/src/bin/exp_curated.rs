@@ -52,7 +52,10 @@ fn main() {
             break;
         }
     }
-    println!("probing {} Akamai-class edge hosts three ways\n", edges.len());
+    println!(
+        "probing {} Akamai-class edge hosts three ways\n",
+        edges.len()
+    );
 
     // 1. Anonymously (the Internet-wide scan's view).
     let anon = scan_with_domains(

@@ -11,17 +11,23 @@
 //! in-flight conversations after the last SYN is constant (~minutes) and
 //! vanishes at Internet scale, so it is reported separately.
 
-use iw_bench::{banner, compare_line, full_scan, standard_population, Scale};
+use iw_bench::{
+    banner, compare_line, full_scan, standard_population, write_metrics_snapshot, Scale,
+};
 use iw_core::Protocol;
 
 fn main() {
     let scale = Scale::from_env();
-    banner(&format!("§3.4 efficiency: IW scan vs port scan ({scale:?} scale)"));
+    banner(&format!(
+        "§3.4 efficiency: IW scan vs port scan ({scale:?} scale)"
+    ));
     let population = standard_population(scale);
     let rate = 150_000f64;
 
     let port = full_scan(&population, Protocol::PortScan);
     let iw = full_scan(&population, Protocol::Http);
+    write_metrics_snapshot("efficiency_port", &port);
+    write_metrics_snapshot("efficiency_iw", &iw);
 
     let targets = port.summary.targets as f64;
     let port_tx = port.sim_stats.scanner_tx as f64;

@@ -22,7 +22,12 @@ fn main() {
 
     println!("\npaper vs measured:");
     compare_line("mean chain length", 2186.0, fig.ccdf.mean(), "B");
-    compare_line("P(chain >= 640 B) [MSS 64, IW 10]", 86.0, fig.ccdf.at(640) * 100.0, "%");
+    compare_line(
+        "P(chain >= 640 B) [MSS 64, IW 10]",
+        86.0,
+        fig.ccdf.at(640) * 100.0,
+        "%",
+    );
     compare_line(
         "P(chain >= 2176 B) [MSS 64, IW 34]",
         50.0,
@@ -30,11 +35,19 @@ fn main() {
         "%",
     );
     compare_line("min chain", 36.0, f64::from(fig.ccdf.min()), "B");
-    compare_line("max chain (paper: 65 kB)", 65_000.0, f64::from(fig.ccdf.max()), "B");
+    compare_line(
+        "max chain (paper: 65 kB)",
+        65_000.0,
+        f64::from(fig.ccdf.max()),
+        "B",
+    );
 
     let ok = (fig.ccdf.mean() - 2186.0).abs() < 250.0
         && (fig.ccdf.at(640) - 0.86).abs() < 0.03
         && (fig.ccdf.at(2176) - 0.50).abs() < 0.03;
-    println!("\n[{}] F2 statistics within calibration bands", if ok { "PASS" } else { "FAIL" });
+    println!(
+        "\n[{}] F2 statistics within calibration bands",
+        if ok { "PASS" } else { "FAIL" }
+    );
     std::process::exit(i32::from(!ok));
 }

@@ -11,7 +11,9 @@ use iw_core::Protocol;
 
 fn main() {
     let scale = Scale::from_env();
-    banner(&format!("Figure 3: IW distribution + sampling ({scale:?} scale)"));
+    banner(&format!(
+        "Figure 3: IW distribution + sampling ({scale:?} scale)"
+    ));
     let population = standard_population(scale);
 
     let http = full_scan(&population, Protocol::Http);
@@ -48,7 +50,11 @@ fn main() {
     let linf = stats
         .iter()
         .filter(|b| h_http.fraction(b.iw) >= 0.01)
-        .map(|b| (b.max - h_http.fraction(b.iw)).abs().max((b.min - h_http.fraction(b.iw)).abs()))
+        .map(|b| {
+            (b.max - h_http.fraction(b.iw))
+                .abs()
+                .max((b.min - h_http.fraction(b.iw)).abs())
+        })
         .fold(0.0f64, f64::max);
     let l1 = stability(&http.results, small_frac, 30, 0xfade);
     println!(

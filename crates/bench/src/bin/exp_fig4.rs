@@ -12,7 +12,9 @@ use iw_core::Protocol;
 
 fn main() {
     let scale = Scale::from_env();
-    banner(&format!("Figure 4: Alexa top-list IW distribution ({scale:?} scale)"));
+    banner(&format!(
+        "Figure 4: Alexa top-list IW distribution ({scale:?} scale)"
+    ));
     let population = standard_population(scale);
     let n = scale.alexa_n();
 
@@ -39,8 +41,7 @@ fn main() {
         ("Q3", n / 2..3 * n / 4),
         ("Q4 (tail)", 3 * n / 4..n),
     ] {
-        let ips: std::collections::HashSet<u32> =
-            list[range].iter().map(|e| e.ip).collect();
+        let ips: std::collections::HashSet<u32> = list[range].iter().map(|e| e.ip).collect();
         let mut hist_q = IwHistogram::new();
         for r in &alexa_http.results {
             if ips.contains(&r.ip) {
@@ -61,8 +62,18 @@ fn main() {
     println!("\npaper vs measured:");
     compare_line("Alexa HTTP success rate", 80.0, hs, "%");
     compare_line("Alexa TLS success rate", 85.0, ts, "%");
-    compare_line("Alexa HTTP IW10 share", 85.0, h_http.fraction(10) * 100.0, "%");
-    compare_line("Alexa TLS IW10 share", 80.0, h_tls.fraction(10) * 100.0, "%");
+    compare_line(
+        "Alexa HTTP IW10 share",
+        85.0,
+        h_http.fraction(10) * 100.0,
+        "%",
+    );
+    compare_line(
+        "Alexa TLS IW10 share",
+        80.0,
+        h_tls.fraction(10) * 100.0,
+        "%",
+    );
 
     println!("\nshape checks:");
     let checks = check_fig4(&h_http, &h_tls, &h_full);

@@ -38,7 +38,10 @@ fn as_points(
     (points, total)
 }
 
-fn named_features(points: &[AsPoint], population: &iw_internet::Population) -> Vec<(String, [f64; 5])> {
+fn named_features(
+    points: &[AsPoint],
+    population: &iw_internet::Population,
+) -> Vec<(String, [f64; 5])> {
     let mut out = Vec::new();
     for asn in [16509u32, 7922, 26496, 9121, 13335, 30722, 20940, 4766] {
         if let Some(p) = points.iter().find(|p| p.asn == asn) {
@@ -83,10 +86,7 @@ fn run(protocol: Protocol, scale: Scale) -> bool {
         .collect();
     dominant.sort_unstable();
     dominant.dedup();
-    let ok = clusters.len() >= 3
-        && coverage > 0.40
-        && dominant.len() >= 2
-        && dominant.contains(&3); // some cluster is IW10-led
+    let ok = clusters.len() >= 3 && coverage > 0.40 && dominant.len() >= 2 && dominant.contains(&3); // some cluster is IW10-led
     println!(
         "[{}] F5 {protocol:?}: ≥3 clusters ({}), coverage {:.0}% (paper ≈49%), distinct leads {:?}\n",
         if ok { "PASS" } else { "FAIL" },
@@ -99,7 +99,9 @@ fn run(protocol: Protocol, scale: Scale) -> bool {
 
 fn main() {
     let scale = Scale::from_env();
-    banner(&format!("Figure 5: per-AS DBSCAN clusters ({scale:?} scale)"));
+    banner(&format!(
+        "Figure 5: per-AS DBSCAN clusters ({scale:?} scale)"
+    ));
     let ok_http = run(Protocol::Http, scale);
     let ok_tls = run(Protocol::Tls, scale);
     std::process::exit(i32::from(!(ok_http && ok_tls)));

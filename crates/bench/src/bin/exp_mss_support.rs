@@ -7,7 +7,9 @@ use iw_core::{run_scan_sharded, Protocol, ScanConfig};
 
 fn main() {
     let scale = Scale::from_env();
-    banner(&format!("Footnote 1: ICMP path-MTU discovery ({scale:?} scale)"));
+    banner(&format!(
+        "Footnote 1: ICMP path-MTU discovery ({scale:?} scale)"
+    ));
     let population = standard_population(scale);
     let mut config = ScanConfig::study(Protocol::IcmpMtu, population.space_size(), SEED);
     config.rate_pps = 4_000_000;
@@ -24,14 +26,16 @@ fn main() {
     }
 
     // MSS m is supported iff path MTU ≥ m + 40.
-    let support = |mss: u32| {
-        out.mtu_results.iter().filter(|r| r.mtu >= mss + 40).count() as f64 / n * 100.0
-    };
+    let support =
+        |mss: u32| out.mtu_results.iter().filter(|r| r.mtu >= mss + 40).count() as f64 / n * 100.0;
     println!("\npaper vs measured:");
     compare_line("hosts supporting MSS 1336", 99.0, support(1336), "%");
     compare_line("hosts supporting MSS 1436", 80.0, support(1436), "%");
 
     let ok = (support(1336) - 99.0).abs() < 1.5 && (support(1436) - 80.0).abs() < 3.0;
-    println!("\n[{}] FN1 within calibration bands", if ok { "PASS" } else { "FAIL" });
+    println!(
+        "\n[{}] FN1 within calibration bands",
+        if ok { "PASS" } else { "FAIL" }
+    );
     std::process::exit(i32::from(!ok));
 }

@@ -6,7 +6,9 @@
 
 use iw_analysis::compare::{check_table1, render_checks, PAPER_TABLE1_HTTP, PAPER_TABLE1_TLS};
 use iw_analysis::tables::Table1;
-use iw_bench::{banner, compare_line, full_scan, standard_population, Scale};
+use iw_bench::{
+    banner, compare_line, full_scan, standard_population, write_metrics_snapshot, Scale,
+};
 use iw_core::Protocol;
 
 fn main() {
@@ -16,6 +18,9 @@ fn main() {
 
     let http = full_scan(&population, Protocol::Http);
     let tls = full_scan(&population, Protocol::Tls);
+
+    write_metrics_snapshot("table1_http", &http);
+    write_metrics_snapshot("table1_tls", &tls);
 
     let table = Table1::new(&[("HTTP", &http.summary), ("TLS", &tls.summary)]);
     println!("{}", table.render());

@@ -3,9 +3,7 @@
 //! IW7 — the default-error-page bucket; TLS peak: 56.3 % at IW1 —
 //! alert-sized answers; TLS NoData 17.8 %).
 
-use iw_analysis::compare::{
-    check_table2, render_checks, PAPER_TABLE2_HTTP, PAPER_TABLE2_TLS,
-};
+use iw_analysis::compare::{check_table2, render_checks, PAPER_TABLE2_HTTP, PAPER_TABLE2_TLS};
 use iw_analysis::tables::Table2;
 use iw_bench::{banner, full_scan, standard_population, Scale};
 use iw_core::Protocol;

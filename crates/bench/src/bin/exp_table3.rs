@@ -4,10 +4,8 @@
 //! EC2/Cloudflare ≈ pure IW10, Azure IW4-heavy, access networks
 //! IW2-heavy on HTTP and IW4-heavy on TLS.
 
-use iw_analysis::compare::{
-    check_table3, render_checks, PAPER_TABLE3_HTTP, PAPER_TABLE3_TLS,
-};
 use iw_analysis::classify::Service;
+use iw_analysis::compare::{check_table3, render_checks, PAPER_TABLE3_HTTP, PAPER_TABLE3_TLS};
 use iw_analysis::tables::Table3;
 use iw_bench::{banner, full_scan, standard_population, Scale};
 use iw_core::Protocol;
@@ -28,7 +26,9 @@ fn print_paper(rows: &[(Service, Option<[f64; 4]>); 5]) {
 
 fn main() {
     let scale = Scale::from_env();
-    banner(&format!("Table 3: per-service IW distribution ({scale:?} scale)"));
+    banner(&format!(
+        "Table 3: per-service IW distribution ({scale:?} scale)"
+    ));
     let population = standard_population(scale);
 
     let http = full_scan(&population, Protocol::Http);
@@ -55,7 +55,9 @@ fn main() {
         let mut access = 0u64;
         let mut total = 0u64;
         for r in &out.results {
-            let Some(meta) = population.meta(r.ip) else { continue };
+            let Some(meta) = population.meta(r.ip) else {
+                continue;
+            };
             total += 1;
             if let Some(rdns) = &meta.rdns {
                 if iw_analysis::classify::rdns_encodes_ip(rdns, r.ip) {

@@ -13,7 +13,9 @@ use iw_internet::util::mix;
 
 fn main() {
     let scale = Scale::from_env();
-    banner(&format!("Weekly 1%-footprint scan service ({scale:?} scale)"));
+    banner(&format!(
+        "Weekly 1%-footprint scan service ({scale:?} scale)"
+    ));
     let population = standard_population(scale);
     // At our scaled population a literal 1 % sample is only a few dozen
     // hosts; use the fraction that gives a comparable per-week sample.

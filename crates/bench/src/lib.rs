@@ -105,14 +105,32 @@ pub fn paced_scan(population: &Arc<Population>, protocol: Protocol, rate_pps: u6
 /// Scan the synthetic Alexa list (domains known → Host header + SNI).
 pub fn alexa_scan(population: &Arc<Population>, protocol: Protocol, n: usize) -> ScanOutput {
     let list = alexa::build(population, n, 1);
-    let targets: Vec<(u32, Option<String>)> = list
-        .into_iter()
-        .map(|e| (e.ip, Some(e.domain)))
-        .collect();
+    let targets: Vec<(u32, Option<String>)> =
+        list.into_iter().map(|e| (e.ip, Some(e.domain))).collect();
     let mut config = ScanConfig::study(protocol, population.space_size(), SEED);
     config.targets = TargetSpec::List(targets);
     config.rate_pps = 4_000_000;
     run_scan_sharded(population, config, 1) // lists are not sharded
+}
+
+/// Write an experiment's telemetry snapshot next to its report.
+///
+/// Every `exp_*` binary drops a `BENCH_<label>.metrics.json` with the
+/// full metrics snapshot (scan + shard scope) and the event-log summary,
+/// so runs can be diffed and regressions spotted without re-reading the
+/// human-oriented stdout tables.
+pub fn write_metrics_snapshot(label: &str, out: &ScanOutput) {
+    let path = format!("BENCH_{label}.metrics.json");
+    let body = format!(
+        "{{\"metrics\":{},\"events\":{}}}\n",
+        out.telemetry.metrics.to_json(),
+        out.telemetry.events.summary_json()
+    );
+    if let Err(e) = std::fs::write(&path, body) {
+        eprintln!("warning: could not write {path}: {e}");
+    } else {
+        println!("telemetry snapshot written to {path}");
+    }
 }
 
 /// Pretty-print a paper-vs-measured header for an experiment.

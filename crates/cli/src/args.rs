@@ -27,6 +27,9 @@ SCAN FLAGS:
     --loss <factor>                  link-loss scale   [default: 0]
     --json <path>                    write per-host results as JSON
     --quiet                          suppress the histogram
+    --monitor                        print ZMap-style progress lines
+    --metrics-out <path>             write the telemetry snapshot as JSON
+    --pcap <path>                    record the scan and save it as pcap
 
 PROBE FLAGS:
     --iw <n>                         segments          [default: 10]
@@ -93,6 +96,12 @@ pub struct ScanArgs {
     pub json: Option<String>,
     /// Suppress histogram output.
     pub quiet: bool,
+    /// Print ZMap-style progress lines while scanning.
+    pub monitor: bool,
+    /// Optional telemetry-snapshot output path.
+    pub metrics_out: Option<String>,
+    /// Optional pcap output path (records the scan's wire traffic).
+    pub pcap: Option<String>,
     /// Alexa list length.
     pub n: usize,
 }
@@ -108,6 +117,9 @@ impl Default for ScanArgs {
             loss: 0.0,
             json: None,
             quiet: false,
+            monitor: false,
+            metrics_out: None,
+            pcap: None,
             n: 400,
         }
     }
@@ -191,7 +203,7 @@ impl Cli {
             if !flag.starts_with("--") {
                 return Err(ParseError::UnknownFlag(flag.to_string()));
             }
-            if flag == "--quiet" {
+            if flag == "--quiet" || flag == "--monitor" {
                 bare.insert(flag.to_string());
                 i += 1;
                 continue;
@@ -209,8 +221,16 @@ impl Cli {
                 let mut args = ScanArgs::default();
                 for key in flags.keys() {
                     if ![
-                        "--protocol", "--scale", "--seed", "--sample", "--threads", "--loss",
-                        "--json", "--n",
+                        "--protocol",
+                        "--scale",
+                        "--seed",
+                        "--sample",
+                        "--threads",
+                        "--loss",
+                        "--json",
+                        "--metrics-out",
+                        "--pcap",
+                        "--n",
                     ]
                     .contains(&key.as_str())
                     {
@@ -239,7 +259,10 @@ impl Cli {
                     args.n = parse_num("--n", &v)?;
                 }
                 args.json = get("--json");
+                args.metrics_out = get("--metrics-out");
+                args.pcap = get("--pcap");
                 args.quiet = bare.contains("--quiet");
+                args.monitor = bare.contains("--monitor");
                 match command.as_str() {
                     "scan" => Command::Scan(args),
                     "alexa" => Command::Alexa(args),
@@ -250,7 +273,13 @@ impl Cli {
                 let mut args = ProbeArgs::default();
                 for key in flags.keys() {
                     if ![
-                        "--iw", "--policy", "--os", "--protocol", "--body", "--loss", "--pcap",
+                        "--iw",
+                        "--policy",
+                        "--os",
+                        "--protocol",
+                        "--body",
+                        "--loss",
+                        "--pcap",
                         "--seed",
                     ]
                     .contains(&key.as_str())
@@ -329,6 +358,31 @@ mod tests {
     }
 
     #[test]
+    fn scan_telemetry_flags() {
+        let cli = Cli::parse(&argv(
+            "scan --monitor --metrics-out m.json --pcap scan.pcap",
+        ))
+        .unwrap();
+        match cli.command {
+            Command::Scan(a) => {
+                assert!(a.monitor);
+                assert_eq!(a.metrics_out.as_deref(), Some("m.json"));
+                assert_eq!(a.pcap.as_deref(), Some("scan.pcap"));
+            }
+            other => panic!("{other:?}"),
+        }
+        // All three default to off.
+        match Cli::parse(&argv("scan")).unwrap().command {
+            Command::Scan(a) => {
+                assert!(!a.monitor);
+                assert_eq!(a.metrics_out, None);
+                assert_eq!(a.pcap, None);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
     fn probe_flags() {
         let cli = Cli::parse(&argv(
             "probe --iw 4096 --policy bytes --os windows --body 9000 --pcap t.pcap",
@@ -369,7 +423,10 @@ mod tests {
             Cli::parse(&argv("probe --n 7")).unwrap_err(),
             ParseError::UnknownFlag("--n".into())
         );
-        assert_eq!(Cli::parse(&argv("help")).unwrap_err(), ParseError::HelpRequested);
+        assert_eq!(
+            Cli::parse(&argv("help")).unwrap_err(),
+            ParseError::HelpRequested
+        );
     }
 
     #[test]

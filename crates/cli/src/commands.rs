@@ -6,7 +6,7 @@ use iw_analysis::figures::render_iw_bars;
 use iw_analysis::histogram::IwHistogram;
 use iw_analysis::tables::Table1;
 use iw_core::testbed::{probe_host, TestbedSpec};
-use iw_core::{run_scan_sharded, Protocol, ScanConfig, TargetSpec};
+use iw_core::{run_scan_sharded, MonitorSink, MonitorSpec, Protocol, ScanConfig, TargetSpec};
 use iw_hoststack::{HostConfig, HttpBehavior, HttpConfig, IwPolicy, OsProfile};
 use iw_internet::{alexa, Population, PopulationConfig};
 use iw_netsim::LinkConfig;
@@ -66,6 +66,40 @@ fn threads(args: &ScanArgs) -> u32 {
     }
 }
 
+/// Wire the scan-style telemetry flags into a scan config.
+fn apply_telemetry(config: &mut ScanConfig, args: &ScanArgs) {
+    config.record_trace = args.pcap.is_some();
+    // The snapshot file includes the event-log summary and RTT histogram,
+    // so --metrics-out turns both recorders on.
+    config.telemetry.record_events = args.metrics_out.is_some();
+    config.telemetry.record_rtt = args.metrics_out.is_some();
+    if args.monitor {
+        config.telemetry.monitor = Some(MonitorSpec {
+            interval: iw_netsim::Duration::from_millis(250),
+            sink: MonitorSink::Stdout,
+        });
+    }
+}
+
+/// Write the telemetry products requested by `--metrics-out` / `--pcap`.
+fn write_telemetry(out: &iw_core::ScanOutput, args: &ScanArgs) -> Result<(), CmdError> {
+    if let Some(path) = &args.metrics_out {
+        let json = format!(
+            "{{\"metrics\":{},\"events\":{}}}",
+            out.telemetry.metrics.to_json(),
+            out.telemetry.events.summary_json()
+        );
+        std::fs::write(path, json).map_err(|e| err(format!("write {path}: {e}")))?;
+        println!("telemetry snapshot written to {path}");
+    }
+    if let Some(path) = &args.pcap {
+        iw_netsim::pcap::save_pcap(&out.trace, std::path::Path::new(path))
+            .map_err(|e| err(format!("write {path}: {e}")))?;
+        println!("scan trace saved to {path} ({} packets)", out.trace.len());
+    }
+    Ok(())
+}
+
 fn report(out: &iw_core::ScanOutput, args: &ScanArgs, label: &str) -> Result<(), CmdError> {
     println!(
         "{}",
@@ -82,6 +116,7 @@ fn report(out: &iw_core::ScanOutput, args: &ScanArgs, label: &str) -> Result<(),
         std::fs::write(path, json).map_err(|e| err(format!("write {path}: {e}")))?;
         println!("\nper-host results written to {path}");
     }
+    write_telemetry(out, args)?;
     Ok(())
 }
 
@@ -91,6 +126,7 @@ fn cmd_scan(args: &ScanArgs) -> Result<i32, CmdError> {
     let mut config = ScanConfig::study(protocol, population.space_size(), args.seed);
     config.sample_fraction = args.sample;
     config.rate_pps = 4_000_000;
+    apply_telemetry(&mut config, args);
     let out = run_scan_sharded(&population, config, threads(args));
     report(&out, args, &args.protocol.to_uppercase())?;
     Ok(0)
@@ -105,6 +141,7 @@ fn cmd_alexa(args: &ScanArgs) -> Result<i32, CmdError> {
     let mut config = ScanConfig::study(protocol, population.space_size(), args.seed);
     config.targets = TargetSpec::List(targets);
     config.rate_pps = 4_000_000;
+    apply_telemetry(&mut config, args);
     let out = run_scan_sharded(&population, config, 1);
     report(&out, args, "ALEXA")?;
     Ok(0)
@@ -115,17 +152,13 @@ fn cmd_mtu(args: &ScanArgs) -> Result<i32, CmdError> {
     let mut config = ScanConfig::study(Protocol::IcmpMtu, population.space_size(), args.seed);
     config.sample_fraction = args.sample;
     config.rate_pps = 4_000_000;
+    apply_telemetry(&mut config, args);
     let out = run_scan_sharded(&population, config, threads(args));
+    write_telemetry(&out, args)?;
     let n = out.mtu_results.len().max(1) as f64;
     println!("hosts answering ICMP: {}", out.mtu_results.len());
     for mss in [536u32, 1240, 1336, 1436, 1460] {
-        let share = out
-            .mtu_results
-            .iter()
-            .filter(|r| r.mtu >= mss + 40)
-            .count() as f64
-            / n
-            * 100.0;
+        let share = out.mtu_results.iter().filter(|r| r.mtu >= mss + 40).count() as f64 / n * 100.0;
         println!("  MSS {mss:>5} supported by {share:>5.1}%");
     }
     Ok(0)
@@ -242,6 +275,39 @@ mod tests {
             ..ProbeArgs::default()
         };
         assert!(cmd_probe(&args).is_err());
+    }
+
+    #[test]
+    fn telemetry_files_are_written() {
+        let out = iw_core::ScanOutput {
+            results: vec![],
+            open_ports: vec![],
+            mtu_results: vec![],
+            summary: Default::default(),
+            sim_stats: Default::default(),
+            duration: iw_netsim::Duration::ZERO,
+            telemetry: Default::default(),
+            trace: Default::default(),
+        };
+        let dir = std::env::temp_dir().join("iwscan-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let metrics_path = dir.join("metrics.json");
+        let pcap_path = dir.join("scan.pcap");
+        let args = ScanArgs {
+            metrics_out: Some(metrics_path.to_string_lossy().into_owned()),
+            pcap: Some(pcap_path.to_string_lossy().into_owned()),
+            ..ScanArgs::default()
+        };
+        write_telemetry(&out, &args).unwrap();
+        let metrics = std::fs::read_to_string(&metrics_path).unwrap();
+        assert!(metrics.starts_with("{\"metrics\":{\"scan\":"), "{metrics}");
+        assert!(metrics.contains("\"events\":{"), "{metrics}");
+        assert!(
+            std::fs::read(&pcap_path).unwrap().len() >= 24,
+            "pcap header"
+        );
+        let _ = std::fs::remove_file(&metrics_path);
+        let _ = std::fs::remove_file(&pcap_path);
     }
 
     #[test]

@@ -21,10 +21,7 @@ impl CidrSet {
 
     /// Build from prefixes (overlaps are merged).
     pub fn from_cidrs(cidrs: &[Cidr]) -> CidrSet {
-        let mut intervals: Vec<(u32, u32)> = cidrs
-            .iter()
-            .map(|c| (c.first(), c.last()))
-            .collect();
+        let mut intervals: Vec<(u32, u32)> = cidrs.iter().map(|c| (c.first(), c.last())).collect();
         intervals.sort_unstable();
         let mut merged: Vec<(u32, u32)> = Vec::with_capacity(intervals.len());
         for (start, end) in intervals {

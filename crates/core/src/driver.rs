@@ -7,7 +7,8 @@ use crate::results::{HostResult, MssVerdict, MtuResult, ScanSummary};
 use crate::scanner::{ScanConfig, Scanner};
 use iw_internet::population::{Population, PopulationFactory};
 use iw_netsim::sim::SimStats;
-use iw_netsim::{Duration, Sim, SimConfig};
+use iw_netsim::{Duration, Sim, SimConfig, Trace};
+use iw_telemetry::{EventLog, Snapshot};
 use std::sync::Arc;
 
 /// Everything a scan produces.
@@ -25,29 +26,45 @@ pub struct ScanOutput {
     pub sim_stats: SimStats,
     /// Virtual time the scan took (§3.4's metric).
     pub duration: Duration,
+    /// Metrics, events and monitor output.
+    pub telemetry: ScanTelemetry,
+    /// Recorded wire traffic (empty unless `record_trace`).
+    pub trace: Trace,
+}
+
+/// The observability products of a scan, merged across shards.
+#[derive(Debug, Clone, Default)]
+pub struct ScanTelemetry {
+    /// Merged metrics snapshot (scan scope merges exactly; see
+    /// [`Snapshot::to_canonical_json`]).
+    pub metrics: Snapshot,
+    /// Merged session event log (empty unless `telemetry.record_events`).
+    pub events: EventLog,
+    /// Captured progress-monitor lines (empty unless a capture monitor ran).
+    pub status_lines: Vec<String>,
 }
 
 /// Run one scan to completion on the current thread.
 pub fn run_scan(population: &Arc<Population>, config: ScanConfig) -> ScanOutput {
     let seed = config.seed;
+    let record_trace = config.record_trace;
     let scanner = Scanner::new(config);
     let factory = PopulationFactory::new(population.clone());
-    let mut sim = Sim::new(
-        scanner,
-        factory,
-        SimConfig {
-            seed,
-            record_trace: false,
-        },
-    );
+    let mut sim = Sim::new(scanner, factory, SimConfig { seed, record_trace });
     sim.kick_scanner(|s, now, fx| s.start(now, fx));
     sim.run_to_completion();
     let duration = sim.now() - iw_netsim::Instant::ZERO;
     let stats = sim.stats();
-    harvest(sim.scanner_mut(), stats, duration)
+    let trace = sim.trace().clone();
+    harvest(sim.scanner_mut(), stats, duration, trace)
 }
 
-fn harvest(scanner: &mut Scanner, sim_stats: SimStats, duration: Duration) -> ScanOutput {
+fn harvest(
+    scanner: &mut Scanner,
+    sim_stats: SimStats,
+    duration: Duration,
+    trace: Trace,
+) -> ScanOutput {
     let mut results = scanner.results().to_vec();
     results.sort_by_key(|r| r.ip);
     let mut open_ports = scanner.open_ports().to_vec();
@@ -55,6 +72,11 @@ fn harvest(scanner: &mut Scanner, sim_stats: SimStats, duration: Duration) -> Sc
     let mut mtu_results = scanner.mtu_results().to_vec();
     mtu_results.sort_by_key(|r| r.ip);
     let summary = summarize(&results, scanner.targets_sent(), scanner.refused());
+    let telemetry = ScanTelemetry {
+        metrics: scanner.metrics_snapshot(),
+        events: scanner.take_events(),
+        status_lines: scanner.take_status_lines(),
+    };
     ScanOutput {
         results,
         open_ports,
@@ -62,6 +84,8 @@ fn harvest(scanner: &mut Scanner, sim_stats: SimStats, duration: Duration) -> Sc
         summary,
         sim_stats,
         duration,
+        telemetry,
+        trace,
     }
 }
 
@@ -100,6 +124,11 @@ pub fn run_scan_sharded(
         for i in 0..threads {
             let mut shard_config = config.clone();
             shard_config.shard = (i, threads);
+            if i > 0 {
+                // One progress monitor is enough; shard 0 reports for all
+                // (interleaved per-shard lines would be unreadable anyway).
+                shard_config.telemetry.monitor = None;
+            }
             let pop = population.clone();
             handles.push(scope.spawn(move |_| run_scan(&pop, shard_config)));
         }
@@ -120,26 +149,19 @@ fn merge(outputs: Vec<ScanOutput>) -> ScanOutput {
     let mut summary = ScanSummary::default();
     let mut sim_stats = SimStats::default();
     let mut duration = Duration::ZERO;
+    let mut telemetry = ScanTelemetry::default();
+    let mut trace = Trace::default();
     for out in outputs {
         results.extend(out.results);
         open_ports.extend(out.open_ports);
         mtu_results.extend(out.mtu_results);
-        summary.targets += out.summary.targets;
-        summary.reachable += out.summary.reachable;
-        summary.success += out.summary.success;
-        summary.few_data += out.summary.few_data;
-        summary.error += out.summary.error;
-        summary.refused += out.summary.refused;
-        sim_stats.scanner_tx += out.sim_stats.scanner_tx;
-        sim_stats.scanner_rx += out.sim_stats.scanner_rx;
-        sim_stats.host_tx += out.sim_stats.host_tx;
-        sim_stats.host_rx += out.sim_stats.host_rx;
-        sim_stats.lost += out.sim_stats.lost;
-        sim_stats.scanner_tx_bytes += out.sim_stats.scanner_tx_bytes;
-        sim_stats.scanner_rx_bytes += out.sim_stats.scanner_rx_bytes;
-        sim_stats.hosts_spawned += out.sim_stats.hosts_spawned;
-        sim_stats.events += out.sim_stats.events;
+        summary += &out.summary;
+        sim_stats += out.sim_stats;
         duration = duration.max(out.duration);
+        telemetry.metrics.merge(&out.telemetry.metrics);
+        telemetry.events.merge(&out.telemetry.events);
+        telemetry.status_lines.extend(out.telemetry.status_lines);
+        trace.merge(&out.trace);
     }
     results.sort_by_key(|r| r.ip);
     open_ports.sort_unstable();
@@ -151,6 +173,8 @@ fn merge(outputs: Vec<ScanOutput>) -> ScanOutput {
         summary,
         sim_stats,
         duration,
+        telemetry,
+        trace,
     }
 }
 

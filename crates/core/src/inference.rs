@@ -128,6 +128,20 @@ pub struct ConnResult {
     pub response: Vec<u8>,
 }
 
+/// Telemetry note: a state transition worth reporting upward. The session
+/// layer stamps these with host/time/probe context and forwards them to
+/// the scan event log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConnNote {
+    /// The first retransmission was observed: the IW is on the table.
+    RetransmitDetected {
+        /// Distinct payload bytes in flight at the moment of detection.
+        bytes_in_flight: u32,
+    },
+    /// The 2×MSS verification ACK went out.
+    VerifyAckSent,
+}
+
 /// Effects of feeding one event into the machine.
 #[derive(Debug, Default)]
 pub struct ConnOutput {
@@ -137,6 +151,8 @@ pub struct ConnOutput {
     pub deadline: Option<Instant>,
     /// Present exactly once, when the connection concludes.
     pub result: Option<ConnResult>,
+    /// Lifecycle transitions for the event log.
+    pub notes: Vec<ConnNote>,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -207,7 +223,7 @@ impl InferenceConn {
             ConnOutput {
                 tx: vec![syn],
                 deadline: Some(deadline),
-                result: None,
+                ..ConnOutput::default()
             },
         )
     }
@@ -233,11 +249,7 @@ impl InferenceConn {
     /// was already present (i.e. this segment is a retransmission).
     fn merge_range(&mut self, start: u32, end: u32) -> bool {
         debug_assert!(start < end);
-        if self
-            .ranges
-            .iter()
-            .any(|(s, e)| *s <= start && end <= *e)
-        {
+        if self.ranges.iter().any(|(s, e)| *s <= start && end <= *e) {
             return true;
         }
         // Out-of-order if it doesn't extend the current frontier.
@@ -264,7 +276,8 @@ impl InferenceConn {
         let off = offset as usize;
         if off == self.response.len() {
             let room = RESPONSE_CAP.saturating_sub(self.response.len());
-            self.response.extend_from_slice(&data[..data.len().min(room)]);
+            self.response
+                .extend_from_slice(&data[..data.len().min(room)]);
             // Drain any stashed fragments that now connect.
             loop {
                 let next = self
@@ -277,7 +290,8 @@ impl InferenceConn {
                 if skip < frag.len() {
                     let room = RESPONSE_CAP.saturating_sub(self.response.len());
                     let slice = &frag[skip..];
-                    self.response.extend_from_slice(&slice[..slice.len().min(room)]);
+                    self.response
+                        .extend_from_slice(&slice[..slice.len().min(room)]);
                 }
             }
         } else if off > self.response.len() && off < RESPONSE_CAP && self.stash.len() < 64 {
@@ -366,7 +380,7 @@ impl InferenceConn {
         ConnOutput {
             tx: vec![request],
             deadline: Some(deadline),
-            result: None,
+            ..ConnOutput::default()
         }
     }
 
@@ -408,9 +422,14 @@ impl InferenceConn {
         }
 
         // Retransmission: the initial window is on the table.
+        let retransmit_note = ConnNote::RetransmitDetected {
+            bytes_in_flight: self.total_bytes(),
+        };
         if self.fin_seen {
             // The host closed inside its initial flight: out of data.
-            return self.finish(self.few_data_outcome());
+            let mut out = self.finish(self.few_data_outcome());
+            out.notes.push(retransmit_note);
+            return out;
         }
         if !self.cfg.verify_exhaustion {
             // Ablation mode: trust the count without the 2·MSS-window
@@ -423,7 +442,9 @@ impl InferenceConn {
                 loss_suspected: self.has_hole(),
                 reordered: self.reordered,
             };
-            return self.finish(outcome);
+            let mut out = self.finish(outcome);
+            out.notes.push(retransmit_note);
+            return out;
         }
         // Freeze the estimate and verify exhaustion: ACK everything with
         // a two-segment window (§3.1).
@@ -443,7 +464,8 @@ impl InferenceConn {
         ConnOutput {
             tx: vec![ack],
             deadline: Some(deadline),
-            result: None,
+            notes: vec![retransmit_note, ConnNote::VerifyAckSent],
+            ..ConnOutput::default()
         }
     }
 
@@ -513,7 +535,15 @@ mod tests {
     const DST: Ipv4Addr = Ipv4Addr::new(198, 51, 100, 7);
 
     fn cfg() -> ConnConfig {
-        ConnConfig::new(DST, SRC, 40000, 80, 64, 7000, b"GET / HTTP/1.1\r\n\r\n".to_vec())
+        ConnConfig::new(
+            DST,
+            SRC,
+            40000,
+            80,
+            64,
+            7000,
+            b"GET / HTTP/1.1\r\n\r\n".to_vec(),
+        )
     }
 
     fn conn() -> (InferenceConn, ConnOutput) {
@@ -673,10 +703,7 @@ mod tests {
             c.on_segment(&data(i * 536, 536, false), now);
         }
         c.on_segment(&data(0, 536, false), now + Duration::from_secs(3));
-        let out = c.on_segment(
-            &data(4 * 536, 536, false),
-            now + Duration::from_secs(3),
-        );
+        let out = c.on_segment(&data(4 * 536, 536, false), now + Duration::from_secs(3));
         match out.result.expect("done").outcome {
             RawOutcome::Success {
                 segments, max_seg, ..
@@ -759,6 +786,25 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn telemetry_notes_mark_retransmit_and_verify() {
+        let (mut c, now) = establish();
+        for i in 0..5u32 {
+            let out = c.on_segment(&data(i * 64, 64, false), now);
+            assert!(out.notes.is_empty(), "no notes during collection");
+        }
+        let out = c.on_segment(&data(0, 64, false), now + Duration::from_secs(1));
+        assert_eq!(
+            out.notes,
+            vec![
+                ConnNote::RetransmitDetected {
+                    bytes_in_flight: 320
+                },
+                ConnNote::VerifyAckSent
+            ]
+        );
     }
 
     #[test]

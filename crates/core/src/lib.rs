@@ -25,6 +25,12 @@
 //! applies the majority-of-maximum vote and the §4.2 byte-limit
 //! detection; [`scanner`] is the event-driven engine; [`driver`] wires it
 //! to `iw-netsim`/`iw-internet` and runs sharded scans on real threads.
+//!
+//! Observability rides on `iw-telemetry` (re-exported as [`telemetry`]):
+//! the scanner always feeds an allocation-free metrics registry, and
+//! [`scanner::TelemetryConfig`] opts into the session event log, SYN→
+//! SYN-ACK RTT tracking and the ZMap-style progress monitor. Scan-scoped
+//! metrics merge byte-identically across shard counts.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -42,6 +48,7 @@ pub mod scanner;
 pub mod session;
 pub mod testbed;
 
-pub use driver::{run_scan, run_scan_sharded, ScanOutput};
+pub use driver::{run_scan, run_scan_sharded, ScanOutput, ScanTelemetry};
+pub use iw_telemetry as telemetry;
 pub use results::{HostResult, HostVerdict, MssVerdict, ProbeOutcome, Protocol, ScanSummary};
-pub use scanner::{ScanConfig, Scanner, TargetSpec};
+pub use scanner::{MonitorSink, MonitorSpec, ScanConfig, Scanner, TargetSpec, TelemetryConfig};

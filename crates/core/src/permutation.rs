@@ -30,11 +30,7 @@ impl Permutation {
         assert!(size > 0, "empty scan space");
         let p = next_prime(size.max(2));
         let generator = primitive_root(p, seed);
-        Permutation {
-            size,
-            p,
-            generator,
-        }
+        Permutation { size, p, generator }
     }
 
     /// Space size.

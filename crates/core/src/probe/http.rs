@@ -100,14 +100,15 @@ impl ProbeDriver for HttpProbe {
                     None => {
                         self.first_outcome = Some(outcome);
                         self.stage = Stage::Followed;
-                        ProbeStep::FollowUp(
-                            Request::probe_get(&bloat_uri(), &self.host).to_bytes(),
-                        )
+                        ProbeStep::FollowUp(Request::probe_get(&bloat_uri(), &self.host).to_bytes())
                     }
                 }
             }
             Stage::Followed => {
-                let first = self.first_outcome.take().unwrap_or(ProbeOutcome::Unreachable);
+                let first = self
+                    .first_outcome
+                    .take()
+                    .unwrap_or(ProbeOutcome::Unreachable);
                 ProbeStep::Conclude(better(first, outcome))
             }
         }

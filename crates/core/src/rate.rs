@@ -97,6 +97,86 @@ mod tests {
         assert_eq!(bucket.next_available(), Duration::ZERO);
     }
 
+    /// Drive a bucket for `ticks` polls of `step`, recording grants and
+    /// throttle waits into a registry exactly like `Scanner::pace` does,
+    /// and return the frozen snapshot.
+    fn paced_snapshot(
+        rate_pps: u64,
+        burst: u64,
+        step: Duration,
+        ticks: u64,
+        want: u64,
+    ) -> iw_telemetry::Snapshot {
+        use iw_telemetry::{MetricsRegistry, Scope};
+        let mut r = MetricsRegistry::new();
+        let granted = r.counter("scan.targets_sent", Scope::Scan);
+        let tick_ctr = r.counter("shard.pace.ticks", Scope::Shard);
+        let wait = r.histogram("shard.pace.token_wait_nanos", Scope::Shard);
+        let t0 = Instant::ZERO;
+        let mut bucket = TokenBucket::new(rate_pps, burst, t0);
+        for tick in 1..=ticks {
+            let now = t0 + step.saturating_mul(tick);
+            r.inc(tick_ctr);
+            let grant = bucket.take(now, want);
+            r.add(granted, grant);
+            if grant < want {
+                r.observe(wait, bucket.next_available().as_nanos());
+            }
+        }
+        r.snapshot()
+    }
+
+    #[test]
+    fn burst_cap_shows_in_metrics_after_stall() {
+        // 1 kpps, burst 50, polled once after a 60 s stall: the metrics
+        // must show exactly one burst-capped grant, not 60 000 packets of
+        // catch-up.
+        let snap = paced_snapshot(1000, 50, Duration::from_secs(60), 1, u64::MAX);
+        assert_eq!(snap.counter("scan.targets_sent"), 50);
+        assert_eq!(snap.counter("shard.pace.ticks"), 1);
+    }
+
+    #[test]
+    fn no_catch_up_after_long_stall() {
+        // Steady 5 ms ticks at 10 kpps with a generous burst: every tick
+        // wants more than the refill provides, so every tick records a
+        // positive throttle wait — and the long stall baked into the first
+        // tick (bucket created at t=0, first poll at t=30 s) still only
+        // yields the burst.
+        let mut sent_after_stall = 0u64;
+        let t0 = Instant::ZERO;
+        let mut bucket = TokenBucket::new(10_000, 100, t0);
+        let stall_grant = bucket.take(t0 + Duration::from_secs(30), u64::MAX);
+        assert_eq!(stall_grant, 100, "stall grants the burst, nothing more");
+        for tick in 1..=200u64 {
+            let now = t0 + Duration::from_secs(30) + Duration::from_millis(5 * tick);
+            sent_after_stall += bucket.take(now, u64::MAX);
+        }
+        // 1 s at 10 kpps after the stall: the rate is honoured from the
+        // first post-stall tick, with no residual credit.
+        assert!(
+            (9_500..=10_500).contains(&sent_after_stall),
+            "{sent_after_stall}"
+        );
+    }
+
+    #[test]
+    fn fractional_tokens_accumulate_at_low_rates() {
+        // 2 pps polled every 100 ms: each tick refills 0.2 tokens. Grants
+        // only happen when the fraction crosses 1.0 — over 10 s exactly
+        // ~20 packets leave, and the throttled ticks record their waits.
+        let snap = paced_snapshot(2, 8, Duration::from_millis(100), 100, 1);
+        let sent = snap.counter("scan.targets_sent");
+        assert!((19..=20).contains(&sent), "sent {sent} in 10 s at 2 pps");
+        assert_eq!(snap.counter("shard.pace.ticks"), 100);
+        let waits = snap.histogram("shard.pace.token_wait_nanos").unwrap();
+        // 100 ticks, ~20 grants → ~80 throttled ticks with a recorded wait.
+        assert!((78..=81).contains(&waits.count), "{}", waits.count);
+        // Each wait is under one token period (500 ms) and positive.
+        assert!(waits.max <= 500_000_000, "{}", waits.max);
+        assert!(waits.min >= 1, "fractional credit means a partial wait");
+    }
+
     #[test]
     fn never_exceeds_rate_even_with_dense_polling() {
         let t0 = Instant::ZERO;

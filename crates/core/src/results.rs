@@ -1,5 +1,6 @@
 //! Result types for probes, hosts and whole scans.
 
+use iw_telemetry::OutcomeKind;
 use serde::{Deserialize, Serialize};
 
 /// What a scan probes.
@@ -94,6 +95,16 @@ impl ProbeOutcome {
     pub fn is_success(&self) -> bool {
         matches!(self, ProbeOutcome::Success { .. })
     }
+
+    /// The event-log classification of this outcome.
+    pub fn outcome_kind(&self) -> OutcomeKind {
+        match self {
+            ProbeOutcome::Success { .. } => OutcomeKind::Success,
+            ProbeOutcome::FewData { .. } => OutcomeKind::FewData,
+            ProbeOutcome::Error { .. } => OutcomeKind::Error,
+            ProbeOutcome::Unreachable => OutcomeKind::Unreachable,
+        }
+    }
 }
 
 /// The per-MSS verdict after the 2-of-3-maximum vote (§4 "Dataset").
@@ -107,6 +118,18 @@ pub enum MssVerdict {
     Error,
     /// Host never completed a handshake.
     Unreachable,
+}
+
+impl MssVerdict {
+    /// The event-log classification of this verdict.
+    pub fn outcome_kind(self) -> OutcomeKind {
+        match self {
+            MssVerdict::Success(_) => OutcomeKind::Success,
+            MssVerdict::FewData(_) => OutcomeKind::FewData,
+            MssVerdict::Error => OutcomeKind::Error,
+            MssVerdict::Unreachable => OutcomeKind::Unreachable,
+        }
+    }
 }
 
 /// Cross-MSS interpretation of a host's IW configuration (§4.2).
@@ -184,6 +207,17 @@ pub struct ScanSummary {
     pub refused: u64,
 }
 
+impl std::ops::AddAssign<&ScanSummary> for ScanSummary {
+    fn add_assign(&mut self, rhs: &ScanSummary) {
+        self.targets += rhs.targets;
+        self.reachable += rhs.reachable;
+        self.success += rhs.success;
+        self.few_data += rhs.few_data;
+        self.error += rhs.error;
+        self.refused += rhs.refused;
+    }
+}
+
 impl ScanSummary {
     /// Percentage helpers over the reachable denominator.
     pub fn rates(&self) -> (f64, f64, f64) {
@@ -241,6 +275,53 @@ mod tests {
         assert!((su - 50.0).abs() < 1e-9);
         assert!((fd - 48.0).abs() < 1e-9);
         assert!((er - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn summary_add_assign_sums_every_field() {
+        let mut a = ScanSummary {
+            targets: 1,
+            reachable: 2,
+            success: 3,
+            few_data: 4,
+            error: 5,
+            refused: 6,
+        };
+        let b = ScanSummary {
+            targets: 10,
+            reachable: 20,
+            success: 30,
+            few_data: 40,
+            error: 50,
+            refused: 60,
+        };
+        a += &b;
+        assert_eq!(
+            (
+                a.targets,
+                a.reachable,
+                a.success,
+                a.few_data,
+                a.error,
+                a.refused
+            ),
+            (11, 22, 33, 44, 55, 66)
+        );
+    }
+
+    #[test]
+    fn outcome_kind_mappings() {
+        assert_eq!(MssVerdict::Success(4).outcome_kind(), OutcomeKind::Success);
+        assert_eq!(MssVerdict::FewData(1).outcome_kind(), OutcomeKind::FewData);
+        assert_eq!(MssVerdict::Error.outcome_kind(), OutcomeKind::Error);
+        assert_eq!(
+            MssVerdict::Unreachable.outcome_kind(),
+            OutcomeKind::Unreachable
+        );
+        assert_eq!(
+            ProbeOutcome::Unreachable.outcome_kind(),
+            OutcomeKind::Unreachable
+        );
     }
 
     #[test]

@@ -13,9 +13,13 @@ use crate::cookie::CookieKey;
 use crate::permutation::{Permutation, ShardIter};
 use crate::rate::TokenBucket;
 use crate::results::{HostResult, MtuResult, Protocol};
-use crate::session::{HostSession, SessionParams, SessionOutput};
+use crate::session::{HostSession, SessionOutput, SessionParams};
 use iw_internet::util::mix;
 use iw_netsim::{Duration, Effects, Endpoint, Instant, TimerToken};
+use iw_telemetry::{
+    BufferSink, CounterId, EventLog, GaugeId, HistogramId, MetricsRegistry, OutcomeKind,
+    ProgressMonitor, ProgressSample, Scope, SessionEvent, Snapshot, StdoutSink,
+};
 use iw_wire::ipv4::Ipv4Addr;
 use iw_wire::tcp::{self, Flags};
 use iw_wire::{icmp, ipv4, IpProtocol};
@@ -61,6 +65,51 @@ pub struct ScanConfig {
     pub source: Ipv4Addr,
     /// Exhaustion-verification knob (ablation; on in the study).
     pub verify_exhaustion: bool,
+    /// Record the simulated wire traffic (pcap export).
+    pub record_trace: bool,
+    /// Telemetry knobs (event log, RTT tracking, progress monitor).
+    pub telemetry: TelemetryConfig,
+}
+
+/// Telemetry knobs for a scan. Everything defaults to off: the metrics
+/// registry always runs (it is allocation-free), but the event log and the
+/// SYN-timestamp map cost memory per host and are opt-in.
+#[derive(Debug, Clone, Default)]
+pub struct TelemetryConfig {
+    /// Record per-session lifecycle events into the scan event log.
+    pub record_events: bool,
+    /// Track SYN send times to measure the SYN → SYN-ACK RTT (one map
+    /// entry per in-flight target).
+    pub record_rtt: bool,
+    /// Emit periodic ZMap-style progress lines.
+    pub monitor: Option<MonitorSpec>,
+}
+
+/// Progress-monitor configuration.
+#[derive(Debug, Clone)]
+pub struct MonitorSpec {
+    /// Virtual-time reporting interval.
+    pub interval: Duration,
+    /// Where the status lines go.
+    pub sink: MonitorSink,
+}
+
+impl Default for MonitorSpec {
+    fn default() -> MonitorSpec {
+        MonitorSpec {
+            interval: Duration::from_secs(1),
+            sink: MonitorSink::Capture,
+        }
+    }
+}
+
+/// Status-line destination.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MonitorSink {
+    /// Print lines as they are produced (the CLI's `--monitor`).
+    Stdout,
+    /// Collect lines for later retrieval (tests; sharded runs).
+    Capture,
 }
 
 impl ScanConfig {
@@ -79,6 +128,8 @@ impl ScanConfig {
             mss_list: vec![64, 128],
             source: Ipv4Addr::new(198, 18, 0, 1),
             verify_exhaustion: true,
+            record_trace: false,
+            telemetry: TelemetryConfig::default(),
         }
     }
 }
@@ -99,8 +150,92 @@ impl TargetIter {
 
 /// Timer token for the pacing tick.
 const PACING_TOKEN: TimerToken = u64::MAX;
+/// Timer token for the progress monitor (session tokens are `u64::from(ip)`,
+/// so the top of the token space is free for scanner-internal timers).
+const MONITOR_TOKEN: TimerToken = u64::MAX - 1;
 /// Pacing tick length.
 const TICK: Duration = Duration::from_millis(5);
+
+/// Array index of an [`OutcomeKind`] in the per-outcome counter blocks.
+fn kind_index(kind: OutcomeKind) -> usize {
+    match kind {
+        OutcomeKind::Success => 0,
+        OutcomeKind::FewData => 1,
+        OutcomeKind::Error => 2,
+        OutcomeKind::Unreachable => 3,
+    }
+}
+
+/// The scanner's metric schema: every counter/gauge/histogram the engine
+/// records, registered once at construction so the hot path is pure index
+/// arithmetic. `scan.*` metrics are population-determined and merge exactly
+/// across shard counts; `shard.*` metrics are scheduling-determined.
+struct Metrics {
+    registry: MetricsRegistry,
+    targets_sent: CounterId,
+    synacks_validated: CounterId,
+    refused: CounterId,
+    sessions_started: CounterId,
+    retransmits_detected: CounterId,
+    verify_acks_sent: CounterId,
+    /// Per-probe terminal outcomes, indexed by [`kind_index`].
+    probes: [CounterId; 4],
+    /// Per-session (primary-verdict) outcomes, indexed by [`kind_index`].
+    sessions_finished: [CounterId; 4],
+    rtt_nanos: HistogramId,
+    session_lifetime_nanos: HistogramId,
+    retransmit_bytes: HistogramId,
+    pace_ticks: CounterId,
+    token_wait_nanos: HistogramId,
+    live_peak: GaugeId,
+}
+
+impl Metrics {
+    fn new() -> Metrics {
+        let mut r = MetricsRegistry::new();
+        let targets_sent = r.counter("scan.targets_sent", Scope::Scan);
+        let synacks_validated = r.counter("scan.synacks_validated", Scope::Scan);
+        let refused = r.counter("scan.refused", Scope::Scan);
+        let sessions_started = r.counter("scan.sessions_started", Scope::Scan);
+        let retransmits_detected = r.counter("scan.retransmits_detected", Scope::Scan);
+        let verify_acks_sent = r.counter("scan.verify_acks_sent", Scope::Scan);
+        let probes = [
+            r.counter("scan.probes.success", Scope::Scan),
+            r.counter("scan.probes.few_data", Scope::Scan),
+            r.counter("scan.probes.error", Scope::Scan),
+            r.counter("scan.probes.unreachable", Scope::Scan),
+        ];
+        let sessions_finished = [
+            r.counter("scan.sessions.success", Scope::Scan),
+            r.counter("scan.sessions.few_data", Scope::Scan),
+            r.counter("scan.sessions.error", Scope::Scan),
+            r.counter("scan.sessions.unreachable", Scope::Scan),
+        ];
+        let rtt_nanos = r.histogram("scan.rtt_nanos", Scope::Scan);
+        let session_lifetime_nanos = r.histogram("scan.session_lifetime_nanos", Scope::Scan);
+        let retransmit_bytes = r.histogram("scan.retransmit_bytes_in_flight", Scope::Scan);
+        let pace_ticks = r.counter("shard.pace.ticks", Scope::Shard);
+        let token_wait_nanos = r.histogram("shard.pace.token_wait_nanos", Scope::Shard);
+        let live_peak = r.gauge("shard.sessions.live_peak", Scope::Shard);
+        Metrics {
+            registry: r,
+            targets_sent,
+            synacks_validated,
+            refused,
+            sessions_started,
+            retransmits_detected,
+            verify_acks_sent,
+            probes,
+            sessions_finished,
+            rtt_nanos,
+            session_lifetime_nanos,
+            retransmit_bytes,
+            pace_ticks,
+            token_wait_nanos,
+            live_peak,
+        }
+    }
+}
 
 #[derive(Debug, Clone, Copy)]
 struct MtuProbe {
@@ -124,6 +259,16 @@ pub struct Scanner {
     targets_sent: u64,
     refused: u64,
     ident: u16,
+    metrics: Metrics,
+    events: EventLog,
+    /// SYN send times for RTT measurement (populated only when
+    /// `telemetry.record_rtt`; entries are consumed on first response).
+    syn_ts: HashMap<u32, Instant>,
+    monitor: Option<ProgressMonitor>,
+    monitor_sink: MonitorSink,
+    status_lines: Vec<String>,
+    /// Estimated targets this shard will probe (0 = unknown).
+    targets_total: u64,
 }
 
 impl Scanner {
@@ -151,6 +296,24 @@ impl Scanner {
             (config.rate_pps / 100).max(16),
             Instant::ZERO,
         );
+        let targets_total = match &config.targets {
+            TargetSpec::FullSpace { size } => {
+                let per_shard = u64::from(*size) / u64::from(config.shard.1.max(1));
+                (per_shard as f64 * config.sample_fraction.clamp(0.0, 1.0)) as u64
+            }
+            TargetSpec::List(list) => list.len() as u64,
+        };
+        let monitor = config
+            .telemetry
+            .monitor
+            .as_ref()
+            .map(|spec| ProgressMonitor::new(spec.interval.as_nanos()));
+        let monitor_sink = config
+            .telemetry
+            .monitor
+            .as_ref()
+            .map_or(MonitorSink::Capture, |spec| spec.sink);
+        let events = EventLog::new(config.telemetry.record_events);
         Scanner {
             config,
             params,
@@ -167,11 +330,21 @@ impl Scanner {
             targets_sent: 0,
             refused: 0,
             ident: 1,
+            metrics: Metrics::new(),
+            events,
+            syn_ts: HashMap::new(),
+            monitor,
+            monitor_sink,
+            status_lines: Vec::new(),
+            targets_total,
         }
     }
 
     /// Begin scanning (call once via `Sim::kick_scanner`).
     pub fn start(&mut self, now: Instant, fx: &mut Effects) {
+        if let Some(m) = &self.monitor {
+            fx.arm(Duration::from_nanos(m.interval_nanos()), MONITOR_TOKEN);
+        }
         self.pace(now, fx);
     }
 
@@ -205,6 +378,21 @@ impl Scanner {
         self.sessions.len()
     }
 
+    /// Frozen metrics snapshot (merge across shards via [`Snapshot::merge`]).
+    pub fn metrics_snapshot(&self) -> Snapshot {
+        self.metrics.registry.snapshot()
+    }
+
+    /// Take the session event log (leaves a disabled, empty log behind).
+    pub fn take_events(&mut self) -> EventLog {
+        std::mem::replace(&mut self.events, EventLog::new(false))
+    }
+
+    /// Take the captured progress status lines.
+    pub fn take_status_lines(&mut self) -> Vec<String> {
+        std::mem::take(&mut self.status_lines)
+    }
+
     fn sample_admits(&self, ip: u32) -> bool {
         if self.config.sample_fraction >= 1.0 {
             return true;
@@ -217,8 +405,16 @@ impl Scanner {
         if self.exhausted {
             return;
         }
+        self.metrics.registry.inc(self.metrics.pace_ticks);
         let want = (self.config.rate_pps / 200).max(1);
         let grant = self.bucket.take(now, want);
+        if grant < want {
+            // The bucket throttled us: record how long until the next token.
+            self.metrics.registry.observe(
+                self.metrics.token_wait_nanos,
+                self.bucket.next_available().as_nanos(),
+            );
+        }
         for _ in 0..grant {
             loop {
                 let Some((ip, domain)) = self.targets.next() else {
@@ -229,17 +425,18 @@ impl Scanner {
                     continue;
                 }
                 self.targets_sent += 1;
+                self.metrics.registry.inc(self.metrics.targets_sent);
                 if let Some(d) = domain {
                     self.domains.insert(ip, d);
                 }
-                self.send_initial_probe(ip, fx);
+                self.send_initial_probe(ip, now, fx);
                 break;
             }
         }
         fx.arm(TICK, PACING_TOKEN);
     }
 
-    fn send_initial_probe(&mut self, ip: u32, fx: &mut Effects) {
+    fn send_initial_probe(&mut self, ip: u32, now: Instant, fx: &mut Effects) {
         match self.config.protocol {
             Protocol::IcmpMtu => {
                 let total = 1500u32;
@@ -252,6 +449,11 @@ impl Scanner {
                 self.send_echo(ip, total, fx);
             }
             _ => {
+                if self.config.telemetry.record_rtt {
+                    self.syn_ts.insert(ip, now);
+                }
+                self.events
+                    .record(now.as_nanos(), ip, SessionEvent::SynSent);
                 let dport = self.config.protocol.port();
                 let sport = self.params.sport(0, 0);
                 let isn = self.cookie.isn(ip, sport, dport);
@@ -292,8 +494,7 @@ impl Scanner {
     }
 
     fn send_echo(&mut self, ip: u32, total_len: u32, fx: &mut Effects) {
-        let payload_len =
-            total_len as usize - ipv4::HEADER_LEN - icmp::HEADER_LEN;
+        let payload_len = total_len as usize - ipv4::HEADER_LEN - icmp::HEADER_LEN;
         let msg = icmp::Message::EchoRequest {
             ident: (self.cookie.isn(ip, 0, 0) & 0xffff) as u16,
             seq: 1,
@@ -315,10 +516,19 @@ impl Scanner {
         fx.send(datagram);
     }
 
-    fn apply_session_output(&mut self, ip: u32, out: SessionOutput, now: Instant, fx: &mut Effects) {
+    fn apply_session_output(
+        &mut self,
+        ip: u32,
+        out: SessionOutput,
+        now: Instant,
+        fx: &mut Effects,
+    ) {
         let dst = Ipv4Addr::from_u32(ip);
         for seg in &out.tx {
             self.emit_segment(dst, seg, fx);
+        }
+        for ev in &out.events {
+            self.note_session_event(ip, *ev, now);
         }
         if let Some(deadline) = out.deadline {
             if deadline > now {
@@ -328,7 +538,40 @@ impl Scanner {
         if let Some(result) = out.result {
             self.results.push(result);
             self.sessions.remove(&ip);
+            self.metrics
+                .registry
+                .gauge_set(self.metrics.live_peak, self.sessions.len() as u64);
         }
+    }
+
+    /// Fold one session lifecycle event into the metrics and the event log.
+    fn note_session_event(&mut self, ip: u32, ev: SessionEvent, now: Instant) {
+        let m = &mut self.metrics;
+        match ev {
+            SessionEvent::RetransmitDetected {
+                bytes_in_flight, ..
+            } => {
+                m.registry.inc(m.retransmits_detected);
+                m.registry.observe(m.retransmit_bytes, bytes_in_flight);
+            }
+            SessionEvent::VerifyAckSent { .. } => m.registry.inc(m.verify_acks_sent),
+            SessionEvent::ProbeConcluded { outcome, .. } => {
+                m.registry.inc(m.probes[kind_index(outcome)]);
+            }
+            SessionEvent::SessionFinished { outcome } => {
+                m.registry.inc(m.sessions_finished[kind_index(outcome)]);
+                // The session is still in the map here (removal happens
+                // after its events are folded in).
+                if let Some(session) = self.sessions.get(&ip) {
+                    m.registry.observe(
+                        m.session_lifetime_nanos,
+                        (now - session.started()).as_nanos(),
+                    );
+                }
+            }
+            _ => {}
+        }
+        self.events.record(now.as_nanos(), ip, ev);
     }
 
     fn on_tcp(&mut self, src: Ipv4Addr, seg: &tcp::Repr, now: Instant, fx: &mut Effects) {
@@ -343,11 +586,23 @@ impl Scanner {
                 && seg.flags.contains(Flags::ACK)
                 && self.cookie.validate(ip, sport, seg.src_port, seg.ack)
             {
+                self.metrics.registry.inc(self.metrics.synacks_validated);
+                if let Some(t0) = self.syn_ts.remove(&ip) {
+                    self.metrics
+                        .registry
+                        .observe(self.metrics.rtt_nanos, (now - t0).as_nanos());
+                }
+                self.events
+                    .record(now.as_nanos(), ip, SessionEvent::SynAckValidated);
                 self.open_ports.push(ip);
                 let rst = tcp::Repr::bare(sport, seg.src_port, seg.ack, 0, Flags::RST, 0);
                 self.emit_segment(src, &rst, fx);
             } else if seg.flags.contains(Flags::RST) {
                 self.refused += 1;
+                self.metrics.registry.inc(self.metrics.refused);
+                self.syn_ts.remove(&ip);
+                self.events
+                    .record(now.as_nanos(), ip, SessionEvent::Refused);
             }
             return;
         }
@@ -366,17 +621,86 @@ impl Scanner {
             && seg.flags.contains(Flags::ACK)
             && self.cookie.validate(ip, sport, dport, seg.ack)
         {
+            let now_n = now.as_nanos();
+            self.metrics.registry.inc(self.metrics.synacks_validated);
+            if let Some(t0) = self.syn_ts.remove(&ip) {
+                self.metrics
+                    .registry
+                    .observe(self.metrics.rtt_nanos, (now - t0).as_nanos());
+            }
+            self.metrics.registry.inc(self.metrics.sessions_started);
+            self.events.record(now_n, ip, SessionEvent::SynAckValidated);
+            self.events.record(now_n, ip, SessionEvent::SessionStarted);
             let domain = self.domains.get(&ip).cloned();
-            let mut session =
-                HostSession::new(src, self.params.clone(), self.cookie, domain, now);
+            let mut session = HostSession::new(src, self.params.clone(), self.cookie, domain, now);
+            self.events.record(
+                now_n,
+                ip,
+                SessionEvent::ProbeStarted {
+                    probe: 0,
+                    mss: session.current_mss(),
+                },
+            );
             let out = session.on_segment(seg, now);
             self.sessions.insert(ip, session);
+            self.metrics
+                .registry
+                .gauge_set(self.metrics.live_peak, self.sessions.len() as u64);
             self.apply_session_output(ip, out, now, fx);
         } else if seg.flags.contains(Flags::RST)
             && seg.dst_port == sport
             && self.cookie.validate(ip, sport, dport, seg.ack)
         {
             self.refused += 1;
+            self.metrics.registry.inc(self.metrics.refused);
+            self.syn_ts.remove(&ip);
+            self.events
+                .record(now.as_nanos(), ip, SessionEvent::Refused);
+        }
+    }
+
+    /// A point-in-time progress reading for the monitor.
+    fn progress_sample(&self, now: Instant) -> ProgressSample {
+        let m = &self.metrics;
+        ProgressSample {
+            elapsed_nanos: now.as_nanos(),
+            targets_sent: self.targets_sent,
+            targets_total: self.targets_total,
+            hits: m.registry.counter_value(m.synacks_validated) + self.mtu_results.len() as u64,
+            live_sessions: (self.sessions.len() + self.mtu_states.len()) as u64,
+            configured_pps: self.config.rate_pps,
+            verdicts: [
+                m.registry.counter_value(m.sessions_finished[0]),
+                m.registry.counter_value(m.sessions_finished[1]),
+                m.registry.counter_value(m.sessions_finished[2]),
+                m.registry.counter_value(m.sessions_finished[3]),
+            ],
+        }
+    }
+
+    fn monitor_tick(&mut self, now: Instant, fx: &mut Effects) {
+        let Some(mut monitor) = self.monitor.take() else {
+            return;
+        };
+        let sample = self.progress_sample(now);
+        if monitor.due(sample.elapsed_nanos) {
+            match self.monitor_sink {
+                MonitorSink::Stdout => monitor.report(&sample, &mut StdoutSink),
+                MonitorSink::Capture => {
+                    let mut sink = BufferSink::default();
+                    monitor.report(&sample, &mut sink);
+                    self.status_lines.extend(sink.lines);
+                }
+            }
+        }
+        let interval = monitor.interval_nanos();
+        self.monitor = Some(monitor);
+        // Keep ticking while the scan can still make progress; once sending
+        // is done and the stateful sessions drained, let the sim wind down.
+        // (Unanswered MTU probes hold no timers, so they do not keep the
+        // monitor alive either.)
+        if !(self.exhausted && self.sessions.is_empty()) {
+            fx.arm(Duration::from_nanos(interval), MONITOR_TOKEN);
         }
     }
 
@@ -443,6 +767,10 @@ impl Endpoint for Scanner {
     fn on_timer(&mut self, token: TimerToken, now: Instant, fx: &mut Effects) {
         if token == PACING_TOKEN {
             self.pace(now, fx);
+            return;
+        }
+        if token == MONITOR_TOKEN {
+            self.monitor_tick(now, fx);
             return;
         }
         let ip = token as u32;

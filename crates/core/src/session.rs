@@ -9,15 +9,14 @@
 //! sent after each other."
 
 use crate::cookie::CookieKey;
-use crate::inference::{ConnConfig, ConnOutput, InferenceConn};
+use crate::inference::{ConnConfig, ConnNote, ConnOutput, InferenceConn};
 use crate::probe::http::HttpProbe;
 use crate::probe::tls::TlsProbe;
 use crate::probe::{ProbeDriver, ProbeStep};
-use crate::results::{
-    HostResult, HostVerdict, MssVerdict, ProbeOutcome, Protocol,
-};
+use crate::results::{HostResult, HostVerdict, MssVerdict, ProbeOutcome, Protocol};
 use iw_internet::util::mix;
 use iw_netsim::Instant;
+use iw_telemetry::{OutcomeKind, SessionEvent};
 use iw_wire::ipv4::Ipv4Addr;
 use iw_wire::tcp;
 
@@ -74,6 +73,9 @@ pub struct SessionOutput {
     pub deadline: Option<Instant>,
     /// Present once: the finished host record.
     pub result: Option<HostResult>,
+    /// Lifecycle transitions for the scan event log (the scanner stamps
+    /// them with host address and virtual time).
+    pub events: Vec<SessionEvent>,
 }
 
 /// A live measurement session against one host.
@@ -90,6 +92,9 @@ pub struct HostSession {
     /// Outcomes per MSS run.
     runs: Vec<(u16, Vec<ProbeOutcome>)>,
     done: bool,
+    /// When the session was created (SYN-ACK arrival); session-lifetime
+    /// telemetry measures from here.
+    started: Instant,
 }
 
 impl HostSession {
@@ -125,12 +130,24 @@ impl HostSession {
             conn,
             runs,
             done: false,
+            started: now,
         }
     }
 
     /// The target address.
     pub fn ip(&self) -> Ipv4Addr {
         self.ip
+    }
+
+    /// When the session was created.
+    pub fn started(&self) -> Instant {
+        self.started
+    }
+
+    /// The MSS the current probe announces.
+    pub fn current_mss(&self) -> u16 {
+        let mss_idx = (self.probe_idx / self.params.probes_per_mss) as usize;
+        self.params.mss_list[mss_idx.min(self.params.mss_list.len() - 1)]
     }
 
     /// Whether the session concluded.
@@ -162,10 +179,24 @@ impl HostSession {
     }
 
     fn absorb(&mut self, out: ConnOutput, now: Instant) -> SessionOutput {
+        let probe = self.probe_idx as u8;
         let mut session_out = SessionOutput {
             tx: out.tx,
             deadline: out.deadline,
             result: None,
+            events: out
+                .notes
+                .iter()
+                .map(|note| match note {
+                    ConnNote::RetransmitDetected { bytes_in_flight } => {
+                        SessionEvent::RetransmitDetected {
+                            probe,
+                            bytes_in_flight: u64::from(*bytes_in_flight),
+                        }
+                    }
+                    ConnNote::VerifyAckSent => SessionEvent::VerifyAckSent { probe },
+                })
+                .collect(),
         };
         let Some(result) = out.result else {
             return session_out;
@@ -173,6 +204,9 @@ impl HostSession {
         match self.driver.next_step(&result) {
             ProbeStep::FollowUp(request) => {
                 self.conn_idx += 1;
+                session_out
+                    .events
+                    .push(SessionEvent::FollowUpStarted { probe });
                 let cfg = conn_config(
                     &self.params,
                     &self.cookie,
@@ -187,6 +221,10 @@ impl HostSession {
                 session_out.deadline = first.deadline;
             }
             ProbeStep::Conclude(outcome) => {
+                session_out.events.push(SessionEvent::ProbeConcluded {
+                    probe,
+                    outcome: outcome.outcome_kind(),
+                });
                 let mss_idx = (self.probe_idx / self.params.probes_per_mss) as usize;
                 self.runs[mss_idx].1.push(outcome);
                 self.probe_idx += 1;
@@ -194,14 +232,24 @@ impl HostSession {
                 // lost SYN under loss must not discard the host (the
                 // remaining probes still vote).
                 if self.probe_idx >= self.params.total_probes() {
-                    session_out.result = Some(self.finalize());
+                    let host = self.finalize();
+                    session_out.events.push(SessionEvent::SessionFinished {
+                        outcome: host
+                            .primary_verdict()
+                            .map(MssVerdict::outcome_kind)
+                            .unwrap_or(OutcomeKind::Error),
+                    });
+                    session_out.result = Some(host);
                     session_out.deadline = None;
                 } else {
                     // Launch the next probe immediately ("all six probes
                     // are sent after each other").
                     self.conn_idx = 0;
-                    self.driver =
-                        make_driver(&self.params, self.ip, &self.domain, self.probe_idx);
+                    session_out.events.push(SessionEvent::ProbeStarted {
+                        probe: self.probe_idx as u8,
+                        mss: self.current_mss(),
+                    });
+                    self.driver = make_driver(&self.params, self.ip, &self.domain, self.probe_idx);
                     let request = self.driver.initial_request();
                     let cfg = conn_config(
                         &self.params,
@@ -349,7 +397,10 @@ pub fn classify_host(verdicts: &[(u16, MssVerdict)]) -> HostVerdict {
                 // Segment count halves as MSS doubles: a byte budget.
                 HostVerdict::ByteBased(a * u32::from(mss_a))
             } else {
-                HostVerdict::OtherScaling { at_64: a, at_128: b }
+                HostVerdict::OtherScaling {
+                    at_64: a,
+                    at_128: b,
+                }
             }
         }
         _ => HostVerdict::Unclassified,
@@ -420,7 +471,10 @@ mod tests {
 
     #[test]
     fn vote_lone_success_degrades_to_bound() {
-        assert_eq!(vote(&[success(10), few(7), few(7)]), MssVerdict::FewData(10));
+        assert_eq!(
+            vote(&[success(10), few(7), few(7)]),
+            MssVerdict::FewData(10)
+        );
     }
 
     #[test]
@@ -433,19 +487,28 @@ mod tests {
 
     #[test]
     fn classify_segment_based() {
-        let v = vec![(64, MssVerdict::Success(10)), (128, MssVerdict::Success(10))];
+        let v = vec![
+            (64, MssVerdict::Success(10)),
+            (128, MssVerdict::Success(10)),
+        ];
         assert_eq!(classify_host(&v), HostVerdict::SegmentBased(10));
     }
 
     #[test]
     fn classify_byte_based_4k() {
-        let v = vec![(64, MssVerdict::Success(64)), (128, MssVerdict::Success(32))];
+        let v = vec![
+            (64, MssVerdict::Success(64)),
+            (128, MssVerdict::Success(32)),
+        ];
         assert_eq!(classify_host(&v), HostVerdict::ByteBased(4096));
     }
 
     #[test]
     fn classify_mtu_fill() {
-        let v = vec![(64, MssVerdict::Success(24)), (128, MssVerdict::Success(12))];
+        let v = vec![
+            (64, MssVerdict::Success(24)),
+            (128, MssVerdict::Success(12)),
+        ];
         assert_eq!(classify_host(&v), HostVerdict::ByteBased(1536));
     }
 
@@ -454,7 +517,10 @@ mod tests {
         let v = vec![(64, MssVerdict::Success(10)), (128, MssVerdict::Success(7))];
         assert_eq!(
             classify_host(&v),
-            HostVerdict::OtherScaling { at_64: 10, at_128: 7 }
+            HostVerdict::OtherScaling {
+                at_64: 10,
+                at_128: 7
+            }
         );
         let v = vec![(64, MssVerdict::Success(10)), (128, MssVerdict::FewData(3))];
         assert_eq!(classify_host(&v), HostVerdict::Unclassified);

@@ -80,15 +80,7 @@ pub fn probe_host(spec: &TestbedSpec) -> (Option<HostResult>, Trace) {
     sim.kick_scanner(|s, now, fx| s.start(now, fx));
     sim.run_to_completion();
     let result = sim.scanner().results().first().cloned();
-    let trace = std::mem::take(&mut {
-        // Trace has no Clone; rebuild from entries.
-        let mut t = Trace::new();
-        for e in sim.trace().entries() {
-            t.record(e.at, e.dir, &e.bytes);
-        }
-        t
-    });
-    (result, trace)
+    (result, sim.trace().clone())
 }
 
 #[cfg(test)]

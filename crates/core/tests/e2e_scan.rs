@@ -50,7 +50,10 @@ fn http_scan_recovers_ground_truth_iws() {
             }
         }
     }
-    assert!(correct > 50, "expected many exact recoveries, got {correct}");
+    assert!(
+        correct > 50,
+        "expected many exact recoveries, got {correct}"
+    );
     assert_eq!(wrong, 0, "lossless world must recover IWs exactly");
 }
 
@@ -209,9 +212,6 @@ fn sampling_one_percent_yields_similar_distribution() {
     for iw in [1u32, 2, 4, 10] {
         let f = *fh.get(&iw).unwrap_or(&0) as f64 / fn_ as f64;
         let s = *sh.get(&iw).unwrap_or(&0) as f64 / sn as f64;
-        assert!(
-            (f - s).abs() < 0.06,
-            "IW{iw}: full {f:.3} vs sample {s:.3}"
-        );
+        assert!((f - s).abs() < 0.06, "IW{iw}: full {f:.3} vs sample {s:.3}");
     }
 }

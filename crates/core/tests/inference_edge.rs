@@ -65,7 +65,10 @@ fn partially_overlapping_segment_is_not_a_retransmission() {
     let mut conn = establish();
     conn.on_segment(&data(0, 64), Instant::ZERO);
     let out = conn.on_segment(&data(32, 64), Instant::ZERO);
-    assert!(out.result.is_none(), "overlap with new bytes is not the end");
+    assert!(
+        out.result.is_none(),
+        "overlap with new bytes is not the end"
+    );
     // Now a full retransmission of the first segment ends it.
     let out = finish_with_retransmit(&mut conn, 2);
     match out.result.expect("concluded").outcome {
@@ -146,7 +149,9 @@ fn data_before_request_ack_is_still_counted() {
     conn.on_segment(&data(0, 64), Instant::ZERO);
     let out = finish_with_retransmit(&mut conn, 2);
     match out.result.expect("done").outcome {
-        RawOutcome::Success { bytes, reordered, .. } => {
+        RawOutcome::Success {
+            bytes, reordered, ..
+        } => {
             assert_eq!(bytes, 128);
             assert!(reordered);
         }

@@ -277,25 +277,20 @@ fn tls_scan_sends_client_hello_with_sni_from_list() {
 fn non_tcp_garbage_never_panics_the_scanner() {
     let mut scanner = Scanner::new(config(Protocol::Http));
     let mut fx = Effects::default();
-    for junk in [
-        vec![],
-        vec![0u8; 3],
-        vec![0xff; 64],
-        {
-            // Valid IPv4, unknown protocol.
-            ipv4::build_datagram(
-                &ipv4::Repr {
-                    src_addr: Ipv4Addr::from_u32(1),
-                    dst_addr: SCANNER_IP,
-                    protocol: IpProtocol::Unknown(132),
-                    payload_len: 4,
-                    ttl: 64,
-                },
-                1,
-                &[1, 2, 3, 4],
-            )
-        },
-    ] {
+    for junk in [vec![], vec![0u8; 3], vec![0xff; 64], {
+        // Valid IPv4, unknown protocol.
+        ipv4::build_datagram(
+            &ipv4::Repr {
+                src_addr: Ipv4Addr::from_u32(1),
+                dst_addr: SCANNER_IP,
+                protocol: IpProtocol::Unknown(132),
+                payload_len: 4,
+                ttl: 64,
+            },
+            1,
+            &[1, 2, 3, 4],
+        )
+    }] {
         scanner.on_packet(&junk, Instant::ZERO, &mut fx);
     }
     assert_eq!(scanner.live_sessions(), 0);

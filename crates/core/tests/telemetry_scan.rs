@@ -1,0 +1,186 @@
+//! Scan-level telemetry: the metrics snapshot, the session event log and
+//! the progress monitor, exercised through full simulated scans.
+//!
+//! The load-bearing property is the determinism contract: scan-scoped
+//! metrics and event-log summaries must be byte-identical between a
+//! sharded run and a single-thread run of the same scan.
+
+use iw_core::telemetry::OutcomeKind;
+use iw_core::{run_scan, run_scan_sharded, MonitorSink, MonitorSpec, Protocol, ScanConfig};
+use iw_internet::{Population, PopulationConfig};
+use iw_netsim::Duration;
+use std::sync::Arc;
+
+fn population(seed: u64, space: u32, responsive: u32) -> Arc<Population> {
+    Arc::new(Population::new(PopulationConfig {
+        seed,
+        space_size: space,
+        target_responsive: responsive,
+        loss_scale: 0.0,
+    }))
+}
+
+fn telemetry_config(space: u32, seed: u64) -> ScanConfig {
+    let mut config = ScanConfig::study(Protocol::Http, space, seed);
+    config.rate_pps = 2_000_000; // compress virtual time for tests
+    config.telemetry.record_events = true;
+    config.telemetry.record_rtt = true;
+    config
+}
+
+#[test]
+fn sharded_snapshot_is_byte_identical_to_single_thread() {
+    let pop = population(0x1307, 1 << 15, 600);
+    let config = telemetry_config(pop.space_size(), 0x1307);
+    let single = run_scan(&pop, config.clone());
+    let sharded = run_scan_sharded(&pop, config, 4);
+
+    // The canonical (scan-scoped) snapshot merges exactly: same counters,
+    // same histogram buckets, same JSON bytes.
+    assert_eq!(
+        single.telemetry.metrics.to_canonical_json(),
+        sharded.telemetry.metrics.to_canonical_json(),
+        "scan-scoped metrics must not depend on the shard count"
+    );
+    // The event-log summary (counts per variant and per verdict) is
+    // likewise shard-independent.
+    assert_eq!(
+        single.telemetry.events.summary_json(),
+        sharded.telemetry.events.summary_json()
+    );
+    // Sanity: the scan actually produced telemetry to compare.
+    let m = &single.telemetry.metrics;
+    assert!(m.counter("scan.targets_sent") > 10_000);
+    assert!(m.counter("scan.sessions_started") > 100);
+    assert!(m.histogram("scan.rtt_nanos").unwrap().count > 100);
+    assert!(m.histogram("scan.session_lifetime_nanos").unwrap().count > 100);
+}
+
+#[test]
+fn summarize_matches_event_log_terminal_counts() {
+    let pop = population(0xbeef, 1 << 14, 300);
+    let config = telemetry_config(pop.space_size(), 0xbeef);
+    let out = run_scan(&pop, config);
+
+    let terminal = out.telemetry.events.terminal_counts();
+    let count = |k: OutcomeKind| terminal.get(&k).copied().unwrap_or(0);
+    // summarize() buckets Unreachable (and verdict-less) sessions under
+    // "error"; the event log keeps them distinct.
+    assert_eq!(out.summary.success, count(OutcomeKind::Success));
+    assert_eq!(out.summary.few_data, count(OutcomeKind::FewData));
+    assert_eq!(
+        out.summary.error,
+        count(OutcomeKind::Error) + count(OutcomeKind::Unreachable)
+    );
+    // Every reachable host finished exactly one session.
+    assert_eq!(
+        out.summary.reachable,
+        terminal.values().sum::<u64>(),
+        "one SessionFinished per host record"
+    );
+    // The per-verdict session counters agree with the event log.
+    let m = &out.telemetry.metrics;
+    assert_eq!(
+        m.counter("scan.sessions.success"),
+        count(OutcomeKind::Success)
+    );
+    assert_eq!(
+        m.counter("scan.sessions.few_data"),
+        count(OutcomeKind::FewData)
+    );
+    assert_eq!(m.counter("scan.sessions.error"), count(OutcomeKind::Error));
+    assert_eq!(
+        m.counter("scan.sessions.unreachable"),
+        count(OutcomeKind::Unreachable)
+    );
+    // And the flat counters agree with the summary.
+    assert_eq!(m.counter("scan.targets_sent"), out.summary.targets);
+    assert_eq!(m.counter("scan.refused"), out.summary.refused);
+    assert_eq!(m.counter("scan.sessions_started"), out.summary.reachable);
+}
+
+#[test]
+fn event_log_records_exact_session_lifecycles() {
+    let pop = population(0xcafe, 1 << 13, 150);
+    let config = telemetry_config(pop.space_size(), 0xcafe);
+    let out = run_scan(&pop, config);
+
+    // Pick a host that concluded successfully and replay its lifecycle.
+    let success_ip = out
+        .results
+        .iter()
+        .find(|r| r.iw_estimate().is_some())
+        .expect("some host succeeded")
+        .ip;
+    let events = out.telemetry.events.for_ip(success_ip);
+    let names: Vec<&str> = events.iter().map(|r| r.event.name()).collect();
+    assert_eq!(names[0], "syn_sent", "{names:?}");
+    assert_eq!(names[1], "syn_ack_validated", "{names:?}");
+    assert_eq!(names[2], "session_started", "{names:?}");
+    assert_eq!(names[3], "probe_started", "{names:?}");
+    assert_eq!(*names.last().unwrap(), "session_finished", "{names:?}");
+    // The study config runs six probes: six conclusions, and the probe
+    // chain is recorded in order.
+    let concluded = names.iter().filter(|n| **n == "probe_concluded").count();
+    assert_eq!(concluded, 6, "{names:?}");
+    let started = names.iter().filter(|n| **n == "probe_started").count();
+    assert_eq!(started, 6, "{names:?}");
+    // Timestamps never go backwards within a host's lifecycle.
+    assert!(events.windows(2).all(|w| w[0].at_nanos <= w[1].at_nanos));
+    // A successful inference observed at least one retransmission per
+    // concluded probe (that is what ends the collection phase).
+    let retransmits = names
+        .iter()
+        .filter(|n| **n == "retransmit_detected")
+        .count();
+    assert!(retransmits >= 1, "{names:?}");
+}
+
+#[test]
+fn monitor_emits_periodic_status_lines() {
+    let pop = population(0xfeed, 1 << 14, 300);
+    let mut config = telemetry_config(pop.space_size(), 0xfeed);
+    config.telemetry.monitor = Some(MonitorSpec {
+        interval: Duration::from_millis(5),
+        sink: MonitorSink::Capture,
+    });
+    let out = run_scan(&pop, config);
+
+    let lines = &out.telemetry.status_lines;
+    assert!(lines.len() >= 2, "expected several reports: {lines:?}");
+    // Lines carry the ZMap-style send/hits/live segments.
+    for line in lines {
+        assert!(line.contains("send:"), "{line}");
+        assert!(line.contains("hits:"), "{line}");
+        assert!(line.contains("ok/few/err/unr:"), "{line}");
+    }
+    // Progress is monotone: sent counts never decrease across reports.
+    let sent_counts: Vec<u64> = lines
+        .iter()
+        .map(|l| {
+            let after = l.split("send: ").nth(1).unwrap();
+            after.split_whitespace().next().unwrap().parse().unwrap()
+        })
+        .collect();
+    assert!(
+        sent_counts.windows(2).all(|w| w[0] <= w[1]),
+        "{sent_counts:?}"
+    );
+    // The final report has seen every target out the door.
+    assert_eq!(*sent_counts.last().unwrap(), out.summary.targets);
+}
+
+#[test]
+fn config_record_trace_captures_the_scan() {
+    let pop = population(0xace, 1 << 13, 80);
+    let mut config = telemetry_config(pop.space_size(), 0xace);
+    config.record_trace = true;
+    let out = run_scan(&pop, config.clone());
+    assert!(!out.trace.is_empty());
+    let rendered = out.trace.render_tcp();
+    assert!(rendered.contains("SYN"), "trace renders the exchange");
+    // Off by default: the same scan without the flag records nothing.
+    config.record_trace = false;
+    let quiet = run_scan(&pop, config);
+    assert!(quiet.trace.is_empty());
+}

@@ -123,9 +123,6 @@ mod tests {
         let mut closer = SilentApp {
             close_on_request: true,
         };
-        assert_eq!(
-            closer.on_data(b"x"),
-            Some(AppResponse::silent_close())
-        );
+        assert_eq!(closer.on_data(b"x"), Some(AppResponse::silent_close()));
     }
 }

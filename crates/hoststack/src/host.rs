@@ -147,7 +147,11 @@ impl Host {
             let (rst_seq, rst_ack, rst_flags) = if seg.flags.contains(Flags::ACK) {
                 (seg.ack, 0, Flags::RST)
             } else {
-                (0, seg.seq.wrapping_add(seg.seq_len()), Flags::RST | Flags::ACK)
+                (
+                    0,
+                    seg.seq.wrapping_add(seg.seq_len()),
+                    Flags::RST | Flags::ACK,
+                )
             };
             let rst = tcp::Repr::bare(seg.dst_port, seg.src_port, rst_seq, rst_ack, rst_flags, 0);
             self.emit_segment(peer, &rst, fx);

@@ -170,7 +170,10 @@ mod tests {
 
     #[test]
     fn direct_serves_root() {
-        let mut app = HttpApp::new(cfg(HttpBehavior::Direct { root_size: 5000, echo_404: true }));
+        let mut app = HttpApp::new(cfg(HttpBehavior::Direct {
+            root_size: 5000,
+            echo_404: true,
+        }));
         let resp = app.on_data(&get("/", "1.2.3.4")).unwrap();
         assert!(resp.close, "Connection: close honored");
         let head = ResponseHead::parse(&resp.data).unwrap();
@@ -232,7 +235,10 @@ mod tests {
 
     #[test]
     fn partial_request_buffers() {
-        let mut app = HttpApp::new(cfg(HttpBehavior::Direct { root_size: 10, echo_404: true }));
+        let mut app = HttpApp::new(cfg(HttpBehavior::Direct {
+            root_size: 10,
+            echo_404: true,
+        }));
         let req = get("/", "h");
         let (a, b) = req.split_at(10);
         assert!(app.on_data(a).is_none());
@@ -251,7 +257,10 @@ mod tests {
 
     #[test]
     fn garbage_request_aborts() {
-        let mut app = HttpApp::new(cfg(HttpBehavior::Direct { root_size: 10, echo_404: true }));
+        let mut app = HttpApp::new(cfg(HttpBehavior::Direct {
+            root_size: 10,
+            echo_404: true,
+        }));
         let resp = app.on_data(b"\xff\xfe garbage \r\n\r\n").unwrap();
         assert!(resp.reset);
     }
@@ -284,7 +293,10 @@ mod tests {
 
     #[test]
     fn keepalive_request_does_not_close() {
-        let mut app = HttpApp::new(cfg(HttpBehavior::Direct { root_size: 10, echo_404: true }));
+        let mut app = HttpApp::new(cfg(HttpBehavior::Direct {
+            root_size: 10,
+            echo_404: true,
+        }));
         let req = b"GET / HTTP/1.1\r\nHost: h\r\n\r\n";
         let resp = app.on_data(req).unwrap();
         assert!(!resp.close, "no Connection: close header");

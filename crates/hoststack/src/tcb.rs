@@ -253,7 +253,8 @@ impl Tcb {
             should_ack = true;
         }
         // Peer FIN.
-        if seg.flags.contains(Flags::FIN) && seg.seq.wrapping_add(seg.payload.len() as u32) == self.rcv_nxt
+        if seg.flags.contains(Flags::FIN)
+            && seg.seq.wrapping_add(seg.payload.len() as u32) == self.rcv_nxt
         {
             self.rcv_nxt = self.rcv_nxt.wrapping_add(1);
             should_ack = true;
@@ -599,7 +600,10 @@ mod tests {
             40000,
             OsProfile::windows(),
             IwPolicy::Segments(4),
-            Box::new(FixedApp { n: 50_000, close: true }),
+            Box::new(FixedApp {
+                n: 50_000,
+                close: true,
+            }),
             &syn(64),
             9,
             Instant::ZERO,
@@ -852,9 +856,6 @@ mod tests {
         };
         let out = tcb.on_segment(&ooo, Instant::ZERO + Duration::from_millis(40));
         // Dup-ACK at the old rcv_nxt (or piggybacked equivalently).
-        assert!(out
-            .tx
-            .iter()
-            .any(|s| s.flags.contains(Flags::ACK)));
+        assert!(out.tx.iter().any(|s| s.flags.contains(Flags::ACK)));
     }
 }

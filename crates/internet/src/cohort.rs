@@ -254,7 +254,14 @@ impl CohortSpec {
             os: self.os.profile(),
             iw: self.iw,
             http: self.http.map(|t| {
-                http_config(t, seed, ip, server_header, canonical_domain, overrides.clone())
+                http_config(
+                    t,
+                    seed,
+                    ip,
+                    server_header,
+                    canonical_domain,
+                    overrides.clone(),
+                )
             }),
             tls: self.tls.map(|t| tls_config(t, seed, ip, overrides.clone())),
             path_mtu,
@@ -294,7 +301,10 @@ mod tests {
         for ip in 0..500 {
             let cfg = s.host_config(7, ip, "nginx", "d", 1500);
             match cfg.http.unwrap().behavior {
-                HttpBehavior::Direct { root_size, echo_404 } => {
+                HttpBehavior::Direct {
+                    root_size,
+                    echo_404,
+                } => {
                     assert!(root_size < 704);
                     assert!(!echo_404);
                 }
@@ -308,7 +318,11 @@ mod tests {
         let s = spec(Some(HttpTemplate::RedirectSite), None);
         let cfg = s.host_config(7, 9, "Apache", "great-site.example", 1500);
         match cfg.http.unwrap().behavior {
-            HttpBehavior::Redirect { host, path, target_size } => {
+            HttpBehavior::Redirect {
+                host,
+                path,
+                target_size,
+            } => {
                 assert_eq!(host, "www.great-site.example");
                 assert!(path.starts_with("/index-"));
                 assert!(target_size >= 8000);
@@ -345,12 +359,22 @@ mod tests {
     #[test]
     fn echo_and_noecho_templates() {
         let s = spec(Some(HttpTemplate::ErrorEcho), None);
-        match s.host_config(1, 1, "GHost", "d", 1500).http.unwrap().behavior {
+        match s
+            .host_config(1, 1, "GHost", "d", 1500)
+            .http
+            .unwrap()
+            .behavior
+        {
             HttpBehavior::NotFound { echo_uri, .. } => assert!(echo_uri),
             other => panic!("{other:?}"),
         }
         let s = spec(Some(HttpTemplate::ErrorNoEcho), None);
-        match s.host_config(1, 1, "GHost", "d", 1500).http.unwrap().behavior {
+        match s
+            .host_config(1, 1, "GHost", "d", 1500)
+            .http
+            .unwrap()
+            .behavior
+        {
             HttpBehavior::NotFound { echo_uri, .. } => assert!(!echo_uri),
             other => panic!("{other:?}"),
         }

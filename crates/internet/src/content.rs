@@ -23,16 +23,16 @@ pub const HEADER_OVERHEAD: u32 = 80;
 /// the observed-max-segment divisor yields 1). The bucket-1 weight here
 /// is therefore lower than the row it feeds.
 pub const SMALL_PAGE_BUCKETS: [(u32, u32, f64); 10] = [
-    (64, 128, 9.0),    // IW1 row (plus the Windows single-segment effect)
-    (128, 192, 8.0),   // IW2
-    (192, 256, 8.1),   // IW3
-    (256, 320, 3.3),   // IW4
-    (320, 384, 4.0),   // IW5
-    (384, 448, 2.2),   // IW6
-    (448, 512, 60.1),  // IW7 — the default-error-page peak
-    (512, 576, 3.0),   // IW8
-    (576, 640, 1.2),   // IW9
-    (640, 704, 1.0),   // IW10 (exact-fill and just-past-fill cases)
+    (64, 128, 9.0),   // IW1 row (plus the Windows single-segment effect)
+    (128, 192, 8.0),  // IW2
+    (192, 256, 8.1),  // IW3
+    (256, 320, 3.3),  // IW4
+    (320, 384, 4.0),  // IW5
+    (384, 448, 2.2),  // IW6
+    (448, 512, 60.1), // IW7 — the default-error-page peak
+    (512, 576, 3.0),  // IW8
+    (576, 640, 1.2),  // IW9
+    (640, 704, 1.0),  // IW10 (exact-fill and just-past-fill cases)
 ];
 
 /// Draw a small total response size (headers + body).

@@ -142,7 +142,11 @@ impl Population {
     pub fn canonical_domain(&self, ip: u32) -> Option<String> {
         let (spec, _) = self.cohort_at(ip)?;
         let mut s = HashStream::new(self.config.seed, ip, purpose::DOMAIN);
-        Some(format!("site-{:06x}.{}", s.next_u64() & 0xff_ffff, spec.domain))
+        Some(format!(
+            "site-{:06x}.{}",
+            s.next_u64() & 0xff_ffff,
+            spec.domain
+        ))
     }
 
     /// Path MTU towards `ip` (footnote-1 model: 80 % of paths carry
@@ -208,8 +212,12 @@ impl Population {
             .unwrap_or(NetClass::Backbone);
         let mut s = HashStream::new(self.config.seed, ip, purpose::LINK);
         let (lat_lo, lat_hi, loss) = match class {
-            NetClass::Cloud | NetClass::Cdn | NetClass::CdnAkamai | NetClass::CloudAzure
-            | NetClass::HosterGoDaddy | NetClass::Hosting => (5u64, 60u64, 0.002),
+            NetClass::Cloud
+            | NetClass::Cdn
+            | NetClass::CdnAkamai
+            | NetClass::CloudAzure
+            | NetClass::HosterGoDaddy
+            | NetClass::Hosting => (5u64, 60u64, 0.002),
             NetClass::University => (10, 80, 0.003),
             NetClass::Access | NetClass::Backbone => (30, 180, 0.010),
             NetClass::AccessModems | NetClass::Embedded => (60, 250, 0.020),
@@ -335,8 +343,7 @@ mod tests {
         }
         let frac_1500 = f64::from(counts[&1500]) / 50_000.0;
         assert!((0.78..0.82).contains(&frac_1500), "{frac_1500}");
-        let ge_1376 =
-            f64::from(counts[&1500] + counts.get(&1400).copied().unwrap_or(0)) / 50_000.0;
+        let ge_1376 = f64::from(counts[&1500] + counts.get(&1400).copied().unwrap_or(0)) / 50_000.0;
         assert!(ge_1376 > 0.985, "99% must support MSS 1336 ({ge_1376})");
     }
 

@@ -138,110 +138,670 @@ impl NetClass {
         }
         match self {
             NetClass::Cloud => &[
-                c!("cloud-small", 0.47, P::Segments(10), O::Linux, Some(H::SmallSite), Some(T::ServeChain)),
-                c!("cloud-large", 0.15, P::Segments(10), O::Linux, Some(H::LargeSite), Some(T::ServeChain)),
-                c!("cloud-redir", 0.12, P::Segments(10), O::Linux, Some(H::RedirectSite), Some(T::ServeChain)),
-                c!("cloud-http-only", 0.08, P::Segments(10), O::Linux, Some(H::SmallSite), None),
-                c!("cloud-tls-only", 0.05, P::Segments(10), O::Linux, None, Some(T::ServeChain)),
-                c!("cloud-echo", 0.04, P::Segments(10), O::Linux, Some(H::ErrorEcho), Some(T::ServeChain)),
-                c!("cloud-win", 0.02, P::Segments(10), O::Windows, Some(H::SmallSite), Some(T::ServeChain)),
-                c!("cloud-iw4", 0.02, P::Segments(4), O::Linux, Some(H::LargeSite), Some(T::ServeChain)),
-                c!("cloud-mute", 0.015, P::Segments(10), O::Linux, Some(H::MuteSite), Some(T::MuteTls)),
-                c!("cloud-rst", 0.01, P::Segments(10), O::Linux, Some(H::ResetSite), Some(T::ResetTls)),
-                c!("cloud-sni", 0.025, P::Segments(10), O::Linux, Some(H::SmallSite), Some(T::AlertNoSni)),
+                c!(
+                    "cloud-small",
+                    0.47,
+                    P::Segments(10),
+                    O::Linux,
+                    Some(H::SmallSite),
+                    Some(T::ServeChain)
+                ),
+                c!(
+                    "cloud-large",
+                    0.15,
+                    P::Segments(10),
+                    O::Linux,
+                    Some(H::LargeSite),
+                    Some(T::ServeChain)
+                ),
+                c!(
+                    "cloud-redir",
+                    0.12,
+                    P::Segments(10),
+                    O::Linux,
+                    Some(H::RedirectSite),
+                    Some(T::ServeChain)
+                ),
+                c!(
+                    "cloud-http-only",
+                    0.08,
+                    P::Segments(10),
+                    O::Linux,
+                    Some(H::SmallSite),
+                    None
+                ),
+                c!(
+                    "cloud-tls-only",
+                    0.05,
+                    P::Segments(10),
+                    O::Linux,
+                    None,
+                    Some(T::ServeChain)
+                ),
+                c!(
+                    "cloud-echo",
+                    0.04,
+                    P::Segments(10),
+                    O::Linux,
+                    Some(H::ErrorEcho),
+                    Some(T::ServeChain)
+                ),
+                c!(
+                    "cloud-win",
+                    0.02,
+                    P::Segments(10),
+                    O::Windows,
+                    Some(H::SmallSite),
+                    Some(T::ServeChain)
+                ),
+                c!(
+                    "cloud-iw4",
+                    0.02,
+                    P::Segments(4),
+                    O::Linux,
+                    Some(H::LargeSite),
+                    Some(T::ServeChain)
+                ),
+                c!(
+                    "cloud-mute",
+                    0.015,
+                    P::Segments(10),
+                    O::Linux,
+                    Some(H::MuteSite),
+                    Some(T::MuteTls)
+                ),
+                c!(
+                    "cloud-rst",
+                    0.01,
+                    P::Segments(10),
+                    O::Linux,
+                    Some(H::ResetSite),
+                    Some(T::ResetTls)
+                ),
+                c!(
+                    "cloud-sni",
+                    0.025,
+                    P::Segments(10),
+                    O::Linux,
+                    Some(H::SmallSite),
+                    Some(T::AlertNoSni)
+                ),
             ],
             NetClass::Cdn => &[
-                c!("cdn-redir", 0.55, P::Segments(10), O::Linux, Some(H::RedirectSite), Some(T::ServeChain)),
-                c!("cdn-large", 0.40, P::Segments(10), O::Linux, Some(H::LargeSite), Some(T::ServeChain)),
-                c!("cdn-small", 0.05, P::Segments(10), O::Linux, Some(H::SmallSite), Some(T::ServeChain)),
+                c!(
+                    "cdn-redir",
+                    0.55,
+                    P::Segments(10),
+                    O::Linux,
+                    Some(H::RedirectSite),
+                    Some(T::ServeChain)
+                ),
+                c!(
+                    "cdn-large",
+                    0.40,
+                    P::Segments(10),
+                    O::Linux,
+                    Some(H::LargeSite),
+                    Some(T::ServeChain)
+                ),
+                c!(
+                    "cdn-small",
+                    0.05,
+                    P::Segments(10),
+                    O::Linux,
+                    Some(H::SmallSite),
+                    Some(T::ServeChain)
+                ),
             ],
             NetClass::CdnAkamai => &[
-                c!("akamai-noecho", 0.60, P::Segments(4), O::Linux, Some(H::ErrorNoEcho), Some(T::ServeChain)),
-                c!("akamai-small", 0.25, P::Segments(4), O::Linux, Some(H::SmallSite), Some(T::ServeChain)),
-                c!("akamai-tls", 0.15, P::Segments(4), O::Linux, None, Some(T::ServeChain)),
+                c!(
+                    "akamai-noecho",
+                    0.60,
+                    P::Segments(4),
+                    O::Linux,
+                    Some(H::ErrorNoEcho),
+                    Some(T::ServeChain)
+                ),
+                c!(
+                    "akamai-small",
+                    0.25,
+                    P::Segments(4),
+                    O::Linux,
+                    Some(H::SmallSite),
+                    Some(T::ServeChain)
+                ),
+                c!(
+                    "akamai-tls",
+                    0.15,
+                    P::Segments(4),
+                    O::Linux,
+                    None,
+                    Some(T::ServeChain)
+                ),
             ],
             // Azure's HTTP successes come almost exclusively from hosts
             // serving real content (Windows small pages fit one 536 B
             // segment and always land in few-data), so the Large cohorts
             // carry Table 3's HTTP row: IW4 > IW10 > IW2.
             NetClass::CloudAzure => &[
-                c!("azure-iw4-small", 0.25, P::Segments(4), O::Windows, Some(H::SmallSite), Some(T::ServeChain)),
-                c!("azure-iw4-tls", 0.25, P::Segments(4), O::Windows, None, Some(T::ServeChain)),
-                c!("azure-iw4-http", 0.22, P::Segments(4), O::Windows, Some(H::LargeSite), None),
-                c!("azure-iw10-large", 0.15, P::Segments(10), O::Windows, Some(H::LargeSite), Some(T::ServeChain)),
-                c!("azure-iw10-small", 0.05, P::Segments(10), O::Linux, Some(H::SmallSite), Some(T::ServeChain)),
-                c!("azure-iw2-small", 0.05, P::Segments(2), O::Windows, Some(H::SmallSite), Some(T::ServeChain)),
-                c!("azure-iw2-http", 0.03, P::Segments(2), O::Windows, Some(H::LargeSite), None),
+                c!(
+                    "azure-iw4-small",
+                    0.25,
+                    P::Segments(4),
+                    O::Windows,
+                    Some(H::SmallSite),
+                    Some(T::ServeChain)
+                ),
+                c!(
+                    "azure-iw4-tls",
+                    0.25,
+                    P::Segments(4),
+                    O::Windows,
+                    None,
+                    Some(T::ServeChain)
+                ),
+                c!(
+                    "azure-iw4-http",
+                    0.22,
+                    P::Segments(4),
+                    O::Windows,
+                    Some(H::LargeSite),
+                    None
+                ),
+                c!(
+                    "azure-iw10-large",
+                    0.15,
+                    P::Segments(10),
+                    O::Windows,
+                    Some(H::LargeSite),
+                    Some(T::ServeChain)
+                ),
+                c!(
+                    "azure-iw10-small",
+                    0.05,
+                    P::Segments(10),
+                    O::Linux,
+                    Some(H::SmallSite),
+                    Some(T::ServeChain)
+                ),
+                c!(
+                    "azure-iw2-small",
+                    0.05,
+                    P::Segments(2),
+                    O::Windows,
+                    Some(H::SmallSite),
+                    Some(T::ServeChain)
+                ),
+                c!(
+                    "azure-iw2-http",
+                    0.03,
+                    P::Segments(2),
+                    O::Windows,
+                    Some(H::LargeSite),
+                    None
+                ),
             ],
             NetClass::HosterGoDaddy => &[
-                c!("gd-iw48-tls", 0.25, P::Segments(48), O::Linux, None, Some(T::ServeChain)),
-                c!("gd-iw48-park", 0.15, P::Segments(48), O::Linux, Some(H::LargeSite), Some(T::ServeChain)),
-                c!("gd-iw10-small", 0.33, P::Segments(10), O::Linux, Some(H::SmallSite), Some(T::ServeChain)),
-                c!("gd-iw10-large", 0.17, P::Segments(10), O::Linux, Some(H::LargeSite), Some(T::ServeChain)),
-                c!("gd-iw4-small", 0.10, P::Segments(4), O::Linux, Some(H::SmallSite), Some(T::ServeChain)),
+                c!(
+                    "gd-iw48-tls",
+                    0.25,
+                    P::Segments(48),
+                    O::Linux,
+                    None,
+                    Some(T::ServeChain)
+                ),
+                c!(
+                    "gd-iw48-park",
+                    0.15,
+                    P::Segments(48),
+                    O::Linux,
+                    Some(H::LargeSite),
+                    Some(T::ServeChain)
+                ),
+                c!(
+                    "gd-iw10-small",
+                    0.33,
+                    P::Segments(10),
+                    O::Linux,
+                    Some(H::SmallSite),
+                    Some(T::ServeChain)
+                ),
+                c!(
+                    "gd-iw10-large",
+                    0.17,
+                    P::Segments(10),
+                    O::Linux,
+                    Some(H::LargeSite),
+                    Some(T::ServeChain)
+                ),
+                c!(
+                    "gd-iw4-small",
+                    0.10,
+                    P::Segments(4),
+                    O::Linux,
+                    Some(H::SmallSite),
+                    Some(T::ServeChain)
+                ),
             ],
             NetClass::Hosting => &[
-                c!("host-iw10-small", 0.41, P::Segments(10), O::Linux, Some(H::SmallSite), Some(T::ServeChain)),
-                c!("host-iw10-large", 0.10, P::Segments(10), O::Linux, Some(H::LargeSite), Some(T::ServeChain)),
-                c!("host-iw10-redir", 0.10, P::Segments(10), O::Linux, Some(H::RedirectSite), None),
-                c!("host-iw4-small", 0.10, P::Segments(4), O::Linux, Some(H::SmallSite), Some(T::ServeChain)),
-                c!("host-iw2-smallchain", 0.07, P::Segments(2), O::Linux, Some(H::SmallSite), Some(T::ServeSmallChain)),
-                c!("host-cipher-mismatch", 0.04, P::Segments(10), O::Windows, Some(H::SmallSite), Some(T::CipherMismatch)),
-                c!("host-sni-close", 0.06, P::Segments(10), O::Linux, Some(H::MuteSite), Some(T::CloseNoSni)),
-                c!("host-iw2-win", 0.03, P::Segments(2), O::Windows, Some(H::SmallSite), None),
-                c!("host-echo-snialert", 0.04, P::Segments(10), O::Linux, Some(H::ErrorEcho), Some(T::AlertNoSni)),
-                c!("host-iw1-legacy", 0.03, P::Segments(1), O::Linux, Some(H::SmallSite), None),
-                c!("host-rst", 0.02, P::Segments(10), O::Linux, Some(H::ResetSite), Some(T::ResetTls)),
+                c!(
+                    "host-iw10-small",
+                    0.41,
+                    P::Segments(10),
+                    O::Linux,
+                    Some(H::SmallSite),
+                    Some(T::ServeChain)
+                ),
+                c!(
+                    "host-iw10-large",
+                    0.10,
+                    P::Segments(10),
+                    O::Linux,
+                    Some(H::LargeSite),
+                    Some(T::ServeChain)
+                ),
+                c!(
+                    "host-iw10-redir",
+                    0.10,
+                    P::Segments(10),
+                    O::Linux,
+                    Some(H::RedirectSite),
+                    None
+                ),
+                c!(
+                    "host-iw4-small",
+                    0.10,
+                    P::Segments(4),
+                    O::Linux,
+                    Some(H::SmallSite),
+                    Some(T::ServeChain)
+                ),
+                c!(
+                    "host-iw2-smallchain",
+                    0.07,
+                    P::Segments(2),
+                    O::Linux,
+                    Some(H::SmallSite),
+                    Some(T::ServeSmallChain)
+                ),
+                c!(
+                    "host-cipher-mismatch",
+                    0.04,
+                    P::Segments(10),
+                    O::Windows,
+                    Some(H::SmallSite),
+                    Some(T::CipherMismatch)
+                ),
+                c!(
+                    "host-sni-close",
+                    0.06,
+                    P::Segments(10),
+                    O::Linux,
+                    Some(H::MuteSite),
+                    Some(T::CloseNoSni)
+                ),
+                c!(
+                    "host-iw2-win",
+                    0.03,
+                    P::Segments(2),
+                    O::Windows,
+                    Some(H::SmallSite),
+                    None
+                ),
+                c!(
+                    "host-echo-snialert",
+                    0.04,
+                    P::Segments(10),
+                    O::Linux,
+                    Some(H::ErrorEcho),
+                    Some(T::AlertNoSni)
+                ),
+                c!(
+                    "host-iw1-legacy",
+                    0.03,
+                    P::Segments(1),
+                    O::Linux,
+                    Some(H::SmallSite),
+                    None
+                ),
+                c!(
+                    "host-rst",
+                    0.02,
+                    P::Segments(10),
+                    O::Linux,
+                    Some(H::ResetSite),
+                    Some(T::ResetTls)
+                ),
             ],
             NetClass::Access => &[
-                c!("acc-router-iw2", 0.35, P::Segments(2), O::Embedded, Some(H::SmallSite), None),
-                c!("acc-router-iw2-tls", 0.06, P::Segments(2), O::Embedded, Some(H::SmallSite), Some(T::ServeSmallChain)),
-                c!("acc-gw-iw4-tls", 0.14, P::Segments(4), O::Embedded, None, Some(T::ServeChain)),
-                c!("acc-gw-iw4-both", 0.10, P::Segments(4), O::Embedded, Some(H::SmallSite), Some(T::ServeChain)),
-                c!("acc-iw4-http", 0.05, P::Segments(4), O::Linux, Some(H::SmallSite), None),
-                c!("acc-cust-iw10", 0.13, P::Segments(10), O::Linux, Some(H::SmallSite), None),
-                c!("acc-cust-iw10-both", 0.035, P::Segments(10), O::Linux, Some(H::LargeSite), Some(T::ServeChain)),
-                c!("acc-ancient-iw1-tls", 0.025, P::Segments(1), O::Embedded, Some(H::SmallSite), Some(T::ServeSmallChain)),
-                c!("acc-ancient-iw1", 0.02, P::Segments(1), O::Embedded, Some(H::SmallSite), None),
-                c!("acc-odd-iw3", 0.032, P::Segments(3), O::Embedded, Some(H::SmallSite), None),
-                c!("acc-win-iw2", 0.01, P::Segments(2), O::Windows, Some(H::SmallSite), None),
-                c!("acc-mute", 0.02, P::Segments(10), O::Linux, Some(H::MuteSite), Some(T::MuteTls)),
-                c!("acc-rst", 0.015, P::Segments(10), O::Linux, Some(H::ResetSite), None),
-                c!("acc-iw64", 0.003, P::Segments(64), O::Embedded, Some(H::LargeSite), None),
+                c!(
+                    "acc-router-iw2",
+                    0.35,
+                    P::Segments(2),
+                    O::Embedded,
+                    Some(H::SmallSite),
+                    None
+                ),
+                c!(
+                    "acc-router-iw2-tls",
+                    0.06,
+                    P::Segments(2),
+                    O::Embedded,
+                    Some(H::SmallSite),
+                    Some(T::ServeSmallChain)
+                ),
+                c!(
+                    "acc-gw-iw4-tls",
+                    0.14,
+                    P::Segments(4),
+                    O::Embedded,
+                    None,
+                    Some(T::ServeChain)
+                ),
+                c!(
+                    "acc-gw-iw4-both",
+                    0.10,
+                    P::Segments(4),
+                    O::Embedded,
+                    Some(H::SmallSite),
+                    Some(T::ServeChain)
+                ),
+                c!(
+                    "acc-iw4-http",
+                    0.05,
+                    P::Segments(4),
+                    O::Linux,
+                    Some(H::SmallSite),
+                    None
+                ),
+                c!(
+                    "acc-cust-iw10",
+                    0.13,
+                    P::Segments(10),
+                    O::Linux,
+                    Some(H::SmallSite),
+                    None
+                ),
+                c!(
+                    "acc-cust-iw10-both",
+                    0.035,
+                    P::Segments(10),
+                    O::Linux,
+                    Some(H::LargeSite),
+                    Some(T::ServeChain)
+                ),
+                c!(
+                    "acc-ancient-iw1-tls",
+                    0.025,
+                    P::Segments(1),
+                    O::Embedded,
+                    Some(H::SmallSite),
+                    Some(T::ServeSmallChain)
+                ),
+                c!(
+                    "acc-ancient-iw1",
+                    0.02,
+                    P::Segments(1),
+                    O::Embedded,
+                    Some(H::SmallSite),
+                    None
+                ),
+                c!(
+                    "acc-odd-iw3",
+                    0.032,
+                    P::Segments(3),
+                    O::Embedded,
+                    Some(H::SmallSite),
+                    None
+                ),
+                c!(
+                    "acc-win-iw2",
+                    0.01,
+                    P::Segments(2),
+                    O::Windows,
+                    Some(H::SmallSite),
+                    None
+                ),
+                c!(
+                    "acc-mute",
+                    0.02,
+                    P::Segments(10),
+                    O::Linux,
+                    Some(H::MuteSite),
+                    Some(T::MuteTls)
+                ),
+                c!(
+                    "acc-rst",
+                    0.015,
+                    P::Segments(10),
+                    O::Linux,
+                    Some(H::ResetSite),
+                    None
+                ),
+                c!(
+                    "acc-iw64",
+                    0.003,
+                    P::Segments(64),
+                    O::Embedded,
+                    Some(H::LargeSite),
+                    None
+                ),
             ],
             NetClass::AccessModems => &[
-                c!("modem-4k-login", 0.55, P::Bytes(4096), O::Embedded, Some(H::LargeSite), None),
-                c!("modem-4k-monitor", 0.25, P::Bytes(4096), O::Embedded, Some(H::LargeSite), None),
-                c!("modem-mtufill", 0.12, P::MtuFill(1536), O::Embedded, Some(H::LargeSite), None),
-                c!("modem-iw2", 0.08, P::Segments(2), O::Embedded, Some(H::SmallSite), None),
+                c!(
+                    "modem-4k-login",
+                    0.55,
+                    P::Bytes(4096),
+                    O::Embedded,
+                    Some(H::LargeSite),
+                    None
+                ),
+                c!(
+                    "modem-4k-monitor",
+                    0.25,
+                    P::Bytes(4096),
+                    O::Embedded,
+                    Some(H::LargeSite),
+                    None
+                ),
+                c!(
+                    "modem-mtufill",
+                    0.12,
+                    P::MtuFill(1536),
+                    O::Embedded,
+                    Some(H::LargeSite),
+                    None
+                ),
+                c!(
+                    "modem-iw2",
+                    0.08,
+                    P::Segments(2),
+                    O::Embedded,
+                    Some(H::SmallSite),
+                    None
+                ),
             ],
             NetClass::University => &[
-                c!("uni-iw2-small", 0.45, P::Segments(2), O::Linux, Some(H::SmallSite), None),
-                c!("uni-iw2-large", 0.20, P::Segments(2), O::Linux, Some(H::LargeSite), Some(T::ServeChain)),
-                c!("uni-iw10", 0.20, P::Segments(10), O::Linux, Some(H::SmallSite), Some(T::ServeChain)),
-                c!("uni-iw4-bsd", 0.15, P::Segments(4), O::Bsd, Some(H::SmallSite), Some(T::ServeSmallChain)),
+                c!(
+                    "uni-iw2-small",
+                    0.45,
+                    P::Segments(2),
+                    O::Linux,
+                    Some(H::SmallSite),
+                    None
+                ),
+                c!(
+                    "uni-iw2-large",
+                    0.20,
+                    P::Segments(2),
+                    O::Linux,
+                    Some(H::LargeSite),
+                    Some(T::ServeChain)
+                ),
+                c!(
+                    "uni-iw10",
+                    0.20,
+                    P::Segments(10),
+                    O::Linux,
+                    Some(H::SmallSite),
+                    Some(T::ServeChain)
+                ),
+                c!(
+                    "uni-iw4-bsd",
+                    0.15,
+                    P::Segments(4),
+                    O::Bsd,
+                    Some(H::SmallSite),
+                    Some(T::ServeSmallChain)
+                ),
             ],
             NetClass::Backbone => &[
-                c!("bb-iw1", 0.30, P::Segments(1), O::Embedded, Some(H::SmallSite), None),
-                c!("bb-iw2", 0.30, P::Segments(2), O::Linux, Some(H::SmallSite), None),
-                c!("bb-iw2-win", 0.07, P::Segments(2), O::Windows, Some(H::SmallSite), Some(T::ServeSmallChain)),
-                c!("bb-iw1-tls", 0.10, P::Segments(1), O::Linux, None, Some(T::ServeChain)),
-                c!("bb-iw4", 0.08, P::Segments(4), O::Linux, Some(H::SmallSite), Some(T::ServeChain)),
-                c!("bb-iw10", 0.07, P::Segments(10), O::Linux, Some(H::SmallSite), None),
-                c!("bb-iw5", 0.05, P::Segments(5), O::Embedded, Some(H::SmallSite), None),
-                c!("bb-iw6", 0.03, P::Segments(6), O::Embedded, Some(H::SmallSite), None),
+                c!(
+                    "bb-iw1",
+                    0.30,
+                    P::Segments(1),
+                    O::Embedded,
+                    Some(H::SmallSite),
+                    None
+                ),
+                c!(
+                    "bb-iw2",
+                    0.30,
+                    P::Segments(2),
+                    O::Linux,
+                    Some(H::SmallSite),
+                    None
+                ),
+                c!(
+                    "bb-iw2-win",
+                    0.07,
+                    P::Segments(2),
+                    O::Windows,
+                    Some(H::SmallSite),
+                    Some(T::ServeSmallChain)
+                ),
+                c!(
+                    "bb-iw1-tls",
+                    0.10,
+                    P::Segments(1),
+                    O::Linux,
+                    None,
+                    Some(T::ServeChain)
+                ),
+                c!(
+                    "bb-iw4",
+                    0.08,
+                    P::Segments(4),
+                    O::Linux,
+                    Some(H::SmallSite),
+                    Some(T::ServeChain)
+                ),
+                c!(
+                    "bb-iw10",
+                    0.07,
+                    P::Segments(10),
+                    O::Linux,
+                    Some(H::SmallSite),
+                    None
+                ),
+                c!(
+                    "bb-iw5",
+                    0.05,
+                    P::Segments(5),
+                    O::Embedded,
+                    Some(H::SmallSite),
+                    None
+                ),
+                c!(
+                    "bb-iw6",
+                    0.03,
+                    P::Segments(6),
+                    O::Embedded,
+                    Some(H::SmallSite),
+                    None
+                ),
             ],
             NetClass::Embedded => &[
-                c!("emb-iw25-tls", 0.15, P::Segments(25), O::Linux, None, Some(T::ServeChain)),
-                c!("emb-iw64", 0.15, P::Segments(64), O::Embedded, Some(H::LargeSite), None),
-                c!("emb-iw20", 0.10, P::Segments(20), O::Linux, Some(H::LargeSite), Some(T::ServeChain)),
-                c!("emb-iw30", 0.10, P::Segments(30), O::Linux, Some(H::LargeSite), None),
-                c!("emb-iw9", 0.10, P::Segments(9), O::Embedded, Some(H::LargeSite), None),
-                c!("emb-iw11", 0.10, P::Segments(11), O::Linux, Some(H::LargeSite), Some(T::ServeChain)),
-                c!("emb-iw5", 0.10, P::Segments(5), O::Embedded, Some(H::LargeSite), None),
-                c!("emb-iw6", 0.10, P::Segments(6), O::Embedded, Some(H::LargeSite), Some(T::ServeChain)),
-                c!("emb-iw16", 0.05, P::Segments(16), O::Embedded, Some(H::LargeSite), None),
-                c!("emb-iw24", 0.05, P::Segments(24), O::Embedded, Some(H::LargeSite), None),
+                c!(
+                    "emb-iw25-tls",
+                    0.15,
+                    P::Segments(25),
+                    O::Linux,
+                    None,
+                    Some(T::ServeChain)
+                ),
+                c!(
+                    "emb-iw64",
+                    0.15,
+                    P::Segments(64),
+                    O::Embedded,
+                    Some(H::LargeSite),
+                    None
+                ),
+                c!(
+                    "emb-iw20",
+                    0.10,
+                    P::Segments(20),
+                    O::Linux,
+                    Some(H::LargeSite),
+                    Some(T::ServeChain)
+                ),
+                c!(
+                    "emb-iw30",
+                    0.10,
+                    P::Segments(30),
+                    O::Linux,
+                    Some(H::LargeSite),
+                    None
+                ),
+                c!(
+                    "emb-iw9",
+                    0.10,
+                    P::Segments(9),
+                    O::Embedded,
+                    Some(H::LargeSite),
+                    None
+                ),
+                c!(
+                    "emb-iw11",
+                    0.10,
+                    P::Segments(11),
+                    O::Linux,
+                    Some(H::LargeSite),
+                    Some(T::ServeChain)
+                ),
+                c!(
+                    "emb-iw5",
+                    0.10,
+                    P::Segments(5),
+                    O::Embedded,
+                    Some(H::LargeSite),
+                    None
+                ),
+                c!(
+                    "emb-iw6",
+                    0.10,
+                    P::Segments(6),
+                    O::Embedded,
+                    Some(H::LargeSite),
+                    Some(T::ServeChain)
+                ),
+                c!(
+                    "emb-iw16",
+                    0.05,
+                    P::Segments(16),
+                    O::Embedded,
+                    Some(H::LargeSite),
+                    None
+                ),
+                c!(
+                    "emb-iw24",
+                    0.05,
+                    P::Segments(24),
+                    O::Embedded,
+                    Some(H::LargeSite),
+                    None
+                ),
             ],
         }
     }
@@ -319,10 +879,9 @@ impl AsSpec {
         let o = ip.to_be_bytes();
         match &self.rdns {
             RdnsStyle::None => None,
-            RdnsStyle::ServerIpEncoded { domain } => Some(format!(
-                "srv-{}-{}-{}-{}.{domain}",
-                o[0], o[1], o[2], o[3]
-            )),
+            RdnsStyle::ServerIpEncoded { domain } => {
+                Some(format!("srv-{}-{}-{}-{}.{domain}", o[0], o[1], o[2], o[3]))
+            }
             RdnsStyle::AccessIpEncoded { domain, keyword } => Some(format!(
                 "{keyword}-{}-{}-{}-{}.{domain}",
                 o[0], o[1], o[2], o[3]
@@ -639,8 +1198,10 @@ mod tests {
                 RdnsStyle::AccessIpEncoded { .. } => "access",
             });
         }
-        assert!(styles.contains("enc") && styles.contains("static") && styles.contains("none"),
-            "hosting/cloud PTR styles must be mixed: {styles:?}");
+        assert!(
+            styles.contains("enc") && styles.contains("static") && styles.contains("none"),
+            "hosting/cloud PTR styles must be mixed: {styles:?}"
+        );
     }
 
     #[test]

@@ -75,7 +75,10 @@ pub fn bucket_sample(stream: &mut HashStream, buckets: &[(u32, u32, f64)]) -> u3
     let weights: Vec<f64> = buckets.iter().map(|b| b.2).collect();
     let idx = stream.weighted_index(&weights);
     let (lo, hi, _) = buckets[idx];
-    stream.next_range(u64::from(lo), u64::from(hi.saturating_sub(1)).max(u64::from(lo))) as u32
+    stream.next_range(
+        u64::from(lo),
+        u64::from(hi.saturating_sub(1)).max(u64::from(lo)),
+    ) as u32
 }
 
 #[cfg(test)]

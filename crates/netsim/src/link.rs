@@ -183,7 +183,10 @@ mod tests {
         let mut link = Link::new(LinkConfig::testbed().with_forward_drop(2), 3);
         assert!(!link.transit(Direction::Forward).is_empty());
         assert!(!link.transit(Direction::Forward).is_empty());
-        assert!(link.transit(Direction::Forward).is_empty(), "index 2 dropped");
+        assert!(
+            link.transit(Direction::Forward).is_empty(),
+            "index 2 dropped"
+        );
         assert!(!link.transit(Direction::Forward).is_empty());
         // Directions are independent: a forward drop leaves reverse alone.
         let mut link = Link::new(LinkConfig::testbed().with_forward_drop(0), 3);

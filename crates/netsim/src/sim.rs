@@ -70,8 +70,7 @@ where
 }
 
 /// Kernel tuning and accounting options.
-#[derive(Debug, Clone)]
-#[derive(Default)]
+#[derive(Debug, Clone, Default)]
 pub struct SimConfig {
     /// Seed mixed into every per-link RNG.
     pub seed: u64,
@@ -79,8 +78,10 @@ pub struct SimConfig {
     pub record_trace: bool,
 }
 
-
 /// Aggregate statistics, the raw material of the §3.4 efficiency numbers.
+///
+/// Stats from independent shard simulations combine with `+=` (see
+/// [`std::ops::AddAssign`] below): every field is a sum.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SimStats {
     /// Datagrams the scanner transmitted.
@@ -101,6 +102,20 @@ pub struct SimStats {
     pub hosts_spawned: u64,
     /// Events processed.
     pub events: u64,
+}
+
+impl std::ops::AddAssign for SimStats {
+    fn add_assign(&mut self, rhs: SimStats) {
+        self.scanner_tx += rhs.scanner_tx;
+        self.scanner_rx += rhs.scanner_rx;
+        self.host_tx += rhs.host_tx;
+        self.host_rx += rhs.host_rx;
+        self.lost += rhs.lost;
+        self.scanner_tx_bytes += rhs.scanner_tx_bytes;
+        self.scanner_rx_bytes += rhs.scanner_rx_bytes;
+        self.hosts_spawned += rhs.hosts_spawned;
+        self.events += rhs.events;
+    }
 }
 
 #[derive(Debug)]
@@ -290,12 +305,7 @@ impl<S: Endpoint, F: HostFactory> Sim<S, F> {
             self.stats.lost += 1;
         }
         for delay in arrivals {
-            self.schedule(
-                delay,
-                EventKind::ToScanner {
-                    pkt: pkt.clone(),
-                },
-            );
+            self.schedule(delay, EventKind::ToScanner { pkt: pkt.clone() });
         }
     }
 
@@ -449,10 +459,7 @@ mod tests {
         if ip == 0xdead {
             None // unrouted
         } else {
-            Some((
-                Box::new(Echo { my_ip: ip, seen: 0 }),
-                LinkConfig::testbed(),
-            ))
+            Some((Box::new(Echo { my_ip: ip, seen: 0 }), LinkConfig::testbed()))
         }
     }
 
@@ -570,6 +577,47 @@ mod tests {
         sim.run_to_completion();
         assert_eq!(*log.borrow(), (0..10).collect::<Vec<u8>>());
         let _ = Recorder { tags: vec![] };
+    }
+
+    #[test]
+    fn stats_add_assign_sums_every_field() {
+        let mut a = SimStats {
+            scanner_tx: 1,
+            scanner_rx: 2,
+            host_tx: 3,
+            host_rx: 4,
+            lost: 5,
+            scanner_tx_bytes: 6,
+            scanner_rx_bytes: 7,
+            hosts_spawned: 8,
+            events: 9,
+        };
+        let b = SimStats {
+            scanner_tx: 10,
+            scanner_rx: 20,
+            host_tx: 30,
+            host_rx: 40,
+            lost: 50,
+            scanner_tx_bytes: 60,
+            scanner_rx_bytes: 70,
+            hosts_spawned: 80,
+            events: 90,
+        };
+        a += b;
+        assert_eq!(
+            a,
+            SimStats {
+                scanner_tx: 11,
+                scanner_rx: 22,
+                host_tx: 33,
+                host_rx: 44,
+                lost: 55,
+                scanner_tx_bytes: 66,
+                scanner_rx_bytes: 77,
+                hosts_spawned: 88,
+                events: 99,
+            }
+        );
     }
 
     #[test]

@@ -30,7 +30,7 @@ pub struct TraceEntry {
 }
 
 /// An append-only packet capture.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct Trace {
     entries: Vec<TraceEntry>,
 }
@@ -63,6 +63,14 @@ impl Trace {
     /// Whether nothing was captured.
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
+    }
+
+    /// Fold another capture into this one, restoring global time order
+    /// (used when merging per-shard scan traces; the sort is stable, so
+    /// same-instant packets keep their per-shard capture order).
+    pub fn merge(&mut self, other: &Trace) {
+        self.entries.extend_from_slice(&other.entries);
+        self.entries.sort_by_key(|e| e.at);
     }
 
     /// Render a Fig.-1-style, TCP-aware message sequence chart.
@@ -170,6 +178,19 @@ mod tests {
         let mut trace = Trace::new();
         trace.record(Instant::ZERO, Dir::HostToScanner, &[1, 2, 3]);
         assert!(trace.render_tcp().contains("<non-ip"));
+    }
+
+    #[test]
+    fn merge_restores_time_order() {
+        let mut a = Trace::new();
+        a.record(Instant::from_nanos(30), Dir::ScannerToHost, &[1]);
+        a.record(Instant::from_nanos(50), Dir::HostToScanner, &[2]);
+        let mut b = Trace::new();
+        b.record(Instant::from_nanos(10), Dir::ScannerToHost, &[3]);
+        b.record(Instant::from_nanos(40), Dir::HostToScanner, &[4]);
+        a.merge(&b);
+        let times: Vec<u64> = a.entries().iter().map(|e| e.at.as_nanos()).collect();
+        assert_eq!(times, vec![10, 30, 40, 50]);
     }
 
     #[test]

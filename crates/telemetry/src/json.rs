@@ -1,0 +1,58 @@
+//! A tiny deterministic JSON emitter.
+//!
+//! Snapshots must be byte-stable across shard counts and platforms, so we
+//! hand-roll the (small, fixed-schema) JSON instead of pulling in a serde
+//! stack: keys are emitted in sorted order by construction and numbers are
+//! plain integers — no float formatting ambiguity anywhere.
+
+use std::fmt::Write;
+
+/// Append a JSON string literal (with escaping) to `out`.
+pub fn push_str_literal(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Append `"key":` to `out`.
+pub fn push_key(out: &mut String, key: &str) {
+    push_str_literal(out, key);
+    out.push(':');
+}
+
+/// Append a `"key":value` pair for an unsigned integer.
+pub fn push_u64_field(out: &mut String, key: &str, value: u64) {
+    push_key(out, key);
+    let _ = write!(out, "{value}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_specials() {
+        let mut s = String::new();
+        push_str_literal(&mut s, "a\"b\\c\nd\u{1}");
+        assert_eq!(s, "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn plain_fields() {
+        let mut s = String::new();
+        push_u64_field(&mut s, "count", 42);
+        assert_eq!(s, "\"count\":42");
+    }
+}

@@ -1,0 +1,50 @@
+//! # iw-telemetry — the scanner's measurement layer
+//!
+//! ZMap-style scanners are operated by watching them: hit rates, pacing,
+//! and failure modes tell the operator whether a campaign is healthy long
+//! before the results land ("Ten Years of ZMap" calls the live status
+//! monitor essential operational machinery). This crate is that layer for
+//! the IW scanner, in three parts:
+//!
+//! * a cheap **metrics registry** ([`registry`]) — named monotonic
+//!   counters, gauges and log₂-bucketed histograms with a deterministic
+//!   JSON snapshot format and exact shard merging;
+//! * a structured **session event log** ([`events`]) — per-host lifecycle
+//!   transitions (SYN sent → SYN-ACK validated → retransmit detected →
+//!   verify-ACK → verdict) that tests can assert on exactly;
+//! * a **progress monitor** ([`monitor`]) — periodic ZMap-style status
+//!   lines (send progress, hit rate, pps, verdict mix, ETA) through a
+//!   pluggable sink.
+//!
+//! The crate is dependency-free by design: every recording operation is
+//! allocation-free (array index + integer add), and the JSON emitters are
+//! hand-rolled so snapshots are byte-stable across platforms and shard
+//! counts. Time is passed in as plain `u64` nanoseconds so the crate does
+//! not depend on the simulator's clock types.
+//!
+//! ## Determinism contract
+//!
+//! Metrics are registered with a [`registry::Scope`]:
+//!
+//! * [`Scope::Scan`](registry::Scope::Scan) metrics describe the scanned
+//!   population (verdicts, RTTs, session lifetimes). They are defined to
+//!   merge exactly: summing per-shard registries yields byte-identical
+//!   canonical snapshots whether a scan ran on one thread or sixteen.
+//! * [`Scope::Shard`](registry::Scope::Shard) metrics describe scheduling
+//!   (pacing ticks, token-bucket waits, peak live sessions). They are
+//!   still merged and reported, but excluded from the canonical snapshot
+//!   because shard boundaries legitimately change them.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod events;
+pub mod json;
+pub mod monitor;
+pub mod registry;
+
+pub use events::{EventLog, EventRecord, OutcomeKind, SessionEvent};
+pub use monitor::{BufferSink, ProgressMonitor, ProgressSample, StatusSink, StdoutSink};
+pub use registry::{
+    CounterId, GaugeId, HistogramId, HistogramSnapshot, MetricsRegistry, Scope, Snapshot,
+};

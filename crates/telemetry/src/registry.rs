@@ -1,0 +1,550 @@
+//! The metrics registry: counters, gauges and log₂ histograms.
+//!
+//! Metrics are registered once up front (returning a typed index handle)
+//! and recorded through the handle — the hot path is an array index plus
+//! an integer add, with zero allocation and zero hashing. Snapshots are
+//! name-keyed, mergeable, and serialize to deterministic JSON.
+
+use crate::json::{push_key, push_u64_field};
+use std::collections::BTreeMap;
+use std::fmt::Write;
+
+/// Determinism scope of a metric (see the crate docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scope {
+    /// Population-determined: merges exactly across shard counts and is
+    /// part of the canonical snapshot.
+    Scan,
+    /// Scheduling-determined (pacing, queue depths): reported but excluded
+    /// from the canonical snapshot because sharding legitimately changes it.
+    Shard,
+}
+
+/// Handle to a registered counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterId(usize);
+
+/// Handle to a registered gauge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GaugeId(usize);
+
+/// Handle to a registered histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramId(usize);
+
+/// Number of log₂ buckets: index 0 holds the value 0, index `i ≥ 1` holds
+/// values in `[2^(i-1), 2^i)`; u64::MAX lands in index 64.
+pub const BUCKETS: usize = 65;
+
+/// Bucket index of a value (0 → 0, 1 → 1, 2..=3 → 2, 4..=7 → 3, …).
+pub fn bucket_index(value: u64) -> usize {
+    (u64::BITS - value.leading_zeros()) as usize
+}
+
+/// Inclusive lower bound of a bucket (0 for bucket 0, else `2^(i-1)`).
+pub fn bucket_floor(index: usize) -> u64 {
+    if index == 0 {
+        0
+    } else {
+        1u64 << (index - 1)
+    }
+}
+
+/// A log₂-bucketed histogram of `u64` samples.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+    buckets: [u64; BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            buckets: [0; BUCKETS],
+        }
+    }
+}
+
+impl Histogram {
+    /// Record one sample. Allocation-free.
+    pub fn observe(&mut self, value: u64) {
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        self.buckets[bucket_index(value)] += 1;
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest sample, or `None` when empty.
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest sample, or `None` when empty.
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Mean sample value, or `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+}
+
+struct Metric<T> {
+    name: &'static str,
+    scope: Scope,
+    value: T,
+}
+
+/// A gauge: last-set value plus the high-water mark.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct Gauge {
+    value: u64,
+    peak: u64,
+}
+
+/// The registry. Build one per scanner (or per shard); merge snapshots.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    counters: Vec<Metric<u64>>,
+    gauges: Vec<Metric<Gauge>>,
+    histograms: Vec<Metric<Histogram>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Register a monotonic counter. Names must be unique per registry.
+    pub fn counter(&mut self, name: &'static str, scope: Scope) -> CounterId {
+        debug_assert!(self.counters.iter().all(|m| m.name != name), "{name}");
+        self.counters.push(Metric {
+            name,
+            scope,
+            value: 0,
+        });
+        CounterId(self.counters.len() - 1)
+    }
+
+    /// Register a gauge (tracks last value and peak).
+    pub fn gauge(&mut self, name: &'static str, scope: Scope) -> GaugeId {
+        debug_assert!(self.gauges.iter().all(|m| m.name != name), "{name}");
+        self.gauges.push(Metric {
+            name,
+            scope,
+            value: Gauge::default(),
+        });
+        GaugeId(self.gauges.len() - 1)
+    }
+
+    /// Register a histogram.
+    pub fn histogram(&mut self, name: &'static str, scope: Scope) -> HistogramId {
+        debug_assert!(self.histograms.iter().all(|m| m.name != name), "{name}");
+        self.histograms.push(Metric {
+            name,
+            scope,
+            value: Histogram::default(),
+        });
+        HistogramId(self.histograms.len() - 1)
+    }
+
+    /// Increment a counter by one.
+    #[inline]
+    pub fn inc(&mut self, id: CounterId) {
+        self.counters[id.0].value += 1;
+    }
+
+    /// Add to a counter.
+    #[inline]
+    pub fn add(&mut self, id: CounterId, n: u64) {
+        self.counters[id.0].value += n;
+    }
+
+    /// Current counter value.
+    pub fn counter_value(&self, id: CounterId) -> u64 {
+        self.counters[id.0].value
+    }
+
+    /// Set a gauge (peak is kept automatically).
+    #[inline]
+    pub fn gauge_set(&mut self, id: GaugeId, value: u64) {
+        let g = &mut self.gauges[id.0].value;
+        g.value = value;
+        g.peak = g.peak.max(value);
+    }
+
+    /// Record a histogram sample.
+    #[inline]
+    pub fn observe(&mut self, id: HistogramId, value: u64) {
+        self.histograms[id.0].value.observe(value);
+    }
+
+    /// Read a histogram back (for reporting and tests).
+    pub fn histogram_value(&self, id: HistogramId) -> &Histogram {
+        &self.histograms[id.0].value
+    }
+
+    /// Produce a name-keyed, mergeable snapshot.
+    pub fn snapshot(&self) -> Snapshot {
+        let mut snap = Snapshot::default();
+        for m in &self.counters {
+            snap.counters.insert(m.name.to_string(), (m.scope, m.value));
+        }
+        for m in &self.gauges {
+            snap.gauges
+                .insert(m.name.to_string(), (m.scope, m.value.peak));
+        }
+        for m in &self.histograms {
+            snap.histograms.insert(
+                m.name.to_string(),
+                HistogramSnapshot::from_histogram(m.scope, &m.value),
+            );
+        }
+        snap
+    }
+}
+
+/// Frozen histogram state inside a [`Snapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Determinism scope.
+    pub scope: Scope,
+    /// Sample count.
+    pub count: u64,
+    /// Saturating sample sum.
+    pub sum: u64,
+    /// Smallest sample (`u64::MAX` when empty).
+    pub min: u64,
+    /// Largest sample (0 when empty).
+    pub max: u64,
+    /// `(bucket_index, count)` pairs for non-empty buckets, ascending.
+    pub buckets: Vec<(usize, u64)>,
+}
+
+impl HistogramSnapshot {
+    fn from_histogram(scope: Scope, h: &Histogram) -> HistogramSnapshot {
+        HistogramSnapshot {
+            scope,
+            count: h.count,
+            sum: h.sum,
+            min: h.min,
+            max: h.max,
+            buckets: h
+                .buckets
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| **c > 0)
+                .map(|(i, c)| (i, *c))
+                .collect(),
+        }
+    }
+
+    fn merge(&mut self, other: &HistogramSnapshot) {
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        let mut merged: BTreeMap<usize, u64> = self.buckets.iter().copied().collect();
+        for (i, c) in &other.buckets {
+            *merged.entry(*i).or_insert(0) += c;
+        }
+        self.buckets = merged.into_iter().collect();
+    }
+
+    fn to_json(&self, out: &mut String) {
+        out.push('{');
+        push_u64_field(out, "count", self.count);
+        out.push(',');
+        push_u64_field(out, "sum", self.sum);
+        if self.count > 0 {
+            out.push(',');
+            push_u64_field(out, "min", self.min);
+            out.push(',');
+            push_u64_field(out, "max", self.max);
+        }
+        out.push(',');
+        push_key(out, "buckets");
+        out.push('[');
+        for (n, (i, c)) in self.buckets.iter().enumerate() {
+            if n > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "[{},{}]", bucket_floor(*i), c);
+        }
+        out.push_str("]}");
+    }
+}
+
+/// A frozen, name-keyed view of a registry. Mergeable across shards.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, (Scope, u64)>,
+    /// Gauge peaks by name (merged with `max`).
+    pub gauges: BTreeMap<String, (Scope, u64)>,
+    /// Histograms by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl Snapshot {
+    /// Merge another shard's snapshot into this one: counters and
+    /// histogram buckets add, gauge peaks take the maximum.
+    pub fn merge(&mut self, other: &Snapshot) {
+        for (name, (scope, v)) in &other.counters {
+            let e = self.counters.entry(name.clone()).or_insert((*scope, 0));
+            e.1 += v;
+        }
+        for (name, (scope, v)) in &other.gauges {
+            let e = self.gauges.entry(name.clone()).or_insert((*scope, 0));
+            e.1 = e.1.max(*v);
+        }
+        for (name, h) in &other.histograms {
+            match self.histograms.get_mut(name) {
+                Some(mine) => mine.merge(h),
+                None => {
+                    self.histograms.insert(name.clone(), h.clone());
+                }
+            }
+        }
+    }
+
+    /// Counter value by name (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).map_or(0, |(_, v)| *v)
+    }
+
+    /// Histogram by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.get(name)
+    }
+
+    fn section_json(&self, out: &mut String, scope: Scope) {
+        out.push('{');
+        push_key(out, "counters");
+        out.push('{');
+        let mut first = true;
+        for (name, (s, v)) in &self.counters {
+            if *s != scope {
+                continue;
+            }
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            push_u64_field(out, name, *v);
+        }
+        out.push_str("},");
+        push_key(out, "gauges");
+        out.push('{');
+        let mut first = true;
+        for (name, (s, v)) in &self.gauges {
+            if *s != scope {
+                continue;
+            }
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            push_u64_field(out, name, *v);
+        }
+        out.push_str("},");
+        push_key(out, "histograms");
+        out.push('{');
+        let mut first = true;
+        for (name, h) in &self.histograms {
+            if h.scope != scope {
+                continue;
+            }
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            push_key(out, name);
+            h.to_json(out);
+        }
+        out.push_str("}}");
+    }
+
+    /// The canonical snapshot: scan-scoped metrics only. Byte-identical
+    /// between a sharded run and a single-thread run of the same scan.
+    pub fn to_canonical_json(&self) -> String {
+        let mut out = String::new();
+        self.section_json(&mut out, Scope::Scan);
+        out
+    }
+
+    /// The full snapshot: `{"scan": {...}, "shard": {...}}`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push('{');
+        push_key(&mut out, "scan");
+        self.section_json(&mut out, Scope::Scan);
+        out.push(',');
+        push_key(&mut out, "shard");
+        self.section_json(&mut out, Scope::Shard);
+        out.push('}');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        assert_eq!(bucket_floor(0), 0);
+        assert_eq!(bucket_floor(1), 1);
+        assert_eq!(bucket_floor(11), 1024);
+        // floor/index are consistent.
+        for i in 1..BUCKETS {
+            assert_eq!(bucket_index(bucket_floor(i)), i);
+        }
+    }
+
+    #[test]
+    fn histogram_basics() {
+        let mut h = Histogram::default();
+        assert_eq!(h.min(), None);
+        assert_eq!(h.mean(), None);
+        for v in [0u64, 1, 5, 5, 1000] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 1011);
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(1000));
+        assert!((h.mean().unwrap() - 202.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn registry_counters_gauges_histograms() {
+        let mut r = MetricsRegistry::new();
+        let c = r.counter("scan.syn_sent", Scope::Scan);
+        let g = r.gauge("shard.live", Scope::Shard);
+        let h = r.histogram("scan.rtt", Scope::Scan);
+        r.inc(c);
+        r.add(c, 4);
+        r.gauge_set(g, 7);
+        r.gauge_set(g, 3);
+        r.observe(h, 100);
+        assert_eq!(r.counter_value(c), 5);
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("scan.syn_sent"), 5);
+        assert_eq!(snap.gauges["shard.live"], (Scope::Shard, 7), "peak kept");
+        assert_eq!(snap.histogram("scan.rtt").unwrap().count, 1);
+        assert_eq!(snap.counter("missing"), 0);
+    }
+
+    #[test]
+    fn merge_is_exact_and_commutative() {
+        let build = |vals: &[u64]| {
+            let mut r = MetricsRegistry::new();
+            let c = r.counter("c", Scope::Scan);
+            let h = r.histogram("h", Scope::Scan);
+            for v in vals {
+                r.add(c, *v);
+                r.observe(h, *v);
+            }
+            r.snapshot()
+        };
+        let a = build(&[1, 2, 3]);
+        let b = build(&[10, 20]);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.counter("c"), 36);
+        let h = ab.histogram("h").unwrap();
+        assert_eq!(h.count, 5);
+        assert_eq!(h.min, 1);
+        assert_eq!(h.max, 20);
+    }
+
+    #[test]
+    fn sharded_merge_equals_single_registry() {
+        // The determinism contract in miniature: recording the same
+        // samples split across two registries merges to the same snapshot
+        // (and the same canonical JSON bytes) as one registry.
+        let samples: Vec<u64> = (0..100).map(|i| i * 37 % 1000).collect();
+        let record = |vals: &[u64]| {
+            let mut r = MetricsRegistry::new();
+            let c = r.counter("scan.n", Scope::Scan);
+            let h = r.histogram("scan.v", Scope::Scan);
+            let p = r.counter("shard.ticks", Scope::Shard);
+            for v in vals {
+                r.inc(c);
+                r.observe(h, *v);
+            }
+            r.inc(p); // shard-local noise: one tick per registry
+            r.snapshot()
+        };
+        let single = record(&samples);
+        let mut merged = record(&samples[..33]);
+        merged.merge(&record(&samples[33..]));
+        assert_eq!(single.to_canonical_json(), merged.to_canonical_json());
+        // The full JSON legitimately differs (shard.ticks: 1 vs 2).
+        assert_ne!(single.to_json(), merged.to_json());
+    }
+
+    #[test]
+    fn json_shape() {
+        let mut r = MetricsRegistry::new();
+        let c = r.counter("scan.syn_sent", Scope::Scan);
+        let h = r.histogram("scan.rtt_nanos", Scope::Scan);
+        r.add(c, 7);
+        r.observe(h, 3);
+        r.observe(h, 1024);
+        let json = r.snapshot().to_json();
+        assert!(json.starts_with("{\"scan\":{"), "{json}");
+        assert!(json.contains("\"scan.syn_sent\":7"), "{json}");
+        assert!(
+            json.contains("\"scan.rtt_nanos\":{\"count\":2,\"sum\":1027,\"min\":3,\"max\":1024,\"buckets\":[[2,1],[1024,1]]}"),
+            "{json}"
+        );
+        assert!(json.contains("\"shard\":{"), "{json}");
+        // Canonical form is exactly the scan section.
+        let canon = r.snapshot().to_canonical_json();
+        assert!(json.contains(&canon), "canonical is a substring");
+    }
+
+    #[test]
+    fn empty_histogram_json_omits_min_max() {
+        let mut r = MetricsRegistry::new();
+        r.histogram("scan.empty", Scope::Scan);
+        let json = r.snapshot().to_canonical_json();
+        assert!(
+            json.contains("\"scan.empty\":{\"count\":0,\"sum\":0,\"buckets\":[]}"),
+            "{json}"
+        );
+    }
+}

@@ -37,7 +37,10 @@ impl Request {
             uri: uri.into(),
             host: host.into(),
             headers: vec![
-                ("User-Agent".into(), "iw-scan/0.1 (research scan; see DESIGN.md)".into()),
+                (
+                    "User-Agent".into(),
+                    "iw-scan/0.1 (research scan; see DESIGN.md)".into(),
+                ),
                 ("Accept".into(), "*/*".into()),
                 ("Connection".into(), "close".into()),
             ],
@@ -46,7 +49,10 @@ impl Request {
 
     /// Serialize onto the wire.
     pub fn to_bytes(&self) -> Vec<u8> {
-        let mut out = format!("{} {} HTTP/1.1\r\nHost: {}\r\n", self.method, self.uri, self.host);
+        let mut out = format!(
+            "{} {} HTTP/1.1\r\nHost: {}\r\n",
+            self.method, self.uri, self.host
+        );
         for (k, v) in &self.headers {
             out.push_str(k);
             out.push_str(": ");
@@ -260,7 +266,10 @@ mod tests {
     #[test]
     fn partial_request_is_truncated() {
         let req = Request::probe_get("/", "h").to_bytes();
-        assert_eq!(Request::parse(&req[..req.len() - 1]).unwrap_err(), Error::Truncated);
+        assert_eq!(
+            Request::parse(&req[..req.len() - 1]).unwrap_err(),
+            Error::Truncated
+        );
     }
 
     #[test]

@@ -417,7 +417,10 @@ mod tests {
     fn rejects_truncated() {
         let repr = sample_repr();
         let buf = build_datagram(&repr, 1, &[1, 2, 3, 4]);
-        assert_eq!(Packet::new_checked(&buf[..10]).unwrap_err(), Error::Truncated);
+        assert_eq!(
+            Packet::new_checked(&buf[..10]).unwrap_err(),
+            Error::Truncated
+        );
     }
 
     #[test]

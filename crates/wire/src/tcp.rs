@@ -405,7 +405,14 @@ pub struct Repr {
 
 impl Repr {
     /// A bare segment with no options and no payload.
-    pub fn bare(src_port: u16, dst_port: u16, seq: u32, ack: u32, flags: Flags, window: u16) -> Self {
+    pub fn bare(
+        src_port: u16,
+        dst_port: u16,
+        seq: u32,
+        ack: u32,
+        flags: Flags,
+        window: u16,
+    ) -> Self {
         Repr {
             src_port,
             dst_port,
@@ -489,7 +496,9 @@ impl Repr {
 
     /// Whether SACK-permitted was offered.
     pub fn sack_permitted(&self) -> bool {
-        self.options.iter().any(|o| matches!(o, TcpOption::SackPermitted))
+        self.options
+            .iter()
+            .any(|o| matches!(o, TcpOption::SackPermitted))
     }
 
     /// Number of sequence-space units this segment occupies
@@ -605,7 +614,10 @@ mod tests {
     #[test]
     fn timestamps_round_trip() {
         let repr = Repr {
-            options: vec![TcpOption::Timestamps(0x01020304, 0x0a0b0c0d), TcpOption::Nop],
+            options: vec![
+                TcpOption::Timestamps(0x01020304, 0x0a0b0c0d),
+                TcpOption::Nop,
+            ],
             ..syn_repr()
         };
         let buf = repr.emit(SRC, DST);
@@ -641,7 +653,10 @@ mod tests {
     fn truncated_rejected() {
         let repr = syn_repr();
         let buf = repr.emit(SRC, DST);
-        assert_eq!(Packet::new_checked(&buf[..12]).unwrap_err(), Error::Truncated);
+        assert_eq!(
+            Packet::new_checked(&buf[..12]).unwrap_err(),
+            Error::Truncated
+        );
     }
 
     #[test]

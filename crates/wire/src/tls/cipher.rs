@@ -26,7 +26,10 @@ impl CipherSuite {
     pub fn has_server_key_exchange(self) -> bool {
         // ECDHE suites are 0xc0xx in this registry; DHE suites used here
         // are 0x0033/0x0039/0x009e/0x009f/0x0016.
-        matches!(self.0, 0xc000..=0xc0ff | 0x0033 | 0x0039 | 0x009e | 0x009f | 0x0016)
+        matches!(
+            self.0,
+            0xc000..=0xc0ff | 0x0033 | 0x0039 | 0x009e | 0x009f | 0x0016
+        )
     }
 }
 

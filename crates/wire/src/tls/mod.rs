@@ -15,7 +15,7 @@ pub mod record;
 
 pub use cipher::{browser_union_ciphers, CipherSuite};
 pub use handshake::{ClientHello, Extension, HandshakeType, ServerFlight};
-pub use record::{ContentType, Record, ProtocolVersion};
+pub use record::{ContentType, ProtocolVersion, Record};
 
 /// TLS alert levels.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -28,7 +28,12 @@ fn main() {
     let list = alexa::build(&population, 400, 1);
     println!("top of the list:");
     for e in list.iter().take(5) {
-        println!("  #{:<3} {} @ {}", e.rank, e.domain, iw_wire::ipv4::Ipv4Addr::from_u32(e.ip));
+        println!(
+            "  #{:<3} {} @ {}",
+            e.rank,
+            e.domain,
+            iw_wire::ipv4::Ipv4Addr::from_u32(e.ip)
+        );
     }
 
     // Scan it (domains known!) and the full space (no prior knowledge).
@@ -46,9 +51,15 @@ fn main() {
     let alexa_hist = IwHistogram::from_results(&alexa_scan.results);
     let full_hist = IwHistogram::from_results(&full_scan.results);
 
-    print!("{}", render_iw_bars("Alexa top list", &alexa_hist, 0.0, true));
+    print!(
+        "{}",
+        render_iw_bars("Alexa top list", &alexa_hist, 0.0, true)
+    );
     println!();
-    print!("{}", render_iw_bars("entire space", &full_hist, 0.001, false));
+    print!(
+        "{}",
+        render_iw_bars("entire space", &full_hist, 0.001, false)
+    );
 
     let (alexa_success, ..) = alexa_scan.summary.rates();
     let (full_success, ..) = full_scan.summary.rates();

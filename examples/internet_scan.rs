@@ -46,12 +46,22 @@ fn main() {
     );
     print!(
         "{}",
-        render_iw_bars("HTTP IW distribution", &IwHistogram::from_results(&http.results), 0.001, false)
+        render_iw_bars(
+            "HTTP IW distribution",
+            &IwHistogram::from_results(&http.results),
+            0.001,
+            false
+        )
     );
     println!();
     print!(
         "{}",
-        render_iw_bars("TLS IW distribution", &IwHistogram::from_results(&tls.results), 0.001, false)
+        render_iw_bars(
+            "TLS IW distribution",
+            &IwHistogram::from_results(&tls.results),
+            0.001,
+            false
+        )
     );
     println!(
         "\nscan stats: {} packets sent, {} received, {} simulated events",

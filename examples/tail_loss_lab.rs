@@ -41,7 +41,9 @@ fn main() {
         }
     }
     match result.primary_verdict().unwrap() {
-        MssVerdict::Success(iw) => println!("  vote: IW {iw}  (the two clean probes outvote the victim)"),
+        MssVerdict::Success(iw) => {
+            println!("  vote: IW {iw}  (the two clean probes outvote the victim)")
+        }
         other => println!("  vote: {other:?}"),
     }
 
@@ -49,8 +51,8 @@ fn main() {
     // wrong value with confidence — the 2-of-3-maximum rule rejects it.
     let mut double = TestbedSpec::new(HostConfig::simple_web(50_000), Protocol::Http);
     double.link = LinkConfig::testbed()
-        .with_reverse_drop(10)   // probe 1: last segment of the flight
-        .with_reverse_drop(23);  // probe 2: last segment of its flight
+        .with_reverse_drop(10) // probe 1: last segment of the flight
+        .with_reverse_drop(23); // probe 2: last segment of its flight
     let (result, _) = probe_host(&double);
     let result = result.unwrap();
     println!("\ntail loss on probes 1 and 2:");

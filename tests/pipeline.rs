@@ -37,41 +37,25 @@ fn tables_and_figures_pass_paper_shape_checks() {
     // Table 1.
     let t1 = Table1::new(&[("HTTP", &http.summary), ("TLS", &tls.summary)]);
     let c1 = compare::check_table1(&t1);
-    assert!(
-        c1.iter().all(|c| c.pass),
-        "{}",
-        compare::render_checks(&c1)
-    );
+    assert!(c1.iter().all(|c| c.pass), "{}", compare::render_checks(&c1));
 
     // Table 2.
     let t2h = Table2::new(&http.results);
     let t2t = Table2::new(&tls.results);
     let c2 = compare::check_table2(&t2h, &t2t);
-    assert!(
-        c2.iter().all(|c| c.pass),
-        "{}",
-        compare::render_checks(&c2)
-    );
+    assert!(c2.iter().all(|c| c.pass), "{}", compare::render_checks(&c2));
 
     // Table 3.
     let t3h = Table3::new(&http.results, &pop);
     let t3t = Table3::new(&tls.results, &pop);
     let c3 = compare::check_table3(&t3h, &t3t);
-    assert!(
-        c3.iter().all(|c| c.pass),
-        "{}",
-        compare::render_checks(&c3)
-    );
+    assert!(c3.iter().all(|c| c.pass), "{}", compare::render_checks(&c3));
 
     // Figure 3.
     let h_http = IwHistogram::from_results(&http.results);
     let h_tls = IwHistogram::from_results(&tls.results);
     let c4 = compare::check_fig3(&h_http, &h_tls);
-    assert!(
-        c4.iter().all(|c| c.pass),
-        "{}",
-        compare::render_checks(&c4)
-    );
+    assert!(c4.iter().all(|c| c.pass), "{}", compare::render_checks(&c4));
 }
 
 #[test]
