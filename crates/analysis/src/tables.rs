@@ -192,6 +192,7 @@ mod tests {
             few_data: 230,
             error: 8,
             refused: 2,
+            ..ScanSummary::default()
         };
         let t = Table1::new(&[("HTTP", &s)]);
         let rendered = t.render();

@@ -8,7 +8,7 @@ use iw_analysis::dbscan::{dbscan, summarize, AsPoint};
 use iw_analysis::histogram::IwHistogram;
 use iw_analysis::sampling::repeated_sample_stats;
 use iw_analysis::tables::{Table1, Table2, Table3};
-use iw_core::{run_scan, Protocol, ScanConfig, ScanOutput, TargetSpec};
+use iw_core::{run_scan, Protocol, ResilienceConfig, ScanConfig, ScanOutput, TargetSpec};
 use iw_internet::{alexa, certs, Population, PopulationConfig};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -43,6 +43,22 @@ fn bench_scans(c: &mut Criterion) {
     });
     group.bench_function("fn1_icmp_mtu_scan", |b| {
         b.iter(|| black_box(scan(&pop, Protocol::IcmpMtu).mtu_results.len()));
+    });
+    group.bench_function("resilient_http_scan_2pct_loss", |b| {
+        // The hardened profile on an impaired world: what the retry /
+        // watchdog machinery costs when it actually has work to do.
+        let lossy = Arc::new(Population::new(PopulationConfig {
+            seed: 99,
+            space_size: 1 << 14,
+            target_responsive: 350,
+            loss_scale: 2.0,
+        }));
+        b.iter(|| {
+            let mut config = ScanConfig::study(Protocol::Http, lossy.space_size(), 99);
+            config.rate_pps = 4_000_000;
+            config.resilience = ResilienceConfig::hardened();
+            black_box(run_scan(&lossy, config).summary)
+        });
     });
     group.bench_function("fig4_alexa_scan", |b| {
         let list = alexa::build(&pop, 100, 1);

@@ -103,9 +103,7 @@ fn main() {
             latency: Duration::from_millis(10),
             jitter: Duration::from_millis(2),
             loss: 0.02,
-            dup: 0.0,
-            drops_fwd: vec![],
-            drops_rev: vec![],
+            ..LinkConfig::default()
         };
         spec.seed = 1000 + seed;
         let (result, _) = probe_host(&spec);

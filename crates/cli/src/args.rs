@@ -30,6 +30,10 @@ SCAN FLAGS:
     --monitor                        print ZMap-style progress lines
     --metrics-out <path>             write the telemetry snapshot as JSON
     --pcap <path>                    record the scan and save it as pcap
+    --syn-retries <n>                SYN retransmits for silent targets [default: 0]
+    --probe-retries <n>              retry budget per probe connection  [default: 0]
+    --watchdog <secs>                per-session deadline, 0 = off      [default: 0]
+    --max-sessions <n>               live-session cap, 0 = unbounded    [default: 0]
 
 PROBE FLAGS:
     --iw <n>                         segments          [default: 10]
@@ -102,6 +106,14 @@ pub struct ScanArgs {
     pub metrics_out: Option<String>,
     /// Optional pcap output path (records the scan's wire traffic).
     pub pcap: Option<String>,
+    /// SYN retransmissions for silent targets (0 = single SYN).
+    pub syn_retries: u32,
+    /// Per-probe connection retry budget (0 = no retries).
+    pub probe_retries: u32,
+    /// Per-session watchdog deadline in seconds (0 = no deadline).
+    pub watchdog_secs: u64,
+    /// Concurrent-session cap (0 = unbounded).
+    pub max_sessions: usize,
     /// Alexa list length.
     pub n: usize,
 }
@@ -120,6 +132,10 @@ impl Default for ScanArgs {
             monitor: false,
             metrics_out: None,
             pcap: None,
+            syn_retries: 0,
+            probe_retries: 0,
+            watchdog_secs: 0,
+            max_sessions: 0,
             n: 400,
         }
     }
@@ -230,6 +246,10 @@ impl Cli {
                         "--json",
                         "--metrics-out",
                         "--pcap",
+                        "--syn-retries",
+                        "--probe-retries",
+                        "--watchdog",
+                        "--max-sessions",
                         "--n",
                     ]
                     .contains(&key.as_str())
@@ -254,6 +274,18 @@ impl Cli {
                 }
                 if let Some(v) = get("--loss") {
                     args.loss = parse_num("--loss", &v)?;
+                }
+                if let Some(v) = get("--syn-retries") {
+                    args.syn_retries = parse_num("--syn-retries", &v)?;
+                }
+                if let Some(v) = get("--probe-retries") {
+                    args.probe_retries = parse_num("--probe-retries", &v)?;
+                }
+                if let Some(v) = get("--watchdog") {
+                    args.watchdog_secs = parse_num("--watchdog", &v)?;
+                }
+                if let Some(v) = get("--max-sessions") {
+                    args.max_sessions = parse_num("--max-sessions", &v)?;
                 }
                 if let Some(v) = get("--n") {
                     args.n = parse_num("--n", &v)?;
@@ -380,6 +412,37 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn scan_resilience_flags() {
+        let cli = Cli::parse(&argv(
+            "scan --syn-retries 2 --probe-retries 3 --watchdog 75 --max-sessions 4096",
+        ))
+        .unwrap();
+        match cli.command {
+            Command::Scan(a) => {
+                assert_eq!(a.syn_retries, 2);
+                assert_eq!(a.probe_retries, 3);
+                assert_eq!(a.watchdog_secs, 75);
+                assert_eq!(a.max_sessions, 4096);
+            }
+            other => panic!("{other:?}"),
+        }
+        // All four default to off: a plain scan is the paper's baseline.
+        match Cli::parse(&argv("scan")).unwrap().command {
+            Command::Scan(a) => {
+                assert_eq!(a.syn_retries, 0);
+                assert_eq!(a.probe_retries, 0);
+                assert_eq!(a.watchdog_secs, 0);
+                assert_eq!(a.max_sessions, 0);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(
+            Cli::parse(&argv("probe --max-sessions 1")).unwrap_err(),
+            ParseError::UnknownFlag("--max-sessions".into())
+        );
     }
 
     #[test]

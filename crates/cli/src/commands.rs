@@ -66,6 +66,18 @@ fn threads(args: &ScanArgs) -> u32 {
     }
 }
 
+/// Wire the resilience flags into a scan config. Backoff intervals are
+/// not exposed as flags: the §4 study values are already the defaults.
+fn apply_resilience(config: &mut ScanConfig, args: &ScanArgs) {
+    config.resilience.syn_retries = args.syn_retries;
+    config.resilience.probe_retries = args.probe_retries;
+    if args.watchdog_secs > 0 {
+        config.resilience.session_deadline =
+            Some(iw_netsim::Duration::from_secs(args.watchdog_secs));
+    }
+    config.resilience.max_sessions = args.max_sessions;
+}
+
 /// Wire the scan-style telemetry flags into a scan config.
 fn apply_telemetry(config: &mut ScanConfig, args: &ScanArgs) {
     config.record_trace = args.pcap.is_some();
@@ -126,6 +138,7 @@ fn cmd_scan(args: &ScanArgs) -> Result<i32, CmdError> {
     let mut config = ScanConfig::study(protocol, population.space_size(), args.seed);
     config.sample_fraction = args.sample;
     config.rate_pps = 4_000_000;
+    apply_resilience(&mut config, args);
     apply_telemetry(&mut config, args);
     let out = run_scan_sharded(&population, config, threads(args));
     report(&out, args, &args.protocol.to_uppercase())?;
@@ -141,6 +154,7 @@ fn cmd_alexa(args: &ScanArgs) -> Result<i32, CmdError> {
     let mut config = ScanConfig::study(protocol, population.space_size(), args.seed);
     config.targets = TargetSpec::List(targets);
     config.rate_pps = 4_000_000;
+    apply_resilience(&mut config, args);
     apply_telemetry(&mut config, args);
     let out = run_scan_sharded(&population, config, 1);
     report(&out, args, "ALEXA")?;
@@ -152,6 +166,7 @@ fn cmd_mtu(args: &ScanArgs) -> Result<i32, CmdError> {
     let mut config = ScanConfig::study(Protocol::IcmpMtu, population.space_size(), args.seed);
     config.sample_fraction = args.sample;
     config.rate_pps = 4_000_000;
+    apply_resilience(&mut config, args);
     apply_telemetry(&mut config, args);
     let out = run_scan_sharded(&population, config, threads(args));
     write_telemetry(&out, args)?;
@@ -252,6 +267,30 @@ mod tests {
         assert!(parse_protocol("gopher").is_err());
         assert!(world_dimensions("small").is_ok());
         assert!(world_dimensions("galactic").is_err());
+    }
+
+    #[test]
+    fn resilience_flags_reach_the_config() {
+        let args = ScanArgs {
+            syn_retries: 2,
+            probe_retries: 1,
+            watchdog_secs: 75,
+            max_sessions: 4096,
+            ..ScanArgs::default()
+        };
+        let mut config = ScanConfig::study(Protocol::Http, 1 << 10, 1);
+        apply_resilience(&mut config, &args);
+        assert_eq!(config.resilience.syn_retries, 2);
+        assert_eq!(config.resilience.probe_retries, 1);
+        assert_eq!(
+            config.resilience.session_deadline,
+            Some(iw_netsim::Duration::from_secs(75))
+        );
+        assert_eq!(config.resilience.max_sessions, 4096);
+        // Default args leave the baseline untouched.
+        let mut config = ScanConfig::study(Protocol::Http, 1 << 10, 1);
+        apply_resilience(&mut config, &ScanArgs::default());
+        assert_eq!(config.resilience, Default::default());
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! afterwards; results stay deterministic because every shard is an
 //! independent deterministic simulation).
 
-use crate::results::{HostResult, MssVerdict, MtuResult, ScanSummary};
+use crate::results::{HostResult, MssVerdict, MtuResult, ProbeOutcome, ScanSummary};
 use crate::scanner::{ScanConfig, Scanner};
 use iw_internet::population::{Population, PopulationFactory};
 use iw_netsim::sim::SimStats;
@@ -102,6 +102,13 @@ pub fn summarize(results: &[HostResult], targets: u64, refused: u64) -> ScanSumm
             Some(MssVerdict::Success(_)) => summary.success += 1,
             Some(MssVerdict::FewData(_)) => summary.few_data += 1,
             _ => summary.error += 1,
+        }
+        for (_, outcomes) in &r.runs {
+            for o in outcomes {
+                if let ProbeOutcome::Error { kind } = o {
+                    summary.error_kinds.note(*kind);
+                }
+            }
         }
     }
     summary

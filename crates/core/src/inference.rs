@@ -303,8 +303,15 @@ impl InferenceConn {
         self.phase = Phase::Done;
         self.deadline = None;
         let mut out = ConnOutput::default();
-        // End the exchange abortively, like the scanner does (Fig. 1).
-        if !matches!(outcome, RawOutcome::Unreachable) {
+        // End the exchange abortively, like the scanner does (Fig. 1) —
+        // unless there is no connection to reset (no handshake completed)
+        // or the path itself is dead (ICMP unreachable).
+        if !matches!(
+            outcome,
+            RawOutcome::Unreachable
+                | RawOutcome::Error(ErrorKind::HandshakeTimeout)
+                | RawOutcome::Error(ErrorKind::IcmpUnreachable)
+        ) {
             out.tx.push(tcp::Repr::bare(
                 self.cfg.src_port,
                 self.cfg.dst_port,
@@ -515,7 +522,12 @@ impl InferenceConn {
             };
         }
         match self.phase {
-            Phase::SynSent => self.finish(RawOutcome::Unreachable),
+            // A timed-out SYN here is an in-session handshake failure: the
+            // stateless scanner only builds this machine after a validated
+            // SYN-ACK, so the host completed a handshake moments ago and
+            // has now stopped. (A true silent target never reaches a
+            // session; RST-to-SYN still maps to Unreachable.)
+            Phase::SynSent => self.finish(RawOutcome::Error(ErrorKind::HandshakeTimeout)),
             Phase::Collecting => {
                 // No retransmission signal within the window. Whatever we
                 // got is a lower bound (zero bytes = the NoData row).
@@ -524,6 +536,28 @@ impl InferenceConn {
             Phase::Verifying => self.finish(self.few_data_outcome()),
             Phase::Done => ConnOutput::default(),
         }
+    }
+
+    /// Abort the connection with an error outcome (resilience layer:
+    /// watchdog deadline, concurrency-cap eviction, ICMP unreachable).
+    /// Returns the terminal [`ConnOutput`]; a no-op when already done.
+    pub fn fail(&mut self, kind: ErrorKind) -> ConnOutput {
+        if self.phase == Phase::Done {
+            return ConnOutput::default();
+        }
+        if self.phase == Phase::SynSent {
+            // No connection exists yet: conclude silently, no RST.
+            self.phase = Phase::Done;
+            self.deadline = None;
+            return ConnOutput {
+                result: Some(ConnResult {
+                    outcome: RawOutcome::Error(kind),
+                    response: std::mem::take(&mut self.response),
+                }),
+                ..ConnOutput::default()
+            };
+        }
+        self.finish(RawOutcome::Error(kind))
     }
 }
 
@@ -817,10 +851,40 @@ mod tests {
     }
 
     #[test]
-    fn syn_timeout_is_unreachable() {
+    fn syn_timeout_is_handshake_timeout() {
         let (mut c, out) = conn();
         let out = c.on_timer(out.deadline.unwrap());
-        assert_eq!(out.result.unwrap().outcome, RawOutcome::Unreachable);
+        assert_eq!(
+            out.result.unwrap().outcome,
+            RawOutcome::Error(ErrorKind::HandshakeTimeout)
+        );
+        assert!(out.tx.is_empty(), "no RST for a connection that never was");
+    }
+
+    #[test]
+    fn fail_aborts_collecting_with_rst() {
+        let (mut c, now) = establish();
+        c.on_segment(&data(0, 64, false), now);
+        let out = c.fail(ErrorKind::CollectTimeout);
+        assert_eq!(
+            out.result.unwrap().outcome,
+            RawOutcome::Error(ErrorKind::CollectTimeout)
+        );
+        assert!(out.tx.iter().any(|s| s.flags.contains(Flags::RST)));
+        assert!(c.is_done());
+        // Failing again is a no-op.
+        assert!(c.fail(ErrorKind::CollectTimeout).result.is_none());
+    }
+
+    #[test]
+    fn fail_in_synsent_is_silent() {
+        let (mut c, _) = conn();
+        let out = c.fail(ErrorKind::IcmpUnreachable);
+        assert_eq!(
+            out.result.unwrap().outcome,
+            RawOutcome::Error(ErrorKind::IcmpUnreachable)
+        );
+        assert!(out.tx.is_empty(), "nothing to reset before the handshake");
     }
 
     #[test]

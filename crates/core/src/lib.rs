@@ -48,7 +48,12 @@ pub mod scanner;
 pub mod session;
 pub mod testbed;
 
-pub use driver::{run_scan, run_scan_sharded, ScanOutput, ScanTelemetry};
+pub use driver::{run_scan, run_scan_sharded, summarize, ScanOutput, ScanTelemetry};
 pub use iw_telemetry as telemetry;
-pub use results::{HostResult, HostVerdict, MssVerdict, ProbeOutcome, Protocol, ScanSummary};
-pub use scanner::{MonitorSink, MonitorSpec, ScanConfig, Scanner, TargetSpec, TelemetryConfig};
+pub use results::{
+    ErrorKind, ErrorKindCounts, HostResult, HostVerdict, MssVerdict, ProbeOutcome, Protocol,
+    ScanSummary,
+};
+pub use scanner::{
+    MonitorSink, MonitorSpec, ResilienceConfig, ScanConfig, Scanner, TargetSpec, TelemetryConfig,
+};

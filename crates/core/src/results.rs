@@ -37,6 +37,79 @@ pub enum ErrorKind {
     Malformed,
     /// The three probes of an MSS run disagreed irreconcilably.
     Inconsistent,
+    /// An in-session SYN (probe ≥ 1, follow-up or retry connection) went
+    /// unanswered: the host was reachable moments ago but stopped
+    /// completing handshakes.
+    HandshakeTimeout,
+    /// The resilience layer gave up waiting (session watchdog deadline or
+    /// concurrency-cap eviction) before the probe could conclude.
+    CollectTimeout,
+    /// An ICMP destination-unreachable fast-failed the probe.
+    IcmpUnreachable,
+}
+
+impl ErrorKind {
+    /// Every kind, in a stable order (parallel to [`ErrorKindCounts`]).
+    pub const ALL: [ErrorKind; 6] = [
+        ErrorKind::MidConnectionReset,
+        ErrorKind::Malformed,
+        ErrorKind::Inconsistent,
+        ErrorKind::HandshakeTimeout,
+        ErrorKind::CollectTimeout,
+        ErrorKind::IcmpUnreachable,
+    ];
+
+    /// Stable snake_case name (metric suffixes, reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            ErrorKind::MidConnectionReset => "mid_connection_reset",
+            ErrorKind::Malformed => "malformed",
+            ErrorKind::Inconsistent => "inconsistent",
+            ErrorKind::HandshakeTimeout => "handshake_timeout",
+            ErrorKind::CollectTimeout => "collect_timeout",
+            ErrorKind::IcmpUnreachable => "icmp_unreachable",
+        }
+    }
+
+    /// Position in [`ErrorKind::ALL`].
+    pub fn index(self) -> usize {
+        ErrorKind::ALL
+            .iter()
+            .position(|k| *k == self)
+            .expect("every kind is in ALL")
+    }
+}
+
+/// Per-[`ErrorKind`] probe counts: the loss-mode composition of a scan.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ErrorKindCounts {
+    /// Counts parallel to [`ErrorKind::ALL`].
+    pub counts: [u64; 6],
+}
+
+impl ErrorKindCounts {
+    /// Record one errored probe.
+    pub fn note(&mut self, kind: ErrorKind) {
+        self.counts[kind.index()] += 1;
+    }
+
+    /// Count for one kind.
+    pub fn get(&self, kind: ErrorKind) -> u64 {
+        self.counts[kind.index()]
+    }
+
+    /// Total errored probes.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+}
+
+impl std::ops::AddAssign<&ErrorKindCounts> for ErrorKindCounts {
+    fn add_assign(&mut self, rhs: &ErrorKindCounts) {
+        for (a, b) in self.counts.iter_mut().zip(rhs.counts.iter()) {
+            *a += b;
+        }
+    }
 }
 
 /// The outcome of one probe (one or two TCP connections).
@@ -205,6 +278,10 @@ pub struct ScanSummary {
     pub error: u64,
     /// Hosts answering SYN with RST (counted as not reachable).
     pub refused: u64,
+    /// Per-kind breakdown of errored probes across all runs (not hosts:
+    /// one host contributes up to `total_probes` entries).
+    #[serde(default)]
+    pub error_kinds: ErrorKindCounts,
 }
 
 impl std::ops::AddAssign<&ScanSummary> for ScanSummary {
@@ -215,6 +292,7 @@ impl std::ops::AddAssign<&ScanSummary> for ScanSummary {
         self.few_data += rhs.few_data;
         self.error += rhs.error;
         self.refused += rhs.refused;
+        self.error_kinds += &rhs.error_kinds;
     }
 }
 
@@ -270,6 +348,7 @@ mod tests {
             few_data: 96,
             error: 4,
             refused: 10,
+            ..ScanSummary::default()
         };
         let (su, fd, er) = s.rates();
         assert!((su - 50.0).abs() < 1e-9);
@@ -286,15 +365,20 @@ mod tests {
             few_data: 4,
             error: 5,
             refused: 6,
+            ..ScanSummary::default()
         };
-        let b = ScanSummary {
+        a.error_kinds.note(ErrorKind::HandshakeTimeout);
+        let mut b = ScanSummary {
             targets: 10,
             reachable: 20,
             success: 30,
             few_data: 40,
             error: 50,
             refused: 60,
+            ..ScanSummary::default()
         };
+        b.error_kinds.note(ErrorKind::HandshakeTimeout);
+        b.error_kinds.note(ErrorKind::IcmpUnreachable);
         a += &b;
         assert_eq!(
             (
@@ -307,6 +391,18 @@ mod tests {
             ),
             (11, 22, 33, 44, 55, 66)
         );
+        assert_eq!(a.error_kinds.get(ErrorKind::HandshakeTimeout), 2);
+        assert_eq!(a.error_kinds.get(ErrorKind::IcmpUnreachable), 1);
+        assert_eq!(a.error_kinds.total(), 3);
+    }
+
+    #[test]
+    fn error_kind_names_and_indexes_are_consistent() {
+        let mut seen = std::collections::HashSet::new();
+        for (i, kind) in ErrorKind::ALL.iter().enumerate() {
+            assert_eq!(kind.index(), i);
+            assert!(seen.insert(kind.name()), "duplicate name {}", kind.name());
+        }
     }
 
     #[test]

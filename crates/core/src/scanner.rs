@@ -12,7 +12,7 @@ use crate::blacklist::ScanFilter;
 use crate::cookie::CookieKey;
 use crate::permutation::{Permutation, ShardIter};
 use crate::rate::TokenBucket;
-use crate::results::{HostResult, MtuResult, Protocol};
+use crate::results::{ErrorKind, HostResult, MtuResult, ProbeOutcome, Protocol};
 use crate::session::{HostSession, SessionOutput, SessionParams};
 use iw_internet::util::mix;
 use iw_netsim::{Duration, Effects, Endpoint, Instant, TimerToken};
@@ -23,7 +23,7 @@ use iw_telemetry::{
 use iw_wire::ipv4::Ipv4Addr;
 use iw_wire::tcp::{self, Flags};
 use iw_wire::{icmp, ipv4, IpProtocol};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 
 /// What to scan.
 #[derive(Debug, Clone)]
@@ -69,6 +69,59 @@ pub struct ScanConfig {
     pub record_trace: bool,
     /// Telemetry knobs (event log, RTT tracking, progress monitor).
     pub telemetry: TelemetryConfig,
+    /// Resilience knobs (retries, watchdog, concurrency cap).
+    pub resilience: ResilienceConfig,
+}
+
+/// Resilience knobs: retry budgets, the per-session watchdog and the
+/// concurrency cap. Everything defaults to off so the baseline scan is
+/// byte-identical with and without this layer compiled in.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResilienceConfig {
+    /// SYN retransmissions for silent targets (0 = single SYN, ZMap
+    /// style). Each retry doubles the backoff.
+    pub syn_retries: u32,
+    /// Delay before the first SYN retry; doubles per attempt.
+    pub syn_backoff: Duration,
+    /// Per-probe connection retries for `Error`/`Unreachable` outcomes
+    /// (0 = record the failure immediately).
+    pub probe_retries: u32,
+    /// Delay before a probe retry connection; doubles per attempt.
+    pub probe_backoff: Duration,
+    /// Hard per-session deadline: a session still running this long after
+    /// its SYN-ACK is force-concluded (tarpit defense). `None` = no watchdog.
+    pub session_deadline: Option<Duration>,
+    /// Maximum live sessions; above this the oldest session is evicted
+    /// (0 = unbounded).
+    pub max_sessions: usize,
+}
+
+impl Default for ResilienceConfig {
+    fn default() -> ResilienceConfig {
+        ResilienceConfig {
+            syn_retries: 0,
+            syn_backoff: Duration::from_secs(1),
+            probe_retries: 0,
+            probe_backoff: Duration::from_millis(500),
+            session_deadline: None,
+            max_sessions: 0,
+        }
+    }
+}
+
+impl ResilienceConfig {
+    /// A hardened profile for hostile networks: 2 SYN retries, 2 probe
+    /// retries, a 75 s watchdog and a 64 Ki session cap.
+    pub fn hardened() -> ResilienceConfig {
+        ResilienceConfig {
+            syn_retries: 2,
+            syn_backoff: Duration::from_secs(1),
+            probe_retries: 2,
+            probe_backoff: Duration::from_millis(500),
+            session_deadline: Some(Duration::from_secs(75)),
+            max_sessions: 65_536,
+        }
+    }
 }
 
 /// Telemetry knobs for a scan. Everything defaults to off: the metrics
@@ -130,6 +183,7 @@ impl ScanConfig {
             verify_exhaustion: true,
             record_trace: false,
             telemetry: TelemetryConfig::default(),
+            resilience: ResilienceConfig::default(),
         }
     }
 }
@@ -153,8 +207,22 @@ const PACING_TOKEN: TimerToken = u64::MAX;
 /// Timer token for the progress monitor (session tokens are `u64::from(ip)`,
 /// so the top of the token space is free for scanner-internal timers).
 const MONITOR_TOKEN: TimerToken = u64::MAX - 1;
+/// Timer token for the periodic SYN-timestamp sweep.
+const SWEEP_TOKEN: TimerToken = u64::MAX - 2;
+/// Per-IP timer namespaces in bits 32.. of the token (bits ..32 carry the
+/// IP): 0 = session wake-up, 1 = SYN retry, 2 = session watchdog. The
+/// scanner-global tokens above live at the very top of the space and are
+/// matched by equality first.
+const SYN_RETRY_NS: u64 = 1 << 32;
+/// See [`SYN_RETRY_NS`].
+const WATCHDOG_NS: u64 = 2 << 32;
 /// Pacing tick length.
 const TICK: Duration = Duration::from_millis(5);
+/// Period of the SYN-timestamp sweep.
+const SWEEP_PERIOD: Duration = Duration::from_secs(1);
+/// A SYN-timestamp entry older than this belongs to a host that will
+/// never SYN-ACK; the sweep drops it (satellite: the `syn_ts` leak).
+const RTT_EXPIRY: Duration = Duration::from_secs(8);
 
 /// Array index of an [`OutcomeKind`] in the per-outcome counter blocks.
 fn kind_index(kind: OutcomeKind) -> usize {
@@ -188,6 +256,16 @@ struct Metrics {
     pace_ticks: CounterId,
     token_wait_nanos: HistogramId,
     live_peak: GaugeId,
+    syn_retries: CounterId,
+    probes_retried: CounterId,
+    /// Eviction is scheduling-determined (which session is oldest depends
+    /// on shard interleaving), so it lives in the shard scope and stays
+    /// out of the canonical cross-shard snapshot.
+    sessions_evicted: CounterId,
+    watchdog_forced: CounterId,
+    icmp_unreachable: CounterId,
+    /// Terminal `ProbeOutcome::Error` kinds, indexed by [`ErrorKind::index`].
+    error_kinds: [CounterId; 6],
 }
 
 impl Metrics {
@@ -217,6 +295,19 @@ impl Metrics {
         let pace_ticks = r.counter("shard.pace.ticks", Scope::Shard);
         let token_wait_nanos = r.histogram("shard.pace.token_wait_nanos", Scope::Shard);
         let live_peak = r.gauge("shard.sessions.live_peak", Scope::Shard);
+        let syn_retries = r.counter("scan.syn_retries", Scope::Scan);
+        let probes_retried = r.counter("scan.probes.retried", Scope::Scan);
+        let sessions_evicted = r.counter("scan.sessions.evicted", Scope::Shard);
+        let watchdog_forced = r.counter("scan.sessions.watchdog_forced", Scope::Scan);
+        let icmp_unreachable = r.counter("scan.icmp_unreachable", Scope::Scan);
+        let error_kinds = [
+            r.counter("scan.probes.error_kinds.mid_connection_reset", Scope::Scan),
+            r.counter("scan.probes.error_kinds.malformed", Scope::Scan),
+            r.counter("scan.probes.error_kinds.inconsistent", Scope::Scan),
+            r.counter("scan.probes.error_kinds.handshake_timeout", Scope::Scan),
+            r.counter("scan.probes.error_kinds.collect_timeout", Scope::Scan),
+            r.counter("scan.probes.error_kinds.icmp_unreachable", Scope::Scan),
+        ];
         Metrics {
             registry: r,
             targets_sent,
@@ -233,6 +324,12 @@ impl Metrics {
             pace_ticks,
             token_wait_nanos,
             live_peak,
+            syn_retries,
+            probes_retried,
+            sessions_evicted,
+            watchdog_forced,
+            icmp_unreachable,
+            error_kinds,
         }
     }
 }
@@ -251,6 +348,14 @@ pub struct Scanner {
     targets: TargetIter,
     exhausted: bool,
     sessions: HashMap<u32, HostSession>,
+    /// Targets probed but not yet answered, with the number of SYN retries
+    /// already spent. Populated only when `resilience.syn_retries > 0`;
+    /// entries leave on SYN-ACK/RST/ICMP or retry exhaustion.
+    pending: HashMap<u32, u32>,
+    /// Session creation order (oldest first) for `max_sessions` eviction.
+    /// Maintained only when a cap is configured; may hold stale entries
+    /// for already-finished sessions (skipped on eviction).
+    session_order: VecDeque<u32>,
     domains: HashMap<u32, String>,
     results: Vec<HostResult>,
     open_ports: Vec<u32>,
@@ -282,6 +387,8 @@ impl Scanner {
             source: config.source,
             seed: config.seed,
             verify_exhaustion: config.verify_exhaustion,
+            probe_retries: config.resilience.probe_retries,
+            probe_backoff: config.resilience.probe_backoff,
         };
         let targets = match &config.targets {
             TargetSpec::FullSpace { size } => {
@@ -322,6 +429,8 @@ impl Scanner {
             targets,
             exhausted: false,
             sessions: HashMap::new(),
+            pending: HashMap::new(),
+            session_order: VecDeque::new(),
             domains: HashMap::new(),
             results: Vec::new(),
             open_ports: Vec::new(),
@@ -344,6 +453,9 @@ impl Scanner {
     pub fn start(&mut self, now: Instant, fx: &mut Effects) {
         if let Some(m) = &self.monitor {
             fx.arm(Duration::from_nanos(m.interval_nanos()), MONITOR_TOKEN);
+        }
+        if self.config.telemetry.record_rtt {
+            fx.arm(SWEEP_PERIOD, SWEEP_TOKEN);
         }
         self.pace(now, fx);
     }
@@ -376,6 +488,12 @@ impl Scanner {
     /// Sessions still in flight (diagnostics).
     pub fn live_sessions(&self) -> usize {
         self.sessions.len()
+    }
+
+    /// SYN timestamps still held for RTT measurement (diagnostics; the
+    /// sweep keeps this bounded even when targets never answer).
+    pub fn rtt_pending(&self) -> usize {
+        self.syn_ts.len()
     }
 
     /// Frozen metrics snapshot (merge across shards via [`Snapshot::merge`]).
@@ -454,21 +572,99 @@ impl Scanner {
                 }
                 self.events
                     .record(now.as_nanos(), ip, SessionEvent::SynSent);
-                let dport = self.config.protocol.port();
-                let sport = self.params.sport(0, 0);
-                let isn = self.cookie.isn(ip, sport, dport);
-                let syn = tcp::Repr {
-                    src_port: sport,
-                    dst_port: dport,
-                    seq: isn,
-                    ack: 0,
-                    flags: Flags::SYN,
-                    window: 65535,
-                    options: vec![tcp::TcpOption::Mss(self.params_mss0())],
-                    payload: Vec::new(),
-                };
-                self.emit_segment(Ipv4Addr::from_u32(ip), &syn, fx);
+                self.emit_syn(ip, fx);
+                if self.config.resilience.syn_retries > 0 {
+                    self.pending.insert(ip, 0);
+                    fx.arm(
+                        self.config.resilience.syn_backoff,
+                        SYN_RETRY_NS | u64::from(ip),
+                    );
+                }
             }
+        }
+    }
+
+    /// Emit the stateless (probe 0, conn 0) SYN for a target. Retries use
+    /// the identical 4-tuple and ISN, so a SYN-ACK to any attempt
+    /// validates against the same cookie.
+    fn emit_syn(&mut self, ip: u32, fx: &mut Effects) {
+        let dport = self.config.protocol.port();
+        let sport = self.params.sport(0, 0, 0);
+        let isn = self.cookie.isn(ip, sport, dport);
+        let syn = tcp::Repr {
+            src_port: sport,
+            dst_port: dport,
+            seq: isn,
+            ack: 0,
+            flags: Flags::SYN,
+            window: 65535,
+            options: vec![tcp::TcpOption::Mss(self.params_mss0())],
+            payload: Vec::new(),
+        };
+        self.emit_segment(Ipv4Addr::from_u32(ip), &syn, fx);
+    }
+
+    /// A SYN-retry timer fired: retransmit if the target is still silent
+    /// and budget remains, with doubled backoff.
+    fn syn_retry_fire(&mut self, ip: u32, now: Instant, fx: &mut Effects) {
+        if self.sessions.contains_key(&ip) {
+            self.pending.remove(&ip);
+            return;
+        }
+        let Some(attempts) = self.pending.get(&ip).copied() else {
+            return;
+        };
+        if attempts >= self.config.resilience.syn_retries {
+            // Budget spent and still silent: give up on the target and
+            // drop its RTT timestamp (it will never be consumed).
+            self.pending.remove(&ip);
+            self.syn_ts.remove(&ip);
+            return;
+        }
+        self.pending.insert(ip, attempts + 1);
+        self.note_session_event(
+            ip,
+            SessionEvent::SynRetried {
+                attempt: (attempts + 1) as u8,
+            },
+            now,
+        );
+        self.emit_syn(ip, fx);
+        let backoff =
+            Duration::from_nanos(self.config.resilience.syn_backoff.as_nanos() << (attempts + 1));
+        fx.arm(backoff, SYN_RETRY_NS | u64::from(ip));
+    }
+
+    /// The per-session watchdog fired: if the session is somehow still
+    /// running, force-conclude it (tarpit/dribbler defense).
+    fn watchdog_fire(&mut self, ip: u32, now: Instant, fx: &mut Effects) {
+        let Some(session) = self.sessions.get_mut(&ip) else {
+            return;
+        };
+        let out = session.force_conclude(ErrorKind::CollectTimeout);
+        self.note_session_event(ip, SessionEvent::WatchdogForced, now);
+        self.apply_session_output(ip, out, now, fx);
+    }
+
+    /// Evict the oldest live session to stay under `max_sessions`.
+    fn evict_oldest(&mut self, now: Instant, fx: &mut Effects) {
+        while let Some(ip) = self.session_order.pop_front() {
+            let Some(session) = self.sessions.get_mut(&ip) else {
+                continue; // stale entry: that session already finished
+            };
+            let out = session.force_conclude(ErrorKind::CollectTimeout);
+            self.note_session_event(ip, SessionEvent::SessionEvicted, now);
+            self.apply_session_output(ip, out, now, fx);
+            return;
+        }
+    }
+
+    /// Periodic sweep of the SYN-timestamp map: entries past the expiry
+    /// belong to hosts that never answered and would otherwise leak.
+    fn sweep_rtt(&mut self, now: Instant, fx: &mut Effects) {
+        self.syn_ts.retain(|_, t0| now - *t0 < RTT_EXPIRY);
+        if !(self.exhausted && self.syn_ts.is_empty()) {
+            fx.arm(SWEEP_PERIOD, SWEEP_TOKEN);
         }
     }
 
@@ -536,6 +732,15 @@ impl Scanner {
             }
         }
         if let Some(result) = out.result {
+            for (_, outcomes) in &result.runs {
+                for o in outcomes {
+                    if let ProbeOutcome::Error { kind } = o {
+                        self.metrics
+                            .registry
+                            .inc(self.metrics.error_kinds[kind.index()]);
+                    }
+                }
+            }
             self.results.push(result);
             self.sessions.remove(&ip);
             self.metrics
@@ -569,6 +774,11 @@ impl Scanner {
                     );
                 }
             }
+            SessionEvent::SynRetried { .. } => m.registry.inc(m.syn_retries),
+            SessionEvent::ProbeRetried { .. } => m.registry.inc(m.probes_retried),
+            SessionEvent::WatchdogForced => m.registry.inc(m.watchdog_forced),
+            SessionEvent::SessionEvicted => m.registry.inc(m.sessions_evicted),
+            SessionEvent::IcmpUnreachable => m.registry.inc(m.icmp_unreachable),
             _ => {}
         }
         self.events.record(now.as_nanos(), ip, ev);
@@ -578,7 +788,7 @@ impl Scanner {
         let ip = src.to_u32();
 
         if self.config.protocol == Protocol::PortScan {
-            let sport = self.params.sport(0, 0);
+            let sport = self.params.sport(0, 0, 0);
             if seg.dst_port != sport {
                 return;
             }
@@ -592,6 +802,7 @@ impl Scanner {
                         .registry
                         .observe(self.metrics.rtt_nanos, (now - t0).as_nanos());
                 }
+                self.pending.remove(&ip);
                 self.events
                     .record(now.as_nanos(), ip, SessionEvent::SynAckValidated);
                 self.open_ports.push(ip);
@@ -601,6 +812,7 @@ impl Scanner {
                 self.refused += 1;
                 self.metrics.registry.inc(self.metrics.refused);
                 self.syn_ts.remove(&ip);
+                self.pending.remove(&ip);
                 self.events
                     .record(now.as_nanos(), ip, SessionEvent::Refused);
             }
@@ -613,7 +825,7 @@ impl Scanner {
             return;
         }
         // No session: a valid SYN-ACK for (probe 0, conn 0) creates one.
-        let sport = self.params.sport(0, 0);
+        let sport = self.params.sport(0, 0, 0);
         let dport = self.config.protocol.port();
         if seg.dst_port == sport
             && seg.src_port == dport
@@ -621,6 +833,10 @@ impl Scanner {
             && seg.flags.contains(Flags::ACK)
             && self.cookie.validate(ip, sport, dport, seg.ack)
         {
+            let cap = self.config.resilience.max_sessions;
+            if cap > 0 && self.sessions.len() >= cap {
+                self.evict_oldest(now, fx);
+            }
             let now_n = now.as_nanos();
             self.metrics.registry.inc(self.metrics.synacks_validated);
             if let Some(t0) = self.syn_ts.remove(&ip) {
@@ -628,6 +844,7 @@ impl Scanner {
                     .registry
                     .observe(self.metrics.rtt_nanos, (now - t0).as_nanos());
             }
+            self.pending.remove(&ip);
             self.metrics.registry.inc(self.metrics.sessions_started);
             self.events.record(now_n, ip, SessionEvent::SynAckValidated);
             self.events.record(now_n, ip, SessionEvent::SessionStarted);
@@ -643,6 +860,12 @@ impl Scanner {
             );
             let out = session.on_segment(seg, now);
             self.sessions.insert(ip, session);
+            if cap > 0 {
+                self.session_order.push_back(ip);
+            }
+            if let Some(deadline) = self.config.resilience.session_deadline {
+                fx.arm(deadline, WATCHDOG_NS | u64::from(ip));
+            }
             self.metrics
                 .registry
                 .gauge_set(self.metrics.live_peak, self.sessions.len() as u64);
@@ -654,6 +877,7 @@ impl Scanner {
             self.refused += 1;
             self.metrics.registry.inc(self.metrics.refused);
             self.syn_ts.remove(&ip);
+            self.pending.remove(&ip);
             self.events
                 .record(now.as_nanos(), ip, SessionEvent::Refused);
         }
@@ -704,11 +928,28 @@ impl Scanner {
         }
     }
 
-    fn on_icmp(&mut self, src: Ipv4Addr, msg: &icmp::Message, fx: &mut Effects) {
+    fn on_icmp(&mut self, src: Ipv4Addr, msg: &icmp::Message, now: Instant, fx: &mut Effects) {
+        let ip = src.to_u32();
         if self.config.protocol != Protocol::IcmpMtu {
+            // TCP scan modes: a destination-unreachable from the target
+            // fast-fails it instead of waiting out the SYN/collect
+            // timeouts. (No quoted datagram in the sim's ICMP; the source
+            // address identifies the target.)
+            let icmp::Message::DstUnreachable { .. } = msg else {
+                return;
+            };
+            let was_pending = self.pending.remove(&ip).is_some();
+            let had_syn_ts = self.syn_ts.remove(&ip).is_some();
+            if !was_pending && !had_syn_ts && !self.sessions.contains_key(&ip) {
+                return;
+            }
+            self.note_session_event(ip, SessionEvent::IcmpUnreachable, now);
+            if let Some(session) = self.sessions.get_mut(&ip) {
+                let out = session.force_conclude(ErrorKind::IcmpUnreachable);
+                self.apply_session_output(ip, out, now, fx);
+            }
             return;
         }
-        let ip = src.to_u32();
         let Some(state) = self.mtu_states.get(&ip).copied() else {
             return;
         };
@@ -757,7 +998,7 @@ impl Endpoint for Scanner {
             }
             IpProtocol::Icmp => {
                 if let Ok(msg) = icmp::Message::parse(packet.payload()) {
-                    self.on_icmp(ip_repr.src_addr, &msg, fx);
+                    self.on_icmp(ip_repr.src_addr, &msg, now, fx);
                 }
             }
             IpProtocol::Unknown(_) => {}
@@ -773,10 +1014,21 @@ impl Endpoint for Scanner {
             self.monitor_tick(now, fx);
             return;
         }
+        if token == SWEEP_TOKEN {
+            self.sweep_rtt(now, fx);
+            return;
+        }
         let ip = token as u32;
-        if let Some(session) = self.sessions.get_mut(&ip) {
-            let out = session.on_timer(now);
-            self.apply_session_output(ip, out, now, fx);
+        match token >> 32 {
+            0 => {
+                if let Some(session) = self.sessions.get_mut(&ip) {
+                    let out = session.on_timer(now);
+                    self.apply_session_output(ip, out, now, fx);
+                }
+            }
+            1 => self.syn_retry_fire(ip, now, fx),
+            2 => self.watchdog_fire(ip, now, fx),
+            _ => {}
         }
     }
 }

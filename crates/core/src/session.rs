@@ -13,9 +13,9 @@ use crate::inference::{ConnConfig, ConnNote, ConnOutput, InferenceConn};
 use crate::probe::http::HttpProbe;
 use crate::probe::tls::TlsProbe;
 use crate::probe::{ProbeDriver, ProbeStep};
-use crate::results::{HostResult, HostVerdict, MssVerdict, ProbeOutcome, Protocol};
+use crate::results::{ErrorKind, HostResult, HostVerdict, MssVerdict, ProbeOutcome, Protocol};
 use iw_internet::util::mix;
-use iw_netsim::Instant;
+use iw_netsim::{Duration, Instant};
 use iw_telemetry::{OutcomeKind, SessionEvent};
 use iw_wire::ipv4::Ipv4Addr;
 use iw_wire::tcp;
@@ -37,6 +37,11 @@ pub struct SessionParams {
     pub seed: u64,
     /// Exhaustion-verification knob (see [`ConnConfig::verify_exhaustion`]).
     pub verify_exhaustion: bool,
+    /// How many times an `Error`/`Unreachable` probe outcome is retried on
+    /// a fresh connection before being recorded (0 = record immediately).
+    pub probe_retries: u32,
+    /// Delay before a retry connection; doubles with every attempt.
+    pub probe_backoff: Duration,
 }
 
 impl SessionParams {
@@ -50,6 +55,8 @@ impl SessionParams {
             source,
             seed,
             verify_exhaustion: true,
+            probe_retries: 0,
+            probe_backoff: Duration::from_millis(500),
         }
     }
 
@@ -58,9 +65,15 @@ impl SessionParams {
         self.probes_per_mss * self.mss_list.len() as u32
     }
 
-    /// The source port of (probe, conn) — 2 connections max per probe.
-    pub fn sport(&self, probe_idx: u32, conn_idx: u8) -> u16 {
-        self.base_sport + (probe_idx * 2) as u16 + u16::from(conn_idx)
+    /// The source port of (probe, conn, attempt) — 2 connections max per
+    /// probe; retry attempts stride past the whole base block so retry
+    /// connections never collide with an earlier attempt's ports.
+    pub fn sport(&self, probe_idx: u32, conn_idx: u8, attempt: u32) -> u16 {
+        let block = (self.total_probes() * 2) as u16;
+        self.base_sport
+            .wrapping_add((attempt as u16).wrapping_mul(block))
+            .wrapping_add((probe_idx * 2) as u16)
+            .wrapping_add(u16::from(conn_idx))
     }
 }
 
@@ -87,6 +100,14 @@ pub struct HostSession {
     domain: Option<String>,
     probe_idx: u32,
     conn_idx: u8,
+    /// Retry attempt of the current probe (0 = first try). Strides the
+    /// source-port allocation so retry connections use fresh ports.
+    attempt: u32,
+    /// Retries consumed by the current probe; reset when the probe records.
+    retries_used: u32,
+    /// When set, the session is backing off; the next timer at/after this
+    /// instant launches the retry connection.
+    retry_at: Option<Instant>,
     driver: Box<dyn ProbeDriver + Send>,
     conn: InferenceConn,
     /// Outcomes per MSS run.
@@ -115,7 +136,7 @@ impl HostSession {
         }
         let mut driver = make_driver(&params, ip, &domain, 0);
         let request = driver.initial_request();
-        let cfg = conn_config(&params, &cookie, ip, 0, 0, request);
+        let cfg = conn_config(&params, &cookie, ip, 0, 0, 0, request);
         // Reconstruct the conn machine in SynSent; discard its duplicate
         // SYN (already on the wire).
         let (conn, _discard) = InferenceConn::new(cfg, now);
@@ -126,6 +147,9 @@ impl HostSession {
             domain,
             probe_idx: 0,
             conn_idx: 0,
+            attempt: 0,
+            retries_used: 0,
+            retry_at: None,
             driver,
             conn,
             runs,
@@ -162,7 +186,16 @@ impl HostSession {
         }
         // Only the current connection's port is live; late packets from
         // completed connections are ignored (they were RST anyway).
-        if seg.dst_port != self.params.sport(self.probe_idx, self.conn_idx) {
+        if seg.dst_port
+            != self
+                .params
+                .sport(self.probe_idx, self.conn_idx, self.attempt)
+        {
+            return SessionOutput::default();
+        }
+        if self.retry_at.is_some() {
+            // Backing off between attempts: nothing is in flight on the
+            // current port yet, so any straggler is from a dead connection.
             return SessionOutput::default();
         }
         let out = self.conn.on_segment(seg, now);
@@ -174,8 +207,76 @@ impl HostSession {
         if self.done {
             return SessionOutput::default();
         }
+        if let Some(at) = self.retry_at {
+            if now < at {
+                return SessionOutput {
+                    deadline: Some(at),
+                    ..SessionOutput::default()
+                };
+            }
+            return self.launch_retry(now);
+        }
         let out = self.conn.on_timer(now);
         self.absorb(out, now)
+    }
+
+    /// The backoff expired: open a fresh connection for the current probe
+    /// on the next attempt's source port.
+    fn launch_retry(&mut self, now: Instant) -> SessionOutput {
+        self.retry_at = None;
+        self.driver = make_driver(&self.params, self.ip, &self.domain, self.probe_idx);
+        let request = self.driver.initial_request();
+        let cfg = conn_config(
+            &self.params,
+            &self.cookie,
+            self.ip,
+            self.probe_idx,
+            self.conn_idx,
+            self.attempt,
+            request,
+        );
+        let (conn, first) = InferenceConn::new(cfg, now);
+        self.conn = conn;
+        SessionOutput {
+            tx: first.tx,
+            deadline: first.deadline,
+            result: None,
+            events: Vec::new(),
+        }
+    }
+
+    /// Abort the session right now, recording `kind` for every probe that
+    /// has not concluded yet. Used by the scanner's watchdog, eviction,
+    /// and ICMP-unreachable paths. No-op when already done.
+    pub fn force_conclude(&mut self, kind: ErrorKind) -> SessionOutput {
+        if self.done {
+            return SessionOutput::default();
+        }
+        let mut session_out = SessionOutput::default();
+        if self.retry_at.is_none() {
+            // A live connection may need an RST on the wire.
+            session_out.tx = self.conn.fail(kind).tx;
+        }
+        self.retry_at = None;
+        while self.probe_idx < self.params.total_probes() {
+            session_out.events.push(SessionEvent::ProbeConcluded {
+                probe: self.probe_idx as u8,
+                outcome: OutcomeKind::Error,
+            });
+            let mss_idx = (self.probe_idx / self.params.probes_per_mss) as usize;
+            self.runs[mss_idx].1.push(ProbeOutcome::Error { kind });
+            self.probe_idx += 1;
+        }
+        let host = self.finalize();
+        session_out.events.push(SessionEvent::SessionFinished {
+            outcome: host
+                .primary_verdict()
+                .map(MssVerdict::outcome_kind)
+                .unwrap_or(OutcomeKind::Error),
+        });
+        session_out.result = Some(host);
+        session_out.deadline = None;
+        session_out
     }
 
     fn absorb(&mut self, out: ConnOutput, now: Instant) -> SessionOutput {
@@ -213,6 +314,7 @@ impl HostSession {
                     self.ip,
                     self.probe_idx,
                     self.conn_idx,
+                    self.attempt,
                     request,
                 );
                 let (conn, first) = InferenceConn::new(cfg, now);
@@ -221,6 +323,35 @@ impl HostSession {
                 session_out.deadline = first.deadline;
             }
             ProbeStep::Conclude(outcome) => {
+                // Transient failures are retried on a fresh connection
+                // (new source port) after a doubling backoff, instead of
+                // burning one of the probe's vote slots. ICMP unreachable
+                // is deliberately NOT retried: the network told us.
+                let retryable = matches!(
+                    outcome,
+                    ProbeOutcome::Unreachable
+                        | ProbeOutcome::Error {
+                            kind: ErrorKind::MidConnectionReset
+                        }
+                        | ProbeOutcome::Error {
+                            kind: ErrorKind::HandshakeTimeout
+                        }
+                );
+                if retryable && self.retries_used < self.params.probe_retries {
+                    self.retries_used += 1;
+                    self.attempt += 1;
+                    self.conn_idx = 0;
+                    let shift = self.retries_used - 1;
+                    let delay = Duration::from_nanos(self.params.probe_backoff.as_nanos() << shift);
+                    session_out.events.push(SessionEvent::ProbeRetried {
+                        probe,
+                        attempt: self.attempt as u8,
+                    });
+                    let at = now + delay;
+                    self.retry_at = Some(at);
+                    session_out.deadline = Some(at);
+                    return session_out;
+                }
                 session_out.events.push(SessionEvent::ProbeConcluded {
                     probe,
                     outcome: outcome.outcome_kind(),
@@ -228,6 +359,8 @@ impl HostSession {
                 let mss_idx = (self.probe_idx / self.params.probes_per_mss) as usize;
                 self.runs[mss_idx].1.push(outcome);
                 self.probe_idx += 1;
+                self.retries_used = 0;
+                self.attempt = 0;
                 // Even an Unreachable probe does not abort the session: a
                 // lost SYN under loss must not discard the host (the
                 // remaining probes still vote).
@@ -257,6 +390,7 @@ impl HostSession {
                         self.ip,
                         self.probe_idx,
                         self.conn_idx,
+                        self.attempt,
                         request,
                     );
                     let (conn, first) = InferenceConn::new(cfg, now);
@@ -316,9 +450,10 @@ fn conn_config(
     ip: Ipv4Addr,
     probe_idx: u32,
     conn_idx: u8,
+    attempt: u32,
     request: Vec<u8>,
 ) -> ConnConfig {
-    let sport = params.sport(probe_idx, conn_idx);
+    let sport = params.sport(probe_idx, conn_idx, attempt);
     let dport = params.protocol.port();
     let mss_idx = (probe_idx / params.probes_per_mss) as usize;
     let mss = params.mss_list[mss_idx];
@@ -530,11 +665,110 @@ mod tests {
     fn sport_allocation_unique() {
         let p = SessionParams::study(Protocol::Http, Ipv4Addr::new(192, 0, 2, 1), 1);
         let mut seen = std::collections::HashSet::new();
-        for probe in 0..p.total_probes() {
-            for conn in 0..2u8 {
-                assert!(seen.insert(p.sport(probe, conn)));
+        for attempt in 0..4u32 {
+            for probe in 0..p.total_probes() {
+                for conn in 0..2u8 {
+                    assert!(seen.insert(p.sport(probe, conn, attempt)));
+                }
             }
         }
         assert_eq!(p.total_probes(), 6);
+    }
+
+    fn retry_session(probe_retries: u32) -> HostSession {
+        let mut params = SessionParams::study(Protocol::Http, Ipv4Addr::new(192, 0, 2, 9), 7);
+        params.probe_retries = probe_retries;
+        let ip = Ipv4Addr::new(198, 51, 100, 1);
+        HostSession::new(ip, params, CookieKey::new(7), None, Instant::ZERO)
+    }
+
+    /// Drive the current connection to a handshake timeout by firing the
+    /// session timer past the SYN deadline.
+    fn time_out_handshake(s: &mut HostSession, now: Instant) -> SessionOutput {
+        s.on_timer(now + Duration::from_secs(30))
+    }
+
+    #[test]
+    fn transient_failure_schedules_backoff_retry() {
+        let mut s = retry_session(2);
+        let out = time_out_handshake(&mut s, Instant::ZERO);
+        // Not recorded: a retry is pending instead.
+        assert!(out.result.is_none());
+        assert!(out.events.iter().any(|e| matches!(
+            e,
+            SessionEvent::ProbeRetried {
+                probe: 0,
+                attempt: 1
+            }
+        )));
+        let at = out.deadline.expect("backoff deadline");
+        // Before the backoff expires the timer is a no-op re-arm.
+        let just_before = Instant::ZERO + Duration::from_nanos((at - Instant::ZERO).as_nanos() - 1);
+        let early = s.on_timer(just_before);
+        assert!(early.tx.is_empty());
+        assert_eq!(early.deadline, Some(at));
+        // At the deadline a fresh SYN goes out on a new source port.
+        let retry = s.on_timer(at);
+        assert_eq!(retry.tx.len(), 1);
+        assert!(retry.tx[0].flags.contains(tcp::Flags::SYN));
+        let base = s.params.sport(0, 0, 0);
+        assert_eq!(retry.tx[0].src_port, s.params.sport(0, 0, 1));
+        assert_ne!(retry.tx[0].src_port, base);
+    }
+
+    #[test]
+    fn retry_budget_exhaustion_records_error() {
+        let mut s = retry_session(1);
+        let out = time_out_handshake(&mut s, Instant::ZERO);
+        let at = out.deadline.expect("backoff deadline");
+        let retry = s.on_timer(at);
+        assert_eq!(retry.tx.len(), 1);
+        // Second timeout: budget spent, the failure is recorded and the
+        // next probe launches immediately (back on attempt 0 ports).
+        let out = s.on_timer(at + Duration::from_secs(30));
+        assert!(out
+            .events
+            .iter()
+            .any(|e| matches!(e, SessionEvent::ProbeConcluded { probe: 0, .. })));
+        assert_eq!(s.runs[0].1.len(), 1);
+        assert!(matches!(
+            s.runs[0].1[0],
+            ProbeOutcome::Error {
+                kind: ErrorKind::HandshakeTimeout
+            }
+        ));
+        assert_eq!(out.tx.len(), 1);
+        assert_eq!(out.tx[0].src_port, s.params.sport(1, 0, 0));
+    }
+
+    #[test]
+    fn no_retries_by_default() {
+        let mut s = retry_session(0);
+        let out = time_out_handshake(&mut s, Instant::ZERO);
+        assert!(s.runs[0].1.len() == 1);
+        assert!(out
+            .events
+            .iter()
+            .all(|e| !matches!(e, SessionEvent::ProbeRetried { .. })));
+    }
+
+    #[test]
+    fn force_conclude_records_error_for_remaining_probes() {
+        let mut s = retry_session(0);
+        let out = s.force_conclude(ErrorKind::CollectTimeout);
+        let host = out.result.expect("result");
+        assert!(s.is_done());
+        assert_eq!(out.deadline, None);
+        let total: usize = host.runs.iter().map(|(_, o)| o.len()).sum();
+        assert_eq!(total, 6);
+        assert!(host.runs.iter().all(|(_, o)| o.iter().all(|p| matches!(
+            p,
+            ProbeOutcome::Error {
+                kind: ErrorKind::CollectTimeout
+            }
+        ))));
+        // Idempotent.
+        let again = s.force_conclude(ErrorKind::CollectTimeout);
+        assert!(again.result.is_none());
     }
 }

@@ -27,6 +27,7 @@
 #![warn(missing_docs)]
 
 pub mod app;
+pub mod chaos;
 pub mod config;
 pub mod host;
 pub mod http_app;
@@ -35,6 +36,7 @@ pub mod policy;
 pub mod tcb;
 pub mod tls_app;
 
+pub use chaos::{ChaosHost, ChaosMode};
 pub use config::{HostConfig, HttpBehavior, HttpConfig, TlsBehavior, TlsConfig};
 pub use host::Host;
 pub use os::OsProfile;

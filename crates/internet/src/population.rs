@@ -226,9 +226,7 @@ impl Population {
             latency: Duration::from_millis(s.next_range(lat_lo, lat_hi)),
             jitter: Duration::from_millis(s.next_range(1, 8)),
             loss: loss * self.config.loss_scale,
-            dup: 0.0,
-            drops_fwd: Vec::new(),
-            drops_rev: Vec::new(),
+            ..LinkConfig::default()
         }
     }
 

@@ -29,6 +29,11 @@ pub struct LinkConfig {
     /// Scripted drops on the host→scanner direction — this is how tests
     /// inflict *exact* tail loss on the server's IW flight.
     pub drops_rev: Vec<u64>,
+    /// Drop every scanner→host packet from this 0-based index on — the
+    /// path "goes dark" mid-conversation (route flap, middlebox).
+    pub blackhole_fwd_after: Option<u64>,
+    /// Drop every host→scanner packet from this 0-based index on.
+    pub blackhole_rev_after: Option<u64>,
 }
 
 impl Default for LinkConfig {
@@ -40,6 +45,8 @@ impl Default for LinkConfig {
             dup: 0.0,
             drops_fwd: Vec::new(),
             drops_rev: Vec::new(),
+            blackhole_fwd_after: None,
+            blackhole_rev_after: None,
         }
     }
 }
@@ -74,6 +81,18 @@ impl LinkConfig {
     /// Script an exact host→scanner packet drop (0-based index).
     pub fn with_reverse_drop(mut self, index: u64) -> Self {
         self.drops_rev.push(index);
+        self
+    }
+
+    /// Black-hole the scanner→host direction from packet `index` on.
+    pub fn with_forward_blackhole_after(mut self, index: u64) -> Self {
+        self.blackhole_fwd_after = Some(index);
+        self
+    }
+
+    /// Black-hole the host→scanner direction from packet `index` on.
+    pub fn with_reverse_blackhole_after(mut self, index: u64) -> Self {
+        self.blackhole_rev_after = Some(index);
         self
     }
 }
@@ -124,13 +143,16 @@ impl Link {
     /// empty = lost, one entry = normal, two = duplicated.
     pub fn transit(&mut self, dir: Direction) -> Vec<Duration> {
         let config = &self.config;
-        let (st, drops) = match dir {
-            Direction::Forward => (&mut self.fwd, &config.drops_fwd),
-            Direction::Reverse => (&mut self.rev, &config.drops_rev),
+        let (st, drops, blackhole) = match dir {
+            Direction::Forward => (&mut self.fwd, &config.drops_fwd, config.blackhole_fwd_after),
+            Direction::Reverse => (&mut self.rev, &config.drops_rev, config.blackhole_rev_after),
         };
         let index = st.sent;
         st.sent += 1;
 
+        if blackhole.is_some_and(|after| index >= after) {
+            return Vec::new();
+        }
         if drops.contains(&index) {
             return Vec::new();
         }
@@ -195,6 +217,20 @@ mod tests {
         let mut link = Link::new(LinkConfig::testbed().with_reverse_drop(0), 3);
         assert!(!link.transit(Direction::Forward).is_empty());
         assert!(link.transit(Direction::Reverse).is_empty());
+    }
+
+    #[test]
+    fn blackhole_kills_direction_from_index() {
+        let mut link = Link::new(LinkConfig::testbed().with_reverse_blackhole_after(2), 5);
+        assert!(!link.transit(Direction::Reverse).is_empty());
+        assert!(!link.transit(Direction::Reverse).is_empty());
+        for _ in 0..10 {
+            assert!(link.transit(Direction::Reverse).is_empty());
+        }
+        // The other direction is unaffected.
+        for _ in 0..10 {
+            assert!(!link.transit(Direction::Forward).is_empty());
+        }
     }
 
     #[test]

@@ -84,6 +84,25 @@ pub enum SessionEvent {
         /// The session's primary outcome.
         outcome: OutcomeKind,
     },
+    /// The stateless layer retransmitted the initial SYN (retry budget).
+    SynRetried {
+        /// One-based retransmission attempt.
+        attempt: u8,
+    },
+    /// A probe connection was relaunched on a fresh source port after an
+    /// Error/Unreachable outcome (per-probe retry policy).
+    ProbeRetried {
+        /// The probe being retried.
+        probe: u8,
+        /// One-based connection attempt for this probe.
+        attempt: u8,
+    },
+    /// The session was force-concluded by the per-session watchdog.
+    WatchdogForced,
+    /// The session was force-concluded to make room under `max_sessions`.
+    SessionEvicted,
+    /// An ICMP destination-unreachable arrived for this target.
+    IcmpUnreachable,
 }
 
 impl SessionEvent {
@@ -100,6 +119,11 @@ impl SessionEvent {
             SessionEvent::VerifyAckSent { .. } => "verify_ack_sent",
             SessionEvent::ProbeConcluded { .. } => "probe_concluded",
             SessionEvent::SessionFinished { .. } => "session_finished",
+            SessionEvent::SynRetried { .. } => "syn_retried",
+            SessionEvent::ProbeRetried { .. } => "probe_retried",
+            SessionEvent::WatchdogForced => "watchdog_forced",
+            SessionEvent::SessionEvicted => "session_evicted",
+            SessionEvent::IcmpUnreachable => "icmp_unreachable",
         }
     }
 }
@@ -277,6 +301,12 @@ impl EventLog {
             }
             SessionEvent::SessionFinished { outcome } => {
                 let _ = write!(line, " outcome={}", outcome.name());
+            }
+            SessionEvent::SynRetried { attempt } => {
+                let _ = write!(line, " attempt={attempt}");
+            }
+            SessionEvent::ProbeRetried { probe, attempt } => {
+                let _ = write!(line, " probe={probe} attempt={attempt}");
             }
             _ => {}
         }

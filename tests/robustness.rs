@@ -28,6 +28,7 @@ fn heavy_jitter_reordering_does_not_break_estimates() {
         dup: 0.0,
         drops_fwd: vec![],
         drops_rev: vec![],
+        ..LinkConfig::default()
     };
     for seed in 0..10 {
         spec.seed = 100 + seed;
@@ -53,6 +54,7 @@ fn duplication_does_not_inflate_estimates() {
         dup: 0.10,
         drops_fwd: vec![],
         drops_rev: vec![],
+        ..LinkConfig::default()
     };
     for seed in 0..10 {
         spec.seed = 200 + seed;
@@ -117,19 +119,28 @@ fn first_syn_loss_misses_the_host_like_zmap() {
 fn mid_session_syn_loss_costs_a_probe_not_the_host() {
     // Probe 1's forward packets: SYN(0), ACK+request(1), verify-ACK(2),
     // RST(3). Dropping index 4 kills probe 2's SYN: that probe times out
-    // Unreachable, the rest proceed, and the vote still succeeds.
+    // as a handshake failure, the rest proceed, and the vote still
+    // succeeds. (With `probe_retries` > 0 the probe would be retried on
+    // a fresh source port instead — see the fault matrix.)
     let mut spec = TestbedSpec::new(iw10_host(), Protocol::Http);
     spec.link = LinkConfig::testbed().with_forward_drop(4);
     let (result, _) = probe_host(&spec);
     let result = result.expect("session exists from probe 1");
     assert_eq!(result.primary_verdict(), Some(MssVerdict::Success(10)));
-    let unreachable = result
+    let timed_out = result
         .runs
         .iter()
         .flat_map(|(_, o)| o)
-        .filter(|o| matches!(o, iw_core::ProbeOutcome::Unreachable))
+        .filter(|o| {
+            matches!(
+                o,
+                iw_core::ProbeOutcome::Error {
+                    kind: iw_core::ErrorKind::HandshakeTimeout
+                }
+            )
+        })
         .count();
-    assert_eq!(unreachable, 1, "exactly the sabotaged probe is lost");
+    assert_eq!(timed_out, 1, "exactly the sabotaged probe is lost");
 }
 
 #[test]
