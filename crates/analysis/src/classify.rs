@@ -14,7 +14,7 @@ use iw_internet::population::Population;
 use iw_internet::registry::NetClass;
 
 /// Service categories of Table 3.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Service {
     /// Akamai (GHost / published ranges).
     Akamai,

@@ -99,14 +99,14 @@ pub fn check_table2(http: &Table2, tls: &Table2) -> Vec<Check> {
         .iw
         .iter()
         .enumerate()
-        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+        .max_by(|a, b| a.1.total_cmp(b.1))
         .map(|(i, _)| i + 1)
         .unwrap_or(0);
     let tls_peak = tls
         .iw
         .iter()
         .enumerate()
-        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+        .max_by(|a, b| a.1.total_cmp(b.1))
         .map(|(i, _)| i + 1)
         .unwrap_or(0);
     vec![

@@ -65,7 +65,7 @@ pub fn repeated_sample_stats(
     iws.into_iter()
         .map(|iw| {
             let mut fractions: Vec<f64> = histograms.iter().map(|h| h.fraction(iw)).collect();
-            fractions.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            fractions.sort_by(|a, b| a.total_cmp(b));
             let mean = fractions.iter().sum::<f64>() / fractions.len() as f64;
             let q_idx =
                 (((fractions.len() as f64) * 0.99).ceil() as usize).clamp(1, fractions.len()) - 1;
@@ -74,7 +74,7 @@ pub fn repeated_sample_stats(
                 mean,
                 q99: fractions[q_idx],
                 min: fractions[0],
-                max: *fractions.last().expect("non-empty"),
+                max: fractions[fractions.len() - 1],
             }
         })
         .collect()

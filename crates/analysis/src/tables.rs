@@ -4,7 +4,9 @@ use crate::classify::{Classifier, Service};
 use crate::histogram::IwHistogram;
 use iw_core::{HostResult, MssVerdict, ScanSummary};
 use iw_internet::population::Population;
-use std::collections::HashMap;
+// Keyed by `Service` (Ord): deterministic iteration keeps the rendered
+// tables byte-stable (iw-lint: no-unordered-iteration).
+use std::collections::BTreeMap;
 
 /// Table 1: scan data-set overview.
 #[derive(Debug, Clone)]
@@ -118,7 +120,7 @@ impl Table3 {
     /// signals (ranges + reverse DNS looked up from the population).
     pub fn new(results: &[HostResult], population: &Population) -> Table3 {
         let classifier = Classifier::new(population);
-        let mut hists: HashMap<Service, IwHistogram> = HashMap::new();
+        let mut hists: BTreeMap<Service, IwHistogram> = BTreeMap::new();
         for r in results {
             let Some(iw) = r.iw_estimate() else { continue };
             let rdns = population.meta(r.ip).and_then(|m| m.rdns);

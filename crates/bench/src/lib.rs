@@ -7,6 +7,7 @@
 //! Scale is controlled by the `IW_SCALE` environment variable:
 //! `small` (CI/tests, default), `medium`, or `large` (closest to the
 //! paper's relative numbers; takes minutes).
+#![forbid(unsafe_code)]
 
 use iw_core::{run_scan_sharded, Protocol, ScanConfig, ScanOutput, TargetSpec};
 use iw_internet::{alexa, Population, PopulationConfig};

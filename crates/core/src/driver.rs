@@ -141,10 +141,13 @@ pub fn run_scan_sharded(
         }
         handles
             .into_iter()
+            // A shard-thread panic must propagate, not be silently merged
+            // into partial results. iw-lint: allow(panic-budget)
             .map(|h| h.join().expect("shard thread panicked"))
             .collect()
     })
-    .expect("crossbeam scope");
+    // Scope errors are rethrown shard panics; same policy as above.
+    .expect("crossbeam scope"); // iw-lint: allow(panic-budget)
 
     merge(outputs)
 }

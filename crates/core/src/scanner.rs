@@ -17,8 +17,8 @@ use crate::session::{HostSession, SessionOutput, SessionParams};
 use iw_internet::util::mix;
 use iw_netsim::{Duration, Effects, Endpoint, Instant, TimerToken};
 use iw_telemetry::{
-    BufferSink, CounterId, EventLog, GaugeId, HistogramId, MetricsRegistry, OutcomeKind,
-    ProgressMonitor, ProgressSample, Scope, SessionEvent, Snapshot, StdoutSink,
+    manifest, BufferSink, CounterId, EventLog, GaugeId, HistogramId, MetricsRegistry, OutcomeKind,
+    ProgressMonitor, ProgressSample, SessionEvent, Snapshot, StdoutSink,
 };
 use iw_wire::ipv4::Ipv4Addr;
 use iw_wire::tcp::{self, Flags};
@@ -271,43 +271,27 @@ struct Metrics {
 impl Metrics {
     fn new() -> Metrics {
         let mut r = MetricsRegistry::new();
-        let targets_sent = r.counter("scan.targets_sent", Scope::Scan);
-        let synacks_validated = r.counter("scan.synacks_validated", Scope::Scan);
-        let refused = r.counter("scan.refused", Scope::Scan);
-        let sessions_started = r.counter("scan.sessions_started", Scope::Scan);
-        let retransmits_detected = r.counter("scan.retransmits_detected", Scope::Scan);
-        let verify_acks_sent = r.counter("scan.verify_acks_sent", Scope::Scan);
-        let probes = [
-            r.counter("scan.probes.success", Scope::Scan),
-            r.counter("scan.probes.few_data", Scope::Scan),
-            r.counter("scan.probes.error", Scope::Scan),
-            r.counter("scan.probes.unreachable", Scope::Scan),
-        ];
-        let sessions_finished = [
-            r.counter("scan.sessions.success", Scope::Scan),
-            r.counter("scan.sessions.few_data", Scope::Scan),
-            r.counter("scan.sessions.error", Scope::Scan),
-            r.counter("scan.sessions.unreachable", Scope::Scan),
-        ];
-        let rtt_nanos = r.histogram("scan.rtt_nanos", Scope::Scan);
-        let session_lifetime_nanos = r.histogram("scan.session_lifetime_nanos", Scope::Scan);
-        let retransmit_bytes = r.histogram("scan.retransmit_bytes_in_flight", Scope::Scan);
-        let pace_ticks = r.counter("shard.pace.ticks", Scope::Shard);
-        let token_wait_nanos = r.histogram("shard.pace.token_wait_nanos", Scope::Shard);
-        let live_peak = r.gauge("shard.sessions.live_peak", Scope::Shard);
-        let syn_retries = r.counter("scan.syn_retries", Scope::Scan);
-        let probes_retried = r.counter("scan.probes.retried", Scope::Scan);
-        let sessions_evicted = r.counter("scan.sessions.evicted", Scope::Shard);
-        let watchdog_forced = r.counter("scan.sessions.watchdog_forced", Scope::Scan);
-        let icmp_unreachable = r.counter("scan.icmp_unreachable", Scope::Scan);
-        let error_kinds = [
-            r.counter("scan.probes.error_kinds.mid_connection_reset", Scope::Scan),
-            r.counter("scan.probes.error_kinds.malformed", Scope::Scan),
-            r.counter("scan.probes.error_kinds.inconsistent", Scope::Scan),
-            r.counter("scan.probes.error_kinds.handshake_timeout", Scope::Scan),
-            r.counter("scan.probes.error_kinds.collect_timeout", Scope::Scan),
-            r.counter("scan.probes.error_kinds.icmp_unreachable", Scope::Scan),
-        ];
+        let targets_sent = r.register_counter(&manifest::SCAN_TARGETS_SENT);
+        let synacks_validated = r.register_counter(&manifest::SCAN_SYNACKS_VALIDATED);
+        let refused = r.register_counter(&manifest::SCAN_REFUSED);
+        let sessions_started = r.register_counter(&manifest::SCAN_SESSIONS_STARTED);
+        let retransmits_detected = r.register_counter(&manifest::SCAN_RETRANSMITS_DETECTED);
+        let verify_acks_sent = r.register_counter(&manifest::SCAN_VERIFY_ACKS_SENT);
+        let probes = manifest::PROBE_OUTCOME_COUNTERS.map(|def| r.register_counter(def));
+        let sessions_finished =
+            manifest::SESSION_OUTCOME_COUNTERS.map(|def| r.register_counter(def));
+        let rtt_nanos = r.register_histogram(&manifest::SCAN_RTT_NANOS);
+        let session_lifetime_nanos = r.register_histogram(&manifest::SCAN_SESSION_LIFETIME_NANOS);
+        let retransmit_bytes = r.register_histogram(&manifest::SCAN_RETRANSMIT_BYTES_IN_FLIGHT);
+        let pace_ticks = r.register_counter(&manifest::SHARD_PACE_TICKS);
+        let token_wait_nanos = r.register_histogram(&manifest::SHARD_PACE_TOKEN_WAIT_NANOS);
+        let live_peak = r.register_gauge(&manifest::SHARD_SESSIONS_LIVE_PEAK);
+        let syn_retries = r.register_counter(&manifest::SCAN_SYN_RETRIES);
+        let probes_retried = r.register_counter(&manifest::SCAN_PROBES_RETRIED);
+        let sessions_evicted = r.register_counter(&manifest::SCAN_SESSIONS_EVICTED);
+        let watchdog_forced = r.register_counter(&manifest::SCAN_SESSIONS_WATCHDOG_FORCED);
+        let icmp_unreachable = r.register_counter(&manifest::SCAN_ICMP_UNREACHABLE);
+        let error_kinds = manifest::ERROR_KIND_COUNTERS.map(|def| r.register_counter(def));
         Metrics {
             registry: r,
             targets_sent,
@@ -1078,6 +1062,37 @@ mod tests {
             .filter(|ip| a.sample_admits(*ip) != b.sample_admits(*ip))
             .count();
         assert!(differing > 500, "{differing}");
+    }
+
+    #[test]
+    fn manifest_error_kind_counters_match_error_kind_order() {
+        // The scanner indexes `Metrics::error_kinds` by `ErrorKind::index()`,
+        // so the manifest block must enumerate the kinds in exactly that
+        // order, under the names `scan.probes.error_kinds.<kind name>`.
+        assert_eq!(manifest::ERROR_KIND_COUNTERS.len(), ErrorKind::ALL.len());
+        for (def, kind) in manifest::ERROR_KIND_COUNTERS.iter().zip(ErrorKind::ALL) {
+            assert_eq!(
+                def.name,
+                format!("scan.probes.error_kinds.{}", kind.name()),
+                "manifest order drifted from ErrorKind::index()"
+            );
+        }
+    }
+
+    #[test]
+    fn every_manifest_metric_is_registered_by_the_scanner() {
+        // 100 % manifest coverage: the engine registers every declared
+        // metric, so snapshots (and the iw-lint conformance rule) see the
+        // same universe of names in one place.
+        let snap = Metrics::new().registry.snapshot();
+        for def in manifest::ALL {
+            let present = snap.counters.contains_key(def.name)
+                || snap.gauges.contains_key(def.name)
+                || snap.histograms.contains_key(def.name);
+            assert!(present, "manifest metric {} never registered", def.name);
+        }
+        let total = snap.counters.len() + snap.gauges.len() + snap.histograms.len();
+        assert_eq!(total, manifest::ALL.len(), "undeclared metric registered");
     }
 
     #[test]

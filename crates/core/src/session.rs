@@ -440,6 +440,8 @@ fn make_driver(
             }
             Box::new(TlsProbe::new(domain.clone(), random))
         }
+        // Callers route ICMP targets to the MTU prober, never here.
+        // iw-lint: allow(panic-budget)
         Protocol::IcmpMtu => unreachable!("ICMP probes do not use TCP sessions"),
     }
 }
@@ -475,8 +477,7 @@ pub fn vote(outcomes: &[ProbeOutcome]) -> MssVerdict {
             _ => None,
         })
         .collect();
-    if !successes.is_empty() {
-        let max = *successes.iter().max().expect("non-empty");
+    if let Some(&max) = successes.iter().max() {
         if successes.iter().filter(|s| **s == max).count() >= required {
             return MssVerdict::Success(max);
         }

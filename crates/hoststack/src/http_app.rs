@@ -82,7 +82,7 @@ impl HttpApp {
             } => self.not_found_page(*base_size as usize, *echo_uri, &req.uri),
             // The remaining variants are handled in on_data before parsing.
             HttpBehavior::Mute | HttpBehavior::SilentClose | HttpBehavior::Reset => {
-                unreachable!("terminal behaviours never build responses")
+                unreachable!("terminal behaviours never build responses") // iw-lint: allow(panic-budget)
             }
         };
         let mut response = if close {

@@ -138,6 +138,7 @@ impl App for TlsApp {
                 }
             }
             TlsBehavior::CipherMismatch => self.alert(Alert::HANDSHAKE_FAILURE),
+            // iw-lint: allow(panic-budget)
             TlsBehavior::Mute | TlsBehavior::Reset => unreachable!("handled above"),
         };
         Some(resp)

@@ -84,9 +84,11 @@ pub fn build(population: &Population, n: usize, salt: u64) -> Vec<AlexaEntry> {
         let w = class_weight(gt.class) * cohort_weight(gt.cohort);
         if stream.next_f64() < w {
             seen.insert(ip);
-            let domain = population
-                .canonical_domain(ip)
-                .expect("responsive host has a domain");
+            // Ground truth exists for this ip, so it is responsive and
+            // has a canonical domain.
+            let Some(domain) = population.canonical_domain(ip) else {
+                continue;
+            };
             // Popularity score: compressed infrastructure weight ×
             // noise, so ranks correlate with (but are not determined
             // by) the class — a gradient, not a hard stratification.
@@ -94,7 +96,7 @@ pub fn build(population: &Population, n: usize, salt: u64) -> Vec<AlexaEntry> {
             accepted.push((ip, domain, score));
         }
     }
-    accepted.sort_by(|a, b| b.2.partial_cmp(&a.2).expect("finite scores"));
+    accepted.sort_by(|a, b| b.2.total_cmp(&a.2));
     accepted
         .into_iter()
         .enumerate()

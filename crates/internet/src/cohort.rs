@@ -181,7 +181,8 @@ fn tls_config(
                 TlsTemplate::ServeChain => TlsBehavior::Serve,
                 TlsTemplate::AlertNoSni => TlsBehavior::AlertWithoutSni,
                 TlsTemplate::CloseNoSni => TlsBehavior::CloseWithoutSni,
-                _ => unreachable!(),
+                // The outer match arm only covers the three TLS templates.
+                _ => unreachable!(), // iw-lint: allow(panic-budget)
             };
             TlsConfig {
                 behavior,

@@ -167,7 +167,7 @@ impl Population {
     /// The full host configuration at `ip`.
     pub fn host_config(&self, ip: u32) -> Option<HostConfig> {
         let (spec, cohort) = self.cohort_at(ip)?;
-        let domain = self.canonical_domain(ip).expect("responsive host");
+        let domain = self.canonical_domain(ip)?;
         Some(cohort.host_config(
             self.config.seed,
             ip,
@@ -193,12 +193,13 @@ impl Population {
     /// Evaluation metadata.
     pub fn meta(&self, ip: u32) -> Option<HostMeta> {
         let (spec, _) = self.cohort_at(ip)?;
+        let domain = self.canonical_domain(ip)?;
         Some(HostMeta {
             asn: spec.asn,
             as_name: spec.name.clone(),
             class: spec.class,
             rdns: spec.rdns_for(ip),
-            domain: self.canonical_domain(ip).expect("responsive host"),
+            domain,
         })
     }
 

@@ -1,0 +1,444 @@
+//! # iw-lint — workspace invariant checker
+//!
+//! A dependency-free, text-level linter for the invariants this
+//! workspace relies on but `rustc`/`clippy` cannot see:
+//!
+//! * **`no-wall-clock`** — deterministic crates must never read real
+//!   time; all time comes from the simulator's virtual clock.
+//! * **`no-unordered-iteration`** — result/analysis/telemetry paths
+//!   must not iterate hash containers (ordering leaks into output).
+//! * **`metrics-manifest`** — every metric call site must agree with
+//!   the single-source-of-truth manifest in
+//!   `crates/telemetry/src/manifest.rs` (name, kind, scope).
+//! * **`state-machine`** — the session state machines' transition
+//!   tables (see [`machines`]) are internally exhaustive and in sync
+//!   with the enums that implement them.
+//! * **`panic-budget`** — library code does not `unwrap`/`expect`/
+//!   `panic!` except at sites with a justified suppression.
+//! * **`rng-hygiene`** — randomness is always seeded from scan/session
+//!   configuration, never from OS entropy.
+//! * **`unsafe-forbidden`** — every library crate carries
+//!   `#![forbid(unsafe_code)]`.
+//!
+//! ## Suppressions
+//!
+//! A diagnostic is suppressed by `// iw-lint: allow(<rule>)` on the
+//! offending line or the line directly above it (a reason after the
+//! marker is encouraged), or by an entry in
+//! `crates/lint/allowlist.txt` (`<rule> <path> <substring>` per line).
+//!
+//! ## Scope and limits
+//!
+//! The linter reads source text, not an AST: line comments and string
+//! literal *contents* are stripped before pattern matching (so a
+//! pattern named in a string or a comment never fires), and everything
+//! at or below a `#[cfg(test)]` line is treated as test code, which
+//! most rules exempt. That heuristic is deliberate — the codebase
+//! keeps unit tests in a trailing `mod tests` — and keeps the linter
+//! fast, dependency-free and obvious.
+#![forbid(unsafe_code)]
+
+pub mod machines;
+pub mod rules;
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Rule names with one-line descriptions, in report order.
+pub const RULES: &[(&str, &str)] = &[
+    (
+        "no-wall-clock",
+        "deterministic crates must not read real time",
+    ),
+    (
+        "no-unordered-iteration",
+        "output paths must not iterate hash containers",
+    ),
+    (
+        "metrics-manifest",
+        "metric call sites must match the telemetry manifest",
+    ),
+    (
+        "state-machine",
+        "session state machines must be exhaustive and in sync",
+    ),
+    (
+        "panic-budget",
+        "library code must not panic without a justified allow",
+    ),
+    (
+        "rng-hygiene",
+        "RNGs must be seeded from configuration, not entropy",
+    ),
+    ("unsafe-forbidden", "library crates must forbid unsafe code"),
+];
+
+/// One violation, pointing at a workspace-relative file and line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Rule name (one of [`RULES`]).
+    pub rule: &'static str,
+    /// Workspace-relative path with forward slashes.
+    pub path: String,
+    /// 1-based line number; 0 for whole-file diagnostics.
+    pub line: usize,
+    /// What is wrong.
+    pub message: String,
+    /// The offending source line (empty for whole-file diagnostics).
+    pub snippet: String,
+    /// How to fix or suppress it.
+    pub help: &'static str,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "error[{}]: {}", self.rule, self.message)?;
+        if self.line > 0 {
+            writeln!(f, "  --> {}:{}", self.path, self.line)?;
+            if !self.snippet.is_empty() {
+                let n = format!("{}", self.line);
+                writeln!(f, "  {} | {}", n, self.snippet.trim_end())?;
+            }
+        } else {
+            writeln!(f, "  --> {}", self.path)?;
+        }
+        write!(f, "  = help: {}", self.help)
+    }
+}
+
+/// A source file prepared for linting.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Workspace-relative path with forward slashes
+    /// (`crates/core/src/scanner.rs`).
+    pub rel_path: String,
+    /// Raw lines, as read.
+    pub raw: Vec<String>,
+    /// Lines with line comments removed and string-literal contents
+    /// blanked — what the rules match against.
+    pub code: Vec<String>,
+    /// 0-based index of the first test line (the `#[cfg(test)]`
+    /// attribute), or `usize::MAX` if the file has no test module.
+    pub test_start: usize,
+}
+
+impl SourceFile {
+    /// Prepare one file for linting.
+    pub fn parse(rel_path: &str, content: &str) -> SourceFile {
+        let raw: Vec<String> = content.lines().map(str::to_owned).collect();
+        let code: Vec<String> = raw.iter().map(|l| strip_line(l)).collect();
+        let test_start = raw
+            .iter()
+            .position(|l| l.trim_start().starts_with("#[cfg(test)]"))
+            .unwrap_or(usize::MAX);
+        SourceFile {
+            rel_path: rel_path.to_owned(),
+            raw,
+            code,
+            test_start,
+        }
+    }
+
+    /// The crate directory name (`core` for `crates/core/src/...`), or
+    /// `""` for paths outside `crates/`.
+    pub fn krate(&self) -> &str {
+        let mut parts = self.rel_path.split('/');
+        match (parts.next(), parts.next()) {
+            (Some("crates"), Some(c)) => c,
+            _ => "",
+        }
+    }
+
+    /// Is the 0-based line index inside the trailing test module?
+    pub fn is_test(&self, idx: usize) -> bool {
+        idx >= self.test_start
+    }
+
+    /// Is `rule` suppressed at the 0-based line index? Looks for
+    /// `iw-lint: allow(<rule>)` on the line itself or the line above
+    /// (comments included — suppressions live in comments).
+    pub fn allowed(&self, idx: usize, rule: &str) -> bool {
+        let marker = format!("iw-lint: allow({rule})");
+        let here = self.raw.get(idx).is_some_and(|l| l.contains(&marker));
+        let above = idx > 0 && self.raw[idx - 1].contains(&marker);
+        here || above
+    }
+}
+
+/// Strip a line down to lintable code: drop everything after `//`
+/// (outside string literals), blank string-literal contents, and skip
+/// char literals so a quote inside one cannot open a "string".
+fn strip_line(line: &str) -> String {
+    let mut out = String::with_capacity(line.len());
+    let mut chars = line.chars().peekable();
+    let mut in_str = false;
+    while let Some(c) = chars.next() {
+        if in_str {
+            if c == '\\' {
+                chars.next();
+            } else if c == '"' {
+                in_str = false;
+                out.push('"');
+            }
+            continue;
+        }
+        match c {
+            '"' => {
+                in_str = true;
+                out.push('"');
+            }
+            '/' if chars.peek() == Some(&'/') => break,
+            '\'' => {
+                // Char literal ('x', '\n') vs lifetime ('a): consume a
+                // literal wholesale, pass a lifetime through.
+                let mut look = chars.clone();
+                match look.next() {
+                    Some('\\') => {
+                        chars.next();
+                        for c2 in chars.by_ref() {
+                            if c2 == '\'' {
+                                break;
+                            }
+                        }
+                        out.push_str("' '");
+                    }
+                    Some(_) if look.next() == Some('\'') => {
+                        chars.next();
+                        chars.next();
+                        out.push_str("' '");
+                    }
+                    _ => out.push('\''),
+                }
+            }
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// One entry of `crates/lint/allowlist.txt`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowEntry {
+    /// Rule the entry suppresses.
+    pub rule: String,
+    /// Workspace-relative file the entry applies to.
+    pub path: String,
+    /// Substring the offending raw line must contain.
+    pub needle: String,
+}
+
+/// What to check and where. [`LintConfig::project`] encodes this
+/// workspace's policy; tests build custom configs against fixtures.
+#[derive(Debug, Clone)]
+pub struct LintConfig {
+    /// Crates where `no-wall-clock` applies (crate dir names).
+    pub wall_clock_crates: Vec<String>,
+    /// Path prefixes where `no-unordered-iteration` applies.
+    pub unordered_paths: Vec<String>,
+    /// Crates exempt from `panic-budget` (experiment harnesses).
+    pub panic_exempt_crates: Vec<String>,
+    /// File-level suppressions (see `crates/lint/allowlist.txt`).
+    pub allowlist: Vec<AllowEntry>,
+    /// Workspace-relative path of the metrics manifest.
+    pub manifest_path: String,
+    /// State machines to check.
+    pub machines: Vec<machines::MachineSpec>,
+}
+
+impl LintConfig {
+    /// The policy for this workspace.
+    pub fn project() -> LintConfig {
+        LintConfig {
+            wall_clock_crates: ["core", "netsim", "hoststack", "wire", "telemetry"]
+                .map(String::from)
+                .to_vec(),
+            unordered_paths: [
+                "crates/core/src/results.rs",
+                "crates/analysis/src/",
+                "crates/telemetry/src/",
+            ]
+            .map(String::from)
+            .to_vec(),
+            panic_exempt_crates: ["bench"].map(String::from).to_vec(),
+            allowlist: Vec::new(),
+            manifest_path: "crates/telemetry/src/manifest.rs".to_owned(),
+            machines: machines::project_machines(),
+        }
+    }
+}
+
+/// Read `crates/lint/allowlist.txt` under `root`, if present.
+/// Format: one `<rule> <path> <substring>` per line; `#` comments.
+pub fn load_allowlist(root: &Path) -> io::Result<Vec<AllowEntry>> {
+    let path = root.join("crates/lint/allowlist.txt");
+    if !path.exists() {
+        return Ok(Vec::new());
+    }
+    let mut entries = Vec::new();
+    for line in fs::read_to_string(&path)?.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.splitn(3, char::is_whitespace);
+        match (parts.next(), parts.next(), parts.next()) {
+            (Some(rule), Some(path), Some(needle)) => entries.push(AllowEntry {
+                rule: rule.to_owned(),
+                path: path.to_owned(),
+                needle: needle.trim().to_owned(),
+            }),
+            _ => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("malformed allowlist line: {line:?}"),
+                ))
+            }
+        }
+    }
+    Ok(entries)
+}
+
+/// Collect every `crates/*/src/**/*.rs` under `root`, sorted by path.
+pub fn collect_workspace(root: &Path) -> io::Result<Vec<SourceFile>> {
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<PathBuf> = fs::read_dir(&crates_dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+    let mut files = Vec::new();
+    for dir in crate_dirs {
+        let src = dir.join("src");
+        if src.is_dir() {
+            walk_rs(&src, &mut |path| {
+                let rel = rel_path(root, path);
+                let content = fs::read_to_string(path)?;
+                files.push(SourceFile::parse(&rel, &content));
+                Ok(())
+            })?;
+        }
+    }
+    files.sort_by(|a, b| a.rel_path.cmp(&b.rel_path));
+    Ok(files)
+}
+
+fn walk_rs(dir: &Path, f: &mut dyn FnMut(&Path) -> io::Result<()>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            walk_rs(&path, f)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            f(&path)?;
+        }
+    }
+    Ok(())
+}
+
+fn rel_path(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Lint the workspace at `root` with `config`. Returns the surviving
+/// (unsuppressed) diagnostics, sorted by path, line, rule.
+pub fn run(root: &Path, config: &LintConfig) -> io::Result<Vec<Diagnostic>> {
+    let files = collect_workspace(root)?;
+    Ok(check_files(&files, config))
+}
+
+/// Lint pre-collected files — the engine behind [`run`], used directly
+/// by the fixture tests.
+pub fn check_files(files: &[SourceFile], config: &LintConfig) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    rules::no_wall_clock(files, config, &mut diags);
+    rules::no_unordered_iteration(files, config, &mut diags);
+    rules::metrics_manifest(files, config, &mut diags);
+    rules::state_machine(files, config, &mut diags);
+    rules::panic_budget(files, config, &mut diags);
+    rules::rng_hygiene(files, config, &mut diags);
+    rules::unsafe_forbidden(files, config, &mut diags);
+    diags.retain(|d| !suppressed(d, files, config));
+    diags.sort_by(|a, b| (a.path.as_str(), a.line, a.rule).cmp(&(b.path.as_str(), b.line, b.rule)));
+    diags
+}
+
+fn suppressed(d: &Diagnostic, files: &[SourceFile], config: &LintConfig) -> bool {
+    if d.line > 0 {
+        if let Some(file) = files.iter().find(|f| f.rel_path == d.path) {
+            if file.allowed(d.line - 1, d.rule) {
+                return true;
+            }
+            if config.allowlist.iter().any(|a| {
+                a.rule == d.rule && a.path == d.path && file.raw[d.line - 1].contains(&a.needle)
+            }) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strip_removes_comments_and_string_contents() {
+        assert_eq!(strip_line("let x = 1; // Instant::now()"), "let x = 1; ");
+        assert_eq!(
+            strip_line(r#"let p = ".unwrap()"; p.len()"#),
+            r#"let p = ""; p.len()"#
+        );
+        assert_eq!(strip_line("x.unwrap() // ok"), "x.unwrap() ");
+    }
+
+    #[test]
+    fn strip_handles_char_literals_and_lifetimes() {
+        // A quote inside a char literal must not open a string.
+        assert_eq!(
+            strip_line("if c == '\"' { x.unwrap() }"),
+            "if c == ' ' { x.unwrap() }"
+        );
+        // Lifetimes pass through unharmed.
+        assert_eq!(
+            strip_line("fn f<'a>(s: &'a str) {}"),
+            "fn f<'a>(s: &'a str) {}"
+        );
+        // Escaped char literal.
+        assert_eq!(strip_line(r"let n = '\n'; y()"), "let n = ' '; y()");
+    }
+
+    #[test]
+    fn test_region_and_allows() {
+        let f = SourceFile::parse(
+            "crates/x/src/lib.rs",
+            "fn a() {}\n// iw-lint: allow(panic-budget)\nfn b() {}\n#[cfg(test)]\nmod tests {}\n",
+        );
+        assert!(!f.is_test(0));
+        assert!(f.is_test(3));
+        assert!(f.is_test(4));
+        assert!(f.allowed(1, "panic-budget"));
+        assert!(f.allowed(2, "panic-budget")); // line above
+        assert!(!f.allowed(0, "panic-budget"));
+        assert!(!f.allowed(2, "rng-hygiene"));
+        assert_eq!(f.krate(), "x");
+    }
+
+    #[test]
+    fn rules_table_is_unique() {
+        let names: Vec<&str> = RULES.iter().map(|(n, _)| *n).collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(names.len(), sorted.len());
+        assert_eq!(names.len(), 7);
+    }
+}

@@ -1,0 +1,109 @@
+//! Session state machines as data.
+//!
+//! The `state-machine` rule checks these transition tables two ways:
+//! internally (every state reachable from the initial state, every
+//! non-terminal state has a forced path to a terminal state, terminal
+//! states are sinks) and against the source (the `enum` declaration
+//! matches `states`, and every state is both produced and handled in
+//! the file that owns the machine).
+//!
+//! When a machine gains a state or a transition, update the table here
+//! in the same change — the lint fails loudly otherwise, which is the
+//! point: the force/watchdog paths (`force_conclude`, `Tcb::abort`)
+//! must keep covering every non-terminal state.
+
+/// One edge of a machine's transition relation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Transition {
+    /// Source state.
+    pub from: &'static str,
+    /// Destination state.
+    pub to: &'static str,
+    /// True if this edge is a forced conclusion (watchdog / eviction /
+    /// `force_conclude`) rather than a normal protocol step.
+    pub force: bool,
+}
+
+/// A session state machine: the enum in the source plus its intended
+/// transition relation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MachineSpec {
+    /// Enum name as written in the source (`Phase`, `State`).
+    pub name: &'static str,
+    /// Workspace-relative path of the file declaring and driving the
+    /// machine.
+    pub file: &'static str,
+    /// Every variant of the enum, in declaration order.
+    pub states: &'static [&'static str],
+    /// The state a fresh machine starts in.
+    pub initial: &'static str,
+    /// States the machine may end in (sinks).
+    pub terminal: &'static [&'static str],
+    /// The intended transition relation.
+    pub transitions: &'static [Transition],
+}
+
+const fn step(from: &'static str, to: &'static str) -> Transition {
+    Transition {
+        from,
+        to,
+        force: false,
+    }
+}
+
+const fn force(from: &'static str, to: &'static str) -> Transition {
+    Transition {
+        from,
+        to,
+        force: true,
+    }
+}
+
+/// The probe-session machine (`HostSession`'s per-connection `Phase` in
+/// `iw-core`): SYN sent → collecting the response burst → verifying via
+/// the delayed ACK → done. `force_conclude` (timeouts, watchdog
+/// eviction, mid-connection errors) must conclude every live phase.
+pub fn phase_machine() -> MachineSpec {
+    const TRANSITIONS: [Transition; 5] = [
+        step("SynSent", "Collecting"),
+        step("Collecting", "Verifying"),
+        force("SynSent", "Done"),
+        force("Collecting", "Done"),
+        force("Verifying", "Done"),
+    ];
+    MachineSpec {
+        name: "Phase",
+        file: "crates/core/src/inference.rs",
+        states: &["SynSent", "Collecting", "Verifying", "Done"],
+        initial: "SynSent",
+        terminal: &["Done"],
+        transitions: &TRANSITIONS,
+    }
+}
+
+/// The responder-side TCB machine in `iw-hoststack`: handshake →
+/// established → FIN-wait → closed, with `abort`/RST as the forced path
+/// out of every live state.
+pub fn tcb_machine() -> MachineSpec {
+    const TRANSITIONS: [Transition; 6] = [
+        step("SynRcvd", "Established"),
+        step("Established", "FinWait"),
+        step("FinWait", "Closed"),
+        force("SynRcvd", "Closed"),
+        force("Established", "Closed"),
+        force("FinWait", "Closed"),
+    ];
+    MachineSpec {
+        name: "State",
+        file: "crates/hoststack/src/tcb.rs",
+        states: &["SynRcvd", "Established", "FinWait", "Closed"],
+        initial: "SynRcvd",
+        terminal: &["Closed"],
+        transitions: &TRANSITIONS,
+    }
+}
+
+/// The machines the project config checks.
+pub fn project_machines() -> Vec<MachineSpec> {
+    vec![phase_machine(), tcb_machine()]
+}

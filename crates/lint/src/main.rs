@@ -1,0 +1,109 @@
+//! `cargo run -p iw-lint` — lint the workspace, exit nonzero on
+//! violations. See the library docs for the rules.
+
+use iw_lint::{load_allowlist, run, LintConfig, RULES};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+usage: iw-lint [--root <dir>] [--rule <name>]... [--list-rules]
+
+Checks the workspace's determinism, metrics-manifest and state-machine
+invariants. Exits 0 when clean, 1 on violations, 2 on usage/IO errors.
+
+  --root <dir>    workspace root (default: walk up from the cwd)
+  --rule <name>   only report this rule (repeatable)
+  --list-rules    print the rule names and exit";
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut only: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--list-rules" => {
+                for (name, desc) in RULES {
+                    println!("{name:24} {desc}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => return usage_error("--root needs a directory"),
+            },
+            "--rule" => match args.next() {
+                Some(name) => {
+                    if !RULES.iter().any(|(n, _)| *n == name) {
+                        return usage_error(&format!("unknown rule `{name}`"));
+                    }
+                    only.push(name);
+                }
+                None => return usage_error("--rule needs a rule name"),
+            },
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage_error(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let root = match root.map(Ok).unwrap_or_else(find_root) {
+        Ok(root) => root,
+        Err(e) => {
+            eprintln!("iw-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut config = LintConfig::project();
+    config.allowlist = match load_allowlist(&root) {
+        Ok(list) => list,
+        Err(e) => {
+            eprintln!("iw-lint: bad allowlist: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let diags = match run(&root, &config) {
+        Ok(diags) => diags,
+        Err(e) => {
+            eprintln!("iw-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let diags: Vec<_> = diags
+        .into_iter()
+        .filter(|d| only.is_empty() || only.iter().any(|r| r == d.rule))
+        .collect();
+    if diags.is_empty() {
+        println!("iw-lint: workspace clean ({} rules)", RULES.len());
+        return ExitCode::SUCCESS;
+    }
+    for d in &diags {
+        println!("{d}\n");
+    }
+    println!("iw-lint: {} violation(s)", diags.len());
+    ExitCode::FAILURE
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("iw-lint: {msg}\n{USAGE}");
+    ExitCode::from(2)
+}
+
+/// Walk up from the cwd to the directory whose `Cargo.toml` declares
+/// `[workspace]`.
+fn find_root() -> Result<PathBuf, String> {
+    let mut dir = std::env::current_dir().map_err(|e| e.to_string())?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            let text = std::fs::read_to_string(&manifest).map_err(|e| e.to_string())?;
+            if text.contains("[workspace]") {
+                return Ok(dir);
+            }
+        }
+        if !dir.pop() {
+            return Err("no workspace root found above the current directory".to_owned());
+        }
+    }
+}

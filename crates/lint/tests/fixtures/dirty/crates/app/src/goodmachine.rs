@@ -1,0 +1,23 @@
+//! Fixture: a machine fully in sync with its table.
+
+pub enum Lamp {
+    Off,
+    On,
+}
+
+pub struct L {
+    state: Lamp,
+}
+
+impl L {
+    pub fn new() -> L {
+        L { state: Lamp::Off }
+    }
+
+    pub fn toggle(&mut self) {
+        self.state = match self.state {
+            Lamp::Off => Lamp::On,
+            Lamp::On => Lamp::Off,
+        };
+    }
+}

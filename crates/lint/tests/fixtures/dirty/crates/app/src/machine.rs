@@ -1,0 +1,27 @@
+//! Fixture: a state machine out of sync with its transition table.
+
+pub enum Gate {
+    Open,
+    Closing,
+    Shut,
+    Limbo,
+}
+
+pub struct G {
+    state: Gate,
+}
+
+impl G {
+    pub fn new() -> G {
+        G { state: Gate::Open }
+    }
+
+    pub fn step(&mut self) {
+        self.state = match self.state {
+            Gate::Open => Gate::Closing,
+            Gate::Closing => Gate::Shut,
+            Gate::Shut => Gate::Shut,
+            Gate::Limbo => Gate::Open,
+        };
+    }
+}

@@ -1,0 +1,7 @@
+//! Fixture: a crate outside the wall-clock scope and panic budget.
+#![forbid(unsafe_code)]
+
+pub fn now_is_fine() {
+    let _ = std::time::SystemTime::now();
+    let _: u32 = Option::<u32>::Some(1).unwrap();
+}

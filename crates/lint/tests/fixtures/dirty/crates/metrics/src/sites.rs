@@ -1,0 +1,13 @@
+//! Fixture metric call sites: one conformant, five violations.
+
+pub fn register(r: &mut Registry) {
+    r.counter("fix.good", Scope::Scan);
+    r.counter("fix.unknown", Scope::Scan);
+    r.gauge("fix.good", Scope::Scan);
+    r.counter("fix.good", Scope::Shard);
+    r.register_counter(&manifest::WRONG_KIND);
+    r.register_counter(&manifest::MISSING);
+    r.register_counter(&manifest::DUP);
+    r.register_counter(&manifest::BADNAME);
+    let _ = manifest::GROUP.len();
+}

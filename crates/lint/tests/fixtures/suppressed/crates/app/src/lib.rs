@@ -1,0 +1,15 @@
+//! Fixture: every panic site is suppressed one way or another.
+#![forbid(unsafe_code)]
+
+pub fn a() -> u32 {
+    // iw-lint: allow(panic-budget): fixture justification
+    Option::<u32>::Some(1).unwrap()
+}
+
+pub fn b() -> u32 {
+    Option::<u32>::Some(2).unwrap() // iw-lint: allow(panic-budget)
+}
+
+pub fn c() -> u32 {
+    Option::<u32>::Some(3).unwrap()
+}

@@ -1,0 +1,330 @@
+//! Fixture tests: every rule fires with the right span, suppressions
+//! work, and the real workspace is clean.
+
+use iw_lint::machines::{MachineSpec, Transition};
+use iw_lint::{check_files, collect_workspace, load_allowlist, AllowEntry, Diagnostic, LintConfig};
+use std::path::{Path, PathBuf};
+
+fn fixture_root(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn lint_fixture(name: &str, config: &LintConfig) -> Vec<Diagnostic> {
+    let files = collect_workspace(&fixture_root(name)).unwrap();
+    check_files(&files, config)
+}
+
+const GATE_TRANSITIONS: [Transition; 2] = [
+    Transition {
+        from: "Open",
+        to: "Closing",
+        force: false,
+    },
+    Transition {
+        from: "Closing",
+        to: "Shut",
+        force: false,
+    },
+];
+
+fn gate_spec() -> MachineSpec {
+    MachineSpec {
+        name: "Gate",
+        file: "crates/app/src/machine.rs",
+        states: &["Open", "Closing", "Shut", "Stuck"],
+        initial: "Open",
+        terminal: &["Shut"],
+        transitions: &GATE_TRANSITIONS,
+    }
+}
+
+const LAMP_TRANSITIONS: [Transition; 2] = [
+    Transition {
+        from: "Off",
+        to: "On",
+        force: false,
+    },
+    Transition {
+        from: "Off",
+        to: "On",
+        force: true,
+    },
+];
+
+fn lamp_spec() -> MachineSpec {
+    MachineSpec {
+        name: "Lamp",
+        file: "crates/app/src/goodmachine.rs",
+        states: &["Off", "On"],
+        initial: "Off",
+        terminal: &["On"],
+        transitions: &LAMP_TRANSITIONS,
+    }
+}
+
+fn dirty_config() -> LintConfig {
+    LintConfig {
+        wall_clock_crates: vec!["app".into()],
+        unordered_paths: vec!["crates/app/src/".into()],
+        panic_exempt_crates: vec!["harness".into()],
+        allowlist: Vec::new(),
+        manifest_path: "crates/metrics/src/manifest.rs".into(),
+        machines: vec![gate_spec(), lamp_spec()],
+    }
+}
+
+#[track_caller]
+fn assert_fires(diags: &[Diagnostic], rule: &str, path: &str, line: usize, needle: &str) {
+    assert!(
+        diags.iter().any(|d| d.rule == rule
+            && d.path == path
+            && d.line == line
+            && d.message.contains(needle)),
+        "expected {rule} at {path}:{line} containing {needle:?}; got:\n{}",
+        diags
+            .iter()
+            .map(|d| format!("  {}[{}:{}] {}", d.rule, d.path, d.line, d.message))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn pattern_rules_fire_with_the_right_spans() {
+    let diags = lint_fixture("dirty", &dirty_config());
+    let lib = "crates/app/src/lib.rs";
+    assert_fires(&diags, "no-wall-clock", lib, 3, "SystemTime");
+    assert_fires(&diags, "no-wall-clock", lib, 5, "SystemTime");
+    assert_fires(&diags, "no-wall-clock", lib, 6, "SystemTime");
+    assert_fires(&diags, "no-unordered-iteration", lib, 10, "HashMap");
+    assert_fires(&diags, "panic-budget", lib, 16, ".unwrap()");
+    assert_fires(&diags, "rng-hygiene", lib, 20, "thread_rng");
+    assert_fires(
+        &diags,
+        "unsafe-forbidden",
+        lib,
+        0,
+        "does not forbid unsafe code",
+    );
+}
+
+#[test]
+fn out_of_scope_crate_is_untouched() {
+    let diags = lint_fixture("dirty", &dirty_config());
+    assert!(
+        diags.iter().all(|d| !d.path.contains("harness")),
+        "harness is exempt from wall-clock and panic-budget"
+    );
+}
+
+#[test]
+fn test_regions_are_exempt() {
+    let diags = lint_fixture("dirty", &dirty_config());
+    // The trailing `mod tests` in the fixture uses HashSet and unwrap;
+    // nothing may fire past the #[cfg(test)] line (line 24).
+    assert!(
+        diags
+            .iter()
+            .all(|d| d.path != "crates/app/src/lib.rs" || d.line < 24),
+        "test region produced diagnostics"
+    );
+}
+
+#[test]
+fn state_machine_rule_finds_every_drift() {
+    let diags = lint_fixture("dirty", &dirty_config());
+    let m = "crates/app/src/machine.rs";
+    assert_fires(&diags, "state-machine", m, 0, "`Stuck` is unreachable");
+    assert_fires(
+        &diags,
+        "state-machine",
+        m,
+        0,
+        "`Open` has no forced transition",
+    );
+    assert_fires(
+        &diags,
+        "state-machine",
+        m,
+        0,
+        "`Closing` has no forced transition",
+    );
+    assert_fires(
+        &diags,
+        "state-machine",
+        m,
+        0,
+        "`Stuck` has no forced transition",
+    );
+    assert_fires(
+        &diags,
+        "state-machine",
+        m,
+        3,
+        "`Limbo` is missing from the transition table",
+    );
+    assert_fires(&diags, "state-machine", m, 3, "`Stuck` is not a variant");
+    assert_fires(&diags, "state-machine", m, 3, "`Stuck` is never produced");
+    assert_fires(&diags, "state-machine", m, 3, "`Stuck` is never handled");
+    // The in-sync Lamp machine contributes nothing.
+    assert!(
+        diags
+            .iter()
+            .all(|d| d.path != "crates/app/src/goodmachine.rs"),
+        "in-sync machine must be clean"
+    );
+}
+
+#[test]
+fn metrics_manifest_rule_checks_declarations_and_call_sites() {
+    let diags = lint_fixture("dirty", &dirty_config());
+    let man = "crates/metrics/src/manifest.rs";
+    let sites = "crates/metrics/src/sites.rs";
+    assert_fires(
+        &diags,
+        "metrics-manifest",
+        man,
+        7,
+        "already declared as `GOOD`",
+    );
+    assert_fires(&diags, "metrics-manifest", man, 8, "not lowercase dotted");
+    assert_fires(
+        &diags,
+        "metrics-manifest",
+        man,
+        6,
+        "declared but never registered",
+    );
+    assert_fires(
+        &diags,
+        "metrics-manifest",
+        sites,
+        5,
+        "not declared in the manifest",
+    );
+    assert_fires(&diags, "metrics-manifest", sites, 6, "used here as a gauge");
+    assert_fires(
+        &diags,
+        "metrics-manifest",
+        sites,
+        7,
+        "registered here as Scope::Shard",
+    );
+    assert_fires(
+        &diags,
+        "metrics-manifest",
+        sites,
+        8,
+        "registered with register_counter",
+    );
+    assert_fires(
+        &diags,
+        "metrics-manifest",
+        sites,
+        9,
+        "not a declared metric",
+    );
+    // VIA_GROUP is referenced only through the GROUP array — the array
+    // use must mark it as registered (no unused diag at line 5).
+    assert!(
+        diags.iter().all(|d| !(d.path == man && d.line == 5)),
+        "array-propagated usage must count"
+    );
+}
+
+#[test]
+fn dirty_fixture_has_no_false_positives() {
+    let diags = lint_fixture("dirty", &dirty_config());
+    // 7 in lib.rs + 8 state-machine + 3 manifest + 5 call sites.
+    assert_eq!(
+        diags.len(),
+        23,
+        "unexpected diagnostics:\n{}",
+        diags
+            .iter()
+            .map(|d| format!("  {}[{}:{}] {}", d.rule, d.path, d.line, d.message))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+fn suppressed_config(with_allowlist: bool) -> LintConfig {
+    LintConfig {
+        wall_clock_crates: Vec::new(),
+        unordered_paths: Vec::new(),
+        panic_exempt_crates: Vec::new(),
+        allowlist: if with_allowlist {
+            vec![AllowEntry {
+                rule: "panic-budget".into(),
+                path: "crates/app/src/lib.rs".into(),
+                needle: "Some(3)".into(),
+            }]
+        } else {
+            Vec::new()
+        },
+        manifest_path: "crates/app/src/lib.rs".into(),
+        machines: Vec::new(),
+    }
+}
+
+#[test]
+fn inline_and_allowlist_suppressions_work() {
+    // Inline allows (same line and line above) plus the allowlist
+    // entry silence all three unwraps.
+    let diags = lint_fixture("suppressed", &suppressed_config(true));
+    assert!(
+        diags.is_empty(),
+        "suppressions failed:\n{}",
+        diags
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    // Without the allowlist entry, exactly the unsuppressed site fires.
+    let diags = lint_fixture("suppressed", &suppressed_config(false));
+    assert_eq!(diags.len(), 1);
+    assert_fires(
+        &diags,
+        "panic-budget",
+        "crates/app/src/lib.rs",
+        14,
+        ".unwrap()",
+    );
+}
+
+#[test]
+fn missing_manifest_is_reported() {
+    let mut config = suppressed_config(true);
+    config.manifest_path = "crates/metrics/src/manifest.rs".into();
+    let diags = lint_fixture("suppressed", &config);
+    assert_fires(
+        &diags,
+        "metrics-manifest",
+        "crates/metrics/src/manifest.rs",
+        0,
+        "manifest not found",
+    );
+}
+
+#[test]
+fn project_workspace_is_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .unwrap();
+    let mut config = LintConfig::project();
+    config.allowlist = load_allowlist(&root).unwrap();
+    let diags = iw_lint::run(&root, &config).unwrap();
+    assert!(
+        diags.is_empty(),
+        "workspace must lint clean:\n{}",
+        diags
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

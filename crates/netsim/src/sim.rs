@@ -273,6 +273,9 @@ impl<S: Endpoint, F: HostFactory> Sim<S, F> {
             self.stats.lost += 1;
             return;
         }
+        // `spawn_host` just succeeded, so the link exists; a miss here is
+        // simulator corruption and must abort the run loudly.
+        // iw-lint: allow(panic-budget)
         let link = self.links.get_mut(&dst).expect("spawned host has a link");
         let arrivals = link.transit(Direction::Forward);
         if arrivals.is_empty() {

@@ -40,10 +40,12 @@
 
 pub mod events;
 pub mod json;
+pub mod manifest;
 pub mod monitor;
 pub mod registry;
 
 pub use events::{EventLog, EventRecord, OutcomeKind, SessionEvent};
+pub use manifest::{MetricDef, MetricKind};
 pub use monitor::{BufferSink, ProgressMonitor, ProgressSample, StatusSink, StdoutSink};
 pub use registry::{
     CounterId, GaugeId, HistogramId, HistogramSnapshot, MetricsRegistry, Scope, Snapshot,

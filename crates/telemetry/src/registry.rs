@@ -6,6 +6,7 @@
 //! name-keyed, mergeable, and serialize to deterministic JSON.
 
 use crate::json::{push_key, push_u64_field};
+use crate::manifest::{MetricDef, MetricKind};
 use std::collections::BTreeMap;
 use std::fmt::Write;
 
@@ -166,6 +167,36 @@ impl MetricsRegistry {
             value: Histogram::default(),
         });
         HistogramId(self.histograms.len() - 1)
+    }
+
+    /// Register a counter declared in the [`crate::manifest`]. This is
+    /// the preferred registration path: name and scope come from the
+    /// manifest's single declaration and cannot drift.
+    pub fn register_counter(&mut self, def: &'static MetricDef) -> CounterId {
+        assert_eq!(
+            def.kind,
+            MetricKind::Counter,
+            "{} is not a counter",
+            def.name
+        );
+        self.counter(def.name, def.scope)
+    }
+
+    /// Register a gauge declared in the [`crate::manifest`].
+    pub fn register_gauge(&mut self, def: &'static MetricDef) -> GaugeId {
+        assert_eq!(def.kind, MetricKind::Gauge, "{} is not a gauge", def.name);
+        self.gauge(def.name, def.scope)
+    }
+
+    /// Register a histogram declared in the [`crate::manifest`].
+    pub fn register_histogram(&mut self, def: &'static MetricDef) -> HistogramId {
+        assert_eq!(
+            def.kind,
+            MetricKind::Histogram,
+            "{} is not a histogram",
+            def.name
+        );
+        self.histogram(def.name, def.scope)
     }
 
     /// Increment a counter by one.
@@ -535,6 +566,29 @@ mod tests {
         // Canonical form is exactly the scan section.
         let canon = r.snapshot().to_canonical_json();
         assert!(json.contains(&canon), "canonical is a substring");
+    }
+
+    #[test]
+    fn manifest_registration_uses_declared_name_and_scope() {
+        use crate::manifest;
+        let mut r = MetricsRegistry::new();
+        let c = r.register_counter(&manifest::SCAN_TARGETS_SENT);
+        let g = r.register_gauge(&manifest::SHARD_SESSIONS_LIVE_PEAK);
+        let h = r.register_histogram(&manifest::SCAN_RTT_NANOS);
+        r.add(c, 3);
+        r.gauge_set(g, 2);
+        r.observe(h, 9);
+        let snap = r.snapshot();
+        assert_eq!(snap.counters["scan.targets_sent"], (Scope::Scan, 3));
+        assert_eq!(snap.gauges["shard.sessions.live_peak"], (Scope::Shard, 2));
+        assert_eq!(snap.histogram("scan.rtt_nanos").unwrap().scope, Scope::Scan);
+    }
+
+    #[test]
+    #[should_panic(expected = "is not a gauge")]
+    fn manifest_registration_checks_kind() {
+        let mut r = MetricsRegistry::new();
+        let _ = r.register_gauge(&crate::manifest::SCAN_TARGETS_SENT);
     }
 
     #[test]

@@ -140,6 +140,17 @@ mod field {
     pub const DST_ADDR: Range<usize> = 16..20;
 }
 
+/// Read a big-endian `u16` from the first two bytes of a field slice
+/// (length already validated by `check_len`).
+fn be16(b: &[u8]) -> u16 {
+    u16::from_be_bytes([b[0], b[1]])
+}
+
+/// Copy the first four bytes of a (validated) address field slice.
+fn octets4(b: &[u8]) -> [u8; 4] {
+    [b[0], b[1], b[2], b[3]]
+}
+
 /// A read/write view of an IPv4 packet.
 #[derive(Debug, Clone)]
 pub struct Packet<T: AsRef<[u8]>> {
@@ -198,12 +209,12 @@ impl<T: AsRef<[u8]>> Packet<T> {
 
     /// Total length field (header + payload).
     pub fn total_len(&self) -> u16 {
-        u16::from_be_bytes(self.buffer.as_ref()[field::LENGTH].try_into().unwrap())
+        be16(&self.buffer.as_ref()[field::LENGTH])
     }
 
     /// Identification field.
     pub fn ident(&self) -> u16 {
-        u16::from_be_bytes(self.buffer.as_ref()[field::IDENT].try_into().unwrap())
+        be16(&self.buffer.as_ref()[field::IDENT])
     }
 
     /// Don't Fragment flag.
@@ -223,17 +234,17 @@ impl<T: AsRef<[u8]>> Packet<T> {
 
     /// Header checksum field.
     pub fn header_checksum(&self) -> u16 {
-        u16::from_be_bytes(self.buffer.as_ref()[field::CHECKSUM].try_into().unwrap())
+        be16(&self.buffer.as_ref()[field::CHECKSUM])
     }
 
     /// Source address.
     pub fn src_addr(&self) -> Ipv4Addr {
-        Ipv4Addr::from_octets(self.buffer.as_ref()[field::SRC_ADDR].try_into().unwrap())
+        Ipv4Addr::from_octets(octets4(&self.buffer.as_ref()[field::SRC_ADDR]))
     }
 
     /// Destination address.
     pub fn dst_addr(&self) -> Ipv4Addr {
-        Ipv4Addr::from_octets(self.buffer.as_ref()[field::DST_ADDR].try_into().unwrap())
+        Ipv4Addr::from_octets(octets4(&self.buffer.as_ref()[field::DST_ADDR]))
     }
 
     /// Verify the header checksum.
@@ -311,8 +322,7 @@ impl<T: AsRef<[u8]> + AsMut<[u8]>> Packet<T> {
     /// Mutable access to the payload region.
     pub fn payload_mut(&mut self) -> &mut [u8] {
         let hlen = (self.buffer.as_ref()[field::VER_IHL] & 0x0f) as usize * 4;
-        let tlen =
-            u16::from_be_bytes(self.buffer.as_ref()[field::LENGTH].try_into().unwrap()) as usize;
+        let tlen = be16(&self.buffer.as_ref()[field::LENGTH]) as usize;
         &mut self.buffer.as_mut()[hlen..tlen]
     }
 }

@@ -229,16 +229,24 @@ impl<'a> Iterator for OptionsIter<'a> {
                     (2, 4) => TcpOption::Mss(u16::from_be_bytes([body[2], body[3]])),
                     (3, 3) => TcpOption::WindowScale(body[2]),
                     (4, 2) => TcpOption::SackPermitted,
-                    (8, 10) => TcpOption::Timestamps(
-                        u32::from_be_bytes(body[2..6].try_into().unwrap()),
-                        u32::from_be_bytes(body[6..10].try_into().unwrap()),
-                    ),
+                    (8, 10) => TcpOption::Timestamps(be32(&body[2..6]), be32(&body[6..10])),
                     _ => TcpOption::Unknown(kind, len as u8),
                 };
                 Some(Ok(opt))
             }
         }
     }
+}
+
+/// Read a big-endian `u16` from the first two bytes of a field slice
+/// (length already validated by `check_len`/the options iterator).
+fn be16(b: &[u8]) -> u16 {
+    u16::from_be_bytes([b[0], b[1]])
+}
+
+/// Read a big-endian `u32` from the first four bytes of a field slice.
+fn be32(b: &[u8]) -> u32 {
+    u32::from_be_bytes([b[0], b[1], b[2], b[3]])
 }
 
 /// A read/write view of a TCP segment (the IPv4 payload).
@@ -278,22 +286,22 @@ impl<T: AsRef<[u8]>> Packet<T> {
 
     /// Source port.
     pub fn src_port(&self) -> u16 {
-        u16::from_be_bytes(self.buffer.as_ref()[field::SRC_PORT].try_into().unwrap())
+        be16(&self.buffer.as_ref()[field::SRC_PORT])
     }
 
     /// Destination port.
     pub fn dst_port(&self) -> u16 {
-        u16::from_be_bytes(self.buffer.as_ref()[field::DST_PORT].try_into().unwrap())
+        be16(&self.buffer.as_ref()[field::DST_PORT])
     }
 
     /// Sequence number.
     pub fn seq_number(&self) -> u32 {
-        u32::from_be_bytes(self.buffer.as_ref()[field::SEQ_NUM].try_into().unwrap())
+        be32(&self.buffer.as_ref()[field::SEQ_NUM])
     }
 
     /// Acknowledgment number.
     pub fn ack_number(&self) -> u32 {
-        u32::from_be_bytes(self.buffer.as_ref()[field::ACK_NUM].try_into().unwrap())
+        be32(&self.buffer.as_ref()[field::ACK_NUM])
     }
 
     /// Header length in bytes (data offset × 4).
@@ -303,18 +311,18 @@ impl<T: AsRef<[u8]>> Packet<T> {
 
     /// Flag bits.
     pub fn flags(&self) -> Flags {
-        let raw = u16::from_be_bytes(self.buffer.as_ref()[field::FLAGS].try_into().unwrap());
+        let raw = be16(&self.buffer.as_ref()[field::FLAGS]);
         Flags::from_bits(raw & 0x01ff)
     }
 
     /// Advertised receive window (unscaled).
     pub fn window(&self) -> u16 {
-        u16::from_be_bytes(self.buffer.as_ref()[field::WIN_SIZE].try_into().unwrap())
+        be16(&self.buffer.as_ref()[field::WIN_SIZE])
     }
 
     /// Checksum field.
     pub fn checksum(&self) -> u16 {
-        u16::from_be_bytes(self.buffer.as_ref()[field::CHECKSUM].try_into().unwrap())
+        be16(&self.buffer.as_ref()[field::CHECKSUM])
     }
 
     /// Iterate over the options region.
