@@ -5,7 +5,7 @@
 //! `exp_ablations` (they share configurations).
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use iw_core::{run_scan, Protocol, ScanConfig};
+use iw_core::{Protocol, ScanConfig, ScanRunner};
 use iw_internet::{Population, PopulationConfig};
 use std::sync::Arc;
 
@@ -28,7 +28,7 @@ fn bench_ablation_mss(c: &mut Criterion) {
                 let mut config = ScanConfig::study(Protocol::Http, pop.space_size(), 55);
                 config.mss_list = vec![*mss];
                 config.rate_pps = 4_000_000;
-                black_box(run_scan(&pop, config).summary)
+                black_box(ScanRunner::new(&pop).config(config).run().summary)
             });
         });
     }
@@ -46,7 +46,7 @@ fn bench_ablation_probes(c: &mut Criterion) {
                 config.probes_per_mss = *probes;
                 config.mss_list = vec![64];
                 config.rate_pps = 4_000_000;
-                black_box(run_scan(&pop, config).summary)
+                black_box(ScanRunner::new(&pop).config(config).run().summary)
             });
         });
     }
@@ -63,7 +63,7 @@ fn bench_ablation_verify(c: &mut Criterion) {
                 let mut config = ScanConfig::study(Protocol::Tls, pop.space_size(), 55);
                 config.verify_exhaustion = *verify;
                 config.rate_pps = 4_000_000;
-                black_box(run_scan(&pop, config).summary)
+                black_box(ScanRunner::new(&pop).config(config).run().summary)
             });
         });
     }

@@ -8,7 +8,7 @@ use iw_analysis::dbscan::{dbscan, summarize, AsPoint};
 use iw_analysis::histogram::IwHistogram;
 use iw_analysis::sampling::repeated_sample_stats;
 use iw_analysis::tables::{Table1, Table2, Table3};
-use iw_core::{run_scan, Protocol, ResilienceConfig, ScanConfig, ScanOutput, TargetSpec};
+use iw_core::{Protocol, ResilienceConfig, ScanConfig, ScanOutput, ScanRunner, TargetSpec};
 use iw_internet::{alexa, certs, Population, PopulationConfig};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -25,7 +25,7 @@ fn bench_world() -> Arc<Population> {
 fn scan(pop: &Arc<Population>, protocol: Protocol) -> ScanOutput {
     let mut config = ScanConfig::study(protocol, pop.space_size(), 99);
     config.rate_pps = 4_000_000;
-    run_scan(pop, config)
+    ScanRunner::new(pop).config(config).run()
 }
 
 fn bench_scans(c: &mut Criterion) {
@@ -57,7 +57,7 @@ fn bench_scans(c: &mut Criterion) {
             let mut config = ScanConfig::study(Protocol::Http, lossy.space_size(), 99);
             config.rate_pps = 4_000_000;
             config.resilience = ResilienceConfig::hardened();
-            black_box(run_scan(&lossy, config).summary)
+            black_box(ScanRunner::new(&lossy).config(config).run().summary)
         });
     });
     group.bench_function("fig4_alexa_scan", |b| {
@@ -68,7 +68,7 @@ fn bench_scans(c: &mut Criterion) {
             let mut config = ScanConfig::study(Protocol::Http, pop.space_size(), 99);
             config.targets = TargetSpec::List(targets.clone());
             config.rate_pps = 4_000_000;
-            black_box(run_scan(&pop, config).summary)
+            black_box(ScanRunner::new(&pop).config(config).run().summary)
         });
     });
     group.finish();

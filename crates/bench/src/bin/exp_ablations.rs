@@ -9,7 +9,7 @@
 //!    out-of-data hosts are silently misreported as confident successes.
 
 use iw_bench::{banner, standard_population, Scale, SEED};
-use iw_core::{run_scan_sharded, MssVerdict, Protocol, ScanConfig};
+use iw_core::{MssVerdict, Protocol, ScanConfig, ScanRunner};
 use iw_internet::{Population, PopulationConfig};
 use std::sync::Arc;
 
@@ -48,7 +48,10 @@ fn main() {
         let mut config = ScanConfig::study(Protocol::Http, pop.space_size(), SEED);
         config.mss_list = vec![mss];
         config.rate_pps = 4_000_000;
-        let out = run_scan_sharded(&pop, config, iw_bench::threads());
+        let out = ScanRunner::new(&pop)
+            .config(config)
+            .shards(iw_bench::threads())
+            .run();
         let (s, f, _) = out.summary.rates();
         println!("  {mss:<6} {s:>7.1}  {f:>8.1}");
         success_at.push((mss, s));
@@ -81,7 +84,10 @@ fn main() {
         config.probes_per_mss = probes;
         config.mss_list = vec![64];
         config.rate_pps = 4_000_000;
-        let out = run_scan_sharded(&lossy, config, iw_bench::threads());
+        let out = ScanRunner::new(&lossy)
+            .config(config)
+            .shards(iw_bench::threads())
+            .run();
         let (exact, wrong, inconclusive) = accuracy(&lossy, &out);
         println!("  {probes:<7} {exact:<6} {wrong:<6} {inconclusive}");
         exact_at.push((probes, exact, wrong));
@@ -107,7 +113,10 @@ fn main() {
         let mut config = ScanConfig::study(Protocol::Tls, pop.space_size(), SEED);
         config.verify_exhaustion = verify;
         config.rate_pps = 4_000_000;
-        let out = run_scan_sharded(&pop, config, iw_bench::threads());
+        let out = ScanRunner::new(&pop)
+            .config(config)
+            .shards(iw_bench::threads())
+            .run();
         let (exact, wrong, inconclusive) = accuracy(&pop, &out);
         println!("  {verify:<7} {exact:<6} {wrong:<6} {inconclusive}");
         wrongs.push(wrong);

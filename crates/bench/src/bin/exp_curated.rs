@@ -15,7 +15,7 @@
 //! probe presenting the right Host header can trigger.
 
 use iw_bench::{banner, standard_population, Scale, SEED};
-use iw_core::{run_scan, MssVerdict, Protocol, ScanConfig, TargetSpec};
+use iw_core::{MssVerdict, Protocol, ScanConfig, ScanRunner, TargetSpec};
 use iw_internet::registry::NetClass;
 use std::collections::HashMap;
 
@@ -26,7 +26,7 @@ fn scan_with_domains(
     let mut config = ScanConfig::study(Protocol::Http, population.space_size(), SEED);
     config.targets = TargetSpec::List(targets);
     config.rate_pps = 4_000_000;
-    let out = run_scan(population, config);
+    let out = ScanRunner::new(population).config(config).run();
     out.results
         .iter()
         .filter_map(|r| r.primary_verdict().map(|v| (r.ip, v)))

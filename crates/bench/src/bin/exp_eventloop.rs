@@ -1,0 +1,385 @@
+//! Event-loop throughput scenario, emitting `BENCH_eventloop.json`.
+//!
+//! The primary measurement drives the `iw-netsim` kernel directly with
+//! the hot-path shape of a resilient paced scan: a scanner that emits
+//! 64-probe batches of SYN-sized datagrams every virtual millisecond,
+//! arms a 1–3 s retransmission timer per probe (the SYN-retry pattern,
+//! so ~10⁵ timers stay pending), and 512 echo hosts answering every
+//! probe. Events/sec and packets/sec come straight from the kernel's
+//! counters; the event count is identical on every engine, so the
+//! comparison is wall-clock only.
+//!
+//! The committed `baseline` section is the pre-overhaul engine
+//! (`BinaryHeap` queue, per-arrival `Vec<u8>` clones, per-emit
+//! allocations) measured on this exact workload at Small scale; the
+//! `current` section is refreshed by every run, and
+//! `speedup_events_per_sec` (current ÷ baseline) is emitted when the
+//! run matches the baseline's scenario shape. A secondary `scan`
+//! section reports the end-to-end scan drive for context.
+//!
+//! `--check` validates an existing `BENCH_eventloop.json` instead of
+//! measuring: the CI `bench-smoke` job runs the scenario in debug at
+//! smoke scale and then fails on a missing file or malformed schema.
+
+use iw_bench::{banner, standard_population, Scale};
+use iw_core::{Protocol, ScanConfig, ScanOutput, ScanRunner};
+use iw_internet::Population;
+use std::sync::Arc;
+use std::time::Instant;
+
+const OUT_PATH: &str = "BENCH_eventloop.json";
+const REPS: usize = 3;
+const SCHEMA: &str = "iw-bench/eventloop/v1";
+
+/// Pre-overhaul engine, recorded on this machine before the
+/// timer-wheel/pooled-buffer rework landed (best of three reps, release
+/// build, Small-scale churn: 10 000 rounds). Keep in sync with the
+/// `baseline` section of the committed `BENCH_eventloop.json`.
+const BASELINE_ENGINE: &str = "binaryheap+hashmap+alloc";
+const BASELINE_WALL_SECS: f64 = 0.7031;
+const BASELINE_EVENTS_PER_SEC: f64 = 2_744_995.4;
+const BASELINE_PACKETS_PER_SEC: f64 = 1_820_515.1;
+
+/// End-to-end scan drive on the pre-overhaul engine (Small scale, one
+/// shard), for the secondary `scan` context section.
+const SCAN_BASELINE_WALL_SECS: f64 = 0.6591;
+const SCAN_BASELINE_HOSTS_PER_SEC: f64 = 198_869.3;
+
+const CURRENT_ENGINE: &str = "timerwheel+ipmap+pool";
+
+/// The kernel churn workload: the measured phase of this benchmark.
+mod churn {
+    use iw_netsim::{Duration, Effects, Endpoint, Instant, LinkConfig, Sim, SimConfig, TimerToken};
+
+    /// Responsive-host population behind the scanner.
+    pub const HOSTS: u32 = 512;
+    const BASE_ADDR: u32 = 0x0A00_0001;
+    /// Probes per pace tick (one tick per virtual millisecond).
+    pub const BATCH: usize = 64;
+    /// SYN-sized probe: 20-byte IPv4 header + 20-byte TCP header.
+    pub const PROBE_BYTES: usize = 40;
+    const REPLY_BYTES: usize = 40;
+
+    const PACE_TOKEN: TimerToken = 0;
+    const RETX_TOKEN: TimerToken = 1;
+
+    pub struct Outcome {
+        pub events: u64,
+        pub packets: u64,
+        pub pool_allocations: u64,
+    }
+
+    struct ChurnScanner {
+        rounds_left: u64,
+        next: u32,
+        template: Vec<u8>,
+        rx: u64,
+    }
+
+    impl Endpoint for ChurnScanner {
+        fn on_packet(&mut self, _pkt: &[u8], _now: Instant, _fx: &mut Effects) {
+            self.rx += 1;
+        }
+        fn on_timer(&mut self, token: TimerToken, _now: Instant, fx: &mut Effects) {
+            if token == RETX_TOKEN {
+                // A pending retransmission came due; the probe was
+                // answered long ago, so this is the no-op cancel path.
+                self.rx += 1;
+                return;
+            }
+            if self.rounds_left == 0 {
+                return;
+            }
+            self.rounds_left -= 1;
+            for _ in 0..BATCH {
+                let dst = BASE_ADDR + (self.next % HOSTS);
+                let mut pkt = fx.buffer();
+                pkt.extend_from_slice(&self.template);
+                pkt[16..20].copy_from_slice(&dst.to_be_bytes());
+                fx.send(pkt.freeze());
+                // SYN-retry backoff, 1–3 s spread: the timer population
+                // pending in the queue grows to ~10⁵ entries.
+                fx.arm(
+                    Duration::from_millis(1_000 + u64::from(self.next % 2_000)),
+                    RETX_TOKEN,
+                );
+                self.next = self.next.wrapping_add(1);
+            }
+            if self.rounds_left > 0 {
+                fx.arm(Duration::from_millis(1), PACE_TOKEN);
+            }
+        }
+    }
+
+    struct EchoHost {
+        reply: Vec<u8>,
+    }
+
+    impl Endpoint for EchoHost {
+        fn on_packet(&mut self, _pkt: &[u8], _now: Instant, fx: &mut Effects) {
+            let mut reply = fx.buffer();
+            reply.extend_from_slice(&self.reply);
+            fx.send(reply.freeze());
+        }
+        fn on_timer(&mut self, _token: TimerToken, _now: Instant, _fx: &mut Effects) {}
+    }
+
+    /// Run `rounds` pace ticks and drain the retransmission tail.
+    /// Deterministic: the event count depends only on `rounds`.
+    pub fn drive(rounds: u64) -> (Outcome, f64) {
+        let mut template = vec![0u8; PROBE_BYTES];
+        template[0] = 0x45;
+        let scanner = ChurnScanner {
+            rounds_left: rounds,
+            next: 0,
+            template,
+            rx: 0,
+        };
+        let factory = |_ip: u32| {
+            Some((
+                Box::new(EchoHost {
+                    reply: vec![0u8; REPLY_BYTES],
+                }) as Box<dyn Endpoint>,
+                LinkConfig {
+                    latency: Duration::from_millis(10),
+                    jitter: Duration::ZERO,
+                    loss: 0.0,
+                    dup: 0.0,
+                    ..LinkConfig::default()
+                },
+            ))
+        };
+        let mut sim = Sim::new(
+            scanner,
+            factory,
+            SimConfig {
+                seed: iw_bench::SEED,
+                record_trace: false,
+            },
+        );
+        // Pace ticks cover `rounds` ms of virtual time; the 3 s window
+        // after that drains the retransmission tail.
+        let deadline = sim.now() + Duration::from_millis(rounds + 3_000);
+        sim.kick_scanner(|_s, _now, fx| fx.arm(Duration::ZERO, PACE_TOKEN));
+        let t0 = std::time::Instant::now();
+        sim.run_until(deadline);
+        let wall = t0.elapsed().as_secs_f64();
+        let s = sim.stats();
+        (
+            Outcome {
+                events: s.events,
+                packets: s.scanner_tx + s.host_tx,
+                pool_allocations: s.pool_allocations,
+            },
+            wall,
+        )
+    }
+}
+
+struct Measurement {
+    drive_wall_secs: f64,
+    events_per_sec: f64,
+    packets_per_sec: f64,
+    allocs_per_packet: f64,
+}
+
+fn churn_rounds(scale: Scale) -> u64 {
+    match scale {
+        Scale::Smoke => 500,
+        Scale::Small => 10_000,
+        Scale::Medium => 30_000,
+        Scale::Large => 100_000,
+    }
+}
+
+fn measure_churn(rounds: u64) -> Measurement {
+    let mut best: Option<(churn::Outcome, f64)> = None;
+    for rep in 0..REPS {
+        let (out, wall) = churn::drive(rounds);
+        println!("  rep {rep}: {wall:.3} s wall  {} events", out.events);
+        if let Some((prev, _)) = &best {
+            assert_eq!(prev.events, out.events, "churn must be deterministic");
+        }
+        if best.as_ref().is_none_or(|(_, b)| wall < *b) {
+            best = Some((out, wall));
+        }
+    }
+    let (out, wall) = best.expect("REPS > 0");
+    let packets = out.packets as f64;
+    Measurement {
+        drive_wall_secs: wall,
+        events_per_sec: out.events as f64 / wall,
+        packets_per_sec: packets / wall,
+        allocs_per_packet: out.pool_allocations as f64 / packets,
+    }
+}
+
+fn scenario_threads() -> u32 {
+    std::env::var("IW_BENCH_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(1)
+}
+
+fn drive_scan(population: &Arc<Population>, threads: u32) -> (ScanOutput, f64) {
+    let mut config = ScanConfig::study(Protocol::Http, population.space_size(), iw_bench::SEED);
+    config.rate_pps = 4_000_000;
+    let t0 = Instant::now();
+    let out = ScanRunner::new(population)
+        .config(config)
+        .shards(threads)
+        .run();
+    (out, t0.elapsed().as_secs_f64())
+}
+
+fn measure_scan(population: &Arc<Population>, threads: u32) -> (Measurement, f64) {
+    let mut best: Option<(ScanOutput, f64)> = None;
+    for rep in 0..REPS {
+        let (out, wall) = drive_scan(population, threads);
+        println!("  rep {rep}: {wall:.3} s wall");
+        if best.as_ref().is_none_or(|(_, b)| wall < *b) {
+            best = Some((out, wall));
+        }
+    }
+    let (out, wall) = best.expect("REPS > 0");
+    let s = out.sim_stats;
+    let packets = (s.scanner_tx + s.host_tx) as f64;
+    let m = Measurement {
+        drive_wall_secs: wall,
+        events_per_sec: s.events as f64 / wall,
+        packets_per_sec: packets / wall,
+        allocs_per_packet: s.pool_allocations as f64 / packets,
+    };
+    (m, out.summary.targets as f64 / wall)
+}
+
+fn json_section(m: &Measurement, engine: &str) -> String {
+    format!(
+        "{{\"engine\":\"{engine}\",\"drive_wall_secs\":{:.4},\
+         \"events_per_sec\":{:.1},\"packets_per_sec\":{:.1},\"allocs_per_packet\":{:.3}}}",
+        m.drive_wall_secs, m.events_per_sec, m.packets_per_sec, m.allocs_per_packet
+    )
+}
+
+fn baseline_section() -> String {
+    format!(
+        "{{\"engine\":\"{BASELINE_ENGINE}\",\"scale\":\"Small\",\
+         \"drive_wall_secs\":{BASELINE_WALL_SECS:.4},\
+         \"events_per_sec\":{BASELINE_EVENTS_PER_SEC:.1},\
+         \"packets_per_sec\":{BASELINE_PACKETS_PER_SEC:.1}}}"
+    )
+}
+
+/// Pull `"key":<number>` out of the object that follows `"section":{`.
+fn json_number(body: &str, section: &str, key: &str) -> Option<f64> {
+    let sec = body.find(&format!("\"{section}\":{{"))?;
+    let obj = &body[sec..];
+    let end = obj.find('}')?;
+    let obj = &obj[..end];
+    let at = obj.find(&format!("\"{key}\":"))? + key.len() + 3;
+    let rest = &obj[at..];
+    let stop = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+        .unwrap_or(rest.len());
+    rest[..stop].parse().ok()
+}
+
+/// CI schema gate: the file must exist, carry the right schema tag, and
+/// report positive throughput for the current engine.
+fn check() -> i32 {
+    let body = match std::fs::read_to_string(OUT_PATH) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("bench-smoke: cannot read {OUT_PATH}: {e}");
+            return 1;
+        }
+    };
+    if !body.contains(&format!("\"schema\":\"{SCHEMA}\"")) {
+        eprintln!("bench-smoke: {OUT_PATH} lacks schema tag {SCHEMA}");
+        return 1;
+    }
+    let mut bad = 0;
+    for key in ["drive_wall_secs", "events_per_sec", "packets_per_sec"] {
+        match json_number(&body, "current", key) {
+            Some(v) if v > 0.0 => {}
+            other => {
+                eprintln!("bench-smoke: current.{key} missing or non-positive ({other:?})");
+                bad += 1;
+            }
+        }
+    }
+    if json_number(&body, "baseline", "events_per_sec").is_none() {
+        eprintln!("bench-smoke: baseline.events_per_sec missing");
+        bad += 1;
+    }
+    if bad == 0 {
+        println!("bench-smoke: {OUT_PATH} schema OK");
+    }
+    i32::from(bad > 0)
+}
+
+fn main() {
+    if std::env::args().any(|a| a == "--check") {
+        std::process::exit(check());
+    }
+    let scale = Scale::from_env();
+    let threads = scenario_threads();
+    let rounds = churn_rounds(scale);
+
+    banner(&format!(
+        "Event-loop kernel churn ({scale:?} scale: {rounds} rounds, {} hosts, {REPS} reps)",
+        churn::HOSTS
+    ));
+    let m = measure_churn(rounds);
+    println!(
+        "churn: {:.3} s wall  {:.0} events/s  {:.0} packets/s  {:.3} pool allocs/packet",
+        m.drive_wall_secs, m.events_per_sec, m.packets_per_sec, m.allocs_per_packet
+    );
+    let comparable = scale == Scale::Small;
+    let speedup = if comparable {
+        format!("{:.2}", m.events_per_sec / BASELINE_EVENTS_PER_SEC)
+    } else {
+        "null".to_owned()
+    };
+    if comparable {
+        println!(
+            "events/sec vs pre-overhaul baseline: {:.0} / {:.0} = {speedup}x",
+            m.events_per_sec, BASELINE_EVENTS_PER_SEC
+        );
+    }
+
+    banner(&format!(
+        "End-to-end scan drive ({scale:?} scale, {threads} thread(s), {REPS} reps)"
+    ));
+    let population = standard_population(scale);
+    let (scan, hosts_per_sec) = measure_scan(&population, threads);
+    println!(
+        "scan: {:.3} s wall  {hosts_per_sec:.0} hosts/s  {:.0} events/s  {:.0} packets/s",
+        scan.drive_wall_secs, scan.events_per_sec, scan.packets_per_sec
+    );
+
+    let body = format!(
+        "{{\"schema\":\"{SCHEMA}\",\
+         \"scenario\":{{\"scale\":\"{scale:?}\",\"hosts\":{},\"batch\":{},\
+         \"probe_bytes\":{},\"rounds\":{rounds},\"retx_spread_ms\":[1000,3000]}},\
+         \"baseline\":{},\
+         \"current\":{},\
+         \"speedup_events_per_sec\":{speedup},\
+         \"scan\":{{\"engine\":\"{CURRENT_ENGINE}\",\"threads\":{threads},\
+         \"drive_wall_secs\":{:.4},\"hosts_per_sec\":{hosts_per_sec:.1},\
+         \"events_per_sec\":{:.1},\"packets_per_sec\":{:.1},\
+         \"baseline_wall_secs\":{SCAN_BASELINE_WALL_SECS:.4},\
+         \"baseline_hosts_per_sec\":{SCAN_BASELINE_HOSTS_PER_SEC:.1}}}}}\n",
+        churn::HOSTS,
+        churn::BATCH,
+        churn::PROBE_BYTES,
+        baseline_section(),
+        json_section(&m, CURRENT_ENGINE),
+        scan.drive_wall_secs,
+        scan.events_per_sec,
+        scan.packets_per_sec,
+    );
+    std::fs::write(OUT_PATH, body).expect("write BENCH_eventloop.json");
+    println!("wrote {OUT_PATH}");
+}

@@ -12,7 +12,7 @@ fn main() {
     let scale = Scale::from_env();
     banner("Figure 2: certificate chain length CCDF");
     let n = match scale {
-        Scale::Small => 100_000,
+        Scale::Smoke | Scale::Small => 100_000,
         Scale::Medium => 500_000,
         Scale::Large => 2_000_000,
     };

@@ -28,7 +28,7 @@ fn main() {
     // Subsampling panel (the "1% is enough" claim). At small scales a 1%
     // subsample is a handful of hosts, so use the scale-appropriate floor.
     let small_frac = match scale {
-        Scale::Small => 0.10,
+        Scale::Smoke | Scale::Small => 0.10,
         Scale::Medium => 0.05,
         Scale::Large => 0.01,
     };

@@ -1,0 +1,76 @@
+//! Determinism gate: drives the standard scan across the engine's
+//! supported execution shapes (threads 1 and 4, plain and
+//! resilience-hardened) and asserts that everything the scan is
+//! specified to produce deterministically — per-host results, the
+//! Table 1 summary, open ports, MTU results, and the canonical metrics
+//! snapshot — is byte-identical between the 1- and 4-shard runs of the
+//! same profile. This is the gate the hot-path engine work is held to;
+//! the process exits non-zero on any divergence.
+//!
+//! Virtual `duration` is reported but not compared: the sharded figure
+//! is the max over per-shard clocks, and a single shard pacing the
+//! whole space ends one pace tick after a quarter-space shard by
+//! construction (the gap predates the timer-wheel engine).
+
+use iw_bench::{standard_population, Scale, SEED};
+use iw_core::{Protocol, ResilienceConfig, ScanConfig, ScanRunner};
+use iw_internet::Population;
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+/// The canonical dump: byte-identical across shard shapes, or the gate
+/// fails.
+fn dump(population: &Arc<Population>, threads: u32, hardened: bool) -> String {
+    let mut config = ScanConfig::study(Protocol::Http, population.space_size(), SEED);
+    config.rate_pps = 4_000_000;
+    config.telemetry.record_events = true;
+    config.telemetry.record_rtt = true;
+    if hardened {
+        config.resilience = ResilienceConfig::hardened();
+    }
+    let out = ScanRunner::new(population)
+        .config(config)
+        .shards(threads)
+        .run();
+    println!("duration (not compared): {:?}", out.duration);
+    let mut s = String::new();
+    writeln!(s, "summary: {:?}", out.summary).unwrap();
+    writeln!(s, "open_ports: {:?}", out.open_ports).unwrap();
+    writeln!(s, "mtu_results: {:?}", out.mtu_results).unwrap();
+    writeln!(s, "metrics: {}", out.telemetry.metrics.to_canonical_json()).unwrap();
+    for r in &out.results {
+        writeln!(s, "{r:?}").unwrap();
+    }
+    s
+}
+
+fn main() {
+    let population = standard_population(Scale::from_env());
+    let mut failures = 0;
+    for hardened in [false, true] {
+        let profile = if hardened { "hardened" } else { "plain" };
+        let mut dumps = Vec::new();
+        for threads in [1u32, 4] {
+            println!("== threads={threads} {profile}");
+            dumps.push(dump(&population, threads, hardened));
+        }
+        if dumps[0] == dumps[1] {
+            println!(
+                "{profile}: threads 1 vs 4 byte-identical ({} bytes)",
+                dumps[0].len()
+            );
+        } else {
+            let at = dumps[0]
+                .lines()
+                .zip(dumps[1].lines())
+                .position(|(a, b)| a != b);
+            eprintln!("{profile}: threads 1 vs 4 DIVERGE (first differing line: {at:?})");
+            failures += 1;
+        }
+    }
+    if failures > 0 {
+        eprintln!("determinism gate FAILED for {failures} profile(s)");
+        std::process::exit(1);
+    }
+    println!("determinism gate passed");
+}

@@ -3,7 +3,7 @@
 //! support an MSS of 1336 B, 80 % support 1436 B.
 
 use iw_bench::{banner, compare_line, standard_population, Scale, SEED};
-use iw_core::{run_scan_sharded, Protocol, ScanConfig};
+use iw_core::{Protocol, ScanConfig, ScanRunner};
 
 fn main() {
     let scale = Scale::from_env();
@@ -13,7 +13,10 @@ fn main() {
     let population = standard_population(scale);
     let mut config = ScanConfig::study(Protocol::IcmpMtu, population.space_size(), SEED);
     config.rate_pps = 4_000_000;
-    let out = run_scan_sharded(&population, config, iw_bench::threads());
+    let out = ScanRunner::new(&population)
+        .config(config)
+        .shards(iw_bench::threads())
+        .run();
 
     let n = out.mtu_results.len() as f64;
     println!("hosts answering ICMP: {}", out.mtu_results.len());

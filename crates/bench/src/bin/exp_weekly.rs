@@ -8,7 +8,7 @@
 
 use iw_analysis::histogram::IwHistogram;
 use iw_bench::{banner, standard_population, Scale, SEED};
-use iw_core::{run_scan_sharded, Protocol, ScanConfig};
+use iw_core::{Protocol, ScanConfig, ScanRunner};
 use iw_internet::util::mix;
 
 fn main() {
@@ -20,7 +20,7 @@ fn main() {
     // At our scaled population a literal 1 % sample is only a few dozen
     // hosts; use the fraction that gives a comparable per-week sample.
     let fraction = match scale {
-        Scale::Small => 0.20,
+        Scale::Smoke | Scale::Small => 0.20,
         Scale::Medium => 0.10,
         Scale::Large => 0.02,
     };
@@ -32,7 +32,10 @@ fn main() {
         config.sample_fraction = fraction;
         config.sample_salt = mix(&[0x3ee7, u64::from(week)]);
         config.rate_pps = 4_000_000;
-        let out = run_scan_sharded(&population, config, iw_bench::threads());
+        let out = ScanRunner::new(&population)
+            .config(config)
+            .shards(iw_bench::threads())
+            .run();
         let hist = IwHistogram::from_results(&out.results);
         println!(
             "week {week}: {} hosts sampled, {} estimates",

@@ -9,13 +9,16 @@
 //! paper's relative numbers; takes minutes).
 #![forbid(unsafe_code)]
 
-use iw_core::{run_scan_sharded, Protocol, ScanConfig, ScanOutput, TargetSpec};
+use iw_core::{Protocol, ScanConfig, ScanOutput, ScanRunner, TargetSpec};
 use iw_internet::{alexa, Population, PopulationConfig};
 use std::sync::Arc;
 
 /// Experiment scale presets.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Scale {
+    /// ~200 hosts in a 2¹³ space — sub-second even in debug builds
+    /// (the CI bench-smoke population).
+    Smoke,
     /// ~2.5 k hosts in a 2¹⁷ space — seconds.
     Small,
     /// ~12 k hosts in a 2¹⁹ space — tens of seconds.
@@ -30,6 +33,7 @@ impl Scale {
         match std::env::var("IW_SCALE").as_deref() {
             Ok("large") => Scale::Large,
             Ok("medium") => Scale::Medium,
+            Ok("smoke") => Scale::Smoke,
             _ => Scale::Small,
         }
     }
@@ -37,6 +41,7 @@ impl Scale {
     /// `(space_size, target_responsive)`.
     pub fn dimensions(self) -> (u32, u32) {
         match self {
+            Scale::Smoke => (1 << 13, 200),
             Scale::Small => (1 << 17, 2_500),
             Scale::Medium => (1 << 19, 12_000),
             Scale::Large => (1 << 22, 60_000),
@@ -46,6 +51,7 @@ impl Scale {
     /// Alexa-list size for this scale.
     pub fn alexa_n(self) -> usize {
         match self {
+            Scale::Smoke => 50,
             Scale::Small => 400,
             Scale::Medium => 2_000,
             Scale::Large => 10_000,
@@ -90,7 +96,10 @@ pub fn threads() -> u32 {
 pub fn full_scan(population: &Arc<Population>, protocol: Protocol) -> ScanOutput {
     let mut config = ScanConfig::study(protocol, population.space_size(), SEED);
     config.rate_pps = 4_000_000; // virtual pps: compress virtual time
-    run_scan_sharded(population, config, threads())
+    ScanRunner::new(population)
+        .config(config)
+        .shards(threads())
+        .run()
 }
 
 /// Run a full-space scan at the paper's real packet rate (for the §3.4
@@ -100,7 +109,10 @@ pub fn paced_scan(population: &Arc<Population>, protocol: Protocol, rate_pps: u6
         rate_pps,
         ..ScanConfig::study(protocol, population.space_size(), SEED)
     };
-    run_scan_sharded(population, config, threads())
+    ScanRunner::new(population)
+        .config(config)
+        .shards(threads())
+        .run()
 }
 
 /// Scan the synthetic Alexa list (domains known → Host header + SNI).
@@ -111,7 +123,7 @@ pub fn alexa_scan(population: &Arc<Population>, protocol: Protocol, n: usize) ->
     let mut config = ScanConfig::study(protocol, population.space_size(), SEED);
     config.targets = TargetSpec::List(targets);
     config.rate_pps = 4_000_000;
-    run_scan_sharded(population, config, 1) // lists are not sharded
+    ScanRunner::new(population).config(config).shards(1).run() // lists are not sharded
 }
 
 /// Write an experiment's telemetry snapshot next to its report.

@@ -6,7 +6,7 @@ use iw_analysis::figures::render_iw_bars;
 use iw_analysis::histogram::IwHistogram;
 use iw_analysis::tables::Table1;
 use iw_core::testbed::{probe_host, TestbedSpec};
-use iw_core::{run_scan_sharded, MonitorSink, MonitorSpec, Protocol, ScanConfig, TargetSpec};
+use iw_core::{MonitorSink, MonitorSpec, Protocol, ScanConfig, ScanRunner, TargetSpec};
 use iw_hoststack::{HostConfig, HttpBehavior, HttpConfig, IwPolicy, OsProfile};
 use iw_internet::{alexa, Population, PopulationConfig};
 use iw_netsim::LinkConfig;
@@ -140,7 +140,10 @@ fn cmd_scan(args: &ScanArgs) -> Result<i32, CmdError> {
     config.rate_pps = 4_000_000;
     apply_resilience(&mut config, args);
     apply_telemetry(&mut config, args);
-    let out = run_scan_sharded(&population, config, threads(args));
+    let out = ScanRunner::new(&population)
+        .config(config)
+        .shards(threads(args))
+        .run();
     report(&out, args, &args.protocol.to_uppercase())?;
     Ok(0)
 }
@@ -156,7 +159,7 @@ fn cmd_alexa(args: &ScanArgs) -> Result<i32, CmdError> {
     config.rate_pps = 4_000_000;
     apply_resilience(&mut config, args);
     apply_telemetry(&mut config, args);
-    let out = run_scan_sharded(&population, config, 1);
+    let out = ScanRunner::new(&population).config(config).shards(1).run();
     report(&out, args, "ALEXA")?;
     Ok(0)
 }
@@ -168,7 +171,10 @@ fn cmd_mtu(args: &ScanArgs) -> Result<i32, CmdError> {
     config.rate_pps = 4_000_000;
     apply_resilience(&mut config, args);
     apply_telemetry(&mut config, args);
-    let out = run_scan_sharded(&population, config, threads(args));
+    let out = ScanRunner::new(&population)
+        .config(config)
+        .shards(threads(args))
+        .run();
     write_telemetry(&out, args)?;
     let n = out.mtu_results.len().max(1) as f64;
     println!("hosts answering ICMP: {}", out.mtu_results.len());

@@ -3,7 +3,7 @@
 //! afterwards; results stay deterministic because every shard is an
 //! independent deterministic simulation).
 
-use crate::results::{HostResult, MssVerdict, MtuResult, ProbeOutcome, ScanSummary};
+use crate::results::{HostResult, MssVerdict, MtuResult, ProbeOutcome, Protocol, ScanSummary};
 use crate::scanner::{ScanConfig, Scanner};
 use iw_internet::population::{Population, PopulationFactory};
 use iw_netsim::sim::SimStats;
@@ -44,8 +44,95 @@ pub struct ScanTelemetry {
     pub status_lines: Vec<String>,
 }
 
+/// The one way to run a scan: configure, shard, go.
+///
+/// ```no_run
+/// # use iw_core::{ScanRunner, ScanConfig, Protocol};
+/// # use iw_internet::Population;
+/// # use std::sync::Arc;
+/// # let population: Arc<Population> = unimplemented!();
+/// let output = ScanRunner::new(&population)
+///     .config(ScanConfig::study(Protocol::Http, population.space_size(), 7))
+///     .shards(4)
+///     .run();
+/// ```
+///
+/// Replaces the free functions `run_scan`/`run_scan_sharded` (now
+/// deprecated shims over this type). The default configuration is the
+/// paper's HTTP study over the population's full space with seed 0.
+pub struct ScanRunner {
+    population: Arc<Population>,
+    config: ScanConfig,
+    shards: u32,
+}
+
+impl ScanRunner {
+    /// A runner with the study defaults for `population`.
+    pub fn new(population: &Arc<Population>) -> ScanRunner {
+        ScanRunner {
+            config: ScanConfig::study(Protocol::Http, population.space_size(), 0),
+            population: population.clone(),
+            shards: 1,
+        }
+    }
+
+    /// Replace the scan configuration wholesale.
+    pub fn config(mut self, config: ScanConfig) -> ScanRunner {
+        self.config = config;
+        self
+    }
+
+    /// Split the scan into this many ZMap cycle-striding shards, one OS
+    /// thread each, merged deterministically afterwards. Zero is
+    /// clamped to one; with one shard the configured `shard` tuple is
+    /// honored as-is (so a caller can still run a single sub-shard).
+    pub fn shards(mut self, shards: u32) -> ScanRunner {
+        self.shards = shards.max(1);
+        self
+    }
+
+    /// Run to completion and merge.
+    pub fn run(self) -> ScanOutput {
+        if self.shards == 1 {
+            return run_single(&self.population, self.config);
+        }
+        let threads = self.shards;
+        let config = self.config;
+        let population = self.population;
+        let outputs: Vec<ScanOutput> = crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for i in 0..threads {
+                let mut shard_config = config.clone();
+                shard_config.shard = (i, threads);
+                if i > 0 {
+                    // One progress monitor is enough; shard 0 reports for
+                    // all (interleaved per-shard lines would be
+                    // unreadable anyway).
+                    shard_config.telemetry.monitor = None;
+                }
+                let pop = population.clone();
+                handles.push(scope.spawn(move |_| run_single(&pop, shard_config)));
+            }
+            handles
+                .into_iter()
+                // A shard-thread panic must propagate, not be silently
+                // merged into partial results. iw-lint: allow(panic-budget)
+                .map(|h| h.join().expect("shard thread panicked"))
+                .collect()
+        })
+        // Scope errors are rethrown shard panics; same policy as above.
+        .expect("crossbeam scope"); // iw-lint: allow(panic-budget)
+        merge(outputs)
+    }
+}
+
 /// Run one scan to completion on the current thread.
+#[deprecated(note = "use ScanRunner::new(&population).config(config).run()")]
 pub fn run_scan(population: &Arc<Population>, config: ScanConfig) -> ScanOutput {
+    ScanRunner::new(population).config(config).run()
+}
+
+fn run_single(population: &Arc<Population>, config: ScanConfig) -> ScanOutput {
     let seed = config.seed;
     let record_trace = config.record_trace;
     let scanner = Scanner::new(config);
@@ -69,9 +156,13 @@ fn harvest(
     results.sort_by_key(|r| r.ip);
     let mut open_ports = scanner.open_ports().to_vec();
     open_ports.sort_unstable();
+    // A host that answers several probes lands in the list once per
+    // SYN-ACK; the report wants the set of open ports, not the tally.
+    open_ports.dedup();
     let mut mtu_results = scanner.mtu_results().to_vec();
     mtu_results.sort_by_key(|r| r.ip);
     let summary = summarize(&results, scanner.targets_sent(), scanner.refused());
+    scanner.note_sim_stats(&sim_stats);
     let telemetry = ScanTelemetry {
         metrics: scanner.metrics_snapshot(),
         events: scanner.take_events(),
@@ -115,41 +206,21 @@ pub fn summarize(results: &[HostResult], targets: u64, refused: u64) -> ScanSumm
 }
 
 /// Run a scan split into `threads` ZMap shards on real threads and merge.
+#[deprecated(note = "use ScanRunner::new(&population).config(config).shards(threads).run()")]
 pub fn run_scan_sharded(
     population: &Arc<Population>,
     config: ScanConfig,
     threads: u32,
 ) -> ScanOutput {
-    assert!(threads > 0);
-    if threads == 1 {
-        let mut config = config;
+    let mut config = config;
+    if threads <= 1 {
+        // The legacy entry point always normalized the shard tuple.
         config.shard = (0, 1);
-        return run_scan(population, config);
     }
-    let outputs: Vec<ScanOutput> = crossbeam::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for i in 0..threads {
-            let mut shard_config = config.clone();
-            shard_config.shard = (i, threads);
-            if i > 0 {
-                // One progress monitor is enough; shard 0 reports for all
-                // (interleaved per-shard lines would be unreadable anyway).
-                shard_config.telemetry.monitor = None;
-            }
-            let pop = population.clone();
-            handles.push(scope.spawn(move |_| run_scan(&pop, shard_config)));
-        }
-        handles
-            .into_iter()
-            // A shard-thread panic must propagate, not be silently merged
-            // into partial results. iw-lint: allow(panic-budget)
-            .map(|h| h.join().expect("shard thread panicked"))
-            .collect()
-    })
-    // Scope errors are rethrown shard panics; same policy as above.
-    .expect("crossbeam scope"); // iw-lint: allow(panic-budget)
-
-    merge(outputs)
+    ScanRunner::new(population)
+        .config(config)
+        .shards(threads)
+        .run()
 }
 
 fn merge(outputs: Vec<ScanOutput>) -> ScanOutput {
@@ -175,6 +246,7 @@ fn merge(outputs: Vec<ScanOutput>) -> ScanOutput {
     }
     results.sort_by_key(|r| r.ip);
     open_ports.sort_unstable();
+    open_ports.dedup();
     mtu_results.sort_by_key(|r| r.ip);
     ScanOutput {
         results,

@@ -252,6 +252,31 @@ impl InferenceConn {
         if self.ranges.iter().any(|(s, e)| *s <= start && end <= *e) {
             return true;
         }
+        // Fast paths for segments at or past the frontier — the
+        // overwhelmingly common in-order arrivals. Neither opens the
+        // reordering case (that needs `end` at or below the frontier),
+        // and both leave the set sorted and coalesced, so the general
+        // sort-and-merge below is reserved for hole-filling stragglers.
+        match self.ranges.last().copied() {
+            None => {
+                self.ranges.push((start, end));
+                return false;
+            }
+            Some((ls, le)) => {
+                if start > le {
+                    // Creates a hole past the frontier.
+                    self.ranges.push((start, end));
+                    return false;
+                }
+                if start >= ls && end > le {
+                    // Extends the final range in place.
+                    if let Some(last) = self.ranges.last_mut() {
+                        last.1 = end;
+                    }
+                    return false;
+                }
+            }
+        }
         // Out-of-order if it doesn't extend the current frontier.
         if start > self.highest_end() {
             // creates a hole

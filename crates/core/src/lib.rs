@@ -46,14 +46,18 @@ pub mod rate;
 pub mod results;
 pub mod scanner;
 pub mod session;
+pub mod table;
 pub mod testbed;
 
-pub use driver::{run_scan, run_scan_sharded, summarize, ScanOutput, ScanTelemetry};
+#[allow(deprecated)]
+pub use driver::{run_scan, run_scan_sharded};
+pub use driver::{summarize, ScanOutput, ScanRunner, ScanTelemetry};
 pub use iw_telemetry as telemetry;
 pub use results::{
     ErrorKind, ErrorKindCounts, HostResult, HostVerdict, MssVerdict, ProbeOutcome, Protocol,
     ScanSummary,
 };
 pub use scanner::{
-    MonitorSink, MonitorSpec, ResilienceConfig, ScanConfig, Scanner, TargetSpec, TelemetryConfig,
+    ConfigError, MonitorSink, MonitorSpec, ResilienceConfig, ScanConfig, ScanConfigBuilder,
+    Scanner, TargetSpec, TelemetryConfig, WATCHDOG_FLOOR,
 };

@@ -6,12 +6,26 @@
 
 use iw_netsim::{Duration, Instant};
 
+/// Fractional-credit denominator: one token = `rate_pps` pps·ns credits
+/// accumulated over one second.
+const NANOS_PER_SEC: u64 = 1_000_000_000;
+
 /// A token bucket measured in packets.
+///
+/// Accounting is exact integer arithmetic in pps·nanosecond units: a
+/// whole token is `NANOS_PER_SEC` credit units and each elapsed
+/// nanosecond deposits `rate_pps` units. Floating point drifted on long
+/// scans (hours of virtual time at 150 kpps accumulate representation
+/// error) and its sub-ulp residue let `next_available` truncate a real
+/// wait down to zero — a zero-delay timer re-arm busy loop.
 #[derive(Debug, Clone)]
 pub struct TokenBucket {
     rate_pps: u64,
     burst: u64,
-    tokens: f64,
+    /// Whole tokens available.
+    tokens: u64,
+    /// Fractional credit in pps·ns units, always `< NANOS_PER_SEC`.
+    carry: u64,
     last: Instant,
 }
 
@@ -22,7 +36,8 @@ impl TokenBucket {
         TokenBucket {
             rate_pps,
             burst: burst.max(1),
-            tokens: 0.0,
+            tokens: 0,
+            carry: 0,
             last: now,
         }
     }
@@ -31,20 +46,33 @@ impl TokenBucket {
     pub fn take(&mut self, now: Instant, want: u64) -> u64 {
         let elapsed = now.duration_since(self.last);
         self.last = now;
-        self.tokens += elapsed.as_secs_f64() * self.rate_pps as f64;
-        self.tokens = self.tokens.min(self.burst as f64);
-        let grant = (self.tokens as u64).min(want);
-        self.tokens -= grant as f64;
+        let credit = self.carry as u128 + elapsed.as_nanos() as u128 * self.rate_pps as u128;
+        let refill = credit / NANOS_PER_SEC as u128;
+        let whole = (self.tokens as u128 + refill).min(u64::MAX as u128) as u64;
+        if whole >= self.burst {
+            // Capped: surplus credit (including the fraction) is forfeit,
+            // exactly like the f64 `min(burst)` used to drop it.
+            self.tokens = self.burst;
+            self.carry = 0;
+        } else {
+            self.tokens = whole;
+            self.carry = (credit % NANOS_PER_SEC as u128) as u64;
+        }
+        let grant = self.tokens.min(want);
+        self.tokens -= grant;
         grant
     }
 
     /// Time until at least one token is available.
+    ///
+    /// Rounds *up*: whenever `take` would grant zero, this is strictly
+    /// positive, and waiting exactly this long always yields a token.
     pub fn next_available(&self) -> Duration {
-        if self.tokens >= 1.0 {
+        if self.tokens >= 1 {
             Duration::ZERO
         } else {
-            let missing = 1.0 - self.tokens;
-            Duration::from_nanos((missing / self.rate_pps as f64 * 1e9) as u64)
+            let missing = NANOS_PER_SEC - self.carry; // credit units short of one token
+            Duration::from_nanos(missing.div_ceil(self.rate_pps))
         }
     }
 
@@ -175,6 +203,57 @@ mod tests {
         // Each wait is under one token period (500 ms) and positive.
         assert!(waits.max <= 500_000_000, "{}", waits.max);
         assert!(waits.min >= 1, "fractional credit means a partial wait");
+    }
+
+    #[test]
+    fn zero_grant_always_reports_positive_wait_at_high_rate() {
+        // Regression: with f64 accounting a bucket at ~0.9999 tokens could
+        // report `next_available() == 0` while `take` still granted 0 —
+        // the pacing loop then re-armed a zero-delay timer and spun. At
+        // high rates the rounded-down wait fell below 1 ns most easily, so
+        // probe a dense spread of awkward fractional states there.
+        let t0 = Instant::ZERO;
+        let mut bucket = TokenBucket::new(3_333_333, 10_000, t0);
+        let mut now = t0;
+        let mut zero_grants = 0u64;
+        for tick in 1..=50_000u64 {
+            now = now + Duration::from_nanos(97 + tick % 211);
+            if bucket.take(now, u64::MAX) == 0 {
+                zero_grants += 1;
+                let wait = bucket.next_available();
+                assert!(wait > Duration::ZERO, "zero-delay re-arm at tick {tick}");
+                // Round-up must be *sufficient*: waiting exactly `wait`
+                // always produces a token.
+                let mut probe = bucket.clone();
+                assert!(
+                    probe.take(now + wait, 1) == 1,
+                    "wait {wait:?} at tick {tick} did not yield a token"
+                );
+            }
+        }
+        assert!(zero_grants > 1000, "test must exercise empty-bucket polls");
+    }
+
+    #[test]
+    fn exact_grant_count_over_one_hour_at_paper_rate() {
+        // One hour of virtual time at the paper's 150 kpps must grant
+        // *exactly* rate × seconds packets — integer accounting does not
+        // drift no matter how awkward the polling cadence. The f64 version
+        // accumulated representation error across hundreds of thousands
+        // of refills.
+        const HOUR_NS: u64 = 3_600 * 1_000_000_000;
+        const RATE: u64 = 150_000;
+        let step = Duration::from_nanos(999_937); // ~1 ms, never divides evenly
+        let t0 = Instant::ZERO;
+        let mut bucket = TokenBucket::new(RATE, 1_500, t0);
+        let mut sent = 0u64;
+        let mut elapsed = 0u64;
+        while elapsed < HOUR_NS {
+            let d = step.as_nanos().min(HOUR_NS - elapsed);
+            elapsed += d;
+            sent += bucket.take(t0 + Duration::from_nanos(elapsed), u64::MAX);
+        }
+        assert_eq!(sent, RATE * 3_600, "exactly one hour of tokens");
     }
 
     #[test]

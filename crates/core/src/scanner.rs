@@ -14,6 +14,7 @@ use crate::permutation::{Permutation, ShardIter};
 use crate::rate::TokenBucket;
 use crate::results::{ErrorKind, HostResult, MtuResult, ProbeOutcome, Protocol};
 use crate::session::{HostSession, SessionOutput, SessionParams};
+use crate::table::IpMap;
 use iw_internet::util::mix;
 use iw_netsim::{Duration, Effects, Endpoint, Instant, TimerToken};
 use iw_telemetry::{
@@ -23,7 +24,7 @@ use iw_telemetry::{
 use iw_wire::ipv4::Ipv4Addr;
 use iw_wire::tcp::{self, Flags};
 use iw_wire::{icmp, ipv4, IpProtocol};
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 /// What to scan.
 #[derive(Debug, Clone)]
@@ -186,6 +187,184 @@ impl ScanConfig {
             resilience: ResilienceConfig::default(),
         }
     }
+
+    /// Validated construction: study defaults plus checked overrides.
+    ///
+    /// The struct's fields stay public (the experiment binaries tweak
+    /// them freely), but configurations assembled through the builder
+    /// are guaranteed internally consistent at `build()` time.
+    pub fn builder(protocol: Protocol, space: u32, seed: u64) -> ScanConfigBuilder {
+        ScanConfigBuilder {
+            config: ScanConfig::study(protocol, space, seed),
+            explicit_session_cap: false,
+        }
+    }
+}
+
+/// A scan configuration rejected by [`ScanConfigBuilder::build`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// The MSS run list is empty: the scan would probe nothing.
+    EmptyMssList,
+    /// An announced MSS of zero (the TCP option cannot express it and
+    /// every segment-count division would be by zero).
+    ZeroMss,
+    /// `probes_per_mss` of zero: no probes, no verdicts.
+    ZeroProbes,
+    /// A target rate of zero packets/second never sends the first SYN.
+    ZeroRate,
+    /// `sample_fraction` outside `(0, 1]`.
+    SampleFraction(f64),
+    /// An explicit session cap of zero would evict every session on
+    /// admission. Leave [`ResilienceConfig::max_sessions`] untouched
+    /// for an unbounded table instead.
+    ZeroSessionCap,
+    /// The watchdog would fire before a single connection attempt can
+    /// exhaust its own timeouts (SYN 4 s + collect 10 s + verify 3 s),
+    /// force-concluding perfectly healthy sessions.
+    WatchdogBelowFloor(Duration),
+    /// Retries were requested with a zero backoff: every retry would
+    /// fire in the same virtual instant, a busy-loop in disguise.
+    ZeroBackoff,
+}
+
+/// Minimum useful watchdog: one full connection attempt's timeout
+/// budget (`syn_timeout + collect_timeout + verify_timeout` defaults).
+pub const WATCHDOG_FLOOR: Duration = Duration::from_secs(4 + 10 + 3);
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::EmptyMssList => write!(f, "mss_list must not be empty"),
+            ConfigError::ZeroMss => write!(f, "mss_list must not contain 0"),
+            ConfigError::ZeroProbes => write!(f, "probes_per_mss must be at least 1"),
+            ConfigError::ZeroRate => write!(f, "rate_pps must be at least 1"),
+            ConfigError::SampleFraction(v) => {
+                write!(f, "sample_fraction {v} outside (0, 1]")
+            }
+            ConfigError::ZeroSessionCap => {
+                write!(f, "explicit max_sessions of 0 (omit it for unbounded)")
+            }
+            ConfigError::WatchdogBelowFloor(d) => write!(
+                f,
+                "session watchdog {:?} below the {:?} single-attempt floor",
+                d, WATCHDOG_FLOOR
+            ),
+            ConfigError::ZeroBackoff => {
+                write!(f, "retries configured with a zero backoff")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Checked builder for [`ScanConfig`]; see [`ScanConfig::builder`].
+#[derive(Debug, Clone)]
+pub struct ScanConfigBuilder {
+    config: ScanConfig,
+    explicit_session_cap: bool,
+}
+
+impl ScanConfigBuilder {
+    /// Target generation rate in packets/second of virtual time.
+    pub fn rate_pps(mut self, rate: u64) -> Self {
+        self.config.rate_pps = rate;
+        self
+    }
+
+    /// Announced MSS values, in run order.
+    pub fn mss_list(mut self, mss_list: Vec<u16>) -> Self {
+        self.config.mss_list = mss_list;
+        self
+    }
+
+    /// Probes per MSS value (the study uses 3).
+    pub fn probes_per_mss(mut self, probes: u32) -> Self {
+        self.config.probes_per_mss = probes;
+        self
+    }
+
+    /// Probe only this fraction of admitted targets, salted.
+    pub fn sample(mut self, fraction: f64, salt: u64) -> Self {
+        self.config.sample_fraction = fraction;
+        self.config.sample_salt = salt;
+        self
+    }
+
+    /// Toggle the 2·MSS exhaustion-verification ACK (ablation knob).
+    pub fn verify_exhaustion(mut self, on: bool) -> Self {
+        self.config.verify_exhaustion = on;
+        self
+    }
+
+    /// Record the simulated wire traffic for pcap export.
+    pub fn record_trace(mut self, on: bool) -> Self {
+        self.config.record_trace = on;
+        self
+    }
+
+    /// Replace the telemetry knobs wholesale.
+    pub fn telemetry(mut self, telemetry: TelemetryConfig) -> Self {
+        self.config.telemetry = telemetry;
+        self
+    }
+
+    /// Replace the resilience knobs wholesale. A zero `max_sessions`
+    /// here still means "unbounded" (only [`Self::max_sessions`] makes
+    /// zero an error, because there it is necessarily deliberate).
+    pub fn resilience(mut self, resilience: ResilienceConfig) -> Self {
+        self.config.resilience = resilience;
+        self
+    }
+
+    /// Cap the live-session table (explicit zero is rejected at build).
+    pub fn max_sessions(mut self, cap: usize) -> Self {
+        self.config.resilience.max_sessions = cap;
+        self.explicit_session_cap = true;
+        self
+    }
+
+    /// Arm the per-session watchdog.
+    pub fn watchdog(mut self, deadline: Duration) -> Self {
+        self.config.resilience.session_deadline = Some(deadline);
+        self
+    }
+
+    /// Validate and produce the configuration.
+    pub fn build(self) -> Result<ScanConfig, ConfigError> {
+        let c = &self.config;
+        if c.mss_list.is_empty() {
+            return Err(ConfigError::EmptyMssList);
+        }
+        if c.mss_list.contains(&0) {
+            return Err(ConfigError::ZeroMss);
+        }
+        if c.probes_per_mss == 0 {
+            return Err(ConfigError::ZeroProbes);
+        }
+        if c.rate_pps == 0 {
+            return Err(ConfigError::ZeroRate);
+        }
+        if !(c.sample_fraction > 0.0 && c.sample_fraction <= 1.0) {
+            return Err(ConfigError::SampleFraction(c.sample_fraction));
+        }
+        if self.explicit_session_cap && c.resilience.max_sessions == 0 {
+            return Err(ConfigError::ZeroSessionCap);
+        }
+        if let Some(deadline) = c.resilience.session_deadline {
+            if deadline < WATCHDOG_FLOOR {
+                return Err(ConfigError::WatchdogBelowFloor(deadline));
+            }
+        }
+        let r = &c.resilience;
+        if (r.syn_retries > 0 && r.syn_backoff == Duration::ZERO)
+            || (r.probe_retries > 0 && r.probe_backoff == Duration::ZERO)
+        {
+            return Err(ConfigError::ZeroBackoff);
+        }
+        Ok(self.config)
+    }
 }
 
 enum TargetIter {
@@ -266,6 +445,13 @@ struct Metrics {
     icmp_unreachable: CounterId,
     /// Terminal `ProbeOutcome::Error` kinds, indexed by [`ErrorKind::index`].
     error_kinds: [CounterId; 6],
+    /// Event-loop kernel counters, filled from `SimStats` at harvest.
+    /// Shard-scoped: each shard runs its own simulator instance.
+    sim_events: CounterId,
+    sim_packets: CounterId,
+    sim_pool_allocations: CounterId,
+    sim_pool_recycled: CounterId,
+    sim_pool_outstanding: GaugeId,
 }
 
 impl Metrics {
@@ -292,6 +478,11 @@ impl Metrics {
         let watchdog_forced = r.register_counter(&manifest::SCAN_SESSIONS_WATCHDOG_FORCED);
         let icmp_unreachable = r.register_counter(&manifest::SCAN_ICMP_UNREACHABLE);
         let error_kinds = manifest::ERROR_KIND_COUNTERS.map(|def| r.register_counter(def));
+        let sim_events = r.register_counter(&manifest::SIM_QUEUE_EVENTS);
+        let sim_packets = r.register_counter(&manifest::SIM_QUEUE_PACKETS);
+        let sim_pool_allocations = r.register_counter(&manifest::SIM_QUEUE_POOL_ALLOCATIONS);
+        let sim_pool_recycled = r.register_counter(&manifest::SIM_QUEUE_POOL_RECYCLED);
+        let sim_pool_outstanding = r.register_gauge(&manifest::SIM_QUEUE_POOL_OUTSTANDING);
         Metrics {
             registry: r,
             targets_sent,
@@ -314,6 +505,11 @@ impl Metrics {
             watchdog_forced,
             icmp_unreachable,
             error_kinds,
+            sim_events,
+            sim_packets,
+            sim_pool_allocations,
+            sim_pool_recycled,
+            sim_pool_outstanding,
         }
     }
 }
@@ -331,28 +527,32 @@ pub struct Scanner {
     bucket: TokenBucket,
     targets: TargetIter,
     exhausted: bool,
-    sessions: HashMap<u32, HostSession>,
+    sessions: IpMap<HostSession>,
     /// Targets probed but not yet answered, with the number of SYN retries
     /// already spent. Populated only when `resilience.syn_retries > 0`;
     /// entries leave on SYN-ACK/RST/ICMP or retry exhaustion.
-    pending: HashMap<u32, u32>,
+    pending: IpMap<u32>,
     /// Session creation order (oldest first) for `max_sessions` eviction.
     /// Maintained only when a cap is configured; may hold stale entries
     /// for already-finished sessions (skipped on eviction).
     session_order: VecDeque<u32>,
-    domains: HashMap<u32, String>,
+    domains: IpMap<String>,
     results: Vec<HostResult>,
     open_ports: Vec<u32>,
-    mtu_states: HashMap<u32, MtuProbe>,
+    mtu_states: IpMap<MtuProbe>,
     mtu_results: Vec<MtuResult>,
     targets_sent: u64,
     refused: u64,
     ident: u16,
+    /// Prebuilt initial-SYN segment (4-tuple and MSS option are fixed for
+    /// the whole scan); only `seq` is rewritten per target, so the probe
+    /// fan-out never re-allocates the options vector.
+    syn_template: tcp::Repr,
     metrics: Metrics,
     events: EventLog,
     /// SYN send times for RTT measurement (populated only when
     /// `telemetry.record_rtt`; entries are consumed on first response).
-    syn_ts: HashMap<u32, Instant>,
+    syn_ts: IpMap<Instant>,
     monitor: Option<ProgressMonitor>,
     monitor_sink: MonitorSink,
     status_lines: Vec<String>,
@@ -405,6 +605,16 @@ impl Scanner {
             .as_ref()
             .map_or(MonitorSink::Capture, |spec| spec.sink);
         let events = EventLog::new(config.telemetry.record_events);
+        let syn_template = tcp::Repr {
+            src_port: params.sport(0, 0, 0),
+            dst_port: config.protocol.port(),
+            seq: 0,
+            ack: 0,
+            flags: Flags::SYN,
+            window: 65535,
+            options: vec![tcp::TcpOption::Mss(*config.mss_list.first().unwrap_or(&64))],
+            payload: Vec::new(),
+        };
         Scanner {
             config,
             params,
@@ -412,20 +622,21 @@ impl Scanner {
             bucket,
             targets,
             exhausted: false,
-            sessions: HashMap::new(),
-            pending: HashMap::new(),
+            sessions: IpMap::new(),
+            pending: IpMap::new(),
             session_order: VecDeque::new(),
-            domains: HashMap::new(),
+            domains: IpMap::new(),
             results: Vec::new(),
             open_ports: Vec::new(),
-            mtu_states: HashMap::new(),
+            mtu_states: IpMap::new(),
             mtu_results: Vec::new(),
             targets_sent: 0,
             refused: 0,
             ident: 1,
+            syn_template,
             metrics: Metrics::new(),
             events,
-            syn_ts: HashMap::new(),
+            syn_ts: IpMap::new(),
             monitor,
             monitor_sink,
             status_lines: Vec::new(),
@@ -478,6 +689,21 @@ impl Scanner {
     /// sweep keeps this bounded even when targets never answer).
     pub fn rtt_pending(&self) -> usize {
         self.syn_ts.len()
+    }
+
+    /// Fold the simulation kernel's counters into the shard-scoped
+    /// `sim.queue.*` metrics. Called once per shard at harvest, after the
+    /// event loop drains.
+    pub fn note_sim_stats(&mut self, stats: &iw_netsim::sim::SimStats) {
+        let m = &mut self.metrics;
+        m.registry.add(m.sim_events, stats.events);
+        m.registry
+            .add(m.sim_packets, stats.scanner_rx + stats.host_rx);
+        m.registry
+            .add(m.sim_pool_allocations, stats.pool_allocations);
+        m.registry.add(m.sim_pool_recycled, stats.pool_recycled);
+        m.registry
+            .gauge_set(m.sim_pool_outstanding, stats.pool_outstanding);
     }
 
     /// Frozen metrics snapshot (merge across shards via [`Snapshot::merge`]).
@@ -535,7 +761,12 @@ impl Scanner {
                 break;
             }
         }
-        fx.arm(TICK, PACING_TOKEN);
+        // Re-arm no sooner than the bucket can actually pay out: at low
+        // rates the next token may be many ticks away, and a fixed 5 ms
+        // cadence would wake the scanner just to record another zero
+        // grant. `next_available` rounds up, so the wake-up always finds
+        // at least one token.
+        fx.arm(TICK.max(self.bucket.next_available()), PACING_TOKEN);
     }
 
     fn send_initial_probe(&mut self, ip: u32, now: Instant, fx: &mut Effects) {
@@ -572,37 +803,33 @@ impl Scanner {
     /// the identical 4-tuple and ISN, so a SYN-ACK to any attempt
     /// validates against the same cookie.
     fn emit_syn(&mut self, ip: u32, fx: &mut Effects) {
-        let dport = self.config.protocol.port();
-        let sport = self.params.sport(0, 0, 0);
-        let isn = self.cookie.isn(ip, sport, dport);
-        let syn = tcp::Repr {
-            src_port: sport,
-            dst_port: dport,
-            seq: isn,
-            ack: 0,
-            flags: Flags::SYN,
-            window: 65535,
-            options: vec![tcp::TcpOption::Mss(self.params_mss0())],
-            payload: Vec::new(),
-        };
-        self.emit_segment(Ipv4Addr::from_u32(ip), &syn, fx);
+        let dport = self.syn_template.dst_port;
+        let sport = self.syn_template.src_port;
+        self.syn_template.seq = self.cookie.isn(ip, sport, dport);
+        Self::emit_datagram(
+            self.config.source,
+            &mut self.ident,
+            Ipv4Addr::from_u32(ip),
+            &self.syn_template,
+            fx,
+        );
     }
 
     /// A SYN-retry timer fired: retransmit if the target is still silent
     /// and budget remains, with doubled backoff.
     fn syn_retry_fire(&mut self, ip: u32, now: Instant, fx: &mut Effects) {
-        if self.sessions.contains_key(&ip) {
-            self.pending.remove(&ip);
+        if self.sessions.contains_key(ip) {
+            self.pending.remove(ip);
             return;
         }
-        let Some(attempts) = self.pending.get(&ip).copied() else {
+        let Some(attempts) = self.pending.get(ip).copied() else {
             return;
         };
         if attempts >= self.config.resilience.syn_retries {
             // Budget spent and still silent: give up on the target and
             // drop its RTT timestamp (it will never be consumed).
-            self.pending.remove(&ip);
-            self.syn_ts.remove(&ip);
+            self.pending.remove(ip);
+            self.syn_ts.remove(ip);
             return;
         }
         self.pending.insert(ip, attempts + 1);
@@ -622,7 +849,7 @@ impl Scanner {
     /// The per-session watchdog fired: if the session is somehow still
     /// running, force-conclude it (tarpit/dribbler defense).
     fn watchdog_fire(&mut self, ip: u32, now: Instant, fx: &mut Effects) {
-        let Some(session) = self.sessions.get_mut(&ip) else {
+        let Some(session) = self.sessions.get_mut(ip) else {
             return;
         };
         let out = session.force_conclude(ErrorKind::CollectTimeout);
@@ -633,7 +860,7 @@ impl Scanner {
     /// Evict the oldest live session to stay under `max_sessions`.
     fn evict_oldest(&mut self, now: Instant, fx: &mut Effects) {
         while let Some(ip) = self.session_order.pop_front() {
-            let Some(session) = self.sessions.get_mut(&ip) else {
+            let Some(session) = self.sessions.get_mut(ip) else {
                 continue; // stale entry: that session already finished
             };
             let out = session.force_conclude(ErrorKind::CollectTimeout);
@@ -652,25 +879,35 @@ impl Scanner {
         }
     }
 
-    fn params_mss0(&self) -> u16 {
-        *self.config.mss_list.first().unwrap_or(&64)
+    fn emit_segment(&mut self, dst: Ipv4Addr, seg: &tcp::Repr, fx: &mut Effects) {
+        Self::emit_datagram(self.config.source, &mut self.ident, dst, seg, fx);
     }
 
-    fn emit_segment(&mut self, dst: Ipv4Addr, seg: &tcp::Repr, fx: &mut Effects) {
-        let l4 = seg.emit(self.config.source, dst);
-        let datagram = ipv4::build_datagram(
+    /// Emit one TCP segment as a pooled IPv4 datagram. An associated fn
+    /// (not a method) so callers can hold a borrow on another `Scanner`
+    /// field — e.g. the SYN template — across the call.
+    fn emit_datagram(
+        src: Ipv4Addr,
+        ident: &mut u16,
+        dst: Ipv4Addr,
+        seg: &tcp::Repr,
+        fx: &mut Effects,
+    ) {
+        let mut buf = fx.buffer();
+        ipv4::build_datagram_into(
             &ipv4::Repr {
-                src_addr: self.config.source,
+                src_addr: src,
                 dst_addr: dst,
                 protocol: IpProtocol::Tcp,
-                payload_len: l4.len(),
+                payload_len: seg.buffer_len(),
                 ttl: 64,
             },
-            self.ident,
-            &l4,
+            *ident,
+            &mut buf,
+            |l4| seg.emit_into(src, dst, l4),
         );
-        self.ident = self.ident.wrapping_add(1);
-        fx.send(datagram);
+        *ident = ident.wrapping_add(1);
+        fx.send(buf.freeze());
     }
 
     fn send_echo(&mut self, ip: u32, total_len: u32, fx: &mut Effects) {
@@ -680,20 +917,21 @@ impl Scanner {
             seq: 1,
             payload_len,
         };
-        let l4 = msg.emit();
-        let datagram = ipv4::build_datagram(
+        let mut buf = fx.buffer();
+        ipv4::build_datagram_into(
             &ipv4::Repr {
                 src_addr: self.config.source,
                 dst_addr: Ipv4Addr::from_u32(ip),
                 protocol: IpProtocol::Icmp,
-                payload_len: l4.len(),
+                payload_len: msg.buffer_len(),
                 ttl: 64,
             },
             self.ident,
-            &l4,
+            &mut buf,
+            |l4| msg.emit_into(l4),
         );
         self.ident = self.ident.wrapping_add(1);
-        fx.send(datagram);
+        fx.send(buf.freeze());
     }
 
     fn apply_session_output(
@@ -711,7 +949,12 @@ impl Scanner {
             self.note_session_event(ip, *ev, now);
         }
         if let Some(deadline) = out.deadline {
-            if deadline > now {
+            if deadline > now
+                && self
+                    .sessions
+                    .get_mut(ip)
+                    .is_none_or(|session| session.should_arm(deadline))
+            {
                 fx.arm(deadline - now, u64::from(ip));
             }
         }
@@ -726,7 +969,7 @@ impl Scanner {
                 }
             }
             self.results.push(result);
-            self.sessions.remove(&ip);
+            self.sessions.remove(ip);
             self.metrics
                 .registry
                 .gauge_set(self.metrics.live_peak, self.sessions.len() as u64);
@@ -751,7 +994,7 @@ impl Scanner {
                 m.registry.inc(m.sessions_finished[kind_index(outcome)]);
                 // The session is still in the map here (removal happens
                 // after its events are folded in).
-                if let Some(session) = self.sessions.get(&ip) {
+                if let Some(session) = self.sessions.get(ip) {
                     m.registry.observe(
                         m.session_lifetime_nanos,
                         (now - session.started()).as_nanos(),
@@ -781,12 +1024,12 @@ impl Scanner {
                 && self.cookie.validate(ip, sport, seg.src_port, seg.ack)
             {
                 self.metrics.registry.inc(self.metrics.synacks_validated);
-                if let Some(t0) = self.syn_ts.remove(&ip) {
+                if let Some(t0) = self.syn_ts.remove(ip) {
                     self.metrics
                         .registry
                         .observe(self.metrics.rtt_nanos, (now - t0).as_nanos());
                 }
-                self.pending.remove(&ip);
+                self.pending.remove(ip);
                 self.events
                     .record(now.as_nanos(), ip, SessionEvent::SynAckValidated);
                 self.open_ports.push(ip);
@@ -795,15 +1038,15 @@ impl Scanner {
             } else if seg.flags.contains(Flags::RST) {
                 self.refused += 1;
                 self.metrics.registry.inc(self.metrics.refused);
-                self.syn_ts.remove(&ip);
-                self.pending.remove(&ip);
+                self.syn_ts.remove(ip);
+                self.pending.remove(ip);
                 self.events
                     .record(now.as_nanos(), ip, SessionEvent::Refused);
             }
             return;
         }
 
-        if let Some(session) = self.sessions.get_mut(&ip) {
+        if let Some(session) = self.sessions.get_mut(ip) {
             let out = session.on_segment(seg, now);
             self.apply_session_output(ip, out, now, fx);
             return;
@@ -823,16 +1066,16 @@ impl Scanner {
             }
             let now_n = now.as_nanos();
             self.metrics.registry.inc(self.metrics.synacks_validated);
-            if let Some(t0) = self.syn_ts.remove(&ip) {
+            if let Some(t0) = self.syn_ts.remove(ip) {
                 self.metrics
                     .registry
                     .observe(self.metrics.rtt_nanos, (now - t0).as_nanos());
             }
-            self.pending.remove(&ip);
+            self.pending.remove(ip);
             self.metrics.registry.inc(self.metrics.sessions_started);
             self.events.record(now_n, ip, SessionEvent::SynAckValidated);
             self.events.record(now_n, ip, SessionEvent::SessionStarted);
-            let domain = self.domains.get(&ip).cloned();
+            let domain = self.domains.get(ip).cloned();
             let mut session = HostSession::new(src, self.params.clone(), self.cookie, domain, now);
             self.events.record(
                 now_n,
@@ -860,8 +1103,8 @@ impl Scanner {
         {
             self.refused += 1;
             self.metrics.registry.inc(self.metrics.refused);
-            self.syn_ts.remove(&ip);
-            self.pending.remove(&ip);
+            self.syn_ts.remove(ip);
+            self.pending.remove(ip);
             self.events
                 .record(now.as_nanos(), ip, SessionEvent::Refused);
         }
@@ -922,19 +1165,19 @@ impl Scanner {
             let icmp::Message::DstUnreachable { .. } = msg else {
                 return;
             };
-            let was_pending = self.pending.remove(&ip).is_some();
-            let had_syn_ts = self.syn_ts.remove(&ip).is_some();
-            if !was_pending && !had_syn_ts && !self.sessions.contains_key(&ip) {
+            let was_pending = self.pending.remove(ip).is_some();
+            let had_syn_ts = self.syn_ts.remove(ip).is_some();
+            if !was_pending && !had_syn_ts && !self.sessions.contains_key(ip) {
                 return;
             }
             self.note_session_event(ip, SessionEvent::IcmpUnreachable, now);
-            if let Some(session) = self.sessions.get_mut(&ip) {
+            if let Some(session) = self.sessions.get_mut(ip) {
                 let out = session.force_conclude(ErrorKind::IcmpUnreachable);
                 self.apply_session_output(ip, out, now, fx);
             }
             return;
         }
-        let Some(state) = self.mtu_states.get(&ip).copied() else {
+        let Some(state) = self.mtu_states.get(ip).copied() else {
             return;
         };
         match msg {
@@ -950,7 +1193,7 @@ impl Scanner {
                     ip,
                     mtu: state.current_total,
                 });
-                self.mtu_states.remove(&ip);
+                self.mtu_states.remove(ip);
             }
             _ => {}
         }
@@ -1005,7 +1248,7 @@ impl Endpoint for Scanner {
         let ip = token as u32;
         match token >> 32 {
             0 => {
-                if let Some(session) = self.sessions.get_mut(&ip) {
+                if let Some(session) = self.sessions.get_mut(ip) {
                     let out = session.on_timer(now);
                     self.apply_session_output(ip, out, now, fx);
                 }

@@ -116,6 +116,11 @@ pub struct HostSession {
     /// When the session was created (SYN-ACK arrival); session-lifetime
     /// telemetry measures from here.
     started: Instant,
+    /// The deadline the scanner last armed a simulator timer for. Stale
+    /// timer fires are no-ops by construction, so arming a second timer
+    /// for the same instant buys nothing — the scanner consults this to
+    /// skip duplicate arms and keep the event queue lean.
+    armed: Option<Instant>,
 }
 
 impl HostSession {
@@ -155,6 +160,7 @@ impl HostSession {
             runs,
             done: false,
             started: now,
+            armed: None,
         }
     }
 
@@ -177,6 +183,18 @@ impl HostSession {
     /// Whether the session concluded.
     pub fn is_done(&self) -> bool {
         self.done
+    }
+
+    /// Whether a simulator timer must be armed for `deadline`: true the
+    /// first time each distinct deadline is reported, false for repeats
+    /// (one pending timer per instant is enough — extra ones would fire
+    /// as no-ops).
+    pub fn should_arm(&mut self, deadline: Instant) -> bool {
+        if self.armed == Some(deadline) {
+            return false;
+        }
+        self.armed = Some(deadline);
+        true
     }
 
     /// Feed an inbound segment (already parsed; src is this host).

@@ -1,7 +1,7 @@
 //! End-to-end scans of small synthetic populations: the scanner must
 //! recover configured initial windows through real packet exchanges.
 
-use iw_core::{run_scan, run_scan_sharded, HostVerdict, Protocol, ScanConfig};
+use iw_core::{HostVerdict, Protocol, ScanConfig, ScanRunner};
 use iw_hoststack::IwPolicy;
 use iw_internet::{Population, PopulationConfig};
 use std::sync::Arc;
@@ -18,7 +18,7 @@ fn tiny_population(seed: u64) -> Arc<Population> {
 fn scan(pop: &Arc<Population>, protocol: Protocol, seed: u64) -> iw_core::ScanOutput {
     let mut config = ScanConfig::study(protocol, pop.space_size(), seed);
     config.rate_pps = 2_000_000; // compress virtual time for tests
-    run_scan(pop, config)
+    ScanRunner::new(pop).config(config).run()
 }
 
 #[test]
@@ -131,8 +131,8 @@ fn sharded_scan_equals_single_thread() {
     let pop = tiny_population(0x51);
     let mut config = ScanConfig::study(Protocol::Http, pop.space_size(), 0x51);
     config.rate_pps = 2_000_000;
-    let single = run_scan(&pop, config.clone());
-    let sharded = run_scan_sharded(&pop, config, 4);
+    let single = ScanRunner::new(&pop).config(config.clone()).run();
+    let sharded = ScanRunner::new(&pop).config(config).shards(4).run();
     assert_eq!(single.results.len(), sharded.results.len());
     for (a, b) in single.results.iter().zip(&sharded.results) {
         assert_eq!(a.ip, b.ip);
@@ -193,7 +193,7 @@ fn sampling_one_percent_yields_similar_distribution() {
     let mut sampled_cfg = ScanConfig::study(Protocol::Http, pop.space_size(), 0x1234);
     sampled_cfg.rate_pps = 2_000_000;
     sampled_cfg.sample_fraction = 0.25; // 25% of a small world ≈ paper's 1% of IPv4
-    let sampled = run_scan(&pop, sampled_cfg);
+    let sampled = ScanRunner::new(&pop).config(sampled_cfg).run();
 
     let dist = |out: &iw_core::ScanOutput| {
         let mut hist = std::collections::HashMap::new();

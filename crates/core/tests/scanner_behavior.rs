@@ -15,7 +15,7 @@ const SCANNER_IP: Ipv4Addr = Ipv4Addr::new(198, 18, 0, 1);
 
 /// Drive the pacing timer until the scanner has emitted its SYNs (the
 /// token bucket starts empty at t=0, so the first tick sends nothing).
-fn kick_until_sent(scanner: &mut Scanner) -> Vec<Vec<u8>> {
+fn kick_until_sent(scanner: &mut Scanner) -> Vec<iw_wire::pool::Packet> {
     let mut sent = Vec::new();
     let mut now = Instant::ZERO;
     let mut fx = Effects::default();
@@ -191,6 +191,82 @@ fn port_scan_mode_records_and_rsts() {
     let ip = ipv4::Packet::new_checked(&fx.tx[0][..]).unwrap();
     let seg = tcp::Packet::new_checked(ip.payload()).unwrap();
     assert!(seg.flags().contains(Flags::RST));
+}
+
+#[test]
+fn port_scan_open_ports_deduplicated_at_harvest() {
+    use iw_core::ScanRunner;
+    use iw_internet::{Population, PopulationConfig};
+    use std::sync::Arc;
+
+    // A lossy world: when the scanner's RST is dropped, the host's TCB
+    // sits in SYN-RCVD and retransmits its SYN-ACK, and the stateless
+    // cookie check happily validates the duplicate. Each validation
+    // pushes the host onto the raw open-ports list, so harvest() must
+    // dedup, not just sort.
+    let pop = Arc::new(Population::new(PopulationConfig {
+        seed: 0x5151,
+        space_size: 1 << 14,
+        target_responsive: 400,
+        loss_scale: 3.0,
+    }));
+    let mut cfg = ScanConfig::study(Protocol::PortScan, pop.space_size(), 0x5151);
+    cfg.rate_pps = 2_000_000;
+    let out = ScanRunner::new(&pop).config(cfg).run();
+
+    assert!(!out.open_ports.is_empty());
+    assert!(
+        out.open_ports.windows(2).all(|w| w[0] < w[1]),
+        "open_ports must be sorted and free of duplicates"
+    );
+    // The regression is only meaningful if duplicates actually arrived:
+    // more SYN-ACKs validated than distinct open hosts reported.
+    let validated = out.telemetry.metrics.counter("scan.synacks_validated");
+    assert!(
+        validated > out.open_ports.len() as u64,
+        "expected duplicate SYN-ACKs to exercise the dedup \
+         (validated {validated}, open {})",
+        out.open_ports.len()
+    );
+}
+
+#[test]
+fn pace_timer_backs_off_at_low_rates() {
+    use iw_core::ScanRunner;
+    use iw_internet::{Population, PopulationConfig};
+    use std::sync::Arc;
+
+    // At 50 pps a token arrives every 20 ms, so a scanner that re-arms a
+    // fixed 5 ms pacing tick spends three wake-ups out of four recording
+    // a zero grant. With the re-arm stretched to the bucket's own
+    // `next_available`, tick counts collapse to ~one per packet while the
+    // scan still probes every target.
+    let space = 1u32 << 13;
+    let pop = Arc::new(Population::new(PopulationConfig {
+        seed: 0xbac0,
+        space_size: space,
+        target_responsive: 150,
+        loss_scale: 0.0,
+    }));
+    let mut cfg = ScanConfig::study(Protocol::Http, space, 0xbac0);
+    cfg.rate_pps = 50;
+    let out = ScanRunner::new(&pop).config(cfg).run();
+
+    let sent = out.telemetry.metrics.counter("scan.targets_sent");
+    assert_eq!(sent, space as u64, "back-off must not change targets_sent");
+
+    let ticks = out.telemetry.metrics.counter("shard.pace.ticks");
+    let fixed_cadence = out.duration.as_nanos() / 5_000_000; // one tick per 5 ms
+    assert!(
+        ticks < fixed_cadence / 2,
+        "pace ticks did not drop: {ticks} ticks vs {fixed_cadence} at a fixed 5 ms cadence"
+    );
+    // Each wake-up should find its token waiting: ~one tick per packet,
+    // plus the warm-up ticks before the bucket first fills.
+    assert!(
+        ticks <= sent + 16,
+        "expected ~one pace tick per packet, got {ticks} for {sent} packets"
+    );
 }
 
 #[test]

@@ -6,7 +6,7 @@
 //! sharded run and a single-thread run of the same scan.
 
 use iw_core::telemetry::OutcomeKind;
-use iw_core::{run_scan, run_scan_sharded, MonitorSink, MonitorSpec, Protocol, ScanConfig};
+use iw_core::{MonitorSink, MonitorSpec, Protocol, ScanConfig, ScanRunner};
 use iw_internet::{Population, PopulationConfig};
 use iw_netsim::Duration;
 use std::sync::Arc;
@@ -32,8 +32,8 @@ fn telemetry_config(space: u32, seed: u64) -> ScanConfig {
 fn sharded_snapshot_is_byte_identical_to_single_thread() {
     let pop = population(0x1307, 1 << 15, 600);
     let config = telemetry_config(pop.space_size(), 0x1307);
-    let single = run_scan(&pop, config.clone());
-    let sharded = run_scan_sharded(&pop, config, 4);
+    let single = ScanRunner::new(&pop).config(config.clone()).run();
+    let sharded = ScanRunner::new(&pop).config(config).shards(4).run();
 
     // The canonical (scan-scoped) snapshot merges exactly: same counters,
     // same histogram buckets, same JSON bytes.
@@ -60,7 +60,7 @@ fn sharded_snapshot_is_byte_identical_to_single_thread() {
 fn summarize_matches_event_log_terminal_counts() {
     let pop = population(0xbeef, 1 << 14, 300);
     let config = telemetry_config(pop.space_size(), 0xbeef);
-    let out = run_scan(&pop, config);
+    let out = ScanRunner::new(&pop).config(config).run();
 
     let terminal = out.telemetry.events.terminal_counts();
     let count = |k: OutcomeKind| terminal.get(&k).copied().unwrap_or(0);
@@ -103,7 +103,7 @@ fn summarize_matches_event_log_terminal_counts() {
 fn event_log_records_exact_session_lifecycles() {
     let pop = population(0xcafe, 1 << 13, 150);
     let config = telemetry_config(pop.space_size(), 0xcafe);
-    let out = run_scan(&pop, config);
+    let out = ScanRunner::new(&pop).config(config).run();
 
     // Pick a host that concluded successfully and replay its lifecycle.
     let success_ip = out
@@ -144,7 +144,7 @@ fn monitor_emits_periodic_status_lines() {
         interval: Duration::from_millis(5),
         sink: MonitorSink::Capture,
     });
-    let out = run_scan(&pop, config);
+    let out = ScanRunner::new(&pop).config(config).run();
 
     let lines = &out.telemetry.status_lines;
     assert!(lines.len() >= 2, "expected several reports: {lines:?}");
@@ -175,12 +175,12 @@ fn config_record_trace_captures_the_scan() {
     let pop = population(0xace, 1 << 13, 80);
     let mut config = telemetry_config(pop.space_size(), 0xace);
     config.record_trace = true;
-    let out = run_scan(&pop, config.clone());
+    let out = ScanRunner::new(&pop).config(config.clone()).run();
     assert!(!out.trace.is_empty());
     let rendered = out.trace.render_tcp();
     assert!(rendered.contains("SYN"), "trace renders the exchange");
     // Off by default: the same scan without the flag records nothing.
     config.record_trace = false;
-    let quiet = run_scan(&pop, config);
+    let quiet = ScanRunner::new(&pop).config(config).run();
     assert!(quiet.trace.is_empty());
 }

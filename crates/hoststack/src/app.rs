@@ -18,6 +18,12 @@
 pub struct AppResponse {
     /// Bytes to transmit. May be empty (e.g. a silent close).
     pub data: Vec<u8>,
+    /// Deterministic filler appended (lazily) after `data`: this many
+    /// bytes of [`FILL_PATTERN`], cycled from position zero. The TCB
+    /// materializes them only as the peer's window pulls them, so a
+    /// server can promise a multi-hundred-kilobyte page while a probe
+    /// that RSTs after the initial flight never pays for the tail.
+    pub fill: usize,
     /// Graceful close: queue a FIN behind the data.
     pub close: bool,
     /// Abortive close: send a RST instead of anything else.
@@ -32,6 +38,7 @@ impl AppResponse {
     pub fn send(data: Vec<u8>) -> AppResponse {
         AppResponse {
             data,
+            fill: 0,
             close: false,
             reset: false,
             iw_override: None,
@@ -42,6 +49,7 @@ impl AppResponse {
     pub fn send_and_close(data: Vec<u8>) -> AppResponse {
         AppResponse {
             data,
+            fill: 0,
             close: true,
             reset: false,
             iw_override: None,
@@ -52,6 +60,7 @@ impl AppResponse {
     pub fn silent_close() -> AppResponse {
         AppResponse {
             data: Vec::new(),
+            fill: 0,
             close: true,
             reset: false,
             iw_override: None,
@@ -62,10 +71,29 @@ impl AppResponse {
     pub fn abort() -> AppResponse {
         AppResponse {
             data: Vec::new(),
+            fill: 0,
             close: false,
             reset: true,
             iw_override: None,
         }
+    }
+}
+
+/// The deterministic filler the simulated servers pad pages with.
+///
+/// [`AppResponse::fill`] counts bytes of this pattern, cycled from
+/// position zero; the TCB materializes them on demand.
+pub const FILL_PATTERN: &[u8] = b"The quick brown fox jumps over the lazy dog. ";
+
+/// Append `n` bytes continuing the filler cycle of the region that
+/// starts at `base` (i.e. `out[base]` holds pattern position zero).
+pub fn fill_pattern_continue(out: &mut Vec<u8>, base: usize, mut n: usize) {
+    out.reserve(n);
+    while n > 0 {
+        let pos = (out.len() - base) % FILL_PATTERN.len();
+        let take = (FILL_PATTERN.len() - pos).min(n);
+        out.extend_from_slice(&FILL_PATTERN[pos..pos + take]);
+        n -= take;
     }
 }
 
@@ -103,6 +131,7 @@ mod tests {
             AppResponse::send(vec![1]),
             AppResponse {
                 data: vec![1],
+                fill: 0,
                 close: false,
                 reset: false,
                 iw_override: None,

@@ -13,7 +13,6 @@ use iw_wire::tcp::{self, Flags};
 use iw_wire::{icmp, ipv4, IpProtocol};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use std::collections::HashMap;
 
 /// Connection key: (peer address, peer port, local port).
 type ConnKey = (u32, u16, u16);
@@ -22,7 +21,10 @@ type ConnKey = (u32, u16, u16);
 pub struct Host {
     ip: Ipv4Addr,
     config: HostConfig,
-    conns: HashMap<ConnKey, Tcb>,
+    // Live connections. A probe host holds at most a couple at a time
+    // (the scanner walks its connections sequentially), so a linear-scan
+    // vector beats a hash map on every per-packet lookup.
+    conns: Vec<(ConnKey, Tcb)>,
     rng: SmallRng,
     ip_ident: u16,
 }
@@ -33,7 +35,7 @@ impl Host {
         Host {
             ip,
             config,
-            conns: HashMap::new(),
+            conns: Vec::new(),
             rng: SmallRng::seed_from_u64(seed ^ u64::from(ip.to_u32())),
             ip_ident: 1,
         }
@@ -47,6 +49,13 @@ impl Host {
     /// Live connection count (diagnostics).
     pub fn conn_count(&self) -> usize {
         self.conns.len()
+    }
+
+    fn conn_mut(&mut self, key: ConnKey) -> Option<&mut Tcb> {
+        self.conns
+            .iter_mut()
+            .find(|(k, _)| *k == key)
+            .map(|(_, tcb)| tcb)
     }
 
     fn app_for_port(&self, port: u16) -> Option<Box<dyn App>> {
@@ -66,20 +75,22 @@ impl Host {
     }
 
     fn emit_segment(&mut self, peer: Ipv4Addr, repr: &tcp::Repr, fx: &mut Effects) {
-        let l4 = repr.emit(self.ip, peer);
-        let datagram = ipv4::build_datagram(
+        let ip = self.ip;
+        let mut buf = fx.buffer();
+        ipv4::build_datagram_into(
             &ipv4::Repr {
-                src_addr: self.ip,
+                src_addr: ip,
                 dst_addr: peer,
                 protocol: IpProtocol::Tcp,
-                payload_len: l4.len(),
+                payload_len: repr.buffer_len(),
                 ttl: 64,
             },
             self.ip_ident,
-            &l4,
+            &mut buf,
+            |l4| repr.emit_into(ip, peer, l4),
         );
         self.ip_ident = self.ip_ident.wrapping_add(1);
-        fx.send(datagram);
+        fx.send(buf.freeze());
     }
 
     fn apply_tcb_output(
@@ -94,12 +105,20 @@ impl Host {
             self.emit_segment(peer, repr, fx);
         }
         if let Some(deadline) = out.deadline {
-            if deadline > now {
+            if deadline > now
+                && self
+                    .conn_mut(key)
+                    .is_none_or(|tcb| tcb.should_arm(deadline))
+            {
                 fx.arm(deadline - now, token_for(key));
             }
         }
-        if self.conns.get(&key).is_some_and(Tcb::is_closed) {
-            self.conns.remove(&key);
+        if let Some(pos) = self
+            .conns
+            .iter()
+            .position(|(k, tcb)| *k == key && tcb.is_closed())
+        {
+            self.conns.swap_remove(pos);
         }
         fx.finished = self.conns.is_empty();
     }
@@ -114,7 +133,7 @@ impl Host {
         let peer = ip_repr.src_addr;
         let key: ConnKey = (peer.to_u32(), seg.src_port, seg.dst_port);
 
-        if let Some(tcb) = self.conns.get_mut(&key) {
+        if let Some(tcb) = self.conn_mut(key) {
             let out = tcb.on_segment(&seg, now);
             self.apply_tcb_output(key, peer, out, now, fx);
             return;
@@ -136,7 +155,7 @@ impl Host {
                     isn,
                     now,
                 );
-                self.conns.insert(key, tcb);
+                self.conns.push((key, tcb));
                 self.apply_tcb_output(key, peer, out, now, fx);
                 return;
             }
@@ -187,20 +206,21 @@ impl Host {
                     payload_len,
                 }
             };
-            let l4 = reply.emit();
-            let datagram = ipv4::build_datagram(
+            let mut buf = fx.buffer();
+            ipv4::build_datagram_into(
                 &ipv4::Repr {
                     src_addr: self.ip,
                     dst_addr: ip_repr.src_addr,
                     protocol: IpProtocol::Icmp,
-                    payload_len: l4.len(),
+                    payload_len: reply.buffer_len(),
                     ttl: 64,
                 },
                 self.ip_ident,
-                &l4,
+                &mut buf,
+                |l4| reply.emit_into(l4),
             );
             self.ip_ident = self.ip_ident.wrapping_add(1);
-            fx.send(datagram);
+            fx.send(buf.freeze());
         }
         fx.finished = self.conns.is_empty();
     }
@@ -230,10 +250,10 @@ impl Endpoint for Host {
         if ip_repr.dst_addr != self.ip {
             return;
         }
-        let payload = packet.payload().to_vec();
+        let payload = packet.payload();
         match ip_repr.protocol {
-            IpProtocol::Tcp => self.handle_tcp(&ip_repr, &payload, now, fx),
-            IpProtocol::Icmp => self.handle_icmp(&ip_repr, &payload, fx),
+            IpProtocol::Tcp => self.handle_tcp(&ip_repr, payload, now, fx),
+            IpProtocol::Icmp => self.handle_icmp(&ip_repr, payload, fx),
             IpProtocol::Unknown(_) => {}
         }
     }
@@ -241,7 +261,7 @@ impl Endpoint for Host {
     fn on_timer(&mut self, token: TimerToken, now: Instant, fx: &mut Effects) {
         let key = key_for(token);
         let peer = Ipv4Addr::from_u32(key.0);
-        if let Some(tcb) = self.conns.get_mut(&key) {
+        if let Some(tcb) = self.conn_mut(key) {
             let out = tcb.on_timer(now);
             self.apply_tcb_output(key, peer, out, now, fx);
         } else {
@@ -450,7 +470,9 @@ mod tests {
         let mut fx2 = Effects::default();
         host.on_packet(&datagram(&req), Instant::ZERO, &mut fx2);
         let first = parse_reply(&fx2.tx[0]);
-        let (delay, token) = fx2.timers.last().copied().unwrap();
+        // Duplicate arms for an unchanged deadline are suppressed, so the
+        // pending RTO timer is the one armed with the handshake output.
+        let (delay, token) = fx2.timers.last().or(fx.timers.last()).copied().unwrap();
         // Fire the RTO.
         let mut fx3 = Effects::default();
         host.on_timer(token, Instant::ZERO + delay, &mut fx3);

@@ -42,15 +42,17 @@ impl HttpApp {
             .iter()
             .find(|(host, _)| req.host.eq_ignore_ascii_case(host))
         {
+            let (head, fill) = self.ok_page(12_000);
             let mut response = if close {
-                AppResponse::send_and_close(self.ok_page(12_000))
+                AppResponse::send_and_close(head)
             } else {
-                AppResponse::send(self.ok_page(12_000))
+                AppResponse::send(head)
             };
+            response.fill = fill;
             response.iw_override = Some(*policy);
             return response;
         }
-        let resp = match &self.config.behavior {
+        let (resp, fill) = match &self.config.behavior {
             HttpBehavior::Direct {
                 root_size,
                 echo_404,
@@ -58,7 +60,7 @@ impl HttpApp {
                 if req.uri == "/" {
                     self.ok_page(*root_size as usize)
                 } else {
-                    self.not_found_page(64, *echo_404, &req.uri)
+                    (self.not_found_page(64, *echo_404, &req.uri), 0)
                 }
             }
             HttpBehavior::Redirect {
@@ -69,17 +71,21 @@ impl HttpApp {
                 if req.uri == *path && (req.host == *host || req.host.is_empty()) {
                     self.ok_page(*target_size as usize)
                 } else {
-                    ResponseBuilder::new(301, "Moved Permanently")
+                    let moved = ResponseBuilder::new(301, "Moved Permanently")
                         .header("Server", &self.config.server_header)
                         .header("Location", format!("http://{host}{path}"))
                         .body(b"<html>Moved</html>".to_vec())
-                        .build()
+                        .build();
+                    (moved, 0)
                 }
             }
             HttpBehavior::NotFound {
                 base_size,
                 echo_uri,
-            } => self.not_found_page(*base_size as usize, *echo_uri, &req.uri),
+            } => (
+                self.not_found_page(*base_size as usize, *echo_uri, &req.uri),
+                0,
+            ),
             // The remaining variants are handled in on_data before parsing.
             HttpBehavior::Mute | HttpBehavior::SilentClose | HttpBehavior::Reset => {
                 unreachable!("terminal behaviours never build responses") // iw-lint: allow(panic-budget)
@@ -90,6 +96,7 @@ impl HttpApp {
         } else {
             AppResponse::send(resp)
         };
+        response.fill = fill;
         // Per-service IW (Akamai-style): the property named by the Host
         // header may carry its own initial-window configuration.
         response.iw_override = self
@@ -101,36 +108,61 @@ impl HttpApp {
         response
     }
 
-    fn ok_page(&self, size: usize) -> Vec<u8> {
-        ResponseBuilder::new(200, "OK")
+    /// Head of a `200` whose body is `size` bytes of filler, returned as
+    /// `(head, fill)`: the body itself is never built here — the TCB
+    /// materializes it lazily as the peer's window pulls it, which is
+    /// what makes multi-hundred-kilobyte pages free for a probe that
+    /// resets after the initial flight.
+    fn ok_page(&self, size: usize) -> (Vec<u8>, usize) {
+        let head = ResponseBuilder::new(200, "OK")
             .header("Server", &self.config.server_header)
             .header("Content-Type", "text/html")
-            .body(filler(size))
-            .build()
+            .head_only(size);
+        (head, size)
     }
 
     /// A 404 whose body optionally embeds the request URI — longer URIs
     /// beget longer error pages, the §3.2 bloating lever.
     fn not_found_page(&self, base: usize, echo: bool, uri: &str) -> Vec<u8> {
-        let mut body = Vec::with_capacity(base + uri.len() + 32);
-        body.extend_from_slice(b"<html><body>404 Not Found");
-        if echo {
-            body.extend_from_slice(b": ");
-            body.extend_from_slice(uri.as_bytes());
-        }
-        body.extend_from_slice(&filler(base));
-        body.extend_from_slice(b"</body></html>");
-        ResponseBuilder::new(404, "Not Found")
+        const PREFIX: &[u8] = b"<html><body>404 Not Found";
+        const SUFFIX: &[u8] = b"</body></html>";
+        let body_len = PREFIX.len() + if echo { 2 + uri.len() } else { 0 } + base + SUFFIX.len();
+        let mut out = ResponseBuilder::new(404, "Not Found")
             .header("Server", &self.config.server_header)
-            .body(body)
-            .build()
+            .head(body_len);
+        out.extend_from_slice(PREFIX);
+        if echo {
+            out.extend_from_slice(b": ");
+            out.extend_from_slice(uri.as_bytes());
+        }
+        fill_into(&mut out, base);
+        out.extend_from_slice(SUFFIX);
+        out
     }
 }
 
-/// Deterministic printable filler.
-fn filler(n: usize) -> Vec<u8> {
-    const PATTERN: &[u8] = b"The quick brown fox jumps over the lazy dog. ";
-    PATTERN.iter().copied().cycle().take(n).collect()
+/// Append `n` bytes of deterministic printable filler in place.
+///
+/// Seeds one copy of the pattern, then doubles the filled region with
+/// `extend_from_within` — O(log n) bulk copies instead of a bounds check
+/// per pattern repetition. Every doubling source starts at `base` (cycle
+/// position zero) and every extension lands on a pattern-aligned offset,
+/// so the cyclic sequence is preserved byte for byte.
+fn fill_into(out: &mut Vec<u8>, n: usize) {
+    use crate::app::FILL_PATTERN as PATTERN;
+    if n < PATTERN.len() {
+        out.extend_from_slice(&PATTERN[..n]);
+        return;
+    }
+    let base = out.len();
+    let end = base + n;
+    out.reserve(n);
+    out.extend_from_slice(PATTERN);
+    while out.len() < end {
+        let written = out.len() - base;
+        let take = written.min(end - out.len());
+        out.extend_from_within(base..base + take);
+    }
 }
 
 impl App for HttpApp {
@@ -178,7 +210,7 @@ mod tests {
         assert!(resp.close, "Connection: close honored");
         let head = ResponseHead::parse(&resp.data).unwrap();
         assert_eq!(head.status, 200);
-        assert_eq!(resp.data.len() - head.body_offset, 5000);
+        assert_eq!(resp.data.len() + resp.fill - head.body_offset, 5000);
     }
 
     #[test]
@@ -203,7 +235,7 @@ mod tests {
             .unwrap();
         let head2 = ResponseHead::parse(&resp2.data).unwrap();
         assert_eq!(head2.status, 200);
-        assert_eq!(resp2.data.len() - head2.body_offset, 9000);
+        assert_eq!(resp2.data.len() + resp2.fill - head2.body_offset, 9000);
     }
 
     #[test]

@@ -43,16 +43,21 @@ pub enum State {
 const MAX_RETRIES: u32 = 6;
 
 /// A segment in flight, kept for retransmission.
-#[derive(Debug, Clone)]
+///
+/// Payload bytes are not stored here: a segment is a `[start, start+len)`
+/// window into the connection's flat `send_buf`, so queueing a response,
+/// segmentizing it and retransmitting it all share one copy of the data.
+#[derive(Debug, Clone, Copy)]
 struct InflightSeg {
     seq: u32,
-    data: Vec<u8>,
+    start: usize,
+    len: usize,
     fin: bool,
 }
 
 impl InflightSeg {
     fn seq_len(&self) -> u32 {
-        self.data.len() as u32 + u32::from(self.fin)
+        self.len as u32 + u32::from(self.fin)
     }
 }
 
@@ -94,8 +99,19 @@ pub struct Tcb {
     cwnd: u32,
     ssthresh: u32,
 
-    // Send machinery.
-    send_queue: VecDeque<u8>,
+    // Send machinery: every byte the application has queued, in order.
+    // `sent` marks the segmentation frontier; bytes before it are covered
+    // by `inflight` windows until acknowledged. The buffer is retained
+    // whole for the connection's (short) lifetime, so no per-segment
+    // copies or shifts ever happen on this path.
+    send_buf: Vec<u8>,
+    sent: usize,
+    /// Lazy tail: this many bytes of [`crate::app::FILL_PATTERN`] still
+    /// owed behind `send_buf`, materialized only as the window pulls
+    /// them ([`AppResponse::fill`]). `fill_base` is the offset where the
+    /// current fill region's pattern cycle starts.
+    fill_remaining: usize,
+    fill_base: usize,
     inflight: VecDeque<InflightSeg>,
     close_pending: bool,
     fin_sent: bool,
@@ -107,6 +123,9 @@ pub struct Tcb {
     rto: Duration,
     rto_deadline: Option<Instant>,
     retries: u32,
+    /// The deadline the host last armed a simulator timer for; used to
+    /// suppress duplicate timer arms (stale fires are no-ops anyway).
+    armed: Option<Instant>,
 
     // Diagnostics.
     retransmit_count: u64,
@@ -151,7 +170,10 @@ impl Tcb {
             peer_wnd: u32::from(syn.window),
             cwnd: iw_bytes,
             ssthresh: u32::MAX,
-            send_queue: VecDeque::new(),
+            send_buf: Vec::new(),
+            sent: 0,
+            fill_remaining: 0,
+            fill_base: 0,
             inflight: VecDeque::new(),
             close_pending: false,
             fin_sent: false,
@@ -159,6 +181,7 @@ impl Tcb {
             rto,
             rto_deadline: None,
             retries: 0,
+            armed: None,
             retransmit_count: 0,
         };
         let mut out = TcbOutput::default();
@@ -295,12 +318,29 @@ impl Tcb {
         // property's congestion configuration once it knows which
         // service is requested — legal only before any data went out.
         if let Some(policy) = resp.iw_override {
-            if self.inflight.is_empty() && self.send_queue.is_empty() {
+            if self.inflight.is_empty() && self.unsent() == 0 {
                 self.cwnd = policy.initial_cwnd(self.mss);
                 self.iw_bytes = self.cwnd;
             }
         }
-        self.send_queue.extend(resp.data.iter());
+        if resp.fill > 0 || !resp.data.is_empty() {
+            // A later response queued behind an unfinished lazy tail
+            // must not interleave with it: settle the tail first. In a
+            // probe exchange this never triggers (one response per
+            // connection).
+            self.materialize_fill(self.send_buf.len() + self.fill_remaining);
+        }
+        if self.send_buf.is_empty() {
+            // First (and in a probe exchange, only) response: adopt the
+            // application's buffer instead of copying it.
+            self.send_buf = resp.data;
+        } else {
+            self.send_buf.extend_from_slice(&resp.data);
+        }
+        if resp.fill > 0 {
+            self.fill_base = self.send_buf.len();
+            self.fill_remaining = resp.fill;
+        }
         if resp.close {
             self.close_pending = true;
         }
@@ -343,6 +383,25 @@ impl Tcb {
         }
     }
 
+    /// Unsent bytes remaining in the send stream (materialized or owed
+    /// as lazy filler).
+    #[inline]
+    fn unsent(&self) -> usize {
+        self.send_buf.len() - self.sent + self.fill_remaining
+    }
+
+    /// Grow `send_buf` to at least `upto` bytes by materializing owed
+    /// filler. Never exceeds the promised stream length.
+    fn materialize_fill(&mut self, upto: usize) {
+        let take = upto
+            .saturating_sub(self.send_buf.len())
+            .min(self.fill_remaining);
+        if take > 0 {
+            crate::app::fill_pattern_continue(&mut self.send_buf, self.fill_base, take);
+            self.fill_remaining -= take;
+        }
+    }
+
     /// Transmit as much of the send queue as cwnd and the peer window
     /// allow; attach the FIN to the segment that drains the queue.
     /// Returns true if any segment (data or FIN) was emitted.
@@ -355,14 +414,16 @@ impl Tcb {
             let inflight_bytes = seq::dist(self.snd_una, self.snd_nxt);
             let wnd = self.cwnd.min(self.peer_wnd);
             let allowance = wnd.saturating_sub(inflight_bytes);
-            if self.send_queue.is_empty() || allowance == 0 {
+            if self.unsent() == 0 || allowance == 0 {
                 break;
             }
             let take = (self.mss as usize)
-                .min(self.send_queue.len())
+                .min(self.unsent())
                 .min(allowance as usize);
-            let data: Vec<u8> = self.send_queue.drain(..take).collect();
-            let drained = self.send_queue.is_empty();
+            let start = self.sent;
+            self.materialize_fill(start + take);
+            self.sent += take;
+            let drained = self.unsent() == 0;
             let fin = drained && self.close_pending && !self.fin_sent;
             let mut flags = Flags::ACK;
             if drained {
@@ -381,11 +442,12 @@ impl Tcb {
                 flags,
                 window: 65535,
                 options: Vec::new(),
-                payload: data.clone(),
+                payload: self.send_buf[start..start + take].to_vec(),
             };
             self.inflight.push_back(InflightSeg {
                 seq: self.snd_nxt,
-                data,
+                start,
+                len: take,
                 fin,
             });
             self.snd_nxt = self.snd_nxt.wrapping_add(take as u32 + u32::from(fin));
@@ -395,7 +457,7 @@ impl Tcb {
         // A FIN with no data left to carry it: bare FIN segment.
         if self.close_pending
             && !self.fin_sent
-            && self.send_queue.is_empty()
+            && self.unsent() == 0
             && self.state == State::Established
         {
             let repr = tcp::Repr::bare(
@@ -408,7 +470,8 @@ impl Tcb {
             );
             self.inflight.push_back(InflightSeg {
                 seq: self.snd_nxt,
-                data: Vec::new(),
+                start: self.send_buf.len(),
+                len: 0,
                 fin: true,
             });
             self.snd_nxt = self.snd_nxt.wrapping_add(1);
@@ -470,7 +533,7 @@ impl Tcb {
                 out.tx.push(self.syn_ack());
             }
             State::Established | State::FinWait => {
-                if let Some(first) = self.inflight.front() {
+                if let Some(first) = self.inflight.front().copied() {
                     // RFC 5681 on timeout: collapse to one segment and
                     // re-send the *first* unacknowledged segment — the
                     // retransmission the scanner is waiting for.
@@ -481,7 +544,7 @@ impl Tcb {
                     if first.fin {
                         flags |= Flags::FIN;
                     }
-                    if !first.data.is_empty() {
+                    if first.len > 0 {
                         flags |= Flags::PSH;
                     }
                     out.tx.push(tcp::Repr {
@@ -492,7 +555,7 @@ impl Tcb {
                         flags,
                         window: 65535,
                         options: Vec::new(),
-                        payload: first.data.clone(),
+                        payload: self.send_buf[first.start..first.start + first.len].to_vec(),
                     });
                 }
             }
@@ -500,6 +563,16 @@ impl Tcb {
         }
         self.arm_rto(now, &mut out);
         out
+    }
+
+    /// Whether a simulator timer must be armed for `deadline`: true the
+    /// first time each distinct deadline is reported, false for repeats.
+    pub fn should_arm(&mut self, deadline: Instant) -> bool {
+        if self.armed == Some(deadline) {
+            return false;
+        }
+        self.armed = Some(deadline);
+        true
     }
 
     /// Connection identity accessors for the host layer.

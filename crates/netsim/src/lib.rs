@@ -7,7 +7,9 @@
 //! * a virtual clock ([`time::Instant`], [`time::Duration`]) — nanosecond
 //!   integer arithmetic, no wall clock anywhere;
 //! * an event queue ([`sim::Sim`]) delivering packets and timers in
-//!   deterministic order (ties broken by insertion sequence);
+//!   deterministic order (ties broken by insertion sequence), backed by a
+//!   hierarchical timer wheel ([`wheel::TimerWheel`]) so scheduling stays
+//!   O(1) amortized at millions of in-flight events;
 //! * per-path link impairments ([`link::Link`]) — propagation delay,
 //!   jitter, Bernoulli loss, duplication, plus scripted drops for exact
 //!   tail-loss experiments (paper §3.5);
@@ -27,8 +29,10 @@ pub mod pcap;
 pub mod sim;
 pub mod time;
 pub mod trace;
+pub mod wheel;
 
-pub use link::{Link, LinkConfig};
-pub use sim::{Effects, Endpoint, HostFactory, Sim, SimConfig, TimerToken};
+pub use link::{Arrivals, Link, LinkConfig};
+pub use sim::{AddrMap, Effects, Endpoint, HostFactory, Sim, SimConfig, TimerToken};
 pub use time::{Duration, Instant};
 pub use trace::{Dir, Trace, TraceEntry};
+pub use wheel::TimerWheel;

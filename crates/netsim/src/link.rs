@@ -97,6 +97,44 @@ impl LinkConfig {
     }
 }
 
+/// Arrival delays for one transit: zero (dropped), one, or two (the
+/// duplication path) — stored inline so the per-packet routing path
+/// never touches the heap.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Arrivals {
+    delays: [Duration; 2],
+    len: u8,
+}
+
+impl Arrivals {
+    fn push(&mut self, delay: Duration) {
+        if usize::from(self.len) < 2 {
+            self.delays[usize::from(self.len)] = delay;
+            self.len += 1;
+        }
+    }
+
+    /// The delays as a slice (also available through `Deref`).
+    pub fn as_slice(&self) -> &[Duration] {
+        &self.delays[..usize::from(self.len)]
+    }
+}
+
+impl std::ops::Deref for Arrivals {
+    type Target = [Duration];
+    fn deref(&self) -> &[Duration] {
+        self.as_slice()
+    }
+}
+
+impl IntoIterator for Arrivals {
+    type Item = Duration;
+    type IntoIter = std::iter::Take<std::array::IntoIter<Duration, 2>>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.delays.into_iter().take(usize::from(self.len))
+    }
+}
+
 /// Per-direction transit state.
 #[derive(Debug)]
 struct DirState {
@@ -141,7 +179,7 @@ impl Link {
     ///
     /// Returns the extra delays (relative to "now") at which copies arrive:
     /// empty = lost, one entry = normal, two = duplicated.
-    pub fn transit(&mut self, dir: Direction) -> Vec<Duration> {
+    pub fn transit(&mut self, dir: Direction) -> Arrivals {
         let config = &self.config;
         let (st, drops, blackhole) = match dir {
             Direction::Forward => (&mut self.fwd, &config.drops_fwd, config.blackhole_fwd_after),
@@ -151,15 +189,15 @@ impl Link {
         st.sent += 1;
 
         if blackhole.is_some_and(|after| index >= after) {
-            return Vec::new();
+            return Arrivals::default();
         }
         if drops.contains(&index) {
-            return Vec::new();
+            return Arrivals::default();
         }
         if config.loss > 0.0 && st.rng.gen::<f64>() < config.loss {
-            return Vec::new();
+            return Arrivals::default();
         }
-        let mut arrivals = Vec::with_capacity(1);
+        let mut arrivals = Arrivals::default();
         let jitter = if config.jitter > Duration::ZERO {
             config.jitter.mul_f64(st.rng.gen::<f64>())
         } else {
@@ -188,7 +226,7 @@ mod tests {
         let mut link = Link::new(LinkConfig::testbed(), 1);
         for _ in 0..100 {
             let arr = link.transit(Direction::Forward);
-            assert_eq!(arr, vec![Duration::from_millis(1)]);
+            assert_eq!(arr.as_slice(), &[Duration::from_millis(1)]);
         }
     }
 

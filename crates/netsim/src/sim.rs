@@ -12,29 +12,81 @@
 use crate::link::{Direction, Link, LinkConfig};
 use crate::time::{Duration, Instant};
 use crate::trace::{Dir, Trace};
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use crate::wheel::TimerWheel;
+use iw_wire::pool::{BufferPool, Packet, PacketBuf, PoolStats};
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 
 /// Opaque timer identifier, namespaced per endpoint; endpoints must treat
 /// stale timers (state moved on) as no-ops — there is no cancellation.
 pub type TimerToken = u64;
 
+/// Multiplicative hasher for `u32` address keys: the kernel and the
+/// scanner look an address up in several tables per packet, and the
+/// default SipHash costs more than the rest of the lookup. Addresses in
+/// the simulation are not attacker-controlled, so a single 64-bit mix
+/// (SplitMix64's finalizer multiplier) is enough.
+#[derive(Debug, Default)]
+pub struct AddrHasher(u64);
+
+impl Hasher for AddrHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        // Generic fallback (FNV-1a); address keys use `write_u32` below.
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+    fn write_u32(&mut self, v: u32) {
+        let mut x = (self.0 << 32) ^ u64::from(v) ^ 0x9e37_79b9_7f4a_7c15;
+        x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        self.0 = x ^ (x >> 31);
+    }
+}
+
+/// A `HashMap` keyed by host-order IPv4 address, using [`AddrHasher`].
+pub type AddrMap<V> = HashMap<u32, V, BuildHasherDefault<AddrHasher>>;
+
 /// What an endpoint wants done after handling an event.
 #[derive(Debug, Default)]
 pub struct Effects {
     /// IPv4 datagrams to transmit (routed by destination address).
-    pub tx: Vec<Vec<u8>>,
+    pub tx: Vec<Packet>,
     /// Timers to arm, as (delay, token).
     pub timers: Vec<(Duration, TimerToken)>,
     /// The endpoint is done and may be deallocated (hosts only; the
     /// scanner ignores this flag).
     pub finished: bool,
+    /// The buffer pool emissions should draw from. `Effects::default()`
+    /// gives a private pool (tests, standalone endpoints); the kernel
+    /// hands every endpoint a handle to the simulation's shared pool.
+    pool: BufferPool,
 }
 
 impl Effects {
-    /// Queue a datagram for transmission.
-    pub fn send(&mut self, pkt: Vec<u8>) {
-        self.tx.push(pkt);
+    /// Effects drawing buffers from `pool` (the kernel's constructor).
+    pub fn with_pool(pool: BufferPool) -> Effects {
+        Effects {
+            tx: Vec::new(),
+            timers: Vec::new(),
+            finished: false,
+            pool,
+        }
+    }
+
+    /// Check out a recycled packet buffer to emit into; send the frozen
+    /// result with [`Effects::send`].
+    pub fn buffer(&self) -> PacketBuf {
+        self.pool.take()
+    }
+
+    /// Queue a datagram for transmission (a frozen [`PacketBuf`], or a
+    /// plain `Vec<u8>` on cold/compatibility paths).
+    pub fn send(&mut self, pkt: impl Into<Packet>) {
+        self.tx.push(pkt.into());
     }
 
     /// Arm a timer.
@@ -102,6 +154,14 @@ pub struct SimStats {
     pub hosts_spawned: u64,
     /// Events processed.
     pub events: u64,
+    /// Fresh slabs the packet-buffer pool allocated (lifetime total).
+    pub pool_allocations: u64,
+    /// Buffers the pool recycled through the free list instead of
+    /// allocating (lifetime total).
+    pub pool_recycled: u64,
+    /// Pool buffers checked out and not yet returned. Zero once a scan
+    /// drains; anything else is a leak.
+    pub pool_outstanding: u64,
 }
 
 impl std::ops::AddAssign for SimStats {
@@ -115,38 +175,18 @@ impl std::ops::AddAssign for SimStats {
         self.scanner_rx_bytes += rhs.scanner_rx_bytes;
         self.hosts_spawned += rhs.hosts_spawned;
         self.events += rhs.events;
+        self.pool_allocations += rhs.pool_allocations;
+        self.pool_recycled += rhs.pool_recycled;
+        self.pool_outstanding += rhs.pool_outstanding;
     }
 }
 
 #[derive(Debug)]
 enum EventKind {
-    ToHost { ip: u32, pkt: Vec<u8> },
-    ToScanner { pkt: Vec<u8> },
+    ToHost { ip: u32, pkt: Packet },
+    ToScanner { pkt: Packet },
     HostTimer { ip: u32, token: TimerToken },
     ScannerTimer { token: TimerToken },
-}
-
-struct Event {
-    at: Instant,
-    seq: u64,
-    kind: EventKind,
-}
-
-impl PartialEq for Event {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl Eq for Event {}
-impl PartialOrd for Event {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Event {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
-    }
 }
 
 struct HostSlot {
@@ -159,13 +199,16 @@ pub struct Sim<S: Endpoint, F: HostFactory> {
     factory: F,
     config: SimConfig,
     now: Instant,
-    queue: BinaryHeap<Reverse<Event>>,
+    queue: TimerWheel<EventKind>,
     next_seq: u64,
-    hosts: HashMap<u32, HostSlot>,
+    hosts: AddrMap<HostSlot>,
     /// Links persist across host despawn/respawn: the network path (and
     /// its loss-process state, including scripted drop counters) exists
     /// independently of whether the endpoint is in memory.
-    links: HashMap<u32, Link>,
+    links: AddrMap<Link>,
+    /// Shared packet-buffer arena every endpoint emits into; buffers
+    /// recycle through the free list instead of hitting the allocator.
+    pool: BufferPool,
     stats: SimStats,
     trace: Trace,
 }
@@ -178,10 +221,11 @@ impl<S: Endpoint, F: HostFactory> Sim<S, F> {
             factory,
             config,
             now: Instant::ZERO,
-            queue: BinaryHeap::new(),
+            queue: TimerWheel::new(),
             next_seq: 0,
-            hosts: HashMap::new(),
-            links: HashMap::new(),
+            hosts: AddrMap::default(),
+            links: AddrMap::default(),
+            pool: BufferPool::new(),
             stats: SimStats::default(),
             trace: Trace::new(),
         }
@@ -192,9 +236,19 @@ impl<S: Endpoint, F: HostFactory> Sim<S, F> {
         self.now
     }
 
-    /// Accumulated statistics.
+    /// Accumulated statistics, including the pool counters as of now.
     pub fn stats(&self) -> SimStats {
-        self.stats
+        let mut stats = self.stats;
+        let pool = self.pool.stats();
+        stats.pool_allocations = pool.allocated;
+        stats.pool_recycled = pool.recycled;
+        stats.pool_outstanding = pool.outstanding;
+        stats
+    }
+
+    /// Raw counters from the shared packet-buffer pool (leak checks).
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool.stats()
     }
 
     /// The recorded trace (empty unless `record_trace` was set).
@@ -220,19 +274,14 @@ impl<S: Endpoint, F: HostFactory> Sim<S, F> {
     /// Invoke the scanner directly (e.g. to start the scan) and apply the
     /// effects it produces.
     pub fn kick_scanner(&mut self, f: impl FnOnce(&mut S, Instant, &mut Effects)) {
-        let mut fx = Effects::default();
+        let mut fx = Effects::with_pool(self.pool.clone());
         f(&mut self.scanner, self.now, &mut fx);
         self.apply_scanner_effects(fx);
     }
 
     fn schedule(&mut self, delay: Duration, kind: EventKind) {
-        let ev = Event {
-            at: self.now + delay,
-            seq: self.next_seq,
-            kind,
-        };
+        self.queue.push(self.now + delay, self.next_seq, kind);
         self.next_seq += 1;
-        self.queue.push(Reverse(ev));
     }
 
     fn apply_scanner_effects(&mut self, fx: Effects) {
@@ -257,7 +306,7 @@ impl<S: Endpoint, F: HostFactory> Sim<S, F> {
         }
     }
 
-    fn route_from_scanner(&mut self, pkt: Vec<u8>) {
+    fn route_from_scanner(&mut self, pkt: Packet) {
         self.stats.scanner_tx += 1;
         self.stats.scanner_tx_bytes += pkt.len() as u64;
         // Destination address straight out of the IPv4 header; a full parse
@@ -273,10 +322,13 @@ impl<S: Endpoint, F: HostFactory> Sim<S, F> {
             self.stats.lost += 1;
             return;
         }
-        // `spawn_host` just succeeded, so the link exists; a miss here is
-        // simulator corruption and must abort the run loudly.
-        // iw-lint: allow(panic-budget)
-        let link = self.links.get_mut(&dst).expect("spawned host has a link");
+        // `spawn_host` just succeeded, so the link exists; a miss would be
+        // simulator corruption, but counting the packet as lost keeps the
+        // run alive and visible in the stats instead of aborting.
+        let Some(link) = self.links.get_mut(&dst) else {
+            self.stats.lost += 1;
+            return;
+        };
         let arrivals = link.transit(Direction::Forward);
         if arrivals.is_empty() {
             self.stats.lost += 1;
@@ -292,7 +344,7 @@ impl<S: Endpoint, F: HostFactory> Sim<S, F> {
         }
     }
 
-    fn route_from_host(&mut self, ip: u32, pkt: Vec<u8>) {
+    fn route_from_host(&mut self, ip: u32, pkt: Packet) {
         self.stats.host_tx += 1;
         if self.config.record_trace {
             self.trace.record(self.now, Dir::HostToScanner, &pkt);
@@ -330,22 +382,22 @@ impl<S: Endpoint, F: HostFactory> Sim<S, F> {
 
     /// Process a single event. Returns `false` when the queue is empty.
     pub fn step(&mut self) -> bool {
-        let Some(Reverse(ev)) = self.queue.pop() else {
+        let Some((at, kind)) = self.queue.pop() else {
             return false;
         };
-        debug_assert!(ev.at >= self.now, "time must not run backwards");
-        self.now = ev.at;
+        debug_assert!(at >= self.now, "time must not run backwards");
+        self.now = at;
         self.stats.events += 1;
-        match ev.kind {
+        match kind {
             EventKind::ToScanner { pkt } => {
                 self.stats.scanner_rx += 1;
                 self.stats.scanner_rx_bytes += pkt.len() as u64;
-                let mut fx = Effects::default();
+                let mut fx = Effects::with_pool(self.pool.clone());
                 self.scanner.on_packet(&pkt, self.now, &mut fx);
                 self.apply_scanner_effects(fx);
             }
             EventKind::ScannerTimer { token } => {
-                let mut fx = Effects::default();
+                let mut fx = Effects::with_pool(self.pool.clone());
                 self.scanner.on_timer(token, self.now, &mut fx);
                 self.apply_scanner_effects(fx);
             }
@@ -359,14 +411,14 @@ impl<S: Endpoint, F: HostFactory> Sim<S, F> {
                 }
                 if let Some(slot) = self.hosts.get_mut(&ip) {
                     self.stats.host_rx += 1;
-                    let mut fx = Effects::default();
+                    let mut fx = Effects::with_pool(self.pool.clone());
                     slot.endpoint.on_packet(&pkt, self.now, &mut fx);
                     self.apply_host_effects(ip, fx);
                 }
             }
             EventKind::HostTimer { ip, token } => {
                 if let Some(slot) = self.hosts.get_mut(&ip) {
-                    let mut fx = Effects::default();
+                    let mut fx = Effects::with_pool(self.pool.clone());
                     slot.endpoint.on_timer(token, self.now, &mut fx);
                     self.apply_host_effects(ip, fx);
                 }
@@ -380,8 +432,8 @@ impl<S: Endpoint, F: HostFactory> Sim<S, F> {
     /// Returns the number of events processed.
     pub fn run_until(&mut self, deadline: Instant) -> u64 {
         let mut n = 0;
-        while let Some(Reverse(ev)) = self.queue.peek() {
-            if ev.at > deadline {
+        while let Some(at) = self.queue.peek_at() {
+            if at > deadline {
                 break;
             }
             self.step();
@@ -594,6 +646,9 @@ mod tests {
             scanner_rx_bytes: 7,
             hosts_spawned: 8,
             events: 9,
+            pool_allocations: 10,
+            pool_recycled: 11,
+            pool_outstanding: 12,
         };
         let b = SimStats {
             scanner_tx: 10,
@@ -605,6 +660,9 @@ mod tests {
             scanner_rx_bytes: 70,
             hosts_spawned: 80,
             events: 90,
+            pool_allocations: 100,
+            pool_recycled: 110,
+            pool_outstanding: 120,
         };
         a += b;
         assert_eq!(
@@ -619,7 +677,33 @@ mod tests {
                 scanner_rx_bytes: 77,
                 hosts_spawned: 88,
                 events: 99,
+                pool_allocations: 110,
+                pool_recycled: 121,
+                pool_outstanding: 132,
             }
+        );
+    }
+
+    #[test]
+    fn pool_buffers_return_after_the_run() {
+        let mut sim = Sim::new(TestScanner::default(), echo_factory, SimConfig::default());
+        sim.kick_scanner(|_, _, fx| {
+            for tag in 0..8 {
+                let mut buf = fx.buffer();
+                buf.extend_from_slice(&fake_pkt(1, tag));
+                fx.send(buf.freeze());
+            }
+        });
+        sim.run_to_completion();
+        let pool = sim.pool_stats();
+        assert_eq!(pool.outstanding, 0, "every pooled buffer must come home");
+        assert_eq!(pool.high_water, 8, "all eight buffers were out at once");
+        let stats = sim.stats();
+        assert_eq!(stats.pool_outstanding, 0);
+        assert_eq!(
+            stats.pool_allocations + stats.pool_recycled,
+            8,
+            "every checkout is either a fresh slab or a recycled one"
         );
     }
 

@@ -186,6 +186,26 @@ pub const SHARD_SESSIONS_LIVE_PEAK: MetricDef =
     MetricDef::gauge("shard.sessions.live_peak", Scope::Shard);
 
 // ---------------------------------------------------------------------------
+// Simulation kernel (shard scope: each shard drives its own event loop,
+// so raw event/buffer counts depend on the shard split and stay out of
+// the canonical cross-shard snapshot).
+
+/// Events the timer-wheel queue dispatched over the run.
+pub const SIM_QUEUE_EVENTS: MetricDef = MetricDef::counter("sim.queue.events", Scope::Shard);
+/// Packets delivered to an endpoint (scanner-bound plus host-bound).
+pub const SIM_QUEUE_PACKETS: MetricDef = MetricDef::counter("sim.queue.packets", Scope::Shard);
+/// Fresh slabs the shared packet-buffer pool allocated.
+pub const SIM_QUEUE_POOL_ALLOCATIONS: MetricDef =
+    MetricDef::counter("sim.queue.pool_allocations", Scope::Shard);
+/// Buffers served from the pool free list instead of the allocator.
+pub const SIM_QUEUE_POOL_RECYCLED: MetricDef =
+    MetricDef::counter("sim.queue.pool_recycled", Scope::Shard);
+/// Pool buffers still checked out when the scan drained (leak tell-tale;
+/// zero on a clean run).
+pub const SIM_QUEUE_POOL_OUTSTANDING: MetricDef =
+    MetricDef::gauge("sim.queue.pool_outstanding", Scope::Shard);
+
+// ---------------------------------------------------------------------------
 // Index blocks (array registration in the scanner).
 
 /// Per-probe outcome counters indexed like `OutcomeKind` (success,
@@ -217,7 +237,7 @@ pub const ERROR_KIND_COUNTERS: [&MetricDef; 6] = [
 ];
 
 /// Every declared metric. Order matches declaration order above.
-pub const ALL: [&MetricDef; 31] = [
+pub const ALL: [&MetricDef; 36] = [
     &SCAN_TARGETS_SENT,
     &SCAN_SYNACKS_VALIDATED,
     &SCAN_REFUSED,
@@ -249,6 +269,11 @@ pub const ALL: [&MetricDef; 31] = [
     &SHARD_PACE_TICKS,
     &SHARD_PACE_TOKEN_WAIT_NANOS,
     &SHARD_SESSIONS_LIVE_PEAK,
+    &SIM_QUEUE_EVENTS,
+    &SIM_QUEUE_PACKETS,
+    &SIM_QUEUE_POOL_ALLOCATIONS,
+    &SIM_QUEUE_POOL_RECYCLED,
+    &SIM_QUEUE_POOL_OUTSTANDING,
 ];
 
 /// Look a metric up by snapshot name.
@@ -266,8 +291,10 @@ mod tests {
         for def in ALL {
             assert!(seen.insert(def.name), "duplicate metric {}", def.name);
             assert!(
-                def.name.starts_with("scan.") || def.name.starts_with("shard."),
-                "{} lacks a scan./shard. prefix",
+                def.name.starts_with("scan.")
+                    || def.name.starts_with("shard.")
+                    || def.name.starts_with("sim."),
+                "{} lacks a scan./shard./sim. prefix",
                 def.name
             );
             assert!(

@@ -220,20 +220,59 @@ impl ResponseBuilder {
     }
 
     /// Serialize the full response.
-    pub fn build(self) -> Vec<u8> {
-        let mut out = format!("HTTP/1.1 {} {}\r\n", self.status, self.reason);
-        for (k, v) in &self.headers {
-            out.push_str(&format!("{k}: {v}\r\n"));
-        }
-        out.push_str(&format!("Content-Length: {}\r\n\r\n", self.body.len()));
-        let mut bytes = out.into_bytes();
-        bytes.extend_from_slice(&self.body);
+    pub fn build(mut self) -> Vec<u8> {
+        let body = std::mem::take(&mut self.body);
+        let mut bytes = self.head(body.len());
+        bytes.extend_from_slice(&body);
         bytes
+    }
+
+    /// Serialize just the head (with `Content-Length: content_length`),
+    /// reserving room for the body. The caller appends the body bytes
+    /// directly into the returned buffer — the zero-copy path for the
+    /// simulated servers' bulk pages.
+    pub fn head(self, content_length: usize) -> Vec<u8> {
+        self.serialize_head(content_length, content_length)
+    }
+
+    /// Serialize just the head, without reserving body capacity — for
+    /// responses whose body is produced lazily (never all at once).
+    pub fn head_only(self, content_length: usize) -> Vec<u8> {
+        self.serialize_head(content_length, 0)
+    }
+
+    fn serialize_head(self, content_length: usize, reserve_body: usize) -> Vec<u8> {
+        use std::fmt::Write;
+        let mut head_len = 64;
+        for (k, v) in &self.headers {
+            head_len += k.len() + v.len() + 4;
+        }
+        let mut out = String::with_capacity(head_len + reserve_body);
+        let _ = write!(out, "HTTP/1.1 {} {}\r\n", self.status, self.reason);
+        for (k, v) in &self.headers {
+            let _ = write!(out, "{k}: {v}\r\n");
+        }
+        let _ = write!(out, "Content-Length: {content_length}\r\n\r\n");
+        out.into_bytes()
     }
 }
 
 fn find_head_end(data: &[u8]) -> Option<usize> {
-    data.windows(4).position(|w| w == b"\r\n\r\n")
+    // Skip to each '\r' (a single-byte search the compiler vectorizes)
+    // instead of comparing a 4-byte window at every offset — probe URIs
+    // make heads kilobytes long and truncated parses rescan from zero.
+    let mut start = 0;
+    while let Some(off) = data[start..].iter().position(|&b| b == b'\r') {
+        let i = start + off;
+        if i + 4 > data.len() {
+            return None;
+        }
+        if &data[i..i + 4] == b"\r\n\r\n" {
+            return Some(i);
+        }
+        start = i + 1;
+    }
+    None
 }
 
 #[cfg(test)]

@@ -60,6 +60,14 @@ impl Message {
     /// Emit the message into a fresh buffer, checksummed.
     pub fn emit(&self) -> Vec<u8> {
         let mut buf = vec![0u8; self.buffer_len()];
+        self.emit_into(&mut buf);
+        buf
+    }
+
+    /// Emit into a zeroed buffer of exactly [`Self::buffer_len`] bytes
+    /// (the pooled hot path; [`Self::emit`] wraps this).
+    pub fn emit_into(&self, buf: &mut [u8]) {
+        debug_assert_eq!(buf.len(), self.buffer_len());
         match self {
             Message::EchoRequest { ident, seq, .. } => {
                 buf[0] = 8;
@@ -81,9 +89,8 @@ impl Message {
                 buf[1] = *code;
             }
         }
-        let sum = checksum::checksum(&buf);
+        let sum = checksum::checksum(buf);
         buf[2..4].copy_from_slice(&sum.to_be_bytes());
-        buf
     }
 
     /// Parse an ICMP message from an IPv4 payload.

@@ -381,11 +381,30 @@ impl Repr {
 /// Convenience: build a full IPv4 datagram around a layer-4 payload.
 pub fn build_datagram(repr: &Repr, ident: u16, l4: &[u8]) -> Vec<u8> {
     debug_assert_eq!(repr.payload_len, l4.len());
-    let mut buf = vec![0u8; HEADER_LEN + l4.len()];
-    buf[HEADER_LEN..].copy_from_slice(l4);
-    let mut packet = Packet::new_unchecked(&mut buf[..]);
-    repr.emit(&mut packet, ident);
+    let mut buf = Vec::with_capacity(HEADER_LEN + l4.len());
+    build_datagram_into(repr, ident, &mut buf, |payload| {
+        payload.copy_from_slice(l4);
+    });
     buf
+}
+
+/// Build a full IPv4 datagram in place — the pooled, allocation-free
+/// variant of [`build_datagram`]. `buf` is zero-extended to the full
+/// datagram length (it should arrive empty), `fill` writes the
+/// `repr.payload_len` layer-4 bytes directly into the buffer, and the
+/// header is emitted around them.
+pub fn build_datagram_into(
+    repr: &Repr,
+    ident: u16,
+    buf: &mut Vec<u8>,
+    fill: impl FnOnce(&mut [u8]),
+) {
+    let start = buf.len();
+    buf.resize(start + HEADER_LEN + repr.payload_len, 0);
+    let datagram = &mut buf[start..];
+    fill(&mut datagram[HEADER_LEN..]);
+    let mut packet = Packet::new_unchecked(datagram);
+    repr.emit(&mut packet, ident);
 }
 
 /// Compute the TCP/ICMP payload checksum helper used by sibling modules.

@@ -19,6 +19,8 @@
 //! * [`tls`] — TLS 1.2 record and handshake framing (ClientHello,
 //!   ServerHello, Certificate) plus the browser-union cipher-suite registry
 //!   the paper compiles from Safari/Firefox/Chrome + censys.
+//! * [`pool`] — the pooled packet-buffer arena the hot path emits into
+//!   (fixed-size slabs, free-list recycling, refcounted shared packets).
 //!
 //! Everything is `no_std`-shaped in spirit (no I/O, no globals) but uses
 //! `alloc` types freely since the scanner is a host application.
@@ -31,11 +33,13 @@ pub mod error;
 pub mod http;
 pub mod icmp;
 pub mod ipv4;
+pub mod pool;
 pub mod tcp;
 pub mod tls;
 
 pub use error::{Error, Result};
 pub use ipv4::Ipv4Addr;
+pub use pool::{BufferPool, Packet as PooledPacket, PacketBuf, PoolStats};
 
 /// IP protocol numbers used by this crate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

@@ -1,0 +1,256 @@
+//! Pooled packet buffers: a slab arena with free-list recycling.
+//!
+//! Every packet the scanner or a simulated host emits used to be a fresh
+//! `Vec<u8>`, and every link-level duplicate a deep clone — between two
+//! and three heap allocations per packet on the hot path. The pool turns
+//! that into amortized zero: buffers are fixed-capacity slabs drawn from
+//! a free list, writable while building ([`PacketBuf`]), then frozen
+//! into cheaply clonable, immutable [`Packet`]s for routing (a clone is
+//! a reference-count bump, which is what link fan-out and duplication
+//! want). When the last reference drops, the slab returns to the free
+//! list of the pool it came from.
+//!
+//! The pool is deliberately single-threaded (`Rc`/`RefCell`): a
+//! simulation shard — scanner, hosts, links, queue — lives entirely on
+//! one thread, and sharded scans give each shard its own pool. Nothing
+//! here reads a clock, and there is no `unsafe`; both properties are
+//! enforced by `iw-lint`.
+
+use std::cell::RefCell;
+use std::ops::{Deref, DerefMut};
+use std::rc::Rc;
+
+/// Default slab capacity: one MTU-sized packet plus headroom, so no scan
+/// packet ever forces a mid-build reallocation.
+pub const SLAB_CAPACITY: usize = 2048;
+
+/// Allocation counters for one pool (monotonic except `outstanding`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Slabs created fresh from the allocator (free-list misses).
+    pub allocated: u64,
+    /// Buffers served from the free list (free-list hits).
+    pub recycled: u64,
+    /// Buffers currently checked out (building or in flight).
+    pub outstanding: u64,
+    /// Highest `outstanding` ever observed.
+    pub high_water: u64,
+}
+
+#[derive(Debug, Default)]
+struct PoolInner {
+    free: Vec<Vec<u8>>,
+    stats: PoolStats,
+}
+
+/// A free-list arena of packet buffers. Cloning is cheap and yields a
+/// handle to the same pool.
+#[derive(Debug, Clone, Default)]
+pub struct BufferPool {
+    inner: Rc<RefCell<PoolInner>>,
+}
+
+impl BufferPool {
+    /// A new, empty pool.
+    pub fn new() -> BufferPool {
+        BufferPool::default()
+    }
+
+    /// Check out a writable, empty buffer (recycled when possible).
+    pub fn take(&self) -> PacketBuf {
+        let mut inner = self.inner.borrow_mut();
+        let data = match inner.free.pop() {
+            Some(mut v) => {
+                v.clear();
+                inner.stats.recycled += 1;
+                v
+            }
+            None => {
+                inner.stats.allocated += 1;
+                Vec::with_capacity(SLAB_CAPACITY)
+            }
+        };
+        inner.stats.outstanding += 1;
+        inner.stats.high_water = inner.stats.high_water.max(inner.stats.outstanding);
+        drop(inner);
+        PacketBuf {
+            data,
+            pool: Some(self.clone()),
+        }
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> PoolStats {
+        self.inner.borrow().stats
+    }
+
+    fn put_back(&self, data: Vec<u8>) {
+        let mut inner = self.inner.borrow_mut();
+        inner.stats.outstanding -= 1;
+        inner.free.push(data);
+    }
+}
+
+/// A writable packet buffer checked out of a [`BufferPool`] (or
+/// standalone, for callers without a pool). Derefs to `Vec<u8>` so the
+/// usual emit paths work unchanged; freeze it into a [`Packet`] to send.
+#[derive(Debug)]
+pub struct PacketBuf {
+    data: Vec<u8>,
+    pool: Option<BufferPool>,
+}
+
+impl PacketBuf {
+    /// A pool-less buffer (dropped, not recycled).
+    pub fn from_vec(data: Vec<u8>) -> PacketBuf {
+        PacketBuf { data, pool: None }
+    }
+
+    /// Grow to `len` bytes, zero-filling — the emit-into idiom.
+    pub fn resize_zeroed(&mut self, len: usize) {
+        self.data.resize(len, 0);
+    }
+
+    /// Freeze into an immutable, cheaply clonable packet.
+    pub fn freeze(self) -> Packet {
+        Packet {
+            shared: Rc::new(self),
+        }
+    }
+}
+
+impl Drop for PacketBuf {
+    fn drop(&mut self) {
+        if let Some(pool) = self.pool.take() {
+            pool.put_back(std::mem::take(&mut self.data));
+        }
+    }
+}
+
+impl Deref for PacketBuf {
+    type Target = Vec<u8>;
+    fn deref(&self) -> &Vec<u8> {
+        &self.data
+    }
+}
+
+impl DerefMut for PacketBuf {
+    fn deref_mut(&mut self) -> &mut Vec<u8> {
+        &mut self.data
+    }
+}
+
+/// An immutable packet on the (virtual) wire. `Clone` bumps a reference
+/// count — link duplication and fan-out share one buffer — and the slab
+/// returns to its pool when the last reference drops.
+#[derive(Debug, Clone)]
+pub struct Packet {
+    shared: Rc<PacketBuf>,
+}
+
+impl Packet {
+    /// Wrap an unpooled byte vector (compatibility path for tests and
+    /// cold paths; the buffer is freed, not recycled).
+    pub fn from_vec(data: Vec<u8>) -> Packet {
+        PacketBuf::from_vec(data).freeze()
+    }
+
+    /// The packet bytes.
+    pub fn bytes(&self) -> &[u8] {
+        &self.shared.data
+    }
+}
+
+impl Deref for Packet {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.shared.data
+    }
+}
+
+impl From<Vec<u8>> for Packet {
+    fn from(data: Vec<u8>) -> Packet {
+        Packet::from_vec(data)
+    }
+}
+
+impl AsRef<[u8]> for Packet {
+    fn as_ref(&self) -> &[u8] {
+        &self.shared.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recycles_through_the_free_list() {
+        let pool = BufferPool::new();
+        let a = pool.take();
+        assert_eq!(
+            pool.stats(),
+            PoolStats {
+                allocated: 1,
+                recycled: 0,
+                outstanding: 1,
+                high_water: 1
+            }
+        );
+        drop(a);
+        assert_eq!(pool.stats().outstanding, 0);
+        let b = pool.take();
+        assert_eq!(pool.stats().recycled, 1, "free-list hit");
+        assert_eq!(pool.stats().allocated, 1, "no second slab");
+        assert_eq!(b.capacity(), SLAB_CAPACITY);
+    }
+
+    #[test]
+    fn freeze_shares_and_returns_on_last_drop() {
+        let pool = BufferPool::new();
+        let mut buf = pool.take();
+        buf.extend_from_slice(b"hello");
+        let p = buf.freeze();
+        let q = p.clone();
+        assert_eq!(&*p, b"hello");
+        assert_eq!(&*q, b"hello");
+        assert_eq!(pool.stats().outstanding, 1, "clones share one slab");
+        drop(p);
+        assert_eq!(pool.stats().outstanding, 1, "still referenced");
+        drop(q);
+        assert_eq!(pool.stats().outstanding, 0, "slab returned");
+        let again = pool.take();
+        assert!(again.is_empty(), "recycled slab comes back cleared");
+    }
+
+    #[test]
+    fn high_water_tracks_peak() {
+        let pool = BufferPool::new();
+        let bufs: Vec<_> = (0..5).map(|_| pool.take()).collect();
+        drop(bufs);
+        let s = pool.stats();
+        assert_eq!(s.high_water, 5);
+        assert_eq!(s.outstanding, 0);
+        assert_eq!(s.allocated, 5);
+    }
+
+    #[test]
+    fn unpooled_buffers_work_without_a_pool() {
+        let p = Packet::from_vec(vec![1, 2, 3]);
+        assert_eq!(p.bytes(), &[1, 2, 3]);
+        let mut buf = PacketBuf::from_vec(Vec::new());
+        buf.resize_zeroed(4);
+        assert_eq!(&*buf.freeze(), &[0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn resize_zeroed_clears_recycled_contents() {
+        let pool = BufferPool::new();
+        let mut a = pool.take();
+        a.extend_from_slice(&[0xff; 64]);
+        drop(a);
+        let mut b = pool.take();
+        b.resize_zeroed(32);
+        assert!(b.iter().all(|&x| x == 0), "no stale bytes leak through");
+    }
+}

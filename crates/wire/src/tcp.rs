@@ -471,9 +471,17 @@ impl Repr {
 
     /// Emit into a fresh buffer and checksum it.
     pub fn emit(&self, src: Ipv4Addr, dst: Ipv4Addr) -> Vec<u8> {
+        let mut buf = vec![0u8; self.buffer_len()];
+        self.emit_into(src, dst, &mut buf);
+        buf
+    }
+
+    /// Emit into a zeroed buffer of exactly [`Self::buffer_len`] bytes,
+    /// checksummed — the pooled hot path; [`Self::emit`] wraps this.
+    pub fn emit_into(&self, src: Ipv4Addr, dst: Ipv4Addr, buf: &mut [u8]) {
         let header_len = HEADER_LEN + self.options_len();
         debug_assert!(header_len <= MAX_HEADER_LEN, "too many TCP options");
-        let mut buf = vec![0u8; header_len + self.payload.len()];
+        debug_assert_eq!(buf.len(), self.buffer_len());
         {
             let mut cursor = HEADER_LEN;
             for opt in &self.options {
@@ -482,7 +490,7 @@ impl Repr {
             // Remaining bytes up to header_len stay zero = EndOfList padding.
         }
         buf[header_len..].copy_from_slice(&self.payload);
-        let mut packet = Packet::new_unchecked(&mut buf[..]);
+        let mut packet = Packet::new_unchecked(buf);
         packet.set_src_port(self.src_port);
         packet.set_dst_port(self.dst_port);
         packet.set_seq_number(self.seq);
@@ -491,7 +499,6 @@ impl Repr {
         packet.set_window(self.window);
         packet.set_urgent(0);
         packet.fill_checksum(src, dst);
-        buf
     }
 
     /// The MSS option value, if present.

@@ -12,7 +12,7 @@
 
 use iw_analysis::figures::render_iw_bars;
 use iw_analysis::histogram::IwHistogram;
-use iw_core::{run_scan, run_scan_sharded, Protocol, ScanConfig, TargetSpec};
+use iw_core::{Protocol, ScanConfig, ScanRunner, TargetSpec};
 use iw_internet::{alexa, Population, PopulationConfig};
 use std::sync::Arc;
 
@@ -42,11 +42,14 @@ fn main() {
     let mut cfg = ScanConfig::study(Protocol::Http, population.space_size(), 7);
     cfg.targets = TargetSpec::List(targets);
     cfg.rate_pps = 4_000_000;
-    let alexa_scan = run_scan(&population, cfg);
+    let alexa_scan = ScanRunner::new(&population).config(cfg).run();
 
     let mut full_cfg = ScanConfig::study(Protocol::Http, population.space_size(), 7);
     full_cfg.rate_pps = 4_000_000;
-    let full_scan = run_scan_sharded(&population, full_cfg, 4);
+    let full_scan = ScanRunner::new(&population)
+        .config(full_cfg)
+        .shards(4)
+        .run();
 
     let alexa_hist = IwHistogram::from_results(&alexa_scan.results);
     let full_hist = IwHistogram::from_results(&full_scan.results);

@@ -12,7 +12,7 @@
 use iw_analysis::figures::render_iw_bars;
 use iw_analysis::histogram::IwHistogram;
 use iw_analysis::tables::Table1;
-use iw_core::{run_scan_sharded, Protocol, ScanConfig};
+use iw_core::{Protocol, ScanConfig, ScanRunner};
 use iw_internet::{Population, PopulationConfig};
 use std::sync::Arc;
 
@@ -34,7 +34,10 @@ fn main() {
     let scan = |protocol| {
         let mut config = ScanConfig::study(protocol, population.space_size(), 42);
         config.rate_pps = 4_000_000;
-        run_scan_sharded(&population, config, threads)
+        ScanRunner::new(&population)
+            .config(config)
+            .shards(threads)
+            .run()
     };
 
     let http = scan(Protocol::Http);

@@ -4,7 +4,7 @@
 
 use iw_core::blacklist::{CidrSet, ScanFilter};
 use iw_core::testbed::{probe_host, TestbedSpec};
-use iw_core::{run_scan, MssVerdict, Protocol, ScanConfig};
+use iw_core::{MssVerdict, Protocol, ScanConfig, ScanRunner};
 use iw_hoststack::{HostConfig, IwPolicy};
 use iw_internet::{Population, PopulationConfig};
 use iw_netsim::{Duration, LinkConfig};
@@ -154,7 +154,7 @@ fn blacklisted_ranges_are_never_touched() {
         whitelist: CidrSet::new(),
         blacklist: CidrSet::from_cidrs(&[half]),
     };
-    let out = run_scan(&pop, config);
+    let out = ScanRunner::new(&pop).config(config).run();
     assert!(out.summary.targets > 0);
     for r in &out.results {
         assert!(r.ip >= 1 << 16, "blacklisted address {} was scanned", r.ip);
@@ -173,7 +173,7 @@ fn lossy_population_scan_remains_sane() {
     }));
     let mut config = ScanConfig::study(Protocol::Http, pop.space_size(), 77);
     config.rate_pps = 2_000_000;
-    let out = run_scan(&pop, config);
+    let out = ScanRunner::new(&pop).config(config).run();
     assert!(out.summary.reachable > 100);
     let mut overestimates = 0;
     for r in &out.results {
