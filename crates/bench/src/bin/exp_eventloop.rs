@@ -154,7 +154,7 @@ mod churn {
             factory,
             SimConfig {
                 seed: iw_bench::SEED,
-                record_trace: false,
+                ..SimConfig::default()
             },
         );
         // Pace ticks cover `rounds` ms of virtual time; the 3 s window

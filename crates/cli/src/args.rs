@@ -16,6 +16,7 @@ COMMANDS:
     probe       Measure one testbed host with a known configuration
     alexa       Scan the synthetic popularity list (known domains)
     mtu         RFC 1191 ICMP path-MTU discovery scan
+    inspect     Summarize a telemetry file (stream/flight JSONL or trace JSON)
     help        Show this message
 
 SCAN FLAGS:
@@ -34,6 +35,14 @@ SCAN FLAGS:
     --probe-retries <n>              retry budget per probe connection  [default: 0]
     --watchdog <secs>                per-session deadline, 0 = off      [default: 0]
     --max-sessions <n>               live-session cap, 0 = unbounded    [default: 0]
+    --trace-out <path>               write session spans as Chrome trace JSON
+    --stream-out <path>              stream metric deltas + results as JSONL
+    --flight-out <path>              dump failed-session flight records as JSONL
+
+INSPECT FLAGS:
+    <file>                           telemetry file to summarize
+    --filter <substr>                keep only records containing the substring
+    --top <n>                        breakdown rows per section [default: 10]
 
 PROBE FLAGS:
     --iw <n>                         segments          [default: 10]
@@ -114,6 +123,12 @@ pub struct ScanArgs {
     pub watchdog_secs: u64,
     /// Concurrent-session cap (0 = unbounded).
     pub max_sessions: usize,
+    /// Optional Chrome-trace (span profile) output path.
+    pub trace_out: Option<String>,
+    /// Optional streaming-telemetry JSONL output path.
+    pub stream_out: Option<String>,
+    /// Optional flight-recorder JSONL output path.
+    pub flight_out: Option<String>,
     /// Alexa list length.
     pub n: usize,
 }
@@ -136,9 +151,23 @@ impl Default for ScanArgs {
             probe_retries: 0,
             watchdog_secs: 0,
             max_sessions: 0,
+            trace_out: None,
+            stream_out: None,
+            flight_out: None,
             n: 400,
         }
     }
+}
+
+/// Offline telemetry-file summarizer options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InspectArgs {
+    /// The file to summarize (stream/flight JSONL or Chrome trace JSON).
+    pub file: String,
+    /// Keep only records containing this substring.
+    pub filter: Option<String>,
+    /// Breakdown rows to show per section.
+    pub top: usize,
 }
 
 /// Probe-style options.
@@ -188,6 +217,8 @@ pub enum Command {
     Alexa(ScanArgs),
     /// ICMP path-MTU scan.
     Mtu(ScanArgs),
+    /// Offline telemetry-file summary.
+    Inspect(InspectArgs),
 }
 
 /// Top-level parsed CLI.
@@ -211,6 +242,46 @@ impl Cli {
             return Err(ParseError::HelpRequested);
         }
         let rest: Vec<&String> = iter.collect();
+        if command == "inspect" {
+            // The only command with a positional argument; parsed apart
+            // from the flag-pair loop below.
+            let mut args = InspectArgs {
+                file: String::new(),
+                filter: None,
+                top: 10,
+            };
+            let mut file = None;
+            let mut i = 0;
+            while i < rest.len() {
+                match rest[i].as_str() {
+                    flag @ ("--filter" | "--top") => {
+                        let v = rest
+                            .get(i + 1)
+                            .ok_or_else(|| ParseError::MissingValue(flag.to_string()))?;
+                        if flag == "--top" {
+                            args.top = parse_num("--top", v)?;
+                        } else {
+                            args.filter = Some(v.to_string());
+                        }
+                        i += 2;
+                    }
+                    flag if flag.starts_with("--") => {
+                        return Err(ParseError::UnknownFlag(flag.to_string()));
+                    }
+                    path => {
+                        if file.is_some() {
+                            return Err(ParseError::UnknownFlag(path.to_string()));
+                        }
+                        file = Some(path.to_string());
+                        i += 1;
+                    }
+                }
+            }
+            args.file = file.ok_or_else(|| ParseError::MissingValue("<file>".to_string()))?;
+            return Ok(Cli {
+                command: Command::Inspect(args),
+            });
+        }
         let mut flags = std::collections::HashMap::new();
         let mut bare = std::collections::HashSet::new();
         let mut i = 0;
@@ -250,6 +321,9 @@ impl Cli {
                         "--probe-retries",
                         "--watchdog",
                         "--max-sessions",
+                        "--trace-out",
+                        "--stream-out",
+                        "--flight-out",
                         "--n",
                     ]
                     .contains(&key.as_str())
@@ -293,6 +367,9 @@ impl Cli {
                 args.json = get("--json");
                 args.metrics_out = get("--metrics-out");
                 args.pcap = get("--pcap");
+                args.trace_out = get("--trace-out");
+                args.stream_out = get("--stream-out");
+                args.flight_out = get("--flight-out");
                 args.quiet = bare.contains("--quiet");
                 args.monitor = bare.contains("--monitor");
                 match command.as_str() {
@@ -412,6 +489,68 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn scan_observability_flags() {
+        let cli = Cli::parse(&argv(
+            "scan --trace-out t.json --stream-out s.jsonl --flight-out f.jsonl",
+        ))
+        .unwrap();
+        match cli.command {
+            Command::Scan(a) => {
+                assert_eq!(a.trace_out.as_deref(), Some("t.json"));
+                assert_eq!(a.stream_out.as_deref(), Some("s.jsonl"));
+                assert_eq!(a.flight_out.as_deref(), Some("f.jsonl"));
+            }
+            other => panic!("{other:?}"),
+        }
+        // All three default to off.
+        match Cli::parse(&argv("scan")).unwrap().command {
+            Command::Scan(a) => {
+                assert_eq!(a.trace_out, None);
+                assert_eq!(a.stream_out, None);
+                assert_eq!(a.flight_out, None);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(
+            Cli::parse(&argv("probe --trace-out t.json")).unwrap_err(),
+            ParseError::UnknownFlag("--trace-out".into())
+        );
+    }
+
+    #[test]
+    fn inspect_parsing() {
+        let cli = Cli::parse(&argv("inspect stream.jsonl --filter result --top 5")).unwrap();
+        match cli.command {
+            Command::Inspect(a) => {
+                assert_eq!(a.file, "stream.jsonl");
+                assert_eq!(a.filter.as_deref(), Some("result"));
+                assert_eq!(a.top, 5);
+            }
+            other => panic!("{other:?}"),
+        }
+        // Defaults: no filter, top 10; the file is mandatory.
+        match Cli::parse(&argv("inspect trace.json")).unwrap().command {
+            Command::Inspect(a) => {
+                assert_eq!(a.filter, None);
+                assert_eq!(a.top, 10);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(
+            Cli::parse(&argv("inspect")).unwrap_err(),
+            ParseError::MissingValue("<file>".into())
+        );
+        assert_eq!(
+            Cli::parse(&argv("inspect a.jsonl b.jsonl")).unwrap_err(),
+            ParseError::UnknownFlag("b.jsonl".into())
+        );
+        assert_eq!(
+            Cli::parse(&argv("inspect a.jsonl --bogus 1")).unwrap_err(),
+            ParseError::UnknownFlag("--bogus".into())
+        );
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Command implementations: the thin glue from parsed args to the
 //! library crates.
 
-use crate::args::{Cli, Command, ProbeArgs, ScanArgs};
+use crate::args::{Cli, Command, InspectArgs, ProbeArgs, ScanArgs};
 use iw_analysis::figures::render_iw_bars;
 use iw_analysis::histogram::IwHistogram;
 use iw_analysis::tables::Table1;
@@ -91,15 +91,21 @@ fn apply_telemetry(config: &mut ScanConfig, args: &ScanArgs) {
             sink: MonitorSink::Stdout,
         });
     }
+    config.telemetry.record_spans = args.trace_out.is_some();
+    config.telemetry.flight_recorder = args.flight_out.is_some();
+    if args.stream_out.is_some() {
+        config.telemetry.stream = Some(iw_netsim::Duration::from_secs(1));
+    }
 }
 
 /// Write the telemetry products requested by `--metrics-out` / `--pcap`.
 fn write_telemetry(out: &iw_core::ScanOutput, args: &ScanArgs) -> Result<(), CmdError> {
     if let Some(path) = &args.metrics_out {
         let json = format!(
-            "{{\"metrics\":{},\"events\":{}}}",
+            "{{\"metrics\":{},\"events\":{},\"icmp_harvest\":{}}}",
             out.telemetry.metrics.to_json(),
-            out.telemetry.events.summary_json()
+            out.telemetry.events.summary_json(),
+            out.telemetry.icmp.section_json()
         );
         std::fs::write(path, json).map_err(|e| err(format!("write {path}: {e}")))?;
         println!("telemetry snapshot written to {path}");
@@ -108,6 +114,30 @@ fn write_telemetry(out: &iw_core::ScanOutput, args: &ScanArgs) -> Result<(), Cmd
         iw_netsim::pcap::save_pcap(&out.trace, std::path::Path::new(path))
             .map_err(|e| err(format!("write {path}: {e}")))?;
         println!("scan trace saved to {path} ({} packets)", out.trace.len());
+    }
+    if let Some(path) = &args.trace_out {
+        std::fs::write(path, out.telemetry.tracer.to_chrome_json())
+            .map_err(|e| err(format!("write {path}: {e}")))?;
+        println!(
+            "span trace written to {path} ({} spans; load in ui.perfetto.dev)",
+            out.telemetry.tracer.scan_span_count()
+        );
+    }
+    if let Some(path) = &args.stream_out {
+        std::fs::write(path, out.telemetry.stream.to_jsonl())
+            .map_err(|e| err(format!("write {path}: {e}")))?;
+        println!(
+            "telemetry stream written to {path} ({} records)",
+            out.telemetry.stream.len()
+        );
+    }
+    if let Some(path) = &args.flight_out {
+        std::fs::write(path, out.telemetry.flight.to_jsonl())
+            .map_err(|e| err(format!("write {path}: {e}")))?;
+        println!(
+            "flight-recorder dumps written to {path} ({} failed sessions)",
+            out.telemetry.flight.dumps().len()
+        );
     }
     Ok(())
 }
@@ -252,6 +282,116 @@ fn cmd_probe(args: &ProbeArgs) -> Result<i32, CmdError> {
     Ok(0)
 }
 
+/// Pull the string value of `"key":"value"` out of a JSON line. The
+/// telemetry writers never emit escaped quotes inside these fields
+/// (names, verdicts, dotted quads), so a plain scan suffices.
+fn json_str_field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":\"");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    Some(&rest[..rest.find('"')?])
+}
+
+/// Pull the numeric value of `"key":123.4` out of a JSON line.
+fn json_num_field(line: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest.find([',', '}', ']']).unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Render a `label count` breakdown, largest first, capped at `top` rows.
+fn render_breakdown(title: &str, tallies: &std::collections::BTreeMap<String, u64>, top: usize) {
+    if tallies.is_empty() {
+        return;
+    }
+    let mut rows: Vec<(&String, &u64)> = tallies.iter().collect();
+    rows.sort_by(|a, b| b.1.cmp(a.1).then(a.0.cmp(b.0)));
+    println!("{title}:");
+    for (label, count) in rows.into_iter().take(top) {
+        println!("  {label:<28} {count}");
+    }
+}
+
+/// Summarize a Chrome trace-event file: span count and per-name totals.
+fn inspect_trace(content: &str, filter: Option<&str>, top: usize) {
+    let mut by_name: std::collections::BTreeMap<String, u64> = Default::default();
+    let mut by_name_ms: std::collections::BTreeMap<String, f64> = Default::default();
+    let mut spans = 0u64;
+    // Split-on-brace fragments: each complete "X" event contributes one
+    // fragment holding its name/dur pair (nested args land in the next).
+    for chunk in content.split('{').filter(|c| c.contains("\"ph\":\"X\"")) {
+        let Some(name) = json_str_field(chunk, "name") else {
+            continue;
+        };
+        if filter.is_some_and(|f| !name.contains(f)) {
+            continue;
+        }
+        spans += 1;
+        *by_name.entry(name.to_string()).or_default() += 1;
+        *by_name_ms.entry(name.to_string()).or_default() +=
+            json_num_field(chunk, "dur").unwrap_or(0.0) / 1_000.0;
+    }
+    println!("chrome trace: {spans} spans");
+    let mut rows: Vec<(&String, &u64)> = by_name.iter().collect();
+    rows.sort_by(|a, b| b.1.cmp(a.1).then(a.0.cmp(b.0)));
+    for (name, count) in rows.into_iter().take(top) {
+        println!("  {name:<28} {count:>8}  {:>12.3} ms", by_name_ms[name]);
+    }
+}
+
+/// Summarize a JSONL telemetry file (stream records or flight dumps).
+fn inspect_jsonl(content: &str, filter: Option<&str>, top: usize) {
+    let mut snapshots = 0u64;
+    let mut results: std::collections::BTreeMap<String, u64> = Default::default();
+    let mut flights: std::collections::BTreeMap<String, u64> = Default::default();
+    let mut phases: std::collections::BTreeMap<String, u64> = Default::default();
+    let mut other = 0u64;
+    let mut total = 0u64;
+    for line in content.lines().filter(|l| !l.trim().is_empty()) {
+        if filter.is_some_and(|f| !line.contains(f)) {
+            continue;
+        }
+        total += 1;
+        match json_str_field(line, "type") {
+            Some("snapshot") => snapshots += 1,
+            Some("result") => {
+                let verdict = json_str_field(line, "verdict").unwrap_or("unknown");
+                *results.entry(verdict.to_string()).or_default() += 1;
+            }
+            _ if line.contains("\"entries\":") => {
+                let error = json_str_field(line, "error").unwrap_or("unknown");
+                let phase = json_str_field(line, "phase").unwrap_or("unknown");
+                *flights.entry(error.to_string()).or_default() += 1;
+                *phases.entry(phase.to_string()).or_default() += 1;
+            }
+            _ => other += 1,
+        }
+    }
+    let result_count: u64 = results.values().sum();
+    let flight_count: u64 = flights.values().sum();
+    println!(
+        "{total} records ({snapshots} snapshots, {result_count} results, \
+         {flight_count} flight dumps, {other} other)"
+    );
+    render_breakdown("results by verdict", &results, top);
+    render_breakdown("flight dumps by error", &flights, top);
+    render_breakdown("flight dumps by phase", &phases, top);
+}
+
+fn cmd_inspect(args: &InspectArgs) -> Result<i32, CmdError> {
+    let content =
+        std::fs::read_to_string(&args.file).map_err(|e| err(format!("read {}: {e}", args.file)))?;
+    let top = args.top.max(1);
+    if content.trim_start().starts_with('{') && content.contains("\"traceEvents\"") {
+        inspect_trace(&content, args.filter.as_deref(), top);
+    } else {
+        inspect_jsonl(&content, args.filter.as_deref(), top);
+    }
+    Ok(0)
+}
+
 /// Dispatch a parsed CLI to its implementation.
 pub fn dispatch(cli: &Cli) -> Result<i32, CmdError> {
     match &cli.command {
@@ -259,6 +399,7 @@ pub fn dispatch(cli: &Cli) -> Result<i32, CmdError> {
         Command::Alexa(args) => cmd_alexa(args),
         Command::Mtu(args) => cmd_mtu(args),
         Command::Probe(args) => cmd_probe(args),
+        Command::Inspect(args) => cmd_inspect(args),
     }
 }
 
@@ -338,21 +479,104 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let metrics_path = dir.join("metrics.json");
         let pcap_path = dir.join("scan.pcap");
+        let trace_path = dir.join("trace.json");
+        let stream_path = dir.join("stream.jsonl");
+        let flight_path = dir.join("flight.jsonl");
         let args = ScanArgs {
             metrics_out: Some(metrics_path.to_string_lossy().into_owned()),
             pcap: Some(pcap_path.to_string_lossy().into_owned()),
+            trace_out: Some(trace_path.to_string_lossy().into_owned()),
+            stream_out: Some(stream_path.to_string_lossy().into_owned()),
+            flight_out: Some(flight_path.to_string_lossy().into_owned()),
             ..ScanArgs::default()
         };
         write_telemetry(&out, &args).unwrap();
         let metrics = std::fs::read_to_string(&metrics_path).unwrap();
         assert!(metrics.starts_with("{\"metrics\":{\"scan\":"), "{metrics}");
         assert!(metrics.contains("\"events\":{"), "{metrics}");
+        assert!(metrics.contains("\"icmp_harvest\":{"), "{metrics}");
         assert!(
             std::fs::read(&pcap_path).unwrap().len() >= 24,
             "pcap header"
         );
-        let _ = std::fs::remove_file(&metrics_path);
-        let _ = std::fs::remove_file(&pcap_path);
+        // An empty tracer still writes a loadable trace skeleton; the
+        // empty JSONL sinks write empty files.
+        let trace = std::fs::read_to_string(&trace_path).unwrap();
+        assert!(trace.contains("\"traceEvents\""), "{trace}");
+        assert_eq!(std::fs::read_to_string(&stream_path).unwrap(), "");
+        assert_eq!(std::fs::read_to_string(&flight_path).unwrap(), "");
+        for p in [
+            &metrics_path,
+            &pcap_path,
+            &trace_path,
+            &stream_path,
+            &flight_path,
+        ] {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+
+    #[test]
+    fn json_field_extraction() {
+        let line =
+            "{\"type\":\"result\",\"at_nanos\":7000,\"ip\":\"10.0.0.1\",\"verdict\":\"few_data\"}";
+        assert_eq!(json_str_field(line, "type"), Some("result"));
+        assert_eq!(json_str_field(line, "verdict"), Some("few_data"));
+        assert_eq!(json_str_field(line, "missing"), None);
+        assert_eq!(json_num_field(line, "at_nanos"), Some(7000.0));
+        assert_eq!(json_num_field("{\"dur\":12.345}", "dur"), Some(12.345));
+        assert_eq!(json_num_field(line, "missing"), None);
+    }
+
+    #[test]
+    fn inspect_summarizes_jsonl_and_trace_files() {
+        let dir = std::env::temp_dir().join("iwscan-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let jsonl = dir.join("inspect.jsonl");
+        std::fs::write(
+            &jsonl,
+            "{\"type\":\"snapshot\",\"at_nanos\":0,\"shard\":0,\"delta\":{}}\n\
+             {\"type\":\"result\",\"at_nanos\":1,\"ip\":\"10.0.0.1\",\"verdict\":\"success\"}\n\
+             {\"at_nanos\":2,\"ip\":\"10.0.0.2\",\"error\":\"handshake_timeout\",\
+              \"phase\":\"syn_sent\",\"evicted\":0,\"entries\":[]}\n",
+        )
+        .unwrap();
+        let args = InspectArgs {
+            file: jsonl.to_string_lossy().into_owned(),
+            filter: None,
+            top: 10,
+        };
+        assert_eq!(cmd_inspect(&args).unwrap(), 0);
+        // Filtering keeps the summary path alive with zero matches.
+        let args = InspectArgs {
+            filter: Some("no-such-substring".into()),
+            ..args
+        };
+        assert_eq!(cmd_inspect(&args).unwrap(), 0);
+
+        let trace = dir.join("inspect-trace.json");
+        std::fs::write(
+            &trace,
+            "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\
+             {\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"args\":{\"name\":\"scan\"}},\
+             {\"name\":\"handshake\",\"cat\":\"scan\",\"ph\":\"X\",\"ts\":0,\"dur\":1.5,\
+              \"pid\":1,\"tid\":1,\"args\":{\"arg\":0}}]}",
+        )
+        .unwrap();
+        let args = InspectArgs {
+            file: trace.to_string_lossy().into_owned(),
+            filter: None,
+            top: 10,
+        };
+        assert_eq!(cmd_inspect(&args).unwrap(), 0);
+        let args = InspectArgs {
+            file: "/nonexistent/iwscan".into(),
+            filter: None,
+            top: 10,
+        };
+        assert!(cmd_inspect(&args).is_err());
+        let _ = std::fs::remove_file(&jsonl);
+        let _ = std::fs::remove_file(&trace);
     }
 
     #[test]

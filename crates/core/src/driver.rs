@@ -8,7 +8,7 @@ use crate::scanner::{ScanConfig, Scanner};
 use iw_internet::population::{Population, PopulationFactory};
 use iw_netsim::sim::SimStats;
 use iw_netsim::{Duration, Sim, SimConfig, Trace};
-use iw_telemetry::{EventLog, Snapshot};
+use iw_telemetry::{EventLog, FlightRecorder, IcmpHarvest, Snapshot, TelemetrySink, Tracer};
 use std::sync::Arc;
 
 /// Everything a scan produces.
@@ -42,6 +42,15 @@ pub struct ScanTelemetry {
     pub events: EventLog,
     /// Captured progress-monitor lines (empty unless a capture monitor ran).
     pub status_lines: Vec<String>,
+    /// Merged span tracer (empty unless `telemetry.record_spans`).
+    pub tracer: Tracer,
+    /// Flight-recorder dumps for failed sessions (empty unless
+    /// `telemetry.flight_recorder`).
+    pub flight: FlightRecorder,
+    /// Streaming JSONL telemetry (empty unless `telemetry.stream`).
+    pub stream: TelemetrySink,
+    /// ICMP control-plane harvest (always collected; cheap).
+    pub icmp: IcmpHarvest,
 }
 
 /// The one way to run a scan: configure, shard, go.
@@ -135,15 +144,27 @@ pub fn run_scan(population: &Arc<Population>, config: ScanConfig) -> ScanOutput 
 fn run_single(population: &Arc<Population>, config: ScanConfig) -> ScanOutput {
     let seed = config.seed;
     let record_trace = config.record_trace;
+    // The sim profiles its own hot path whenever span tracing is on.
+    let profile = config.telemetry.record_spans;
     let scanner = Scanner::new(config);
     let factory = PopulationFactory::new(population.clone());
-    let mut sim = Sim::new(scanner, factory, SimConfig { seed, record_trace });
+    let mut sim = Sim::new(
+        scanner,
+        factory,
+        SimConfig {
+            seed,
+            record_trace,
+            profile,
+        },
+    );
     sim.kick_scanner(|s, now, fx| s.start(now, fx));
     sim.run_to_completion();
-    let duration = sim.now() - iw_netsim::Instant::ZERO;
+    let end = sim.now();
+    let duration = end - iw_netsim::Instant::ZERO;
     let stats = sim.stats();
     let trace = sim.trace().clone();
-    harvest(sim.scanner_mut(), stats, duration, trace)
+    let sim_tracer = sim.take_tracer();
+    harvest(sim.scanner_mut(), stats, duration, trace, sim_tracer, end)
 }
 
 fn harvest(
@@ -151,6 +172,8 @@ fn harvest(
     sim_stats: SimStats,
     duration: Duration,
     trace: Trace,
+    sim_tracer: Tracer,
+    end: iw_netsim::Instant,
 ) -> ScanOutput {
     let mut results = scanner.results().to_vec();
     results.sort_by_key(|r| r.ip);
@@ -163,10 +186,17 @@ fn harvest(
     mtu_results.sort_by_key(|r| r.ip);
     let summary = summarize(&results, scanner.targets_sent(), scanner.refused());
     scanner.note_sim_stats(&sim_stats);
+    // Fold trace counters and flush the final stream snapshot *before*
+    // the canonical metrics snapshot so both see the same totals.
+    scanner.finish_observability(sim_tracer, end);
     let telemetry = ScanTelemetry {
         metrics: scanner.metrics_snapshot(),
         events: scanner.take_events(),
         status_lines: scanner.take_status_lines(),
+        tracer: scanner.take_tracer(),
+        flight: scanner.take_flight_recorder(),
+        stream: scanner.take_stream(),
+        icmp: scanner.take_icmp_harvest(),
     };
     ScanOutput {
         results,
@@ -242,6 +272,10 @@ fn merge(outputs: Vec<ScanOutput>) -> ScanOutput {
         telemetry.metrics.merge(&out.telemetry.metrics);
         telemetry.events.merge(&out.telemetry.events);
         telemetry.status_lines.extend(out.telemetry.status_lines);
+        telemetry.tracer.merge(&out.telemetry.tracer);
+        telemetry.flight.merge(&out.telemetry.flight);
+        telemetry.stream.merge(&out.telemetry.stream);
+        telemetry.icmp.merge(&out.telemetry.icmp);
         trace.merge(&out.trace);
     }
     results.sort_by_key(|r| r.ip);

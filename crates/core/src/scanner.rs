@@ -12,14 +12,15 @@ use crate::blacklist::ScanFilter;
 use crate::cookie::CookieKey;
 use crate::permutation::{Permutation, ShardIter};
 use crate::rate::TokenBucket;
-use crate::results::{ErrorKind, HostResult, MtuResult, ProbeOutcome, Protocol};
+use crate::results::{ErrorKind, HostResult, MssVerdict, MtuResult, ProbeOutcome, Protocol};
 use crate::session::{HostSession, SessionOutput, SessionParams};
 use crate::table::IpMap;
 use iw_internet::util::mix;
 use iw_netsim::{Duration, Effects, Endpoint, Instant, TimerToken};
 use iw_telemetry::{
-    manifest, BufferSink, CounterId, EventLog, GaugeId, HistogramId, MetricsRegistry, OutcomeKind,
-    ProgressMonitor, ProgressSample, SessionEvent, Snapshot, StdoutSink,
+    manifest, BufferSink, CounterId, EventLog, FlightRecorder, GaugeId, HistogramId, IcmpHarvest,
+    MetricsRegistry, OutcomeKind, ProgressMonitor, ProgressSample, SessionEvent, Snapshot,
+    StdoutSink, TelemetrySink, Tracer, DEFAULT_RING_CAPACITY,
 };
 use iw_wire::ipv4::Ipv4Addr;
 use iw_wire::tcp::{self, Flags};
@@ -137,6 +138,17 @@ pub struct TelemetryConfig {
     pub record_rtt: bool,
     /// Emit periodic ZMap-style progress lines.
     pub monitor: Option<MonitorSpec>,
+    /// Record virtual-time session-phase spans (handshake, probes,
+    /// session lifetime) for Chrome-trace export. Uses the SYN-timestamp
+    /// map, so it shares `record_rtt`'s per-target memory cost.
+    pub record_spans: bool,
+    /// Keep a bounded per-session flight-recorder ring of wire and
+    /// state-machine activity; sessions ending in an error dump theirs
+    /// as a JSONL black box.
+    pub flight_recorder: bool,
+    /// Append streaming JSONL telemetry (metric deltas + per-target
+    /// results) on this virtual-time interval.
+    pub stream: Option<Duration>,
 }
 
 /// Progress-monitor configuration.
@@ -388,6 +400,8 @@ const PACING_TOKEN: TimerToken = u64::MAX;
 const MONITOR_TOKEN: TimerToken = u64::MAX - 1;
 /// Timer token for the periodic SYN-timestamp sweep.
 const SWEEP_TOKEN: TimerToken = u64::MAX - 2;
+/// Timer token for the streaming-telemetry snapshot tick.
+const STREAM_TOKEN: TimerToken = u64::MAX - 3;
 /// Per-IP timer namespaces in bits 32.. of the token (bits ..32 carry the
 /// IP): 0 = session wake-up, 1 = SYN retry, 2 = session watchdog. The
 /// scanner-global tokens above live at the very top of the space and are
@@ -445,6 +459,17 @@ struct Metrics {
     icmp_unreachable: CounterId,
     /// Terminal `ProbeOutcome::Error` kinds, indexed by [`ErrorKind::index`].
     error_kinds: [CounterId; 6],
+    /// ICMP control-plane harvest: every message, unreachable subtypes
+    /// (indexed by [`IcmpHarvest::unreachable_code_index`]), frag-needed.
+    icmp_messages: CounterId,
+    icmp_unreachable_codes: [CounterId; 4],
+    icmp_frag_needed: CounterId,
+    /// Flight-recorder dumps (sessions that ended in an error).
+    flight_dumps: CounterId,
+    /// Span-tracer accounting, folded in at harvest.
+    trace_spans_scan: CounterId,
+    trace_spans_shard: CounterId,
+    trace_span_nanos: HistogramId,
     /// Event-loop kernel counters, filled from `SimStats` at harvest.
     /// Shard-scoped: each shard runs its own simulator instance.
     sim_events: CounterId,
@@ -478,6 +503,14 @@ impl Metrics {
         let watchdog_forced = r.register_counter(&manifest::SCAN_SESSIONS_WATCHDOG_FORCED);
         let icmp_unreachable = r.register_counter(&manifest::SCAN_ICMP_UNREACHABLE);
         let error_kinds = manifest::ERROR_KIND_COUNTERS.map(|def| r.register_counter(def));
+        let icmp_messages = r.register_counter(&manifest::SCAN_ICMP_MESSAGES);
+        let icmp_unreachable_codes =
+            manifest::ICMP_UNREACHABLE_CODE_COUNTERS.map(|def| r.register_counter(def));
+        let icmp_frag_needed = r.register_counter(&manifest::SCAN_ICMP_FRAG_NEEDED);
+        let flight_dumps = r.register_counter(&manifest::SCAN_FLIGHT_DUMPS);
+        let trace_spans_scan = r.register_counter(&manifest::TRACE_SPANS_SCAN);
+        let trace_spans_shard = r.register_counter(&manifest::TRACE_SPANS_SHARD);
+        let trace_span_nanos = r.register_histogram(&manifest::TRACE_SPAN_NANOS);
         let sim_events = r.register_counter(&manifest::SIM_QUEUE_EVENTS);
         let sim_packets = r.register_counter(&manifest::SIM_QUEUE_PACKETS);
         let sim_pool_allocations = r.register_counter(&manifest::SIM_QUEUE_POOL_ALLOCATIONS);
@@ -505,6 +538,13 @@ impl Metrics {
             watchdog_forced,
             icmp_unreachable,
             error_kinds,
+            icmp_messages,
+            icmp_unreachable_codes,
+            icmp_frag_needed,
+            flight_dumps,
+            trace_spans_scan,
+            trace_spans_shard,
+            trace_span_nanos,
             sim_events,
             sim_packets,
             sim_pool_allocations,
@@ -558,6 +598,17 @@ pub struct Scanner {
     status_lines: Vec<String>,
     /// Estimated targets this shard will probe (0 = unknown).
     targets_total: u64,
+    /// Session-phase span tracer (scan scope) plus this shard's pacing
+    /// spans; the sim kernel's hot-path spans merge in at harvest.
+    tracer: Tracer,
+    /// Per-session flight recorder (black-box rings + error dumps).
+    recorder: FlightRecorder,
+    /// Streaming JSONL sink (snapshot deltas + per-target results).
+    sink: TelemetrySink,
+    /// Classified ICMP side-traffic.
+    icmp_harvest: IcmpHarvest,
+    /// End of the previous pacing tick (for the `pace.tick` span).
+    last_pace_at: Instant,
 }
 
 impl Scanner {
@@ -605,6 +656,9 @@ impl Scanner {
             .as_ref()
             .map_or(MonitorSink::Capture, |spec| spec.sink);
         let events = EventLog::new(config.telemetry.record_events);
+        let tracer = Tracer::new(config.telemetry.record_spans);
+        let recorder = FlightRecorder::new(config.telemetry.flight_recorder, DEFAULT_RING_CAPACITY);
+        let sink = TelemetrySink::new(config.telemetry.stream.is_some());
         let syn_template = tcp::Repr {
             src_port: params.sport(0, 0, 0),
             dst_port: config.protocol.port(),
@@ -641,6 +695,11 @@ impl Scanner {
             monitor_sink,
             status_lines: Vec::new(),
             targets_total,
+            tracer,
+            recorder,
+            sink,
+            icmp_harvest: IcmpHarvest::default(),
+            last_pace_at: Instant::ZERO,
         }
     }
 
@@ -649,8 +708,14 @@ impl Scanner {
         if let Some(m) = &self.monitor {
             fx.arm(Duration::from_nanos(m.interval_nanos()), MONITOR_TOKEN);
         }
-        if self.config.telemetry.record_rtt {
+        // The sweep also bounds the SYN-timestamp map when it serves the
+        // span tracer, and expires flight-recorder rings of silent hosts.
+        let t = &self.config.telemetry;
+        if t.record_rtt || t.record_spans || t.flight_recorder {
             fx.arm(SWEEP_PERIOD, SWEEP_TOKEN);
+        }
+        if let Some(interval) = t.stream {
+            fx.arm(interval, STREAM_TOKEN);
         }
         self.pace(now, fx);
     }
@@ -716,6 +781,69 @@ impl Scanner {
         std::mem::replace(&mut self.events, EventLog::new(false))
     }
 
+    /// Take the span tracer (merge across shards via [`Tracer::merge`]).
+    pub fn take_tracer(&mut self) -> Tracer {
+        std::mem::take(&mut self.tracer)
+    }
+
+    /// Take the flight recorder (merge via [`FlightRecorder::merge`]).
+    pub fn take_flight_recorder(&mut self) -> FlightRecorder {
+        std::mem::take(&mut self.recorder)
+    }
+
+    /// Take the streaming sink (merge via [`TelemetrySink::merge`]).
+    pub fn take_stream(&mut self) -> TelemetrySink {
+        std::mem::take(&mut self.sink)
+    }
+
+    /// Take the ICMP harvest (merge via [`IcmpHarvest::merge`]).
+    pub fn take_icmp_harvest(&mut self) -> IcmpHarvest {
+        std::mem::take(&mut self.icmp_harvest)
+    }
+
+    /// Close out the observability layer at harvest time, after the event
+    /// loop drains: merge the sim kernel's hot-path spans, fold the span
+    /// accounting into the `trace.*` metrics, emit the final progress line
+    /// (even mid-interval, with error-kind tallies) and flush the last
+    /// streaming snapshot so delta sums equal final totals.
+    pub fn finish_observability(&mut self, sim_tracer: Tracer, now: Instant) {
+        self.tracer.merge(&sim_tracer);
+        if self.tracer.is_enabled() {
+            let m = &mut self.metrics;
+            m.registry
+                .add(m.trace_spans_scan, self.tracer.scan_span_count());
+            m.registry
+                .add(m.trace_spans_shard, self.tracer.shard_span_total());
+            for s in self.tracer.spans() {
+                m.registry.observe(m.trace_span_nanos, s.dur_nanos);
+            }
+        }
+        if let Some(mut monitor) = self.monitor.take() {
+            let sample = self.progress_sample(now);
+            let errors: Vec<(&'static str, u64)> = ErrorKind::ALL
+                .iter()
+                .map(|k| {
+                    let id = self.metrics.error_kinds[k.index()];
+                    (k.name(), self.metrics.registry.counter_value(id))
+                })
+                .collect();
+            match self.monitor_sink {
+                MonitorSink::Stdout => monitor.final_report(&sample, &errors, &mut StdoutSink),
+                MonitorSink::Capture => {
+                    let mut sink = BufferSink::default();
+                    monitor.final_report(&sample, &errors, &mut sink);
+                    self.status_lines.extend(sink.lines);
+                }
+            }
+            self.monitor = Some(monitor);
+        }
+        if self.sink.is_enabled() {
+            let snap = self.metrics.registry.snapshot();
+            self.sink
+                .note_snapshot(now.as_nanos(), self.config.shard.0, &snap);
+        }
+    }
+
     /// Take the captured progress status lines.
     pub fn take_status_lines(&mut self) -> Vec<String> {
         std::mem::take(&mut self.status_lines)
@@ -736,6 +864,18 @@ impl Scanner {
         self.metrics.registry.inc(self.metrics.pace_ticks);
         let want = (self.config.rate_pps / 200).max(1);
         let grant = self.bucket.take(now, want);
+        if self.tracer.is_enabled() {
+            // One shard-scoped span per tick: the inter-tick gap with the
+            // grant size as its argument (hot-path cadence profile).
+            self.tracer.record_shard(
+                self.last_pace_at.as_nanos(),
+                now.as_nanos(),
+                0,
+                "pace.tick",
+                grant,
+            );
+            self.last_pace_at = now;
+        }
         if grant < want {
             // The bucket throttled us: record how long until the next token.
             self.metrics.registry.observe(
@@ -782,12 +922,17 @@ impl Scanner {
                 self.send_echo(ip, total, fx);
             }
             _ => {
-                if self.config.telemetry.record_rtt {
+                // The SYN timestamp serves both the RTT histogram and the
+                // handshake span, so either knob populates the map (the
+                // sweep bounds it for silent targets in both cases).
+                if self.config.telemetry.record_rtt || self.config.telemetry.record_spans {
                     self.syn_ts.insert(ip, now);
                 }
+                self.recorder
+                    .note_state(ip, now.as_nanos(), SessionEvent::SynSent);
                 self.events
                     .record(now.as_nanos(), ip, SessionEvent::SynSent);
-                self.emit_syn(ip, fx);
+                self.emit_syn(ip, now, fx);
                 if self.config.resilience.syn_retries > 0 {
                     self.pending.insert(ip, 0);
                     fx.arm(
@@ -802,10 +947,19 @@ impl Scanner {
     /// Emit the stateless (probe 0, conn 0) SYN for a target. Retries use
     /// the identical 4-tuple and ISN, so a SYN-ACK to any attempt
     /// validates against the same cookie.
-    fn emit_syn(&mut self, ip: u32, fx: &mut Effects) {
+    fn emit_syn(&mut self, ip: u32, now: Instant, fx: &mut Effects) {
         let dport = self.syn_template.dst_port;
         let sport = self.syn_template.src_port;
         self.syn_template.seq = self.cookie.isn(ip, sport, dport);
+        self.recorder.note_wire(
+            ip,
+            now.as_nanos(),
+            true,
+            Flags::SYN.bits(),
+            self.syn_template.seq,
+            0,
+            0,
+        );
         Self::emit_datagram(
             self.config.source,
             &mut self.ident,
@@ -827,9 +981,17 @@ impl Scanner {
         };
         if attempts >= self.config.resilience.syn_retries {
             // Budget spent and still silent: give up on the target and
-            // drop its RTT timestamp (it will never be consumed).
+            // drop its RTT timestamp (it will never be consumed). The
+            // flight recorder dumps the ring — a SYN-blackholed target is
+            // a failure worth a black box even though no session existed.
             self.pending.remove(ip);
             self.syn_ts.remove(ip);
+            if self
+                .recorder
+                .conclude(ip, now.as_nanos(), Some("handshake_timeout"))
+            {
+                self.metrics.registry.inc(self.metrics.flight_dumps);
+            }
             return;
         }
         self.pending.insert(ip, attempts + 1);
@@ -840,7 +1002,7 @@ impl Scanner {
             },
             now,
         );
-        self.emit_syn(ip, fx);
+        self.emit_syn(ip, now, fx);
         let backoff =
             Duration::from_nanos(self.config.resilience.syn_backoff.as_nanos() << (attempts + 1));
         fx.arm(backoff, SYN_RETRY_NS | u64::from(ip));
@@ -874,12 +1036,28 @@ impl Scanner {
     /// belong to hosts that never answered and would otherwise leak.
     fn sweep_rtt(&mut self, now: Instant, fx: &mut Effects) {
         self.syn_ts.retain(|_, t0| now - *t0 < RTT_EXPIRY);
-        if !(self.exhausted && self.syn_ts.is_empty()) {
+        // Flight-recorder rings of hosts that went silent before reaching
+        // a conclusion age out on the same schedule; live sessions keep
+        // theirs (a black box must survive until the verdict).
+        let cutoff = now.as_nanos().saturating_sub(RTT_EXPIRY.as_nanos());
+        let sessions = &self.sessions;
+        self.recorder
+            .expire_stale(cutoff, |ip| sessions.contains_key(ip));
+        if !(self.exhausted && self.syn_ts.is_empty() && self.recorder.live_rings() == 0) {
             fx.arm(SWEEP_PERIOD, SWEEP_TOKEN);
         }
     }
 
-    fn emit_segment(&mut self, dst: Ipv4Addr, seg: &tcp::Repr, fx: &mut Effects) {
+    fn emit_segment(&mut self, dst: Ipv4Addr, seg: &tcp::Repr, now: Instant, fx: &mut Effects) {
+        self.recorder.note_wire(
+            dst.to_u32(),
+            now.as_nanos(),
+            true,
+            seg.flags.bits(),
+            seg.seq,
+            seg.ack,
+            seg.payload.len() as u32,
+        );
         Self::emit_datagram(self.config.source, &mut self.ident, dst, seg, fx);
     }
 
@@ -943,7 +1121,7 @@ impl Scanner {
     ) {
         let dst = Ipv4Addr::from_u32(ip);
         for seg in &out.tx {
-            self.emit_segment(dst, seg, fx);
+            self.emit_segment(dst, seg, now, fx);
         }
         for ev in &out.events {
             self.note_session_event(ip, *ev, now);
@@ -959,14 +1137,40 @@ impl Scanner {
             }
         }
         if let Some(result) = out.result {
+            let mut first_error: Option<ErrorKind> = None;
             for (_, outcomes) in &result.runs {
                 for o in outcomes {
                     if let ProbeOutcome::Error { kind } = o {
                         self.metrics
                             .registry
                             .inc(self.metrics.error_kinds[kind.index()]);
+                        first_error = first_error.or(Some(*kind));
                     }
                 }
+            }
+            let primary = result.primary_verdict();
+            let outcome = primary.map(|v| v.outcome_kind());
+            let verdict = outcome.map_or("unknown", OutcomeKind::name);
+            self.sink.note_result(now.as_nanos(), ip, verdict);
+            // Clean verdicts drop their black box; error verdicts dump it,
+            // named after the first failing probe's error kind. Two more
+            // shapes are diagnosable failures, not clean conclusions: a
+            // few-data verdict with a zero lower bound (the handshake
+            // succeeded and the host then sent nothing usable — the
+            // SYN-ACK-blackhole signature), and a verdict-less session
+            // whose probes recorded errors.
+            let error_name = match outcome {
+                Some(OutcomeKind::Success) => None,
+                Some(OutcomeKind::FewData) => match primary {
+                    Some(MssVerdict::FewData(0)) => Some("no_data"),
+                    _ => None,
+                },
+                Some(OutcomeKind::Unreachable) => Some("icmp_unreachable"),
+                Some(OutcomeKind::Error) => Some(first_error.map_or("error", ErrorKind::name)),
+                None => first_error.map(ErrorKind::name),
+            };
+            if self.recorder.conclude(ip, now.as_nanos(), error_name) {
+                self.metrics.registry.inc(self.metrics.flight_dumps);
             }
             self.results.push(result);
             self.sessions.remove(ip);
@@ -1008,11 +1212,61 @@ impl Scanner {
             SessionEvent::IcmpUnreachable => m.registry.inc(m.icmp_unreachable),
             _ => {}
         }
-        self.events.record(now.as_nanos(), ip, ev);
+        self.observe_event(ip, ev, now);
+    }
+
+    /// Fold one lifecycle event into the span tracer, the flight recorder
+    /// and the event log (no metrics — callers that need counters go
+    /// through [`Self::note_session_event`]).
+    fn observe_event(&mut self, ip: u32, ev: SessionEvent, now: Instant) {
+        let n = now.as_nanos();
+        if self.tracer.is_enabled() {
+            // Span slots per target: 1 = current probe, 2 = the session.
+            // (The handshake span comes from the SYN-timestamp map, so
+            // silent targets leave nothing behind in the tracer.)
+            match ev {
+                SessionEvent::SessionStarted => self.tracer.open(ip, 2, n),
+                SessionEvent::ProbeStarted { .. } => self.tracer.open(ip, 1, n),
+                SessionEvent::ProbeConcluded { probe, .. } => {
+                    self.tracer.close(ip, 1, n, "probe", u64::from(probe));
+                }
+                SessionEvent::SessionFinished { outcome } => {
+                    self.tracer
+                        .close(ip, 2, n, "session", kind_index(outcome) as u64);
+                    self.tracer.discard(ip, 1);
+                }
+                _ => {}
+            }
+        }
+        self.recorder.note_state(ip, n, ev);
+        self.events.record(n, ip, ev);
+    }
+
+    /// Consume a SYN timestamp: feed the RTT histogram (when tracking)
+    /// and close the handshake span (when tracing).
+    fn consume_syn_ts(&mut self, ip: u32, now: Instant) {
+        if let Some(t0) = self.syn_ts.remove(ip) {
+            if self.config.telemetry.record_rtt {
+                self.metrics
+                    .registry
+                    .observe(self.metrics.rtt_nanos, (now - t0).as_nanos());
+            }
+            self.tracer
+                .record_scan(t0.as_nanos(), now.as_nanos(), ip, "handshake", 0);
+        }
     }
 
     fn on_tcp(&mut self, src: Ipv4Addr, seg: &tcp::Repr, now: Instant, fx: &mut Effects) {
         let ip = src.to_u32();
+        self.recorder.note_wire(
+            ip,
+            now.as_nanos(),
+            false,
+            seg.flags.bits(),
+            seg.seq,
+            seg.ack,
+            seg.payload.len() as u32,
+        );
 
         if self.config.protocol == Protocol::PortScan {
             let sport = self.params.sport(0, 0, 0);
@@ -1024,24 +1278,22 @@ impl Scanner {
                 && self.cookie.validate(ip, sport, seg.src_port, seg.ack)
             {
                 self.metrics.registry.inc(self.metrics.synacks_validated);
-                if let Some(t0) = self.syn_ts.remove(ip) {
-                    self.metrics
-                        .registry
-                        .observe(self.metrics.rtt_nanos, (now - t0).as_nanos());
-                }
+                self.consume_syn_ts(ip, now);
                 self.pending.remove(ip);
-                self.events
-                    .record(now.as_nanos(), ip, SessionEvent::SynAckValidated);
+                self.observe_event(ip, SessionEvent::SynAckValidated, now);
                 self.open_ports.push(ip);
                 let rst = tcp::Repr::bare(sport, seg.src_port, seg.ack, 0, Flags::RST, 0);
-                self.emit_segment(src, &rst, fx);
+                self.emit_segment(src, &rst, now, fx);
+                self.sink.note_result(now.as_nanos(), ip, "open");
+                self.recorder.conclude(ip, now.as_nanos(), None);
             } else if seg.flags.contains(Flags::RST) {
                 self.refused += 1;
                 self.metrics.registry.inc(self.metrics.refused);
                 self.syn_ts.remove(ip);
                 self.pending.remove(ip);
-                self.events
-                    .record(now.as_nanos(), ip, SessionEvent::Refused);
+                self.observe_event(ip, SessionEvent::Refused, now);
+                self.sink.note_result(now.as_nanos(), ip, "refused");
+                self.recorder.conclude(ip, now.as_nanos(), None);
             }
             return;
         }
@@ -1064,26 +1316,21 @@ impl Scanner {
             if cap > 0 && self.sessions.len() >= cap {
                 self.evict_oldest(now, fx);
             }
-            let now_n = now.as_nanos();
             self.metrics.registry.inc(self.metrics.synacks_validated);
-            if let Some(t0) = self.syn_ts.remove(ip) {
-                self.metrics
-                    .registry
-                    .observe(self.metrics.rtt_nanos, (now - t0).as_nanos());
-            }
+            self.consume_syn_ts(ip, now);
             self.pending.remove(ip);
             self.metrics.registry.inc(self.metrics.sessions_started);
-            self.events.record(now_n, ip, SessionEvent::SynAckValidated);
-            self.events.record(now_n, ip, SessionEvent::SessionStarted);
+            self.observe_event(ip, SessionEvent::SynAckValidated, now);
+            self.observe_event(ip, SessionEvent::SessionStarted, now);
             let domain = self.domains.get(ip).cloned();
             let mut session = HostSession::new(src, self.params.clone(), self.cookie, domain, now);
-            self.events.record(
-                now_n,
+            self.observe_event(
                 ip,
                 SessionEvent::ProbeStarted {
                     probe: 0,
                     mss: session.current_mss(),
                 },
+                now,
             );
             let out = session.on_segment(seg, now);
             self.sessions.insert(ip, session);
@@ -1105,8 +1352,10 @@ impl Scanner {
             self.metrics.registry.inc(self.metrics.refused);
             self.syn_ts.remove(ip);
             self.pending.remove(ip);
-            self.events
-                .record(now.as_nanos(), ip, SessionEvent::Refused);
+            self.observe_event(ip, SessionEvent::Refused, now);
+            self.sink.note_result(now.as_nanos(), ip, "refused");
+            // A refusal is a clean conclusion: the black box is dropped.
+            self.recorder.conclude(ip, now.as_nanos(), None);
         }
     }
 
@@ -1155,8 +1404,40 @@ impl Scanner {
         }
     }
 
+    /// Streaming-telemetry tick: append one snapshot-delta record; keeps
+    /// ticking on the same keep-alive rule as the monitor.
+    fn stream_tick(&mut self, now: Instant, fx: &mut Effects) {
+        let Some(interval) = self.config.telemetry.stream else {
+            return;
+        };
+        let snap = self.metrics.registry.snapshot();
+        self.sink
+            .note_snapshot(now.as_nanos(), self.config.shard.0, &snap);
+        if !(self.exhausted && self.sessions.is_empty()) {
+            fx.arm(interval, STREAM_TOKEN);
+        }
+    }
+
     fn on_icmp(&mut self, src: Ipv4Addr, msg: &icmp::Message, now: Instant, fx: &mut Effects) {
         let ip = src.to_u32();
+        // Control-plane harvest: classify every ICMP message before any
+        // mode-specific handling, so the `scan.icmp.*` family and the
+        // manifest section see the scan's full side-traffic.
+        self.metrics.registry.inc(self.metrics.icmp_messages);
+        match msg {
+            icmp::Message::DstUnreachable { code } => {
+                self.icmp_harvest.note_unreachable(ip, *code);
+                self.metrics.registry.inc(
+                    self.metrics.icmp_unreachable_codes[IcmpHarvest::unreachable_code_index(*code)],
+                );
+            }
+            icmp::Message::FragNeeded { .. } => {
+                self.icmp_harvest.note_frag_needed(ip);
+                self.metrics.registry.inc(self.metrics.icmp_frag_needed);
+            }
+            icmp::Message::EchoReply { .. } => self.icmp_harvest.note_echo_reply(ip),
+            _ => self.icmp_harvest.note_other(ip),
+        }
         if self.config.protocol != Protocol::IcmpMtu {
             // TCP scan modes: a destination-unreachable from the target
             // fast-fails it instead of waiting out the SYN/collect
@@ -1174,6 +1455,17 @@ impl Scanner {
             if let Some(session) = self.sessions.get_mut(ip) {
                 let out = session.force_conclude(ErrorKind::IcmpUnreachable);
                 self.apply_session_output(ip, out, now, fx);
+            } else {
+                // Fast-failed before a session existed: no HostResult will
+                // record this target, so the black box (and the stream)
+                // carry the explanation.
+                self.sink.note_result(now.as_nanos(), ip, "unreachable");
+                if self
+                    .recorder
+                    .conclude(ip, now.as_nanos(), Some("icmp_unreachable"))
+                {
+                    self.metrics.registry.inc(self.metrics.flight_dumps);
+                }
             }
             return;
         }
@@ -1189,6 +1481,7 @@ impl Scanner {
                 }
             }
             icmp::Message::EchoReply { .. } => {
+                self.sink.note_result(now.as_nanos(), ip, "mtu");
                 self.mtu_results.push(MtuResult {
                     ip,
                     mtu: state.current_total,
@@ -1243,6 +1536,10 @@ impl Endpoint for Scanner {
         }
         if token == SWEEP_TOKEN {
             self.sweep_rtt(now, fx);
+            return;
+        }
+        if token == STREAM_TOKEN {
+            self.stream_tick(now, fx);
             return;
         }
         let ip = token as u32;

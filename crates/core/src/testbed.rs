@@ -75,6 +75,7 @@ pub fn probe_host(spec: &TestbedSpec) -> (Option<HostResult>, Trace) {
         SimConfig {
             seed: spec.seed,
             record_trace: spec.record_trace,
+            ..SimConfig::default()
         },
     );
     sim.kick_scanner(|s, now, fx| s.start(now, fx));

@@ -45,7 +45,7 @@ where
         factory,
         SimConfig {
             seed,
-            record_trace: false,
+            ..SimConfig::default()
         },
     );
     sim.kick_scanner(|s, now, fx| s.start(now, fx));
@@ -349,7 +349,7 @@ fn rtt_map_is_bounded_after_scanning_silent_space() {
             factory,
             SimConfig {
                 seed,
-                record_trace: false,
+                ..SimConfig::default()
             },
         );
         sim.kick_scanner(|s, now, fx| s.start(now, fx));

@@ -1,0 +1,269 @@
+//! The observability layer exercised through full simulated scans: span
+//! tracing (Chrome-trace export determinism), the per-session flight
+//! recorder (black-box dumps for failed sessions), the streaming
+//! telemetry sink (delta consistency) and the ICMP harvest.
+
+use iw_core::telemetry::Snapshot;
+use iw_core::{HostResult, Protocol, ScanConfig, ScanRunner, Scanner};
+use iw_hoststack::{ChaosHost, ChaosMode, Host, HostConfig, IwPolicy};
+use iw_internet::{Population, PopulationConfig};
+use iw_netsim::{Duration, Endpoint, LinkConfig, Sim, SimConfig};
+use iw_wire::ipv4::Ipv4Addr;
+use std::sync::Arc;
+
+fn population(seed: u64, space: u32, responsive: u32) -> Arc<Population> {
+    Arc::new(Population::new(PopulationConfig {
+        seed,
+        space_size: space,
+        target_responsive: responsive,
+        loss_scale: 0.0,
+    }))
+}
+
+fn web_host(ip: u32, seed: u64) -> Box<dyn Endpoint> {
+    let mut config = HostConfig::simple_web(60_000);
+    config.iw = IwPolicy::Segments([2, 3, 4, 10][ip as usize % 4]);
+    Box::new(Host::new(Ipv4Addr::from_u32(ip), config, seed))
+}
+
+/// Run a scan against a custom host factory with the flight recorder
+/// on; returns results, the metrics snapshot and the recorder.
+fn run_with_factory<F>(
+    config: ScanConfig,
+    factory: F,
+) -> (
+    Vec<HostResult>,
+    Snapshot,
+    iw_core::telemetry::FlightRecorder,
+)
+where
+    F: FnMut(u32) -> Option<(Box<dyn Endpoint>, LinkConfig)>,
+{
+    let seed = config.seed;
+    let scanner = Scanner::new(config);
+    let mut sim = Sim::new(
+        scanner,
+        factory,
+        SimConfig {
+            seed,
+            ..SimConfig::default()
+        },
+    );
+    sim.kick_scanner(|s, now, fx| s.start(now, fx));
+    sim.run_to_completion();
+    let scanner = sim.scanner_mut();
+    let mut results = scanner.results().to_vec();
+    results.sort_by_key(|r| r.ip);
+    let snapshot = scanner.metrics_snapshot();
+    let recorder = scanner.take_flight_recorder();
+    (results, snapshot, recorder)
+}
+
+// ---------------------------------------------------------------------
+// Span tracing: the canonical Chrome-trace export is deterministic.
+// ---------------------------------------------------------------------
+
+#[test]
+fn trace_export_is_byte_identical_across_runs_and_shard_counts() {
+    // A rate low enough that pacing spreads targets across many ticks:
+    // absolute send times then genuinely differ between shard layouts,
+    // so this exercises the per-track re-basing, not a degenerate
+    // everything-in-one-batch schedule.
+    let pop = population(0x7ace, 1 << 16, 800);
+    let mut config = ScanConfig::study(Protocol::Http, pop.space_size(), 0x7ace);
+    config.rate_pps = 400_000;
+    config.telemetry.record_spans = true;
+    let single = ScanRunner::new(&pop).config(config.clone()).run();
+    let again = ScanRunner::new(&pop).config(config.clone()).run();
+    let sharded = ScanRunner::new(&pop).config(config).shards(4).run();
+
+    let json = single.telemetry.tracer.to_chrome_json();
+    assert_eq!(
+        json,
+        again.telemetry.tracer.to_chrome_json(),
+        "same config, same bytes"
+    );
+    assert_eq!(
+        json,
+        sharded.telemetry.tracer.to_chrome_json(),
+        "canonical trace must not depend on the shard count"
+    );
+
+    // The export is a loadable Chrome trace: one JSON object with a
+    // traceEvents array of complete ("X") events.
+    assert!(json.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["));
+    assert!(json.ends_with("]}"));
+    assert!(json.contains("\"ph\":\"X\""), "complete events present");
+    for name in ["\"handshake\"", "\"session\"", "\"probe\""] {
+        assert!(json.contains(name), "span kind {name} missing");
+    }
+    // Every reachable host contributed a session span and the trace
+    // counters were folded into the metrics.
+    let spans = single.telemetry.tracer.scan_span_count();
+    assert!(
+        spans >= single.summary.reachable,
+        "{spans} spans < {} sessions",
+        single.summary.reachable
+    );
+    assert_eq!(
+        single.telemetry.metrics.counter("trace.spans.scan"),
+        spans,
+        "scan span counter matches the tracer"
+    );
+    // The duration histogram covers scan spans plus the retained
+    // hot-path spans from the sim's own profiler.
+    assert!(
+        single
+            .telemetry
+            .metrics
+            .histogram("trace.span_nanos")
+            .unwrap()
+            .count
+            >= spans,
+        "every span duration observed"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Flight recorder: failed sessions dump, clean sessions stay silent.
+// ---------------------------------------------------------------------
+
+#[test]
+fn synack_blackhole_produces_flight_dumps_naming_the_phase() {
+    // Hosts that complete the handshake and then go silent: every
+    // session dies in the collect phase, and each death must leave a
+    // black-box dump naming the phase it was in.
+    let space = 64u32;
+    let mut config = ScanConfig::study(Protocol::Http, space, 0xb1ac);
+    config.rate_pps = 2_000_000;
+    config.telemetry.flight_recorder = true;
+    let (results, metrics, recorder) = run_with_factory(config, |ip| {
+        Some((
+            Box::new(ChaosHost::new(
+                Ipv4Addr::from_u32(ip),
+                ChaosMode::SynAckBlackhole,
+                0xb1ac,
+            )) as Box<dyn Endpoint>,
+            LinkConfig::testbed(),
+        ))
+    });
+    assert_eq!(results.len(), space as usize);
+    assert_eq!(
+        recorder.dumps().len(),
+        space as usize,
+        "every blackholed session must dump"
+    );
+    assert_eq!(recorder.live_rings(), 0, "no ring survives the scan");
+    for dump in recorder.dumps() {
+        assert_eq!(
+            dump.phase, "probe_done",
+            "last pre-terminal phase: {dump:?}"
+        );
+        assert_eq!(dump.error, "no_data", "{dump:?}");
+        assert!(!dump.entries.is_empty(), "wire history retained");
+    }
+    let jsonl = recorder.to_jsonl();
+    assert_eq!(jsonl.lines().count(), space as usize);
+    assert!(jsonl.contains("\"phase\":\"probe_done\""), "{jsonl}");
+    assert_eq!(
+        metrics.counter("scan.flight_recorder.dumps"),
+        u64::from(space),
+        "dump counter tracks the recorder"
+    );
+}
+
+#[test]
+fn silent_space_with_retries_dumps_handshake_timeouts() {
+    // Nothing answers: with SYN retries on, exhausting the retry budget
+    // is a diagnosable failure and must dump from the SYN-wait phase.
+    let space = 32u32;
+    let mut config = ScanConfig::study(Protocol::Http, space, 0x51e7);
+    config.rate_pps = 2_000_000;
+    config.resilience.syn_retries = 1;
+    config.telemetry.flight_recorder = true;
+    let (_, metrics, recorder) = run_with_factory(config, |_| None);
+    assert_eq!(recorder.dumps().len(), space as usize);
+    for dump in recorder.dumps() {
+        assert_eq!(dump.error, "handshake_timeout", "{dump:?}");
+        assert_eq!(dump.phase, "syn_wait", "{dump:?}");
+        // One ring entry per SYN: the state transition plus each wire tx.
+        assert!(dump.entries.len() >= 2, "{dump:?}");
+    }
+    assert_eq!(
+        metrics.counter("scan.flight_recorder.dumps"),
+        u64::from(space)
+    );
+}
+
+#[test]
+fn clean_scans_leave_no_flight_dumps() {
+    // Every session concludes with a clean verdict: the recorder must
+    // drop every ring and dump nothing.
+    let mut config = ScanConfig::study(Protocol::Http, 64, 0xc1ea);
+    config.rate_pps = 2_000_000;
+    config.telemetry.flight_recorder = true;
+    let (results, metrics, recorder) = run_with_factory(config, |ip| {
+        Some((web_host(ip, 0xc1ea), LinkConfig::testbed()))
+    });
+    assert!(!results.is_empty());
+    assert!(
+        recorder.dumps().is_empty(),
+        "clean verdicts must not dump: {:?}",
+        recorder.dumps().first()
+    );
+    assert_eq!(recorder.live_rings(), 0);
+    assert_eq!(metrics.counter("scan.flight_recorder.dumps"), 0);
+}
+
+// ---------------------------------------------------------------------
+// Streaming sink: deltas sum to the final totals.
+// ---------------------------------------------------------------------
+
+#[test]
+fn stream_deltas_sum_to_final_counters() {
+    let pop = population(0x57e4, 1 << 14, 400);
+    let mut config = ScanConfig::study(Protocol::Http, pop.space_size(), 0x57e4);
+    config.rate_pps = 400_000;
+    config.telemetry.stream = Some(Duration::from_secs(1));
+    let out = ScanRunner::new(&pop).config(config).run();
+    let jsonl = out.telemetry.stream.to_jsonl();
+    assert!(!jsonl.is_empty());
+
+    // Sum the per-snapshot deltas of a counter across all stream lines;
+    // the final flush makes the sum equal the merged total.
+    let sum_deltas = |key: &str| -> u64 {
+        let pat = format!("\"{key}\":");
+        jsonl
+            .lines()
+            .filter(|l| l.contains("\"type\":\"snapshot\""))
+            .filter_map(|l| {
+                let start = l.find(&pat)? + pat.len();
+                let rest = &l[start..];
+                let end = rest.find([',', '}']).unwrap_or(rest.len());
+                rest[..end].parse::<u64>().ok()
+            })
+            .sum()
+    };
+    for key in ["scan.targets_sent", "scan.sessions_started"] {
+        assert_eq!(
+            sum_deltas(key),
+            out.telemetry.metrics.counter(key),
+            "stream deltas for {key} must sum to the final counter"
+        );
+    }
+    // One result line per concluded target, in deterministic order.
+    let result_lines = jsonl
+        .lines()
+        .filter(|l| l.contains("\"type\":\"result\""))
+        .count() as u64;
+    assert!(
+        result_lines >= out.summary.reachable,
+        "{result_lines} result lines < {} reachable",
+        out.summary.reachable
+    );
+    // Streaming must not perturb the scan itself.
+    let mut quiet = ScanConfig::study(Protocol::Http, pop.space_size(), 0x57e4);
+    quiet.rate_pps = 400_000;
+    let base = ScanRunner::new(&pop).config(quiet).run();
+    assert_eq!(format!("{:?}", base.results), format!("{:?}", out.results));
+}

@@ -243,6 +243,9 @@ pub struct LintConfig {
     pub allowlist: Vec<AllowEntry>,
     /// Workspace-relative path of the metrics manifest.
     pub manifest_path: String,
+    /// Allowed metric-name families (`scan.` etc.); empty disables the
+    /// family check.
+    pub metric_families: Vec<String>,
     /// State machines to check.
     pub machines: Vec<machines::MachineSpec>,
 }
@@ -264,6 +267,9 @@ impl LintConfig {
             panic_exempt_crates: ["bench"].map(String::from).to_vec(),
             allowlist: Vec::new(),
             manifest_path: "crates/telemetry/src/manifest.rs".to_owned(),
+            metric_families: ["scan.", "shard.", "sim.", "trace."]
+                .map(String::from)
+                .to_vec(),
             machines: machines::project_machines(),
         }
     }

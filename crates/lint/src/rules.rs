@@ -321,7 +321,8 @@ fn manifest_diag(file: &SourceFile, idx: usize, message: String) -> Diagnostic {
 /// `metrics-manifest`: every metric call site in the workspace agrees
 /// with the manifest (name exists, kind matches the method, scope
 /// matches the declaration), `register_*` constants exist with the
-/// right kind, and every declared metric is registered somewhere.
+/// right kind, every declared metric is registered somewhere, and
+/// every name sits inside a declared family prefix.
 pub fn metrics_manifest(files: &[SourceFile], config: &LintConfig, diags: &mut Vec<Diagnostic>) {
     let Some(manifest) = files.iter().find(|f| f.rel_path == config.manifest_path) else {
         diags.push(Diagnostic {
@@ -336,6 +337,35 @@ pub fn metrics_manifest(files: &[SourceFile], config: &LintConfig, diags: &mut V
     };
     let (entries, arrays, parse_diags) = parse_manifest(manifest);
     diags.extend(parse_diags);
+
+    // Every well-formed name must live in a declared family — the
+    // dotted prefix is how downstream tooling (inspect, manifest
+    // sections) groups metrics. Malformed names already got a
+    // diagnostic above; don't report them twice.
+    if !config.metric_families.is_empty() {
+        for e in &entries {
+            let well_formed = e
+                .name
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || "._".contains(c));
+            if well_formed
+                && !config
+                    .metric_families
+                    .iter()
+                    .any(|f| e.name.starts_with(f.as_str()))
+            {
+                diags.push(manifest_diag(
+                    manifest,
+                    e.line - 1,
+                    format!(
+                        "metric {:?} is outside the declared families ({})",
+                        e.name,
+                        config.metric_families.join(", ")
+                    ),
+                ));
+            }
+        }
+    }
 
     let mut used: Vec<bool> = vec![false; entries.len()];
     let mut array_used: Vec<bool> = vec![false; arrays.len()];

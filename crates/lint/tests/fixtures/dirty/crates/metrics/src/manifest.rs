@@ -1,4 +1,4 @@
-//! Fixture manifest with a duplicate, a bad name and an orphan.
+//! Fixture manifest: duplicate, bad name, orphan, stray family.
 
 pub const GOOD: MetricDef = MetricDef::counter("fix.good", Scope::Scan);
 pub const WRONG_KIND: MetricDef = MetricDef::gauge("fix.wrong_kind", Scope::Shard);
@@ -6,4 +6,5 @@ pub const VIA_GROUP: MetricDef = MetricDef::counter("fix.via_group", Scope::Scan
 pub const NEVER: MetricDef = MetricDef::counter("fix.never", Scope::Scan);
 pub const DUP: MetricDef = MetricDef::counter("fix.good", Scope::Scan);
 pub const BADNAME: MetricDef = MetricDef::counter("Fix.Bad", Scope::Scan);
+pub const STRAY: MetricDef = MetricDef::counter("other.stray", Scope::Scan);
 pub const GROUP: [&MetricDef; 2] = [&GOOD, &VIA_GROUP];

@@ -9,5 +9,6 @@ pub fn register(r: &mut Registry) {
     r.register_counter(&manifest::MISSING);
     r.register_counter(&manifest::DUP);
     r.register_counter(&manifest::BADNAME);
+    r.register_counter(&manifest::STRAY);
     let _ = manifest::GROUP.len();
 }

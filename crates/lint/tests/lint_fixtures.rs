@@ -71,6 +71,7 @@ fn dirty_config() -> LintConfig {
         panic_exempt_crates: vec!["harness".into()],
         allowlist: Vec::new(),
         manifest_path: "crates/metrics/src/manifest.rs".into(),
+        metric_families: vec!["fix.".into()],
         machines: vec![gate_spec(), lamp_spec()],
     }
 }
@@ -232,15 +233,31 @@ fn metrics_manifest_rule_checks_declarations_and_call_sites() {
         diags.iter().all(|d| !(d.path == man && d.line == 5)),
         "array-propagated usage must count"
     );
+    // STRAY is registered with the right kind but its name sits outside
+    // the configured `fix.` family; BADNAME is malformed and must not
+    // be reported a second time by the family check.
+    assert_fires(
+        &diags,
+        "metrics-manifest",
+        man,
+        9,
+        "outside the declared families (fix.)",
+    );
+    assert!(
+        diags
+            .iter()
+            .all(|d| !(d.line == 8 && d.message.contains("families"))),
+        "malformed names are reported once, not per check"
+    );
 }
 
 #[test]
 fn dirty_fixture_has_no_false_positives() {
     let diags = lint_fixture("dirty", &dirty_config());
-    // 7 in lib.rs + 8 state-machine + 3 manifest + 5 call sites.
+    // 7 in lib.rs + 8 state-machine + 4 manifest + 5 call sites.
     assert_eq!(
         diags.len(),
-        23,
+        24,
         "unexpected diagnostics:\n{}",
         diags
             .iter()
@@ -265,6 +282,7 @@ fn suppressed_config(with_allowlist: bool) -> LintConfig {
             Vec::new()
         },
         manifest_path: "crates/app/src/lib.rs".into(),
+        metric_families: Vec::new(),
         machines: Vec::new(),
     }
 }
@@ -307,6 +325,46 @@ fn missing_manifest_is_reported() {
         0,
         "manifest not found",
     );
+}
+
+#[test]
+fn observability_sources_are_in_panic_budget_scope() {
+    // The tracing/flight-recorder layer must be audited, not exempt:
+    // each new telemetry source is collected, lives in a lint-scoped
+    // crate, and passes the panic budget on its own.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .unwrap();
+    let files = collect_workspace(&root).unwrap();
+    let config = LintConfig::project();
+    for path in [
+        "crates/telemetry/src/trace.rs",
+        "crates/telemetry/src/recorder.rs",
+        "crates/telemetry/src/sink.rs",
+        "crates/telemetry/src/harvest.rs",
+        "crates/core/src/scanner.rs",
+    ] {
+        let file = files
+            .iter()
+            .find(|f| f.rel_path == path)
+            .unwrap_or_else(|| panic!("{path} not collected"));
+        assert!(
+            !config.panic_exempt_crates.iter().any(|c| c == file.krate()),
+            "{path} must not be panic-budget exempt"
+        );
+        let mut diags = Vec::new();
+        iw_lint::rules::panic_budget(std::slice::from_ref(file), &config, &mut diags);
+        assert!(
+            diags.is_empty(),
+            "{path} violates the panic budget:\n{}",
+            diags
+                .iter()
+                .map(|d| d.to_string())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
 }
 
 #[test]

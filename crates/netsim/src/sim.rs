@@ -13,6 +13,7 @@ use crate::link::{Direction, Link, LinkConfig};
 use crate::time::{Duration, Instant};
 use crate::trace::{Dir, Trace};
 use crate::wheel::TimerWheel;
+use iw_telemetry::trace::Tracer;
 use iw_wire::pool::{BufferPool, Packet, PacketBuf, PoolStats};
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};
@@ -128,6 +129,9 @@ pub struct SimConfig {
     pub seed: u64,
     /// Record a packet trace (validation runs only; costs memory).
     pub record_trace: bool,
+    /// Profile the event loop: record shard-scoped spans (timer-wheel
+    /// advances, packet fan-out batches) into the kernel's [`Tracer`].
+    pub profile: bool,
 }
 
 /// Aggregate statistics, the raw material of the §3.4 efficiency numbers.
@@ -211,11 +215,14 @@ pub struct Sim<S: Endpoint, F: HostFactory> {
     pool: BufferPool,
     stats: SimStats,
     trace: Trace,
+    /// Hot-path span tracer (enabled by [`SimConfig::profile`]).
+    tracer: Tracer,
 }
 
 impl<S: Endpoint, F: HostFactory> Sim<S, F> {
     /// Build a simulation around a scanner and a host factory.
     pub fn new(scanner: S, factory: F, config: SimConfig) -> Self {
+        let tracer = Tracer::new(config.profile);
         Sim {
             scanner,
             factory,
@@ -228,6 +235,7 @@ impl<S: Endpoint, F: HostFactory> Sim<S, F> {
             pool: BufferPool::new(),
             stats: SimStats::default(),
             trace: Trace::new(),
+            tracer,
         }
     }
 
@@ -254,6 +262,17 @@ impl<S: Endpoint, F: HostFactory> Sim<S, F> {
     /// The recorded trace (empty unless `record_trace` was set).
     pub fn trace(&self) -> &Trace {
         &self.trace
+    }
+
+    /// The hot-path span tracer (empty unless `profile` was set).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Take the span tracer out of the kernel (for merging into the
+    /// scan-level trace at harvest time).
+    pub fn take_tracer(&mut self) -> Tracer {
+        std::mem::take(&mut self.tracer)
     }
 
     /// Immutable access to the scanner endpoint (for result harvesting).
@@ -287,6 +306,12 @@ impl<S: Endpoint, F: HostFactory> Sim<S, F> {
     fn apply_scanner_effects(&mut self, fx: Effects) {
         for (delay, token) in fx.timers {
             self.schedule(delay, EventKind::ScannerTimer { token });
+        }
+        // A multi-packet batch is the fan-out hot path (pacing grants);
+        // single replies are too common to be worth a span each.
+        if self.tracer.is_enabled() && fx.tx.len() >= 2 {
+            self.tracer
+                .instant_shard(self.now.as_nanos(), 0, "sim.fanout", fx.tx.len() as u64);
         }
         for pkt in fx.tx {
             self.route_from_scanner(pkt);
@@ -386,6 +411,17 @@ impl<S: Endpoint, F: HostFactory> Sim<S, F> {
             return false;
         };
         debug_assert!(at >= self.now, "time must not run backwards");
+        if self.tracer.is_enabled() && at > self.now {
+            // The wheel advanced: idle virtual time between events. The
+            // arg carries the index of the event that ended the gap.
+            self.tracer.record_shard(
+                self.now.as_nanos(),
+                at.as_nanos(),
+                0,
+                "wheel.advance",
+                self.stats.events,
+            );
+        }
         self.now = at;
         self.stats.events += 1;
         match kind {
@@ -705,6 +741,28 @@ mod tests {
             8,
             "every checkout is either a fresh slab or a recycled one"
         );
+    }
+
+    #[test]
+    fn profiling_records_hot_path_spans() {
+        let config = SimConfig {
+            profile: true,
+            ..SimConfig::default()
+        };
+        let mut sim = Sim::new(TestScanner::default(), echo_factory, config);
+        sim.kick_scanner(|_, _, fx| {
+            fx.send(fake_pkt(1, 0));
+            fx.send(fake_pkt(2, 0));
+        });
+        sim.run_to_completion();
+        let names: Vec<&str> = sim.tracer().shard_spans().map(|s| s.name).collect();
+        assert!(names.contains(&"sim.fanout"), "{names:?}");
+        assert!(names.contains(&"wheel.advance"), "{names:?}");
+        // Profiling off (the default): the tracer stays empty.
+        let mut quiet = Sim::new(TestScanner::default(), echo_factory, SimConfig::default());
+        quiet.kick_scanner(|_, _, fx| fx.send(fake_pkt(1, 0)));
+        quiet.run_to_completion();
+        assert!(quiet.take_tracer().is_empty());
     }
 
     #[test]

@@ -116,7 +116,7 @@ proptest! {
             let mut sim = Sim::new(
                 Collector::default(),
                 factory,
-                SimConfig { seed, record_trace: false },
+                SimConfig { seed, ..SimConfig::default() },
             );
             sim.kick_scanner(|_, _, fx| {
                 for i in 0..n {

@@ -1,0 +1,260 @@
+//! ICMP control-plane harvest: the scan's side-channel, kept.
+//!
+//! A large TCP scan provokes a steady drizzle of ICMP back-traffic —
+//! destination-unreachable subtypes from routers and end hosts,
+//! fragmentation-needed from path-MTU bottlenecks — that the original
+//! tooling simply discarded after using it to fast-fail targets. The
+//! harvest classifies and retains it: per-subtype tallies, per-source
+//! message counts, and a crude rate-limiting signature (sources emitting
+//! bursts of messages, the fingerprint of an ICMP-rate-limited router
+//! speaking for many targets).
+//!
+//! Everything here is population-determined — which hosts send which
+//! ICMP depends only on the target set — so harvests merge exactly
+//! across shards and the rendered manifest section is byte-identical
+//! for any shard count. Mirrored into the `scan.icmp.*` metric family.
+
+use crate::json::{push_key, push_u64_field};
+use std::collections::BTreeMap;
+
+/// A source this chatty is treated as rate-limiting signature material.
+pub const RATE_LIMIT_SIGNATURE_THRESHOLD: u64 = 8;
+
+/// How many top talkers the manifest section lists.
+const TOP_TALKERS: usize = 5;
+
+/// Classified, retained ICMP side-traffic. See module docs.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IcmpHarvest {
+    /// Every ICMP message seen by the scanner's control plane.
+    pub messages: u64,
+    /// Destination-unreachable, code 0 (network unreachable).
+    pub unreachable_net: u64,
+    /// Destination-unreachable, code 1 (host unreachable).
+    pub unreachable_host: u64,
+    /// Destination-unreachable, code 3 (port unreachable).
+    pub unreachable_port: u64,
+    /// Destination-unreachable, any other code.
+    pub unreachable_other: u64,
+    /// Fragmentation-needed (RFC 1191 path-MTU signal).
+    pub frag_needed: u64,
+    /// Echo replies (MTU-probe mode answers).
+    pub echo_replies: u64,
+    /// Anything else (echo requests, unknown types).
+    pub other: u64,
+    /// Messages per source address.
+    per_source: BTreeMap<u32, u64>,
+}
+
+impl IcmpHarvest {
+    /// Index of a destination-unreachable `code` into the four
+    /// subtype counters: 0 = net, 1 = host, 2 = port, 3 = other.
+    /// Shared with the `scan.icmp.unreachable_*` manifest block.
+    pub fn unreachable_code_index(code: u8) -> usize {
+        match code {
+            0 => 0,
+            1 => 1,
+            3 => 2,
+            _ => 3,
+        }
+    }
+
+    /// Note a destination-unreachable from `src` with the given code.
+    pub fn note_unreachable(&mut self, src: u32, code: u8) {
+        match Self::unreachable_code_index(code) {
+            0 => self.unreachable_net += 1,
+            1 => self.unreachable_host += 1,
+            2 => self.unreachable_port += 1,
+            _ => self.unreachable_other += 1,
+        }
+        self.note_source(src);
+    }
+
+    /// Note a fragmentation-needed from `src`.
+    pub fn note_frag_needed(&mut self, src: u32) {
+        self.frag_needed += 1;
+        self.note_source(src);
+    }
+
+    /// Note an echo reply from `src`.
+    pub fn note_echo_reply(&mut self, src: u32) {
+        self.echo_replies += 1;
+        self.note_source(src);
+    }
+
+    /// Note any other ICMP message from `src`.
+    pub fn note_other(&mut self, src: u32) {
+        self.other += 1;
+        self.note_source(src);
+    }
+
+    fn note_source(&mut self, src: u32) {
+        self.messages += 1;
+        *self.per_source.entry(src).or_insert(0) += 1;
+    }
+
+    /// Distinct sources seen.
+    pub fn sources(&self) -> usize {
+        self.per_source.len()
+    }
+
+    /// Largest per-source message count.
+    pub fn max_per_source(&self) -> u64 {
+        self.per_source.values().copied().max().unwrap_or(0)
+    }
+
+    /// Sources at or past [`RATE_LIMIT_SIGNATURE_THRESHOLD`].
+    pub fn rate_limited_sources(&self) -> u64 {
+        self.per_source
+            .values()
+            .filter(|c| **c >= RATE_LIMIT_SIGNATURE_THRESHOLD)
+            .count() as u64
+    }
+
+    /// True when no ICMP was harvested.
+    pub fn is_empty(&self) -> bool {
+        self.messages == 0
+    }
+
+    /// Merge another shard's harvest (exact: everything is additive).
+    pub fn merge(&mut self, other: &IcmpHarvest) {
+        self.messages += other.messages;
+        self.unreachable_net += other.unreachable_net;
+        self.unreachable_host += other.unreachable_host;
+        self.unreachable_port += other.unreachable_port;
+        self.unreachable_other += other.unreachable_other;
+        self.frag_needed += other.frag_needed;
+        self.echo_replies += other.echo_replies;
+        self.other += other.other;
+        for (src, c) in &other.per_source {
+            *self.per_source.entry(*src).or_insert(0) += c;
+        }
+    }
+
+    /// The `icmp_harvest` section of the results manifest: subtype
+    /// tallies, source statistics and the top talkers, byte-stable.
+    pub fn section_json(&self) -> String {
+        let mut out = String::new();
+        out.push('{');
+        push_u64_field(&mut out, "messages", self.messages);
+        out.push(',');
+        push_key(&mut out, "unreachable");
+        out.push('{');
+        push_u64_field(&mut out, "net", self.unreachable_net);
+        out.push(',');
+        push_u64_field(&mut out, "host", self.unreachable_host);
+        out.push(',');
+        push_u64_field(&mut out, "port", self.unreachable_port);
+        out.push(',');
+        push_u64_field(&mut out, "other", self.unreachable_other);
+        out.push_str("},");
+        push_u64_field(&mut out, "frag_needed", self.frag_needed);
+        out.push(',');
+        push_u64_field(&mut out, "echo_replies", self.echo_replies);
+        out.push(',');
+        push_u64_field(&mut out, "other", self.other);
+        out.push(',');
+        push_u64_field(&mut out, "sources", self.sources() as u64);
+        out.push(',');
+        push_u64_field(&mut out, "max_per_source", self.max_per_source());
+        out.push(',');
+        push_u64_field(
+            &mut out,
+            "rate_limited_sources",
+            self.rate_limited_sources(),
+        );
+        out.push(',');
+        push_key(&mut out, "top_talkers");
+        out.push('[');
+        let mut talkers: Vec<(u32, u64)> = self.per_source.iter().map(|(s, c)| (*s, *c)).collect();
+        // Chattiest first; address ascending breaks ties deterministically.
+        talkers.sort_by(|a, b| (b.1, a.0).cmp(&(a.1, b.0)));
+        for (i, (src, count)) in talkers.iter().take(TOP_TALKERS).enumerate() {
+            use std::fmt::Write;
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "[\"{}.{}.{}.{}\",{}]",
+                (src >> 24) & 0xff,
+                (src >> 16) & 0xff,
+                (src >> 8) & 0xff,
+                src & 0xff,
+                count
+            );
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classifies_unreachable_codes() {
+        let mut h = IcmpHarvest::default();
+        h.note_unreachable(1, 0);
+        h.note_unreachable(1, 1);
+        h.note_unreachable(2, 3);
+        h.note_unreachable(2, 13); // admin-prohibited lands in "other"
+        assert_eq!(
+            (
+                h.unreachable_net,
+                h.unreachable_host,
+                h.unreachable_port,
+                h.unreachable_other
+            ),
+            (1, 1, 1, 1)
+        );
+        assert_eq!(h.messages, 4);
+        assert_eq!(h.sources(), 2);
+    }
+
+    #[test]
+    fn rate_limit_signature_counts_chatty_sources() {
+        let mut h = IcmpHarvest::default();
+        for _ in 0..RATE_LIMIT_SIGNATURE_THRESHOLD {
+            h.note_unreachable(9, 1);
+        }
+        h.note_unreachable(10, 1);
+        assert_eq!(h.rate_limited_sources(), 1);
+        assert_eq!(h.max_per_source(), RATE_LIMIT_SIGNATURE_THRESHOLD);
+    }
+
+    #[test]
+    fn merge_is_exact_and_commutative() {
+        let mut a = IcmpHarvest::default();
+        a.note_unreachable(1, 0);
+        a.note_frag_needed(2);
+        let mut b = IcmpHarvest::default();
+        b.note_unreachable(1, 3);
+        b.note_echo_reply(3);
+
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.section_json(), ba.section_json());
+        assert_eq!(ab.messages, 4);
+    }
+
+    #[test]
+    fn section_json_shape() {
+        let mut h = IcmpHarvest::default();
+        h.note_unreachable(0x0a000001, 1);
+        h.note_unreachable(0x0a000001, 1);
+        let json = h.section_json();
+        assert!(
+            json.starts_with("{\"messages\":2,\"unreachable\":{\"net\":0,\"host\":2,"),
+            "{json}"
+        );
+        assert!(
+            json.contains("\"top_talkers\":[[\"10.0.0.1\",2]]"),
+            "{json}"
+        );
+    }
+}

@@ -14,7 +14,19 @@
 //!   verify-ACK → verdict) that tests can assert on exactly;
 //! * a **progress monitor** ([`monitor`]) — periodic ZMap-style status
 //!   lines (send progress, hit rate, pps, verdict mix, ETA) through a
-//!   pluggable sink.
+//!   pluggable sink;
+//! * a **span tracer** ([`trace`]) — virtual-time spans over session
+//!   phases and the event-loop hot path, exported as Chrome trace-event
+//!   JSON (Perfetto-loadable) with a byte-identical canonical form
+//!   across shard counts;
+//! * a **flight recorder** ([`recorder`]) — bounded per-session rings of
+//!   wire and state-machine activity, dumped as JSONL black boxes for
+//!   sessions that end in an error;
+//! * a **streaming sink** ([`sink`]) — JSONL metric deltas and
+//!   per-target results emitted while the scan runs;
+//! * an **ICMP harvest** ([`harvest`]) — classified control-plane
+//!   side-traffic (unreachable subtypes, per-source counts,
+//!   rate-limiting signatures) for the results manifest.
 //!
 //! The crate is dependency-free by design: every recording operation is
 //! allocation-free (array index + integer add), and the JSON emitters are
@@ -39,14 +51,22 @@
 #![warn(missing_docs)]
 
 pub mod events;
+pub mod harvest;
 pub mod json;
 pub mod manifest;
 pub mod monitor;
+pub mod recorder;
 pub mod registry;
+pub mod sink;
+pub mod trace;
 
 pub use events::{EventLog, EventRecord, OutcomeKind, SessionEvent};
+pub use harvest::IcmpHarvest;
 pub use manifest::{MetricDef, MetricKind};
 pub use monitor::{BufferSink, ProgressMonitor, ProgressSample, StatusSink, StdoutSink};
+pub use recorder::{FlightDump, FlightEntry, FlightRecorder, DEFAULT_RING_CAPACITY};
 pub use registry::{
     CounterId, GaugeId, HistogramId, HistogramSnapshot, MetricsRegistry, Scope, Snapshot,
 };
+pub use sink::TelemetrySink;
+pub use trace::{SpanRecord, SpanScope, Tracer};

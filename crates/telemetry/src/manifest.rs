@@ -174,6 +174,43 @@ pub const SCAN_ERR_ICMP_UNREACHABLE: MetricDef =
     MetricDef::counter("scan.probes.error_kinds.icmp_unreachable", Scope::Scan);
 
 // ---------------------------------------------------------------------------
+// ICMP control-plane harvest (scan scope: which hosts send which ICMP is
+// population-determined, so these merge exactly across shard counts).
+
+/// Every ICMP message the scanner's control plane received.
+pub const SCAN_ICMP_MESSAGES: MetricDef = MetricDef::counter("scan.icmp.messages", Scope::Scan);
+/// Destination-unreachable, code 0 (network unreachable).
+pub const SCAN_ICMP_UNREACHABLE_NET: MetricDef =
+    MetricDef::counter("scan.icmp.unreachable_net", Scope::Scan);
+/// Destination-unreachable, code 1 (host unreachable).
+pub const SCAN_ICMP_UNREACHABLE_HOST: MetricDef =
+    MetricDef::counter("scan.icmp.unreachable_host", Scope::Scan);
+/// Destination-unreachable, code 3 (port unreachable).
+pub const SCAN_ICMP_UNREACHABLE_PORT: MetricDef =
+    MetricDef::counter("scan.icmp.unreachable_port", Scope::Scan);
+/// Destination-unreachable, any other code (admin-prohibited and
+/// friends).
+pub const SCAN_ICMP_UNREACHABLE_OTHER: MetricDef =
+    MetricDef::counter("scan.icmp.unreachable_other", Scope::Scan);
+/// Fragmentation-needed messages (RFC 1191 path-MTU signal).
+pub const SCAN_ICMP_FRAG_NEEDED: MetricDef =
+    MetricDef::counter("scan.icmp.frag_needed", Scope::Scan);
+
+// ---------------------------------------------------------------------------
+// Flight recorder and span tracing.
+
+/// Flight-recorder dumps retained (sessions that ended in an error).
+pub const SCAN_FLIGHT_DUMPS: MetricDef =
+    MetricDef::counter("scan.flight_recorder.dumps", Scope::Scan);
+/// Scan-scoped spans recorded (session phases; partition across shards).
+pub const TRACE_SPANS_SCAN: MetricDef = MetricDef::counter("trace.spans.scan", Scope::Scan);
+/// Shard-scoped spans recorded (event-loop hot path; includes spans
+/// dropped by the retention cap).
+pub const TRACE_SPANS_SHARD: MetricDef = MetricDef::counter("trace.spans.shard", Scope::Shard);
+/// Virtual durations of retained shard-scoped spans.
+pub const TRACE_SPAN_NANOS: MetricDef = MetricDef::histogram("trace.span_nanos", Scope::Shard);
+
+// ---------------------------------------------------------------------------
 // Scheduling (shard scope).
 
 /// Pacing ticks taken.
@@ -236,8 +273,17 @@ pub const ERROR_KIND_COUNTERS: [&MetricDef; 6] = [
     &SCAN_ERR_ICMP_UNREACHABLE,
 ];
 
+/// Destination-unreachable subtype counters indexed like
+/// `IcmpHarvest::unreachable_code_index` (net, host, port, other).
+pub const ICMP_UNREACHABLE_CODE_COUNTERS: [&MetricDef; 4] = [
+    &SCAN_ICMP_UNREACHABLE_NET,
+    &SCAN_ICMP_UNREACHABLE_HOST,
+    &SCAN_ICMP_UNREACHABLE_PORT,
+    &SCAN_ICMP_UNREACHABLE_OTHER,
+];
+
 /// Every declared metric. Order matches declaration order above.
-pub const ALL: [&MetricDef; 36] = [
+pub const ALL: [&MetricDef; 46] = [
     &SCAN_TARGETS_SENT,
     &SCAN_SYNACKS_VALIDATED,
     &SCAN_REFUSED,
@@ -266,6 +312,16 @@ pub const ALL: [&MetricDef; 36] = [
     &SCAN_ERR_HANDSHAKE_TIMEOUT,
     &SCAN_ERR_COLLECT_TIMEOUT,
     &SCAN_ERR_ICMP_UNREACHABLE,
+    &SCAN_ICMP_MESSAGES,
+    &SCAN_ICMP_UNREACHABLE_NET,
+    &SCAN_ICMP_UNREACHABLE_HOST,
+    &SCAN_ICMP_UNREACHABLE_PORT,
+    &SCAN_ICMP_UNREACHABLE_OTHER,
+    &SCAN_ICMP_FRAG_NEEDED,
+    &SCAN_FLIGHT_DUMPS,
+    &TRACE_SPANS_SCAN,
+    &TRACE_SPANS_SHARD,
+    &TRACE_SPAN_NANOS,
     &SHARD_PACE_TICKS,
     &SHARD_PACE_TOKEN_WAIT_NANOS,
     &SHARD_SESSIONS_LIVE_PEAK,
@@ -293,8 +349,9 @@ mod tests {
             assert!(
                 def.name.starts_with("scan.")
                     || def.name.starts_with("shard.")
-                    || def.name.starts_with("sim."),
-                "{} lacks a scan./shard./sim. prefix",
+                    || def.name.starts_with("sim.")
+                    || def.name.starts_with("trace."),
+                "{} lacks a scan./shard./sim./trace. prefix",
                 def.name
             );
             assert!(
@@ -320,6 +377,7 @@ mod tests {
             .iter()
             .chain(SESSION_OUTCOME_COUNTERS.iter())
             .chain(ERROR_KIND_COUNTERS.iter())
+            .chain(ICMP_UNREACHABLE_CODE_COUNTERS.iter())
         {
             assert!(lookup(def.name).is_some(), "{} not in ALL", def.name);
             assert_eq!(def.kind, MetricKind::Counter);

@@ -125,6 +125,43 @@ impl ProgressMonitor {
         }
     }
 
+    /// Emit one last status line at scan completion, even mid-interval,
+    /// so the final state (all verdicts settled, `live: 0`) is always
+    /// reported. `error_kinds` carries `(name, count)` tallies; nonzero
+    /// kinds are appended as an `; errors: name=count ...` suffix so an
+    /// operator sees *why* sessions failed without opening the metrics
+    /// file. Emits nothing if the very last periodic line already covered
+    /// this sample's timestamp.
+    pub fn final_report(
+        &mut self,
+        sample: &ProgressSample,
+        error_kinds: &[(&'static str, u64)],
+        sink: &mut dyn StatusSink,
+    ) {
+        // `next_at` trails the last reported timestamp by exactly one
+        // interval, so this is "already reported at or after this time".
+        if self.reports > 0 && sample.elapsed_nanos + self.interval_nanos <= self.next_at {
+            return;
+        }
+        let mut line = Self::format_line(sample);
+        let mut first = true;
+        for (name, count) in error_kinds {
+            if *count == 0 {
+                continue;
+            }
+            if first {
+                line.push_str("; errors:");
+                first = false;
+            }
+            let _ = write!(line, " {name}={count}");
+        }
+        sink.emit(&line);
+        self.reports += 1;
+        while self.next_at <= sample.elapsed_nanos {
+            self.next_at += self.interval_nanos;
+        }
+    }
+
     /// The ZMap-style status line, e.g.:
     ///
     /// `0:05 12.5% (1:30 left); send: 12500 pps: 2.5 Kp/s (cfg 2.5 Kp/s); hits: 230 (1.84%); live: 96; ok/few/err/unr: 180/20/10/0`
@@ -239,6 +276,76 @@ mod tests {
             "0:05 12.5% (0:35 left); send: 12500 pps: 2.5 Kp/s (cfg 2.5 Kp/s); \
              hits: 230 (1.84%); live: 96; ok/few/err/unr: 180/20/10/0"
         );
+    }
+
+    #[test]
+    fn final_report_flushes_mid_interval_with_error_tallies() {
+        let mut m = ProgressMonitor::new(1_000_000_000);
+        let mut sink = BufferSink::default();
+        m.report(
+            &ProgressSample {
+                elapsed_nanos: 1_000_000_000,
+                ..ProgressSample::default()
+            },
+            &mut sink,
+        );
+        // Scan ends 400 ms into the next interval: a periodic line is not
+        // due, but the final flush still lands.
+        let end = ProgressSample {
+            elapsed_nanos: 1_400_000_000,
+            targets_sent: 100,
+            targets_total: 100,
+            hits: 40,
+            verdicts: [30, 5, 4, 1],
+            ..ProgressSample::default()
+        };
+        assert!(!m.due(end.elapsed_nanos));
+        m.final_report(
+            &end,
+            &[
+                ("handshake_timeout", 3),
+                ("malformed", 0),
+                ("mid_connection_reset", 1),
+            ],
+            &mut sink,
+        );
+        assert_eq!(m.reports(), 2);
+        let last = sink.lines.last().unwrap();
+        assert!(last.contains("(sending done)"), "{last}");
+        assert!(last.contains("ok/few/err/unr: 30/5/4/1"), "{last}");
+        assert!(
+            last.ends_with("; errors: handshake_timeout=3 mid_connection_reset=1"),
+            "{last}"
+        );
+    }
+
+    #[test]
+    fn final_report_skips_duplicate_and_omits_empty_error_suffix() {
+        let mut m = ProgressMonitor::new(1_000_000_000);
+        let mut sink = BufferSink::default();
+        let at_tick = ProgressSample {
+            elapsed_nanos: 1_000_000_000,
+            ..ProgressSample::default()
+        };
+        m.report(&at_tick, &mut sink);
+        // Scan ends exactly at the last periodic report: nothing new to say.
+        m.final_report(&at_tick, &[("malformed", 1)], &mut sink);
+        assert_eq!(sink.lines.len(), 1);
+
+        // A fresh monitor that never reported still flushes, and an
+        // all-zero tally adds no errors suffix.
+        let mut m2 = ProgressMonitor::new(1_000_000_000);
+        let mut sink2 = BufferSink::default();
+        m2.final_report(
+            &ProgressSample {
+                elapsed_nanos: 300_000_000,
+                ..ProgressSample::default()
+            },
+            &[("malformed", 0)],
+            &mut sink2,
+        );
+        assert_eq!(sink2.lines.len(), 1);
+        assert!(!sink2.lines[0].contains("errors"), "{}", sink2.lines[0]);
     }
 
     #[test]

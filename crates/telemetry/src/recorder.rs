@@ -1,0 +1,549 @@
+//! Per-session flight recorder: a black box for sessions that crash.
+//!
+//! For every in-flight target the recorder keeps a small bounded ring of
+//! the most recent wire-level segments and state-machine transitions.
+//! When the session concludes *cleanly* the ring is dropped — the happy
+//! path leaves no residue. When it ends in an `ErrorKind` the ring is
+//! frozen into a [`FlightDump`]: the last N things that happened to that
+//! host, plus the lifecycle phase it died in, exported as one JSONL line
+//! per casualty for offline triage (`iw-cli inspect`).
+//!
+//! Memory discipline: each ring is a fixed-capacity `VecDeque` that
+//! evicts its oldest entry instead of growing, so a warm ring never
+//! reallocates (asserted by tests). Rings for targets that fall silent
+//! without any conclusion are expired by the scanner's periodic sweep.
+//! Everything is keyed and ordered deterministically — dumps merge
+//! across shards by `(conclusion time, address)`, which is
+//! population-determined, so a sharded scan dumps the same casualties in
+//! the same order as a single-threaded one.
+
+use crate::events::SessionEvent;
+use crate::json::{push_key, push_str_literal, push_u64_field};
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt::Write;
+
+/// Default per-session ring capacity (entries).
+pub const DEFAULT_RING_CAPACITY: usize = 32;
+
+/// TCP flag bits as carried in [`FlightEntry::Wire::flags`] (the low bits
+/// of the TCP flags word; matches the wire layout).
+const WIRE_FLAGS: [(u16, char); 6] = [
+    (0x002, 'S'),
+    (0x010, 'A'),
+    (0x001, 'F'),
+    (0x004, 'R'),
+    (0x008, 'P'),
+    (0x020, 'U'),
+];
+
+/// One ring entry: either a state-machine transition or a wire segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlightEntry {
+    /// A session lifecycle event.
+    State {
+        /// Virtual-time nanoseconds.
+        at_nanos: u64,
+        /// The transition.
+        event: SessionEvent,
+    },
+    /// A TCP segment seen on the wire for this target.
+    Wire {
+        /// Virtual-time nanoseconds.
+        at_nanos: u64,
+        /// True = scanner → host, false = host → scanner.
+        tx: bool,
+        /// Raw TCP flag bits.
+        flags: u16,
+        /// Sequence number.
+        seq: u32,
+        /// Acknowledgment number.
+        ack: u32,
+        /// Payload length in bytes.
+        payload_len: u32,
+    },
+}
+
+impl FlightEntry {
+    fn at_nanos(&self) -> u64 {
+        match self {
+            FlightEntry::State { at_nanos, .. } | FlightEntry::Wire { at_nanos, .. } => *at_nanos,
+        }
+    }
+
+    fn write_json(&self, out: &mut String) {
+        out.push('{');
+        match self {
+            FlightEntry::State { at_nanos, event } => {
+                push_u64_field(out, "at_nanos", *at_nanos);
+                out.push(',');
+                push_key(out, "event");
+                push_str_literal(out, event.name());
+                let detail = event_detail(event);
+                if !detail.is_empty() {
+                    out.push(',');
+                    push_key(out, "detail");
+                    push_str_literal(out, &detail);
+                }
+            }
+            FlightEntry::Wire {
+                at_nanos,
+                tx,
+                flags,
+                seq,
+                ack,
+                payload_len,
+            } => {
+                push_u64_field(out, "at_nanos", *at_nanos);
+                out.push(',');
+                push_key(out, "wire");
+                push_str_literal(out, if *tx { "tx" } else { "rx" });
+                out.push(',');
+                push_key(out, "flags");
+                push_str_literal(out, &flags_str(*flags));
+                out.push(',');
+                push_u64_field(out, "seq", u64::from(*seq));
+                out.push(',');
+                push_u64_field(out, "ack", u64::from(*ack));
+                out.push(',');
+                push_u64_field(out, "len", u64::from(*payload_len));
+            }
+        }
+        out.push('}');
+    }
+}
+
+/// Compact flag string, e.g. `"SA"` for SYN|ACK, `"R"` for RST.
+fn flags_str(bits: u16) -> String {
+    let mut s = String::new();
+    for (bit, c) in WIRE_FLAGS {
+        if bits & bit != 0 {
+            s.push(c);
+        }
+    }
+    s
+}
+
+/// The `k=v` argument tail of an event (empty for argument-free events).
+fn event_detail(ev: &SessionEvent) -> String {
+    let mut s = String::new();
+    match ev {
+        SessionEvent::ProbeStarted { probe, mss } => {
+            let _ = write!(s, "probe={probe} mss={mss}");
+        }
+        SessionEvent::FollowUpStarted { probe } | SessionEvent::VerifyAckSent { probe } => {
+            let _ = write!(s, "probe={probe}");
+        }
+        SessionEvent::RetransmitDetected {
+            probe,
+            bytes_in_flight,
+        } => {
+            let _ = write!(s, "probe={probe} bytes_in_flight={bytes_in_flight}");
+        }
+        SessionEvent::ProbeConcluded { probe, outcome } => {
+            let _ = write!(s, "probe={probe} outcome={}", outcome.name());
+        }
+        SessionEvent::SessionFinished { outcome } => {
+            let _ = write!(s, "outcome={}", outcome.name());
+        }
+        SessionEvent::SynRetried { attempt } => {
+            let _ = write!(s, "attempt={attempt}");
+        }
+        SessionEvent::ProbeRetried { probe, attempt } => {
+            let _ = write!(s, "probe={probe} attempt={attempt}");
+        }
+        _ => {}
+    }
+    s
+}
+
+/// The lifecycle phase a session is in after `ev` (used to name the
+/// phase a dumped session died in).
+fn phase_after(ev: &SessionEvent) -> &'static str {
+    match ev {
+        SessionEvent::SynSent | SessionEvent::SynRetried { .. } => "syn_wait",
+        SessionEvent::SynAckValidated | SessionEvent::SessionStarted => "handshake",
+        SessionEvent::ProbeStarted { .. }
+        | SessionEvent::FollowUpStarted { .. }
+        | SessionEvent::RetransmitDetected { .. }
+        | SessionEvent::ProbeRetried { .. } => "collecting",
+        SessionEvent::VerifyAckSent { .. } => "verifying",
+        SessionEvent::ProbeConcluded { .. } => "probe_done",
+        SessionEvent::SessionFinished { .. } => "finished",
+        SessionEvent::Refused => "refused",
+        SessionEvent::WatchdogForced | SessionEvent::SessionEvicted => "collecting",
+        SessionEvent::IcmpUnreachable => "unreachable",
+    }
+}
+
+/// One bounded ring of recent activity for a live target.
+#[derive(Debug, Clone)]
+struct Ring {
+    entries: VecDeque<FlightEntry>,
+    /// Entries displaced by the capacity bound.
+    evicted: u64,
+    /// Lifecycle phase after the most recent state event.
+    phase: &'static str,
+    /// Virtual time of the most recent entry (staleness expiry).
+    last_at: u64,
+}
+
+/// A frozen ring: the black box of a session that ended in an error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlightDump {
+    /// Virtual time the session concluded.
+    pub at_nanos: u64,
+    /// Target address.
+    pub ip: u32,
+    /// The `ErrorKind` name the session died with.
+    pub error: &'static str,
+    /// Lifecycle phase at death (from the last state transition).
+    pub phase: &'static str,
+    /// Ring entries displaced before the dump (older history lost).
+    pub evicted: u64,
+    /// The retained entries, oldest first.
+    pub entries: Vec<FlightEntry>,
+}
+
+impl FlightDump {
+    /// One JSONL line: `{"at_nanos":..,"ip":"..","error":"..","phase":"..",...}`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push('{');
+        push_u64_field(&mut out, "at_nanos", self.at_nanos);
+        out.push(',');
+        push_key(&mut out, "ip");
+        push_str_literal(&mut out, &ip_str(self.ip));
+        out.push(',');
+        push_key(&mut out, "error");
+        push_str_literal(&mut out, self.error);
+        out.push(',');
+        push_key(&mut out, "phase");
+        push_str_literal(&mut out, self.phase);
+        out.push(',');
+        push_u64_field(&mut out, "evicted", self.evicted);
+        out.push(',');
+        push_key(&mut out, "entries");
+        out.push('[');
+        for (i, e) in self.entries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            e.write_json(&mut out);
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Dotted-quad rendering of an address.
+fn ip_str(ip: u32) -> String {
+    format!(
+        "{}.{}.{}.{}",
+        (ip >> 24) & 0xff,
+        (ip >> 16) & 0xff,
+        (ip >> 8) & 0xff,
+        ip & 0xff
+    )
+}
+
+/// The per-session flight recorder. See module docs.
+#[derive(Debug, Clone, Default)]
+pub struct FlightRecorder {
+    enabled: bool,
+    capacity: usize,
+    rings: BTreeMap<u32, Ring>,
+    dumps: Vec<FlightDump>,
+}
+
+impl FlightRecorder {
+    /// A recorder with the given per-session ring capacity (clamped ≥ 1).
+    /// Disabled recorders never record or allocate.
+    pub fn new(enabled: bool, capacity: usize) -> FlightRecorder {
+        FlightRecorder {
+            enabled,
+            capacity: capacity.max(1),
+            rings: BTreeMap::new(),
+            dumps: Vec::new(),
+        }
+    }
+
+    /// Is recording on?
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Record a state-machine transition; creates the target's ring.
+    /// `SessionFinished` marks death, not a phase: the ring keeps the
+    /// phase the session died *in*, which is what a dump should name.
+    #[inline]
+    pub fn note_state(&mut self, ip: u32, at_nanos: u64, event: SessionEvent) {
+        if !self.enabled {
+            return;
+        }
+        let terminal = matches!(event, SessionEvent::SessionFinished { .. });
+        let phase = phase_after(&event);
+        let ring = self.ring_mut(ip);
+        if !terminal {
+            ring.phase = phase;
+        }
+        push_bounded(ring, FlightEntry::State { at_nanos, event });
+    }
+
+    /// Record a wire segment. No-op unless the target already has a ring
+    /// (stray traffic for targets we never probed is not recorded).
+    #[inline]
+    #[allow(clippy::too_many_arguments)]
+    pub fn note_wire(
+        &mut self,
+        ip: u32,
+        at_nanos: u64,
+        tx: bool,
+        flags: u16,
+        seq: u32,
+        ack: u32,
+        payload_len: u32,
+    ) {
+        if !self.enabled {
+            return;
+        }
+        if let Some(ring) = self.rings.get_mut(&ip) {
+            push_bounded(
+                ring,
+                FlightEntry::Wire {
+                    at_nanos,
+                    tx,
+                    flags,
+                    seq,
+                    ack,
+                    payload_len,
+                },
+            );
+        }
+    }
+
+    /// Conclude a target: `Some(error)` freezes the ring into a dump,
+    /// `None` (clean verdict) drops it. Returns true if a dump was kept.
+    pub fn conclude(&mut self, ip: u32, at_nanos: u64, error: Option<&'static str>) -> bool {
+        if !self.enabled {
+            return false;
+        }
+        let Some(ring) = self.rings.remove(&ip) else {
+            return false;
+        };
+        let Some(error) = error else {
+            return false;
+        };
+        self.dumps.push(FlightDump {
+            at_nanos,
+            ip,
+            error,
+            phase: ring.phase,
+            evicted: ring.evicted,
+            entries: ring.entries.into_iter().collect(),
+        });
+        true
+    }
+
+    /// Drop rings whose most recent entry predates `cutoff_nanos`, except
+    /// targets `keep` vouches for (live sessions). Bounds memory when
+    /// targets fall silent without ever concluding.
+    pub fn expire_stale(&mut self, cutoff_nanos: u64, keep: impl Fn(u32) -> bool) {
+        if !self.enabled {
+            return;
+        }
+        self.rings
+            .retain(|ip, ring| ring.last_at >= cutoff_nanos || keep(*ip));
+    }
+
+    /// Retained dumps, canonical `(time, address)` order after merge.
+    pub fn dumps(&self) -> &[FlightDump] {
+        &self.dumps
+    }
+
+    /// Rings currently live (diagnostics).
+    pub fn live_rings(&self) -> usize {
+        self.rings.len()
+    }
+
+    /// `(len, deque capacity, evicted)` of a target's ring, for tests
+    /// asserting the no-reallocation guarantee.
+    pub fn ring_stats(&self, ip: u32) -> Option<(usize, usize, u64)> {
+        self.rings
+            .get(&ip)
+            .map(|r| (r.entries.len(), r.entries.capacity(), r.evicted))
+    }
+
+    /// True when no dumps were retained.
+    pub fn is_empty(&self) -> bool {
+        self.dumps.is_empty()
+    }
+
+    /// Merge another shard's recorder. Dump order is canonical:
+    /// `(conclusion time, address)`, both population-determined.
+    pub fn merge(&mut self, other: &FlightRecorder) {
+        self.enabled |= other.enabled;
+        self.capacity = self.capacity.max(other.capacity);
+        self.dumps.extend(other.dumps.iter().cloned());
+        for (ip, ring) in &other.rings {
+            self.rings.insert(*ip, ring.clone());
+        }
+        self.dumps.sort_by_key(|d| (d.at_nanos, d.ip));
+    }
+
+    /// All dumps as JSONL (one line per dumped session, trailing newline
+    /// when non-empty).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for d in &self.dumps {
+            out.push_str(&d.to_json());
+            out.push('\n');
+        }
+        out
+    }
+
+    fn ring_mut(&mut self, ip: u32) -> &mut Ring {
+        let capacity = self.capacity;
+        self.rings.entry(ip).or_insert_with(|| Ring {
+            entries: VecDeque::with_capacity(capacity),
+            evicted: 0,
+            phase: "created",
+            last_at: 0,
+        })
+    }
+}
+
+/// Push with oldest-first eviction at the capacity bound; the deque
+/// never grows past its initial allocation.
+fn push_bounded(ring: &mut Ring, entry: FlightEntry) {
+    if ring.entries.len() >= ring.entries.capacity() {
+        ring.entries.pop_front();
+        ring.evicted += 1;
+    }
+    ring.last_at = entry.at_nanos();
+    ring.entries.push_back(entry);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::OutcomeKind;
+
+    fn state(at: u64) -> SessionEvent {
+        let _ = at;
+        SessionEvent::ProbeStarted { probe: 0, mss: 64 }
+    }
+
+    #[test]
+    fn disabled_recorder_records_nothing() {
+        let mut r = FlightRecorder::new(false, 8);
+        r.note_state(1, 10, SessionEvent::SynSent);
+        r.note_wire(1, 11, true, 0x002, 1, 0, 0);
+        assert!(!r.conclude(1, 12, Some("collect_timeout")));
+        assert!(r.is_empty());
+        assert_eq!(r.live_rings(), 0);
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_never_reallocates() {
+        let mut r = FlightRecorder::new(true, 4);
+        r.note_state(9, 0, SessionEvent::SynSent);
+        let (_, warm_cap, _) = r.ring_stats(9).unwrap();
+        for i in 1..1000u64 {
+            r.note_wire(9, i, false, 0x010, i as u32, 0, 100);
+        }
+        let (len, cap, evicted) = r.ring_stats(9).unwrap();
+        assert_eq!(len, warm_cap, "ring holds exactly its capacity");
+        assert_eq!(cap, warm_cap, "no growth after warm-up");
+        assert_eq!(evicted, 1000 - warm_cap as u64);
+        // The retained entries are the most recent ones, oldest first.
+        let ok = r.conclude(9, 1000, Some("collect_timeout"));
+        assert!(ok);
+        let dump = &r.dumps()[0];
+        let first = dump.entries.first().unwrap();
+        let last = dump.entries.last().unwrap();
+        assert_eq!(last.at_nanos(), 999);
+        assert_eq!(first.at_nanos(), 1000 - warm_cap as u64);
+    }
+
+    #[test]
+    fn clean_conclusion_drops_the_ring() {
+        let mut r = FlightRecorder::new(true, 8);
+        r.note_state(5, 1, SessionEvent::SynSent);
+        assert!(!r.conclude(5, 2, None));
+        assert!(r.is_empty());
+        assert_eq!(r.live_rings(), 0);
+    }
+
+    #[test]
+    fn dump_names_the_failing_phase() {
+        let mut r = FlightRecorder::new(true, 8);
+        r.note_state(7, 1, SessionEvent::SynSent);
+        r.note_state(7, 2, SessionEvent::SessionStarted);
+        r.note_state(7, 3, state(3));
+        assert!(r.conclude(7, 9, Some("collect_timeout")));
+        let line = r.to_jsonl();
+        assert!(line.contains("\"error\":\"collect_timeout\""), "{line}");
+        assert!(line.contains("\"phase\":\"collecting\""), "{line}");
+        assert!(line.contains("\"ip\":\"0.0.0.7\""), "{line}");
+        assert!(line.ends_with('\n'));
+    }
+
+    #[test]
+    fn merge_orders_dumps_deterministically() {
+        let mk = |ip: u32, at: u64| {
+            let mut r = FlightRecorder::new(true, 4);
+            r.note_state(ip, at - 1, SessionEvent::SynSent);
+            r.conclude(ip, at, Some("handshake_timeout"));
+            r
+        };
+        let mut a = mk(2, 100);
+        a.merge(&mk(1, 100));
+        let mut b = mk(1, 100);
+        b.merge(&mk(2, 100));
+        assert_eq!(a.to_jsonl(), b.to_jsonl());
+        assert_eq!(a.dumps()[0].ip, 1);
+    }
+
+    #[test]
+    fn expire_stale_keeps_live_sessions() {
+        let mut r = FlightRecorder::new(true, 4);
+        r.note_state(1, 10, SessionEvent::SynSent);
+        r.note_state(2, 10, SessionEvent::SynSent);
+        r.expire_stale(50, |ip| ip == 2);
+        assert!(r.ring_stats(1).is_none());
+        assert!(r.ring_stats(2).is_some());
+    }
+
+    #[test]
+    fn wire_entries_render_flags() {
+        let mut r = FlightRecorder::new(true, 4);
+        r.note_state(1, 1, SessionEvent::SynSent);
+        r.note_wire(1, 2, false, 0x012, 7, 8, 0);
+        r.conclude(1, 3, Some("malformed"));
+        let line = r.to_jsonl();
+        assert!(
+            line.contains("\"wire\":\"rx\",\"flags\":\"SA\",\"seq\":7,\"ack\":8,\"len\":0"),
+            "{line}"
+        );
+    }
+
+    #[test]
+    fn dump_records_probe_outcome_detail() {
+        let mut r = FlightRecorder::new(true, 4);
+        r.note_state(
+            1,
+            1,
+            SessionEvent::ProbeConcluded {
+                probe: 2,
+                outcome: OutcomeKind::Error,
+            },
+        );
+        r.conclude(1, 2, Some("inconsistent"));
+        let line = r.to_jsonl();
+        assert!(
+            line.contains("\"detail\":\"probe=2 outcome=error\""),
+            "{line}"
+        );
+    }
+}

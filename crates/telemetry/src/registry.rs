@@ -302,6 +302,52 @@ impl HistogramSnapshot {
         self.buckets = merged.into_iter().collect();
     }
 
+    /// Estimated `pct`-th percentile (0–100) by linear interpolation
+    /// inside the log₂ bucket holding that rank, clamped to the observed
+    /// `[min, max]`. Integer arithmetic only, and a pure function of the
+    /// merged snapshot state — so the estimate is byte-identical across
+    /// shard counts. Returns 0 for an empty histogram.
+    pub fn quantile(&self, pct: u64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        // 1-based rank of the requested percentile, ceiling division.
+        let rank =
+            ((u128::from(self.count) * u128::from(pct)).div_ceil(100) as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for &(i, c) in &self.buckets {
+            if seen + c < rank {
+                seen += c;
+                continue;
+            }
+            let lo = bucket_floor(i);
+            let hi = if i + 1 < BUCKETS {
+                bucket_floor(i + 1) - 1
+            } else {
+                u64::MAX
+            };
+            let pos = rank - seen; // 1..=c
+            let est = lo + (u128::from(hi - lo) * u128::from(pos) / u128::from(c)) as u64;
+            return est.clamp(self.min, self.max);
+        }
+        self.max
+    }
+
+    /// Estimated median.
+    pub fn p50(&self) -> u64 {
+        self.quantile(50)
+    }
+
+    /// Estimated 95th percentile.
+    pub fn p95(&self) -> u64 {
+        self.quantile(95)
+    }
+
+    /// Estimated 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.quantile(99)
+    }
+
     fn to_json(&self, out: &mut String) {
         out.push('{');
         push_u64_field(out, "count", self.count);
@@ -312,6 +358,12 @@ impl HistogramSnapshot {
             push_u64_field(out, "min", self.min);
             out.push(',');
             push_u64_field(out, "max", self.max);
+            out.push(',');
+            push_u64_field(out, "p50", self.p50());
+            out.push(',');
+            push_u64_field(out, "p95", self.p95());
+            out.push(',');
+            push_u64_field(out, "p99", self.p99());
         }
         out.push(',');
         push_key(out, "buckets");
@@ -477,6 +529,47 @@ mod tests {
     }
 
     #[test]
+    fn quantile_estimates_interpolate_within_buckets() {
+        let snap_of = |values: &[u64]| {
+            let mut r = MetricsRegistry::new();
+            let h = r.histogram("scan.rtt_nanos", Scope::Scan);
+            for v in values {
+                r.observe(h, *v);
+            }
+            r.snapshot()
+        };
+
+        // Empty histogram: all quantiles are 0.
+        let empty = snap_of(&[]);
+        assert_eq!(empty.histogram("scan.rtt_nanos").unwrap().p99(), 0);
+
+        // Single sample: every quantile is that sample.
+        let one = snap_of(&[42]);
+        let h = one.histogram("scan.rtt_nanos").unwrap();
+        assert_eq!((h.p50(), h.p95(), h.p99()), (42, 42, 42));
+
+        // Two samples 3 and 1024: p50 hits the first, tail hits the second.
+        let two = snap_of(&[3, 1024]);
+        let h = two.histogram("scan.rtt_nanos").unwrap();
+        assert_eq!((h.p50(), h.p95(), h.p99()), (3, 1024, 1024));
+
+        // 100 samples of 0..100: estimates land in the right log₂ bucket
+        // and are monotone in the percentile.
+        let many: Vec<u64> = (0..100).collect();
+        let snap = snap_of(&many);
+        let h = snap.histogram("scan.rtt_nanos").unwrap();
+        assert!(h.p50() >= 32 && h.p50() <= 63, "p50 = {}", h.p50());
+        assert!(h.p95() >= 64 && h.p95() <= 99, "p95 = {}", h.p95());
+        assert!(h.p50() <= h.p95() && h.p95() <= h.p99());
+        assert!(h.p99() <= h.max);
+
+        // Estimates never escape [min, max] even for the top bucket.
+        let extreme = snap_of(&[u64::MAX]);
+        let h = extreme.histogram("scan.rtt_nanos").unwrap();
+        assert_eq!(h.p99(), u64::MAX);
+    }
+
+    #[test]
     fn registry_counters_gauges_histograms() {
         let mut r = MetricsRegistry::new();
         let c = r.counter("scan.syn_sent", Scope::Scan);
@@ -559,7 +652,7 @@ mod tests {
         assert!(json.starts_with("{\"scan\":{"), "{json}");
         assert!(json.contains("\"scan.syn_sent\":7"), "{json}");
         assert!(
-            json.contains("\"scan.rtt_nanos\":{\"count\":2,\"sum\":1027,\"min\":3,\"max\":1024,\"buckets\":[[2,1],[1024,1]]}"),
+            json.contains("\"scan.rtt_nanos\":{\"count\":2,\"sum\":1027,\"min\":3,\"max\":1024,\"p50\":3,\"p95\":1024,\"p99\":1024,\"buckets\":[[2,1],[1024,1]]}"),
             "{json}"
         );
         assert!(json.contains("\"shard\":{"), "{json}");
