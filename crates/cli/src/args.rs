@@ -38,6 +38,12 @@ SCAN FLAGS:
     --trace-out <path>               write session spans as Chrome trace JSON
     --stream-out <path>              stream metric deltas + results as JSONL
     --flight-out <path>              dump failed-session flight records as JSONL
+    --checkpoint-out <path>          write/refresh a campaign checkpoint file
+    --checkpoint-every <secs>        periodic checkpoint interval (virtual time)
+                                     [default: 10, with --checkpoint-out]
+    --resume <path>                  resume a killed campaign from its checkpoint
+    --kill-after-events <n>          crash injection: die after n events per shard
+    --abort-after <secs>             graceful shutdown at this virtual time
 
 INSPECT FLAGS:
     <file>                           telemetry file to summarize
@@ -129,6 +135,16 @@ pub struct ScanArgs {
     pub stream_out: Option<String>,
     /// Optional flight-recorder JSONL output path.
     pub flight_out: Option<String>,
+    /// Optional campaign-checkpoint output path.
+    pub checkpoint_out: Option<String>,
+    /// Periodic checkpoint interval in virtual seconds (0 = final only).
+    pub checkpoint_every_secs: u64,
+    /// Resume from this campaign checkpoint file.
+    pub resume: Option<String>,
+    /// Crash injection: stop each shard after this many events (0 = off).
+    pub kill_after_events: u64,
+    /// Graceful-shutdown deadline in virtual seconds (0 = off).
+    pub abort_after_secs: u64,
     /// Alexa list length.
     pub n: usize,
 }
@@ -154,6 +170,11 @@ impl Default for ScanArgs {
             trace_out: None,
             stream_out: None,
             flight_out: None,
+            checkpoint_out: None,
+            checkpoint_every_secs: 10,
+            resume: None,
+            kill_after_events: 0,
+            abort_after_secs: 0,
             n: 400,
         }
     }
@@ -324,6 +345,11 @@ impl Cli {
                         "--trace-out",
                         "--stream-out",
                         "--flight-out",
+                        "--checkpoint-out",
+                        "--checkpoint-every",
+                        "--resume",
+                        "--kill-after-events",
+                        "--abort-after",
                         "--n",
                     ]
                     .contains(&key.as_str())
@@ -364,6 +390,17 @@ impl Cli {
                 if let Some(v) = get("--n") {
                     args.n = parse_num("--n", &v)?;
                 }
+                if let Some(v) = get("--checkpoint-every") {
+                    args.checkpoint_every_secs = parse_num("--checkpoint-every", &v)?;
+                }
+                if let Some(v) = get("--kill-after-events") {
+                    args.kill_after_events = parse_num("--kill-after-events", &v)?;
+                }
+                if let Some(v) = get("--abort-after") {
+                    args.abort_after_secs = parse_num("--abort-after", &v)?;
+                }
+                args.checkpoint_out = get("--checkpoint-out");
+                args.resume = get("--resume");
                 args.json = get("--json");
                 args.metrics_out = get("--metrics-out");
                 args.pcap = get("--pcap");
@@ -581,6 +618,40 @@ mod tests {
         assert_eq!(
             Cli::parse(&argv("probe --max-sessions 1")).unwrap_err(),
             ParseError::UnknownFlag("--max-sessions".into())
+        );
+    }
+
+    #[test]
+    fn scan_durability_flags() {
+        let cli = Cli::parse(&argv(
+            "scan --checkpoint-out c.json --checkpoint-every 5 --kill-after-events 9000 \
+             --abort-after 120",
+        ))
+        .unwrap();
+        match cli.command {
+            Command::Scan(a) => {
+                assert_eq!(a.checkpoint_out.as_deref(), Some("c.json"));
+                assert_eq!(a.checkpoint_every_secs, 5);
+                assert_eq!(a.kill_after_events, 9000);
+                assert_eq!(a.abort_after_secs, 120);
+                assert_eq!(a.resume, None);
+            }
+            other => panic!("{other:?}"),
+        }
+        match Cli::parse(&argv("scan --resume c.json")).unwrap().command {
+            Command::Scan(a) => {
+                assert_eq!(a.resume.as_deref(), Some("c.json"));
+                // Durability is off by default: the golden baseline scan
+                // must not change shape.
+                assert_eq!(a.checkpoint_out, None);
+                assert_eq!(a.kill_after_events, 0);
+                assert_eq!(a.abort_after_secs, 0);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(
+            Cli::parse(&argv("probe --resume c.json")).unwrap_err(),
+            ParseError::UnknownFlag("--resume".into())
         );
     }
 

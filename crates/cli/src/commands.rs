@@ -2,16 +2,20 @@
 //! library crates.
 
 use crate::args::{Cli, Command, InspectArgs, ProbeArgs, ScanArgs};
+use crate::output;
 use iw_analysis::figures::render_iw_bars;
 use iw_analysis::histogram::IwHistogram;
 use iw_analysis::tables::Table1;
 use iw_core::testbed::{probe_host, TestbedSpec};
-use iw_core::{MonitorSink, MonitorSpec, Protocol, ScanConfig, ScanRunner, TargetSpec};
+use iw_core::{
+    CampaignCheckpoint, ConfigDigest, MonitorSink, MonitorSpec, Protocol, RunControl,
+    RunDisposition, ScanConfig, ScanRunner, ShardCheckpoint, TargetSpec, CHECKPOINT_VERSION,
+};
 use iw_hoststack::{HostConfig, HttpBehavior, HttpConfig, IwPolicy, OsProfile};
 use iw_internet::{alexa, Population, PopulationConfig};
 use iw_netsim::LinkConfig;
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// Command-layer failure.
 #[derive(Debug)]
@@ -98,6 +102,109 @@ fn apply_telemetry(config: &mut ScanConfig, args: &ScanArgs) {
     }
 }
 
+/// CLI-level campaign context persisted in the checkpoint's `extra`
+/// section: knobs that shape the synthetic world but live outside
+/// `ScanConfig` (and thus outside the driver's config digest).
+fn campaign_extra(args: &ScanArgs, command: &str) -> Vec<(String, String)> {
+    vec![
+        ("command".to_string(), command.to_string()),
+        ("scale".to_string(), args.scale.clone()),
+        ("loss_bits".to_string(), args.loss.to_bits().to_string()),
+    ]
+}
+
+/// Serializes checkpoint captures from the shard threads into one
+/// atomically refreshed campaign file: the file on disk is always a
+/// complete, parseable checkpoint holding each shard's latest capture.
+struct CheckpointWriter {
+    path: String,
+    header: CampaignCheckpoint,
+    slots: Mutex<Vec<Option<ShardCheckpoint>>>,
+}
+
+impl CheckpointWriter {
+    fn note(&self, shard: u32, capture: &ShardCheckpoint) {
+        let Ok(mut slots) = self.slots.lock() else {
+            return; // a shard panicked mid-write; nothing to persist
+        };
+        let Some(slot) = slots.get_mut(shard as usize) else {
+            return;
+        };
+        *slot = Some(capture.clone());
+        let mut file = self.header.clone();
+        file.shards = slots.iter().flatten().cloned().collect();
+        // Write while holding the lock so concurrent shard captures
+        // cannot interleave their rename steps.
+        let _ = output::write_atomic(&self.path, file.to_canonical_json());
+    }
+}
+
+/// Wire the durable-campaign flags into a [`RunControl`], resolving
+/// `--resume` against the checkpoint file. Returns the control block and
+/// the shard count to run with (a resumed campaign inherits the shard
+/// count and checkpoint interval it was started with).
+fn durable_setup(
+    args: &ScanArgs,
+    command: &str,
+    config: &ScanConfig,
+    default_shards: u32,
+) -> Result<(RunControl, u32), CmdError> {
+    let mut control = RunControl {
+        kill_after_events: args.kill_after_events,
+        ..RunControl::default()
+    };
+    if args.abort_after_secs > 0 {
+        control.abort_at = Some(iw_netsim::Duration::from_secs(args.abort_after_secs));
+    }
+    let mut shards = default_shards;
+    let mut every_nanos: u64 = 0;
+    if args.checkpoint_out.is_some() {
+        every_nanos = args.checkpoint_every_secs.saturating_mul(1_000_000_000);
+    }
+    let extra = campaign_extra(args, command);
+    if let Some(path) = &args.resume {
+        let text = std::fs::read_to_string(path).map_err(|e| err(format!("read {path}: {e}")))?;
+        let ckpt = CampaignCheckpoint::parse(&text).map_err(|e| err(format!("{path}: {e}")))?;
+        let mut recorded = ckpt.extra.clone();
+        recorded.sort();
+        let mut expected = extra.clone();
+        expected.sort();
+        if recorded != expected {
+            return Err(err(format!(
+                "{path}: campaign context differs — checkpoint {recorded:?}, current \
+                 {expected:?}; rerun with the original command, scale and loss"
+            )));
+        }
+        shards = ckpt.threads.max(1);
+        every_nanos = ckpt.checkpoint_every_nanos;
+        control.resume = Some(Arc::new(ckpt));
+    }
+    if every_nanos > 0 {
+        control.checkpoint_every = Some(iw_netsim::Duration::from_nanos(every_nanos));
+    }
+    if let Some(out_path) = &args.checkpoint_out {
+        let writer = Arc::new(CheckpointWriter {
+            path: out_path.clone(),
+            header: CampaignCheckpoint {
+                version: CHECKPOINT_VERSION,
+                threads: shards,
+                checkpoint_every_nanos: every_nanos,
+                config: ConfigDigest::from_config(config),
+                extra,
+                shards: Vec::new(),
+            },
+            slots: Mutex::new(vec![None; shards as usize]),
+        });
+        control.on_checkpoint = Some(Arc::new(move |shard, capture| writer.note(shard, capture)));
+    }
+    Ok((control, shards))
+}
+
+/// Exit status for a killed campaign (mirrors `128+SIGKILL` convention).
+const EXIT_KILLED: i32 = 9;
+/// Exit status for a gracefully aborted campaign.
+const EXIT_ABORTED: i32 = 3;
+
 /// Write the telemetry products requested by `--metrics-out` / `--pcap`.
 fn write_telemetry(out: &iw_core::ScanOutput, args: &ScanArgs) -> Result<(), CmdError> {
     if let Some(path) = &args.metrics_out {
@@ -107,16 +214,19 @@ fn write_telemetry(out: &iw_core::ScanOutput, args: &ScanArgs) -> Result<(), Cmd
             out.telemetry.events.summary_json(),
             out.telemetry.icmp.section_json()
         );
-        std::fs::write(path, json).map_err(|e| err(format!("write {path}: {e}")))?;
+        output::write_atomic(path, json).map_err(|e| err(format!("write {path}: {e}")))?;
         println!("telemetry snapshot written to {path}");
     }
     if let Some(path) = &args.pcap {
-        iw_netsim::pcap::save_pcap(&out.trace, std::path::Path::new(path))
+        // The pcap exporter writes the file itself, so stage it at the
+        // temp path and promote it once complete.
+        iw_netsim::pcap::save_pcap(&out.trace, std::path::Path::new(&output::tmp_path(path)))
             .map_err(|e| err(format!("write {path}: {e}")))?;
+        output::commit_tmp(path).map_err(|e| err(format!("write {path}: {e}")))?;
         println!("scan trace saved to {path} ({} packets)", out.trace.len());
     }
     if let Some(path) = &args.trace_out {
-        std::fs::write(path, out.telemetry.tracer.to_chrome_json())
+        output::write_atomic(path, out.telemetry.tracer.to_chrome_json())
             .map_err(|e| err(format!("write {path}: {e}")))?;
         println!(
             "span trace written to {path} ({} spans; load in ui.perfetto.dev)",
@@ -124,7 +234,7 @@ fn write_telemetry(out: &iw_core::ScanOutput, args: &ScanArgs) -> Result<(), Cmd
         );
     }
     if let Some(path) = &args.stream_out {
-        std::fs::write(path, out.telemetry.stream.to_jsonl())
+        output::write_atomic(path, out.telemetry.stream.to_jsonl())
             .map_err(|e| err(format!("write {path}: {e}")))?;
         println!(
             "telemetry stream written to {path} ({} records)",
@@ -132,7 +242,7 @@ fn write_telemetry(out: &iw_core::ScanOutput, args: &ScanArgs) -> Result<(), Cmd
         );
     }
     if let Some(path) = &args.flight_out {
-        std::fs::write(path, out.telemetry.flight.to_jsonl())
+        output::write_atomic(path, out.telemetry.flight.to_jsonl())
             .map_err(|e| err(format!("write {path}: {e}")))?;
         println!(
             "flight-recorder dumps written to {path} ({} failed sessions)",
@@ -155,11 +265,46 @@ fn report(out: &iw_core::ScanOutput, args: &ScanArgs, label: &str) -> Result<(),
     if let Some(path) = &args.json {
         let json = serde_json::to_string_pretty(&out.results)
             .map_err(|e| err(format!("serialize: {e}")))?;
-        std::fs::write(path, json).map_err(|e| err(format!("write {path}: {e}")))?;
+        output::write_atomic(path, json).map_err(|e| err(format!("write {path}: {e}")))?;
         println!("\nper-host results written to {path}");
     }
     write_telemetry(out, args)?;
     Ok(())
+}
+
+/// Resolve a finished run's disposition into an exit code, writing the
+/// report/artifacts only when the outputs are trustworthy. `report` runs
+/// for completed and (with a note) gracefully aborted campaigns; a killed
+/// campaign leaves nothing but the persisted checkpoint behind, and a
+/// diverged resume is a hard error.
+fn conclude(
+    out: &iw_core::ScanOutput,
+    args: &ScanArgs,
+    render: impl FnOnce(&iw_core::ScanOutput, &ScanArgs) -> Result<(), CmdError>,
+) -> Result<i32, CmdError> {
+    match &out.disposition {
+        RunDisposition::Diverged { detail } => Err(err(format!("resume failed: {detail}"))),
+        RunDisposition::Killed { events } => {
+            let note = if args.checkpoint_out.is_some() {
+                "; latest checkpoint persisted"
+            } else {
+                " (no --checkpoint-out: nothing persisted)"
+            };
+            println!("campaign killed after {events} events{note}");
+            Ok(EXIT_KILLED)
+        }
+        RunDisposition::Aborted => {
+            render(out, args)?;
+            println!(
+                "\ncampaign aborted at the shutdown deadline; sessions drained, artifacts flushed"
+            );
+            Ok(EXIT_ABORTED)
+        }
+        RunDisposition::Completed => {
+            render(out, args)?;
+            Ok(0)
+        }
+    }
 }
 
 fn cmd_scan(args: &ScanArgs) -> Result<i32, CmdError> {
@@ -170,12 +315,14 @@ fn cmd_scan(args: &ScanArgs) -> Result<i32, CmdError> {
     config.rate_pps = 4_000_000;
     apply_resilience(&mut config, args);
     apply_telemetry(&mut config, args);
+    let (control, shards) = durable_setup(args, "scan", &config, threads(args))?;
     let out = ScanRunner::new(&population)
         .config(config)
-        .shards(threads(args))
+        .shards(shards)
+        .control(control)
         .run();
-    report(&out, args, &args.protocol.to_uppercase())?;
-    Ok(0)
+    let label = args.protocol.to_uppercase();
+    conclude(&out, args, |out, args| report(out, args, &label))
 }
 
 fn cmd_alexa(args: &ScanArgs) -> Result<i32, CmdError> {
@@ -189,9 +336,13 @@ fn cmd_alexa(args: &ScanArgs) -> Result<i32, CmdError> {
     config.rate_pps = 4_000_000;
     apply_resilience(&mut config, args);
     apply_telemetry(&mut config, args);
-    let out = ScanRunner::new(&population).config(config).shards(1).run();
-    report(&out, args, "ALEXA")?;
-    Ok(0)
+    let (control, shards) = durable_setup(args, "alexa", &config, 1)?;
+    let out = ScanRunner::new(&population)
+        .config(config)
+        .shards(shards)
+        .control(control)
+        .run();
+    conclude(&out, args, |out, args| report(out, args, "ALEXA"))
 }
 
 fn cmd_mtu(args: &ScanArgs) -> Result<i32, CmdError> {
@@ -201,18 +352,23 @@ fn cmd_mtu(args: &ScanArgs) -> Result<i32, CmdError> {
     config.rate_pps = 4_000_000;
     apply_resilience(&mut config, args);
     apply_telemetry(&mut config, args);
+    let (control, shards) = durable_setup(args, "mtu", &config, threads(args))?;
     let out = ScanRunner::new(&population)
         .config(config)
-        .shards(threads(args))
+        .shards(shards)
+        .control(control)
         .run();
-    write_telemetry(&out, args)?;
-    let n = out.mtu_results.len().max(1) as f64;
-    println!("hosts answering ICMP: {}", out.mtu_results.len());
-    for mss in [536u32, 1240, 1336, 1436, 1460] {
-        let share = out.mtu_results.iter().filter(|r| r.mtu >= mss + 40).count() as f64 / n * 100.0;
-        println!("  MSS {mss:>5} supported by {share:>5.1}%");
-    }
-    Ok(0)
+    conclude(&out, args, |out, args| {
+        write_telemetry(out, args)?;
+        let n = out.mtu_results.len().max(1) as f64;
+        println!("hosts answering ICMP: {}", out.mtu_results.len());
+        for mss in [536u32, 1240, 1336, 1436, 1460] {
+            let share =
+                out.mtu_results.iter().filter(|r| r.mtu >= mss + 40).count() as f64 / n * 100.0;
+            println!("  MSS {mss:>5} supported by {share:>5.1}%");
+        }
+        Ok(())
+    })
 }
 
 fn cmd_probe(args: &ProbeArgs) -> Result<i32, CmdError> {
@@ -474,6 +630,8 @@ mod tests {
             duration: iw_netsim::Duration::ZERO,
             telemetry: Default::default(),
             trace: Default::default(),
+            checkpoints: vec![],
+            disposition: RunDisposition::Completed,
         };
         let dir = std::env::temp_dir().join("iwscan-cli-test");
         std::fs::create_dir_all(&dir).unwrap();
@@ -514,6 +672,122 @@ mod tests {
         ] {
             let _ = std::fs::remove_file(p);
         }
+    }
+
+    #[test]
+    fn durable_setup_wires_control_and_checks_context() {
+        let dir = std::env::temp_dir().join("iwscan-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let config = ScanConfig::study(Protocol::Http, 1 << 10, 1);
+
+        // No durable flags: inert control, caller's shard count.
+        let (control, shards) = durable_setup(&ScanArgs::default(), "scan", &config, 2).unwrap();
+        assert_eq!(shards, 2);
+        assert!(control.resume.is_none());
+        assert!(control.on_checkpoint.is_none());
+        assert_eq!(control.checkpoint_every, None);
+
+        // --checkpoint-out turns on the periodic writer.
+        let out_path = dir.join("campaign.ckpt").to_string_lossy().into_owned();
+        let args = ScanArgs {
+            checkpoint_out: Some(out_path.clone()),
+            checkpoint_every_secs: 5,
+            ..ScanArgs::default()
+        };
+        let (control, _) = durable_setup(&args, "scan", &config, 2).unwrap();
+        assert!(control.on_checkpoint.is_some());
+        assert_eq!(
+            control.checkpoint_every,
+            Some(iw_netsim::Duration::from_secs(5))
+        );
+        // Drive the writer: the file must be a parseable campaign file
+        // holding the latest capture per shard.
+        let cb = control.on_checkpoint.as_ref().unwrap();
+        cb(
+            1,
+            &ShardCheckpoint {
+                shard: 1,
+                events: 10,
+                ..Default::default()
+            },
+        );
+        cb(
+            0,
+            &ShardCheckpoint {
+                shard: 0,
+                events: 7,
+                ..Default::default()
+            },
+        );
+        cb(
+            0,
+            &ShardCheckpoint {
+                shard: 0,
+                events: 9,
+                ..Default::default()
+            },
+        );
+        let file = CampaignCheckpoint::parse(&std::fs::read_to_string(&out_path).unwrap()).unwrap();
+        assert_eq!(file.shards.len(), 2);
+        assert_eq!(file.shard(0).unwrap().events, 9);
+        assert_eq!(file.shard(1).unwrap().events, 10);
+
+        // Resume rejects a checkpoint from a different world (scale).
+        let resume_path = dir.join("foreign.ckpt").to_string_lossy().into_owned();
+        let foreign = CampaignCheckpoint {
+            version: CHECKPOINT_VERSION,
+            threads: 3,
+            checkpoint_every_nanos: 0,
+            config: ConfigDigest::from_config(&config),
+            extra: campaign_extra(
+                &ScanArgs {
+                    scale: "medium".into(),
+                    ..ScanArgs::default()
+                },
+                "scan",
+            ),
+            shards: vec![],
+        };
+        std::fs::write(&resume_path, foreign.to_canonical_json()).unwrap();
+        let args = ScanArgs {
+            resume: Some(resume_path.clone()),
+            ..ScanArgs::default()
+        };
+        let msg = match durable_setup(&args, "scan", &config, 2) {
+            Err(e) => e.to_string(),
+            Ok(_) => panic!("foreign-scale checkpoint accepted"),
+        };
+        assert!(msg.contains("campaign context differs"), "{msg}");
+
+        // …and a checkpoint from another command.
+        let other = CampaignCheckpoint {
+            extra: campaign_extra(&ScanArgs::default(), "mtu"),
+            ..foreign.clone()
+        };
+        std::fs::write(&resume_path, other.to_canonical_json()).unwrap();
+        assert!(durable_setup(&args, "scan", &config, 2).is_err());
+
+        // A matching checkpoint resumes, inheriting its shard count.
+        let matching = CampaignCheckpoint {
+            extra: campaign_extra(&ScanArgs::default(), "scan"),
+            checkpoint_every_nanos: 2_000_000_000,
+            ..foreign
+        };
+        std::fs::write(&resume_path, matching.to_canonical_json()).unwrap();
+        let (control, shards) = durable_setup(&args, "scan", &config, 8).unwrap();
+        assert_eq!(shards, 3, "resume inherits the recorded shard count");
+        assert!(control.resume.is_some());
+        assert_eq!(
+            control.checkpoint_every,
+            Some(iw_netsim::Duration::from_secs(2)),
+            "resume inherits the recorded capture cadence"
+        );
+
+        // Corrupted checkpoint bytes surface as a clean error.
+        std::fs::write(&resume_path, "{\"kind\":\"iwscan-campaign-checkpoint\",").unwrap();
+        assert!(durable_setup(&args, "scan", &config, 2).is_err());
+        let _ = std::fs::remove_file(&out_path);
+        let _ = std::fs::remove_file(&resume_path);
     }
 
     #[test]

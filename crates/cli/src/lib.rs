@@ -10,6 +10,7 @@
 
 pub mod args;
 pub mod commands;
+pub mod output;
 
 pub use args::{Cli, Command, ParseError};
 

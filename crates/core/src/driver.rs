@@ -3,6 +3,7 @@
 //! afterwards; results stay deterministic because every shard is an
 //! independent deterministic simulation).
 
+use crate::checkpoint::{CampaignCheckpoint, ConfigDigest, RunDisposition, ShardCheckpoint};
 use crate::results::{HostResult, MssVerdict, MtuResult, ProbeOutcome, Protocol, ScanSummary};
 use crate::scanner::{ScanConfig, Scanner};
 use iw_internet::population::{Population, PopulationFactory};
@@ -30,7 +31,39 @@ pub struct ScanOutput {
     pub telemetry: ScanTelemetry,
     /// Recorded wire traffic (empty unless `record_trace`).
     pub trace: Trace,
+    /// Checkpoint captures (periodic, kill-point and final), sorted by
+    /// `(shard, events)`.
+    pub checkpoints: Vec<ShardCheckpoint>,
+    /// How the run ended (kill/abort/divergence poison completion).
+    pub disposition: RunDisposition,
 }
+
+/// Durable-campaign controls: crash injection, periodic checkpoint
+/// capture, graceful abort and resume validation. The default is a plain
+/// uninterrupted run.
+#[derive(Clone, Default)]
+pub struct RunControl {
+    /// Stop each shard's event loop after this many events (0 = off).
+    /// This is the crash-injection hook: the loop breaks *between*
+    /// events, exactly as a `kill -9` between two event handlers would.
+    pub kill_after_events: u64,
+    /// Capture a checkpoint each time virtual time crosses a multiple of
+    /// this interval. A resumed run must inherit the interval from the
+    /// checkpoint so its captures land on identical boundaries.
+    pub checkpoint_every: Option<Duration>,
+    /// Graceful-shutdown deadline: past this virtual time the scanner
+    /// drains in-flight work and the run ends as [`RunDisposition::Aborted`].
+    pub abort_at: Option<Duration>,
+    /// A prior campaign checkpoint to resume: the run replays from event
+    /// zero and validates its state against the recorded barrier.
+    pub resume: Option<Arc<CampaignCheckpoint>>,
+    /// Invoked on every capture as it happens (the CLI persists the
+    /// assembled campaign file from here; called on shard threads).
+    pub on_checkpoint: Option<CheckpointSink>,
+}
+
+/// Checkpoint-capture callback: `(shard index, capture)`.
+pub type CheckpointSink = Arc<dyn Fn(u32, &ShardCheckpoint) + Send + Sync>;
 
 /// The observability products of a scan, merged across shards.
 #[derive(Debug, Clone, Default)]
@@ -73,6 +106,7 @@ pub struct ScanRunner {
     population: Arc<Population>,
     config: ScanConfig,
     shards: u32,
+    control: RunControl,
 }
 
 impl ScanRunner {
@@ -82,6 +116,7 @@ impl ScanRunner {
             config: ScanConfig::study(Protocol::Http, population.space_size(), 0),
             population: population.clone(),
             shards: 1,
+            control: RunControl::default(),
         }
     }
 
@@ -100,14 +135,37 @@ impl ScanRunner {
         self
     }
 
+    /// Install durable-campaign controls (checkpointing, crash injection,
+    /// graceful abort, resume).
+    pub fn control(mut self, control: RunControl) -> ScanRunner {
+        self.control = control;
+        self
+    }
+
     /// Run to completion and merge.
     pub fn run(self) -> ScanOutput {
+        // Resume pre-flight: the checkpoint must describe this very
+        // campaign, or the replay would diverge by construction. Fail
+        // before any replay work starts, with the offending field named.
+        if let Some(ckpt) = &self.control.resume {
+            let digest = ConfigDigest::from_config(&self.config);
+            if let Some(detail) = ckpt.config.first_mismatch(&digest) {
+                return diverged_output(detail);
+            }
+            if ckpt.threads != self.shards {
+                return diverged_output(format!(
+                    "checkpoint was taken with {} shard(s), this run has {}",
+                    ckpt.threads, self.shards
+                ));
+            }
+        }
         if self.shards == 1 {
-            return run_single(&self.population, self.config);
+            return run_single(&self.population, self.config, &self.control);
         }
         let threads = self.shards;
         let config = self.config;
         let population = self.population;
+        let control = self.control;
         let outputs: Vec<ScanOutput> = crossbeam::thread::scope(|scope| {
             let mut handles = Vec::new();
             for i in 0..threads {
@@ -120,7 +178,8 @@ impl ScanRunner {
                     shard_config.telemetry.monitor = None;
                 }
                 let pop = population.clone();
-                handles.push(scope.spawn(move |_| run_single(&pop, shard_config)));
+                let ctl = control.clone();
+                handles.push(scope.spawn(move |_| run_single(&pop, shard_config, &ctl)));
             }
             handles
                 .into_iter()
@@ -135,15 +194,36 @@ impl ScanRunner {
     }
 }
 
+/// The empty output of a run refused before it started.
+fn diverged_output(detail: String) -> ScanOutput {
+    ScanOutput {
+        results: Vec::new(),
+        open_ports: Vec::new(),
+        mtu_results: Vec::new(),
+        summary: ScanSummary::default(),
+        sim_stats: SimStats::default(),
+        duration: Duration::ZERO,
+        telemetry: ScanTelemetry::default(),
+        trace: Trace::default(),
+        checkpoints: Vec::new(),
+        disposition: RunDisposition::Diverged { detail },
+    }
+}
+
 /// Run one scan to completion on the current thread.
 #[deprecated(note = "use ScanRunner::new(&population).config(config).run()")]
 pub fn run_scan(population: &Arc<Population>, config: ScanConfig) -> ScanOutput {
     ScanRunner::new(population).config(config).run()
 }
 
-fn run_single(population: &Arc<Population>, config: ScanConfig) -> ScanOutput {
+fn run_single(
+    population: &Arc<Population>,
+    config: ScanConfig,
+    control: &RunControl,
+) -> ScanOutput {
     let seed = config.seed;
     let record_trace = config.record_trace;
+    let shard_index = config.shard.0;
     // The sim profiles its own hot path whenever span tracing is on.
     let profile = config.telemetry.record_spans;
     let scanner = Scanner::new(config);
@@ -158,15 +238,130 @@ fn run_single(population: &Arc<Population>, config: ScanConfig) -> ScanOutput {
         },
     );
     sim.kick_scanner(|s, now, fx| s.start(now, fx));
-    sim.run_to_completion();
+
+    // Stepwise event loop with the durable-campaign hooks. The replay
+    // barrier, the kill point and the periodic captures are all phrased
+    // in (event count, virtual time), so every run — uninterrupted,
+    // killed or resumed — walks the exact same sequence of states.
+    let barrier = control
+        .resume
+        .as_ref()
+        .and_then(|c| c.shard(shard_index))
+        .cloned();
+    let mut validated = barrier.is_none();
+    let every = control.checkpoint_every.map_or(0, |d| d.as_nanos());
+    let mut next_capture = every;
+    let abort_nanos = control.abort_at.map(|d| d.as_nanos());
+    let mut aborted = false;
+    let mut processed: u64 = 0;
+    let mut disposition = RunDisposition::Completed;
+    let mut checkpoints: Vec<ShardCheckpoint> = Vec::new();
+    loop {
+        if let Some(b) = &barrier {
+            if !validated && processed == b.events {
+                let now = sim.now();
+                let replayed = sim.scanner_mut().checkpoint(processed, now);
+                if replayed.canonical_json() != b.canonical_json() {
+                    disposition = RunDisposition::Diverged {
+                        detail: format!(
+                            "shard {shard_index}: replayed state at event {} does not match \
+                             the checkpoint (stale file or non-identical campaign?)",
+                            b.events
+                        ),
+                    };
+                    break;
+                }
+                validated = true;
+            }
+        }
+        if control.kill_after_events > 0 && processed >= control.kill_after_events {
+            // Crash injection: stop dead between two events, leaving only
+            // what the checkpoint callback persisted.
+            let now = sim.now();
+            let capture = sim.scanner_mut().checkpoint(processed, now);
+            if let Some(cb) = &control.on_checkpoint {
+                cb(shard_index, &capture);
+            }
+            checkpoints.push(capture);
+            disposition = RunDisposition::Killed { events: processed };
+            break;
+        }
+        if !sim.step() {
+            break;
+        }
+        processed += 1;
+        let now = sim.now();
+        if !aborted {
+            if let Some(deadline) = abort_nanos {
+                if now.as_nanos() >= deadline {
+                    aborted = true;
+                    disposition = RunDisposition::Aborted;
+                    sim.kick_scanner(|s, at, fx| s.begin_drain(at, fx));
+                }
+            }
+        }
+        if every > 0 {
+            while now.as_nanos() >= next_capture {
+                // Count the capture *before* taking it, so the captured
+                // counters include this tick; a resumed run repeats the
+                // same cadence and lands on the same values.
+                let capture = {
+                    let s = sim.scanner_mut();
+                    s.note_checkpoint_taken();
+                    s.checkpoint(processed, now)
+                };
+                if let Some(cb) = &control.on_checkpoint {
+                    cb(shard_index, &capture);
+                }
+                checkpoints.push(capture);
+                next_capture += every;
+            }
+        }
+    }
+    if let Some(b) = &barrier {
+        if !validated && disposition == RunDisposition::Completed {
+            disposition = RunDisposition::Diverged {
+                detail: format!(
+                    "shard {shard_index}: replay finished after {processed} events, before \
+                     the checkpoint barrier at event {}",
+                    b.events
+                ),
+            };
+        }
+    }
+    if matches!(
+        disposition,
+        RunDisposition::Completed | RunDisposition::Aborted
+    ) {
+        // Final capture (no counter: it adds no tick a resumed run would
+        // have to reproduce) so the persisted campaign file records the
+        // terminal state — exhausted, drained, all results in.
+        let now = sim.now();
+        let capture = sim.scanner_mut().checkpoint(processed, now);
+        if let Some(cb) = &control.on_checkpoint {
+            cb(shard_index, &capture);
+        }
+        checkpoints.push(capture);
+    }
+
     let end = sim.now();
     let duration = end - iw_netsim::Instant::ZERO;
     let stats = sim.stats();
     let trace = sim.trace().clone();
     let sim_tracer = sim.take_tracer();
-    harvest(sim.scanner_mut(), stats, duration, trace, sim_tracer, end)
+    harvest(
+        sim.scanner_mut(),
+        stats,
+        duration,
+        trace,
+        sim_tracer,
+        end,
+        checkpoints,
+        disposition,
+    )
 }
 
+#[allow(clippy::too_many_arguments)]
 fn harvest(
     scanner: &mut Scanner,
     sim_stats: SimStats,
@@ -174,6 +369,8 @@ fn harvest(
     trace: Trace,
     sim_tracer: Tracer,
     end: iw_netsim::Instant,
+    checkpoints: Vec<ShardCheckpoint>,
+    disposition: RunDisposition,
 ) -> ScanOutput {
     let mut results = scanner.results().to_vec();
     results.sort_by_key(|r| r.ip);
@@ -207,6 +404,8 @@ fn harvest(
         duration,
         telemetry,
         trace,
+        checkpoints,
+        disposition,
     }
 }
 
@@ -262,6 +461,8 @@ fn merge(outputs: Vec<ScanOutput>) -> ScanOutput {
     let mut duration = Duration::ZERO;
     let mut telemetry = ScanTelemetry::default();
     let mut trace = Trace::default();
+    let mut checkpoints = Vec::new();
+    let mut disposition = RunDisposition::Completed;
     for out in outputs {
         results.extend(out.results);
         open_ports.extend(out.open_ports);
@@ -277,11 +478,14 @@ fn merge(outputs: Vec<ScanOutput>) -> ScanOutput {
         telemetry.stream.merge(&out.telemetry.stream);
         telemetry.icmp.merge(&out.telemetry.icmp);
         trace.merge(&out.trace);
+        checkpoints.extend(out.checkpoints);
+        disposition = disposition.merge(out.disposition);
     }
     results.sort_by_key(|r| r.ip);
     open_ports.sort_unstable();
     open_ports.dedup();
     mtu_results.sort_by_key(|r| r.ip);
+    checkpoints.sort_by_key(|c| (c.shard, c.events, c.at_nanos));
     ScanOutput {
         results,
         open_ports,
@@ -291,6 +495,8 @@ fn merge(outputs: Vec<ScanOutput>) -> ScanOutput {
         duration,
         telemetry,
         trace,
+        checkpoints,
+        disposition,
     }
 }
 

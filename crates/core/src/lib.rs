@@ -36,6 +36,7 @@
 #![warn(missing_docs)]
 
 pub mod blacklist;
+pub mod checkpoint;
 pub mod cookie;
 pub mod driver;
 pub mod inference;
@@ -49,9 +50,13 @@ pub mod session;
 pub mod table;
 pub mod testbed;
 
+pub use checkpoint::{
+    CampaignCheckpoint, CheckpointError, ConfigDigest, RunDisposition, ShardCheckpoint,
+    CHECKPOINT_KIND, CHECKPOINT_VERSION,
+};
 #[allow(deprecated)]
 pub use driver::{run_scan, run_scan_sharded};
-pub use driver::{summarize, ScanOutput, ScanRunner, ScanTelemetry};
+pub use driver::{summarize, RunControl, ScanOutput, ScanRunner, ScanTelemetry};
 pub use iw_telemetry as telemetry;
 pub use results::{
     ErrorKind, ErrorKindCounts, HostResult, HostVerdict, MssVerdict, ProbeOutcome, Protocol,

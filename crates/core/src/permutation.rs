@@ -90,6 +90,32 @@ pub struct ShardIter {
     budget: u64,
 }
 
+impl ShardIter {
+    /// The resumable cursor: `(next, produced)` — the group element the
+    /// next call to [`Iterator::next`] will consider, and how many
+    /// elements have been consumed so far. Together with the shard spec
+    /// this pins the iterator's exact position, so a checkpointed scan
+    /// can be reconstructed mid-cycle (or a replay validated against the
+    /// recorded position).
+    pub fn cursor(&self) -> (u64, u64) {
+        (self.next, self.produced)
+    }
+
+    /// Move this iterator to a previously captured [`ShardIter::cursor`].
+    ///
+    /// Returns `false` (leaving the iterator untouched) when the cursor
+    /// is not a position this shard can occupy: `produced` past the
+    /// shard's budget, or `next` outside the group's element range.
+    pub fn seek(&mut self, next: u64, produced: u64) -> bool {
+        if produced > self.budget || next == 0 || next >= self.perm.p {
+            return false;
+        }
+        self.next = next;
+        self.produced = produced;
+        true
+    }
+}
+
 impl Iterator for ShardIter {
     type Item = u64;
 
@@ -163,6 +189,39 @@ mod tests {
             .filter(|w| w[1] == w[0] + 1 || w[0] == w[1] + 1)
             .count();
         assert!(adjacent < 5, "{adjacent} adjacent pairs in 1000 probes");
+    }
+
+    #[test]
+    fn cursor_seek_resumes_mid_cycle() {
+        let perm = Permutation::new(10_007, 11);
+        for shard_count in [1u32, 4] {
+            for index in 0..shard_count {
+                let mut original = perm.shard(index, shard_count);
+                // Consume an arbitrary prefix, capture the cursor …
+                let prefix: Vec<u64> = original.by_ref().take(137).collect();
+                let (next, produced) = original.cursor();
+                // … then rebuild a fresh iterator at that position.
+                let mut resumed = perm.shard(index, shard_count);
+                assert!(resumed.seek(next, produced));
+                assert_eq!(
+                    resumed.collect::<Vec<u64>>(),
+                    original.collect::<Vec<u64>>(),
+                    "shard {index}/{shard_count} tail must continue identically"
+                );
+                assert!(!prefix.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn seek_rejects_impossible_cursors() {
+        let perm = Permutation::new(1000, 3);
+        let mut it = perm.shard(0, 2);
+        let before = it.cursor();
+        assert!(!it.seek(0, 1), "group element 0 does not exist");
+        assert!(!it.seek(perm.modulus(), 1), "next must be < p");
+        assert!(!it.seek(1, u64::MAX), "produced past the budget");
+        assert_eq!(it.cursor(), before, "failed seeks leave the cursor");
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! fashion" extension the paper adds to ZMap (§3.4).
 
 use crate::blacklist::ScanFilter;
+use crate::checkpoint::ShardCheckpoint;
 use crate::cookie::CookieKey;
 use crate::permutation::{Permutation, ShardIter};
 use crate::rate::TokenBucket;
@@ -391,6 +392,16 @@ impl TargetIter {
             TargetIter::List(iter) => iter.next(),
         }
     }
+
+    /// Resumable position: the permutation cursor ([`ShardIter::cursor`]),
+    /// or `(remaining, 0)` for explicit lists. Either way the pair pins
+    /// the generator's exact state for checkpoint barrier comparison.
+    fn cursor(&self) -> (u64, u64) {
+        match self {
+            TargetIter::Perm(iter) => iter.cursor(),
+            TargetIter::List(iter) => (iter.len() as u64, 0),
+        }
+    }
 }
 
 /// Timer token for the pacing tick.
@@ -464,6 +475,11 @@ struct Metrics {
     icmp_messages: CounterId,
     icmp_unreachable_codes: [CounterId; 4],
     icmp_frag_needed: CounterId,
+    icmp_source_quench: CounterId,
+    /// Durable-campaign accounting. Shard-scoped: capture cadence and
+    /// drain pressure depend on per-shard event interleaving.
+    checkpoints_taken: CounterId,
+    checkpoint_drain_forced: CounterId,
     /// Flight-recorder dumps (sessions that ended in an error).
     flight_dumps: CounterId,
     /// Span-tracer accounting, folded in at harvest.
@@ -507,6 +523,9 @@ impl Metrics {
         let icmp_unreachable_codes =
             manifest::ICMP_UNREACHABLE_CODE_COUNTERS.map(|def| r.register_counter(def));
         let icmp_frag_needed = r.register_counter(&manifest::SCAN_ICMP_FRAG_NEEDED);
+        let icmp_source_quench = r.register_counter(&manifest::SCAN_ICMP_SOURCE_QUENCH);
+        let checkpoints_taken = r.register_counter(&manifest::SCAN_CHECKPOINTS_TAKEN);
+        let checkpoint_drain_forced = r.register_counter(&manifest::SCAN_CHECKPOINT_DRAIN_FORCED);
         let flight_dumps = r.register_counter(&manifest::SCAN_FLIGHT_DUMPS);
         let trace_spans_scan = r.register_counter(&manifest::TRACE_SPANS_SCAN);
         let trace_spans_shard = r.register_counter(&manifest::TRACE_SPANS_SHARD);
@@ -541,6 +560,9 @@ impl Metrics {
             icmp_messages,
             icmp_unreachable_codes,
             icmp_frag_needed,
+            icmp_source_quench,
+            checkpoints_taken,
+            checkpoint_drain_forced,
             flight_dumps,
             trace_spans_scan,
             trace_spans_shard,
@@ -847,6 +869,83 @@ impl Scanner {
     /// Take the captured progress status lines.
     pub fn take_status_lines(&mut self) -> Vec<String> {
         std::mem::take(&mut self.status_lines)
+    }
+
+    /// Capture this shard's observable state as a [`ShardCheckpoint`]
+    /// (a pure read — the driver pairs it with its event count). The
+    /// capture is the durable-campaign barrier token: a resumed replay
+    /// reaching `events` must reproduce these bytes exactly.
+    pub fn checkpoint(&self, events: u64, now: Instant) -> ShardCheckpoint {
+        let (cursor_next, cursor_produced) = self.targets.cursor();
+        let mut pending: Vec<(u32, u32)> = self
+            .pending
+            .iter()
+            .map(|(ip, retries)| (ip, *retries))
+            .collect();
+        pending.sort_unstable();
+        let mut sessions: Vec<u32> = self.sessions.iter().map(|(ip, _)| ip).collect();
+        sessions.extend(self.mtu_states.iter().map(|(ip, _)| ip));
+        sessions.sort_unstable();
+        let snap = self.metrics.registry.snapshot();
+        let counters: Vec<(String, u64)> = snap
+            .counters
+            .iter()
+            .map(|(name, (_, value))| (name.clone(), *value))
+            .collect();
+        ShardCheckpoint {
+            shard: self.config.shard.0,
+            events,
+            at_nanos: now.as_nanos(),
+            cursor_next,
+            cursor_produced,
+            exhausted: self.exhausted,
+            targets_sent: self.targets_sent,
+            pending,
+            sessions,
+            results_recorded: (self.results.len() + self.open_ports.len() + self.mtu_results.len())
+                as u64,
+            stream_records: self.sink.len() as u64,
+            counters,
+        }
+    }
+
+    /// Count one periodic checkpoint capture. The driver calls this
+    /// *before* [`Self::checkpoint`] on periodic ticks so the captured
+    /// counters include the capture producing them; kill and barrier
+    /// validation captures do not count — a resumed run only has to
+    /// reproduce the periodic cadence to stay byte-identical.
+    pub fn note_checkpoint_taken(&mut self) {
+        self.metrics.registry.inc(self.metrics.checkpoints_taken);
+    }
+
+    /// Graceful-shutdown drain: stop target generation, drop pending SYN
+    /// retries and force-conclude every live session (recorded as
+    /// [`ErrorKind::CollectTimeout`]) so the event loop winds down on its
+    /// own. Every state entry cut short counts into
+    /// `scan.checkpoint.drain_forced`.
+    pub fn begin_drain(&mut self, now: Instant, fx: &mut Effects) {
+        self.exhausted = true;
+        self.pending.retain(|_, _| false);
+        let mut ips: Vec<u32> = self.sessions.iter().map(|(ip, _)| ip).collect();
+        ips.sort_unstable();
+        for ip in ips {
+            let Some(session) = self.sessions.get_mut(ip) else {
+                continue;
+            };
+            let out = session.force_conclude(ErrorKind::CollectTimeout);
+            self.metrics
+                .registry
+                .inc(self.metrics.checkpoint_drain_forced);
+            self.apply_session_output(ip, out, now, fx);
+        }
+        let mut mtu_ips: Vec<u32> = self.mtu_states.iter().map(|(ip, _)| ip).collect();
+        mtu_ips.sort_unstable();
+        for ip in mtu_ips {
+            self.mtu_states.remove(ip);
+            self.metrics
+                .registry
+                .inc(self.metrics.checkpoint_drain_forced);
+        }
     }
 
     fn sample_admits(&self, ip: u32) -> bool {
@@ -1436,6 +1535,12 @@ impl Scanner {
                 self.metrics.registry.inc(self.metrics.icmp_frag_needed);
             }
             icmp::Message::EchoReply { .. } => self.icmp_harvest.note_echo_reply(ip),
+            icmp::Message::SourceQuench => {
+                // Advisory rate-limiting signature (RFC 6633 deprecates
+                // acting on it): classify, never fast-fail the target.
+                self.icmp_harvest.note_source_quench(ip);
+                self.metrics.registry.inc(self.metrics.icmp_source_quench);
+            }
             _ => self.icmp_harvest.note_other(ip),
         }
         if self.config.protocol != Protocol::IcmpMtu {

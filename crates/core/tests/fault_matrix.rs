@@ -226,6 +226,64 @@ fn unreachable_cohort_fast_fails_pending_targets() {
 }
 
 #[test]
+fn source_quench_cohort_is_classified_not_fast_failed() {
+    let space = 64u32;
+    let quenched = |ip: u32| ip.is_multiple_of(4); // 25 % cohort
+    let mut config = scan_config(space, 0x5c);
+    config.resilience = ResilienceConfig::hardened();
+    let seed = config.seed;
+    let scanner = Scanner::new(config);
+    let mut sim = Sim::new(
+        scanner,
+        |ip| {
+            let host: Box<dyn Endpoint> = if quenched(ip) {
+                // A rate-limiting router speaking for a silent target:
+                // every SYN draws a burst of quenches, never a SYN-ACK.
+                Box::new(ChaosHost::new(
+                    Ipv4Addr::from_u32(ip),
+                    ChaosMode::SourceQuench { burst: 3 },
+                    0x5c,
+                ))
+            } else {
+                web_host(ip, 0x5c)
+            };
+            Some((host, LinkConfig::testbed()))
+        },
+        SimConfig {
+            seed,
+            ..SimConfig::default()
+        },
+    );
+    sim.kick_scanner(|s, now, fx| s.start(now, fx));
+    sim.run_to_completion();
+    let scanner = sim.scanner_mut();
+    let metrics = scanner.metrics_snapshot();
+    let harvest = scanner.take_icmp_harvest();
+    let cohort = (0..space).filter(|ip| quenched(*ip)).count() as u64;
+    // 3 SYNs (initial + 2 retries) × burst 3 = 9 quenches per target.
+    assert_eq!(metrics.counter("scan.icmp.source_quench"), cohort * 9);
+    // Source quench is advisory (RFC 6633 deprecates reacting to it):
+    // the scanner classifies, it must NOT fast-fail the target…
+    assert_eq!(metrics.counter("scan.icmp_unreachable"), 0);
+    // …so the quenched cohort burns its full SYN-retry budget.
+    assert_eq!(metrics.counter("scan.syn_retries"), cohort * 2);
+    // Nine messages per source crosses the rate-limiting signature
+    // threshold: every cohort member is flagged, nobody else is.
+    for ip in 0..space {
+        assert_eq!(harvest.is_rate_limited(ip), quenched(ip), "ip {ip}");
+    }
+    assert_eq!(harvest.rate_limited_sources(), cohort);
+    // Every harvested message was a quench.
+    assert_eq!(harvest.subtype_rates_per_10k(), [0, 0, 0, 10_000, 0]);
+    // The responsive cohort is still measured perfectly.
+    let mut results = scanner.results().to_vec();
+    results.sort_by_key(|r| r.ip);
+    assert_eq!(results.len(), (space as usize) - cohort as usize);
+    let acc = accuracy(&results);
+    assert!((acc - 1.0).abs() < f64::EPSILON, "accuracy {acc}");
+}
+
+#[test]
 fn mid_session_icmp_concludes_live_sessions() {
     let space = 32u32;
     let mut config = scan_config(space, 0x1c4);

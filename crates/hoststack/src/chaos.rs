@@ -39,6 +39,15 @@ pub enum ChaosMode {
         /// The unreachable code.
         code: u8,
     },
+    /// Answer every SYN with a burst of ICMP source-quench messages and
+    /// never complete the handshake — an ICMP-rate-limited router
+    /// speaking for a silent target. Source quench is advisory, so the
+    /// scanner must NOT fast-fail the target; the burst feeds the
+    /// harvest's rate-limiting signature instead.
+    SourceQuench {
+        /// Quench messages emitted per received SYN.
+        burst: u32,
+    },
 }
 
 /// Per-connection state for the delayed-injection modes.
@@ -118,6 +127,23 @@ impl ChaosHost {
         fx.send(datagram);
     }
 
+    fn send_source_quench(&mut self, peer: Ipv4Addr, fx: &mut Effects) {
+        let l4 = icmp::Message::SourceQuench.emit();
+        let datagram = ipv4::build_datagram(
+            &ipv4::Repr {
+                src_addr: self.ip,
+                dst_addr: peer,
+                protocol: IpProtocol::Icmp,
+                payload_len: l4.len(),
+                ttl: 64,
+            },
+            self.ip_ident,
+            &l4,
+        );
+        self.ip_ident = self.ip_ident.wrapping_add(1);
+        fx.send(datagram);
+    }
+
     fn send_syn_ack(&mut self, peer: Ipv4Addr, seg: &tcp::Repr, isn: u32, fx: &mut Effects) {
         let syn_ack = tcp::Repr {
             src_port: seg.dst_port,
@@ -144,6 +170,12 @@ impl ChaosHost {
                 // of these is the cheapest way to pin the session table.
                 let isn = self.isn(peer.to_u32(), seg.src_port, seg.dst_port);
                 self.send_syn_ack(peer, seg, isn, fx);
+                fx.finished = true;
+            }
+            ChaosMode::SourceQuench { burst } => {
+                for _ in 0..burst {
+                    self.send_source_quench(peer, fx);
+                }
                 fx.finished = true;
             }
             ChaosMode::SynAckThenRst { after } | ChaosMode::SynAckThenIcmp { after, .. } => {
@@ -297,6 +329,23 @@ mod tests {
         assert_eq!(rst.seq, syn_ack.seq.wrapping_add(1));
         assert_eq!(rst.dst_port, 40000);
         assert!(fx2.finished);
+    }
+
+    #[test]
+    fn source_quench_mode_bursts_and_never_completes() {
+        let mut host = ChaosHost::new(HOSTIP, ChaosMode::SourceQuench { burst: 3 }, 7);
+        let mut fx = Effects::default();
+        host.on_packet(&syn_datagram(40000), Instant::ZERO, &mut fx);
+        assert_eq!(fx.tx.len(), 3);
+        for pkt in &fx.tx {
+            let ip = ipv4::Packet::new_checked(&pkt[..]).unwrap();
+            assert_eq!(
+                icmp::Message::parse(ip.payload()).unwrap(),
+                icmp::Message::SourceQuench
+            );
+        }
+        assert!(fx.timers.is_empty());
+        assert!(fx.finished);
     }
 
     #[test]

@@ -23,6 +23,10 @@ pub const RATE_LIMIT_SIGNATURE_THRESHOLD: u64 = 8;
 /// How many top talkers the manifest section lists.
 const TOP_TALKERS: usize = 5;
 
+/// How many rate-limited source addresses the manifest section lists
+/// (the full count is always in `rate_limited_sources`).
+const RATE_LIMITED_LISTED: usize = 16;
+
 /// Classified, retained ICMP side-traffic. See module docs.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct IcmpHarvest {
@@ -40,6 +44,9 @@ pub struct IcmpHarvest {
     pub frag_needed: u64,
     /// Echo replies (MTU-probe mode answers).
     pub echo_replies: u64,
+    /// Source-quench messages (type 4): routers/hosts asking the sender
+    /// to slow down — the classic rate-limiting signature.
+    pub source_quench: u64,
     /// Anything else (echo requests, unknown types).
     pub other: u64,
     /// Messages per source address.
@@ -82,6 +89,12 @@ impl IcmpHarvest {
         self.note_source(src);
     }
 
+    /// Note a source-quench from `src`.
+    pub fn note_source_quench(&mut self, src: u32) {
+        self.source_quench += 1;
+        self.note_source(src);
+    }
+
     /// Note any other ICMP message from `src`.
     pub fn note_other(&mut self, src: u32) {
         self.other += 1;
@@ -111,6 +124,36 @@ impl IcmpHarvest {
             .count() as u64
     }
 
+    /// Does `target` carry the rate-limiting signature? In the simulated
+    /// internet ICMP carries no quoted datagram, so the message source
+    /// *is* the target it speaks for.
+    pub fn is_rate_limited(&self, target: u32) -> bool {
+        self.per_source
+            .get(&target)
+            .is_some_and(|c| *c >= RATE_LIMIT_SIGNATURE_THRESHOLD)
+    }
+
+    /// Per-subtype share of all harvested messages, in basis points of
+    /// 10 000 (integer arithmetic — byte-stable). Order: unreachable
+    /// (all codes), frag-needed, echo-reply, source-quench, other.
+    pub fn subtype_rates_per_10k(&self) -> [u64; 5] {
+        if self.messages == 0 {
+            return [0; 5];
+        }
+        let unreachable = self.unreachable_net
+            + self.unreachable_host
+            + self.unreachable_port
+            + self.unreachable_other;
+        [
+            unreachable,
+            self.frag_needed,
+            self.echo_replies,
+            self.source_quench,
+            self.other,
+        ]
+        .map(|n| n * 10_000 / self.messages)
+    }
+
     /// True when no ICMP was harvested.
     pub fn is_empty(&self) -> bool {
         self.messages == 0
@@ -125,6 +168,7 @@ impl IcmpHarvest {
         self.unreachable_other += other.unreachable_other;
         self.frag_needed += other.frag_needed;
         self.echo_replies += other.echo_replies;
+        self.source_quench += other.source_quench;
         self.other += other.other;
         for (src, c) in &other.per_source {
             *self.per_source.entry(*src).or_insert(0) += c;
@@ -152,6 +196,8 @@ impl IcmpHarvest {
         out.push(',');
         push_u64_field(&mut out, "echo_replies", self.echo_replies);
         out.push(',');
+        push_u64_field(&mut out, "source_quench", self.source_quench);
+        out.push(',');
         push_u64_field(&mut out, "other", self.other);
         out.push(',');
         push_u64_field(&mut out, "sources", self.sources() as u64);
@@ -164,6 +210,41 @@ impl IcmpHarvest {
             self.rate_limited_sources(),
         );
         out.push(',');
+        let rates = self.subtype_rates_per_10k();
+        push_key(&mut out, "rates_per_10k");
+        out.push('{');
+        push_u64_field(&mut out, "unreachable", rates[0]);
+        out.push(',');
+        push_u64_field(&mut out, "frag_needed", rates[1]);
+        out.push(',');
+        push_u64_field(&mut out, "echo_replies", rates[2]);
+        out.push(',');
+        push_u64_field(&mut out, "source_quench", rates[3]);
+        out.push(',');
+        push_u64_field(&mut out, "other", rates[4]);
+        out.push_str("},");
+        push_key(&mut out, "rate_limited");
+        out.push('[');
+        let limited = self
+            .per_source
+            .iter()
+            .filter(|(_, c)| **c >= RATE_LIMIT_SIGNATURE_THRESHOLD)
+            .map(|(s, _)| *s);
+        for (i, src) in limited.take(RATE_LIMITED_LISTED).enumerate() {
+            use std::fmt::Write;
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\"{}.{}.{}.{}\"",
+                (src >> 24) & 0xff,
+                (src >> 16) & 0xff,
+                (src >> 8) & 0xff,
+                src & 0xff
+            );
+        }
+        out.push_str("],");
         push_key(&mut out, "top_talkers");
         out.push('[');
         let mut talkers: Vec<(u32, u64)> = self.per_source.iter().map(|(s, c)| (*s, *c)).collect();
@@ -211,6 +292,34 @@ mod tests {
         );
         assert_eq!(h.messages, 4);
         assert_eq!(h.sources(), 2);
+    }
+
+    #[test]
+    fn source_quench_classification_and_rates() {
+        let mut h = IcmpHarvest::default();
+        for _ in 0..RATE_LIMIT_SIGNATURE_THRESHOLD {
+            h.note_source_quench(0x0a00_0009);
+        }
+        h.note_unreachable(0x0a00_000a, 1);
+        h.note_source_quench(0x0a00_000a);
+        assert_eq!(h.source_quench, RATE_LIMIT_SIGNATURE_THRESHOLD + 1);
+        assert_eq!(h.messages, RATE_LIMIT_SIGNATURE_THRESHOLD + 2);
+        // Per-target flag: only the quench-flooded source qualifies.
+        assert!(h.is_rate_limited(0x0a00_0009));
+        assert!(!h.is_rate_limited(0x0a00_000a));
+        assert!(!h.is_rate_limited(0x0a00_00ff));
+        // Rates are integer basis points of 10k and sum to ≤ 10_000.
+        let rates = h.subtype_rates_per_10k();
+        assert_eq!(rates[0], 10_000 / 10); // 1 unreachable of 10 messages
+        assert_eq!(rates[3], 9 * 10_000 / 10);
+        assert!(rates.iter().sum::<u64>() <= 10_000);
+        let json = h.section_json();
+        assert!(json.contains("\"source_quench\":9"), "{json}");
+        assert!(
+            json.contains("\"rates_per_10k\":{\"unreachable\":1000,"),
+            "{json}"
+        );
+        assert!(json.contains("\"rate_limited\":[\"10.0.0.9\"]"), "{json}");
     }
 
     #[test]

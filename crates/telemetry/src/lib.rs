@@ -62,6 +62,7 @@ pub mod trace;
 
 pub use events::{EventLog, EventRecord, OutcomeKind, SessionEvent};
 pub use harvest::IcmpHarvest;
+pub use json::{parse_json, JsonError, JsonValue};
 pub use manifest::{MetricDef, MetricKind};
 pub use monitor::{BufferSink, ProgressMonitor, ProgressSample, StatusSink, StdoutSink};
 pub use recorder::{FlightDump, FlightEntry, FlightRecorder, DEFAULT_RING_CAPACITY};

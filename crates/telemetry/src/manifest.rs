@@ -195,6 +195,23 @@ pub const SCAN_ICMP_UNREACHABLE_OTHER: MetricDef =
 /// Fragmentation-needed messages (RFC 1191 path-MTU signal).
 pub const SCAN_ICMP_FRAG_NEEDED: MetricDef =
     MetricDef::counter("scan.icmp.frag_needed", Scope::Scan);
+/// Source-quench messages (type 4): the classic rate-limiting /
+/// congestion back-pressure signature ("Hidden Treasures").
+pub const SCAN_ICMP_SOURCE_QUENCH: MetricDef =
+    MetricDef::counter("scan.icmp.source_quench", Scope::Scan);
+
+// ---------------------------------------------------------------------------
+// Durable campaigns (checkpoint/resume). When a checkpoint fires is a
+// per-shard scheduling fact (each shard crosses virtual-time boundaries
+// on its own event stream), so these stay `Shard` despite the `scan.`
+// name — same continuity argument as `scan.sessions.evicted`.
+
+/// Periodic campaign checkpoints this shard captured.
+pub const SCAN_CHECKPOINTS_TAKEN: MetricDef =
+    MetricDef::counter("scan.checkpoint.taken", Scope::Shard);
+/// Live sessions force-concluded by a graceful-shutdown drain.
+pub const SCAN_CHECKPOINT_DRAIN_FORCED: MetricDef =
+    MetricDef::counter("scan.checkpoint.drain_forced", Scope::Shard);
 
 // ---------------------------------------------------------------------------
 // Flight recorder and span tracing.
@@ -283,7 +300,7 @@ pub const ICMP_UNREACHABLE_CODE_COUNTERS: [&MetricDef; 4] = [
 ];
 
 /// Every declared metric. Order matches declaration order above.
-pub const ALL: [&MetricDef; 46] = [
+pub const ALL: [&MetricDef; 49] = [
     &SCAN_TARGETS_SENT,
     &SCAN_SYNACKS_VALIDATED,
     &SCAN_REFUSED,
@@ -318,6 +335,9 @@ pub const ALL: [&MetricDef; 46] = [
     &SCAN_ICMP_UNREACHABLE_PORT,
     &SCAN_ICMP_UNREACHABLE_OTHER,
     &SCAN_ICMP_FRAG_NEEDED,
+    &SCAN_ICMP_SOURCE_QUENCH,
+    &SCAN_CHECKPOINTS_TAKEN,
+    &SCAN_CHECKPOINT_DRAIN_FORCED,
     &SCAN_FLIGHT_DUMPS,
     &TRACE_SPANS_SCAN,
     &TRACE_SPANS_SHARD,

@@ -39,6 +39,10 @@ pub enum Message {
         /// The unreachable code (0 = net, 1 = host, 3 = port, ...).
         code: u8,
     },
+    /// Source Quench (type 4 code 0): a router or host asking the sender
+    /// to slow down. Deprecated on the real internet (RFC 6633) but alive
+    /// as a rate-limiting signature, so the harvest classifies it.
+    SourceQuench,
 }
 
 /// Fixed ICMP header length.
@@ -53,7 +57,9 @@ impl Message {
             }
             // Errors carry 8 bytes of the offending datagram in real life;
             // we emit the header only (parsers must not rely on the quote).
-            Message::FragNeeded { .. } | Message::DstUnreachable { .. } => HEADER_LEN,
+            Message::FragNeeded { .. } | Message::DstUnreachable { .. } | Message::SourceQuench => {
+                HEADER_LEN
+            }
         }
     }
 
@@ -88,6 +94,9 @@ impl Message {
                 buf[0] = 3;
                 buf[1] = *code;
             }
+            Message::SourceQuench => {
+                buf[0] = 4;
+            }
         }
         let sum = checksum::checksum(buf);
         buf[2..4].copy_from_slice(&sum.to_be_bytes());
@@ -118,6 +127,7 @@ impl Message {
                 mtu: u16::from_be_bytes([data[6], data[7]]),
             }),
             (3, c) => Ok(Message::DstUnreachable { code: c }),
+            (4, 0) => Ok(Message::SourceQuench),
             _ => Err(Error::Malformed),
         }
     }
@@ -150,6 +160,20 @@ mod tests {
     fn unreachable_round_trip() {
         let msg = Message::DstUnreachable { code: 1 };
         assert_eq!(Message::parse(&msg.emit()).unwrap(), msg);
+    }
+
+    #[test]
+    fn source_quench_round_trip() {
+        let msg = Message::SourceQuench;
+        let buf = msg.emit();
+        assert_eq!(buf.len(), HEADER_LEN);
+        assert_eq!(buf[0], 4);
+        assert_eq!(Message::parse(&buf).unwrap(), msg);
+        // A non-zero code is not a source quench.
+        let mut bad = vec![4u8, 1, 0, 0, 0, 0, 0, 0];
+        let s = checksum::checksum(&bad);
+        bad[2..4].copy_from_slice(&s.to_be_bytes());
+        assert_eq!(Message::parse(&bad).unwrap_err(), Error::Malformed);
     }
 
     #[test]
