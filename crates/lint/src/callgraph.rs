@@ -1,0 +1,352 @@
+//! Approximate workspace call graph.
+//!
+//! Resolution is name-based, not type-based — good enough to answer
+//! "can the timer-wheel hot path reach an allocation?" without a full
+//! type checker. Three call shapes are recognized in function bodies:
+//!
+//! * qualified: `Owner::name(` (with `Self` mapped to the current
+//!   impl owner),
+//! * method: `.name(`,
+//! * free: `name(` (keywords and macro invocations `name!` excluded).
+//!
+//! A call site resolves to candidate functions by name, preferring the
+//! same file, then the same crate, then anywhere in the workspace.
+//! Test functions are excluded on both ends. The graph is deterministic
+//! (BTree maps, sorted edges) so `--graph dot` output is byte-stable.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::items::FnItem;
+use crate::lexer::{Kind, Tok};
+
+/// Keywords and builtins that look like free calls but are not.
+const NOT_CALLS: &[&str] = &[
+    "if", "while", "for", "match", "return", "fn", "let", "loop", "else", "impl", "use", "mod",
+    "pub", "in", "as", "move", "ref", "mut", "break", "continue", "where", "unsafe", "async",
+    "await", "dyn", "struct", "enum", "trait", "type", "const", "static", "crate", "super", "self",
+    "Self", "Some", "Ok", "Err", "None", "Box", "Vec", "String",
+];
+
+/// One resolved edge: caller index → callee index (into the fn list).
+pub type Edge = (usize, usize);
+
+/// The workspace call graph over a flat list of [`FnItem`]s.
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    /// Adjacency: for each fn index, the sorted set of callee indices.
+    pub out: Vec<Vec<usize>>,
+}
+
+/// A raw call site found in a body, before resolution.
+#[derive(Debug)]
+enum CallSite {
+    Qualified { owner: String, name: String },
+    Method { name: String },
+    Free { name: String },
+}
+
+/// Scan one body's token span for call sites.
+fn call_sites(tokens: &[Tok], span: (usize, usize), self_owner: Option<&str>) -> Vec<CallSite> {
+    let (start, end) = span;
+    let mut out = Vec::new();
+    let mut i = start;
+    while i < end.min(tokens.len()) {
+        let t = &tokens[i];
+        if t.kind == Kind::Ident && tokens.get(i + 1).is_some_and(|n| n.is_punct('(')) {
+            // `name(` — decide which shape it is by looking back.
+            let prev = if i > start { tokens.get(i - 1) } else { None };
+            let prev2 = if i > start + 1 {
+                tokens.get(i - 2)
+            } else {
+                None
+            };
+            let prev3 = if i > start + 2 {
+                tokens.get(i - 3)
+            } else {
+                None
+            };
+            if prev.is_some_and(|p| p.is_punct('.')) {
+                out.push(CallSite::Method {
+                    name: t.text.clone(),
+                });
+            } else if prev.is_some_and(|p| p.is_punct(':'))
+                && prev2.is_some_and(|p| p.is_punct(':'))
+            {
+                if let Some(owner) = prev3.filter(|o| o.kind == Kind::Ident) {
+                    let owner = if owner.text == "Self" {
+                        self_owner.unwrap_or("Self").to_owned()
+                    } else {
+                        owner.text.clone()
+                    };
+                    out.push(CallSite::Qualified {
+                        owner,
+                        name: t.text.clone(),
+                    });
+                }
+            } else if !NOT_CALLS.contains(&t.text.as_str()) {
+                out.push(CallSite::Free {
+                    name: t.text.clone(),
+                });
+            }
+        } else if t.kind == Kind::Ident && tokens.get(i + 1).is_some_and(|n| n.is_punct('!')) {
+            // Macro invocation: skip the bang so `name!(` is not a call.
+            i += 2;
+            continue;
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Crate name (`crates/<name>/…`) of a rel path, or the path itself.
+fn crate_of(rel_path: &str) -> &str {
+    let mut parts = rel_path.split('/');
+    match (parts.next(), parts.next()) {
+        (Some("crates"), Some(name)) => name,
+        _ => rel_path,
+    }
+}
+
+impl CallGraph {
+    /// Build the graph. `fns` is the flat workspace fn list;
+    /// `file_tokens[f.file]` and `file_paths[f.file]` give each fn's
+    /// token stream and rel path.
+    pub fn build(fns: &[FnItem], file_tokens: &[&[Tok]], file_paths: &[&str]) -> CallGraph {
+        // Resolution indices. Method calls resolve by bare name; the
+        // others by (owner, name) / name.
+        let mut by_method: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        let mut by_qual: BTreeMap<(&str, &str), Vec<usize>> = BTreeMap::new();
+        let mut by_free: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        for (idx, f) in fns.iter().enumerate() {
+            if f.is_test {
+                continue;
+            }
+            by_method.entry(&f.name).or_default().push(idx);
+            match &f.owner {
+                Some(o) => {
+                    by_qual.entry((o, &f.name)).or_default().push(idx);
+                }
+                None => {
+                    by_free.entry(&f.name).or_default().push(idx);
+                }
+            }
+        }
+        let prefer = |cands: &[usize], caller: &FnItem| -> Vec<usize> {
+            let same_file: Vec<usize> = cands
+                .iter()
+                .copied()
+                .filter(|&c| fns[c].file == caller.file)
+                .collect();
+            if !same_file.is_empty() {
+                return same_file;
+            }
+            let caller_crate = crate_of(file_paths[caller.file]);
+            let same_crate: Vec<usize> = cands
+                .iter()
+                .copied()
+                .filter(|&c| crate_of(file_paths[fns[c].file]) == caller_crate)
+                .collect();
+            if !same_crate.is_empty() {
+                return same_crate;
+            }
+            cands.to_vec()
+        };
+        let mut out: Vec<Vec<usize>> = vec![Vec::new(); fns.len()];
+        for (idx, f) in fns.iter().enumerate() {
+            if f.is_test {
+                continue;
+            }
+            let Some(span) = f.body else { continue };
+            let tokens = file_tokens[f.file];
+            let mut callees: BTreeSet<usize> = BTreeSet::new();
+            for site in call_sites(tokens, span, f.owner.as_deref()) {
+                let resolved: Vec<usize> = match &site {
+                    CallSite::Qualified { owner, name } => by_qual
+                        .get(&(owner.as_str(), name.as_str()))
+                        .map(|c| prefer(c, f))
+                        .unwrap_or_default(),
+                    CallSite::Method { name } => by_method
+                        .get(name.as_str())
+                        .map(|c| prefer(c, f))
+                        .unwrap_or_default(),
+                    CallSite::Free { name } => by_free
+                        .get(name.as_str())
+                        .map(|c| prefer(c, f))
+                        .unwrap_or_default(),
+                };
+                for r in resolved {
+                    if r != idx {
+                        callees.insert(r);
+                    }
+                }
+            }
+            out[idx] = callees.into_iter().collect();
+        }
+        CallGraph { out }
+    }
+
+    /// BFS from `roots` (fn indices), skipping `boundary` fns entirely
+    /// (they are visited but not expanded). Returns, for each reached
+    /// fn, its predecessor on a shortest path (`usize::MAX` for roots).
+    pub fn reach(
+        &self,
+        roots: &[usize],
+        boundary: &dyn Fn(usize) -> bool,
+    ) -> BTreeMap<usize, usize> {
+        let mut parent: BTreeMap<usize, usize> = BTreeMap::new();
+        let mut queue: std::collections::VecDeque<usize> = std::collections::VecDeque::new();
+        for &r in roots {
+            if parent.insert(r, usize::MAX).is_none() {
+                queue.push_back(r);
+            }
+        }
+        while let Some(n) = queue.pop_front() {
+            if boundary(n) && !matches!(parent.get(&n), Some(&usize::MAX)) {
+                continue;
+            }
+            for &m in &self.out[n] {
+                if let std::collections::btree_map::Entry::Vacant(e) = parent.entry(m) {
+                    e.insert(n);
+                    queue.push_back(m);
+                }
+            }
+        }
+        parent
+    }
+
+    /// Graphviz DOT rendering with `path::qname` node labels.
+    pub fn to_dot(&self, fns: &[FnItem], file_paths: &[&str]) -> String {
+        let label = |i: usize| format!("{}::{}", file_paths[fns[i].file], fns[i].qname());
+        let mut s =
+            String::from("digraph callgraph {\n  rankdir=LR;\n  node [shape=box, fontsize=10];\n");
+        for (i, f) in fns.iter().enumerate() {
+            if f.is_test || (self.out[i].is_empty() && !self.out.iter().any(|o| o.contains(&i))) {
+                continue;
+            }
+            s.push_str(&format!("  \"{}\";\n", label(i)));
+        }
+        for (i, callees) in self.out.iter().enumerate() {
+            if fns[i].is_test {
+                continue;
+            }
+            for &c in callees {
+                s.push_str(&format!("  \"{}\" -> \"{}\";\n", label(i), label(c)));
+            }
+        }
+        s.push_str("}\n");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::items::extract;
+    use crate::lexer::lex;
+
+    fn graph(srcs: &[(&str, &str)]) -> (Vec<FnItem>, CallGraph, Vec<String>) {
+        let lexed: Vec<_> = srcs.iter().map(|(_, s)| lex(s)).collect();
+        let mut fns = Vec::new();
+        for (i, l) in lexed.iter().enumerate() {
+            fns.extend(extract(i, &l.tokens).fns);
+        }
+        let toks: Vec<&[Tok]> = lexed.iter().map(|l| l.tokens.as_slice()).collect();
+        let paths: Vec<&str> = srcs.iter().map(|(p, _)| *p).collect();
+        let g = CallGraph::build(&fns, &toks, &paths);
+        let names = fns.iter().map(|f| f.qname()).collect();
+        (fns, g, names)
+    }
+
+    fn edge(names: &[String], g: &CallGraph, from: &str, to: &str) -> bool {
+        let fi = names.iter().position(|n| n == from).unwrap();
+        let ti = names.iter().position(|n| n == to).unwrap();
+        g.out[fi].contains(&ti)
+    }
+
+    #[test]
+    fn free_method_and_qualified_calls_resolve() {
+        let (_, g, names) = graph(&[(
+            "crates/a/src/lib.rs",
+            "
+            pub fn top() { helper(); Widget::create(); }
+            fn helper() {}
+            struct Widget;
+            impl Widget {
+                fn create() -> Widget { Widget }
+                fn spin(&self) { self.helper_method(); Self::create(); }
+                fn helper_method(&self) {}
+            }
+            ",
+        )]);
+        assert!(edge(&names, &g, "top", "helper"));
+        assert!(edge(&names, &g, "top", "Widget::create"));
+        assert!(edge(&names, &g, "Widget::spin", "Widget::helper_method"));
+        assert!(edge(&names, &g, "Widget::spin", "Widget::create"));
+    }
+
+    #[test]
+    fn macros_and_keywords_are_not_calls() {
+        let (fns, g, names) = graph(&[(
+            "crates/a/src/lib.rs",
+            "
+            pub fn f() { if cond() { vec![1]; assert!(true); } }
+            fn cond() -> bool { true }
+            fn assert() {}
+            ",
+        )]);
+        assert!(edge(&names, &g, "f", "cond"));
+        let fi = names.iter().position(|n| n == "f").unwrap();
+        let ai = names.iter().position(|n| n == "assert").unwrap();
+        assert!(!g.out[fi].contains(&ai), "macro bang must not resolve");
+        assert_eq!(fns.len(), 3);
+    }
+
+    #[test]
+    fn same_crate_preferred_over_foreign() {
+        let (_, g, names) = graph(&[
+            (
+                "crates/a/src/lib.rs",
+                "pub fn go() { step(); } pub fn step() {}",
+            ),
+            ("crates/b/src/lib.rs", "pub fn step() {}"),
+        ]);
+        let gi = names.iter().position(|n| n == "go").unwrap();
+        assert_eq!(g.out[gi].len(), 1, "only the same-file step is linked");
+    }
+
+    #[test]
+    fn reach_traverses_transitively_and_respects_boundaries() {
+        let (_, g, names) = graph(&[(
+            "crates/a/src/lib.rs",
+            "
+            pub fn root() { mid(); cold(); }
+            fn mid() { leaf(); }
+            fn leaf() {}
+            fn cold() { behind(); }
+            fn behind() {}
+            ",
+        )]);
+        let root = names.iter().position(|n| n == "root").unwrap();
+        let cold = names.iter().position(|n| n == "cold").unwrap();
+        let reach = g.reach(&[root], &|i| i == cold);
+        let reached: Vec<&str> = names
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| reach.contains_key(i))
+            .map(|(_, n)| n.as_str())
+            .collect();
+        assert!(reached.contains(&"leaf"), "two hops from the root");
+        assert!(reached.contains(&"cold"), "boundary itself is reached");
+        assert!(!reached.contains(&"behind"), "but not expanded through");
+    }
+
+    #[test]
+    fn dot_output_is_stable_and_labelled() {
+        let (fns, g, _) = graph(&[("crates/a/src/lib.rs", "pub fn a() { b(); } pub fn b() {}")]);
+        let toksrc = "pub fn a() { b(); } pub fn b() {}";
+        let _ = toksrc;
+        let dot = g.to_dot(&fns, &["crates/a/src/lib.rs"]);
+        assert!(dot.contains("\"crates/a/src/lib.rs::a\" -> \"crates/a/src/lib.rs::b\";"));
+        assert!(dot.starts_with("digraph callgraph {"));
+    }
+}

@@ -1,0 +1,434 @@
+//! Item extraction: functions, impl owners, and `static` declarations.
+//!
+//! This is a structural pass over the token stream from [`crate::lexer`].
+//! It tracks brace depth to find item boundaries, records which `impl`
+//! (or `trait`) block a `fn` lives in so calls can be resolved as
+//! `Owner::method`, and notes each function's body span in token
+//! indices so rules and the call-graph builder can scan bodies without
+//! re-parsing. `#[cfg(test)]`-gated and `mod tests` items are flagged
+//! so concurrency rules can skip them.
+
+use crate::lexer::{Kind, Tok};
+
+/// A function item found in one file.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// Index into the workspace file list.
+    pub file: usize,
+    /// Bare function name.
+    pub name: String,
+    /// The `impl`/`trait` type the fn belongs to, if any.
+    pub owner: Option<String>,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// Token-index span `[start, end)` of the body (inside the braces),
+    /// or `None` for bodyless trait signatures.
+    pub body: Option<(usize, usize)>,
+    /// True when the fn is inside `#[cfg(test)]` / a `tests` module or
+    /// is itself `#[test]`.
+    pub is_test: bool,
+}
+
+impl FnItem {
+    /// `Owner::name` when owned, else the bare name.
+    pub fn qname(&self) -> String {
+        match &self.owner {
+            Some(o) => format!("{o}::{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// A `static` item declaration.
+#[derive(Debug, Clone)]
+pub struct StaticItem {
+    /// Index into the workspace file list.
+    pub file: usize,
+    /// The static's name.
+    pub name: String,
+    /// 1-based line of the `static` keyword.
+    pub line: usize,
+    /// True when declared under `#[cfg(test)]` / `mod tests`.
+    pub is_test: bool,
+}
+
+/// Everything the structural pass extracts from one file.
+#[derive(Debug, Clone, Default)]
+pub struct FileItems {
+    pub fns: Vec<FnItem>,
+    pub statics: Vec<StaticItem>,
+}
+
+/// Find the matching `}` for the `{` at `open` (token index), returning
+/// the index of the closer. Tolerates truncated input.
+fn matching_brace(tokens: &[Tok], open: usize) -> usize {
+    let mut depth = 0usize;
+    for (i, t) in tokens.iter().enumerate().skip(open) {
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return i;
+            }
+        }
+    }
+    tokens.len().saturating_sub(1)
+}
+
+/// Parse the self-type of an `impl` header starting just after the
+/// `impl` keyword: skips generics, handles `impl Trait for Type`, and
+/// returns the last path segment of the implemented-on type.
+fn impl_owner(tokens: &[Tok], mut i: usize) -> (Option<String>, usize) {
+    let mut angle = 0i32;
+    let mut last_ident: Option<String> = None;
+    let mut after_for: Option<String> = None;
+    let mut saw_for = false;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if t.is_punct('{') || t.is_punct(';') {
+            break;
+        }
+        if t.is_punct('<') {
+            angle += 1;
+        } else if t.is_punct('>') {
+            angle -= 1;
+        } else if angle == 0 {
+            if t.is_ident("where") {
+                // Bounds follow; the self type is already known.
+                while i < tokens.len() && !tokens[i].is_punct('{') && !tokens[i].is_punct(';') {
+                    i += 1;
+                }
+                break;
+            }
+            if t.is_ident("for") {
+                saw_for = true;
+                after_for = None;
+            } else if t.kind == Kind::Ident {
+                if saw_for {
+                    after_for = Some(t.text.clone());
+                } else {
+                    last_ident = Some(t.text.clone());
+                }
+            }
+        } else if t.kind == Kind::Ident && angle > 0 {
+            // Identifiers inside generics never name the self type.
+        }
+        i += 1;
+    }
+    (after_for.or(last_ident), i)
+}
+
+/// Words that may precede `fn` in a signature.
+fn is_fn_qualifier(t: &Tok) -> bool {
+    t.kind == Kind::Ident
+        && matches!(
+            t.text.as_str(),
+            "pub" | "const" | "unsafe" | "async" | "extern" | "crate" | "in" | "super" | "self"
+        )
+}
+
+/// Does an attribute `#[...]` starting at `i` (the `#`) gate tests?
+/// Recognizes `#[test]`, `#[cfg(test)]`, `#[cfg(all(test, ...))]` etc.
+fn attr_is_test(tokens: &[Tok], i: usize) -> bool {
+    if !tokens.get(i).is_some_and(|t| t.is_punct('#')) {
+        return false;
+    }
+    let mut j = i + 1;
+    if !tokens.get(j).is_some_and(|t| t.is_punct('[')) {
+        return false;
+    }
+    let mut depth = 0i32;
+    let mut saw_test = false;
+    while j < tokens.len() {
+        let t = &tokens[j];
+        if t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                break;
+            }
+        } else if t.is_ident("test") {
+            saw_test = true;
+        }
+        j += 1;
+    }
+    saw_test
+}
+
+/// Skip an attribute starting at `#`; returns the index after `]`.
+fn skip_attr(tokens: &[Tok], i: usize) -> usize {
+    let mut j = i + 1;
+    // `#![...]` inner attributes have a `!` before `[`.
+    if tokens.get(j).is_some_and(|t| t.is_punct('!')) {
+        j += 1;
+    }
+    if !tokens.get(j).is_some_and(|t| t.is_punct('[')) {
+        return i + 1;
+    }
+    let mut depth = 0i32;
+    while j < tokens.len() {
+        if tokens[j].is_punct('[') {
+            depth += 1;
+        } else if tokens[j].is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                return j + 1;
+            }
+        }
+        j += 1;
+    }
+    tokens.len()
+}
+
+/// Extract items from one file's token stream. `file` is the caller's
+/// index for this file in the workspace list.
+pub fn extract(file: usize, tokens: &[Tok]) -> FileItems {
+    let mut out = FileItems::default();
+    // Stack of (close-brace token index, owner, in_test) scopes.
+    let mut scopes: Vec<(usize, Option<String>, bool)> = Vec::new();
+    let mut pending_test_attr = false;
+    let mut i = 0usize;
+    while i < tokens.len() {
+        // Pop scopes we have moved past.
+        while scopes.last().is_some_and(|s| i > s.0) {
+            scopes.pop();
+        }
+        let in_test = scopes.last().is_some_and(|s| s.2);
+        let owner = scopes.last().and_then(|s| s.1.clone());
+        let t = &tokens[i];
+        if t.is_punct('#') && tokens.get(i + 1).is_some_and(|n| n.is_punct('[')) {
+            if attr_is_test(tokens, i) {
+                pending_test_attr = true;
+            }
+            i = skip_attr(tokens, i);
+            continue;
+        }
+        if t.is_ident("impl") || t.is_ident("trait") {
+            let start = if t.is_ident("trait") {
+                // `trait Name {` — the owner is the trait name itself.
+                i + 1
+            } else {
+                i + 1
+            };
+            let (own, hdr_end) = if t.is_ident("trait") {
+                let name = tokens
+                    .get(i + 1)
+                    .filter(|n| n.kind == Kind::Ident)
+                    .map(|n| n.text.clone());
+                let mut j = start;
+                while j < tokens.len() && !tokens[j].is_punct('{') && !tokens[j].is_punct(';') {
+                    j += 1;
+                }
+                (name, j)
+            } else {
+                impl_owner(tokens, start)
+            };
+            if tokens.get(hdr_end).is_some_and(|x| x.is_punct('{')) {
+                let close = matching_brace(tokens, hdr_end);
+                let test = in_test || pending_test_attr;
+                scopes.push((close, own, test));
+                pending_test_attr = false;
+                i = hdr_end + 1;
+                continue;
+            }
+            pending_test_attr = false;
+            i = hdr_end + 1;
+            continue;
+        }
+        if t.is_ident("mod") {
+            if let Some(name) = tokens.get(i + 1).filter(|n| n.kind == Kind::Ident) {
+                if tokens.get(i + 2).is_some_and(|x| x.is_punct('{')) {
+                    let close = matching_brace(tokens, i + 2);
+                    let test = in_test || pending_test_attr || name.text == "tests";
+                    scopes.push((close, owner.clone(), test));
+                    pending_test_attr = false;
+                    i += 3;
+                    continue;
+                }
+            }
+            pending_test_attr = false;
+            i += 1;
+            continue;
+        }
+        if t.is_ident("fn") {
+            // Reject `fn` inside a signature position we don't model
+            // (e.g. `fn(` function-pointer types have no name ident).
+            if let Some(name) = tokens.get(i + 1).filter(|n| n.kind == Kind::Ident) {
+                // Find the body `{` at paren/bracket depth 0, or `;`.
+                let mut j = i + 2;
+                let mut paren = 0i32;
+                let mut angle = 0i32;
+                let mut body = None;
+                while j < tokens.len() {
+                    let x = &tokens[j];
+                    if x.is_punct('(') || x.is_punct('[') {
+                        paren += 1;
+                    } else if x.is_punct(')') || x.is_punct(']') {
+                        paren -= 1;
+                    } else if x.is_punct('<') {
+                        angle += 1;
+                    } else if x.is_punct('>') {
+                        if angle > 0 {
+                            angle -= 1;
+                        }
+                    } else if paren == 0 && x.is_punct(';') {
+                        break;
+                    } else if paren == 0 && x.is_punct('{') {
+                        let close = matching_brace(tokens, j);
+                        body = Some((j + 1, close));
+                        break;
+                    }
+                    j += 1;
+                }
+                let fn_is_test = in_test || pending_test_attr;
+                out.fns.push(FnItem {
+                    file,
+                    name: name.text.clone(),
+                    owner: owner.clone(),
+                    line: t.line,
+                    body,
+                    is_test: fn_is_test,
+                });
+                pending_test_attr = false;
+                if let Some((start, close)) = body {
+                    // Descend into the body so nested fns/items are seen,
+                    // inheriting the test flag via a scope.
+                    scopes.push((close, owner.clone(), fn_is_test));
+                    i = start;
+                    continue;
+                }
+                i = j + 1;
+                continue;
+            }
+        }
+        if t.is_ident("static") {
+            // `static [mut] NAME: …` — but not part of a signature
+            // qualifier run we care about; lifetimes never lex as this.
+            let mut j = i + 1;
+            if tokens.get(j).is_some_and(|x| x.is_ident("mut")) {
+                j += 1;
+            }
+            if let Some(name) = tokens.get(j).filter(|n| n.kind == Kind::Ident) {
+                if tokens.get(j + 1).is_some_and(|x| x.is_punct(':')) {
+                    out.statics.push(StaticItem {
+                        file,
+                        name: name.text.clone(),
+                        line: t.line,
+                        is_test: in_test || pending_test_attr,
+                    });
+                }
+            }
+            pending_test_attr = false;
+            i = j + 1;
+            continue;
+        }
+        if t.kind == Kind::Ident && is_fn_qualifier(t) {
+            // Qualifiers keep a pending #[test] attached to the item.
+            i += 1;
+            continue;
+        }
+        if t.kind == Kind::Ident || !t.is_punct('#') {
+            pending_test_attr = false;
+        }
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn items(src: &str) -> FileItems {
+        extract(0, &lex(src).tokens)
+    }
+
+    #[test]
+    fn free_and_owned_fns() {
+        let src = "
+            pub fn free() {}
+            impl Foo { pub fn method(&self) -> u32 { 1 } }
+            impl<T> Bar<T> { fn gen(&self) {} }
+            impl Display for Baz { fn fmt(&self) {} }
+            trait Act { fn go(&self); fn stop(&self) {} }
+        ";
+        let f = items(src);
+        let q: Vec<String> = f.fns.iter().map(|f| f.qname()).collect();
+        assert_eq!(
+            q,
+            [
+                "free",
+                "Foo::method",
+                "Bar::gen",
+                "Baz::fmt",
+                "Act::go",
+                "Act::stop"
+            ]
+        );
+        assert!(f.fns[4].body.is_none(), "trait signature has no body");
+        assert!(f.fns[5].body.is_some());
+    }
+
+    #[test]
+    fn test_gating_is_detected() {
+        let src = "
+            fn prod() {}
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn check() {}
+            }
+            #[test]
+            fn top_level_test() {}
+        ";
+        let f = items(src);
+        let flags: Vec<(String, bool)> =
+            f.fns.iter().map(|f| (f.name.clone(), f.is_test)).collect();
+        assert_eq!(
+            flags,
+            [
+                ("prod".to_owned(), false),
+                ("check".to_owned(), true),
+                ("top_level_test".to_owned(), true)
+            ]
+        );
+    }
+
+    #[test]
+    fn statics_found_but_not_lifetimes() {
+        let src = "
+            static GLOBAL: u32 = 1;
+            static mut COUNTER: u64 = 0;
+            fn f(s: &'static str) -> &'static str { s }
+            #[cfg(test)]
+            mod tests { static TEST_ONLY: u8 = 0; }
+        ";
+        let f = items(src);
+        let names: Vec<(String, bool)> = f
+            .statics
+            .iter()
+            .map(|s| (s.name.clone(), s.is_test))
+            .collect();
+        assert_eq!(
+            names,
+            [
+                ("GLOBAL".to_owned(), false),
+                ("COUNTER".to_owned(), false),
+                ("TEST_ONLY".to_owned(), true)
+            ]
+        );
+    }
+
+    #[test]
+    fn nested_fn_bodies_are_spanned() {
+        let src = "fn outer() { let c = |x: u32| x + 1; inner(c); } fn after() {}";
+        let f = items(src);
+        assert_eq!(f.fns.len(), 2);
+        let (s, e) = f.fns[0].body.unwrap();
+        assert!(s < e);
+        assert_eq!(f.fns[1].name, "after");
+    }
+}

@@ -1,7 +1,7 @@
 //! # iw-lint — workspace invariant checker
 //!
-//! A dependency-free, text-level linter for the invariants this
-//! workspace relies on but `rustc`/`clippy` cannot see:
+//! A dependency-free static analyzer for the invariants this workspace
+//! relies on but `rustc`/`clippy` cannot see:
 //!
 //! * **`no-wall-clock`** — deterministic crates must never read real
 //!   time; all time comes from the simulator's virtual clock.
@@ -19,6 +19,27 @@
 //!   configuration, never from OS entropy.
 //! * **`unsafe-forbidden`** — every library crate carries
 //!   `#![forbid(unsafe_code)]`.
+//! * **`shared-state-audit`** — every interior-mutability primitive
+//!   (`static`, `Mutex`, `RwLock`, `Atomic*`, `Rc`, `RefCell`) in the
+//!   audited crates is declared in the concurrency manifest
+//!   ([`concurrency`]) with a role, and lock acquisitions nest in
+//!   declared rank order.
+//! * **`hot-path-purity`** — functions reachable in the call graph
+//!   from declared hot-path roots must not allocate, lock or perform
+//!   I/O without an annotated suppression.
+//! * **`channel-discipline`** — cross-shard send/recv sites must use a
+//!   declared channel endpoint from files the manifest allows.
+//!
+//! ## Pipeline
+//!
+//! Since iw-lint v2 the engine is no longer line-regex scanning: every
+//! file is run through a small Rust lexer ([`lexer`], which handles
+//! nested block comments, raw strings, char literals and multi-line
+//! strings), items and `impl` owners are extracted from the token
+//! stream ([`items`]), and an approximate name-resolved call graph is
+//! built over the whole workspace ([`callgraph`]). Pattern rules match
+//! token subsequences, so formatting, comments and string contents can
+//! neither hide nor fake a violation.
 //!
 //! ## Suppressions
 //!
@@ -26,18 +47,27 @@
 //! offending line or the line directly above it (a reason after the
 //! marker is encouraged), or by an entry in
 //! `crates/lint/allowlist.txt` (`<rule> <path> <substring>` per line).
+//! Allowlist entries are themselves audited: an entry whose rule, path
+//! or substring no longer matches anything is reported by the
+//! `allowlist-hygiene` meta rule, so suppressions cannot outlive the
+//! code they excused.
 //!
 //! ## Scope and limits
 //!
-//! The linter reads source text, not an AST: line comments and string
-//! literal *contents* are stripped before pattern matching (so a
-//! pattern named in a string or a comment never fires), and everything
-//! at or below a `#[cfg(test)]` line is treated as test code, which
-//! most rules exempt. That heuristic is deliberate — the codebase
-//! keeps unit tests in a trailing `mod tests` — and keeps the linter
-//! fast, dependency-free and obvious.
+//! The analyzer is still heuristic where a full compiler would not be:
+//! call resolution is name-based (same file preferred, then same
+//! crate), and everything at or below a file's first `#[cfg(test)]`
+//! line is treated as test code, which most rules exempt. Both
+//! heuristics are deliberate — the codebase keeps unit tests in a
+//! trailing `mod tests` — and keep the linter fast, dependency-free
+//! and obvious.
 #![forbid(unsafe_code)]
 
+pub mod callgraph;
+pub mod concurrency;
+pub mod emit;
+pub mod items;
+pub mod lexer;
 pub mod machines;
 pub mod rules;
 
@@ -73,12 +103,32 @@ pub const RULES: &[(&str, &str)] = &[
         "RNGs must be seeded from configuration, not entropy",
     ),
     ("unsafe-forbidden", "library crates must forbid unsafe code"),
+    (
+        "shared-state-audit",
+        "interior mutability must be declared in the concurrency manifest",
+    ),
+    (
+        "hot-path-purity",
+        "hot-path call trees must not allocate, lock or do I/O",
+    ),
+    (
+        "channel-discipline",
+        "send/recv sites must use declared channel endpoints",
+    ),
 ];
+
+/// The meta rule auditing `allowlist.txt` itself. Not in [`RULES`]
+/// (it lints the lint configuration, not the workspace) but accepted
+/// by `--rule` and reported like any other diagnostic.
+pub const ALLOWLIST_RULE: &str = "allowlist-hygiene";
+
+/// Workspace-relative path of the allowlist file.
+pub const ALLOWLIST_PATH: &str = "crates/lint/allowlist.txt";
 
 /// One violation, pointing at a workspace-relative file and line.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Diagnostic {
-    /// Rule name (one of [`RULES`]).
+    /// Rule name (one of [`RULES`] or [`ALLOWLIST_RULE`]).
     pub rule: &'static str,
     /// Workspace-relative path with forward slashes.
     pub path: String,
@@ -116,19 +166,30 @@ pub struct SourceFile {
     pub rel_path: String,
     /// Raw lines, as read.
     pub raw: Vec<String>,
-    /// Lines with line comments removed and string-literal contents
-    /// blanked — what the rules match against.
+    /// Lines with comments removed and string-literal contents blanked
+    /// (derived from the lexer) — for line-oriented checks and
+    /// snippets.
     pub code: Vec<String>,
+    /// The token stream — what pattern rules and the structural passes
+    /// match against.
+    pub tokens: Vec<lexer::Tok>,
     /// 0-based index of the first test line (the `#[cfg(test)]`
     /// attribute), or `usize::MAX` if the file has no test module.
     pub test_start: usize,
 }
 
 impl SourceFile {
-    /// Prepare one file for linting.
+    /// Prepare one file for linting: lex it whole (so raw strings,
+    /// nested block comments and multi-line literals are handled
+    /// correctly) and locate the trailing test module.
     pub fn parse(rel_path: &str, content: &str) -> SourceFile {
         let raw: Vec<String> = content.lines().map(str::to_owned).collect();
-        let code: Vec<String> = raw.iter().map(|l| strip_line(l)).collect();
+        let lexed = lexer::lex(content);
+        let mut code = lexed.code;
+        // The lexer counts a trailing newline as starting one more
+        // (empty) line than `str::lines` reports; keep them aligned.
+        code.truncate(raw.len().max(1));
+        code.resize(raw.len(), String::new());
         let test_start = raw
             .iter()
             .position(|l| l.trim_start().starts_with("#[cfg(test)]"))
@@ -137,6 +198,7 @@ impl SourceFile {
             rel_path: rel_path.to_owned(),
             raw,
             code,
+            tokens: lexed.tokens,
             test_start,
         }
     }
@@ -167,57 +229,6 @@ impl SourceFile {
     }
 }
 
-/// Strip a line down to lintable code: drop everything after `//`
-/// (outside string literals), blank string-literal contents, and skip
-/// char literals so a quote inside one cannot open a "string".
-fn strip_line(line: &str) -> String {
-    let mut out = String::with_capacity(line.len());
-    let mut chars = line.chars().peekable();
-    let mut in_str = false;
-    while let Some(c) = chars.next() {
-        if in_str {
-            if c == '\\' {
-                chars.next();
-            } else if c == '"' {
-                in_str = false;
-                out.push('"');
-            }
-            continue;
-        }
-        match c {
-            '"' => {
-                in_str = true;
-                out.push('"');
-            }
-            '/' if chars.peek() == Some(&'/') => break,
-            '\'' => {
-                // Char literal ('x', '\n') vs lifetime ('a): consume a
-                // literal wholesale, pass a lifetime through.
-                let mut look = chars.clone();
-                match look.next() {
-                    Some('\\') => {
-                        chars.next();
-                        for c2 in chars.by_ref() {
-                            if c2 == '\'' {
-                                break;
-                            }
-                        }
-                        out.push_str("' '");
-                    }
-                    Some(_) if look.next() == Some('\'') => {
-                        chars.next();
-                        chars.next();
-                        out.push_str("' '");
-                    }
-                    _ => out.push('\''),
-                }
-            }
-            _ => out.push(c),
-        }
-    }
-    out
-}
-
 /// One entry of `crates/lint/allowlist.txt`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AllowEntry {
@@ -227,6 +238,8 @@ pub struct AllowEntry {
     pub path: String,
     /// Substring the offending raw line must contain.
     pub needle: String,
+    /// 1-based line in `allowlist.txt` (for hygiene diagnostics).
+    pub line: usize,
 }
 
 /// What to check and where. [`LintConfig::project`] encodes this
@@ -248,6 +261,8 @@ pub struct LintConfig {
     pub metric_families: Vec<String>,
     /// State machines to check.
     pub machines: Vec<machines::MachineSpec>,
+    /// Declared concurrency intent (shared state, hot paths, channels).
+    pub concurrency: concurrency::ConcurrencySpec,
 }
 
 impl LintConfig {
@@ -271,6 +286,7 @@ impl LintConfig {
                 .map(String::from)
                 .to_vec(),
             machines: machines::project_machines(),
+            concurrency: concurrency::project_concurrency(),
         }
     }
 }
@@ -278,12 +294,12 @@ impl LintConfig {
 /// Read `crates/lint/allowlist.txt` under `root`, if present.
 /// Format: one `<rule> <path> <substring>` per line; `#` comments.
 pub fn load_allowlist(root: &Path) -> io::Result<Vec<AllowEntry>> {
-    let path = root.join("crates/lint/allowlist.txt");
+    let path = root.join(ALLOWLIST_PATH);
     if !path.exists() {
         return Ok(Vec::new());
     }
     let mut entries = Vec::new();
-    for line in fs::read_to_string(&path)?.lines() {
+    for (idx, line) in fs::read_to_string(&path)?.lines().enumerate() {
         let line = line.trim();
         if line.is_empty() || line.starts_with('#') {
             continue;
@@ -294,6 +310,7 @@ pub fn load_allowlist(root: &Path) -> io::Result<Vec<AllowEntry>> {
                 rule: rule.to_owned(),
                 path: path.to_owned(),
                 needle: needle.trim().to_owned(),
+                line: idx + 1,
             }),
             _ => {
                 return Err(io::Error::new(
@@ -353,6 +370,38 @@ fn rel_path(root: &Path, path: &Path) -> String {
         .join("/")
 }
 
+/// The structural view of the workspace the concurrency rules run
+/// against: extracted items and the approximate call graph.
+#[derive(Debug)]
+pub struct Analysis {
+    /// Every fn in the workspace; `FnItem::file` indexes the file list
+    /// the analysis was built from.
+    pub fns: Vec<items::FnItem>,
+    /// Every `static` item declaration.
+    pub statics: Vec<items::StaticItem>,
+    /// Call graph over `fns`.
+    pub graph: callgraph::CallGraph,
+}
+
+/// Extract items from all files and build the call graph.
+pub fn analyze(files: &[SourceFile]) -> Analysis {
+    let mut fns = Vec::new();
+    let mut statics = Vec::new();
+    for (i, f) in files.iter().enumerate() {
+        let fi = items::extract(i, &f.tokens);
+        fns.extend(fi.fns);
+        statics.extend(fi.statics);
+    }
+    let toks: Vec<&[lexer::Tok]> = files.iter().map(|f| f.tokens.as_slice()).collect();
+    let paths: Vec<&str> = files.iter().map(|f| f.rel_path.as_str()).collect();
+    let graph = callgraph::CallGraph::build(&fns, &toks, &paths);
+    Analysis {
+        fns,
+        statics,
+        graph,
+    }
+}
+
 /// Lint the workspace at `root` with `config`. Returns the surviving
 /// (unsuppressed) diagnostics, sorted by path, line, rule.
 pub fn run(root: &Path, config: &LintConfig) -> io::Result<Vec<Diagnostic>> {
@@ -363,6 +412,7 @@ pub fn run(root: &Path, config: &LintConfig) -> io::Result<Vec<Diagnostic>> {
 /// Lint pre-collected files — the engine behind [`run`], used directly
 /// by the fixture tests.
 pub fn check_files(files: &[SourceFile], config: &LintConfig) -> Vec<Diagnostic> {
+    let analysis = analyze(files);
     let mut diags = Vec::new();
     rules::no_wall_clock(files, config, &mut diags);
     rules::no_unordered_iteration(files, config, &mut diags);
@@ -371,9 +421,53 @@ pub fn check_files(files: &[SourceFile], config: &LintConfig) -> Vec<Diagnostic>
     rules::panic_budget(files, config, &mut diags);
     rules::rng_hygiene(files, config, &mut diags);
     rules::unsafe_forbidden(files, config, &mut diags);
+    rules::shared_state_audit(files, config, &analysis, &mut diags);
+    rules::hot_path_purity(files, config, &analysis, &mut diags);
+    rules::channel_discipline(files, config, &analysis, &mut diags);
+    allowlist_hygiene(files, config, &mut diags);
     diags.retain(|d| !suppressed(d, files, config));
     diags.sort_by(|a, b| (a.path.as_str(), a.line, a.rule).cmp(&(b.path.as_str(), b.line, b.rule)));
     diags
+}
+
+/// The `allowlist-hygiene` meta rule: every allowlist entry must still
+/// suppress something plausible — known rule, existing path, and a
+/// substring that still occurs in that file.
+fn allowlist_hygiene(files: &[SourceFile], config: &LintConfig, diags: &mut Vec<Diagnostic>) {
+    let help = "remove the stale entry from crates/lint/allowlist.txt \
+                (or fix its rule/path/substring)";
+    for entry in &config.allowlist {
+        let mut stale = |message: String| {
+            diags.push(Diagnostic {
+                rule: ALLOWLIST_RULE,
+                path: ALLOWLIST_PATH.to_owned(),
+                line: entry.line,
+                message,
+                snippet: format!("{} {} {}", entry.rule, entry.path, entry.needle),
+                help,
+            });
+        };
+        if !RULES.iter().any(|(n, _)| *n == entry.rule) {
+            stale(format!(
+                "allowlist entry names unknown rule `{}`",
+                entry.rule
+            ));
+            continue;
+        }
+        let Some(file) = files.iter().find(|f| f.rel_path == entry.path) else {
+            stale(format!(
+                "allowlist entry path `{}` matches no workspace file",
+                entry.path
+            ));
+            continue;
+        };
+        if !file.raw.iter().any(|l| l.contains(&entry.needle)) {
+            stale(format!(
+                "allowlist substring {:?} no longer occurs in `{}`",
+                entry.needle, entry.path
+            ));
+        }
+    }
 }
 
 fn suppressed(d: &Diagnostic, files: &[SourceFile], config: &LintConfig) -> bool {
@@ -397,29 +491,34 @@ mod tests {
     use super::*;
 
     #[test]
-    fn strip_removes_comments_and_string_contents() {
-        assert_eq!(strip_line("let x = 1; // Instant::now()"), "let x = 1; ");
-        assert_eq!(
-            strip_line(r#"let p = ".unwrap()"; p.len()"#),
-            r#"let p = ""; p.len()"#
-        );
-        assert_eq!(strip_line("x.unwrap() // ok"), "x.unwrap() ");
+    fn parse_blanks_comments_and_string_contents() {
+        let f = SourceFile::parse("crates/x/src/lib.rs", "let x = 1; // Instant::now()\n");
+        assert_eq!(f.code[0], "let x = 1; ");
+        let f = SourceFile::parse("crates/x/src/lib.rs", r#"let p = ".unwrap()"; p.len()"#);
+        assert_eq!(f.code[0], r#"let p = ""; p.len()"#);
+        assert!(!f.tokens.iter().any(|t| t.is_ident("unwrap")));
     }
 
     #[test]
-    fn strip_handles_char_literals_and_lifetimes() {
-        // A quote inside a char literal must not open a string.
-        assert_eq!(
-            strip_line("if c == '\"' { x.unwrap() }"),
-            "if c == ' ' { x.unwrap() }"
-        );
-        // Lifetimes pass through unharmed.
-        assert_eq!(
-            strip_line("fn f<'a>(s: &'a str) {}"),
-            "fn f<'a>(s: &'a str) {}"
-        );
-        // Escaped char literal.
-        assert_eq!(strip_line(r"let n = '\n'; y()"), "let n = ' '; y()");
+    fn parse_handles_char_literals_and_lifetimes() {
+        let f = SourceFile::parse("crates/x/src/lib.rs", "if c == '\"' { x.unwrap() }");
+        assert_eq!(f.code[0], "if c == ' ' { x.unwrap() }");
+        let f = SourceFile::parse("crates/x/src/lib.rs", "fn f<'a>(s: &'a str) {}");
+        assert!(f.tokens.iter().any(|t| t.kind == lexer::Kind::Lifetime));
+    }
+
+    #[test]
+    fn code_lines_align_with_raw_lines() {
+        for src in [
+            "",
+            "fn a() {}",
+            "fn a() {}\n",
+            "let s = \"multi\nline\";\nfn b() {}\n",
+            "/* spans\ntwo lines */ fn c() {}",
+        ] {
+            let f = SourceFile::parse("crates/x/src/lib.rs", src);
+            assert_eq!(f.code.len(), f.raw.len(), "misaligned for {src:?}");
+        }
     }
 
     #[test]
@@ -445,6 +544,69 @@ mod tests {
         sorted.sort_unstable();
         sorted.dedup();
         assert_eq!(names.len(), sorted.len());
-        assert_eq!(names.len(), 7);
+        assert_eq!(names.len(), 10);
+        assert!(!names.contains(&ALLOWLIST_RULE));
+    }
+
+    #[test]
+    fn allowlist_hygiene_flags_stale_entries() {
+        let files = vec![SourceFile::parse(
+            "crates/x/src/lib.rs",
+            "fn a() { b.unwrap(); }\n",
+        )];
+        let mut config = LintConfig {
+            wall_clock_crates: Vec::new(),
+            unordered_paths: Vec::new(),
+            panic_exempt_crates: Vec::new(),
+            allowlist: vec![
+                AllowEntry {
+                    rule: "panic-budget".into(),
+                    path: "crates/x/src/lib.rs".into(),
+                    needle: "b.unwrap()".into(),
+                    line: 1,
+                },
+                AllowEntry {
+                    rule: "no-such-rule".into(),
+                    path: "crates/x/src/lib.rs".into(),
+                    needle: "b.unwrap()".into(),
+                    line: 2,
+                },
+                AllowEntry {
+                    rule: "panic-budget".into(),
+                    path: "crates/gone/src/lib.rs".into(),
+                    needle: "b.unwrap()".into(),
+                    line: 3,
+                },
+                AllowEntry {
+                    rule: "panic-budget".into(),
+                    path: "crates/x/src/lib.rs".into(),
+                    needle: "vanished text".into(),
+                    line: 4,
+                },
+            ],
+            manifest_path: "none".into(),
+            metric_families: Vec::new(),
+            machines: Vec::new(),
+            concurrency: concurrency::ConcurrencySpec::default(),
+        };
+        let mut diags = Vec::new();
+        allowlist_hygiene(&files, &config, &mut diags);
+        let lines: Vec<usize> = diags.iter().map(|d| d.line).collect();
+        assert_eq!(lines, [2, 3, 4], "exactly the stale entries fire");
+        assert!(diags.iter().all(|d| d.path == ALLOWLIST_PATH));
+        assert!(diags[0].message.contains("unknown rule"));
+        assert!(diags[1].message.contains("matches no workspace file"));
+        assert!(diags[2].message.contains("no longer occurs"));
+        // The live entry still suppresses.
+        config.allowlist.truncate(1);
+        let d = Diagnostic {
+            rule: "panic-budget",
+            path: "crates/x/src/lib.rs".into(),
+            line: 1,
+            message: String::new(),
+            snippet: String::new(),
+            help: "",
+        };
+        assert!(suppressed(&d, &files, &config));
     }
 }

@@ -1,23 +1,31 @@
 //! `cargo run -p iw-lint` — lint the workspace, exit nonzero on
 //! violations. See the library docs for the rules.
 
-use iw_lint::{load_allowlist, run, LintConfig, RULES};
+use iw_lint::{
+    analyze, collect_workspace, emit, load_allowlist, run, LintConfig, ALLOWLIST_RULE, RULES,
+};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 const USAGE: &str = "\
-usage: iw-lint [--root <dir>] [--rule <name>]... [--list-rules]
+usage: iw-lint [--root <dir>] [--rule <name>]... [--format <fmt>]
+               [--graph dot] [--list-rules]
 
-Checks the workspace's determinism, metrics-manifest and state-machine
-invariants. Exits 0 when clean, 1 on violations, 2 on usage/IO errors.
+Checks the workspace's determinism, metrics-manifest, state-machine and
+concurrency invariants. Exits 0 when clean, 1 on violations, 2 on
+usage/IO errors.
 
   --root <dir>    workspace root (default: walk up from the cwd)
   --rule <name>   only report this rule (repeatable)
+  --format <fmt>  output format: text (default), json, sarif
+  --graph dot     print the approximate call graph as DOT and exit
   --list-rules    print the rule names and exit";
 
 fn main() -> ExitCode {
     let mut root: Option<PathBuf> = None;
     let mut only: Vec<String> = Vec::new();
+    let mut format = String::from("text");
+    let mut graph = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -33,12 +41,25 @@ fn main() -> ExitCode {
             },
             "--rule" => match args.next() {
                 Some(name) => {
-                    if !RULES.iter().any(|(n, _)| *n == name) {
+                    let known = RULES.iter().any(|(n, _)| *n == name) || name == ALLOWLIST_RULE;
+                    if !known {
                         return usage_error(&format!("unknown rule `{name}`"));
                     }
                     only.push(name);
                 }
                 None => return usage_error("--rule needs a rule name"),
+            },
+            "--format" => match args.next() {
+                Some(fmt) if matches!(fmt.as_str(), "text" | "json" | "sarif") => format = fmt,
+                Some(fmt) => {
+                    return usage_error(&format!("unknown format `{fmt}` (text|json|sarif)"))
+                }
+                None => return usage_error("--format needs text, json or sarif"),
+            },
+            "--graph" => match args.next() {
+                Some(kind) if kind == "dot" => graph = true,
+                Some(kind) => return usage_error(&format!("unknown graph format `{kind}`")),
+                None => return usage_error("--graph needs a format (dot)"),
             },
             "-h" | "--help" => {
                 println!("{USAGE}");
@@ -55,6 +76,21 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+
+    if graph {
+        let files = match collect_workspace(&root) {
+            Ok(files) => files,
+            Err(e) => {
+                eprintln!("iw-lint: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let analysis = analyze(&files);
+        let paths: Vec<&str> = files.iter().map(|f| f.rel_path.as_str()).collect();
+        print!("{}", analysis.graph.to_dot(&analysis.fns, &paths));
+        return ExitCode::SUCCESS;
+    }
+
     let mut config = LintConfig::project();
     config.allowlist = match load_allowlist(&root) {
         Ok(list) => list,
@@ -74,15 +110,25 @@ fn main() -> ExitCode {
         .into_iter()
         .filter(|d| only.is_empty() || only.iter().any(|r| r == d.rule))
         .collect();
+    match format.as_str() {
+        "json" => print!("{}", emit::to_json(&diags)),
+        "sarif" => print!("{}", emit::to_sarif(&diags)),
+        _ => {
+            if diags.is_empty() {
+                println!("iw-lint: workspace clean ({} rules)", RULES.len());
+                return ExitCode::SUCCESS;
+            }
+            for d in &diags {
+                println!("{d}\n");
+            }
+            println!("iw-lint: {} violation(s)", diags.len());
+        }
+    }
     if diags.is_empty() {
-        println!("iw-lint: workspace clean ({} rules)", RULES.len());
-        return ExitCode::SUCCESS;
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
     }
-    for d in &diags {
-        println!("{d}\n");
-    }
-    println!("iw-lint: {} violation(s)", diags.len());
-    ExitCode::FAILURE
 }
 
 fn usage_error(msg: &str) -> ExitCode {

@@ -1,0 +1,22 @@
+//! Fixture: channel-discipline call sites, declared and not.
+
+pub struct Fx;
+
+impl Fx {
+    pub fn send(&self, _v: u32) {}
+    pub fn recv(&self) -> Option<u32> {
+        None
+    }
+}
+
+pub fn pump_one(fx: &Fx) {
+    fx.send(1);
+}
+
+pub fn drain_here(fx: &Fx) -> Option<u32> {
+    fx.recv()
+}
+
+pub fn rogue(bad: &Fx) {
+    bad.send(2);
+}

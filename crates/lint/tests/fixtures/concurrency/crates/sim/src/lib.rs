@@ -1,0 +1,36 @@
+//! Fixture: concurrency rule pack — shared-state audit, lock order,
+//! hot-path purity (incl. a two-hop transitive callee).
+#![forbid(unsafe_code)]
+
+pub mod chan;
+pub mod pump;
+
+use std::cell::RefCell;
+use std::sync::Mutex;
+
+pub struct Engine {
+    pub state: Mutex<u32>,
+    pub journal: Mutex<u32>,
+    pub cache: RefCell<u32>,
+}
+
+impl Engine {
+    pub fn step(&self) -> u32 {
+        helper(self)
+    }
+
+    pub fn inverted(&self) -> u32 {
+        let j = self.journal.lock().unwrap();
+        let s = self.state.lock().unwrap();
+        *j + *s
+    }
+}
+
+fn helper(e: &Engine) -> u32 {
+    sink(e)
+}
+
+fn sink(_e: &Engine) -> u32 {
+    let label = format!("boom");
+    label.len() as u32
+}

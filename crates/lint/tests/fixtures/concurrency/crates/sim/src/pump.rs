@@ -1,0 +1,11 @@
+//! Fixture: the declared rx side — these sites are clean.
+
+use crate::chan::Fx;
+
+pub fn drain_all(fx: &Fx) -> u32 {
+    let mut n = 0;
+    while fx.recv().is_some() {
+        n += 1;
+    }
+    n
+}

@@ -1,0 +1,14 @@
+//! Fixture: the token engine must see through raw strings and nested
+//! block comments (regressions for the old line stripper).
+
+pub fn raw_strings() -> usize {
+    let doc = r#"say ".unwrap()" and SystemTime::now() in "text""#;
+    let re = r"thread_rng\(\) stays quiet";
+    doc.len() + re.len()
+}
+
+/* outer /* nested .unwrap() SystemTime */ still a comment */
+pub fn after_nesting() -> u32 {
+    let v = vec![1u32];
+    *v.first().unwrap()
+}

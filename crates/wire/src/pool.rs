@@ -58,6 +58,8 @@ impl BufferPool {
 
     /// Check out a writable, empty buffer (recycled when possible).
     pub fn take(&self) -> PacketBuf {
+        // the RefCell is the pool's own declared state (rank 10):
+        // iw-lint: allow(hot-path-purity): single-threaded borrow, released before return
         let mut inner = self.inner.borrow_mut();
         let data = match inner.free.pop() {
             Some(mut v) => {
@@ -67,6 +69,8 @@ impl BufferPool {
             }
             None => {
                 inner.stats.allocated += 1;
+                // steady state recycles and never reaches this arm:
+                // iw-lint: allow(hot-path-purity): pool-miss slab growth
                 Vec::with_capacity(SLAB_CAPACITY)
             }
         };
