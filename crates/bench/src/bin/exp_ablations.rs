@@ -50,7 +50,7 @@ fn main() {
         config.rate_pps = 4_000_000;
         let out = ScanRunner::new(&pop)
             .config(config)
-            .shards(iw_bench::threads())
+            .topology(iw_bench::bench_topology())
             .run();
         let (s, f, _) = out.summary.rates();
         println!("  {mss:<6} {s:>7.1}  {f:>8.1}");
@@ -86,7 +86,7 @@ fn main() {
         config.rate_pps = 4_000_000;
         let out = ScanRunner::new(&lossy)
             .config(config)
-            .shards(iw_bench::threads())
+            .topology(iw_bench::bench_topology())
             .run();
         let (exact, wrong, inconclusive) = accuracy(&lossy, &out);
         println!("  {probes:<7} {exact:<6} {wrong:<6} {inconclusive}");
@@ -115,7 +115,7 @@ fn main() {
         config.rate_pps = 4_000_000;
         let out = ScanRunner::new(&pop)
             .config(config)
-            .shards(iw_bench::threads())
+            .topology(iw_bench::bench_topology())
             .run();
         let (exact, wrong, inconclusive) = accuracy(&pop, &out);
         println!("  {verify:<7} {exact:<6} {wrong:<6} {inconclusive}");

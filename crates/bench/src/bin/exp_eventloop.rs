@@ -22,14 +22,20 @@
 //! smoke scale and then fails on a missing file or malformed schema.
 
 use iw_bench::{banner, standard_population, Scale};
-use iw_core::{Protocol, ScanConfig, ScanOutput, ScanRunner};
+use iw_core::{Protocol, ScanConfig, ScanOutput, ScanRunner, Topology};
 use iw_internet::Population;
 use std::sync::Arc;
 use std::time::Instant;
 
 const OUT_PATH: &str = "BENCH_eventloop.json";
 const REPS: usize = 3;
-const SCHEMA: &str = "iw-bench/eventloop/v1";
+const SCHEMA: &str = "iw-bench/eventloop/v2";
+
+/// Shard counts on the cores-vs-throughput curve.
+const SCALING_SHARDS: [u32; 4] = [1, 2, 4, 8];
+/// The scaling gate: 4 shards must deliver at least this multiple of
+/// the single-shard per-shard capacity.
+const SCALING_GATE_4X: f64 = 1.5;
 
 /// Pre-overhaul engine, recorded on this machine before the
 /// timer-wheel/pooled-buffer rework landed (best of three reps, release
@@ -222,21 +228,72 @@ fn scenario_threads() -> u32 {
         .unwrap_or(1)
 }
 
-fn drive_scan(population: &Arc<Population>, threads: u32) -> (ScanOutput, f64) {
+fn drive_scan(population: &Arc<Population>, topology: Topology) -> (ScanOutput, f64) {
     let mut config = ScanConfig::study(Protocol::Http, population.space_size(), iw_bench::SEED);
     config.rate_pps = 4_000_000;
     let t0 = Instant::now();
     let out = ScanRunner::new(population)
         .config(config)
-        .shards(threads)
+        .topology(topology)
         .run();
     (out, t0.elapsed().as_secs_f64())
 }
 
-fn measure_scan(population: &Arc<Population>, threads: u32) -> (Measurement, f64) {
+/// Drive one shard world in isolation ([`Topology::Single`] honours the
+/// config's shard tuple): the capacity probe for machines with fewer
+/// cores than shards.
+fn drive_world(population: &Arc<Population>, index: u32, count: u32) -> (ScanOutput, f64) {
+    let mut config = ScanConfig::study(Protocol::Http, population.space_size(), iw_bench::SEED);
+    config.rate_pps = 4_000_000;
+    config.shard = (index, count);
+    let t0 = Instant::now();
+    let out = ScanRunner::new(population).config(config).run();
+    (out, t0.elapsed().as_secs_f64())
+}
+
+/// One point on the cores-vs-throughput curve.
+struct ScalingPoint {
+    shards: u32,
+    wall_secs: f64,
+    /// Measured end-to-end rate with all shards live at once — bounded
+    /// by the physical core count.
+    hosts_per_sec_wall: f64,
+    /// Pipeline capacity: total hosts over the *slowest isolated shard
+    /// world* — what the topology delivers given `shards` real cores.
+    hosts_per_sec_capacity: f64,
+}
+
+fn measure_scaling(population: &Arc<Population>) -> Vec<ScalingPoint> {
+    SCALING_SHARDS
+        .iter()
+        .map(|&n| {
+            let (out, wall) = drive_scan(population, Topology::threads(n));
+            let hosts = out.summary.targets as f64;
+            let mut slowest = 0.0f64;
+            for i in 0..n {
+                let (_, w) = drive_world(population, i, n);
+                slowest = slowest.max(w);
+            }
+            let point = ScalingPoint {
+                shards: n,
+                wall_secs: wall,
+                hosts_per_sec_wall: hosts / wall,
+                hosts_per_sec_capacity: hosts / slowest,
+            };
+            println!(
+                "  {n} shard(s): {wall:.3} s wall  {:.0} hosts/s wall  \
+                 {:.0} hosts/s capacity",
+                point.hosts_per_sec_wall, point.hosts_per_sec_capacity
+            );
+            point
+        })
+        .collect()
+}
+
+fn measure_scan(population: &Arc<Population>, topology: Topology) -> (Measurement, f64) {
     let mut best: Option<(ScanOutput, f64)> = None;
     for rep in 0..REPS {
-        let (out, wall) = drive_scan(population, threads);
+        let (out, wall) = drive_scan(population, topology);
         println!("  rep {rep}: {wall:.3} s wall");
         if best.as_ref().is_none_or(|(_, b)| wall < *b) {
             best = Some((out, wall));
@@ -313,10 +370,52 @@ fn check() -> i32 {
         eprintln!("bench-smoke: baseline.events_per_sec missing");
         bad += 1;
     }
+    match json_number(&body, "scaling", "speedup_capacity_4x") {
+        Some(v) if v >= SCALING_GATE_4X => {}
+        Some(v) => {
+            eprintln!(
+                "bench-smoke: 4-shard capacity is only {v:.2}x the single shard \
+                 (gate {SCALING_GATE_4X}x)"
+            );
+            bad += 1;
+        }
+        None => {
+            eprintln!("bench-smoke: scaling.speedup_capacity_4x missing");
+            bad += 1;
+        }
+    }
     if bad == 0 {
         println!("bench-smoke: {OUT_PATH} schema OK");
     }
     i32::from(bad > 0)
+}
+
+fn scaling_section(points: &[ScalingPoint], cores: u32) -> String {
+    let single = points
+        .iter()
+        .find(|p| p.shards == 1)
+        .map_or(1.0, |p| p.hosts_per_sec_capacity);
+    let four = points
+        .iter()
+        .find(|p| p.shards == 4)
+        .map_or(0.0, |p| p.hosts_per_sec_capacity);
+    let body: Vec<String> = points
+        .iter()
+        .map(|p| {
+            format!(
+                "{{\"shards\":{},\"drive_wall_secs\":{:.4},\
+                 \"hosts_per_sec_wall\":{:.1},\"hosts_per_sec_capacity\":{:.1}}}",
+                p.shards, p.wall_secs, p.hosts_per_sec_wall, p.hosts_per_sec_capacity
+            )
+        })
+        .collect();
+    // `speedup_capacity_4x` must precede `points`: the checker's section
+    // scan stops at the first closing brace.
+    format!(
+        "{{\"cores\":{cores},\"speedup_capacity_4x\":{:.3},\"points\":[{}]}}",
+        four / single,
+        body.join(",")
+    )
 }
 
 fn main() {
@@ -353,11 +452,18 @@ fn main() {
         "End-to-end scan drive ({scale:?} scale, {threads} thread(s), {REPS} reps)"
     ));
     let population = standard_population(scale);
-    let (scan, hosts_per_sec) = measure_scan(&population, threads);
+    let (scan, hosts_per_sec) = measure_scan(&population, Topology::threads(threads));
     println!(
         "scan: {:.3} s wall  {hosts_per_sec:.0} hosts/s  {:.0} events/s  {:.0} packets/s",
         scan.drive_wall_secs, scan.events_per_sec, scan.packets_per_sec
     );
+
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get() as u32);
+    banner(&format!(
+        "Cores vs throughput ({scale:?} scale, shards {SCALING_SHARDS:?}, {cores} core(s))"
+    ));
+    let points = measure_scaling(&population);
+    let scaling = scaling_section(&points, cores);
 
     let body = format!(
         "{{\"schema\":\"{SCHEMA}\",\
@@ -370,7 +476,8 @@ fn main() {
          \"drive_wall_secs\":{:.4},\"hosts_per_sec\":{hosts_per_sec:.1},\
          \"events_per_sec\":{:.1},\"packets_per_sec\":{:.1},\
          \"baseline_wall_secs\":{SCAN_BASELINE_WALL_SECS:.4},\
-         \"baseline_hosts_per_sec\":{SCAN_BASELINE_HOSTS_PER_SEC:.1}}}}}\n",
+         \"baseline_hosts_per_sec\":{SCAN_BASELINE_HOSTS_PER_SEC:.1}}},\
+         \"scaling\":{scaling}}}\n",
         churn::HOSTS,
         churn::BATCH,
         churn::PROBE_BYTES,

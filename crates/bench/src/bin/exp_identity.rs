@@ -1,11 +1,13 @@
 //! Determinism gate: drives the standard scan across the engine's
-//! supported execution shapes (threads 1 and 4, plain and
-//! resilience-hardened) and asserts that everything the scan is
-//! specified to produce deterministically — per-host results, the
-//! Table 1 summary, open ports, MTU results, and the canonical metrics
-//! snapshot — is byte-identical between the 1- and 4-shard runs of the
-//! same profile. This is the gate the hot-path engine work is held to;
-//! the process exits non-zero on any divergence.
+//! supported execution shapes — the single-threaded reference, the fed
+//! 1-shard pipeline, and truly concurrent 4- and 8-sender topologies
+//! (the 8-sender shape also exercises receiver multiplexing, 3 workers
+//! driving 8 worlds) — in plain and resilience-hardened profiles, and
+//! asserts that everything the scan is specified to produce
+//! deterministically — per-host results, the Table 1 summary, open
+//! ports, MTU results, and the canonical metrics snapshot — is
+//! byte-identical across all of them. This is the gate the sharded
+//! TX/RX engine is held to; the process exits non-zero on divergence.
 //!
 //! Virtual `duration` is reported but not compared: the sharded figure
 //! is the max over per-shard clocks, and a single shard pacing the
@@ -13,14 +15,41 @@
 //! construction (the gap predates the timer-wheel engine).
 
 use iw_bench::{standard_population, Scale, SEED};
-use iw_core::{Protocol, ResilienceConfig, ScanConfig, ScanRunner};
+use iw_core::{Protocol, ResilienceConfig, ScanConfig, ScanRunner, Topology};
 use iw_internet::Population;
 use std::fmt::Write as _;
 use std::sync::Arc;
 
-/// The canonical dump: byte-identical across shard shapes, or the gate
-/// fails.
-fn dump(population: &Arc<Population>, threads: u32, hardened: bool) -> String {
+/// The execution shapes under test. The first is the reference; every
+/// later shape must reproduce its bytes exactly.
+const SHAPES: [(&str, Topology); 4] = [
+    ("single", Topology::Single),
+    (
+        "threads 1",
+        Topology::Threads {
+            senders: 1,
+            receivers: 1,
+        },
+    ),
+    (
+        "threads 4",
+        Topology::Threads {
+            senders: 4,
+            receivers: 4,
+        },
+    ),
+    (
+        "threads 8x3",
+        Topology::Threads {
+            senders: 8,
+            receivers: 3,
+        },
+    ),
+];
+
+/// The canonical dump: byte-identical across execution shapes, or the
+/// gate fails.
+fn dump(population: &Arc<Population>, topology: Topology, hardened: bool) -> String {
     let mut config = ScanConfig::study(Protocol::Http, population.space_size(), SEED);
     config.rate_pps = 4_000_000;
     config.telemetry.record_events = true;
@@ -30,7 +59,7 @@ fn dump(population: &Arc<Population>, threads: u32, hardened: bool) -> String {
     }
     let out = ScanRunner::new(population)
         .config(config)
-        .shards(threads)
+        .topology(topology)
         .run();
     println!("duration (not compared): {:?}", out.duration);
     let mut s = String::new();
@@ -49,27 +78,29 @@ fn main() {
     let mut failures = 0;
     for hardened in [false, true] {
         let profile = if hardened { "hardened" } else { "plain" };
-        let mut dumps = Vec::new();
-        for threads in [1u32, 4] {
-            println!("== threads={threads} {profile}");
-            dumps.push(dump(&population, threads, hardened));
-        }
-        if dumps[0] == dumps[1] {
-            println!(
-                "{profile}: threads 1 vs 4 byte-identical ({} bytes)",
-                dumps[0].len()
-            );
-        } else {
-            let at = dumps[0]
-                .lines()
-                .zip(dumps[1].lines())
-                .position(|(a, b)| a != b);
-            eprintln!("{profile}: threads 1 vs 4 DIVERGE (first differing line: {at:?})");
-            failures += 1;
+        let mut reference: Option<String> = None;
+        for (label, topology) in SHAPES {
+            println!("== {label} {profile}");
+            let d = dump(&population, topology, hardened);
+            match &reference {
+                None => {
+                    reference = Some(d);
+                }
+                Some(r) if *r == d => {
+                    println!("{profile}: {label} matches single ({} bytes)", d.len());
+                }
+                Some(r) => {
+                    let at = r.lines().zip(d.lines()).position(|(a, b)| a != b);
+                    eprintln!(
+                        "{profile}: {label} DIVERGES from single (first differing line: {at:?})"
+                    );
+                    failures += 1;
+                }
+            }
         }
     }
     if failures > 0 {
-        eprintln!("determinism gate FAILED for {failures} profile(s)");
+        eprintln!("determinism gate FAILED for {failures} shape/profile pair(s)");
         std::process::exit(1);
     }
     println!("determinism gate passed");

@@ -15,7 +15,7 @@ fn main() {
     config.rate_pps = 4_000_000;
     let out = ScanRunner::new(&population)
         .config(config)
-        .shards(iw_bench::threads())
+        .topology(iw_bench::bench_topology())
         .run();
 
     let n = out.mtu_results.len() as f64;

@@ -34,7 +34,7 @@ fn main() {
         config.rate_pps = 4_000_000;
         let out = ScanRunner::new(&population)
             .config(config)
-            .shards(iw_bench::threads())
+            .topology(iw_bench::bench_topology())
             .run();
         let hist = IwHistogram::from_results(&out.results);
         println!(

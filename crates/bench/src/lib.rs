@@ -9,7 +9,7 @@
 //! paper's relative numbers; takes minutes).
 #![forbid(unsafe_code)]
 
-use iw_core::{Protocol, ScanConfig, ScanOutput, ScanRunner, TargetSpec};
+use iw_core::{Protocol, ScanConfig, ScanOutput, ScanRunner, TargetSpec, Topology};
 use iw_internet::{alexa, Population, PopulationConfig};
 use std::sync::Arc;
 
@@ -92,13 +92,20 @@ pub fn threads() -> u32 {
         .min(16)
 }
 
+/// The standard bench topology: all cores ([`Topology::threads`] maps
+/// one core to [`Topology::Single`], so results stay byte-identical
+/// either way).
+pub fn bench_topology() -> Topology {
+    Topology::threads(threads())
+}
+
 /// Run a full-space scan of one protocol with study parameters.
 pub fn full_scan(population: &Arc<Population>, protocol: Protocol) -> ScanOutput {
     let mut config = ScanConfig::study(protocol, population.space_size(), SEED);
     config.rate_pps = 4_000_000; // virtual pps: compress virtual time
     ScanRunner::new(population)
         .config(config)
-        .shards(threads())
+        .topology(bench_topology())
         .run()
 }
 
@@ -111,7 +118,7 @@ pub fn paced_scan(population: &Arc<Population>, protocol: Protocol, rate_pps: u6
     };
     ScanRunner::new(population)
         .config(config)
-        .shards(threads())
+        .topology(bench_topology())
         .run()
 }
 
@@ -123,7 +130,9 @@ pub fn alexa_scan(population: &Arc<Population>, protocol: Protocol, n: usize) ->
     let mut config = ScanConfig::study(protocol, population.space_size(), SEED);
     config.targets = TargetSpec::List(targets);
     config.rate_pps = 4_000_000;
-    ScanRunner::new(population).config(config).shards(1).run() // lists are not sharded
+    // One shard: list experiments are small and their reports cite the
+    // single-world ordering.
+    ScanRunner::new(population).config(config).run()
 }
 
 /// Write an experiment's telemetry snapshot next to its report.

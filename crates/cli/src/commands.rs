@@ -9,7 +9,8 @@ use iw_analysis::tables::Table1;
 use iw_core::testbed::{probe_host, TestbedSpec};
 use iw_core::{
     CampaignCheckpoint, ConfigDigest, MonitorSink, MonitorSpec, Protocol, RunControl,
-    RunDisposition, ScanConfig, ScanRunner, ShardCheckpoint, TargetSpec, CHECKPOINT_VERSION,
+    RunDisposition, ScanConfig, ScanRunner, ShardCheckpoint, TargetSpec, Topology,
+    CHECKPOINT_VERSION,
 };
 use iw_hoststack::{HostConfig, HttpBehavior, HttpConfig, IwPolicy, OsProfile};
 use iw_internet::{alexa, Population, PopulationConfig};
@@ -62,11 +63,31 @@ fn build_population(args: &ScanArgs) -> Result<Arc<Population>, CmdError> {
     })))
 }
 
-fn threads(args: &ScanArgs) -> u32 {
-    if args.threads > 0 {
+/// Resolve the sender-shard count: `--senders` wins, then
+/// `--threads`/`--shards`, then (for the full-space commands) all cores.
+fn senders(args: &ScanArgs, auto_cores: bool) -> u32 {
+    if args.senders > 0 {
+        args.senders
+    } else if args.threads > 0 {
         args.threads
-    } else {
+    } else if auto_cores {
         std::thread::available_parallelism().map_or(4, |n| n.get() as u32)
+    } else {
+        1
+    }
+}
+
+/// Map a resolved sender count (plus the optional explicit
+/// `--receivers`) onto a driver topology: one sender runs on the
+/// calling thread, more spread across real TX/RX threads.
+fn scan_topology(senders: u32, receivers: u32) -> Topology {
+    if senders <= 1 {
+        Topology::Single
+    } else {
+        Topology::Threads {
+            senders,
+            receivers: if receivers > 0 { receivers } else { senders },
+        }
     }
 }
 
@@ -315,10 +336,10 @@ fn cmd_scan(args: &ScanArgs) -> Result<i32, CmdError> {
     config.rate_pps = 4_000_000;
     apply_resilience(&mut config, args);
     apply_telemetry(&mut config, args);
-    let (control, shards) = durable_setup(args, "scan", &config, threads(args))?;
+    let (control, shards) = durable_setup(args, "scan", &config, senders(args, true))?;
     let out = ScanRunner::new(&population)
         .config(config)
-        .shards(shards)
+        .topology(scan_topology(shards, args.receivers))
         .control(control)
         .run();
     let label = args.protocol.to_uppercase();
@@ -336,10 +357,12 @@ fn cmd_alexa(args: &ScanArgs) -> Result<i32, CmdError> {
     config.rate_pps = 4_000_000;
     apply_resilience(&mut config, args);
     apply_telemetry(&mut config, args);
-    let (control, shards) = durable_setup(args, "alexa", &config, 1)?;
+    // Lists default to one shard (they are small); explicit flags
+    // still fan the round-robin partitions across threads.
+    let (control, shards) = durable_setup(args, "alexa", &config, senders(args, false))?;
     let out = ScanRunner::new(&population)
         .config(config)
-        .shards(shards)
+        .topology(scan_topology(shards, args.receivers))
         .control(control)
         .run();
     conclude(&out, args, |out, args| report(out, args, "ALEXA"))
@@ -352,10 +375,10 @@ fn cmd_mtu(args: &ScanArgs) -> Result<i32, CmdError> {
     config.rate_pps = 4_000_000;
     apply_resilience(&mut config, args);
     apply_telemetry(&mut config, args);
-    let (control, shards) = durable_setup(args, "mtu", &config, threads(args))?;
+    let (control, shards) = durable_setup(args, "mtu", &config, senders(args, true))?;
     let out = ScanRunner::new(&population)
         .config(config)
-        .shards(shards)
+        .topology(scan_topology(shards, args.receivers))
         .control(control)
         .run();
     conclude(&out, args, |out, args| {
@@ -570,6 +593,42 @@ mod tests {
         assert!(parse_protocol("gopher").is_err());
         assert!(world_dimensions("small").is_ok());
         assert!(world_dimensions("galactic").is_err());
+    }
+
+    #[test]
+    fn topology_mapping_from_flags() {
+        // One sender stays on the calling thread: the golden baseline
+        // (`--threads 1`) must keep its exact single-shard shape.
+        assert_eq!(scan_topology(0, 0), Topology::Single);
+        assert_eq!(scan_topology(1, 0), Topology::Single);
+        assert_eq!(scan_topology(1, 4), Topology::Single);
+        assert_eq!(
+            scan_topology(4, 0),
+            Topology::Threads {
+                senders: 4,
+                receivers: 4
+            }
+        );
+        assert_eq!(
+            scan_topology(4, 2),
+            Topology::Threads {
+                senders: 4,
+                receivers: 2
+            }
+        );
+        // --senders beats --threads; lists only auto-shard when asked.
+        let args = ScanArgs {
+            threads: 8,
+            senders: 3,
+            ..ScanArgs::default()
+        };
+        assert_eq!(senders(&args, true), 3);
+        let args = ScanArgs {
+            threads: 8,
+            ..ScanArgs::default()
+        };
+        assert_eq!(senders(&args, false), 8);
+        assert_eq!(senders(&ScanArgs::default(), false), 1);
     }
 
     #[test]

@@ -1,11 +1,15 @@
-//! Glue: run a scanner against a synthetic population, optionally
-//! sharded across OS threads (ZMap-style cycle-striding shards merged
-//! afterwards; results stay deterministic because every shard is an
-//! independent deterministic simulation).
+//! Glue: run a scanner against a synthetic population, on the calling
+//! thread or split across real sender/receiver threads
+//! ([`Topology::Threads`]): ZMap-style cycle-striding shards, each a
+//! TX feeder generating targets over a bounded ring into an
+//! independently deterministic scan world, merged by shard index
+//! afterwards — so results stay byte-identical at every thread count.
 
 use crate::checkpoint::{CampaignCheckpoint, ConfigDigest, RunDisposition, ShardCheckpoint};
 use crate::results::{HostResult, MssVerdict, MtuResult, ProbeOutcome, Protocol, ScanSummary};
+use crate::ring::{self, FeedReceiver};
 use crate::scanner::{ScanConfig, Scanner};
+use crate::txrx;
 use iw_internet::population::{Population, PopulationFactory};
 use iw_netsim::sim::SimStats;
 use iw_netsim::{Duration, Sim, SimConfig, Trace};
@@ -86,26 +90,79 @@ pub struct ScanTelemetry {
     pub icmp: IcmpHarvest,
 }
 
-/// The one way to run a scan: configure, shard, go.
+/// How a scan maps onto OS threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Topology {
+    /// Everything on the calling thread (the default): the scanner
+    /// generates its own targets while pacing. The configured
+    /// `ScanConfig::shard` tuple is honored as-is, so a caller can
+    /// still drive one sub-shard by hand.
+    #[default]
+    Single,
+    /// The ZMap-style split on real threads: `senders` TX feeder
+    /// threads walk disjoint cyclic-group partitions of the target
+    /// space and push admitted targets over bounded rings into fed
+    /// shard worlds; `receivers` worker threads drive those worlds
+    /// (pacing at `rate_pps / senders` each, probing, inferring) and
+    /// the per-world outputs merge deterministically by shard index.
+    /// Zero values are clamped to one; more receivers than senders are
+    /// capped at the sender count.
+    Threads {
+        /// TX feeder threads = shard count (the unit checkpoints and
+        /// byte-identity are phrased in).
+        senders: u32,
+        /// Receiver workers sharing the shard worlds.
+        receivers: u32,
+    },
+}
+
+impl Topology {
+    /// The symmetric shorthand: `n` senders feeding `n` receivers.
+    /// `n <= 1` is [`Topology::Single`] — one shard needs no ring (use
+    /// `Topology::Threads { senders: 1, .. }` explicitly to force the
+    /// fed path, e.g. for identity testing).
+    pub fn threads(n: u32) -> Topology {
+        if n <= 1 {
+            Topology::Single
+        } else {
+            Topology::Threads {
+                senders: n,
+                receivers: n,
+            }
+        }
+    }
+
+    /// Sender-shard count this topology partitions the space into.
+    pub(crate) fn senders(self) -> u32 {
+        match self {
+            Topology::Single => 1,
+            Topology::Threads { senders, .. } => senders.max(1),
+        }
+    }
+}
+
+/// The one way to run a scan: configure, pick a topology, go.
 ///
 /// ```no_run
-/// # use iw_core::{ScanRunner, ScanConfig, Protocol};
+/// # use iw_core::prelude::*;
+/// # use iw_core::Protocol;
 /// # use iw_internet::Population;
 /// # use std::sync::Arc;
 /// # let population: Arc<Population> = unimplemented!();
 /// let output = ScanRunner::new(&population)
 ///     .config(ScanConfig::study(Protocol::Http, population.space_size(), 7))
-///     .shards(4)
+///     .topology(Topology::Threads { senders: 4, receivers: 2 })
 ///     .run();
 /// ```
 ///
-/// Replaces the free functions `run_scan`/`run_scan_sharded` (now
-/// deprecated shims over this type). The default configuration is the
-/// paper's HTTP study over the population's full space with seed 0.
+/// This builder is the entire entry surface — the free functions
+/// (`run_scan`, `run_scan_sharded`) it once shimmed are gone. The
+/// default configuration is the paper's HTTP study over the
+/// population's full space with seed 0, on [`Topology::Single`].
 pub struct ScanRunner {
     population: Arc<Population>,
     config: ScanConfig,
-    shards: u32,
+    topology: Topology,
     control: RunControl,
 }
 
@@ -115,7 +172,7 @@ impl ScanRunner {
         ScanRunner {
             config: ScanConfig::study(Protocol::Http, population.space_size(), 0),
             population: population.clone(),
-            shards: 1,
+            topology: Topology::Single,
             control: RunControl::default(),
         }
     }
@@ -126,12 +183,10 @@ impl ScanRunner {
         self
     }
 
-    /// Split the scan into this many ZMap cycle-striding shards, one OS
-    /// thread each, merged deterministically afterwards. Zero is
-    /// clamped to one; with one shard the configured `shard` tuple is
-    /// honored as-is (so a caller can still run a single sub-shard).
-    pub fn shards(mut self, shards: u32) -> ScanRunner {
-        self.shards = shards.max(1);
+    /// Choose how the scan maps onto threads (default
+    /// [`Topology::Single`]).
+    pub fn topology(mut self, topology: Topology) -> ScanRunner {
+        self.topology = topology;
         self
     }
 
@@ -152,46 +207,92 @@ impl ScanRunner {
             if let Some(detail) = ckpt.config.first_mismatch(&digest) {
                 return diverged_output(detail);
             }
-            if ckpt.threads != self.shards {
+            // Receiver workers are pure scheduling — any count replays
+            // the same per-shard event streams — but the sender count is
+            // the partition the checkpoint cursors are phrased in.
+            let senders = self.topology.senders();
+            if ckpt.threads != senders {
                 return diverged_output(format!(
-                    "checkpoint was taken with {} shard(s), this run has {}",
-                    ckpt.threads, self.shards
+                    "checkpoint was taken with {} sender shard(s), this run has {}",
+                    ckpt.threads, senders
                 ));
             }
         }
-        if self.shards == 1 {
-            return run_single(&self.population, self.config, &self.control);
+        match self.topology {
+            Topology::Single => run_single(&self.population, self.config, &self.control),
+            Topology::Threads { senders, receivers } => run_scan_sharded(
+                &self.population,
+                self.config,
+                &self.control,
+                senders.max(1),
+                receivers.max(1),
+            ),
         }
-        let threads = self.shards;
-        let config = self.config;
-        let population = self.population;
-        let control = self.control;
-        let outputs: Vec<ScanOutput> = crossbeam::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for i in 0..threads {
-                let mut shard_config = config.clone();
-                shard_config.shard = (i, threads);
-                if i > 0 {
-                    // One progress monitor is enough; shard 0 reports for
-                    // all (interleaved per-shard lines would be
-                    // unreadable anyway).
-                    shard_config.telemetry.monitor = None;
-                }
-                let pop = population.clone();
-                let ctl = control.clone();
-                handles.push(scope.spawn(move |_| run_single(&pop, shard_config, &ctl)));
-            }
-            handles
-                .into_iter()
-                // A shard-thread panic must propagate, not be silently
-                // merged into partial results. iw-lint: allow(panic-budget)
-                .map(|h| h.join().expect("shard thread panicked"))
-                .collect()
-        })
-        // Scope errors are rethrown shard panics; same policy as above.
-        .expect("crossbeam scope"); // iw-lint: allow(panic-budget)
-        merge(outputs)
     }
+}
+
+/// The threaded engine behind [`Topology::Threads`]: spawn `senders` TX
+/// feeder threads, each generating one shard's targets into a bounded
+/// ring, plus `receivers` worker threads driving the fed shard worlds
+/// (worker `j` owns worlds `i ≡ j (mod receivers)` and runs each to
+/// completion in index order — a deferred world's feeder simply blocks
+/// on its full ring until the world starts consuming, so there is no
+/// circular wait). Outputs merge deterministically by shard index, which
+/// is why every thread count produces identical bytes.
+fn run_scan_sharded(
+    population: &Arc<Population>,
+    config: ScanConfig,
+    control: &RunControl,
+    senders: u32,
+    receivers: u32,
+) -> ScanOutput {
+    let receivers = receivers.min(senders);
+    let outputs: Vec<ScanOutput> = crossbeam::thread::scope(|scope| {
+        let mut feeders = Vec::new();
+        let mut worker_inputs: Vec<Vec<(u32, ScanConfig, FeedReceiver)>> =
+            (0..receivers).map(|_| Vec::new()).collect();
+        for i in 0..senders {
+            let mut shard_config = config.clone();
+            shard_config.shard = (i, senders);
+            if i > 0 {
+                // One progress monitor is enough; shard 0 reports for
+                // all (interleaved per-shard lines would be
+                // unreadable anyway).
+                shard_config.telemetry.monitor = None;
+            }
+            let (feed_tx, feed_rx) = ring::feed(txrx::FEED_CAPACITY);
+            let feeder_config = shard_config.clone();
+            feeders.push(scope.spawn(move |_| txrx::run_feeder(&feeder_config, feed_tx)));
+            worker_inputs[(i % receivers) as usize].push((i, shard_config, feed_rx));
+        }
+        let mut workers = Vec::new();
+        for worlds in worker_inputs {
+            let pop = population.clone();
+            let ctl = control.clone();
+            workers.push(scope.spawn(move |_| {
+                worlds
+                    .into_iter()
+                    .map(|(i, cfg, feed_rx)| (i, run_world(&pop, cfg, &ctl, feed_rx)))
+                    .collect::<Vec<_>>()
+            }));
+        }
+        let mut outputs: Vec<(u32, ScanOutput)> = workers
+            .into_iter()
+            // A worker panic must propagate, not be silently merged
+            // into partial results. iw-lint: allow(panic-budget)
+            .flat_map(|h| h.join().expect("receiver worker panicked"))
+            .collect();
+        for h in feeders {
+            // Feeders end once their ring closes (or its world is
+            // dropped by a kill/abort). iw-lint: allow(panic-budget)
+            h.join().expect("TX feeder panicked");
+        }
+        outputs.sort_by_key(|(i, _)| *i);
+        outputs.into_iter().map(|(_, out)| out).collect()
+    })
+    // Scope errors are rethrown thread panics; same policy as above.
+    .expect("crossbeam scope"); // iw-lint: allow(panic-budget)
+    merge(outputs)
 }
 
 /// The empty output of a run refused before it started.
@@ -210,23 +311,36 @@ fn diverged_output(detail: String) -> ScanOutput {
     }
 }
 
-/// Run one scan to completion on the current thread.
-#[deprecated(note = "use ScanRunner::new(&population).config(config).run()")]
-pub fn run_scan(population: &Arc<Population>, config: ScanConfig) -> ScanOutput {
-    ScanRunner::new(population).config(config).run()
-}
-
+/// Run one self-generating scan world to completion on the current
+/// thread ([`Topology::Single`]).
 fn run_single(
     population: &Arc<Population>,
     config: ScanConfig,
     control: &RunControl,
 ) -> ScanOutput {
-    let seed = config.seed;
-    let record_trace = config.record_trace;
-    let shard_index = config.shard.0;
+    drive(population, Scanner::new(config), control)
+}
+
+/// Run one fed shard world to completion on the current thread: same
+/// event loop as [`run_single`], but targets arrive from a TX feeder
+/// over the ring instead of being generated in-world.
+fn run_world(
+    population: &Arc<Population>,
+    config: ScanConfig,
+    control: &RunControl,
+    feed: FeedReceiver,
+) -> ScanOutput {
+    drive(population, Scanner::with_feed(config, feed), control)
+}
+
+/// The shared event loop: drive a prepared scanner against the
+/// population with the durable-campaign hooks, then harvest.
+fn drive(population: &Arc<Population>, scanner: Scanner, control: &RunControl) -> ScanOutput {
+    let seed = scanner.config().seed;
+    let record_trace = scanner.config().record_trace;
+    let shard_index = scanner.config().shard.0;
     // The sim profiles its own hot path whenever span tracing is on.
-    let profile = config.telemetry.record_spans;
-    let scanner = Scanner::new(config);
+    let profile = scanner.config().telemetry.record_spans;
     let factory = PopulationFactory::new(population.clone());
     let mut sim = Sim::new(
         scanner,
@@ -432,24 +546,6 @@ pub fn summarize(results: &[HostResult], targets: u64, refused: u64) -> ScanSumm
         }
     }
     summary
-}
-
-/// Run a scan split into `threads` ZMap shards on real threads and merge.
-#[deprecated(note = "use ScanRunner::new(&population).config(config).shards(threads).run()")]
-pub fn run_scan_sharded(
-    population: &Arc<Population>,
-    config: ScanConfig,
-    threads: u32,
-) -> ScanOutput {
-    let mut config = config;
-    if threads <= 1 {
-        // The legacy entry point always normalized the shard tuple.
-        config.shard = (0, 1);
-    }
-    ScanRunner::new(population)
-        .config(config)
-        .shards(threads)
-        .run()
 }
 
 fn merge(outputs: Vec<ScanOutput>) -> ScanOutput {

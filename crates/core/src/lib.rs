@@ -45,18 +45,35 @@ pub mod prime;
 pub mod probe;
 pub mod rate;
 pub mod results;
+mod ring;
 pub mod scanner;
 pub mod session;
 pub mod table;
 pub mod testbed;
+mod txrx;
+
+/// The stable scan-entry surface in one import: build a config, pick a
+/// [`prelude::Topology`], run via [`prelude::ScanRunner`].
+///
+/// ```no_run
+/// use iw_core::prelude::*;
+/// # use iw_internet::Population;
+/// # use std::sync::Arc;
+/// # let population: Arc<Population> = unimplemented!();
+/// let output = ScanRunner::new(&population)
+///     .topology(Topology::threads(4))
+///     .run();
+/// ```
+pub mod prelude {
+    pub use crate::driver::{RunControl, ScanOutput, ScanRunner, Topology};
+    pub use crate::scanner::{ScanConfig, ScanConfigBuilder};
+}
 
 pub use checkpoint::{
     CampaignCheckpoint, CheckpointError, ConfigDigest, RunDisposition, ShardCheckpoint,
     CHECKPOINT_KIND, CHECKPOINT_VERSION,
 };
-#[allow(deprecated)]
-pub use driver::{run_scan, run_scan_sharded};
-pub use driver::{summarize, RunControl, ScanOutput, ScanRunner, ScanTelemetry};
+pub use driver::{summarize, RunControl, ScanOutput, ScanRunner, ScanTelemetry, Topology};
 pub use iw_telemetry as telemetry;
 pub use results::{
     ErrorKind, ErrorKindCounts, HostResult, HostVerdict, MssVerdict, ProbeOutcome, Protocol,

@@ -82,6 +82,25 @@ impl TokenBucket {
     }
 }
 
+/// Shard `index`'s slice of a global packets-per-second budget split
+/// across `count` shards.
+///
+/// The global rate divides as evenly as integers allow: every shard gets
+/// `rate_pps / count`, and the first `rate_pps % count` shards carry one
+/// extra token, so `sum(shard_rate(R, i, N) for i in 0..N) == R` exactly
+/// whenever `R >= N`. When the global rate is smaller than the shard
+/// count the tail shards would round to zero — a rate the bucket
+/// rejects — so the slice is clamped to 1 pps and the aggregate may
+/// exceed `R` by up to `N - R` packets per second. That corner only
+/// arises in pathological configs (more shards than packets per
+/// second); real campaigns run at kpps and above.
+pub fn shard_rate(rate_pps: u64, index: u32, count: u32) -> u64 {
+    let count = u64::from(count.max(1));
+    let index = u64::from(index);
+    let share = rate_pps / count + u64::from(index < rate_pps % count);
+    share.max(1)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -254,6 +273,121 @@ mod tests {
             sent += bucket.take(t0 + Duration::from_nanos(elapsed), u64::MAX);
         }
         assert_eq!(sent, RATE * 3_600, "exactly one hour of tokens");
+    }
+
+    #[test]
+    fn shard_rates_sum_exactly_to_the_global_rate() {
+        // The division invariant the threaded topology relies on: N
+        // per-shard buckets together pace at exactly the configured
+        // global rate whenever R >= N, including non-power-of-two shard
+        // counts and rates that don't divide evenly.
+        for &(rate, count) in &[
+            (150_000u64, 1u32),
+            (150_000, 3),
+            (150_000, 4),
+            (150_000, 7),
+            (150_001, 8),
+            (4_000_000, 16),
+            (5, 5),
+            (17, 3),
+        ] {
+            let sum: u64 = (0..count).map(|i| shard_rate(rate, i, count)).sum();
+            assert_eq!(sum, rate, "rate {rate} over {count} shards");
+            // No shard deviates from the even share by more than one
+            // token per second.
+            for i in 0..count {
+                let share = shard_rate(rate, i, count);
+                let even = rate / u64::from(count);
+                assert!(
+                    share == even || share == even + 1,
+                    "shard {i}/{count} got {share} of {rate}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn shard_rate_clamps_to_one_when_outnumbered() {
+        // More shards than packets per second: every shard still gets a
+        // valid (>= 1 pps) bucket; the documented over-admission corner.
+        for i in 0..8u32 {
+            assert!(shard_rate(3, i, 8) >= 1);
+        }
+        assert_eq!((0..8).map(|i| shard_rate(3, i, 8)).sum::<u64>(), 8);
+    }
+
+    #[test]
+    fn sharded_buckets_pace_the_global_rate_over_a_long_window() {
+        // Satellite gate: drive N independent per-shard buckets over an
+        // hour of virtual time and demand the aggregate grant count equal
+        // the single global bucket's to within one token per shard (the
+        // only slack integer division leaves, and the steady cadence here
+        // collects even that).
+        const RATE: u64 = 150_000;
+        const HOUR_SECS: u64 = 3_600;
+        for &count in &[1u32, 3, 4, 8] {
+            let t0 = Instant::ZERO;
+            let mut buckets: Vec<TokenBucket> = (0..count)
+                .map(|i| {
+                    let r = shard_rate(RATE, i, count);
+                    TokenBucket::new(r, (r / 100).max(16), t0)
+                })
+                .collect();
+            let mut sent = 0u64;
+            for tick in 1..=HOUR_SECS * 200 {
+                let now = t0 + Duration::from_millis(5 * tick);
+                for bucket in &mut buckets {
+                    sent += bucket.take(now, u64::MAX);
+                }
+            }
+            let expect = RATE * HOUR_SECS;
+            assert!(
+                sent.abs_diff(expect) <= u64::from(count),
+                "{count} shards granted {sent}, want {expect} ± {count}"
+            );
+        }
+    }
+
+    #[test]
+    fn stalled_shard_cannot_starve_the_others() {
+        // Buckets are fully independent: one shard never polling (a
+        // stalled sender) changes nothing about what its peers may send.
+        const RATE: u64 = 100_000;
+        const COUNT: u32 = 4;
+        let t0 = Instant::ZERO;
+        let drive = |stall: Option<u32>| -> Vec<u64> {
+            let mut buckets: Vec<TokenBucket> = (0..COUNT)
+                .map(|i| {
+                    let r = shard_rate(RATE, i, COUNT);
+                    TokenBucket::new(r, (r / 100).max(16), t0)
+                })
+                .collect();
+            let mut sent = vec![0u64; COUNT as usize];
+            for tick in 1..=2_000u64 {
+                let now = t0 + Duration::from_millis(5 * tick);
+                for (i, bucket) in buckets.iter_mut().enumerate() {
+                    if Some(i as u32) == stall {
+                        continue; // this shard never takes
+                    }
+                    sent[i] += bucket.take(now, u64::MAX);
+                }
+            }
+            sent
+        };
+        let healthy = drive(None);
+        let degraded = drive(Some(2));
+        assert_eq!(degraded[2], 0, "the stalled shard sent nothing");
+        for i in [0usize, 1, 3] {
+            assert_eq!(
+                healthy[i], degraded[i],
+                "shard {i} throughput changed because shard 2 stalled"
+            );
+        }
+        // And the stalled shard's unused budget is not silently
+        // redistributed: the aggregate drops by exactly its share.
+        let healthy_total: u64 = healthy.iter().sum();
+        let degraded_total: u64 = degraded.iter().sum();
+        assert_eq!(healthy_total - degraded_total, healthy[2]);
     }
 
     #[test]

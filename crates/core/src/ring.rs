@@ -1,0 +1,309 @@
+//! Bounded batched target ring between TX feeder threads and shard
+//! scan worlds.
+//!
+//! The threaded topology ([`crate::driver::Topology::Threads`]) splits
+//! each shard into a TX half that walks the cyclic-group permutation and
+//! an RX half that paces, probes, and infers. This ring is the only
+//! channel between them: the feeder pushes batches of admitted targets,
+//! the scanner pulls them one at a time from `TargetIter::Feed`, and a
+//! bounded capacity gives backpressure so a fast feeder cannot outrun a
+//! deferred world by more than a few batches.
+//!
+//! Ownership and lock order are declared in
+//! `crates/lint/src/concurrency.rs` (`Mutex` "inner", rank 15; channel
+//! endpoint "feed" with `txrx.rs` as the send side and `scanner.rs` as
+//! the receive side) so iw-lint's shared-state-audit and
+//! channel-discipline rules gate every use. The mutex guards a plain
+//! `VecDeque` plus close/stat bookkeeping; consumers drain whole batches
+//! under one acquisition, so the per-target hot path stays lock-free.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// One admitted target, as produced by a TX feeder.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct TargetMsg {
+    /// Target address.
+    pub ip: u32,
+    /// Known domain (Alexa-style list targets), if any.
+    pub domain: Option<String>,
+    /// Generator cursor *after* producing this target (including any
+    /// filter/sample rejects skipped on the way), in the same
+    /// `(next, produced)` encoding as `permutation::ShardIter::cursor`.
+    /// Checkpoints taken after consuming this target resume from here.
+    pub cursor: (u64, u64),
+}
+
+/// Terminal state of a fully drained feed: the exhaustion cursor plus
+/// the TX-side production stats, published by [`FeedSender::close`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct FeedFinal {
+    /// Generator cursor with the whole partition consumed.
+    pub cursor: (u64, u64),
+    /// Targets the feeder produced (admitted past filter + sampling).
+    pub slots: u64,
+    /// Batches pushed into the ring.
+    pub batches: u64,
+    /// Batches that had to wait for ring space (backpressure events).
+    pub stalls: u64,
+}
+
+/// State behind the ring mutex.
+struct FeedState {
+    queue: VecDeque<TargetMsg>,
+    closed: bool,
+    finished: Option<FeedFinal>,
+    /// The receiving world was dropped (killed/aborted run): discard
+    /// further batches so the feeder drains instead of blocking forever.
+    rx_gone: bool,
+    slots: u64,
+    batches: u64,
+    stalls: u64,
+}
+
+struct Shared {
+    /// Declared in crates/lint/src/concurrency.rs, lock-order rank 15.
+    inner: Mutex<FeedState>,
+    /// Feeder-side wait: ring has space again.
+    space: Condvar,
+    /// Scanner-side wait: ring has items (or closed).
+    items: Condvar,
+    capacity: usize,
+}
+
+/// TX half: owned by one feeder thread in `txrx.rs`.
+pub(crate) struct FeedSender {
+    shared: Arc<Shared>,
+}
+
+/// RX half: owned by one shard world's `Scanner` (`TargetIter::Feed`).
+pub(crate) struct FeedReceiver {
+    shared: Arc<Shared>,
+    /// Batch drained out of the mutex; the per-target hot path pops
+    /// from here without touching the lock.
+    local: VecDeque<TargetMsg>,
+    finished: Option<FeedFinal>,
+}
+
+/// Build a bounded ring holding at most `capacity` queued targets
+/// (soft bound: one in-flight batch may overshoot it).
+pub(crate) fn feed(capacity: usize) -> (FeedSender, FeedReceiver) {
+    let shared = Arc::new(Shared {
+        inner: Mutex::new(FeedState {
+            queue: VecDeque::new(),
+            closed: false,
+            finished: None,
+            rx_gone: false,
+            slots: 0,
+            batches: 0,
+            stalls: 0,
+        }),
+        space: Condvar::new(),
+        items: Condvar::new(),
+        capacity: capacity.max(1),
+    });
+    (
+        FeedSender {
+            shared: Arc::clone(&shared),
+        },
+        FeedReceiver {
+            shared,
+            local: VecDeque::new(),
+            finished: None,
+        },
+    )
+}
+
+impl FeedSender {
+    /// Push a batch, blocking while the ring is at capacity. Batches
+    /// are discarded (but still counted) once the receiver is gone.
+    pub fn send(&self, batch: Vec<TargetMsg>) {
+        if batch.is_empty() {
+            return;
+        }
+        let Ok(mut inner) = self.shared.inner.lock() else {
+            return;
+        };
+        let mut stalled = false;
+        while inner.queue.len() >= self.shared.capacity && !inner.rx_gone {
+            stalled = true;
+            let Ok(next) = self.shared.space.wait(inner) else {
+                return;
+            };
+            inner = next;
+        }
+        inner.stalls += u64::from(stalled);
+        inner.batches += 1;
+        inner.slots += batch.len() as u64;
+        if !inner.rx_gone {
+            inner.queue.extend(batch);
+            self.shared.items.notify_one();
+        }
+    }
+
+    /// Close the feed: the partition is fully walked. `cursor` is the
+    /// generator state with everything consumed (trailing rejects
+    /// included), so a checkpoint taken at exhaustion matches a
+    /// self-pacing scanner's byte-for-byte.
+    pub fn close(self, cursor: (u64, u64)) {
+        let Ok(mut inner) = self.shared.inner.lock() else {
+            return;
+        };
+        inner.finished = Some(FeedFinal {
+            cursor,
+            slots: inner.slots,
+            batches: inner.batches,
+            stalls: inner.stalls,
+        });
+        inner.closed = true;
+        self.shared.items.notify_one();
+    }
+}
+
+impl Drop for FeedSender {
+    fn drop(&mut self) {
+        // A feeder that unwound without `close` (panic) still releases
+        // the scanner; the missing `finished` marks the feed as torn.
+        let Ok(mut inner) = self.shared.inner.lock() else {
+            return;
+        };
+        if !inner.closed {
+            inner.closed = true;
+            self.shared.items.notify_one();
+        }
+    }
+}
+
+impl FeedReceiver {
+    /// Pull the next target, blocking (in wall time — virtual time is
+    /// unaffected) until the feeder produces one or closes the feed.
+    /// Returns `None` exactly once the feed is closed and drained.
+    pub fn recv(&mut self) -> Option<TargetMsg> {
+        if let Some(msg) = self.local.pop_front() {
+            return Some(msg);
+        }
+        let Ok(mut inner) = self.shared.inner.lock() else {
+            return None;
+        };
+        loop {
+            if !inner.queue.is_empty() {
+                std::mem::swap(&mut self.local, &mut inner.queue);
+                self.shared.space.notify_one();
+                return self.local.pop_front();
+            }
+            if inner.closed {
+                if let Some(f) = inner.finished {
+                    self.finished = Some(f);
+                }
+                return None;
+            }
+            let Ok(next) = self.shared.items.wait(inner) else {
+                return None;
+            };
+            inner = next;
+        }
+    }
+
+    /// Terminal feed state; available after `recv` has returned `None`
+    /// on a cleanly closed feed.
+    pub fn finished(&self) -> Option<&FeedFinal> {
+        self.finished.as_ref()
+    }
+}
+
+impl Drop for FeedReceiver {
+    fn drop(&mut self) {
+        // A world abandoned mid-feed (kill/abort) must not strand its
+        // feeder on a full ring: flag the disconnect and wake it.
+        let Ok(mut inner) = self.shared.inner.lock() else {
+            return;
+        };
+        inner.rx_gone = true;
+        inner.queue.clear();
+        self.shared.space.notify_one();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn msg(ip: u32) -> TargetMsg {
+        TargetMsg {
+            ip,
+            domain: None,
+            cursor: (u64::from(ip) + 1, u64::from(ip) + 1),
+        }
+    }
+
+    #[test]
+    fn fifo_across_batches() {
+        let (tx, mut rx) = feed(16);
+        tx.send(vec![msg(1), msg(2)]);
+        tx.send(vec![msg(3)]);
+        tx.close((9, 9));
+        let got: Vec<u32> = std::iter::from_fn(|| rx.recv()).map(|m| m.ip).collect();
+        assert_eq!(got, vec![1, 2, 3]);
+        let fin = rx.finished().copied().unwrap();
+        assert_eq!(fin.cursor, (9, 9));
+        assert_eq!(fin.slots, 3);
+        assert_eq!(fin.batches, 2);
+        assert_eq!(fin.stalls, 0);
+    }
+
+    #[test]
+    fn recv_after_exhaustion_stays_none_and_keeps_final_state() {
+        let (tx, mut rx) = feed(4);
+        tx.send(vec![msg(7)]);
+        tx.close((1, 1));
+        assert_eq!(rx.recv().map(|m| m.ip), Some(7));
+        assert_eq!(rx.recv(), None);
+        assert_eq!(rx.recv(), None);
+        assert_eq!(rx.finished().map(|f| f.cursor), Some((1, 1)));
+    }
+
+    #[test]
+    fn bounded_capacity_blocks_and_counts_stalls() {
+        let (tx, mut rx) = feed(2);
+        let producer = std::thread::spawn(move || {
+            for i in 0..10u32 {
+                tx.send(vec![msg(i)]);
+            }
+            tx.close((0xFF, 10));
+        });
+        // Drain slowly from this side; the producer must block (it can
+        // hold at most capacity + one batch in flight) yet every target
+        // still arrives in order.
+        let mut got = Vec::new();
+        while let Some(m) = rx.recv() {
+            got.push(m.ip);
+        }
+        producer.join().unwrap();
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+        let fin = rx.finished().copied().unwrap();
+        assert_eq!(fin.slots, 10);
+        assert_eq!(fin.batches, 10);
+    }
+
+    #[test]
+    fn dropped_receiver_unblocks_the_feeder() {
+        let (tx, rx) = feed(1);
+        drop(rx);
+        // Every send now returns immediately instead of waiting for
+        // space that will never appear.
+        for i in 0..100u32 {
+            tx.send(vec![msg(i)]);
+        }
+        tx.close((0, 0));
+    }
+
+    #[test]
+    fn dropped_sender_closes_the_feed_without_final_state() {
+        let (tx, mut rx) = feed(4);
+        tx.send(vec![msg(1)]);
+        drop(tx);
+        assert_eq!(rx.recv().map(|m| m.ip), Some(1));
+        assert_eq!(rx.recv(), None);
+        assert!(rx.finished().is_none(), "torn feed has no final cursor");
+    }
+}

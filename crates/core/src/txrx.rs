@@ -1,0 +1,149 @@
+//! TX feeder threads: the send half of `Topology::Threads`.
+//!
+//! A feeder owns one shard's target generation — it walks the shard's
+//! cyclic-group partition (or its round-robin slice of an explicit
+//! list), applies the blacklist and the sampling filter, and pushes
+//! batches of admitted targets into the bounded ring (`ring::feed`).
+//! Pacing deliberately stays on the scan-world side: the feeder runs as
+//! far ahead as ring capacity allows, and the world's per-shard token
+//! bucket (`rate::shard_rate`) decides when each target actually leaves.
+//!
+//! Every message carries the generator cursor as of that target, and
+//! the close carries the fully-walked terminal cursor, so a fed world's
+//! checkpoints are byte-identical to a self-generating shard's.
+
+use crate::permutation::Permutation;
+use crate::ring::{FeedSender, TargetMsg};
+use crate::scanner::{sample_admits, ScanConfig, TargetSpec};
+
+/// Queued targets a ring holds before the feeder blocks (soft bound —
+/// one in-flight batch may overshoot). At study rates one capacity is
+/// tens of pacing ticks of headroom.
+pub(crate) const FEED_CAPACITY: usize = 4096;
+/// Targets per pushed batch: large enough to amortize the ring lock,
+/// small enough that a world never waits long for its first targets.
+pub(crate) const FEED_BATCH: usize = 256;
+
+/// How many entries of an explicit `len`-target list land in round-robin
+/// partition `index` of `count`.
+pub(crate) fn list_partition_len(len: usize, index: u32, count: u32) -> u64 {
+    let count = u64::from(count.max(1));
+    let len = len as u64;
+    len / count + u64::from(u64::from(index) < len % count)
+}
+
+/// Generate shard `config.shard` of the target space into the ring, then
+/// close it with the terminal cursor. Runs on its own thread; the only
+/// shared state it touches is the ring.
+pub(crate) fn run_feeder(config: &ScanConfig, feed: FeedSender) {
+    let mut batch: Vec<TargetMsg> = Vec::with_capacity(FEED_BATCH);
+    let final_cursor = match &config.targets {
+        TargetSpec::FullSpace { size } => {
+            let perm = Permutation::new(u64::from(*size), config.seed);
+            let mut iter = perm.shard(config.shard.0, config.shard.1);
+            while let Some(addr) = iter.next() {
+                let ip = addr as u32;
+                if !config.filter.admits(ip) || !sample_admits(config, ip) {
+                    continue;
+                }
+                batch.push(TargetMsg {
+                    ip,
+                    domain: None,
+                    cursor: iter.cursor(),
+                });
+                if batch.len() == FEED_BATCH {
+                    let full = std::mem::replace(&mut batch, Vec::with_capacity(FEED_BATCH));
+                    feed.send(full);
+                }
+            }
+            iter.cursor()
+        }
+        TargetSpec::List(list) => {
+            let count = config.shard.1.max(1) as usize;
+            let index = config.shard.0 as usize;
+            let mut remaining = list_partition_len(list.len(), config.shard.0, config.shard.1);
+            for (k, (ip, domain)) in list.iter().enumerate() {
+                if k % count != index {
+                    continue;
+                }
+                remaining -= 1;
+                if !config.filter.admits(*ip) || !sample_admits(config, *ip) {
+                    continue;
+                }
+                batch.push(TargetMsg {
+                    ip: *ip,
+                    domain: domain.clone(),
+                    cursor: (remaining, 0),
+                });
+                if batch.len() == FEED_BATCH {
+                    let full = std::mem::replace(&mut batch, Vec::with_capacity(FEED_BATCH));
+                    feed.send(full);
+                }
+            }
+            (0, 0)
+        }
+    };
+    feed.send(batch);
+    feed.close(final_cursor);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::results::Protocol;
+    use crate::ring;
+
+    fn config(space: u32, shard: (u32, u32)) -> ScanConfig {
+        let mut c = ScanConfig::study(Protocol::Http, space, 7);
+        c.shard = shard;
+        c
+    }
+
+    /// Drain a feeder's whole output on the current thread (capacity is
+    /// large enough that nothing blocks at these sizes).
+    fn drain(config: &ScanConfig) -> (Vec<TargetMsg>, ring::FeedFinal) {
+        let (tx, mut rx) = ring::feed(1 << 20);
+        run_feeder(config, tx);
+        let mut out = Vec::new();
+        while let Some(msg) = rx.recv() {
+            out.push(msg);
+        }
+        let fin = *rx.finished().expect("clean close");
+        (out, fin)
+    }
+
+    #[test]
+    fn feeders_partition_the_space_exactly() {
+        let space = 1 << 12;
+        let single = drain(&config(space, (0, 1))).0;
+        for count in [2u32, 3, 8] {
+            let mut merged: Vec<u32> = (0..count)
+                .flat_map(|i| drain(&config(space, (i, count))).0)
+                .map(|m| m.ip)
+                .collect();
+            merged.sort_unstable();
+            let mut want: Vec<u32> = single.iter().map(|m| m.ip).collect();
+            want.sort_unstable();
+            assert_eq!(merged, want, "{count} feeders");
+        }
+    }
+
+    #[test]
+    fn final_cursor_matches_a_fully_consumed_iterator() {
+        let cfg = config(1 << 10, (1, 3));
+        let (_, fin) = drain(&cfg);
+        let mut iter = Permutation::new(1 << 10, cfg.seed).shard(1, 3);
+        for _ in iter.by_ref() {}
+        assert_eq!(fin.cursor, iter.cursor());
+        assert!(fin.slots > 0);
+        assert_eq!(fin.batches, fin.slots.div_ceil(FEED_BATCH as u64));
+    }
+
+    #[test]
+    fn list_partition_lengths_cover_the_list() {
+        for (len, count) in [(10usize, 3u32), (7, 8), (0, 4), (100, 1)] {
+            let total: u64 = (0..count).map(|i| list_partition_len(len, i, count)).sum();
+            assert_eq!(total, len as u64, "len {len} over {count}");
+        }
+    }
+}

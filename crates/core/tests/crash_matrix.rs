@@ -10,7 +10,8 @@
 
 use iw_core::{
     CampaignCheckpoint, ConfigDigest, ErrorKind, Protocol, ResilienceConfig, RunControl,
-    RunDisposition, ScanConfig, ScanOutput, ScanRunner, ShardCheckpoint, CHECKPOINT_VERSION,
+    RunDisposition, ScanConfig, ScanOutput, ScanRunner, ShardCheckpoint, Topology,
+    CHECKPOINT_VERSION,
 };
 use iw_internet::{Population, PopulationConfig};
 use iw_netsim::Duration;
@@ -46,7 +47,7 @@ fn checkpoint_cadence() -> Duration {
 fn run(pop: &Arc<Population>, config: &ScanConfig, shards: u32, control: RunControl) -> ScanOutput {
     ScanRunner::new(pop)
         .config(config.clone())
-        .shards(shards)
+        .topology(Topology::threads(shards))
         .control(control)
         .run()
 }

@@ -1,7 +1,7 @@
 //! End-to-end scans of small synthetic populations: the scanner must
 //! recover configured initial windows through real packet exchanges.
 
-use iw_core::{HostVerdict, Protocol, ScanConfig, ScanRunner};
+use iw_core::{HostVerdict, Protocol, ScanConfig, ScanRunner, Topology};
 use iw_hoststack::IwPolicy;
 use iw_internet::{Population, PopulationConfig};
 use std::sync::Arc;
@@ -132,7 +132,10 @@ fn sharded_scan_equals_single_thread() {
     let mut config = ScanConfig::study(Protocol::Http, pop.space_size(), 0x51);
     config.rate_pps = 2_000_000;
     let single = ScanRunner::new(&pop).config(config.clone()).run();
-    let sharded = ScanRunner::new(&pop).config(config).shards(4).run();
+    let sharded = ScanRunner::new(&pop)
+        .config(config)
+        .topology(Topology::threads(4))
+        .run();
     assert_eq!(single.results.len(), sharded.results.len());
     for (a, b) in single.results.iter().zip(&sharded.results) {
         assert_eq!(a.ip, b.ip);

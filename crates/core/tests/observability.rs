@@ -4,7 +4,7 @@
 //! telemetry sink (delta consistency) and the ICMP harvest.
 
 use iw_core::telemetry::Snapshot;
-use iw_core::{HostResult, Protocol, ScanConfig, ScanRunner, Scanner};
+use iw_core::{HostResult, Protocol, ScanConfig, ScanRunner, Scanner, Topology};
 use iw_hoststack::{ChaosHost, ChaosMode, Host, HostConfig, IwPolicy};
 use iw_internet::{Population, PopulationConfig};
 use iw_netsim::{Duration, Endpoint, LinkConfig, Sim, SimConfig};
@@ -75,7 +75,10 @@ fn trace_export_is_byte_identical_across_runs_and_shard_counts() {
     config.telemetry.record_spans = true;
     let single = ScanRunner::new(&pop).config(config.clone()).run();
     let again = ScanRunner::new(&pop).config(config.clone()).run();
-    let sharded = ScanRunner::new(&pop).config(config).shards(4).run();
+    let sharded = ScanRunner::new(&pop)
+        .config(config)
+        .topology(Topology::threads(4))
+        .run();
 
     let json = single.telemetry.tracer.to_chrome_json();
     assert_eq!(

@@ -6,7 +6,7 @@
 //! sharded run and a single-thread run of the same scan.
 
 use iw_core::telemetry::OutcomeKind;
-use iw_core::{MonitorSink, MonitorSpec, Protocol, ScanConfig, ScanRunner};
+use iw_core::{MonitorSink, MonitorSpec, Protocol, ScanConfig, ScanRunner, Topology};
 use iw_internet::{Population, PopulationConfig};
 use iw_netsim::Duration;
 use std::sync::Arc;
@@ -33,7 +33,10 @@ fn sharded_snapshot_is_byte_identical_to_single_thread() {
     let pop = population(0x1307, 1 << 15, 600);
     let config = telemetry_config(pop.space_size(), 0x1307);
     let single = ScanRunner::new(&pop).config(config.clone()).run();
-    let sharded = ScanRunner::new(&pop).config(config).shards(4).run();
+    let sharded = ScanRunner::new(&pop)
+        .config(config)
+        .topology(Topology::threads(4))
+        .run();
 
     // The canonical (scan-scoped) snapshot merges exactly: same counters,
     // same histogram buckets, same JSON bytes.

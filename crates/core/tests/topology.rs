@@ -1,0 +1,163 @@
+//! Gates for the sharded TX/RX topology: cursor seek-after-merge over
+//! the cyclic-group partitions, byte-identity of the threaded engine
+//! against the single-threaded reference, and checkpoint-trail
+//! equivalence of the fed single-shard pipeline.
+
+use iw_core::permutation::Permutation;
+use iw_core::{Protocol, RunControl, ScanConfig, ScanRunner, Topology};
+use iw_internet::{Population, PopulationConfig};
+use iw_netsim::Duration;
+use std::sync::Arc;
+
+fn population() -> Arc<Population> {
+    Arc::new(Population::new(PopulationConfig {
+        seed: 0xA11CE,
+        space_size: 1 << 13,
+        target_responsive: 200,
+        loss_scale: 0.0,
+    }))
+}
+
+fn study_config(pop: &Population, seed: u64) -> ScanConfig {
+    let mut config = ScanConfig::study(Protocol::Http, pop.space_size(), seed);
+    config.rate_pps = 4_000_000;
+    config
+}
+
+/// Deterministic stand-in for a property test (the container builds
+/// without proptest): every (shard count, seed, shard, split point)
+/// case must resume from a mid-cycle cursor onto the exact tail the
+/// uninterrupted walk would have produced.
+#[test]
+fn seek_resumes_every_shard_exactly_where_it_stopped() {
+    let size = 1 << 12;
+    for count in [1u32, 3, 8] {
+        for seed in [7u64, 0x1307_2017, 9_999_999_999] {
+            let perm = Permutation::new(size, seed);
+            for index in 0..count {
+                let full: Vec<u64> = perm.shard(index, count).collect();
+                for eighths in [0usize, 1, 4, 7, 8] {
+                    let split = full.len() * eighths / 8;
+                    let mut head = perm.shard(index, count);
+                    let mut walked: Vec<u64> = (&mut head).take(split).collect();
+                    let (next, produced) = head.cursor();
+                    let mut resumed = perm.shard(index, count);
+                    assert!(
+                        resumed.seek(next, produced),
+                        "cursor ({next}, {produced}) rejected for shard {index}/{count}"
+                    );
+                    walked.extend(resumed);
+                    assert_eq!(
+                        walked, full,
+                        "shard {index}/{count} seed {seed} split {split}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The merge story behind campaign resume: interrupt every shard at a
+/// different point, seek fresh iterators to the recorded cursors, and
+/// the union of prefixes and resumed tails must cover the space exactly
+/// once — no address lost or probed twice.
+#[test]
+fn merged_resume_covers_the_space_exactly_once() {
+    let size = 1 << 12;
+    for count in [1u32, 3, 8] {
+        let perm = Permutation::new(size, 0x1307);
+        let mut merged: Vec<u64> = Vec::new();
+        for index in 0..count {
+            let mut head = perm.shard(index, count);
+            // A different interruption point per shard, as a real kill
+            // would leave behind.
+            let split = (7 * (index as usize + 1)) % 40;
+            merged.extend((&mut head).take(split));
+            let (next, produced) = head.cursor();
+            let mut resumed = perm.shard(index, count);
+            assert!(resumed.seek(next, produced));
+            merged.extend(resumed);
+        }
+        merged.sort_unstable();
+        let want: Vec<u64> = (0..size).collect();
+        assert_eq!(merged, want, "{count} shards");
+    }
+}
+
+/// The tentpole gate in miniature: really-concurrent topologies produce
+/// the same bytes as the single-threaded reference — per-host results,
+/// summary, and the canonical metrics snapshot.
+#[test]
+fn thread_topologies_match_the_single_threaded_reference() {
+    let pop = population();
+    let mut config = study_config(&pop, 7);
+    config.telemetry.record_events = true;
+    let single = ScanRunner::new(&pop).config(config.clone()).run();
+    assert!(!single.results.is_empty());
+    for topology in [
+        Topology::Threads {
+            senders: 1,
+            receivers: 1,
+        },
+        Topology::Threads {
+            senders: 3,
+            receivers: 2,
+        },
+        Topology::Threads {
+            senders: 4,
+            receivers: 4,
+        },
+    ] {
+        let out = ScanRunner::new(&pop)
+            .config(config.clone())
+            .topology(topology)
+            .run();
+        assert_eq!(
+            single.telemetry.metrics.to_canonical_json(),
+            out.telemetry.metrics.to_canonical_json(),
+            "{topology:?}"
+        );
+        assert_eq!(
+            format!("{:?}", single.results),
+            format!("{:?}", out.results),
+            "{topology:?}"
+        );
+        assert_eq!(
+            format!("{:?}", single.summary),
+            format!("{:?}", out.summary),
+            "{topology:?}"
+        );
+        assert_eq!(single.duration, out.duration, "{topology:?}");
+    }
+}
+
+/// A fed world's checkpoints must be byte-identical to the
+/// self-generating path: the ring hands each world the same cursors its
+/// own generator would have produced, so a campaign checkpointed under
+/// one topology can resume under the other.
+#[test]
+fn fed_pipeline_checkpoints_match_the_self_generating_path() {
+    let pop = population();
+    let config = study_config(&pop, 11);
+    let control = RunControl {
+        checkpoint_every: Some(Duration::from_secs(5)),
+        ..RunControl::default()
+    };
+    let direct = ScanRunner::new(&pop)
+        .config(config.clone())
+        .control(control.clone())
+        .run();
+    let fed = ScanRunner::new(&pop)
+        .config(config)
+        .topology(Topology::Threads {
+            senders: 1,
+            receivers: 1,
+        })
+        .control(control)
+        .run();
+    assert!(!direct.checkpoints.is_empty());
+    assert_eq!(direct.checkpoints.len(), fed.checkpoints.len());
+    for (a, b) in direct.checkpoints.iter().zip(&fed.checkpoints) {
+        assert_eq!(a.canonical_json(), b.canonical_json());
+    }
+}

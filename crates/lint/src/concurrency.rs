@@ -1,6 +1,6 @@
 //! Declared-intent concurrency manifest.
 //!
-//! ROADMAP item 1 (sharded TX/RX pipeline) will bring real threads into
+//! The sharded TX/RX pipeline (ROADMAP item 1) brings real threads into
 //! a codebase whose headline guarantee is byte-identical determinism.
 //! This module is where concurrency *intent* is declared as data, the
 //! same way `machines.rs` declares state machines — and the
@@ -107,6 +107,15 @@ pub fn project_concurrency() -> ConcurrencySpec {
                 rank: None,
             },
             SharedStateSpec {
+                file: "crates/core/src/ring.rs",
+                name: "inner",
+                kind: "Mutex",
+                role: "bounded target ring between a TX feeder thread and \
+                       its scan world; the recv side swaps the whole queue \
+                       out so the hot path takes the lock once per batch",
+                rank: Some(15),
+            },
+            SharedStateSpec {
                 file: "crates/cli/src/commands.rs",
                 name: "slots",
                 kind: "Mutex",
@@ -173,19 +182,28 @@ pub fn project_concurrency() -> ConcurrencySpec {
                 why: "trait fan-out, as for on_packet",
             },
         ],
-        channels: vec![ChannelEndpoint {
-            name: "fx",
-            role: "Effects sink: packets and timer arms emitted by endpoints, \
-                   drained by the sim loop; becomes the SPSC ring between \
-                   shards and netsim in ROADMAP item 1",
-            tx_files: &[
-                "crates/core/src/scanner.rs",
-                "crates/hoststack/src/host.rs",
-                "crates/hoststack/src/chaos.rs",
-                "crates/bench/src/bin/exp_eventloop.rs",
-            ],
-            rx_files: &["crates/netsim/src/sim.rs"],
-        }],
+        channels: vec![
+            ChannelEndpoint {
+                name: "feed",
+                role: "admitted targets + generator cursors flowing from a \
+                       TX feeder thread into its scan world's TargetIter",
+                tx_files: &["crates/core/src/txrx.rs"],
+                rx_files: &["crates/core/src/scanner.rs"],
+            },
+            ChannelEndpoint {
+                name: "fx",
+                role: "Effects sink: packets and timer arms emitted by \
+                       endpoints, drained by the sim loop inside each \
+                       shard's world",
+                tx_files: &[
+                    "crates/core/src/scanner.rs",
+                    "crates/hoststack/src/host.rs",
+                    "crates/hoststack/src/chaos.rs",
+                    "crates/bench/src/bin/exp_eventloop.rs",
+                ],
+                rx_files: &["crates/netsim/src/sim.rs"],
+            },
+        ],
     }
 }
 

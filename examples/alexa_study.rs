@@ -12,7 +12,7 @@
 
 use iw_analysis::figures::render_iw_bars;
 use iw_analysis::histogram::IwHistogram;
-use iw_core::{Protocol, ScanConfig, ScanRunner, TargetSpec};
+use iw_core::{Protocol, ScanConfig, ScanRunner, TargetSpec, Topology};
 use iw_internet::{alexa, Population, PopulationConfig};
 use std::sync::Arc;
 
@@ -48,7 +48,7 @@ fn main() {
     full_cfg.rate_pps = 4_000_000;
     let full_scan = ScanRunner::new(&population)
         .config(full_cfg)
-        .shards(4)
+        .topology(Topology::threads(4))
         .run();
 
     let alexa_hist = IwHistogram::from_results(&alexa_scan.results);

@@ -12,7 +12,7 @@
 use iw_analysis::figures::render_iw_bars;
 use iw_analysis::histogram::IwHistogram;
 use iw_analysis::tables::Table1;
-use iw_core::{Protocol, ScanConfig, ScanRunner};
+use iw_core::{Protocol, ScanConfig, ScanRunner, Topology};
 use iw_internet::{Population, PopulationConfig};
 use std::sync::Arc;
 
@@ -36,7 +36,7 @@ fn main() {
         config.rate_pps = 4_000_000;
         ScanRunner::new(&population)
             .config(config)
-            .shards(threads)
+            .topology(Topology::threads(threads))
             .run()
     };
 

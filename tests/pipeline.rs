@@ -8,7 +8,7 @@ use iw_analysis::dbscan::{dbscan, summarize, AsPoint};
 use iw_analysis::histogram::IwHistogram;
 use iw_analysis::sampling;
 use iw_analysis::tables::{Table1, Table2, Table3};
-use iw_core::{Protocol, ScanConfig, ScanOutput, ScanRunner};
+use iw_core::{Protocol, ScanConfig, ScanOutput, ScanRunner, Topology};
 use iw_internet::{Population, PopulationConfig};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -25,7 +25,10 @@ fn world() -> Arc<Population> {
 fn scan(pop: &Arc<Population>, protocol: Protocol) -> ScanOutput {
     let mut config = ScanConfig::study(protocol, pop.space_size(), 0x13072017);
     config.rate_pps = 4_000_000;
-    ScanRunner::new(pop).config(config).shards(4).run()
+    ScanRunner::new(pop)
+        .config(config)
+        .topology(Topology::threads(4))
+        .run()
 }
 
 #[test]
@@ -156,7 +159,10 @@ fn one_percent_of_space_scan_matches_full_distribution() {
     cfg.rate_pps = 4_000_000;
     cfg.sample_fraction = 0.2;
     cfg.sample_salt = 5;
-    let sampled = ScanRunner::new(&pop).config(cfg).shards(4).run();
+    let sampled = ScanRunner::new(&pop)
+        .config(cfg)
+        .topology(Topology::threads(4))
+        .run();
 
     let fh = IwHistogram::from_results(&full.results);
     let sh = IwHistogram::from_results(&sampled.results);
