@@ -101,6 +101,7 @@ fn apply_resilience(config: &mut ScanConfig, args: &ScanArgs) {
             Some(iw_netsim::Duration::from_secs(args.watchdog_secs));
     }
     config.resilience.max_sessions = args.max_sessions;
+    config.stateless_first = args.stateless_first;
 }
 
 /// Wire the scan-style telemetry flags into a scan config.

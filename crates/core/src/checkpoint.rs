@@ -151,6 +151,8 @@ pub struct ConfigDigest {
     pub verify_exhaustion: bool,
     /// Wire-trace recording knob.
     pub record_trace: bool,
+    /// Stateless-first hybrid discovery knob.
+    pub stateless_first: bool,
     /// SYN retry budget.
     pub syn_retries: u32,
     /// First SYN backoff in nanoseconds.
@@ -204,6 +206,7 @@ impl ConfigDigest {
             blacklist_addrs: config.filter.blacklist.address_count(),
             verify_exhaustion: config.verify_exhaustion,
             record_trace: config.record_trace,
+            stateless_first: config.stateless_first,
             syn_retries: config.resilience.syn_retries,
             syn_backoff_nanos: config.resilience.syn_backoff.as_nanos(),
             probe_retries: config.resilience.probe_retries,
@@ -264,6 +267,8 @@ impl ConfigDigest {
         out.push(',');
         push_bool_field(out, "record_trace", self.record_trace);
         out.push(',');
+        push_bool_field(out, "stateless_first", self.stateless_first);
+        out.push(',');
         push_u64_field(out, "syn_retries", u64::from(self.syn_retries));
         out.push(',');
         push_u64_field(out, "syn_backoff_nanos", self.syn_backoff_nanos);
@@ -313,6 +318,7 @@ impl ConfigDigest {
             blacklist_addrs: req_u64(value, "blacklist_addrs")?,
             verify_exhaustion: req_bool(value, "verify_exhaustion")?,
             record_trace: req_bool(value, "record_trace")?,
+            stateless_first: req_bool(value, "stateless_first")?,
             syn_retries: req_u32(value, "syn_retries")?,
             syn_backoff_nanos: req_u64(value, "syn_backoff_nanos")?,
             probe_retries: req_u32(value, "probe_retries")?,
@@ -358,6 +364,7 @@ impl ConfigDigest {
         check!(blacklist_addrs);
         check!(verify_exhaustion);
         check!(record_trace);
+        check!(stateless_first);
         check!(syn_retries);
         check!(syn_backoff_nanos);
         check!(probe_retries);
@@ -397,6 +404,10 @@ pub struct ShardCheckpoint {
     pub pending: Vec<(u32, u32)>,
     /// Live stateful-session target addresses, sorted.
     pub sessions: Vec<u32>,
+    /// Responders queued for promotion to a stateful session
+    /// (stateless-first mode), in queue order — promotion is FIFO, so
+    /// the order is part of the observable state, not a set.
+    pub promotions: Vec<u32>,
     /// Host results recorded so far.
     pub results_recorded: u64,
     /// Streaming-telemetry records emitted so far.
@@ -450,6 +461,16 @@ impl ShardCheckpoint {
         }
         out.push(']');
         out.push(',');
+        push_key(out, "promotions");
+        out.push('[');
+        for (i, ip) in self.promotions.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{ip}");
+        }
+        out.push(']');
+        out.push(',');
         push_u64_field(out, "results_recorded", self.results_recorded);
         out.push(',');
         push_u64_field(out, "stream_records", self.stream_records);
@@ -493,6 +514,14 @@ impl ShardCheckpoint {
                     .ok_or_else(|| CheckpointError::MissingField("sessions".to_string()))
             })
             .collect::<Result<Vec<u32>, CheckpointError>>()?;
+        let promotions = req_arr(value, "promotions")?
+            .iter()
+            .map(|v| {
+                v.as_u64()
+                    .and_then(|n| u32::try_from(n).ok())
+                    .ok_or_else(|| CheckpointError::MissingField("promotions".to_string()))
+            })
+            .collect::<Result<Vec<u32>, CheckpointError>>()?;
         let counters = value
             .get("counters")
             .and_then(JsonValue::as_obj)
@@ -514,6 +543,7 @@ impl ShardCheckpoint {
             targets_sent: req_u64(value, "targets_sent")?,
             pending,
             sessions,
+            promotions,
             results_recorded: req_u64(value, "results_recorded")?,
             stream_records: req_u64(value, "stream_records")?,
             counters,
@@ -703,6 +733,7 @@ mod tests {
             source: Ipv4Addr::new(10, 0, 0, 1),
             verify_exhaustion: true,
             record_trace: false,
+            stateless_first: false,
             telemetry: TelemetryConfig::default(),
             resilience: ResilienceConfig::hardened(),
         }
@@ -729,6 +760,7 @@ mod tests {
                     targets_sent: 1200,
                     pending: vec![(167772161, 1), (167772170, 0)],
                     sessions: vec![167772162, 167772163],
+                    promotions: vec![167772165, 167772164],
                     results_recorded: 1100,
                     stream_records: 3,
                     counters: vec![
@@ -839,5 +871,10 @@ mod tests {
         tweaked.cursor_next += 1;
         assert_ne!(a, tweaked.canonical_json());
         assert_eq!(a, ckpt.shards[0].clone().canonical_json());
+        // Promotion is FIFO, so queue *order* is observable state: the
+        // same set in a different order is a different barrier token.
+        let mut reordered = ckpt.shards[0].clone();
+        reordered.promotions.reverse();
+        assert_ne!(a, reordered.canonical_json());
     }
 }

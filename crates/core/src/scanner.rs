@@ -10,7 +10,7 @@
 
 use crate::blacklist::ScanFilter;
 use crate::checkpoint::ShardCheckpoint;
-use crate::cookie::CookieKey;
+use crate::cookie::{self, CookieKey, SynAckCheck};
 use crate::permutation::{Permutation, ShardIter};
 use crate::rate::{shard_rate, TokenBucket};
 use crate::results::{ErrorKind, HostResult, MssVerdict, MtuResult, ProbeOutcome, Protocol};
@@ -71,6 +71,13 @@ pub struct ScanConfig {
     pub verify_exhaustion: bool,
     /// Record the simulated wire traffic (pcap export).
     pub record_trace: bool,
+    /// Stateless-first hybrid mode (ZBanner-style): discovery SYNs carry
+    /// their whole per-flow state in the source port + ISN cookie, and a
+    /// target only earns scanner memory once its SYN-ACK validates and it
+    /// is promoted to a full stateful IW-inference session. Applies to
+    /// the TCP inference protocols (`Http`/`Tls`); `PortScan` is already
+    /// stateless and `IcmpMtu` has no handshake.
+    pub stateless_first: bool,
     /// Telemetry knobs (event log, RTT tracking, progress monitor).
     pub telemetry: TelemetryConfig,
     /// Resilience knobs (retries, watchdog, concurrency cap).
@@ -197,6 +204,7 @@ impl ScanConfig {
             source: Ipv4Addr::new(198, 18, 0, 1),
             verify_exhaustion: true,
             record_trace: false,
+            stateless_first: false,
             telemetry: TelemetryConfig::default(),
             resilience: ResilienceConfig::default(),
         }
@@ -315,6 +323,12 @@ impl ScanConfigBuilder {
     /// Record the simulated wire traffic for pcap export.
     pub fn record_trace(mut self, on: bool) -> Self {
         self.config.record_trace = on;
+        self
+    }
+
+    /// Toggle stateless-first hybrid discovery (ZBanner-style).
+    pub fn stateless_first(mut self, on: bool) -> Self {
+        self.config.stateless_first = on;
         self
     }
 
@@ -438,13 +452,22 @@ const MONITOR_TOKEN: TimerToken = u64::MAX - 1;
 const SWEEP_TOKEN: TimerToken = u64::MAX - 2;
 /// Timer token for the streaming-telemetry snapshot tick.
 const STREAM_TOKEN: TimerToken = u64::MAX - 3;
-/// Per-IP timer namespaces in bits 32.. of the token (bits ..32 carry the
-/// IP): 0 = session wake-up, 1 = SYN retry, 2 = session watchdog. The
-/// scanner-global tokens above live at the very top of the space and are
-/// matched by equality first.
+/// Per-IP timer namespaces in bits 32..40 of the token (bits ..32 carry
+/// the IP): 0 = session wake-up, 1 = SYN retry, 2 = session watchdog,
+/// 3 = discovery retransmit. The scanner-global tokens above live at the
+/// very top of the space and are matched by equality first.
 const SYN_RETRY_NS: u64 = 1 << 32;
 /// See [`SYN_RETRY_NS`].
 const WATCHDOG_NS: u64 = 2 << 32;
+/// Discovery-retransmit namespace; the attempt index rides in bits 40..
+/// so the timer itself carries the whole retry state — no `pending`
+/// entry exists for a discovery-phase target.
+const DISCOVERY_NS: u64 = 3 << 32;
+
+/// Token for discovery retransmission `attempt` of target `ip`.
+fn discovery_token(attempt: u32, ip: u32) -> TimerToken {
+    DISCOVERY_NS | (u64::from(attempt) << 40) | u64::from(ip)
+}
 /// Pacing tick length.
 const TICK: Duration = Duration::from_millis(5);
 /// Period of the SYN-timestamp sweep.
@@ -512,6 +535,19 @@ struct Metrics {
     icmp_unreachable_codes: [CounterId; 4],
     icmp_frag_needed: CounterId,
     icmp_source_quench: CounterId,
+    /// Stateless-first discovery accounting (Scan scope: responses are
+    /// population-determined) plus the per-shard state-peak gauge.
+    discovery_syns: CounterId,
+    discovery_retries: CounterId,
+    discovery_validated: CounterId,
+    discovery_promoted: CounterId,
+    discovery_duplicates: CounterId,
+    discovery_cookie_mismatch: CounterId,
+    discovery_raw_isn_echo: CounterId,
+    discovery_spoofed_rst: CounterId,
+    discovery_state_peak: GaugeId,
+    /// RSTs dropped on any verdict path for failing cookie validation.
+    rst_ignored: CounterId,
     /// Durable-campaign accounting. Shard-scoped: capture cadence and
     /// drain pressure depend on per-shard event interleaving.
     checkpoints_taken: CounterId,
@@ -565,6 +601,17 @@ impl Metrics {
             manifest::ICMP_UNREACHABLE_CODE_COUNTERS.map(|def| r.register_counter(def));
         let icmp_frag_needed = r.register_counter(&manifest::SCAN_ICMP_FRAG_NEEDED);
         let icmp_source_quench = r.register_counter(&manifest::SCAN_ICMP_SOURCE_QUENCH);
+        let discovery_syns = r.register_counter(&manifest::SCAN_DISCOVERY_SYNS);
+        let discovery_retries = r.register_counter(&manifest::SCAN_DISCOVERY_RETRIES);
+        let discovery_validated = r.register_counter(&manifest::SCAN_DISCOVERY_VALIDATED);
+        let discovery_promoted = r.register_counter(&manifest::SCAN_DISCOVERY_PROMOTED);
+        let discovery_duplicates = r.register_counter(&manifest::SCAN_DISCOVERY_DUPLICATES);
+        let discovery_cookie_mismatch =
+            r.register_counter(&manifest::SCAN_DISCOVERY_COOKIE_MISMATCH);
+        let discovery_raw_isn_echo = r.register_counter(&manifest::SCAN_DISCOVERY_RAW_ISN_ECHO);
+        let discovery_spoofed_rst = r.register_counter(&manifest::SCAN_DISCOVERY_SPOOFED_RST);
+        let discovery_state_peak = r.register_gauge(&manifest::SCAN_DISCOVERY_STATE_PEAK);
+        let rst_ignored = r.register_counter(&manifest::SCAN_RST_IGNORED);
         let checkpoints_taken = r.register_counter(&manifest::SCAN_CHECKPOINTS_TAKEN);
         let checkpoint_drain_forced = r.register_counter(&manifest::SCAN_CHECKPOINT_DRAIN_FORCED);
         let flight_dumps = r.register_counter(&manifest::SCAN_FLIGHT_DUMPS);
@@ -604,6 +651,16 @@ impl Metrics {
             icmp_unreachable_codes,
             icmp_frag_needed,
             icmp_source_quench,
+            discovery_syns,
+            discovery_retries,
+            discovery_validated,
+            discovery_promoted,
+            discovery_duplicates,
+            discovery_cookie_mismatch,
+            discovery_raw_isn_echo,
+            discovery_spoofed_rst,
+            discovery_state_peak,
+            rst_ignored,
             checkpoints_taken,
             checkpoint_drain_forced,
             flight_dumps,
@@ -641,8 +698,26 @@ pub struct Scanner {
     pending: IpMap<u32>,
     /// Session creation order (oldest first) for `max_sessions` eviction.
     /// Maintained only when a cap is configured; may hold stale entries
-    /// for already-finished sessions (skipped on eviction).
+    /// for already-finished sessions (skipped on eviction, lazily
+    /// compacted on conclusion so it stays O(live sessions)).
     session_order: VecDeque<u32>,
+    /// Responders awaiting promotion to a stateful session, in discovery
+    /// order (stateless-first mode). Drained FIFO whenever the session
+    /// table has room under `max_sessions`.
+    promotions: VecDeque<u32>,
+    /// Promoted targets whose stateful handshake is still in flight (SYN
+    /// sent, session not yet created). The promotion drain counts these
+    /// against `max_sessions` — a session only appears when the SYN-ACK
+    /// returns, so gating on the session table alone would flush the
+    /// whole queue in one burst and the admission path would then evict
+    /// everything past the cap. Entries leave on session creation,
+    /// refusal, ICMP fast-fail or SYN-retry exhaustion.
+    promoted_inflight: IpMap<()>,
+    /// Targets whose discovery SYN-ACK (or RST) already validated, with
+    /// the attempt that elicited it: blind retransmissions can draw
+    /// duplicate responses, and a responder must be promoted exactly
+    /// once. O(responders) by construction.
+    discovered: IpMap<u32>,
     domains: IpMap<String>,
     results: Vec<HostResult>,
     open_ports: Vec<u32>,
@@ -655,6 +730,9 @@ pub struct Scanner {
     /// the whole scan); only `seq` is rewritten per target, so the probe
     /// fan-out never re-allocates the options vector.
     syn_template: tcp::Repr,
+    /// Prebuilt discovery-SYN segment (stateless-first mode): `src_port`
+    /// carries the attempt, `seq` the cookie; everything else is fixed.
+    discovery_template: tcp::Repr,
     metrics: Metrics,
     events: EventLog,
     /// SYN send times for RTT measurement (populated only when
@@ -762,6 +840,10 @@ impl Scanner {
             options: vec![tcp::TcpOption::Mss(*config.mss_list.first().unwrap_or(&64))],
             payload: Vec::new(),
         };
+        let discovery_template = tcp::Repr {
+            src_port: cookie::DISCOVERY_BASE_SPORT,
+            ..syn_template.clone()
+        };
         Scanner {
             config,
             params,
@@ -772,6 +854,9 @@ impl Scanner {
             sessions: IpMap::new(),
             pending: IpMap::new(),
             session_order: VecDeque::new(),
+            promotions: VecDeque::new(),
+            promoted_inflight: IpMap::new(),
+            discovered: IpMap::new(),
             domains: IpMap::new(),
             results: Vec::new(),
             open_ports: Vec::new(),
@@ -781,6 +866,7 @@ impl Scanner {
             refused: 0,
             ident: 1,
             syn_template,
+            discovery_template,
             metrics: Metrics::new(),
             events,
             syn_ts: IpMap::new(),
@@ -847,6 +933,12 @@ impl Scanner {
     /// sweep keeps this bounded even when targets never answer).
     pub fn rtt_pending(&self) -> usize {
         self.syn_ts.len()
+    }
+
+    /// Depth of the eviction-order queue (diagnostics; lazy compaction
+    /// keeps this O(live sessions), not O(total sessions started)).
+    pub fn eviction_queue_len(&self) -> usize {
+        self.session_order.len()
     }
 
     /// Fold the simulation kernel's counters into the shard-scoped
@@ -996,6 +1088,10 @@ impl Scanner {
             targets_sent: self.targets_sent,
             pending,
             sessions,
+            // Queue order is state (promotion is FIFO), so the capture
+            // is NOT sorted — a resumed replay must reproduce the exact
+            // drain order for the tail to stay byte-identical.
+            promotions: self.promotions.iter().copied().collect(),
             results_recorded: (self.results.len() + self.open_ports.len() + self.mtu_results.len())
                 as u64,
             stream_records: self.sink.len() as u64,
@@ -1020,6 +1116,17 @@ impl Scanner {
     pub fn begin_drain(&mut self, now: Instant, fx: &mut Effects) {
         self.exhausted = true;
         self.pending.retain(|_, _| false);
+        // Queued responders are cut short exactly like pending retries:
+        // each dropped promotion is forced-drain pressure.
+        for _ in 0..self.promotions.len() {
+            self.metrics
+                .registry
+                .inc(self.metrics.checkpoint_drain_forced);
+        }
+        self.promotions.clear();
+        // In-flight promoted handshakes are cut off with them: their
+        // SYN-ACKs may still arrive, but no further slots are gated.
+        self.promoted_inflight.retain(|_, _| false);
         let mut ips: Vec<u32> = self.sessions.iter().map(|(ip, _)| ip).collect();
         ips.sort_unstable();
         for ip in ips {
@@ -1112,27 +1219,219 @@ impl Scanner {
                 );
                 self.send_echo(ip, total, fx);
             }
-            _ => {
-                // The SYN timestamp serves both the RTT histogram and the
-                // handshake span, so either knob populates the map (the
-                // sweep bounds it for silent targets in both cases).
-                if self.config.telemetry.record_rtt || self.config.telemetry.record_spans {
-                    self.syn_ts.insert(ip, now);
-                }
-                self.recorder
-                    .note_state(ip, now.as_nanos(), SessionEvent::SynSent);
-                self.events
-                    .record(now.as_nanos(), ip, SessionEvent::SynSent);
-                self.emit_syn(ip, now, fx);
-                if self.config.resilience.syn_retries > 0 {
-                    self.pending.insert(ip, 0);
-                    fx.arm(
-                        self.config.resilience.syn_backoff,
-                        SYN_RETRY_NS | u64::from(ip),
-                    );
+            _ if self.discovery_active() => {
+                // Stateless-first: the SYN's source port and cookie ISN
+                // carry the whole flow state. No `pending` entry, no RTT
+                // stamp, no recorder ring — a target earns memory only at
+                // promotion. Retransmission state rides in the timer
+                // token itself (attempt in bits 40..).
+                self.metrics.registry.inc(self.metrics.discovery_syns);
+                self.emit_discovery_syn(ip, 0, fx);
+                if self.discovery_retry_budget() > 0 {
+                    fx.arm(self.config.resilience.syn_backoff, discovery_token(1, ip));
                 }
             }
+            _ => self.send_stateful_syn(ip, now, fx),
         }
+    }
+
+    /// Whether discovery-phase statelessness applies: the inference
+    /// protocols handshake over TCP and benefit; `PortScan` is already
+    /// stateless and `IcmpMtu` has no TCP handshake.
+    fn discovery_active(&self) -> bool {
+        self.config.stateless_first
+            && matches!(self.config.protocol, Protocol::Http | Protocol::Tls)
+    }
+
+    /// Discovery retransmission budget: the configured SYN retries,
+    /// clamped so the attempt always fits the source-port encoding.
+    fn discovery_retry_budget(&self) -> u32 {
+        self.config
+            .resilience
+            .syn_retries
+            .min(cookie::DISCOVERY_MAX_ATTEMPTS - 1)
+    }
+
+    /// Send the stateful SYN for a target — directly in classic mode, or
+    /// at promotion time in stateless-first mode. From here on the
+    /// target follows the exact classic lifecycle (pending entry, RTT
+    /// stamp, recorder ring, `SYN_RETRY_NS` timers), which is what keeps
+    /// responder verdicts byte-identical across the two modes.
+    fn send_stateful_syn(&mut self, ip: u32, now: Instant, fx: &mut Effects) {
+        // The SYN timestamp serves both the RTT histogram and the
+        // handshake span, so either knob populates the map (the
+        // sweep bounds it for silent targets in both cases).
+        if self.config.telemetry.record_rtt || self.config.telemetry.record_spans {
+            self.syn_ts.insert(ip, now);
+        }
+        self.recorder
+            .note_state(ip, now.as_nanos(), SessionEvent::SynSent);
+        self.events
+            .record(now.as_nanos(), ip, SessionEvent::SynSent);
+        self.emit_syn(ip, now, fx);
+        if self.config.resilience.syn_retries > 0 {
+            self.pending.insert(ip, 0);
+            fx.arm(
+                self.config.resilience.syn_backoff,
+                SYN_RETRY_NS | u64::from(ip),
+            );
+        }
+    }
+
+    /// Emit the stateless discovery SYN for `attempt`: the source port
+    /// encodes the attempt, the ISN is the cookie for exactly that flow,
+    /// so the eventual SYN-ACK names the transmission it answers.
+    fn emit_discovery_syn(&mut self, ip: u32, attempt: u32, fx: &mut Effects) {
+        let sport = cookie::discovery_sport(attempt);
+        let dport = self.discovery_template.dst_port;
+        self.discovery_template.src_port = sport;
+        self.discovery_template.seq = self.cookie.isn(ip, sport, dport);
+        Self::emit_datagram(
+            self.config.source,
+            &mut self.ident,
+            Ipv4Addr::from_u32(ip),
+            &self.discovery_template,
+            fx,
+        );
+    }
+
+    /// A discovery-retransmit timer fired: the attempt to send now rides
+    /// in the token. Retransmit on a fresh source port unless the target
+    /// already answered (discovered, promoted into the session table, or
+    /// mid-promotion in the pending map).
+    fn discovery_retry_fire(&mut self, ip: u32, attempt: u32, now: Instant, fx: &mut Effects) {
+        let _ = now;
+        if attempt == 0 || attempt > self.discovery_retry_budget() {
+            return;
+        }
+        if self.discovered.contains_key(ip)
+            || self.sessions.contains_key(ip)
+            || self.pending.contains_key(ip)
+        {
+            return;
+        }
+        self.metrics.registry.inc(self.metrics.discovery_retries);
+        self.emit_discovery_syn(ip, attempt, fx);
+        if attempt < self.discovery_retry_budget() {
+            // Same doubling schedule as the stateful SYN retry path.
+            let backoff =
+                Duration::from_nanos(self.config.resilience.syn_backoff.as_nanos() << attempt);
+            fx.arm(backoff, discovery_token(attempt + 1, ip));
+        }
+    }
+
+    /// A discovery-flow segment arrived (destination port inside the
+    /// discovery block). Every verdict path is cookie-gated; failures are
+    /// counted by taxonomy and dropped without a verdict.
+    fn on_discovery_segment(
+        &mut self,
+        src: Ipv4Addr,
+        seg: &tcp::Repr,
+        now: Instant,
+        fx: &mut Effects,
+    ) {
+        let ip = src.to_u32();
+        let Some(attempt) = cookie::discovery_attempt(seg.dst_port) else {
+            return;
+        };
+        if seg.flags.contains(Flags::SYN) && seg.flags.contains(Flags::ACK) {
+            match self
+                .cookie
+                .classify_synack(ip, seg.dst_port, seg.src_port, seg.ack)
+            {
+                SynAckCheck::Valid => {
+                    // Tear the stateless flow down either way: the host
+                    // holds a half-open connection we will never use.
+                    let rst =
+                        tcp::Repr::bare(seg.dst_port, seg.src_port, seg.ack, 0, Flags::RST, 0);
+                    Self::emit_datagram(self.config.source, &mut self.ident, src, &rst, fx);
+                    if self.discovered.contains_key(ip) {
+                        self.metrics.registry.inc(self.metrics.discovery_duplicates);
+                        return;
+                    }
+                    self.discovered.insert(ip, attempt);
+                    self.metrics.registry.inc(self.metrics.discovery_validated);
+                    self.promotions.push_back(ip);
+                    self.note_discovery_state();
+                    self.try_drain_promotions(now, fx);
+                }
+                SynAckCheck::RawIsnEcho => {
+                    self.metrics
+                        .registry
+                        .inc(self.metrics.discovery_raw_isn_echo);
+                }
+                SynAckCheck::Mismatch => {
+                    self.metrics
+                        .registry
+                        .inc(self.metrics.discovery_cookie_mismatch);
+                }
+            }
+        } else if seg.flags.contains(Flags::RST) {
+            if !self
+                .cookie
+                .validate(ip, seg.dst_port, seg.src_port, seg.ack)
+            {
+                self.metrics
+                    .registry
+                    .inc(self.metrics.discovery_spoofed_rst);
+                return;
+            }
+            if self.discovered.contains_key(ip) {
+                return;
+            }
+            // A cookie-valid refusal is a terminal verdict: host up, port
+            // closed — same as the stateful path, no promotion needed.
+            self.discovered.insert(ip, attempt);
+            self.refused += 1;
+            self.metrics.registry.inc(self.metrics.refused);
+            self.observe_event(ip, SessionEvent::Refused, now);
+            self.sink.note_result(now.as_nanos(), ip, "refused");
+            self.recorder.conclude(ip, now.as_nanos(), None);
+        }
+    }
+
+    /// Promote queued responders into stateful sessions while the
+    /// `max_sessions` cap has room. Unlike classic mode (which evicts the
+    /// oldest session on admission pressure), promotion *waits*: the
+    /// queue is the back-pressure buffer, and concluded sessions pull the
+    /// next responder in.
+    fn try_drain_promotions(&mut self, now: Instant, fx: &mut Effects) {
+        let cap = self.config.resilience.max_sessions;
+        while let Some(&ip) = self.promotions.front() {
+            // In-flight promotions hold a slot too: their sessions only
+            // materialize one RTT later, when the SYN-ACK comes back.
+            if cap > 0 && self.sessions.len() + self.promoted_inflight.len() >= cap {
+                return;
+            }
+            self.promotions.pop_front();
+            self.promoted_inflight.insert(ip, ());
+            self.metrics.registry.inc(self.metrics.discovery_promoted);
+            self.send_stateful_syn(ip, now, fx);
+            self.note_discovery_state();
+        }
+    }
+
+    /// A promoted target left the in-flight set without producing a live
+    /// session (refusal, ICMP fast-fail, SYN-retry exhaustion): its
+    /// `max_sessions` slot frees up, so pull the next queued responder.
+    fn promotion_slot_freed(&mut self, ip: u32, now: Instant, fx: &mut Effects) {
+        if self.promoted_inflight.remove(ip).is_some() && !self.promotions.is_empty() {
+            self.try_drain_promotions(now, fx);
+        }
+    }
+
+    /// Record the current per-target discovery footprint into the
+    /// `scan.discovery.state_peak` gauge (the registry keeps the peak).
+    /// This is the memory-model gate: the gauge counts distinct targets
+    /// holding pre-session state — queued responders plus promoted
+    /// handshakes in flight. `pending` and `syn_ts` entries only exist
+    /// for those same targets in stateless-first mode, so the gauge
+    /// bounds them too: O(validated responders), never O(targets).
+    fn note_discovery_state(&mut self) {
+        let footprint = (self.promotions.len() + self.promoted_inflight.len()) as u64;
+        self.metrics
+            .registry
+            .gauge_set(self.metrics.discovery_state_peak, footprint);
     }
 
     /// Emit the stateless (probe 0, conn 0) SYN for a target. Retries use
@@ -1183,6 +1482,7 @@ impl Scanner {
             {
                 self.metrics.registry.inc(self.metrics.flight_dumps);
             }
+            self.promotion_slot_freed(ip, now, fx);
             return;
         }
         self.pending.insert(ip, attempts + 1);
@@ -1193,6 +1493,11 @@ impl Scanner {
             },
             now,
         );
+        // Karn's rule: once a SYN is retransmitted, a later SYN-ACK is
+        // ambiguous — it may answer either transmission — so the RTT
+        // sample (and the handshake span it would start) is dropped
+        // rather than attributing whole backoff periods to the wire.
+        self.syn_ts.remove(ip);
         self.emit_syn(ip, now, fx);
         let backoff =
             Duration::from_nanos(self.config.resilience.syn_backoff.as_nanos() << (attempts + 1));
@@ -1368,6 +1673,22 @@ impl Scanner {
             self.metrics
                 .registry
                 .gauge_set(self.metrics.live_peak, self.sessions.len() as u64);
+            // Lazily compact the eviction deque: normally-concluded
+            // sessions leave stale entries behind, and without this the
+            // deque grows O(total sessions started) over a long
+            // campaign. Compacting only past 2× live (+ slack) keeps the
+            // amortized cost O(1) per conclusion.
+            if self.config.resilience.max_sessions > 0
+                && self.session_order.len() > self.sessions.len() * 2 + 16
+            {
+                let sessions = &self.sessions;
+                self.session_order.retain(|ip| sessions.contains_key(*ip));
+            }
+            // A concluded session frees a `max_sessions` slot: pull the
+            // next queued responder in (stateless-first mode).
+            if !self.promotions.is_empty() {
+                self.try_drain_promotions(now, fx);
+            }
         }
     }
 
@@ -1478,6 +1799,13 @@ impl Scanner {
                 self.sink.note_result(now.as_nanos(), ip, "open");
                 self.recorder.conclude(ip, now.as_nanos(), None);
             } else if seg.flags.contains(Flags::RST) {
+                // Cookie-gate the refusal verdict exactly like the
+                // SYN-ACK path: a RST acks our ISN+1 iff it answers our
+                // SYN. Spoofed/backscatter RSTs produce no verdict.
+                if !self.cookie.validate(ip, sport, seg.src_port, seg.ack) {
+                    self.metrics.registry.inc(self.metrics.rst_ignored);
+                    return;
+                }
                 self.refused += 1;
                 self.metrics.registry.inc(self.metrics.refused);
                 self.syn_ts.remove(ip);
@@ -1486,6 +1814,13 @@ impl Scanner {
                 self.sink.note_result(now.as_nanos(), ip, "refused");
                 self.recorder.conclude(ip, now.as_nanos(), None);
             }
+            return;
+        }
+
+        // Stateless-first discovery flows live in their own source-port
+        // block, so the destination port alone routes the segment.
+        if self.discovery_active() && cookie::discovery_attempt(seg.dst_port).is_some() {
+            self.on_discovery_segment(src, seg, now, fx);
             return;
         }
 
@@ -1510,6 +1845,9 @@ impl Scanner {
             self.metrics.registry.inc(self.metrics.synacks_validated);
             self.consume_syn_ts(ip, now);
             self.pending.remove(ip);
+            // The in-flight slot becomes the session's slot (net
+            // occupancy unchanged, so no promotion drain here).
+            self.promoted_inflight.remove(ip);
             self.metrics.registry.inc(self.metrics.sessions_started);
             self.observe_event(ip, SessionEvent::SynAckValidated, now);
             self.observe_event(ip, SessionEvent::SessionStarted, now);
@@ -1535,10 +1873,14 @@ impl Scanner {
                 .registry
                 .gauge_set(self.metrics.live_peak, self.sessions.len() as u64);
             self.apply_session_output(ip, out, now, fx);
-        } else if seg.flags.contains(Flags::RST)
-            && seg.dst_port == sport
-            && self.cookie.validate(ip, sport, dport, seg.ack)
-        {
+        } else if seg.flags.contains(Flags::RST) && seg.dst_port == sport {
+            if !self.cookie.validate(ip, sport, dport, seg.ack) {
+                // Reached our port but does not ack our cookie: spoofed
+                // or stale — drop without a verdict (mirrors the
+                // PortScan-path gate).
+                self.metrics.registry.inc(self.metrics.rst_ignored);
+                return;
+            }
             self.refused += 1;
             self.metrics.registry.inc(self.metrics.refused);
             self.syn_ts.remove(ip);
@@ -1547,6 +1889,7 @@ impl Scanner {
             self.sink.note_result(now.as_nanos(), ip, "refused");
             // A refusal is a clean conclusion: the black box is dropped.
             self.recorder.conclude(ip, now.as_nanos(), None);
+            self.promotion_slot_freed(ip, now, fx);
         }
     }
 
@@ -1663,6 +2006,7 @@ impl Scanner {
                 {
                     self.metrics.registry.inc(self.metrics.flight_dumps);
                 }
+                self.promotion_slot_freed(ip, now, fx);
             }
             return;
         }
@@ -1740,7 +2084,9 @@ impl Endpoint for Scanner {
             return;
         }
         let ip = token as u32;
-        match token >> 32 {
+        // The namespace sits in bits 32..40; bits 40.. carry per-namespace
+        // payload (the discovery attempt), so mask before dispatching.
+        match (token >> 32) & 0xff {
             0 => {
                 if let Some(session) = self.sessions.get_mut(ip) {
                     let out = session.on_timer(now);
@@ -1749,6 +2095,7 @@ impl Endpoint for Scanner {
             }
             1 => self.syn_retry_fire(ip, now, fx),
             2 => self.watchdog_fire(ip, now, fx),
+            3 => self.discovery_retry_fire(ip, (token >> 40) as u32, now, fx),
             _ => {}
         }
     }

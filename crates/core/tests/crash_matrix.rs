@@ -221,6 +221,33 @@ fn kill_resume_matrix_four_threads() {
     assert!(captures.iter().any(|c| !c.sessions.is_empty()));
 }
 
+#[test]
+fn kill_resume_matrix_stateless_first() {
+    // Stateless-first discovery adds the promotion queue to shard state:
+    // killing while responders wait behind a tight session cap and
+    // resuming must replay the queue (FIFO order and all) byte-exactly.
+    let pop = small_world(0x51f5);
+    let mut config = durable_config(pop.space_size(), 0x51f5);
+    config.stateless_first = true;
+    config.resilience.max_sessions = 4; // force promotions to queue up
+    let probe = run(&pop, &config, 1, RunControl::default());
+    let total = probe
+        .checkpoints
+        .last()
+        .expect("final capture always recorded")
+        .events;
+    assert!(total > 512, "world too small to exercise kill points");
+    let kill_points = [total / 6, total / 3, total / 2, (total * 4) / 5];
+    let captures = kill_resume_matrix(&pop, &config, 1, &kill_points);
+    // At least one kill landed with responders queued behind the cap —
+    // the new state the checkpoint must carry.
+    assert!(
+        captures.iter().any(|c| !c.promotions.is_empty()),
+        "no kill point landed with a live promotion queue: {captures:?}"
+    );
+    assert!(captures.iter().any(|c| !c.sessions.is_empty()));
+}
+
 // ---------------------------------------------------------------------
 // Resume validation: stale or foreign state must fail closed.
 // ---------------------------------------------------------------------
@@ -373,6 +400,10 @@ fn random_shard(rng: &mut u64, index: u32) -> ShardCheckpoint {
     let counters: Vec<(String, u64)> = (0..(splitmix(rng) % 6))
         .map(|i| (format!("scan.fuzz.counter_{i:02}"), splitmix(rng)))
         .collect();
+    // Promotion order is FIFO state, so the fuzz keeps it unsorted.
+    let promotions: Vec<u32> = (0..(splitmix(rng) % 5))
+        .map(|_| splitmix(rng) as u32 % 4096)
+        .collect();
     ShardCheckpoint {
         shard: index,
         events: splitmix(rng),
@@ -383,6 +414,7 @@ fn random_shard(rng: &mut u64, index: u32) -> ShardCheckpoint {
         targets_sent: splitmix(rng),
         pending,
         sessions,
+        promotions,
         results_recorded: splitmix(rng),
         stream_records: splitmix(rng),
         counters,

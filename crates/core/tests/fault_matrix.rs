@@ -423,6 +423,419 @@ fn rtt_map_is_bounded_after_scanning_silent_space() {
 }
 
 // ---------------------------------------------------------------------
+// Cookie-gating: spoofed RSTs must never mint refusal verdicts.
+// ---------------------------------------------------------------------
+
+#[test]
+fn spoofed_rsts_mint_no_refusal_verdicts() {
+    // Regression for the headline bug: the PortScan (and pre-session
+    // TCP) RST paths counted *any* RST to our source port as "refused"
+    // without validating the cookie echo, so off-path backscatter could
+    // mint refusal verdicts for hosts that never answered.
+    for protocol in [Protocol::PortScan, Protocol::Http] {
+        let space = 64u32;
+        let spoofer = |ip: u32| ip.is_multiple_of(2);
+        let mut config = ScanConfig::study(protocol, space, 0x5f00);
+        config.rate_pps = 2_000_000;
+        let (results, metrics, _sent, refused) = run_matrix(config, |ip| {
+            let host: Box<dyn Endpoint> = if spoofer(ip) {
+                Box::new(ChaosHost::new(
+                    Ipv4Addr::from_u32(ip),
+                    ChaosMode::SpoofedRst,
+                    0x5f00,
+                ))
+            } else {
+                web_host(ip, 0x5f00)
+            };
+            Some((host, LinkConfig::testbed()))
+        });
+        let cohort = (0..space).filter(|ip| spoofer(*ip)).count() as u64;
+        assert_eq!(refused, 0, "{protocol:?}: spoofed RSTs minted refusals");
+        assert_eq!(metrics.counter("scan.refused"), 0, "{protocol:?}");
+        // One SYN per spoofer (no retries configured), each answered by
+        // one cookie-less RST, each dropped and counted.
+        assert_eq!(metrics.counter("scan.rst_ignored"), cohort, "{protocol:?}");
+        // The honest cohort is unaffected.
+        match protocol {
+            Protocol::PortScan => assert!(results.is_empty()),
+            _ => {
+                assert_eq!(results.len(), (space - cohort as u32) as usize);
+                let acc = accuracy(&results);
+                assert!((acc - 1.0).abs() < f64::EPSILON, "accuracy {acc}");
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Stateless-first discovery: verdict identity, adversarial cohorts,
+// promotion back-pressure, and the O(responders) memory gate.
+// ---------------------------------------------------------------------
+
+fn stateless_config(space: u32, seed: u64) -> ScanConfig {
+    let mut config = scan_config(space, seed);
+    config.stateless_first = true;
+    config
+}
+
+#[test]
+fn stateless_first_matches_stateful_verdicts_byte_for_byte() {
+    let space = 128u32;
+    let seed = 0x57a7;
+    let factory = |ip: u32| Some((web_host(ip, seed), LinkConfig::testbed()));
+    let (stateful, ..) = run_matrix(scan_config(space, seed), factory);
+    let (stateless, metrics, _sent, refused) = run_matrix(stateless_config(space, seed), factory);
+    // Discovery changes how responders are found, never what is
+    // measured: per-host results must be byte-identical.
+    assert_eq!(format!("{stateful:?}"), format!("{stateless:?}"));
+    assert_eq!(refused, 0);
+    assert_eq!(metrics.counter("scan.discovery.syns"), u64::from(space));
+    assert_eq!(
+        metrics.counter("scan.discovery.validated"),
+        u64::from(space)
+    );
+    assert_eq!(metrics.counter("scan.discovery.promoted"), u64::from(space));
+    assert_eq!(metrics.counter("scan.discovery.cookie_mismatch"), 0);
+    assert_eq!(metrics.counter("scan.discovery.spoofed_rst"), 0);
+}
+
+/// The adversarial discovery world: four interleaved cohorts — honest
+/// web hosts, SYN-ACKs acking the raw ISN, SYN-ACKs acking garbage, and
+/// cookie-less RSTs. Shared by the 1-shard and 4-shard tests.
+fn adversarial_factory(seed: u64) -> impl FnMut(u32) -> Option<(Box<dyn Endpoint>, LinkConfig)> {
+    move |ip: u32| {
+        let host: Box<dyn Endpoint> = match ip % 4 {
+            0 => web_host(ip, seed),
+            1 => Box::new(ChaosHost::new(
+                Ipv4Addr::from_u32(ip),
+                ChaosMode::SynAckWrongAck { delta: 0 },
+                seed,
+            )),
+            2 => Box::new(ChaosHost::new(
+                Ipv4Addr::from_u32(ip),
+                ChaosMode::SynAckWrongAck { delta: 2 },
+                seed,
+            )),
+            _ => Box::new(ChaosHost::new(
+                Ipv4Addr::from_u32(ip),
+                ChaosMode::SpoofedRst,
+                seed,
+            )),
+        };
+        Some((host, LinkConfig::testbed()))
+    }
+}
+
+/// Assert the adversarial-world invariants on merged (or 1-shard)
+/// outputs: only the honest cohort earns verdicts, every rejection is
+/// counted by taxonomy, and nothing inflates `refused`.
+fn check_adversarial(
+    space: u32,
+    results: &[HostResult],
+    metrics: &Snapshot,
+    refused: u64,
+    label: &str,
+) {
+    let cohort = u64::from(space / 4);
+    // Only the honest quarter is measured — and perfectly.
+    assert_eq!(results.len(), cohort as usize, "{label}");
+    assert!(results.iter().all(|r| r.ip % 4 == 0), "{label}");
+    let acc = accuracy(results);
+    assert!((acc - 1.0).abs() < f64::EPSILON, "{label}: accuracy {acc}");
+    // No refusal verdicts from cookie-less RSTs.
+    assert_eq!(refused, 0, "{label}: spoofed RSTs minted refusals");
+    // Hardened = 2 discovery retries; every adversarial host answers
+    // every attempt, the honest cohort answers before its first retry.
+    assert_eq!(
+        metrics.counter("scan.discovery.syns"),
+        u64::from(space),
+        "{label}"
+    );
+    assert_eq!(
+        metrics.counter("scan.discovery.retries"),
+        cohort * 3 * 2,
+        "{label}"
+    );
+    assert_eq!(
+        metrics.counter("scan.discovery.raw_isn_echo"),
+        cohort * 3,
+        "{label}"
+    );
+    assert_eq!(
+        metrics.counter("scan.discovery.cookie_mismatch"),
+        cohort * 3,
+        "{label}"
+    );
+    assert_eq!(
+        metrics.counter("scan.discovery.spoofed_rst"),
+        cohort * 3,
+        "{label}"
+    );
+    assert_eq!(
+        metrics.counter("scan.discovery.validated"),
+        cohort,
+        "{label}"
+    );
+    assert_eq!(
+        metrics.counter("scan.discovery.promoted"),
+        cohort,
+        "{label}"
+    );
+}
+
+#[test]
+fn stateless_adversarial_cohorts_inflate_no_verdicts() {
+    let space = 128u32;
+    let seed = 0xad7e;
+    let mut config = stateless_config(space, seed);
+    config.resilience = ResilienceConfig::hardened();
+    let (results, metrics, _sent, refused) = run_matrix(config, adversarial_factory(seed));
+    check_adversarial(space, &results, &metrics, refused, "1 shard");
+}
+
+#[test]
+fn stateless_adversarial_cohorts_merge_identically_at_four_shards() {
+    let space = 128u32;
+    let seed = 0xad7e;
+    let mut merged_results: Vec<HostResult> = Vec::new();
+    let mut merged_metrics: Option<Snapshot> = None;
+    let mut refused_total = 0u64;
+    for shard in 0..4u32 {
+        let mut config = stateless_config(space, seed);
+        config.resilience = ResilienceConfig::hardened();
+        config.shard = (shard, 4);
+        let (results, metrics, _sent, refused) = run_matrix(config, adversarial_factory(seed));
+        merged_results.extend(results);
+        refused_total += refused;
+        match &mut merged_metrics {
+            Some(m) => m.merge(&metrics),
+            None => merged_metrics = Some(metrics),
+        }
+    }
+    merged_results.sort_by_key(|r| r.ip);
+    let metrics = merged_metrics.unwrap();
+    check_adversarial(space, &merged_results, &metrics, refused_total, "4 shards");
+    // And the merged results are byte-identical to the 1-shard run.
+    let mut config = stateless_config(space, seed);
+    config.resilience = ResilienceConfig::hardened();
+    let (single, ..) = run_matrix(config, adversarial_factory(seed));
+    assert_eq!(format!("{single:?}"), format!("{merged_results:?}"));
+}
+
+#[test]
+fn replayed_synacks_promote_exactly_once() {
+    let space = 64u32;
+    let seed = 0x4e91;
+    let mut config = stateless_config(space, seed);
+    config.resilience = ResilienceConfig::hardened();
+    let (results, metrics, ..) = run_matrix(config, |ip| {
+        Some((
+            Box::new(ChaosHost::new(
+                Ipv4Addr::from_u32(ip),
+                ChaosMode::SynAckReplayed {
+                    after: Duration::from_millis(20),
+                },
+                seed,
+            )) as Box<dyn Endpoint>,
+            LinkConfig::testbed(),
+        ))
+    });
+    // Every host validated once and was promoted once; the stale replay
+    // of the discovery SYN-ACK is recognized and dropped.
+    assert_eq!(
+        metrics.counter("scan.discovery.validated"),
+        u64::from(space)
+    );
+    assert_eq!(metrics.counter("scan.discovery.promoted"), u64::from(space));
+    assert_eq!(
+        metrics.counter("scan.discovery.duplicates"),
+        u64::from(space)
+    );
+    // No verdict inflation: one record per host, none claiming success
+    // (the replayer never sends data).
+    assert_eq!(results.len(), space as usize);
+    for w in results.windows(2) {
+        assert_ne!(w[0].ip, w[1].ip, "duplicate verdict for {}", w[0].ip);
+    }
+    assert!(results
+        .iter()
+        .all(|r| !matches!(r.primary_verdict(), Some(MssVerdict::Success(_)))));
+}
+
+#[test]
+fn stateless_promotion_waits_out_session_cap_pressure() {
+    let space = 256u32;
+    let cap = 16usize;
+    let seed = 0xcab0;
+    let mut config = stateless_config(space, seed);
+    config.resilience.max_sessions = cap;
+    let (results, metrics, _sent, refused) = run_matrix(config, |ip| {
+        Some((web_host(ip, seed), LinkConfig::testbed()))
+    });
+    // Unlike classic mode (which evicts the oldest session under
+    // admission pressure), promotion *waits*: the queue buffers
+    // responders and concluded sessions pull the next one in. Nobody is
+    // evicted, nobody is lost, and the live set respects the cap.
+    assert_eq!(results.len(), space as usize);
+    let acc = accuracy(&results);
+    assert!((acc - 1.0).abs() < f64::EPSILON, "accuracy {acc}");
+    assert_eq!(refused, 0);
+    assert_eq!(metrics.counter("scan.sessions.evicted"), 0);
+    assert_eq!(metrics.counter("scan.discovery.promoted"), u64::from(space));
+    let peak = metrics
+        .gauges
+        .get("shard.sessions.live_peak")
+        .map(|(_, v)| *v)
+        .unwrap_or(0);
+    assert!(peak <= cap as u64, "live peak {peak} exceeded cap {cap}");
+    // The queued-state footprint is bounded by the responder count.
+    let state_peak = metrics
+        .gauges
+        .get("scan.discovery.state_peak")
+        .map(|(_, v)| *v)
+        .unwrap_or(0);
+    assert!(state_peak <= u64::from(space), "state peak {state_peak}");
+    assert!(state_peak > 0, "state peak gauge never sampled");
+}
+
+// ---------------------------------------------------------------------
+// The memory-model gate: over a large, mostly-silent space the
+// stateless front-end holds per-target state only for promoted
+// responders — never for the in-flight population.
+// ---------------------------------------------------------------------
+
+#[test]
+fn stateless_discovery_state_is_bounded_by_responders() {
+    use iw_core::{ScanRunner, Topology};
+    use iw_internet::{Population, PopulationConfig};
+    use std::sync::Arc;
+
+    let space = 1u32 << 17; // 131 072 targets, ~1.5 % responsive
+    let pop = Arc::new(Population::new(PopulationConfig {
+        seed: 0x1b1b,
+        space_size: space,
+        target_responsive: 2000,
+        loss_scale: 0.0,
+    }));
+    let run = |stateless: bool| {
+        let mut config = ScanConfig::study(Protocol::Http, space, 0x1b1b);
+        config.rate_pps = 4_000_000;
+        config.resilience = ResilienceConfig::hardened();
+        config.telemetry.record_rtt = true;
+        config.stateless_first = stateless;
+        ScanRunner::new(&pop)
+            .config(config)
+            .topology(Topology::threads(1))
+            .run()
+    };
+    let stateful = run(false);
+    let stateless = run(true);
+    // Same responders, byte-identical verdicts. (Wire-history artifacts
+    // like per-probe `reordered` flags legitimately differ: the extra
+    // discovery handshake shifts each link's jitter draws. What the scan
+    // *measures* must not.)
+    let responders = stateful.results.len() as u64;
+    assert!(responders > 0);
+    let verdicts = |results: &[HostResult]| {
+        results
+            .iter()
+            .map(|r| format!("{} {:?} {:?}", r.ip, r.verdicts, r.host_verdict))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(verdicts(&stateful.results), verdicts(&stateless.results));
+    // The per-target footprint (queued promotions plus in-flight
+    // promoted handshakes, which is what carries the pending-retry and
+    // RTT-stamp maps) peaked at the promoted-responder count — not
+    // anywhere near the 131 072 targets the stateful front-end tracks.
+    let state_peak = stateless
+        .telemetry
+        .metrics
+        .gauges
+        .get("scan.discovery.state_peak")
+        .map(|(_, v)| *v)
+        .unwrap_or(0);
+    assert!(state_peak > 0, "state-peak gauge never sampled");
+    assert!(
+        state_peak <= responders,
+        "state peak {state_peak} exceeds responder count {responders}"
+    );
+    assert!(
+        state_peak < u64::from(space) / 32,
+        "state peak {state_peak} scales with the population, not responders"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Satellite: Karn's rule — retransmitted handshakes contribute no RTT
+// samples, so backoff periods never pollute the percentiles.
+// ---------------------------------------------------------------------
+
+#[test]
+fn karn_rule_drops_retransmit_rtt_samples() {
+    let space = 256u32;
+    let mut config = scan_config(space, 0x6a51);
+    config.resilience = ResilienceConfig::hardened();
+    config.telemetry.record_rtt = true;
+    let (results, metrics, ..) = run_matrix(config, |ip| {
+        Some((web_host(ip, 0x6a51), LinkConfig::default().with_loss(0.05)))
+    });
+    assert!(!results.is_empty());
+    // Losses actually forced SYN retransmissions…
+    assert!(metrics.counter("scan.syn_retries") > 0);
+    let rtt = metrics
+        .histograms
+        .get("scan.rtt_nanos")
+        .expect("rtt histogram recorded");
+    assert!(rtt.count > 0, "no clean handshakes sampled");
+    // …yet no sample contains a backoff period: a SYN-ACK after a
+    // retransmission is ambiguous (it may answer either transmission)
+    // and its sample is dropped rather than attributed to the wire.
+    let backoff = Duration::from_secs(1).as_nanos();
+    assert!(
+        rtt.max < backoff,
+        "rtt max {} contains a backoff period (≥ {backoff})",
+        rtt.max
+    );
+}
+
+// ---------------------------------------------------------------------
+// Satellite: the eviction-order queue must stay bounded by live
+// sessions, not total sessions started.
+// ---------------------------------------------------------------------
+
+#[test]
+fn eviction_queue_is_bounded_over_long_campaigns() {
+    let space = 1u32 << 10;
+    let mut config = scan_config(space, 0xe71c);
+    config.resilience.max_sessions = 32;
+    let seed = config.seed;
+    let scanner = Scanner::new(config);
+    let mut sim = Sim::new(
+        scanner,
+        |ip| Some((web_host(ip, 0xe71c), LinkConfig::testbed())),
+        SimConfig {
+            seed,
+            ..SimConfig::default()
+        },
+    );
+    sim.kick_scanner(|s, now, fx| s.start(now, fx));
+    sim.run_to_completion();
+    let scanner = sim.scanner_mut();
+    assert_eq!(scanner.live_sessions(), 0);
+    assert_eq!(scanner.results().len(), space as usize);
+    // Normally-concluded sessions leave stale deque entries behind; the
+    // lazy compaction keeps the queue O(live), so after the drain it
+    // holds at most the compaction slack — not the 1024 sessions that
+    // ever existed.
+    assert!(
+        scanner.eviction_queue_len() <= 16,
+        "eviction queue leaked: {} entries after {} sessions",
+        scanner.eviction_queue_len(),
+        space
+    );
+}
+
+// ---------------------------------------------------------------------
 // Baseline invariance: resilience off changes nothing on a clean run.
 // ---------------------------------------------------------------------
 

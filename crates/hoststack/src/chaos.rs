@@ -39,6 +39,27 @@ pub enum ChaosMode {
         /// The unreachable code.
         code: u8,
     },
+    /// Answer the SYN with a SYN-ACK whose acknowledgement number is off
+    /// by `delta` (0 echoes the raw ISN instead of ISN+1; 2+ is garbage).
+    /// A cookie-validating scanner must not promote or classify these.
+    SynAckWrongAck {
+        /// Offset added to the probe's sequence number in the SYN-ACK's
+        /// ack field. The correct value is 1; anything else is invalid.
+        delta: u8,
+    },
+    /// Answer the SYN with a valid SYN-ACK, then replay the identical
+    /// SYN-ACK `after` a delay — a retransmitting or middlebox-duplicated
+    /// responder. The scanner must treat the replay as a duplicate, not a
+    /// second responsive target.
+    SynAckReplayed {
+        /// Delay between the original SYN-ACK and its replay.
+        after: Duration,
+    },
+    /// Answer the SYN with a RST whose ack field does not carry the
+    /// probe's cookie (an off-path attacker guessing at flows, or a
+    /// middlebox fabricating resets). A cookie-validating scanner must
+    /// not record a refused verdict.
+    SpoofedRst,
     /// Answer every SYN with a burst of ICMP source-quench messages and
     /// never complete the handshake — an ICMP-rate-limited router
     /// speaking for a silent target. Source quench is advisory, so the
@@ -55,6 +76,7 @@ pub enum ChaosMode {
 struct ChaosConn {
     peer: u32,
     isn: u32,
+    ack: u32,
 }
 
 /// A host that misbehaves in exactly one scripted way.
@@ -178,7 +200,38 @@ impl ChaosHost {
                 }
                 fx.finished = true;
             }
-            ChaosMode::SynAckThenRst { after } | ChaosMode::SynAckThenIcmp { after, .. } => {
+            ChaosMode::SynAckWrongAck { delta } => {
+                let isn = self.isn(peer.to_u32(), seg.src_port, seg.dst_port);
+                let syn_ack = tcp::Repr {
+                    src_port: seg.dst_port,
+                    dst_port: seg.src_port,
+                    seq: isn,
+                    ack: seg.seq.wrapping_add(u32::from(delta)),
+                    flags: Flags::SYN | Flags::ACK,
+                    window: 65535,
+                    options: vec![TcpOption::Mss(1460)],
+                    payload: Vec::new(),
+                };
+                self.send_tcp(peer, &syn_ack, fx);
+                fx.finished = true;
+            }
+            ChaosMode::SpoofedRst => {
+                // ack carries the probe's raw seq, not seq+1, so it can
+                // never match a cookie check.
+                let rst = tcp::Repr::bare(
+                    seg.dst_port,
+                    seg.src_port,
+                    0,
+                    seg.seq,
+                    Flags::RST | Flags::ACK,
+                    0,
+                );
+                self.send_tcp(peer, &rst, fx);
+                fx.finished = true;
+            }
+            ChaosMode::SynAckThenRst { after }
+            | ChaosMode::SynAckThenIcmp { after, .. }
+            | ChaosMode::SynAckReplayed { after } => {
                 let isn = self.isn(peer.to_u32(), seg.src_port, seg.dst_port);
                 self.send_syn_ack(peer, seg, isn, fx);
                 let token = (u64::from(seg.src_port) << 16) | u64::from(seg.dst_port);
@@ -187,6 +240,7 @@ impl ChaosHost {
                     ChaosConn {
                         peer: peer.to_u32(),
                         isn,
+                        ack: seg.seq.wrapping_add(1),
                     },
                 );
                 fx.arm(after, token);
@@ -238,6 +292,20 @@ impl Endpoint for ChaosHost {
             }
             ChaosMode::SynAckThenIcmp { code, .. } => {
                 self.send_unreachable(peer, code, fx);
+            }
+            ChaosMode::SynAckReplayed { .. } => {
+                // Byte-identical replay of the original SYN-ACK.
+                let syn_ack = tcp::Repr {
+                    src_port: dport,
+                    dst_port: sport,
+                    seq: conn.isn,
+                    ack: conn.ack,
+                    flags: Flags::SYN | Flags::ACK,
+                    window: 65535,
+                    options: vec![TcpOption::Mss(1460)],
+                    payload: Vec::new(),
+                };
+                self.send_tcp(peer, &syn_ack, fx);
             }
             _ => {}
         }
@@ -345,6 +413,55 @@ mod tests {
             );
         }
         assert!(fx.timers.is_empty());
+        assert!(fx.finished);
+    }
+
+    #[test]
+    fn wrong_ack_mode_offsets_the_acknowledgement() {
+        for delta in [0u8, 2, 7] {
+            let mut host = ChaosHost::new(HOSTIP, ChaosMode::SynAckWrongAck { delta }, 7);
+            let mut fx = Effects::default();
+            host.on_packet(&syn_datagram(39000), Instant::ZERO, &mut fx);
+            let reply = parse_tcp(&fx.tx[0]);
+            assert!(reply.flags.contains(Flags::SYN | Flags::ACK));
+            assert_eq!(reply.ack, 1000u32.wrapping_add(u32::from(delta)));
+            assert!(fx.timers.is_empty());
+            assert!(fx.finished);
+        }
+    }
+
+    #[test]
+    fn replayed_mode_duplicates_the_syn_ack_exactly() {
+        let after = Duration::from_millis(20);
+        let mut host = ChaosHost::new(HOSTIP, ChaosMode::SynAckReplayed { after }, 7);
+        let mut fx = Effects::default();
+        host.on_packet(&syn_datagram(39000), Instant::ZERO, &mut fx);
+        let original = parse_tcp(&fx.tx[0]);
+        assert!(original.flags.contains(Flags::SYN | Flags::ACK));
+        assert_eq!(original.ack, 1001);
+        let (delay, token) = fx.timers[0];
+        assert_eq!(delay, after);
+        let mut fx2 = Effects::default();
+        host.on_timer(token, Instant::ZERO + delay, &mut fx2);
+        let replay = parse_tcp(&fx2.tx[0]);
+        assert_eq!(replay.seq, original.seq);
+        assert_eq!(replay.ack, original.ack);
+        assert_eq!(replay.flags, original.flags);
+        assert_eq!(replay.src_port, original.src_port);
+        assert_eq!(replay.dst_port, original.dst_port);
+        assert!(fx2.finished);
+    }
+
+    #[test]
+    fn spoofed_rst_mode_answers_with_a_cookieless_rst() {
+        let mut host = ChaosHost::new(HOSTIP, ChaosMode::SpoofedRst, 7);
+        let mut fx = Effects::default();
+        host.on_packet(&syn_datagram(40000), Instant::ZERO, &mut fx);
+        let rst = parse_tcp(&fx.tx[0]);
+        assert!(rst.flags.contains(Flags::RST));
+        // The ack echoes the raw seq, not seq+1 — never cookie-valid.
+        assert_eq!(rst.ack, 1000);
+        assert_eq!(rst.dst_port, 40000);
         assert!(fx.finished);
     }
 

@@ -172,6 +172,12 @@ pub fn project_concurrency() -> ConcurrencySpec {
                 why: "span profiling is opt-in (SimConfig::profile)",
             },
             ColdBoundary {
+                func: "Scanner::try_drain_promotions",
+                why: "promotion of a cookie-validated discovery responder \
+                      into a full stateful session; allocating session \
+                      state is the point of crossing this boundary",
+            },
+            ColdBoundary {
                 func: "on_packet",
                 why: "trait fan-out: name-based resolution would conflate \
                       every Endpoint impl (hosts, chaos, scanner); endpoint \

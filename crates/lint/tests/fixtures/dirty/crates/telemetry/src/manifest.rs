@@ -1,0 +1,8 @@
+//! Fixture manifest at the project path so the CI dirty run exercises
+//! the metrics-manifest rule end to end: the `scan.discovery.*` block
+//! carries a duplicate name, a stray family and orphaned entries.
+
+pub const DISCOVERY_SYNS: MetricDef = MetricDef::counter("scan.discovery.syns", Scope::Scan);
+pub const DISCOVERY_SYNS_DUP: MetricDef = MetricDef::counter("scan.discovery.syns", Scope::Scan);
+pub const DISCOVERY_STATE_PEAK: MetricDef = MetricDef::gauge("scan.discovery.state_peak", Scope::Shard);
+pub const DISCOVERY_STRAY: MetricDef = MetricDef::counter("discovery.stray", Scope::Scan);

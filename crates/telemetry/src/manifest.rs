@@ -201,6 +201,50 @@ pub const SCAN_ICMP_SOURCE_QUENCH: MetricDef =
     MetricDef::counter("scan.icmp.source_quench", Scope::Scan);
 
 // ---------------------------------------------------------------------------
+// Stateless-first discovery (ZBanner-style hybrid mode). Which targets
+// respond — and with what — is population-determined, so the counters
+// are `Scan` scope and merge exactly across shard counts. The state
+// peak is a scheduling fact (how much promoted state coexists depends
+// on shard interleaving) and stays `Shard`, same continuity argument as
+// `scan.sessions.evicted`.
+
+/// Stateless discovery SYNs sent (first transmissions).
+pub const SCAN_DISCOVERY_SYNS: MetricDef = MetricDef::counter("scan.discovery.syns", Scope::Scan);
+/// Stateless discovery SYN retransmissions (attempt encoded in sport).
+pub const SCAN_DISCOVERY_RETRIES: MetricDef =
+    MetricDef::counter("scan.discovery.retries", Scope::Scan);
+/// Discovery SYN-ACKs that validated against the ISN cookie.
+pub const SCAN_DISCOVERY_VALIDATED: MetricDef =
+    MetricDef::counter("scan.discovery.validated", Scope::Scan);
+/// Responders promoted from discovery into a stateful IW session.
+pub const SCAN_DISCOVERY_PROMOTED: MetricDef =
+    MetricDef::counter("scan.discovery.promoted", Scope::Scan);
+/// Valid SYN-ACKs for targets already discovered (blind-retry
+/// duplicates); dropped without a second promotion.
+pub const SCAN_DISCOVERY_DUPLICATES: MetricDef =
+    MetricDef::counter("scan.discovery.duplicates", Scope::Scan);
+/// Discovery SYN-ACKs whose ack failed cookie validation outright.
+pub const SCAN_DISCOVERY_COOKIE_MISMATCH: MetricDef =
+    MetricDef::counter("scan.discovery.cookie_mismatch", Scope::Scan);
+/// Discovery SYN-ACKs acking the raw ISN (missing +1): broken
+/// middlebox / simplistic-responder fingerprint.
+pub const SCAN_DISCOVERY_RAW_ISN_ECHO: MetricDef =
+    MetricDef::counter("scan.discovery.raw_isn_echo", Scope::Scan);
+/// RSTs to a discovery flow whose ack failed cookie validation
+/// (spoofed / backscatter; produces no verdict).
+pub const SCAN_DISCOVERY_SPOOFED_RST: MetricDef =
+    MetricDef::counter("scan.discovery.spoofed_rst", Scope::Scan);
+/// Peak per-target scanner state (pending retries + RTT stamps +
+/// promotion queue) while discovery mode is active — the memory-model
+/// gate: bounded by responders, not in-flight targets.
+pub const SCAN_DISCOVERY_STATE_PEAK: MetricDef =
+    MetricDef::gauge("scan.discovery.state_peak", Scope::Shard);
+/// RSTs on any verdict path dropped for failing cookie validation
+/// (spoofed / backscatter refusals that would otherwise inflate
+/// `scan.refused`).
+pub const SCAN_RST_IGNORED: MetricDef = MetricDef::counter("scan.rst_ignored", Scope::Scan);
+
+// ---------------------------------------------------------------------------
 // Durable campaigns (checkpoint/resume). When a checkpoint fires is a
 // per-shard scheduling fact (each shard crosses virtual-time boundaries
 // on its own event stream), so these stay `Shard` despite the `scan.`
@@ -306,7 +350,7 @@ pub const ICMP_UNREACHABLE_CODE_COUNTERS: [&MetricDef; 4] = [
 ];
 
 /// Every declared metric. Order matches declaration order above.
-pub const ALL: [&MetricDef; 51] = [
+pub const ALL: [&MetricDef; 61] = [
     &SCAN_TARGETS_SENT,
     &SCAN_SYNACKS_VALIDATED,
     &SCAN_REFUSED,
@@ -342,6 +386,16 @@ pub const ALL: [&MetricDef; 51] = [
     &SCAN_ICMP_UNREACHABLE_OTHER,
     &SCAN_ICMP_FRAG_NEEDED,
     &SCAN_ICMP_SOURCE_QUENCH,
+    &SCAN_DISCOVERY_SYNS,
+    &SCAN_DISCOVERY_RETRIES,
+    &SCAN_DISCOVERY_VALIDATED,
+    &SCAN_DISCOVERY_PROMOTED,
+    &SCAN_DISCOVERY_DUPLICATES,
+    &SCAN_DISCOVERY_COOKIE_MISMATCH,
+    &SCAN_DISCOVERY_RAW_ISN_ECHO,
+    &SCAN_DISCOVERY_SPOOFED_RST,
+    &SCAN_DISCOVERY_STATE_PEAK,
+    &SCAN_RST_IGNORED,
     &SCAN_CHECKPOINTS_TAKEN,
     &SCAN_CHECKPOINT_DRAIN_FORCED,
     &SCAN_FLIGHT_DUMPS,
@@ -418,5 +472,17 @@ mod tests {
         // interleaving, so this metric must never enter the canonical
         // (Scan) snapshot. See DESIGN §8.
         assert_eq!(SCAN_SESSIONS_EVICTED.scope, Scope::Shard);
+    }
+
+    #[test]
+    fn discovery_scopes_split_correctly() {
+        // Response counters are population-determined (Scan); the state
+        // peak depends on shard interleaving and stays Shard — the
+        // memory gate reads it per shard, never from the canonical
+        // snapshot.
+        assert_eq!(SCAN_DISCOVERY_VALIDATED.scope, Scope::Scan);
+        assert_eq!(SCAN_DISCOVERY_PROMOTED.scope, Scope::Scan);
+        assert_eq!(SCAN_DISCOVERY_STATE_PEAK.scope, Scope::Shard);
+        assert_eq!(SCAN_DISCOVERY_STATE_PEAK.kind, MetricKind::Gauge);
     }
 }
